@@ -1,0 +1,150 @@
+// Experiment E11 (§6.2 substrate): the Heraclitus delta toolkit.
+//
+// Microbenchmarks of the operators the whole mediator machinery is built
+// from: smash (!), apply, inverse, σ/π filtering, and delta-relation joins,
+// across delta and relation sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "delta/delta_algebra.h"
+#include "relational/parser.h"
+
+namespace squirrel {
+namespace bench {
+namespace {
+
+Schema TwoCol() { return SchemaOf("R(a, b)"); }
+
+Delta RandomDelta(Rng* rng, int atoms, int64_t domain) {
+  Delta d(TwoCol());
+  for (int i = 0; i < atoms; ++i) {
+    Tuple t({rng->UniformInt(0, domain), rng->UniformInt(0, domain)});
+    Check(d.Add(t, rng->Bernoulli(0.5) ? 1 : -1), "add");
+  }
+  return d;
+}
+
+Relation RandomRel(Rng* rng, int rows, int64_t domain) {
+  Relation r(TwoCol(), Semantics::kBag);
+  for (int i = 0; i < rows; ++i) {
+    Check(r.Insert(Tuple({rng->UniformInt(0, domain),
+                          rng->UniformInt(0, domain)}),
+                   1 + static_cast<int64_t>(rng->Uniform(2))),
+          "insert");
+  }
+  return r;
+}
+
+void BM_E11_Smash(benchmark::State& state) {
+  Rng rng(1);
+  const int atoms = static_cast<int>(state.range(0));
+  Delta d1 = RandomDelta(&rng, atoms, atoms * 4);
+  Delta d2 = RandomDelta(&rng, atoms, atoms * 4);
+  for (auto _ : state) {
+    Delta out = Unwrap(Delta::Smash(d1, d2), "smash");
+    benchmark::DoNotOptimize(out.AtomCount());
+  }
+  state.SetItemsProcessed(state.iterations() * atoms * 2);
+}
+BENCHMARK(BM_E11_Smash)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_E11_Inverse(benchmark::State& state) {
+  Rng rng(2);
+  Delta d = RandomDelta(&rng, static_cast<int>(state.range(0)),
+                        state.range(0) * 4);
+  for (auto _ : state) {
+    Delta out = d.Inverse();
+    benchmark::DoNotOptimize(out.AtomCount());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_E11_Inverse)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_E11_Apply(benchmark::State& state) {
+  Rng rng(3);
+  const int rows = static_cast<int>(state.range(0));
+  Relation base = RandomRel(&rng, rows, rows);
+  // Insert-only delta so strict apply always succeeds, inverse restores.
+  Delta d(TwoCol());
+  for (int i = 0; i < rows / 8 + 1; ++i) {
+    Check(d.Add(Tuple({rng.UniformInt(rows + 1, rows * 2),
+                       rng.UniformInt(0, rows)}),
+                1),
+          "add");
+  }
+  Delta inv = d.Inverse();
+  for (auto _ : state) {
+    Check(ApplyDelta(&base, d), "apply");
+    Check(ApplyDelta(&base, inv), "unapply");
+  }
+  state.SetItemsProcessed(state.iterations() * d.AtomCount() * 2);
+}
+BENCHMARK(BM_E11_Apply)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_E11_FilterToLeafParent(benchmark::State& state) {
+  Rng rng(4);
+  Delta d = RandomDelta(&rng, static_cast<int>(state.range(0)),
+                        state.range(0) * 4);
+  Expr::Ptr cond = Unwrap(ParsePredicate("a < 100 AND b > 2"), "cond");
+  std::vector<std::string> attrs = {"a"};
+  for (auto _ : state) {
+    Delta out = Unwrap(FilterDeltaToLeafParent(d, cond, attrs), "filter");
+    benchmark::DoNotOptimize(out.AtomCount());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_E11_FilterToLeafParent)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_E11_DeltaJoinRelation(benchmark::State& state) {
+  Rng rng(5);
+  const int rel_rows = static_cast<int>(state.range(0));
+  const int delta_atoms = static_cast<int>(state.range(1));
+  Relation s(SchemaOf("S(c, d)"), Semantics::kBag);
+  for (int i = 0; i < rel_rows; ++i) {
+    Check(s.Insert(Tuple({rng.UniformInt(0, rel_rows),
+                          rng.UniformInt(0, 100)})),
+          "insert");
+  }
+  Delta d(TwoCol());
+  for (int i = 0; i < delta_atoms; ++i) {
+    Check(d.Add(Tuple({rng.UniformInt(0, 1000),
+                       rng.UniformInt(0, rel_rows)}),
+                rng.Bernoulli(0.5) ? 1 : -1),
+          "add");
+  }
+  Expr::Ptr cond = Unwrap(ParsePredicate("b = c"), "cond");
+  for (auto _ : state) {
+    Delta out = Unwrap(DeltaJoinRelation(d, s, cond), "join");
+    benchmark::DoNotOptimize(out.AtomCount());
+  }
+  state.SetItemsProcessed(state.iterations() * delta_atoms);
+}
+BENCHMARK(BM_E11_DeltaJoinRelation)
+    ->Args({1000, 16})
+    ->Args({10000, 16})
+    ->Args({100000, 16})
+    ->Args({10000, 256});
+
+void BM_E11_PresenceDelta(benchmark::State& state) {
+  Rng rng(6);
+  const int rows = static_cast<int>(state.range(0));
+  Relation base = RandomRel(&rng, rows, rows / 2);
+  Delta d(TwoCol());
+  base.ForEach([&](const Tuple& t, int64_t) {
+    if (rng.Bernoulli(0.2)) Check(d.Add(t, -1), "add");
+  });
+  Relation after = base;
+  Check(ApplyDelta(&after, d), "apply");
+  for (auto _ : state) {
+    Delta out = Unwrap(PresenceDelta(after, d), "presence");
+    benchmark::DoNotOptimize(out.AtomCount());
+  }
+}
+BENCHMARK(BM_E11_PresenceDelta)->Arg(1024)->Arg(16384);
+
+}  // namespace
+}  // namespace bench
+}  // namespace squirrel
+
+BENCHMARK_MAIN();

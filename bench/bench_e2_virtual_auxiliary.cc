@@ -1,0 +1,132 @@
+// Experiment E2 (Example 2.2): virtual auxiliary data.
+//
+// Paper setting: updates to R are frequent, updates to S are rare. Keeping
+// R' virtual (a) eliminates the overhead of continually maintaining R' and
+// (b) conserves space — at the price of polling R on the rare S update.
+//
+// The table sweeps the two annotations over a frequent-R / rare-S workload
+// and reports maintenance work, polls, and store size. Expected shape:
+//  - fully materialized:  zero polls, larger store, more apply work;
+//  - virtual R':          polls only on S updates (rare), smaller store.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace squirrel {
+namespace bench {
+namespace {
+
+struct RunResult {
+  MediatorStats stats;
+  size_t store_bytes;
+  double wall_ms;
+};
+
+RunResult RunWorkload(const Annotation& ann, int r_updates, int s_updates,
+                      int base_rows) {
+  Fig1System sys = MakeFig1System(ann, MediatorOptions{});
+  sys.Seed(base_rows, 64);
+  Check(sys.mediator->Start(), "start");
+  Drain(sys.scheduler.get());
+
+  auto begin = std::chrono::steady_clock::now();
+  Time now = 1.0;
+  int s_done = 0;
+  for (int i = 0; i < r_updates; ++i) {
+    sys.InsertR(now);
+    // Interleave the rare S updates evenly.
+    if (s_done < s_updates &&
+        i % std::max(1, r_updates / std::max(1, s_updates)) == 0) {
+      sys.InsertS(now + 0.1);
+      ++s_done;
+    }
+    Drain(sys.scheduler.get());
+    now += 1.0;
+  }
+  auto end = std::chrono::steady_clock::now();
+
+  RunResult out;
+  out.stats = sys.mediator->stats();
+  out.store_bytes = sys.mediator->StoreBytes();
+  out.wall_ms =
+      std::chrono::duration_cast<std::chrono::microseconds>(end - begin)
+          .count() /
+      1000.0;
+  return out;
+}
+
+void E2ClaimTable() {
+  Vdp vdp = Unwrap(BuildFigure1Vdp(), "vdp");
+  const int base_rows = 4000;
+  Table table({"annotation", "R_upd", "S_upd", "polls", "polled_tuples",
+               "store_KiB", "wall_ms"});
+  for (auto [r_updates, s_updates] : {std::pair<int, int>{200, 2},
+                                      std::pair<int, int>{200, 20}}) {
+    for (int ann_kind = 0; ann_kind < 2; ++ann_kind) {
+      Annotation ann = ann_kind == 0 ? AnnotationExample21()
+                                     : AnnotationExample22(vdp);
+      RunResult r = RunWorkload(ann, r_updates, s_updates, base_rows);
+      table.AddRow({ann_kind == 0 ? "fully materialized" : "virtual R'",
+                    Table::Int(r_updates), Table::Int(s_updates),
+                    Table::Int(r.stats.polls),
+                    Table::Int(r.stats.polled_tuples),
+                    Table::Num(r.store_bytes / 1024.0, 1),
+                    Table::Num(r.wall_ms, 2)});
+    }
+  }
+  table.Print(
+      "E2 (Example 2.2): virtual auxiliary R' — frequent R updates need no "
+      "polling; rare S updates poll R; space is saved");
+}
+
+/// Per-update wall cost of the frequent path (ΔR) under both annotations.
+void BM_E2_FrequentRUpdate(benchmark::State& state) {
+  Vdp vdp = Unwrap(BuildFigure1Vdp(), "vdp");
+  Annotation ann =
+      state.range(0) == 0 ? AnnotationExample21() : AnnotationExample22(vdp);
+  Fig1System sys = MakeFig1System(ann, MediatorOptions{});
+  sys.Seed(4000, 64);
+  Check(sys.mediator->Start(), "start");
+  Drain(sys.scheduler.get());
+  Time now = 1.0;
+  for (auto _ : state) {
+    sys.InsertR(now);
+    Drain(sys.scheduler.get());
+    now += 1.0;
+  }
+  state.SetLabel(state.range(0) == 0 ? "fully_materialized" : "virtual_Rp");
+  state.counters["polls"] = static_cast<double>(sys.mediator->stats().polls);
+}
+BENCHMARK(BM_E2_FrequentRUpdate)->Arg(0)->Arg(1);
+
+/// Per-update wall cost of the rare path (ΔS, polls R when R' virtual).
+void BM_E2_RareSUpdate(benchmark::State& state) {
+  Vdp vdp = Unwrap(BuildFigure1Vdp(), "vdp");
+  Annotation ann =
+      state.range(0) == 0 ? AnnotationExample21() : AnnotationExample22(vdp);
+  Fig1System sys = MakeFig1System(ann, MediatorOptions{});
+  sys.Seed(4000, 64);
+  Check(sys.mediator->Start(), "start");
+  Drain(sys.scheduler.get());
+  Time now = 1.0;
+  for (auto _ : state) {
+    sys.InsertS(now);
+    Drain(sys.scheduler.get());
+    now += 1.0;
+  }
+  state.SetLabel(state.range(0) == 0 ? "fully_materialized" : "virtual_Rp");
+  state.counters["polls"] = static_cast<double>(sys.mediator->stats().polls);
+}
+BENCHMARK(BM_E2_RareSUpdate)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace bench
+}  // namespace squirrel
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  squirrel::bench::E2ClaimTable();
+  return 0;
+}

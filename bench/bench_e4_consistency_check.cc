@@ -1,0 +1,168 @@
+// Experiment E4 (Figure 2 / Remark 3.1 / Theorem 7.1): consistency.
+//
+// Reproduces:
+//  - the Figure 2 scenario is pseudo-consistent but NOT consistent
+//    (Remark 3.1's separation of the two notions);
+//  - Squirrel mediator traces pass the full consistency checker
+//    (Theorem 7.1), at several configurations;
+//  - checker throughput (how expensive independent validation is).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "mediator/consistency.h"
+#include "relational/parser.h"
+
+namespace squirrel {
+namespace bench {
+namespace {
+
+void Figure2Table() {
+  SourceDb db("DB");
+  Check(db.AddRelation("R", SchemaOf("R(p, q)")), "add R");
+  // Figure 2's single-tuple history (a..f encoded 1..6).
+  const int pairs[6][2] = {{1, 1}, {2, 2}, {3, 1}, {4, 1}, {5, 1}, {6, 1}};
+  Tuple prev;
+  for (int i = 0; i < 6; ++i) {
+    MultiDelta md;
+    auto* d = md.Mutable("R", SchemaOf("R(p, q)"));
+    if (i > 0) Check(d->AddDelete(prev), "del");
+    Tuple cur({pairs[i][0], pairs[i][1]});
+    Check(d->AddInsert(cur), "ins");
+    Check(db.Commit(i + 1, md), "commit");
+    prev = cur;
+  }
+  AlgebraExpr::Ptr view = Unwrap(ParseAlgebra("project[q](R)"), "view");
+
+  auto make_state = [](int v) {
+    Relation r(SchemaOf("S(q)"), Semantics::kSet);
+    Check(r.Insert(Tuple({v})), "insert");
+    return r;
+  };
+  struct Scenario {
+    const char* label;
+    std::vector<ViewObservation> obs;
+  };
+  std::vector<Scenario> scenarios;
+  scenarios.push_back(
+      {"Figure 2 (a a b a b a)",
+       {{1, make_state(1)},
+        {2, make_state(1)},
+        {3, make_state(2)},
+        {4, make_state(1)},
+        {5, make_state(2)},
+        {6, make_state(1)}}});
+  scenarios.push_back(
+      {"monotone (a b a)",
+       {{1, make_state(1)}, {2.5, make_state(2)}, {4, make_state(1)}}});
+  scenarios.push_back({"future forecast (b at t=1.5)",
+                       {{1.5, make_state(2)}}});
+  scenarios.push_back({"fabricated state (c)", {{6, make_state(3)}}});
+
+  Table table({"scenario", "pseudo-consistent", "consistent"});
+  for (const auto& s : scenarios) {
+    bool pseudo = Unwrap(IsPseudoConsistent(db, view, s.obs), "pseudo");
+    bool full = Unwrap(IsScenarioConsistent(db, view, s.obs), "full");
+    table.AddRow({s.label, pseudo ? "yes" : "NO", full ? "yes" : "NO"});
+  }
+  table.Print(
+      "E4 (Figure 2 / Remark 3.1): pseudo-consistency does not imply "
+      "consistency (paper claim: row 1 is pseudo-consistent only)");
+}
+
+void MediatorTraceTable() {
+  Vdp vdp = Unwrap(BuildFigure1Vdp(), "vdp");
+  struct Config {
+    const char* label;
+    Annotation ann;
+    Time update_period;
+  };
+  std::vector<Config> configs;
+  configs.push_back({"fully materialized, immediate", AnnotationExample21(),
+                     0.0});
+  configs.push_back({"fully materialized, batched(5)", AnnotationExample21(),
+                     5.0});
+  configs.push_back({"virtual R' (Ex 2.2)", AnnotationExample22(vdp), 0.0});
+  configs.push_back({"hybrid (Ex 2.3)", AnnotationExample23(vdp), 0.0});
+
+  Table table({"configuration", "txns_checked", "relations_compared",
+               "consistent", "check_ms"});
+  for (auto& cfg : configs) {
+    MediatorOptions options;
+    options.update_period = cfg.update_period;
+    Fig1System sys = MakeFig1System(cfg.ann, options);
+    sys.Seed(200, 32);
+    Check(sys.mediator->Start(), "start");
+    Time now = 1.0;
+    for (int i = 0; i < 40; ++i) {
+      if (i % 4 == 3) {
+        sys.InsertS(now);
+      } else {
+        sys.InsertR(now);
+      }
+      if (i % 3 == 0) {
+        sys.scheduler->At(now + 2.0, [&sys]() {
+          sys.mediator->SubmitQuery(
+              ViewQuery{"T", {"r1", "s1"}, nullptr},
+              [](Result<ViewAnswer> ans) { Check(ans.status(), "query"); });
+        });
+      }
+      now += 6.0;
+      AdvanceTo(sys.scheduler.get(), now);  // periodic services re-arm
+    }
+    AdvanceTo(sys.scheduler.get(), now + 60.0);
+    ConsistencyChecker checker(&sys.mediator->vdp(),
+                               &sys.mediator->annotation(),
+                               {sys.db1.get(), sys.db2.get()});
+    auto begin = std::chrono::steady_clock::now();
+    ConsistencyReport report =
+        Unwrap(checker.Check(sys.mediator->trace()), "check");
+    auto end = std::chrono::steady_clock::now();
+    double ms =
+        std::chrono::duration_cast<std::chrono::microseconds>(end - begin)
+            .count() /
+        1000.0;
+    table.AddRow({cfg.label, Table::Int(report.entries_checked),
+                  Table::Int(report.relations_compared),
+                  report.consistent() ? "yes" : "NO", Table::Num(ms, 2)});
+  }
+  table.Print(
+      "E4 (Theorem 7.1): every Squirrel trace passes the independent "
+      "consistency checker (paper claim: all rows consistent)");
+}
+
+void BM_E4_CheckerThroughput(benchmark::State& state) {
+  Fig1System sys = MakeFig1System(AnnotationExample21(), MediatorOptions{});
+  sys.Seed(static_cast<int>(state.range(0)), 32);
+  Check(sys.mediator->Start(), "start");
+  Drain(sys.scheduler.get());
+  Time now = 1.0;
+  for (int i = 0; i < 20; ++i) {
+    sys.InsertR(now);
+    now += 1.0;
+    Drain(sys.scheduler.get());
+  }
+  ConsistencyChecker checker(&sys.mediator->vdp(),
+                             &sys.mediator->annotation(),
+                             {sys.db1.get(), sys.db2.get()});
+  for (auto _ : state) {
+    auto report = checker.Check(sys.mediator->trace());
+    Check(report.status(), "check");
+    benchmark::DoNotOptimize(report->entries_checked);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          sys.mediator->trace().entries().size());
+}
+BENCHMARK(BM_E4_CheckerThroughput)->Arg(500)->Arg(2000);
+
+}  // namespace
+}  // namespace bench
+}  // namespace squirrel
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  squirrel::bench::Figure2Table();
+  squirrel::bench::MediatorTraceTable();
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Experiment E8 (Theorem 7.2): guaranteed freshness.
+//
+// Sweeps announcement delay and the mediator's queue-flush period and
+// reports, per source, the measured worst-case staleness of query answers
+// against the theorem's bound vector f. The paper's claim: measured <= f
+// for every configuration; staleness grows with ann_delay + u_hold while
+// the bound tracks it.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "mediator/freshness.h"
+
+namespace squirrel {
+namespace bench {
+namespace {
+
+void E8Table() {
+  Table table({"ann_delay", "update_period", "source", "kind",
+               "max_staleness", "mean", "bound_f", "within"});
+  for (double ann_delay : {0.0, 2.0, 8.0}) {
+    for (double update_period : {0.0, 4.0}) {
+      MediatorOptions options;
+      options.update_period = update_period;
+      options.u_proc_delay = 0.05;
+      options.q_proc_delay = 0.05;
+      Fig1System sys = MakeFig1System(AnnotationExample21(), options,
+                                      /*comm=*/0.5, /*q_proc=*/0.2,
+                                      /*announce=*/ann_delay);
+      sys.Seed(200, 16);
+      Check(sys.mediator->Start(), "start");
+      Time now = 1.0;
+      Rng rng(99);
+      for (int i = 0; i < 60; ++i) {
+        if (rng.Bernoulli(0.7)) {
+          sys.InsertR(now);
+        } else {
+          sys.InsertS(now);
+        }
+        sys.scheduler->At(now + 0.5 + rng.UniformDouble() * 3, [&sys]() {
+          sys.mediator->SubmitQuery(
+              ViewQuery{"T", {"r1", "s1"}, nullptr},
+              [](Result<ViewAnswer> ans) { Check(ans.status(), "query"); });
+        });
+        now += 4.0 + rng.UniformDouble() * 2;
+        AdvanceTo(sys.scheduler.get(), now);
+      }
+      AdvanceTo(sys.scheduler.get(), now + 100.0);
+      FreshnessReport report = CheckFreshness(
+          sys.mediator->trace(), sys.mediator->DelayProfiles(),
+          sys.mediator->Delays(), sys.mediator->ContributorKinds(),
+          {sys.db1.get(), sys.db2.get()});
+      for (const auto& sf : report.per_source) {
+        table.AddRow({Table::Num(ann_delay, 1), Table::Num(update_period, 1),
+                      sf.source, ContributorKindName(sf.kind),
+                      Table::Num(sf.max_staleness, 2),
+                      Table::Num(sf.mean_staleness, 2),
+                      Table::Num(sf.bound, 2),
+                      sf.within_bound ? "yes" : "VIOLATED"});
+      }
+    }
+  }
+  table.Print(
+      "E8 (Theorem 7.2): measured staleness vs freshness bound f (paper "
+      "claim: every row within bound; staleness scales with ann_delay and "
+      "update_period)");
+}
+
+/// How the bound itself decomposes across the delay knobs.
+void E8BoundTable() {
+  Table table({"ann", "comm", "u_hold", "u_proc", "q_proc_src", "q_proc_med",
+               "f_mat/hybrid", "f_virtual"});
+  for (double ann : {0.0, 5.0}) {
+    for (double comm : {0.5, 2.0}) {
+      std::vector<DelayProfile> profiles = {{ann, comm, 0.2},
+                                            {ann, comm, 0.2}};
+      MediatorDelays med{/*u_hold=*/2.0, /*u_proc=*/0.1, /*q_proc=*/0.1};
+      std::vector<ContributorKind> kinds = {ContributorKind::kMaterialized,
+                                            ContributorKind::kVirtual};
+      std::vector<Time> f = FreshnessBound(profiles, med, kinds);
+      table.AddRow({Table::Num(ann, 1), Table::Num(comm, 1), "2.0", "0.1",
+                    "0.2", "0.1", Table::Num(f[0], 2), Table::Num(f[1], 2)});
+    }
+  }
+  table.Print("E8b: Theorem 7.2 bound decomposition");
+}
+
+void BM_E8_FreshnessCheck(benchmark::State& state) {
+  Fig1System sys = MakeFig1System(AnnotationExample21(), MediatorOptions{});
+  sys.Seed(100, 16);
+  Check(sys.mediator->Start(), "start");
+  Drain(sys.scheduler.get());
+  Time now = 1.0;
+  for (int i = 0; i < 50; ++i) {
+    sys.InsertR(now);
+    sys.scheduler->At(now + 0.5, [&sys]() {
+      sys.mediator->SubmitQuery(ViewQuery{"T", {"r1"}, nullptr},
+                                [](Result<ViewAnswer> ans) {
+                                  Check(ans.status(), "q");
+                                });
+    });
+    now += 2.0;
+    Drain(sys.scheduler.get());
+  }
+  for (auto _ : state) {
+    FreshnessReport report = CheckFreshness(
+        sys.mediator->trace(), sys.mediator->DelayProfiles(),
+        sys.mediator->Delays(), sys.mediator->ContributorKinds(),
+        {sys.db1.get(), sys.db2.get()});
+    benchmark::DoNotOptimize(report.all_within_bound);
+  }
+}
+BENCHMARK(BM_E8_FreshnessCheck);
+
+}  // namespace
+}  // namespace bench
+}  // namespace squirrel
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  squirrel::bench::E8Table();
+  squirrel::bench::E8BoundTable();
+  return 0;
+}

@@ -1,0 +1,230 @@
+// Experiment E9 (§1's motivating claim): the virtual/materialized spectrum.
+//
+// "Speaking broadly, the virtual approach may be better if the information
+// sources are changing frequently, whereas the materialized approach may be
+// better if the information sources change infrequently and very fast query
+// response time is needed."
+//
+// The sweep varies the update:query mix and compares four strategies on the
+// same Figure 1 scenario:
+//   virtual      — the pure query-decomposition baseline (no local state);
+//   warehouse    — [ZGHW95]: export materialized, no auxiliary data;
+//   materialized — Squirrel fully materialized support (Example 2.1);
+//   hybrid       — Squirrel Example 2.3 annotation.
+// Reported: source polls, tuples shipped, mean query latency in *virtual*
+// time (network delays included), and total maintenance work. Expected
+// shape: virtual wins on maintenance as updates dominate; materialized wins
+// on query latency; the crossover moves with the mix.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "baselines/virtual_mediator.h"
+#include "baselines/zgh_warehouse.h"
+#include "bench_util.h"
+
+namespace squirrel {
+namespace bench {
+namespace {
+
+struct MixResult {
+  uint64_t polls = 0;
+  uint64_t tuples = 0;
+  double mean_query_latency = 0;  // virtual time
+  double wall_ms = 0;
+};
+
+constexpr int kBaseRows = 1500;
+constexpr int kSRows = 64;
+constexpr Time kComm = 0.5;
+constexpr Time kQProc = 0.2;
+
+/// Runs `updates` + `queries` interleaved round-robin on a Squirrel
+/// mediator with the given annotation.
+MixResult RunSquirrel(const Annotation& ann, int updates, int queries) {
+  MediatorOptions options;
+  options.q_proc_delay = 0.05;
+  Fig1System sys = MakeFig1System(ann, options, kComm, kQProc);
+  sys.Seed(kBaseRows, kSRows);
+  Check(sys.mediator->Start(), "start");
+  Drain(sys.scheduler.get());
+
+  auto begin = std::chrono::steady_clock::now();
+  double latency_sum = 0;
+  int answered = 0;
+  Time now = 10.0;
+  int total = updates + queries;
+  for (int i = 0; i < total; ++i) {
+    // Interleave proportionally.
+    bool do_update = (int64_t)i * updates / total <
+                     (int64_t)(i + 1) * updates / total;
+    if (do_update) {
+      sys.InsertR(now);
+    } else {
+      Time submitted = now;
+      sys.scheduler->At(now, [&sys, submitted, &latency_sum, &answered]() {
+        sys.mediator->SubmitQuery(
+            ViewQuery{"T", {"r1", "s1"}, nullptr},
+            [submitted, &latency_sum, &answered](Result<ViewAnswer> ans) {
+              Check(ans.status(), "query");
+              latency_sum += ans->commit_time - submitted;
+              ++answered;
+            });
+      });
+    }
+    now += 8.0;
+    Drain(sys.scheduler.get());
+  }
+  auto end = std::chrono::steady_clock::now();
+
+  MixResult out;
+  out.polls = sys.mediator->stats().polls;
+  out.tuples = sys.mediator->stats().polled_tuples;
+  out.mean_query_latency = answered ? latency_sum / answered : 0;
+  out.wall_ms =
+      std::chrono::duration_cast<std::chrono::microseconds>(end - begin)
+          .count() /
+      1000.0;
+  return out;
+}
+
+/// Same workload against the pure-virtual baseline (updates cost nothing at
+/// the mediator; queries decompose and fetch).
+MixResult RunVirtualBaseline(int updates, int queries) {
+  auto db1 = std::make_unique<SourceDb>("DB1");
+  auto db2 = std::make_unique<SourceDb>("DB2");
+  Check(db1->AddRelation("R", SchemaOf("R(r1, r2, r3, r4) key(r1)")), "R");
+  Check(db2->AddRelation("S", SchemaOf("S(s1, s2, s3) key(s1)")), "S");
+  Scheduler scheduler;
+
+  // Seed identical data via a throwaway Fig1System generator: reuse the
+  // same deterministic stream by seeding directly here.
+  Rng rng(42);
+  {
+    MultiDelta mr;
+    Schema rs = SchemaOf("R(r1, r2, r3, r4) key(r1)");
+    for (int i = 0; i < kBaseRows; ++i) {
+      int64_t r4 = rng.Bernoulli(0.6) ? 100 : 7;
+      Check(mr.Mutable("R", rs)->AddInsert(
+                Tuple({int64_t{i}, rng.UniformInt(0, kSRows - 1) * 100,
+                       rng.UniformInt(0, 1000), r4})),
+            "seed");
+    }
+    Check(db1->Commit(0, mr), "commit");
+    MultiDelta ms;
+    Schema ss = SchemaOf("S(s1, s2, s3) key(s1)");
+    for (int i = 0; i < kSRows; ++i) {
+      Check(ms.Mutable("S", ss)->AddInsert(
+                Tuple({int64_t{i} * 100, rng.UniformInt(0, 50),
+                       rng.UniformInt(0, 99)})),
+            "seed");
+    }
+    Check(db2->Commit(0, ms), "commit");
+  }
+
+  PlannerInput input;
+  input.scans["R"] = {"DB1", "R", SchemaOf("R(r1, r2, r3, r4) key(r1)")};
+  input.scans["S"] = {"DB2", "S", SchemaOf("S(s1, s2, s3) key(s1)")};
+  input.exports.push_back(
+      {"T", Unwrap(ParseAlgebra("project[r1, r3, s1, s2](select[r4 = 100](R)"
+                                " join[r2 = s1] select[s3 < 50](S))"),
+                   "view")});
+  std::vector<SourceSetup> setups = {{db1.get(), kComm, kQProc, 0.0},
+                                     {db2.get(), kComm, kQProc, 0.0}};
+  auto med = Unwrap(
+      VirtualMediator::Create(std::move(input), setups, &scheduler, 0.0),
+      "virtual mediator");
+  Check(med->Start(), "start");
+
+  auto begin = std::chrono::steady_clock::now();
+  double latency_sum = 0;
+  int answered = 0;
+  int64_t next_key = kBaseRows;
+  Time now = 10.0;
+  int total = updates + queries;
+  for (int i = 0; i < total; ++i) {
+    bool do_update = (int64_t)i * updates / total <
+                     (int64_t)(i + 1) * updates / total;
+    if (do_update) {
+      // Source-side update; the virtual mediator does no work for it.
+      Check(db1->InsertTuple(now, "R",
+                             Tuple({next_key++,
+                                    rng.UniformInt(0, kSRows - 1) * 100,
+                                    rng.UniformInt(0, 1000), int64_t{100}})),
+            "update");
+    } else {
+      Time submitted = now;
+      scheduler.At(now, [&med, submitted, &latency_sum, &answered]() {
+        med->SubmitQuery(
+            ViewQuery{"T", {"r1", "s1"}, nullptr},
+            [submitted, &latency_sum, &answered](Result<ViewAnswer> ans) {
+              Check(ans.status(), "query");
+              latency_sum += ans->commit_time - submitted;
+              ++answered;
+            });
+      });
+    }
+    now += 8.0;
+    Drain(&scheduler);
+  }
+  auto end = std::chrono::steady_clock::now();
+
+  MixResult out;
+  out.polls = med->stats().polls;
+  out.tuples = med->stats().polled_tuples;
+  out.mean_query_latency = answered ? latency_sum / answered : 0;
+  out.wall_ms =
+      std::chrono::duration_cast<std::chrono::microseconds>(end - begin)
+          .count() /
+      1000.0;
+  return out;
+}
+
+void E9Table() {
+  Vdp vdp = Unwrap(BuildFigure1Vdp(), "vdp");
+  Table table({"mix (upd:qry)", "strategy", "polls", "tuples_shipped",
+               "mean_q_latency", "wall_ms"});
+  struct Mix {
+    const char* label;
+    int updates, queries;
+  };
+  for (const Mix& mix : {Mix{"90:10", 90, 10}, Mix{"50:50", 50, 50},
+                         Mix{"10:90", 10, 90}}) {
+    MixResult v = RunVirtualBaseline(mix.updates, mix.queries);
+    table.AddRow({mix.label, "virtual", Table::Int(v.polls),
+                  Table::Int(v.tuples), Table::Num(v.mean_query_latency, 2),
+                  Table::Num(v.wall_ms, 1)});
+    MixResult w = RunSquirrel(WarehouseAnnotation(vdp), mix.updates,
+                              mix.queries);
+    table.AddRow({mix.label, "warehouse (ZGHW95)", Table::Int(w.polls),
+                  Table::Int(w.tuples), Table::Num(w.mean_query_latency, 2),
+                  Table::Num(w.wall_ms, 1)});
+    MixResult m = RunSquirrel(AnnotationExample21(), mix.updates,
+                              mix.queries);
+    table.AddRow({mix.label, "fully materialized", Table::Int(m.polls),
+                  Table::Int(m.tuples), Table::Num(m.mean_query_latency, 2),
+                  Table::Num(m.wall_ms, 1)});
+    MixResult h = RunSquirrel(AnnotationExample23(vdp), mix.updates,
+                              mix.queries);
+    table.AddRow({mix.label, "hybrid (Ex 2.3)", Table::Int(h.polls),
+                  Table::Int(h.tuples), Table::Num(h.mean_query_latency, 2),
+                  Table::Num(h.wall_ms, 1)});
+  }
+  table.Print(
+      "E9 (paper §1): the virtual/materialized spectrum — materialized "
+      "support gives constant-latency queries but pays per update; the "
+      "virtual approach is free under updates but ships data per query; "
+      "the warehouse and hybrid points sit between");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace squirrel
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  squirrel::bench::E9Table();
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Annotation advisor: plan a VDP from view definitions and apply the §5.3
+// heuristics to suggest which attributes to materialize, then show the
+// measured consequences of the suggestion against the two extremes.
+//
+// This is Squirrel's "different VDPs/annotations for the same view may be
+// appropriate under different query and update characteristics" in tool
+// form: feed it workload hints, get an annotation plus a cost sketch.
+
+#include <cstdio>
+
+#include "baselines/zgh_warehouse.h"
+#include "mediator/mediator.h"
+#include "relational/parser.h"
+#include "vdp/planner.h"
+
+using namespace squirrel;
+
+namespace {
+
+void Die(const Status& st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "error (%s): %s\n", what, st.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Must(Result<T> r, const char* what) {
+  Die(r.status(), what);
+  return std::move(r).value();
+}
+
+Schema Decl(const char* text) {
+  return Must(ParseSchemaDecl(text), "schema").schema;
+}
+
+struct Costs {
+  size_t store_bytes = 0;
+  uint64_t update_polls = 0;
+  uint64_t query_polls = 0;
+};
+
+/// Runs a small synthetic workload and reports store size and poll counts.
+Costs Evaluate(const Vdp& vdp, const Annotation& ann) {
+  SourceDb trades_db("TradesDB"), ref_db("RefDB");
+  Die(trades_db.AddRelation(
+          "trades", Decl("trades(tid, isin, qty, px) key(tid)")),
+      "add");
+  Die(ref_db.AddRelation(
+          "instruments", Decl("instruments(iisin, name string, sector)"
+                              " key(iisin)")),
+      "add");
+  for (int i = 0; i < 50; ++i) {
+    Die(ref_db.InsertTuple(0, "instruments",
+                           Tuple({i, std::string("inst"), i % 7})),
+        "seed");
+  }
+  Scheduler scheduler;
+  std::vector<SourceSetup> sources = {{&trades_db, 0.5, 0.2, 0.0},
+                                      {&ref_db, 0.5, 0.2, 0.0}};
+  auto mediator = Must(
+      Mediator::Create(vdp, ann, sources, &scheduler, MediatorOptions{}),
+      "mediator");
+  Die(mediator->Start(), "start");
+  // Hot trades feed, a few queries.
+  for (int i = 0; i < 60; ++i) {
+    scheduler.At(1.0 + i, [&trades_db, &scheduler, i]() {
+      Die(trades_db.InsertTuple(scheduler.Now(), "trades",
+                                Tuple({i, i % 50, 10, 100 + i})),
+          "trade");
+    });
+  }
+  uint64_t query_polls = 0;
+  for (int i = 0; i < 6; ++i) {
+    scheduler.At(70.0 + i, [&mediator, &query_polls]() {
+      mediator->SubmitQuery(ViewQuery{"TradeBook", {"tid", "isin"}, nullptr},
+                            [&query_polls](Result<ViewAnswer> ans) {
+                              Die(ans.status(), "query");
+                              query_polls += ans->polls;
+                            });
+    });
+  }
+  scheduler.RunUntil(1000.0);
+  Costs out;
+  out.store_bytes = mediator->StoreBytes();
+  out.update_polls = mediator->stats().polls - query_polls;
+  out.query_polls = query_polls;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Annotation advisor\n==================\n\n");
+
+  // The integrated view: a trade blotter joined with instrument reference
+  // data. Trades arrive constantly; reference data is almost static.
+  PlannerInput input;
+  input.scans["trades"] = {"TradesDB", "trades",
+                           Decl("trades(tid, isin, qty, px) key(tid)")};
+  input.scans["instruments"] = {
+      "RefDB", "instruments",
+      Decl("instruments(iisin, name string, sector) key(iisin)")};
+  input.exports.push_back(
+      {"TradeBook",
+       Must(ParseAlgebra("project[tid, isin, qty, px, name, sector]("
+                         "trades join[isin = iisin] instruments)"),
+            "view")});
+  Vdp vdp = Must(PlanVdp(input), "plan");
+  std::printf("Planned VDP:\n%s\n", vdp.ToString().c_str());
+  std::printf("Graphviz available via Vdp::ToDot().\n\n");
+
+  // Workload hints: the trades source is hot; queries mostly touch the
+  // trade identifiers, not the reference columns.
+  AnnotationHints hints;
+  hints.source_update_freq = {{"TradesDB", 50.0}, {"RefDB", 0.01}};
+  hints.hot_attrs["TradeBook"] = {"tid", "isin", "qty", "px"};
+  Annotation suggested = SuggestAnnotation(vdp, hints);
+  std::printf("Suggested annotation (S5.3 heuristics):\n%s\n",
+              suggested.ToString(vdp).c_str());
+
+  struct Option {
+    const char* label;
+    Annotation ann;
+  };
+  std::vector<Option> options;
+  options.push_back({"fully materialized", Annotation::AllMaterialized()});
+  options.push_back({"suggested (S5.3)", suggested});
+  options.push_back({"warehouse (ZGHW95)", WarehouseAnnotation(vdp)});
+  options.push_back({"fully virtual", FullyVirtualAnnotation(vdp)});
+
+  std::printf("%-22s %12s %12s %12s\n", "annotation", "store_KiB",
+              "upd_polls", "query_polls");
+  for (auto& opt : options) {
+    Die(opt.ann.Validate(vdp), "validate annotation");
+    Costs c = Evaluate(vdp, opt.ann);
+    std::printf("%-22s %12.1f %12llu %12llu\n", opt.label,
+                c.store_bytes / 1024.0,
+                static_cast<unsigned long long>(c.update_polls),
+                static_cast<unsigned long long>(c.query_polls));
+  }
+  std::printf(
+      "\nReading: the suggestion keeps keys + hot attrs materialized, so a "
+      "hot\ntrades feed is absorbed without polling, queries on hot attrs "
+      "stay local,\nand the stores stay smaller than full "
+      "materialization.\n");
+  return 0;
+}

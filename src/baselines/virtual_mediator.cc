@@ -1,0 +1,244 @@
+#include "baselines/virtual_mediator.h"
+
+#include <set>
+
+#include "common/logging.h"
+#include "relational/operators.h"
+
+namespace squirrel {
+
+Result<std::unique_ptr<VirtualMediator>> VirtualMediator::Create(
+    PlannerInput input, std::vector<SourceSetup> sources,
+    Scheduler* scheduler, Time q_proc_delay) {
+  if (scheduler == nullptr) {
+    return Status::InvalidArgument("virtual mediator needs a scheduler");
+  }
+  auto med = std::unique_ptr<VirtualMediator>(new VirtualMediator());
+  med->input_ = std::move(input);
+  med->scheduler_ = scheduler;
+  med->q_proc_delay_ = q_proc_delay;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    auto rt = std::make_unique<SourceRuntime>();
+    rt->setup = sources[i];
+    med->source_index_[sources[i].db->name()] = i;
+    med->sources_.push_back(std::move(rt));
+  }
+  // Every scan must bind to a registered source.
+  for (const auto& [scan, binding] : med->input_.scans) {
+    (void)scan;
+    if (!med->source_index_.count(binding.source_db)) {
+      return Status::NotFound("scan binds to unregistered source " +
+                              binding.source_db);
+    }
+  }
+  return med;
+}
+
+Status VirtualMediator::Start() {
+  for (auto& rt : sources_) {
+    rt->inbound = std::make_unique<Channel<SourceToMediatorMsg>>(
+        scheduler_, rt->setup.comm_delay);
+    rt->inbound->SetReceiver([this](SourceToMediatorMsg msg) {
+      if (!std::holds_alternative<PollAnswer>(msg)) return;
+      PollAnswer answer = std::get<PollAnswer>(std::move(msg));
+      if (!wait_.has_value()) {
+        SQ_LOG(kWarn) << "stray poll answer from " << answer.source;
+        return;
+      }
+      auto& ready = wait_->ready[answer.source];
+      for (auto& rel : answer.results) ready.push_back(std::move(rel));
+      wait_->answered_at[answer.source] = answer.answered_at;
+      if (--wait_->remaining == 0) {
+        auto done = std::move(wait_->on_complete);
+        done();
+      }
+    });
+    rt->outbound = std::make_unique<Channel<PollRequest>>(
+        scheduler_, rt->setup.comm_delay);
+    rt->responder = std::make_unique<PollResponder>(
+        rt->setup.db, scheduler_, rt->inbound.get(), /*announcer=*/nullptr,
+        rt->setup.q_proc_delay);
+    auto* responder = rt->responder.get();
+    rt->outbound->SetReceiver(
+        [responder](PollRequest req) { responder->OnRequest(std::move(req)); });
+  }
+  return Status::OK();
+}
+
+void VirtualMediator::SubmitQuery(
+    const ViewQuery& q, std::function<void(Result<ViewAnswer>)> callback) {
+  pending_.push_back([this, q, cb = std::move(callback)]() mutable {
+    RunQuery(std::move(q), std::move(cb));
+  });
+  StartNext();
+}
+
+void VirtualMediator::StartNext() {
+  if (busy_ || pending_.empty()) return;
+  busy_ = true;
+  auto txn = std::move(pending_.front());
+  pending_.pop_front();
+  txn();
+}
+
+void VirtualMediator::Finish() {
+  busy_ = false;
+  wait_.reset();
+  if (!pending_.empty()) {
+    scheduler_->After(0, [this]() { StartNext(); });
+  }
+}
+
+void VirtualMediator::RunQuery(ViewQuery q,
+                               std::function<void(Result<ViewAnswer>)> cb) {
+  // Find the export definition.
+  const AlgebraExpr::Ptr* def = nullptr;
+  for (const auto& e : input_.exports) {
+    if (e.name == q.relation) {
+      def = &e.definition;
+      break;
+    }
+  }
+  if (def == nullptr) {
+    cb(Status::NotFound("no export relation named " + q.relation));
+    Finish();
+    return;
+  }
+  AlgebraExpr::Ptr view = *def;
+
+  // Decompose: per scanned relation, the attributes used anywhere in the
+  // definition plus the query, and the selection clauses local to it.
+  std::set<std::string> scans;
+  view->CollectScans(&scans);
+
+  // Collect all condition clauses usable for pushdown: the view's selection
+  // conditions stay inside the definition (EvalAlgebra applies them); only
+  // the *query* condition is pushed here when single-source.
+  std::map<std::string, PollSpec> specs;  // scan -> spec
+  Status st = Status::OK();
+  for (const auto& scan : scans) {
+    auto bit = input_.scans.find(scan);
+    if (bit == input_.scans.end()) {
+      st = Status::NotFound("unbound scan " + scan);
+      break;
+    }
+    const Schema& schema = bit->second.schema;
+    PollSpec spec;
+    spec.relation = bit->second.relation;
+    spec.attrs = schema.AttributeNames();
+    std::vector<Expr::Ptr> pushed;
+    if (q.cond) {
+      for (const auto& clause : ConjunctiveClauses(q.cond)) {
+        bool local = true;
+        for (const auto& a : clause->ReferencedAttrs()) {
+          if (!schema.Contains(a)) {
+            local = false;
+            break;
+          }
+        }
+        if (local) pushed.push_back(clause);
+      }
+    }
+    spec.cond = AndAll(pushed);
+    specs[scan] = std::move(spec);
+  }
+  if (!st.ok()) {
+    cb(st);
+    Finish();
+    return;
+  }
+
+  // Group per source, one transaction each (all fragments from one source
+  // reflect a single state).
+  std::map<std::string, PollRequest> grouped;
+  std::map<std::string, std::vector<std::string>> order;  // source -> scans
+  for (const auto& [scan, spec] : specs) {
+    const auto& binding = input_.scans.at(scan);
+    PollRequest& req = grouped[binding.source_db];
+    if (req.polls.empty()) req.id = next_poll_id_++;
+    req.polls.push_back(spec);
+    order[binding.source_db].push_back(scan);
+  }
+
+  size_t poll_count = 0;
+  for (const auto& [source, req] : grouped) {
+    (void)source;
+    poll_count += req.polls.size();
+  }
+
+  auto evaluate = [this, q, view, order, cb, poll_count]() {
+    // Bind answers to scan names and evaluate.
+    std::map<std::string, Relation> fragments;
+    for (const auto& [source, scan_names] : order) {
+      auto& ready = wait_->ready[source];
+      for (const auto& scan : scan_names) {
+        if (ready.empty()) {
+          cb(Status::Internal("missing poll answer for " + scan));
+          Finish();
+          return;
+        }
+        stats_.polled_tuples +=
+            static_cast<uint64_t>(ready.front().TotalSize());
+        fragments[scan] = std::move(ready.front());
+        ready.pop_front();
+      }
+    }
+    Catalog catalog;
+    for (const auto& [scan, rel] : fragments) catalog.Register(scan, &rel);
+    auto full = EvalAlgebra(view, catalog);
+    if (!full.ok()) {
+      cb(full.status());
+      Finish();
+      return;
+    }
+    auto answer_query = [&]() -> Result<Relation> {
+      SQ_ASSIGN_OR_RETURN(Relation selected,
+                          OpSelect(*full, q.cond ? q.cond : Expr::True()));
+      std::vector<std::string> attrs =
+          q.attrs.empty() ? selected.schema().AttributeNames() : q.attrs;
+      SQ_ASSIGN_OR_RETURN(Relation projected,
+                          OpProject(selected, attrs, Semantics::kBag));
+      return projected.ToSet();
+    };
+    auto data = answer_query();
+    if (!data.ok()) {
+      cb(data.status());
+      Finish();
+      return;
+    }
+    ViewAnswer answer;
+    answer.data = std::move(data).value();
+    answer.used_virtual = true;
+    answer.polls = poll_count;
+    TimeVector reflect;
+    for (const auto& rt : sources_) {
+      auto ait = wait_->answered_at.find(rt->setup.db->name());
+      reflect.push_back(ait != wait_->answered_at.end()
+                            ? ait->second
+                            : scheduler_->Now());
+    }
+    answer.reflect = std::move(reflect);
+    auto complete = [this, cb, answer]() mutable {
+      answer.commit_time = scheduler_->Now();
+      ++stats_.query_txns;
+      cb(std::move(answer));
+      Finish();
+    };
+    if (q_proc_delay_ > 0) {
+      scheduler_->After(q_proc_delay_, complete);
+    } else {
+      complete();
+    }
+  };
+
+  Wait wait;
+  wait.remaining = grouped.size();
+  wait.on_complete = evaluate;
+  wait_ = std::move(wait);
+  for (auto& [source, req] : grouped) {
+    sources_[source_index_.at(source)]->outbound->Send(std::move(req));
+  }
+  stats_.polls += poll_count;
+}
+
+}  // namespace squirrel

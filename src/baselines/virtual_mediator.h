@@ -1,0 +1,92 @@
+// Baseline 1: the traditional fully *virtual* approach (paper §1's
+// [SBG+81, DH84, LMR90] line): no local materialization at all. Every query
+// against the view is decomposed — selections and projections pushed to the
+// relevant sources — the fragments are fetched, and the view definition is
+// evaluated on the spot. Updates at the sources cost the mediator nothing;
+// every query pays full decomposition + network + evaluation.
+
+#ifndef SQUIRREL_BASELINES_VIRTUAL_MEDIATOR_H_
+#define SQUIRREL_BASELINES_VIRTUAL_MEDIATOR_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mediator/mediator.h"  // SourceSetup
+#include "mediator/query.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+#include "source/announcer.h"
+#include "source/messages.h"
+#include "source/source_db.h"
+#include "vdp/planner.h"
+
+namespace squirrel {
+
+/// Counters for the virtual baseline.
+struct VirtualMediatorStats {
+  uint64_t query_txns = 0;
+  uint64_t polls = 0;
+  uint64_t polled_tuples = 0;
+};
+
+/// \brief A query-decomposition mediator with no materialized state.
+class VirtualMediator {
+ public:
+  /// \param input scan bindings + export definitions (same as the planner)
+  /// \param sources connection setups (announce_period ignored — pure
+  ///        virtual sources are passive)
+  static Result<std::unique_ptr<VirtualMediator>> Create(
+      PlannerInput input, std::vector<SourceSetup> sources,
+      Scheduler* scheduler, Time q_proc_delay = 0);
+
+  /// Wires channels and responders.
+  Status Start();
+
+  /// Answers π_attrs σ_cond(export): decomposes to per-source fetches (one
+  /// poll transaction per source), then evaluates the view definition.
+  void SubmitQuery(const ViewQuery& q,
+                   std::function<void(Result<ViewAnswer>)> callback);
+
+  const VirtualMediatorStats& stats() const { return stats_; }
+
+ private:
+  struct SourceRuntime {
+    SourceSetup setup;
+    std::unique_ptr<Channel<SourceToMediatorMsg>> inbound;
+    std::unique_ptr<Channel<PollRequest>> outbound;
+    std::unique_ptr<PollResponder> responder;
+  };
+  struct Wait {
+    size_t remaining = 0;
+    std::map<std::string, std::deque<Relation>> ready;
+    std::map<std::string, Time> answered_at;
+    std::function<void()> on_complete;
+  };
+
+  VirtualMediator() = default;
+  void RunQuery(ViewQuery q, std::function<void(Result<ViewAnswer>)> cb);
+  void StartNext();
+  void Finish();
+
+  PlannerInput input_;
+  Scheduler* scheduler_ = nullptr;
+  Time q_proc_delay_ = 0;
+  std::vector<std::unique_ptr<SourceRuntime>> sources_;
+  std::map<std::string, size_t> source_index_;
+  VirtualMediatorStats stats_;
+
+  bool busy_ = false;
+  std::deque<std::function<void()>> pending_;
+  std::optional<Wait> wait_;
+  uint64_t next_poll_id_ = 1;
+};
+
+}  // namespace squirrel
+
+#endif  // SQUIRREL_BASELINES_VIRTUAL_MEDIATOR_H_

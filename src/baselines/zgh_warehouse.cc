@@ -1,0 +1,28 @@
+#include "baselines/zgh_warehouse.h"
+
+namespace squirrel {
+
+Annotation WarehouseAnnotation(const Vdp& vdp) {
+  Annotation ann;
+  for (const auto& name : vdp.DerivedNames()) {
+    const VdpNode* node = vdp.Find(name);
+    if (!node->exported) {
+      (void)ann.SetAll(vdp, name, AttrMode::kVirtual);
+    }
+  }
+  return ann;
+}
+
+Annotation FullyMaterializedAnnotation() {
+  return Annotation::AllMaterialized();
+}
+
+Annotation FullyVirtualAnnotation(const Vdp& vdp) {
+  Annotation ann;
+  for (const auto& name : vdp.DerivedNames()) {
+    (void)ann.SetAll(vdp, name, AttrMode::kVirtual);
+  }
+  return ann;
+}
+
+}  // namespace squirrel

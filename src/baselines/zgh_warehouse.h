@@ -1,0 +1,38 @@
+// Baseline 2: a [ZGHW95]-style warehouse.
+//
+// Zhuge, Garcia-Molina, Hammer & Widom's warehouse materializes the view
+// itself but keeps *no auxiliary data*: every incremental update that needs
+// joining data from other relations triggers compensated polling of the
+// sources. The paper presents Squirrel's fully-materialized-support mode as
+// the other end of the same spectrum (Example 2.2 "can be viewed as a
+// generalization of the approach in [ZGHW95]").
+//
+// In this library the warehouse is exactly a Squirrel mediator under the
+// annotation "exports materialized, every interior node virtual", so the
+// baseline is expressed as an annotation factory plus the standard Mediator.
+
+#ifndef SQUIRREL_BASELINES_ZGH_WAREHOUSE_H_
+#define SQUIRREL_BASELINES_ZGH_WAREHOUSE_H_
+
+#include "vdp/annotation.h"
+#include "vdp/vdp.h"
+
+namespace squirrel {
+
+/// The ZGHW95 warehouse annotation: export nodes fully materialized, every
+/// other derived node fully virtual.
+Annotation WarehouseAnnotation(const Vdp& vdp);
+
+/// The fully-materialized-support annotation (Example 2.1): everything
+/// materialized. Provided for symmetric bench code.
+Annotation FullyMaterializedAnnotation();
+
+/// The fully virtual annotation: every derived node virtual. Queries always
+/// decompose to the sources (the virtual end of the spectrum, expressed
+/// within the Squirrel machinery; see also VirtualMediator for the
+/// standalone query-decomposition baseline).
+Annotation FullyVirtualAnnotation(const Vdp& vdp);
+
+}  // namespace squirrel
+
+#endif  // SQUIRREL_BASELINES_ZGH_WAREHOUSE_H_

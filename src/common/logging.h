@@ -1,0 +1,51 @@
+// Minimal leveled logging used across the library. Logging is off by default
+// (level kWarn) so benchmarks stay quiet; tests and examples may raise it.
+
+#ifndef SQUIRREL_COMMON_LOGGING_H_
+#define SQUIRREL_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace squirrel {
+
+/// Severity levels, ordered.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+/// Returns the global minimum emitted level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Emits one formatted log line to stderr. Used by the SQ_LOG macro.
+void LogLine(LogLevel level, const char* file, int line, const std::string& msg);
+
+/// Stream-style accumulator that emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { LogLine(level_, file_, line_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace squirrel
+
+/// Stream-style logging: SQ_LOG(kInfo) << "x=" << x;
+#define SQ_LOG(level)                                                   \
+  if (::squirrel::LogLevel::level < ::squirrel::GetLogLevel()) {        \
+  } else                                                                \
+    ::squirrel::internal::LogMessage(::squirrel::LogLevel::level,       \
+                                     __FILE__, __LINE__)                \
+        .stream()
+
+#endif  // SQUIRREL_COMMON_LOGGING_H_

@@ -1,0 +1,61 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in workload generators, benchmarks, and property tests flows
+// through Rng so every run is reproducible from a seed. The generator is
+// SplitMix64 (public-domain constants): tiny state, excellent statistical
+// quality for simulation workloads, and trivially seedable.
+
+#ifndef SQUIRREL_COMMON_RNG_H_
+#define SQUIRREL_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace squirrel {
+
+/// Deterministic 64-bit PRNG (SplitMix64).
+class Rng {
+ public:
+  /// Constructs a generator from a seed; equal seeds yield equal streams.
+  explicit Rng(uint64_t seed = 0x5EED5EEDULL) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). \p bound must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Bernoulli trial with success probability \p p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Exponentially distributed double with the given rate (mean 1/rate).
+  /// Used for Poisson arrival processes in the simulator.
+  double Exponential(double rate);
+
+  /// Fisher-Yates shuffle of \p items.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(i));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  /// Derives an independent generator (for sub-streams).
+  Rng Fork();
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace squirrel
+
+#endif  // SQUIRREL_COMMON_RNG_H_

@@ -1,0 +1,161 @@
+// Status / Result error-handling primitives for the Squirrel library.
+//
+// The public API never throws; operations that can fail return a Status or a
+// Result<T>. The idiom follows widely used database codebases (RocksDB,
+// Arrow): a small copyable status object carrying a code and a message.
+
+#ifndef SQUIRREL_COMMON_STATUS_H_
+#define SQUIRREL_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace squirrel {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< malformed input (bad expression, schema mismatch)
+  kNotFound,          ///< named relation/attribute/node does not exist
+  kAlreadyExists,     ///< duplicate definition
+  kFailedPrecondition,///< operation not valid in current state
+  kUnsupported,       ///< feature outside the supported fragment
+  kInternal,          ///< invariant violation inside the library
+};
+
+/// Human-readable name of a status code, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Outcome of an operation that can fail but returns no value.
+///
+/// A Status is either OK or carries a StatusCode plus a message. Statuses are
+/// cheap to copy and must be checked by the caller; helper macros
+/// SQ_RETURN_IF_ERROR / SQ_ASSIGN_OR_RETURN keep call sites terse.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  /// Returns the OK status.
+  static Status OK() { return Status(); }
+  /// Returns an InvalidArgument status with \p msg.
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  /// Returns a NotFound status with \p msg.
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  /// Returns an AlreadyExists status with \p msg.
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  /// Returns a FailedPrecondition status with \p msg.
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  /// Returns an Unsupported status with \p msg.
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  /// Returns an Internal status with \p msg.
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The status code.
+  StatusCode code() const { return code_; }
+  /// The error message (empty for OK).
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Result<T> is the value-returning companion of Status. Access to the value
+/// of a non-OK result aborts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Constructs an OK result holding \p value.
+  Result(T value) : var_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  /// Constructs an error result from a non-OK \p status.
+  Result(Status status) : var_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(var_).ok() && "Result built from OK status");
+  }
+
+  /// True iff a value is held.
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  /// The status: OK when a value is held, the error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(var_);
+  }
+
+  /// The held value; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  /// The held value (mutable); must only be called when ok().
+  T& value() & {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  /// Moves the held value out; must only be called when ok().
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(var_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define SQ_RETURN_IF_ERROR(expr)                  \
+  do {                                            \
+    ::squirrel::Status sq_st_ = (expr);           \
+    if (!sq_st_.ok()) return sq_st_;              \
+  } while (0)
+
+#define SQ_CONCAT_IMPL_(a, b) a##b
+#define SQ_CONCAT_(a, b) SQ_CONCAT_IMPL_(a, b)
+
+/// Evaluates a Result-returning expression; on success binds the value to
+/// `lhs`, on failure propagates the error status to the caller.
+#define SQ_ASSIGN_OR_RETURN(lhs, expr)                              \
+  SQ_ASSIGN_OR_RETURN_IMPL_(SQ_CONCAT_(sq_res_, __LINE__), lhs, expr)
+
+#define SQ_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)  \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+}  // namespace squirrel
+
+#endif  // SQUIRREL_COMMON_STATUS_H_

@@ -1,0 +1,32 @@
+// Small string helpers shared across the library.
+
+#ifndef SQUIRREL_COMMON_STRINGS_H_
+#define SQUIRREL_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace squirrel {
+
+/// Joins \p parts with \p sep, e.g. Join({"a","b"}, ", ") == "a, b".
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits \p s on the single character \p sep; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// True iff \p s begins with \p prefix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// 64-bit FNV-1a hash of raw bytes; used for tuple hashing.
+uint64_t HashBytes(const void* data, size_t n, uint64_t seed = 14695981039346656037ULL);
+
+/// Combines two 64-bit hashes (boost::hash_combine style, 64-bit constants).
+uint64_t HashCombine(uint64_t a, uint64_t b);
+
+}  // namespace squirrel
+
+#endif  // SQUIRREL_COMMON_STRINGS_H_

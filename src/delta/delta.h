@@ -1,0 +1,130 @@
+// Deltas: first-class differences between database states (paper §6.2,
+// following the Heraclitus paradigm [HJ91, GHJ94] generalized to bags
+// [DHR95]).
+//
+// A relational delta is a set of insertion atoms +R(t) and deletion atoms
+// -R(t); the bag generalization attaches a signed multiplicity to each
+// distinct tuple. The consistency condition — no tuple appears both inserted
+// and deleted — is automatic here because atoms for the same tuple merge
+// into one signed count.
+
+#ifndef SQUIRREL_DELTA_DELTA_H_
+#define SQUIRREL_DELTA_DELTA_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/relation.h"
+
+namespace squirrel {
+
+/// \brief A bag delta over a single relation: tuple -> signed multiplicity.
+///
+/// Positive counts are insertions, negative counts deletions; zero-count
+/// entries are dropped eagerly so Empty() means "no change".
+class Delta {
+ public:
+  Delta() = default;
+  /// An empty delta for relation instances with schema \p schema.
+  explicit Delta(Schema schema) : schema_(std::move(schema)) {}
+
+  /// The tuple schema of this delta.
+  const Schema& schema() const { return schema_; }
+
+  /// Merges \p signed_count copies of \p tuple into the delta.
+  Status Add(const Tuple& tuple, int64_t signed_count);
+  /// Adds an insertion atom +tuple (xn).
+  Status AddInsert(const Tuple& tuple, int64_t n = 1) {
+    return Add(tuple, n);
+  }
+  /// Adds a deletion atom -tuple (xn).
+  Status AddDelete(const Tuple& tuple, int64_t n = 1) {
+    return Add(tuple, -n);
+  }
+
+  /// Signed multiplicity of \p tuple (0 if untouched).
+  int64_t CountOf(const Tuple& tuple) const;
+
+  /// True iff the delta changes nothing.
+  bool Empty() const { return atoms_.empty(); }
+  /// Number of distinct touched tuples.
+  size_t AtomCount() const { return atoms_.size(); }
+  /// Sum of |signed count| over all atoms.
+  int64_t TotalMagnitude() const;
+
+  /// Iterates (tuple, signed count) in unspecified order.
+  void ForEach(const std::function<void(const Tuple&, int64_t)>& fn) const;
+
+  /// (tuple, signed count) pairs sorted by tuple (deterministic).
+  std::vector<std::pair<Tuple, int64_t>> SortedAtoms() const;
+
+  /// The inverse delta: all signs flipped. Satisfies
+  /// apply(apply(db, Δ), Δ⁻¹) = db for non-redundant deltas (paper §6.2).
+  Delta Inverse() const;
+
+  /// Smash (the '!' operator): this := this ! later. For bag deltas smash is
+  /// pointwise signed addition, so apply(db, Δ1!Δ2) = apply(apply(db,Δ1),Δ2).
+  Status SmashInPlace(const Delta& later);
+
+  /// Returns d1 ! d2.
+  static Result<Delta> Smash(const Delta& d1, const Delta& d2);
+
+  /// The insertions as a bag relation (counts > 0): (Δ)⁺ of §5.2.
+  Relation Positive() const;
+  /// The deletions as a bag relation (|counts| of negative atoms): (Δ)⁻.
+  Relation Negative() const;
+
+  /// Builds the delta that transforms \p from into \p to (same attrs).
+  static Result<Delta> Between(const Relation& from, const Relation& to);
+
+  /// Renders sorted atoms, e.g. "{+(1,2) x2, -(3,4)}".
+  std::string ToString() const;
+
+  bool EqualContents(const Delta& other) const;
+
+ private:
+  Schema schema_;
+  std::unordered_map<Tuple, int64_t, TupleHash> atoms_;
+};
+
+/// Applies \p delta to \p rel (bag apply). Strict non-redundancy: deleting
+/// more copies than present is an error; for set relations inserting a
+/// present tuple or any |count| != 1 atom is an error. The paper assumes
+/// "no atom of any delta that is used is redundant" — enforcing it catches
+/// propagation bugs early.
+Status ApplyDelta(Relation* rel, const Delta& delta);
+
+/// \brief A delta spanning several named relations (update-queue messages
+/// "can simultaneously contain atoms that refer to more than one relation").
+class MultiDelta {
+ public:
+  MultiDelta() = default;
+
+  /// The per-relation delta for \p rel_name, creating it with \p schema.
+  Delta* Mutable(const std::string& rel_name, const Schema& schema);
+  /// The per-relation delta, or nullptr if the relation is untouched.
+  const Delta* Find(const std::string& rel_name) const;
+
+  /// True iff no relation is changed.
+  bool Empty() const;
+  /// Names of touched relations (sorted).
+  std::vector<std::string> RelationNames() const;
+  /// Sum of atom counts across relations.
+  size_t AtomCount() const;
+
+  /// Smash with a later multi-delta, relation-wise.
+  Status SmashInPlace(const MultiDelta& later);
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, Delta> per_relation_;
+};
+
+}  // namespace squirrel
+
+#endif  // SQUIRREL_DELTA_DELTA_H_

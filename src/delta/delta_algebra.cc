@@ -1,0 +1,176 @@
+#include "delta/delta_algebra.h"
+
+namespace squirrel {
+
+Result<Delta> DeltaSelect(const Delta& delta, const Expr::Ptr& cond) {
+  Expr::Ptr c = cond ? cond : Expr::True();
+  if (c->IsTrueLiteral()) return delta;
+  SQ_ASSIGN_OR_RETURN(BoundExpr bound, BoundExpr::Bind(c, delta.schema()));
+  Delta out(delta.schema());
+  Status st = Status::OK();
+  delta.ForEach([&](const Tuple& t, int64_t count) {
+    if (!st.ok()) return;
+    auto keep = bound.EvalBool(t);
+    if (!keep.ok()) {
+      st = keep.status();
+      return;
+    }
+    if (*keep) st = out.Add(t, count);
+  });
+  if (!st.ok()) return st;
+  return out;
+}
+
+Result<Delta> DeltaProject(const Delta& delta,
+                           const std::vector<std::string>& attrs) {
+  SQ_ASSIGN_OR_RETURN(Schema out_schema, delta.schema().Project(attrs));
+  std::vector<size_t> positions;
+  positions.reserve(attrs.size());
+  for (const auto& a : attrs) positions.push_back(*delta.schema().IndexOf(a));
+  Delta out(std::move(out_schema));
+  Status st = Status::OK();
+  delta.ForEach([&](const Tuple& t, int64_t count) {
+    if (st.ok()) st = out.Add(t.Project(positions), count);
+  });
+  if (!st.ok()) return st;
+  return out;
+}
+
+namespace {
+
+// Shared core for Δ⋈R and R⋈Δ: iterate delta atoms, probe the relation,
+// emit concatenated tuples with multiplied counts.
+Result<Delta> JoinDeltaWithRelation(const Delta& delta, const Relation& rel,
+                                    const Expr::Ptr& cond, bool delta_left) {
+  const Schema& ls = delta_left ? delta.schema() : rel.schema();
+  const Schema& rs = delta_left ? rel.schema() : delta.schema();
+  SQ_ASSIGN_OR_RETURN(Schema out_schema, ls.Concat(rs));
+  Expr::Ptr c = cond ? cond : Expr::True();
+  SQ_ASSIGN_OR_RETURN(BoundExpr bound, BoundExpr::Bind(c, out_schema));
+  bool trivial = c->IsTrueLiteral();
+
+  // Hash-join fast path on equi conjuncts.
+  JoinConditionParts parts = SplitJoinCondition(c, ls, rs);
+  Delta out(std::move(out_schema));
+  Status st = Status::OK();
+
+  auto emit = [&](const Tuple& lt, int64_t lc, const Tuple& rt, int64_t rc) {
+    if (!st.ok()) return;
+    Tuple joined = lt.Concat(rt);
+    if (!trivial) {
+      auto keep = bound.EvalBool(joined);
+      if (!keep.ok()) {
+        st = keep.status();
+        return;
+      }
+      if (!*keep) return;
+    }
+    st = out.Add(std::move(joined), lc * rc);
+  };
+
+  if (!parts.equi.empty()) {
+    // Build a hash table over the relation keyed by its equi attributes.
+    std::vector<size_t> rel_pos, delta_pos;
+    const Schema& dsch = delta.schema();
+    const Schema& rsch = rel.schema();
+    for (const auto& p : parts.equi) {
+      const std::string& l = p.left_attr;   // in ls
+      const std::string& r = p.right_attr;  // in rs
+      const std::string& in_delta = delta_left ? l : r;
+      const std::string& in_rel = delta_left ? r : l;
+      delta_pos.push_back(*dsch.IndexOf(in_delta));
+      rel_pos.push_back(*rsch.IndexOf(in_rel));
+    }
+    std::unordered_map<Tuple, std::vector<std::pair<const Tuple*, int64_t>>,
+                       TupleHash>
+        table;
+    rel.ForEach([&](const Tuple& t, int64_t count) {
+      table[t.Project(rel_pos)].emplace_back(&t, count);
+    });
+    delta.ForEach([&](const Tuple& dt, int64_t dc) {
+      if (!st.ok()) return;
+      auto it = table.find(dt.Project(delta_pos));
+      if (it == table.end()) return;
+      for (const auto& [rt, rc] : it->second) {
+        if (delta_left) {
+          emit(dt, dc, *rt, rc);
+        } else {
+          emit(*rt, rc, dt, dc);
+        }
+      }
+    });
+  } else {
+    delta.ForEach([&](const Tuple& dt, int64_t dc) {
+      if (!st.ok()) return;
+      rel.ForEach([&](const Tuple& rt, int64_t rc) {
+        if (delta_left) {
+          emit(dt, dc, rt, rc);
+        } else {
+          emit(rt, rc, dt, dc);
+        }
+      });
+    });
+  }
+  if (!st.ok()) return st;
+  return out;
+}
+
+}  // namespace
+
+Result<Delta> DeltaJoinRelation(const Delta& delta, const Relation& rel,
+                                const Expr::Ptr& cond) {
+  return JoinDeltaWithRelation(delta, rel, cond, /*delta_left=*/true);
+}
+
+Result<Delta> RelationJoinDelta(const Relation& rel, const Delta& delta,
+                                const Expr::Ptr& cond) {
+  return JoinDeltaWithRelation(delta, rel, cond, /*delta_left=*/false);
+}
+
+Result<Delta> FilterDeltaToLeafParent(const Delta& source_delta,
+                                      const Expr::Ptr& cond,
+                                      const std::vector<std::string>& attrs) {
+  SQ_ASSIGN_OR_RETURN(Delta selected, DeltaSelect(source_delta, cond));
+  return DeltaProject(selected, attrs);
+}
+
+Result<Delta> PresenceDelta(const Relation& state_after,
+                            const Delta& bag_delta) {
+  Delta out(bag_delta.schema());
+  Status st = Status::OK();
+  bag_delta.ForEach([&](const Tuple& t, int64_t signed_count) {
+    if (!st.ok()) return;
+    int64_t after = state_after.CountOf(t);
+    int64_t before = after - signed_count;
+    if (before < 0) {
+      st = Status::Internal("presence delta: negative pre-state count for " +
+                            t.ToString());
+      return;
+    }
+    if (before == 0 && after > 0) {
+      st = out.Add(t, 1);
+    } else if (before > 0 && after == 0) {
+      st = out.Add(t, -1);
+    }
+  });
+  if (!st.ok()) return st;
+  return out;
+}
+
+Delta DeltaIntersectRelation(const Delta& delta, const Relation& rel) {
+  Delta out(delta.schema());
+  delta.ForEach([&](const Tuple& t, int64_t count) {
+    if (rel.Contains(t)) (void)out.Add(t, count);
+  });
+  return out;
+}
+
+Delta DeltaMinusRelation(const Delta& delta, const Relation& rel) {
+  Delta out(delta.schema());
+  delta.ForEach([&](const Tuple& t, int64_t count) {
+    if (!rel.Contains(t)) (void)out.Add(t, count);
+  });
+  return out;
+}
+
+}  // namespace squirrel

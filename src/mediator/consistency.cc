@@ -1,0 +1,217 @@
+#include "mediator/consistency.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "relational/operators.h"
+
+namespace squirrel {
+
+Result<Relation> ConsistencyChecker::EvalNodeAt(const std::string& node,
+                                                const TimeVector& at) const {
+  if (at.size() != sources_.size()) {
+    return Status::InvalidArgument(
+        "time vector arity does not match source count");
+  }
+  std::map<std::string, size_t> source_index;
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    source_index[sources_[i]->name()] = i;
+  }
+  // Memoized full recomputation, children first.
+  auto memo = std::make_shared<std::map<std::string, Relation>>();
+  std::function<Result<Relation>(const std::string&)> eval =
+      [&](const std::string& name) -> Result<Relation> {
+    auto hit = memo->find(name);
+    if (hit != memo->end()) return hit->second;
+    SQ_ASSIGN_OR_RETURN(const VdpNode* n, vdp_->Get(name));
+    Relation out;
+    if (n->is_leaf) {
+      auto sit = source_index.find(n->source_db);
+      if (sit == source_index.end()) {
+        return Status::NotFound("checker has no source named " +
+                                n->source_db);
+      }
+      SQ_ASSIGN_OR_RETURN(
+          out, sources_[sit->second]->StateAt(n->source_relation,
+                                              at[sit->second]));
+    } else {
+      NodeStateFn states =
+          [&](const std::string& child, const std::vector<std::string>& attrs)
+          -> Result<std::shared_ptr<const Relation>> {
+        (void)attrs;  // full recompute always has every attribute
+        SQ_ASSIGN_OR_RETURN(Relation child_rel, eval(child));
+        return std::make_shared<const Relation>(std::move(child_rel));
+      };
+      SQ_ASSIGN_OR_RETURN(out, n->def->Evaluate(states));
+    }
+    (*memo)[name] = out;
+    return out;
+  };
+  return eval(node);
+}
+
+Result<ConsistencyReport> ConsistencyChecker::Check(
+    const Trace& trace) const {
+  ConsistencyReport report;
+  TimeVector prev_reflect;
+  for (const auto& entry : trace.entries()) {
+    ++report.entries_checked;
+    // Chronology: reflect(t) <= t componentwise.
+    for (size_t i = 0; i < entry.reflect.size(); ++i) {
+      if (entry.reflect[i] > entry.commit_time + 1e-9) {
+        report.chronology_ok = false;
+        report.violations.push_back(
+            "chronology: reflect[" + std::to_string(i) + "]=" +
+            std::to_string(entry.reflect[i]) + " > commit " +
+            std::to_string(entry.commit_time));
+      }
+    }
+    // Order preservation across successive transactions.
+    if (!prev_reflect.empty() && entry.reflect.size() == prev_reflect.size()) {
+      if (!TimeVectorLeq(prev_reflect, entry.reflect)) {
+        report.order_ok = false;
+        report.violations.push_back(
+            "order: reflect went backwards at commit " +
+            std::to_string(entry.commit_time) + ": " +
+            TimeVectorToString(prev_reflect) + " then " +
+            TimeVectorToString(entry.reflect));
+      }
+    }
+    prev_reflect = entry.reflect;
+
+    // Validity.
+    if (entry.kind == TxnKind::kQuery) {
+      if (!entry.query.has_value() || !entry.answer.has_value()) continue;
+      SQ_ASSIGN_OR_RETURN(Relation full,
+                          EvalNodeAt(entry.query->relation, entry.reflect));
+      SQ_ASSIGN_OR_RETURN(
+          Relation selected,
+          OpSelect(full, entry.query->cond ? entry.query->cond
+                                           : Expr::True()));
+      std::vector<std::string> attrs = entry.query->attrs;
+      if (attrs.empty()) attrs = full.schema().AttributeNames();
+      SQ_ASSIGN_OR_RETURN(Relation projected,
+                          OpProject(selected, attrs, Semantics::kBag));
+      Relation expect = projected.ToSet();
+      ++report.relations_compared;
+      if (!expect.EqualContents(*entry.answer)) {
+        report.validity_ok = false;
+        report.violations.push_back(
+            "validity: query " + entry.query->ToString() + " at commit " +
+            std::to_string(entry.commit_time) +
+            " does not match recomputation at reflect " +
+            TimeVectorToString(entry.reflect));
+      }
+    } else {
+      for (const auto& [node, snapshot] : entry.repo_snapshot) {
+        SQ_ASSIGN_OR_RETURN(Relation full, EvalNodeAt(node, entry.reflect));
+        auto mat = ann_->MaterializedAttrs(*vdp_, node);
+        SQ_ASSIGN_OR_RETURN(Relation expect,
+                            OpProject(full, mat, Semantics::kBag));
+        ++report.relations_compared;
+        if (!expect.EqualContents(snapshot)) {
+          report.validity_ok = false;
+          report.violations.push_back(
+              "validity: repository " + node + " at commit " +
+              std::to_string(entry.commit_time) +
+              " does not match recomputation at reflect " +
+              TimeVectorToString(entry.reflect));
+        }
+      }
+    }
+  }
+  return report;
+}
+
+namespace {
+
+/// Candidate witness times for a single-source scenario: just before the
+/// first commit, and at each commit (the source state is constant between
+/// commits, so these instants cover every reachable state).
+std::vector<Time> WitnessTimes(const SourceDb& db) {
+  std::vector<Time> times = db.CommitTimes();
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+  Time before = times.empty() ? 0.0 : times.front() - 1.0;
+  times.insert(times.begin(), before);
+  return times;
+}
+
+Result<Relation> EvalViewAt(const SourceDb& db,
+                            const AlgebraExpr::Ptr& view_def, Time t) {
+  std::set<std::string> scans;
+  view_def->CollectScans(&scans);
+  std::vector<Relation> held;
+  Catalog catalog;
+  held.reserve(scans.size());
+  for (const auto& rel : scans) {
+    SQ_ASSIGN_OR_RETURN(Relation state, db.StateAt(rel, t));
+    held.push_back(std::move(state));
+    catalog.Register(rel, &held.back());
+  }
+  SQ_ASSIGN_OR_RETURN(Relation out, EvalAlgebra(view_def, catalog));
+  return out.ToSet();
+}
+
+}  // namespace
+
+Result<bool> IsPseudoConsistent(const SourceDb& db,
+                                const AlgebraExpr::Ptr& view_def,
+                                const std::vector<ViewObservation>& obs) {
+  std::vector<Time> times = WitnessTimes(db);
+  // Precompute matches: obs index -> witness times whose view equals it.
+  std::vector<std::vector<Time>> matches(obs.size());
+  for (size_t i = 0; i < obs.size(); ++i) {
+    for (Time t : times) {
+      if (t > obs[i].time + 1e-9) continue;
+      SQ_ASSIGN_OR_RETURN(Relation v, EvalViewAt(db, view_def, t));
+      if (v.EqualContents(obs[i].state)) matches[i].push_back(t);
+    }
+    if (matches[i].empty()) return false;  // not even individually valid
+  }
+  // Pairwise condition: witnesses may differ per pair.
+  for (size_t i = 0; i < obs.size(); ++i) {
+    for (size_t j = i; j < obs.size(); ++j) {
+      bool found = false;
+      for (Time t1 : matches[i]) {
+        for (Time t2 : matches[j]) {
+          if (t1 <= t2 + 1e-9) {
+            found = true;
+            break;
+          }
+        }
+        if (found) break;
+      }
+      if (!found) return false;
+    }
+  }
+  return true;
+}
+
+Result<bool> IsScenarioConsistent(const SourceDb& db,
+                                  const AlgebraExpr::Ptr& view_def,
+                                  const std::vector<ViewObservation>& obs) {
+  std::vector<Time> times = WitnessTimes(db);
+  std::sort(times.begin(), times.end());
+  // One monotone witness assignment must cover all observations, each
+  // witness <= its observation time. Greedy smallest-feasible is optimal.
+  Time prev = -std::numeric_limits<Time>::infinity();
+  for (const auto& o : obs) {
+    bool found = false;
+    for (Time t : times) {
+      if (t < prev - 1e-9 || t > o.time + 1e-9) continue;
+      SQ_ASSIGN_OR_RETURN(Relation v, EvalViewAt(db, view_def, t));
+      if (v.EqualContents(o.state)) {
+        prev = t;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace squirrel

@@ -1,0 +1,50 @@
+#include "mediator/contributor.h"
+
+#include <set>
+
+namespace squirrel {
+
+const char* ContributorKindName(ContributorKind kind) {
+  switch (kind) {
+    case ContributorKind::kMaterialized:
+      return "materialized-contributor";
+    case ContributorKind::kHybrid:
+      return "hybrid-contributor";
+    case ContributorKind::kVirtual:
+      return "virtual-contributor";
+  }
+  return "?";
+}
+
+ContributorKind ClassifyContributor(const Vdp& vdp, const Annotation& ann,
+                                    const std::string& source_db) {
+  // Reachable set: every node derivable (transitively) from this source's
+  // leaves. Topological order makes one pass sufficient.
+  std::set<std::string> reachable;
+  for (const auto& name : vdp.TopoOrder()) {
+    const VdpNode* node = vdp.Find(name);
+    if (node->is_leaf) {
+      if (node->source_db == source_db) reachable.insert(name);
+      continue;
+    }
+    for (const auto& child : node->def->Children()) {
+      if (reachable.count(child)) {
+        reachable.insert(name);
+        break;
+      }
+    }
+  }
+  bool feeds_materialized = false;
+  bool feeds_virtual = false;
+  for (const auto& name : reachable) {
+    const VdpNode* node = vdp.Find(name);
+    if (node->is_leaf) continue;
+    if (!ann.MaterializedAttrs(vdp, name).empty()) feeds_materialized = true;
+    if (!ann.VirtualAttrs(vdp, name).empty()) feeds_virtual = true;
+  }
+  if (feeds_materialized && feeds_virtual) return ContributorKind::kHybrid;
+  if (feeds_materialized) return ContributorKind::kMaterialized;
+  return ContributorKind::kVirtual;
+}
+
+}  // namespace squirrel

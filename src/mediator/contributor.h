@@ -1,0 +1,42 @@
+// Source-database contributor classification (paper §4): a source is a
+// materialized-contributor if everything it feeds in the VDP is
+// materialized, a virtual-contributor if everything is virtual, and a
+// hybrid-contributor otherwise. The first two categories must be active
+// (announce updates); the last two must answer polls.
+
+#ifndef SQUIRREL_MEDIATOR_CONTRIBUTOR_H_
+#define SQUIRREL_MEDIATOR_CONTRIBUTOR_H_
+
+#include <string>
+
+#include "vdp/annotation.h"
+#include "vdp/vdp.h"
+
+namespace squirrel {
+
+/// How a source database relates to the mediator's data (paper §4).
+enum class ContributorKind { kMaterialized, kHybrid, kVirtual };
+
+/// Display name, e.g. "materialized-contributor".
+const char* ContributorKindName(ContributorKind kind);
+
+/// Classifies \p source_db by walking every node reachable from its leaves
+/// and inspecting the annotation. Sources with no leaves in the VDP are
+/// classified kVirtual (they contribute nothing materialized).
+ContributorKind ClassifyContributor(const Vdp& vdp, const Annotation& ann,
+                                    const std::string& source_db);
+
+/// True iff the source must actively announce updates (materialized- and
+/// hybrid-contributors).
+inline bool MustAnnounce(ContributorKind kind) {
+  return kind != ContributorKind::kVirtual;
+}
+
+/// True iff the source must answer polls (hybrid- and virtual-contributors).
+inline bool MustAnswerPolls(ContributorKind kind) {
+  return kind != ContributorKind::kMaterialized;
+}
+
+}  // namespace squirrel
+
+#endif  // SQUIRREL_MEDIATOR_CONTRIBUTOR_H_

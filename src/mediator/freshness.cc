@@ -1,0 +1,78 @@
+#include "mediator/freshness.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace squirrel {
+
+std::vector<Time> FreshnessBound(const std::vector<DelayProfile>& profiles,
+                                 const MediatorDelays& mediator,
+                                 const std::vector<ContributorKind>& kinds) {
+  Time poll_term = 0;
+  for (const auto& p : profiles) {
+    poll_term += p.q_proc_delay + 2 * p.comm_delay;
+  }
+  std::vector<Time> bound(profiles.size(), 0);
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    if (kinds[i] == ContributorKind::kVirtual) {
+      bound[i] = poll_term + mediator.q_proc_delay;
+    } else {
+      bound[i] = profiles[i].ann_delay + profiles[i].comm_delay +
+                 mediator.u_hold_delay + mediator.u_proc_delay + poll_term;
+    }
+  }
+  return bound;
+}
+
+FreshnessReport CheckFreshness(const Trace& trace,
+                               const std::vector<DelayProfile>& profiles,
+                               const MediatorDelays& mediator,
+                               const std::vector<ContributorKind>& kinds,
+                               const std::vector<const SourceDb*>& sources) {
+  FreshnessReport report;
+  std::vector<Time> bound = FreshnessBound(profiles, mediator, kinds);
+  size_t n = profiles.size();
+  // Per-source commit times for effective-staleness computation.
+  std::vector<std::vector<Time>> commits(n);
+  for (size_t i = 0; i < sources.size() && i < n; ++i) {
+    if (sources[i] != nullptr) commits[i] = sources[i]->CommitTimes();
+  }
+  std::vector<Time> max_st(n, 0), sum_st(n, 0);
+  std::vector<size_t> samples(n, 0);
+  for (const auto& entry : trace.entries()) {
+    if (entry.kind != TxnKind::kQuery) continue;
+    for (size_t i = 0; i < n && i < entry.reflect.size(); ++i) {
+      Time staleness = entry.commit_time - entry.reflect[i];
+      if (!commits[i].empty()) {
+        // The freshness witness extends forward until the source's next
+        // commit after the reflected instant: effective staleness is how
+        // far behind that divergence point the view is.
+        auto it = std::upper_bound(commits[i].begin(), commits[i].end(),
+                                   entry.reflect[i] + 1e-9);
+        Time next_commit = it == commits[i].end()
+                               ? std::numeric_limits<Time>::infinity()
+                               : *it;
+        staleness = std::max<Time>(0, entry.commit_time - next_commit);
+      }
+      max_st[i] = std::max(max_st[i], staleness);
+      sum_st[i] += staleness;
+      ++samples[i];
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    SourceFreshness sf;
+    sf.source = i < trace.source_names().size() ? trace.source_names()[i]
+                                                : std::to_string(i);
+    sf.kind = kinds[i];
+    sf.bound = bound[i];
+    sf.max_staleness = max_st[i];
+    sf.mean_staleness = samples[i] ? sum_st[i] / samples[i] : 0;
+    sf.samples = samples[i];
+    sf.within_bound = max_st[i] <= bound[i] + 1e-9;
+    if (!sf.within_bound) report.all_within_bound = false;
+    report.per_source.push_back(sf);
+  }
+  return report;
+}
+
+}  // namespace squirrel

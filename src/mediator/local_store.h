@@ -1,0 +1,66 @@
+// The mediator's local store (paper §4): one repository per VDP node with at
+// least one materialized attribute, holding the node's materialized
+// projection π_mat(node contents) with the node's semantics (bag for SPJ/
+// union nodes, set for difference nodes).
+
+#ifndef SQUIRREL_MEDIATOR_LOCAL_STORE_H_
+#define SQUIRREL_MEDIATOR_LOCAL_STORE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "delta/delta.h"
+#include "relational/relation.h"
+#include "vdp/annotation.h"
+#include "vdp/vdp.h"
+
+namespace squirrel {
+
+/// \brief Repositories for the materialized portion of an annotated VDP.
+class LocalStore {
+ public:
+  /// Creates empty repositories per \p vdp and \p ann (neither owned; both
+  /// must outlive the store). Leaves and fully virtual nodes get none.
+  LocalStore(const Vdp* vdp, const Annotation* ann);
+
+  /// True iff \p node has a repository (>= 1 materialized attribute).
+  bool HasRepo(const std::string& node) const;
+
+  /// The repository of \p node; NotFound for virtual nodes/leaves.
+  Result<const Relation*> Repo(const std::string& node) const;
+
+  /// Mutable repository access (initial load).
+  Result<Relation*> MutableRepo(const std::string& node);
+
+  /// Replaces the repository contents of \p node. The relation's attribute
+  /// names must equal the node's materialized attributes.
+  Status SetRepo(const std::string& node, Relation contents);
+
+  /// Applies a full-attribute node delta to the repository, narrowing it to
+  /// the materialized attributes first (bag projection commutes with apply).
+  /// For set nodes the delta must already be a presence delta.
+  Status ApplyNodeDelta(const std::string& node, const Delta& full_delta);
+
+  /// Names of nodes with repositories, in VDP topological order.
+  std::vector<std::string> MaterializedNodes() const;
+
+  /// Total approximate bytes across repositories (space measurements,
+  /// experiments E2/E10).
+  size_t ApproxBytes() const;
+
+  /// The VDP this store serves.
+  const Vdp& vdp() const { return *vdp_; }
+  /// The annotation this store serves.
+  const Annotation& annotation() const { return *ann_; }
+
+ private:
+  const Vdp* vdp_;
+  const Annotation* ann_;
+  std::map<std::string, Relation> repos_;
+};
+
+}  // namespace squirrel
+
+#endif  // SQUIRREL_MEDIATOR_LOCAL_STORE_H_

@@ -1,0 +1,594 @@
+#include "mediator/mediator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "delta/delta_algebra.h"
+#include "relational/operators.h"
+
+namespace squirrel {
+
+Result<std::unique_ptr<Mediator>> Mediator::Create(
+    Vdp vdp, Annotation ann, std::vector<SourceSetup> sources,
+    Scheduler* scheduler, MediatorOptions options) {
+  SQ_RETURN_IF_ERROR(vdp.Validate());
+  SQ_RETURN_IF_ERROR(ann.Validate(vdp));
+  if (scheduler == nullptr) {
+    return Status::InvalidArgument("mediator needs a scheduler");
+  }
+  auto med = std::unique_ptr<Mediator>(new Mediator());
+  med->vdp_ = std::move(vdp);
+  med->ann_ = std::move(ann);
+  med->options_ = options;
+  med->scheduler_ = scheduler;
+
+  std::vector<std::string> names;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    if (sources[i].db == nullptr) {
+      return Status::InvalidArgument("null source database");
+    }
+    auto rt = std::make_unique<SourceRuntime>();
+    rt->setup = sources[i];
+    rt->index = i;
+    rt->kind =
+        ClassifyContributor(med->vdp_, med->ann_, sources[i].db->name());
+    med->source_index_[sources[i].db->name()] = i;
+    names.push_back(sources[i].db->name());
+    med->sources_.push_back(std::move(rt));
+  }
+  // Every leaf must resolve to a declared relation of a registered source.
+  for (const auto& leaf_name : med->vdp_.LeafNames()) {
+    const VdpNode* leaf = med->vdp_.Find(leaf_name);
+    auto it = med->source_index_.find(leaf->source_db);
+    if (it == med->source_index_.end()) {
+      return Status::NotFound("VDP leaf " + leaf_name +
+                              " references unregistered source " +
+                              leaf->source_db);
+    }
+    SQ_ASSIGN_OR_RETURN(
+        Schema src_schema,
+        med->sources_[it->second]->setup.db->RelationSchema(
+            leaf->source_relation));
+    if (!src_schema.ContainsAll(leaf->schema.AttributeNames())) {
+      return Status::InvalidArgument(
+          "leaf " + leaf_name + " schema is not a subset of source relation " +
+          leaf->source_relation);
+    }
+  }
+
+  med->store_ = std::make_unique<LocalStore>(&med->vdp_, &med->ann_);
+  med->vap_ = std::make_unique<Vap>(&med->vdp_, &med->ann_,
+                                    med->store_.get(), options.strategy);
+  med->iup_ = std::make_unique<Iup>(&med->vdp_, &med->ann_,
+                                    med->store_.get(), med->vap_.get());
+  med->qp_ = std::make_unique<QueryProcessor>(&med->vdp_, &med->ann_,
+                                              med->store_.get(),
+                                              med->vap_.get());
+  med->trace_ = std::make_unique<Trace>(names);
+  return med;
+}
+
+Mediator::SourceRuntime* Mediator::FindSource(const std::string& name) {
+  auto it = source_index_.find(name);
+  return it == source_index_.end() ? nullptr : sources_[it->second].get();
+}
+
+Status Mediator::Start() {
+  if (started_) return Status::FailedPrecondition("mediator already started");
+  started_ = true;
+  view_init_time_ = scheduler_->Now();
+
+  // Wire channels, announcers (active sources), and poll responders.
+  for (auto& rt : sources_) {
+    rt->inbound = std::make_unique<Channel<SourceToMediatorMsg>>(
+        scheduler_, rt->setup.comm_delay);
+    rt->inbound->SetReceiver(
+        [this](SourceToMediatorMsg msg) { OnSourceMessage(std::move(msg)); });
+    rt->outbound = std::make_unique<Channel<PollRequest>>(
+        scheduler_, rt->setup.comm_delay);
+    if (MustAnnounce(rt->kind)) {
+      rt->announcer = std::make_unique<Announcer>(
+          rt->setup.db, scheduler_, rt->inbound.get(),
+          rt->setup.announce_period);
+      rt->announcer->Start();
+    }
+    rt->responder = std::make_unique<PollResponder>(
+        rt->setup.db, scheduler_, rt->inbound.get(), rt->announcer.get(),
+        rt->setup.q_proc_delay);
+    auto* responder = rt->responder.get();
+    rt->outbound->SetReceiver(
+        [responder](PollRequest req) { responder->OnRequest(std::move(req)); });
+    rt->last_reflected_send = view_init_time_;
+  }
+
+  // Initial load: full recomputation of every derived node from the current
+  // source states, materialized projections into the repositories.
+  std::map<std::string, Relation> full;  // node -> full contents
+  for (const auto& name : vdp_.TopoOrder()) {
+    const VdpNode* node = vdp_.Find(name);
+    if (node->is_leaf) {
+      SourceRuntime* rt = FindSource(node->source_db);
+      SQ_ASSIGN_OR_RETURN(const Relation* rel,
+                          rt->setup.db->Current(node->source_relation));
+      // Leaf contents narrowed to the leaf schema (the VDP may declare a
+      // subset of the source relation's attributes).
+      SQ_ASSIGN_OR_RETURN(
+          Relation narrowed,
+          OpProject(*rel, node->schema.AttributeNames(), Semantics::kBag));
+      full.emplace(name, std::move(narrowed));
+      continue;
+    }
+    NodeStateFn states =
+        [&full](const std::string& child, const std::vector<std::string>&)
+        -> Result<std::shared_ptr<const Relation>> {
+      auto it = full.find(child);
+      if (it == full.end()) {
+        return Status::Internal("initial load: missing child " + child);
+      }
+      return std::shared_ptr<const Relation>(std::shared_ptr<void>(),
+                                             &it->second);
+    };
+    SQ_ASSIGN_OR_RETURN(Relation contents, node->def->Evaluate(states));
+    if (store_->HasRepo(name)) {
+      auto mat = ann_.MaterializedAttrs(vdp_, name);
+      SQ_ASSIGN_OR_RETURN(Relation projected,
+                          OpProject(contents, mat, Semantics::kBag));
+      // Preserve the node's storage semantics.
+      if (node->semantics() == Semantics::kSet) {
+        projected = projected.ToSet();
+      }
+      SQ_RETURN_IF_ERROR(store_->SetRepo(name, std::move(projected)));
+    }
+    full.emplace(name, std::move(contents));
+  }
+
+  if (options_.record_trace) {
+    TraceEntry entry;
+    entry.kind = TxnKind::kInit;
+    entry.commit_time = view_init_time_;
+    entry.reflect = UpdateReflect();
+    if (options_.snapshot_repos) {
+      for (const auto& node : store_->MaterializedNodes()) {
+        entry.repo_snapshot.emplace(node, **store_->Repo(node));
+      }
+    }
+    trace_->Add(std::move(entry));
+  }
+
+  // Periodic update policy (the u_hold knob).
+  if (options_.update_period > 0) {
+    scheduler_->After(options_.update_period, [this]() { PeriodicTick(); });
+  }
+  return Status::OK();
+}
+
+void Mediator::PeriodicTick() {
+  if (!queue_.Empty()) ScheduleUpdateTxn();
+  scheduler_->After(options_.update_period, [this]() { PeriodicTick(); });
+}
+
+void Mediator::OnSourceMessage(SourceToMediatorMsg msg) {
+  ++stats_.messages_received;
+  if (std::holds_alternative<UpdateMessage>(msg)) {
+    queue_.Enqueue(std::get<UpdateMessage>(std::move(msg)));
+    if (options_.update_period <= 0) ScheduleUpdateTxn();
+    return;
+  }
+  // Poll answer: route to the waiting transaction.
+  PollAnswer answer = std::get<PollAnswer>(std::move(msg));
+  if (!poll_wait_.has_value()) {
+    SQ_LOG(kWarn) << "poll answer from " << answer.source
+                  << " with no transaction waiting";
+    return;
+  }
+  PollWait& wait = *poll_wait_;
+  auto& ready = wait.ready[answer.source];
+  for (auto& rel : answer.results) ready.push_back(std::move(rel));
+  wait.answered_at[answer.source] = answer.answered_at;
+  auto pending = queue_.PendingFrom(answer.source);
+  if (pending.ok()) {
+    wait.pending_at_answer[answer.source] = std::move(pending).value();
+  } else {
+    SQ_LOG(kError) << "pending snapshot failed: "
+                   << pending.status().ToString();
+  }
+  if (wait.remaining == 0) {
+    SQ_LOG(kError) << "more poll answers than requests";
+    return;
+  }
+  if (--wait.remaining == 0) {
+    auto done = std::move(wait.on_complete);
+    done();
+  }
+}
+
+void Mediator::EnqueueTxn(std::function<void()> txn) {
+  pending_txns_.push_back(std::move(txn));
+  StartNextTxn();
+}
+
+void Mediator::StartNextTxn() {
+  if (busy_ || pending_txns_.empty()) return;
+  busy_ = true;
+  auto txn = std::move(pending_txns_.front());
+  pending_txns_.pop_front();
+  txn();
+}
+
+void Mediator::FinishTxn() {
+  busy_ = false;
+  poll_wait_.reset();
+  // Run the next queued transaction, if any, as a fresh event.
+  if (!pending_txns_.empty()) {
+    scheduler_->After(0, [this]() { StartNextTxn(); });
+  }
+}
+
+void Mediator::ScheduleUpdateTxn() {
+  if (update_txn_scheduled_) return;
+  update_txn_scheduled_ = true;
+  EnqueueTxn([this]() {
+    update_txn_scheduled_ = false;
+    RunUpdateTxn();
+  });
+}
+
+void Mediator::IssuePolls(const VapPlan& plan, std::function<void()> done) {
+  // Package all polls of one source into a single request transaction
+  // (paper §6.3), preserving per-source plan order.
+  std::map<std::string, PollRequest> grouped;
+  for (const auto& lp : plan.polls) {
+    PollRequest& req = grouped[lp.source];
+    if (req.polls.empty()) req.id = next_poll_id_++;
+    req.polls.push_back(lp.spec);
+  }
+  PollWait wait;
+  wait.remaining = grouped.size();
+  wait.on_complete = std::move(done);
+  poll_wait_ = std::move(wait);
+  for (auto& [source, req] : grouped) {
+    SourceRuntime* rt = FindSource(source);
+    rt->outbound->Send(std::move(req));
+  }
+}
+
+Vap::PollFn Mediator::ReadyPollFn() {
+  return [this](const std::string& source,
+                const PollSpec& spec) -> Result<Relation> {
+    (void)spec;  // answers are consumed in plan order per source
+    if (!poll_wait_.has_value()) {
+      return Status::Internal("poll requested outside a poll wait");
+    }
+    auto& ready = poll_wait_->ready[source];
+    if (ready.empty()) {
+      return Status::Internal("no buffered poll answer from " + source);
+    }
+    Relation out = std::move(ready.front());
+    ready.pop_front();
+    return out;
+  };
+}
+
+Vap::CompensationFn Mediator::MakeCompensation(
+    const std::map<std::string, MultiDelta>* inflight) const {
+  return [this, inflight](const std::string& source,
+                          const std::string& relation,
+                          const Schema& schema) -> Result<Delta> {
+    Delta total(schema);
+    if (inflight != nullptr) {
+      auto it = inflight->find(source);
+      if (it != inflight->end()) {
+        const Delta* d = it->second.Find(relation);
+        if (d != nullptr) SQ_RETURN_IF_ERROR(total.SmashInPlace(*d));
+      }
+    }
+    // Pending updates as of the instant this source's answer arrived (the
+    // per-channel FIFO makes exactly those visible in the answer).
+    if (poll_wait_.has_value()) {
+      auto pit = poll_wait_->pending_at_answer.find(source);
+      if (pit != poll_wait_->pending_at_answer.end()) {
+        const Delta* d = pit->second.Find(relation);
+        if (d != nullptr) SQ_RETURN_IF_ERROR(total.SmashInPlace(*d));
+      }
+      return total;
+    }
+    SQ_ASSIGN_OR_RETURN(MultiDelta pending, queue_.PendingFrom(source));
+    const Delta* d = pending.Find(relation);
+    if (d != nullptr) SQ_RETURN_IF_ERROR(total.SmashInPlace(*d));
+    return total;
+  };
+}
+
+TimeVector Mediator::UpdateReflect() const {
+  TimeVector out(sources_.size(), 0);
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    out[i] = sources_[i]->kind == ContributorKind::kVirtual
+                 ? scheduler_->Now()
+                 : sources_[i]->last_reflected_send;
+  }
+  return out;
+}
+
+TimeVector Mediator::QueryReflect(
+    const std::vector<std::string>& polled) const {
+  TimeVector out(sources_.size(), 0);
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    const SourceRuntime& rt = *sources_[i];
+    if (rt.kind != ContributorKind::kVirtual) {
+      out[i] = rt.last_reflected_send;
+      continue;
+    }
+    // Virtual contributor: polled -> the source-side answer time; untouched
+    // by this query -> the current time (its state is simply irrelevant).
+    auto pit = std::find(polled.begin(), polled.end(), rt.setup.db->name());
+    if (pit != polled.end() && poll_wait_.has_value()) {
+      auto ait = poll_wait_->answered_at.find(rt.setup.db->name());
+      out[i] = ait != poll_wait_->answered_at.end() ? ait->second
+                                                    : scheduler_->Now();
+    } else {
+      out[i] = scheduler_->Now();
+    }
+  }
+  return out;
+}
+
+void Mediator::RecordUpdateCommit(const IupStats& stats, uint64_t polls) {
+  ++stats_.update_txns;
+  stats_.polls += polls;
+  stats_.iup.Merge(stats);
+  if (!options_.record_trace) return;
+  TraceEntry entry;
+  entry.kind = TxnKind::kUpdate;
+  entry.commit_time = scheduler_->Now();
+  entry.reflect = UpdateReflect();
+  entry.iup_stats = stats;
+  entry.polls = polls;
+  if (options_.snapshot_repos) {
+    for (const auto& node : store_->MaterializedNodes()) {
+      entry.repo_snapshot.emplace(node, **store_->Repo(node));
+    }
+  }
+  trace_->Add(std::move(entry));
+}
+
+void Mediator::RunUpdateTxn() {
+  std::vector<UpdateMessage> msgs = queue_.Flush();
+  if (msgs.empty()) {
+    FinishTxn();
+    return;
+  }
+  // Assemble (a) the per-leaf deltas for the kernel, (b) the per-source
+  // in-flight batch for Eager Compensation, and (c) the reflect candidates.
+  auto leaf_deltas = std::make_shared<std::map<std::string, Delta>>();
+  auto inflight = std::make_shared<std::map<std::string, MultiDelta>>();
+  auto reflect_candidates = std::make_shared<std::map<std::string, Time>>();
+  Status st = Status::OK();
+  for (const auto& msg : msgs) {
+    (*reflect_candidates)[msg.source] = msg.send_time;
+    SQ_LOG(kDebug) << "IUP consuming update from " << msg.source << " sent at "
+                   << msg.send_time;
+    if (!(*inflight)[msg.source].SmashInPlace(msg.delta).ok()) {
+      st = Status::Internal("in-flight smash failed");
+    }
+    for (const auto& rel : msg.delta.RelationNames()) {
+      const VdpNode* leaf = vdp_.FindLeaf(msg.source, rel);
+      if (leaf == nullptr) continue;  // irrelevant relation
+      const Delta* d = msg.delta.Find(rel);
+      // Narrow to the leaf's declared attributes (paper §6.2's filtering).
+      auto narrowed = DeltaProject(*d, leaf->schema.AttributeNames());
+      if (!narrowed.ok()) {
+        st = narrowed.status();
+        break;
+      }
+      auto [it, inserted] =
+          leaf_deltas->try_emplace(leaf->name, Delta(leaf->schema));
+      (void)inserted;
+      Status s = it->second.SmashInPlace(*narrowed);
+      if (!s.ok()) st = s;
+    }
+  }
+  if (!st.ok()) {
+    SQ_LOG(kError) << "update transaction failed: " << st.ToString();
+    FinishTxn();
+    return;
+  }
+
+  auto commit = [this, leaf_deltas, inflight, reflect_candidates]() {
+    Vap::PollFn poll = ReadyPollFn();
+    Vap::CompensationFn comp = MakeCompensation(inflight.get());
+    auto run = [&]() -> Result<IupStats> {
+      SQ_ASSIGN_OR_RETURN(std::vector<TempRequest> requests,
+                          iup_->PrepareTempRequests(*leaf_deltas));
+      TempStore temps;
+      if (!requests.empty()) {
+        SQ_ASSIGN_OR_RETURN(temps, vap_->Materialize(requests, poll, comp));
+      }
+      SQ_ASSIGN_OR_RETURN(IupStats stats,
+                          iup_->RunKernel(*leaf_deltas, &temps));
+      stats.polls = temps.polls;
+      stats.polled_tuples = temps.polled_tuples;
+      stats.temps_built = temps.Count();
+      return stats;
+    };
+    Result<IupStats> stats = run();
+    if (!stats.ok()) {
+      SQ_LOG(kError) << "IUP failed: " << stats.status().ToString();
+      FinishTxn();
+      return;
+    }
+    for (const auto& [source, send_time] : *reflect_candidates) {
+      SourceRuntime* rt = FindSource(source);
+      if (rt != nullptr) {
+        rt->last_reflected_send = std::max(rt->last_reflected_send, send_time);
+      }
+    }
+    stats_.polled_tuples += stats->polled_tuples;
+    auto finalize = [this, s = *stats]() {
+      RecordUpdateCommit(s, s.polls);
+      FinishTxn();
+    };
+    if (options_.u_proc_delay > 0) {
+      scheduler_->After(options_.u_proc_delay, finalize);
+    } else {
+      finalize();
+    }
+  };
+
+  // Do we need to poll? Plan the preparation's temp requests now.
+  auto requests = iup_->PrepareTempRequests(*leaf_deltas);
+  if (!requests.ok()) {
+    SQ_LOG(kError) << requests.status().ToString();
+    FinishTxn();
+    return;
+  }
+  if (requests->empty()) {
+    // Fully materialized support: pure local propagation.
+    poll_wait_ = PollWait{};  // empty wait so ReadyPollFn is callable
+    commit();
+    return;
+  }
+  auto plan = vap_->Plan(*requests);
+  if (!plan.ok()) {
+    SQ_LOG(kError) << plan.status().ToString();
+    FinishTxn();
+    return;
+  }
+  if (plan->polls.empty()) {
+    poll_wait_ = PollWait{};
+    commit();
+    return;
+  }
+  IssuePolls(*plan, commit);
+}
+
+void Mediator::SubmitQuery(const ViewQuery& q,
+                           std::function<void(Result<ViewAnswer>)> callback) {
+  EnqueueTxn([this, q, cb = std::move(callback)]() mutable {
+    RunQueryTxn(std::move(q), std::move(cb));
+  });
+}
+
+void Mediator::RunQueryTxn(ViewQuery q,
+                           std::function<void(Result<ViewAnswer>)> cb) {
+  auto normalized = qp_->Normalize(q);
+  if (!normalized.ok()) {
+    cb(normalized.status());
+    FinishTxn();
+    return;
+  }
+  ViewQuery nq = std::move(normalized).value();
+
+  auto finish_with = [this, nq, cb](const QueryProcessor::LocalAnswer& local,
+                                    const std::vector<std::string>& polled) {
+    ViewAnswer answer;
+    answer.data = local.data;
+    answer.used_virtual = local.used_virtual;
+    answer.polls = local.polls;
+    answer.reflect = QueryReflect(polled);
+    auto complete = [this, nq, cb, answer]() mutable {
+      answer.commit_time = scheduler_->Now();
+      ++stats_.query_txns;
+      stats_.polls += answer.polls;
+      if (options_.record_trace) {
+        TraceEntry entry;
+        entry.kind = TxnKind::kQuery;
+        entry.commit_time = answer.commit_time;
+        entry.reflect = answer.reflect;
+        entry.polls = answer.polls;
+        entry.query = nq;
+        entry.answer = answer.data;
+        trace_->Add(std::move(entry));
+      }
+      cb(std::move(answer));
+      FinishTxn();
+    };
+    if (options_.q_proc_delay > 0) {
+      scheduler_->After(options_.q_proc_delay, complete);
+    } else {
+      complete();
+    }
+  };
+
+  auto plan = qp_->PlanFor(nq);
+  if (!plan.ok()) {
+    cb(plan.status());
+    FinishTxn();
+    return;
+  }
+  if (!plan->has_value()) {
+    // Materialized data suffices.
+    auto local = qp_->Answer(nq, nullptr, nullptr);
+    if (!local.ok()) {
+      cb(local.status());
+      FinishTxn();
+      return;
+    }
+    finish_with(*local, {});
+    return;
+  }
+
+  VapPlan vap_plan = std::move(**plan);
+  auto execute = [this, nq, vap_plan, finish_with, cb]() {
+    Vap::PollFn poll = ReadyPollFn();
+    Vap::CompensationFn comp = MakeCompensation(nullptr);
+    auto temps = vap_->Execute(vap_plan, poll, comp);
+    if (!temps.ok()) {
+      cb(temps.status());
+      FinishTxn();
+      return;
+    }
+    auto local = qp_->AnswerWithTemps(nq, *temps);
+    if (!local.ok()) {
+      cb(local.status());
+      FinishTxn();
+      return;
+    }
+    local->polls = temps->polls;
+    local->polled_tuples = temps->polled_tuples;
+    stats_.polled_tuples += temps->polled_tuples;
+    finish_with(*local, vap_plan.PolledSources());
+  };
+  if (vap_plan.polls.empty()) {
+    poll_wait_ = PollWait{};
+    execute();
+    return;
+  }
+  IssuePolls(vap_plan, execute);
+}
+
+std::vector<ContributorKind> Mediator::ContributorKinds() const {
+  std::vector<ContributorKind> out;
+  for (const auto& rt : sources_) out.push_back(rt->kind);
+  return out;
+}
+
+std::vector<std::string> Mediator::SourceNames() const {
+  std::vector<std::string> out;
+  for (const auto& rt : sources_) out.push_back(rt->setup.db->name());
+  return out;
+}
+
+std::vector<DelayProfile> Mediator::DelayProfiles() const {
+  std::vector<DelayProfile> out;
+  for (const auto& rt : sources_) {
+    DelayProfile p;
+    p.ann_delay = std::max<Time>(0, rt->setup.announce_period);
+    p.comm_delay = rt->setup.comm_delay;
+    p.q_proc_delay = rt->setup.q_proc_delay;
+    out.push_back(p);
+  }
+  return out;
+}
+
+MediatorDelays Mediator::Delays() const {
+  MediatorDelays d;
+  d.u_hold_delay = std::max<Time>(0, options_.update_period);
+  d.u_proc_delay = options_.u_proc_delay;
+  d.q_proc_delay = options_.q_proc_delay;
+  return d;
+}
+
+TimeVector Mediator::CurrentReflect() const { return UpdateReflect(); }
+
+}  // namespace squirrel

@@ -1,0 +1,188 @@
+// Squirrel integration mediators (paper §4, Figure 3).
+//
+// A Mediator owns the five components of the paper's architecture — local
+// store, query processor, virtual attribute processor, update queue, and
+// incremental update processor — and wires them to simulated source
+// databases through FIFO channels. Update and query transactions execute
+// serially (paper §6.1); transactions that must poll sources span multiple
+// simulation events and commit when the last answer has arrived.
+
+#ifndef SQUIRREL_MEDIATOR_MEDIATOR_H_
+#define SQUIRREL_MEDIATOR_MEDIATOR_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mediator/contributor.h"
+#include "mediator/freshness.h"
+#include "mediator/iup.h"
+#include "mediator/local_store.h"
+#include "mediator/query.h"
+#include "mediator/query_processor.h"
+#include "mediator/trace.h"
+#include "mediator/update_queue.h"
+#include "mediator/vap.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+#include "source/announcer.h"
+#include "source/source_db.h"
+#include "vdp/annotation.h"
+#include "vdp/vdp.h"
+
+namespace squirrel {
+
+/// How one source database connects to the mediator.
+struct SourceSetup {
+  SourceDb* db = nullptr;     ///< not owned; must outlive the mediator
+  Time comm_delay = 0.0;      ///< one-way channel latency
+  Time q_proc_delay = 0.0;    ///< source-side poll processing time
+  Time announce_period = 0.0; ///< 0 = announce on every commit
+};
+
+/// Mediator policy knobs.
+struct MediatorOptions {
+  VapStrategy strategy = VapStrategy::kAuto;
+  /// 0 = start an update transaction as soon as a message arrives;
+  /// > 0 = flush the queue periodically (the paper's u_hold policy).
+  Time update_period = 0.0;
+  Time u_proc_delay = 0.0;  ///< simulated per-update-transaction cost
+  Time q_proc_delay = 0.0;  ///< simulated per-query-transaction cost
+  bool record_trace = true;
+  /// Snapshot every repository into the trace at update commits (needed by
+  /// the consistency checker's validity test; costly on big stores).
+  bool snapshot_repos = true;
+};
+
+/// Aggregate counters over a mediator's lifetime.
+struct MediatorStats {
+  uint64_t update_txns = 0;
+  uint64_t query_txns = 0;
+  uint64_t polls = 0;
+  uint64_t polled_tuples = 0;
+  uint64_t messages_received = 0;
+  IupStats iup;
+};
+
+/// \brief A generated Squirrel integration mediator.
+class Mediator {
+ public:
+  /// Builds a mediator for \p vdp with \p ann over \p sources. Validates
+  /// that every VDP leaf maps to a declared relation of a given source.
+  static Result<std::unique_ptr<Mediator>> Create(
+      Vdp vdp, Annotation ann, std::vector<SourceSetup> sources,
+      Scheduler* scheduler, MediatorOptions options = {});
+
+  /// Initializes the view from the sources' current states (t_view_init),
+  /// installs channel receivers, starts announcers and the update policy.
+  Status Start();
+
+  /// Submits a query; the callback fires at the query transaction's commit
+  /// (same event when no polling is needed). Transactions serialize.
+  void SubmitQuery(const ViewQuery& q,
+                   std::function<void(Result<ViewAnswer>)> callback);
+
+  // ---- introspection ----
+  const Vdp& vdp() const { return vdp_; }
+  const Annotation& annotation() const { return ann_; }
+  const LocalStore& store() const { return *store_; }
+  const Trace& trace() const { return *trace_; }
+  const MediatorStats& stats() const { return stats_; }
+  Scheduler& scheduler() { return *scheduler_; }
+
+  /// Contributor classification per source, in source order.
+  std::vector<ContributorKind> ContributorKinds() const;
+  /// Source names in mediator order (the reflect-vector order).
+  std::vector<std::string> SourceNames() const;
+  /// Delay profiles from the setups (for Theorem 7.2 bounds).
+  std::vector<DelayProfile> DelayProfiles() const;
+  /// The mediator-side delays (for Theorem 7.2 bounds).
+  MediatorDelays Delays() const;
+  /// Current ref' vector (materialized/hybrid entries meaningful).
+  TimeVector CurrentReflect() const;
+  /// Time the view was initialized.
+  Time view_init_time() const { return view_init_time_; }
+  /// Approximate bytes held in materialized repositories.
+  size_t StoreBytes() const { return store_->ApproxBytes(); }
+  /// True iff a transaction is executing (between start and commit).
+  bool busy() const { return busy_; }
+
+ private:
+  struct SourceRuntime {
+    SourceSetup setup;
+    ContributorKind kind = ContributorKind::kMaterialized;
+    size_t index = 0;
+    std::unique_ptr<Channel<SourceToMediatorMsg>> inbound;
+    std::unique_ptr<Channel<PollRequest>> outbound;
+    std::unique_ptr<Announcer> announcer;
+    std::unique_ptr<PollResponder> responder;
+    Time last_reflected_send = 0;
+  };
+
+  struct PollWait {
+    size_t remaining = 0;
+    std::map<std::string, std::deque<Relation>> ready;
+    std::map<std::string, Time> answered_at;
+    /// Queue contents from each source snapshotted the instant its answer
+    /// arrived: FIFO guarantees exactly these updates are reflected in the
+    /// answer, so they are what Eager Compensation must subtract. Updates
+    /// arriving later (while other sources' answers are still in flight)
+    /// are NOT in the answer and must not be compensated.
+    std::map<std::string, MultiDelta> pending_at_answer;
+    std::function<void()> on_complete;
+  };
+
+  Mediator() = default;
+
+  void OnSourceMessage(SourceToMediatorMsg msg);
+  void EnqueueTxn(std::function<void()> txn);
+  void StartNextTxn();
+  void FinishTxn();
+  void ScheduleUpdateTxn();
+  void PeriodicTick();
+  void RunUpdateTxn();
+  void RunQueryTxn(ViewQuery q, std::function<void(Result<ViewAnswer>)> cb);
+  /// Sends grouped poll requests; invokes \p done when all answers arrived.
+  void IssuePolls(const VapPlan& plan, std::function<void()> done);
+  /// Poll function serving answers collected by IssuePolls, in plan order.
+  Vap::PollFn ReadyPollFn();
+  /// Compensation against the queue and (for updates) the in-flight batch.
+  Vap::CompensationFn MakeCompensation(
+      const std::map<std::string, MultiDelta>* inflight) const;
+  TimeVector QueryReflect(const std::vector<std::string>& polled) const;
+  TimeVector UpdateReflect() const;
+  void RecordUpdateCommit(const IupStats& stats, uint64_t polls);
+  SourceRuntime* FindSource(const std::string& name);
+
+  Vdp vdp_;
+  Annotation ann_;
+  MediatorOptions options_;
+  Scheduler* scheduler_ = nullptr;
+  std::vector<std::unique_ptr<SourceRuntime>> sources_;
+  std::map<std::string, size_t> source_index_;
+
+  std::unique_ptr<LocalStore> store_;
+  std::unique_ptr<Vap> vap_;
+  std::unique_ptr<Iup> iup_;
+  std::unique_ptr<QueryProcessor> qp_;
+  UpdateQueue queue_;
+  std::unique_ptr<Trace> trace_;
+  MediatorStats stats_;
+
+  bool started_ = false;
+  bool busy_ = false;
+  bool update_txn_scheduled_ = false;
+  std::deque<std::function<void()>> pending_txns_;
+  std::optional<PollWait> poll_wait_;
+  uint64_t next_poll_id_ = 1;
+  Time view_init_time_ = 0;
+};
+
+}  // namespace squirrel
+
+#endif  // SQUIRREL_MEDIATOR_MEDIATOR_H_

@@ -1,0 +1,41 @@
+#include "mediator/query.h"
+
+#include "common/strings.h"
+#include "relational/algebra.h"
+#include "relational/parser.h"
+
+namespace squirrel {
+
+std::string ViewQuery::ToString() const {
+  std::string out = relation;
+  if (cond && !cond->IsTrueLiteral()) {
+    out = "select[" + cond->ToString() + "](" + out + ")";
+  }
+  if (!attrs.empty()) {
+    out = "project[" + Join(attrs, ", ") + "](" + out + ")";
+  }
+  return out;
+}
+
+Result<ViewQuery> ParseViewQuery(const std::string& text) {
+  SQ_ASSIGN_OR_RETURN(AlgebraExpr::Ptr expr, ParseAlgebra(text));
+  ViewQuery q;
+  const AlgebraExpr* e = expr.get();
+  if (e->kind() == AlgebraExpr::Kind::kProject) {
+    q.attrs = e->attrs();
+    e = e->left().get();
+  }
+  if (e->kind() == AlgebraExpr::Kind::kSelect) {
+    q.cond = e->condition();
+    e = e->left().get();
+  }
+  if (e->kind() != AlgebraExpr::Kind::kScan) {
+    return Status::Unsupported(
+        "view queries must be project[..](select[..](Relation)) forms: " +
+        text);
+  }
+  q.relation = e->relation();
+  return q;
+}
+
+}  // namespace squirrel

@@ -1,0 +1,44 @@
+// Queries against the integrated view, and their results.
+
+#ifndef SQUIRREL_MEDIATOR_QUERY_H_
+#define SQUIRREL_MEDIATOR_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/expr.h"
+#include "relational/relation.h"
+#include "sim/clock.h"
+
+namespace squirrel {
+
+/// A view query q = π_attrs σ_cond(export relation) (paper §6.3's (R, A, f)
+/// form, which is the fragment the QP/VAP machinery is specified over).
+struct ViewQuery {
+  std::string relation;             ///< an export relation of the VDP
+  std::vector<std::string> attrs;   ///< projection list (empty = all attrs)
+  Expr::Ptr cond;                   ///< selection (null = true)
+
+  /// Renders e.g. "project[r3,s1](select[r3 < 100](T))".
+  std::string ToString() const;
+};
+
+/// Parses "project[a, b](select[c < 5](T))" / "select[...](T)" / "T" into a
+/// ViewQuery (single-relation πσ forms only).
+Result<ViewQuery> ParseViewQuery(const std::string& text);
+
+/// The answer to a view query.
+struct ViewAnswer {
+  Relation data;              ///< set semantics (the view language is
+                              ///< set-based; duplicates are merged)
+  bool used_virtual = false;  ///< true iff the VAP had to run
+  size_t polls = 0;           ///< source polls performed for this query
+  Time commit_time = 0;       ///< query transaction commit time
+  TimeVector reflect;         ///< reflect vector (paper §6.1), one entry
+                              ///< per source in mediator source order
+};
+
+}  // namespace squirrel
+
+#endif  // SQUIRREL_MEDIATOR_QUERY_H_

@@ -1,0 +1,112 @@
+#include "mediator/query_processor.h"
+
+#include <set>
+
+#include "common/strings.h"
+#include "relational/operators.h"
+
+namespace squirrel {
+
+namespace {
+
+std::vector<std::string> NeededAttrs(const Schema& schema,
+                                     const ViewQuery& q) {
+  std::set<std::string> needed(q.attrs.begin(), q.attrs.end());
+  if (q.cond) q.cond->CollectAttrs(&needed);
+  std::vector<std::string> out;
+  for (const auto& a : schema.attrs()) {
+    if (needed.count(a.name)) out.push_back(a.name);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ViewQuery> QueryProcessor::Normalize(const ViewQuery& q) const {
+  SQ_ASSIGN_OR_RETURN(const VdpNode* node, vdp_->Get(q.relation));
+  if (!node->exported) {
+    return Status::InvalidArgument("relation " + q.relation +
+                                   " is not an export relation of the view");
+  }
+  ViewQuery out = q;
+  if (out.attrs.empty()) out.attrs = node->schema.AttributeNames();
+  for (const auto& a : out.attrs) {
+    if (!node->schema.Contains(a)) {
+      return Status::NotFound("query attribute " + a + " not in " +
+                              q.relation);
+    }
+  }
+  if (out.cond) {
+    for (const auto& a : out.cond->ReferencedAttrs()) {
+      if (!node->schema.Contains(a)) {
+        return Status::NotFound("query condition attribute " + a +
+                                " not in " + q.relation);
+      }
+    }
+  } else {
+    out.cond = Expr::True();
+  }
+  return out;
+}
+
+Result<std::optional<VapPlan>> QueryProcessor::PlanFor(
+    const ViewQuery& q) const {
+  SQ_ASSIGN_OR_RETURN(const VdpNode* node, vdp_->Get(q.relation));
+  auto needed = NeededAttrs(node->schema, q);
+  if (vap_->RepoCovers(q.relation, needed)) {
+    return std::optional<VapPlan>();
+  }
+  TempRequest req;
+  req.node = q.relation;
+  req.attrs = needed;
+  req.cond = q.cond;
+  SQ_ASSIGN_OR_RETURN(VapPlan plan, vap_->Plan({req}));
+  return std::optional<VapPlan>(std::move(plan));
+}
+
+Result<QueryProcessor::LocalAnswer> QueryProcessor::AnswerFromRepo(
+    const ViewQuery& q) const {
+  SQ_ASSIGN_OR_RETURN(const Relation* repo, store_->Repo(q.relation));
+  SQ_ASSIGN_OR_RETURN(Relation selected, OpSelect(*repo, q.cond));
+  SQ_ASSIGN_OR_RETURN(Relation projected,
+                      OpProject(selected, q.attrs, Semantics::kBag));
+  LocalAnswer out;
+  out.data = projected.ToSet();
+  return out;
+}
+
+Result<QueryProcessor::LocalAnswer> QueryProcessor::Answer(
+    const ViewQuery& raw, const Vap::PollFn& poll,
+    const Vap::CompensationFn& comp) const {
+  SQ_ASSIGN_OR_RETURN(ViewQuery q, Normalize(raw));
+  SQ_ASSIGN_OR_RETURN(std::optional<VapPlan> plan, PlanFor(q));
+  if (!plan.has_value()) return AnswerFromRepo(q);
+  SQ_ASSIGN_OR_RETURN(TempStore temps, vap_->Execute(*plan, poll, comp));
+  SQ_ASSIGN_OR_RETURN(LocalAnswer out, AnswerWithTemps(q, temps));
+  out.polls = temps.polls;
+  out.polled_tuples = temps.polled_tuples;
+  return out;
+}
+
+Result<QueryProcessor::LocalAnswer> QueryProcessor::AnswerWithTemps(
+    const ViewQuery& raw, const TempStore& temps) const {
+  SQ_ASSIGN_OR_RETURN(ViewQuery q, Normalize(raw));
+  SQ_ASSIGN_OR_RETURN(const VdpNode* node, vdp_->Get(q.relation));
+  auto needed = NeededAttrs(node->schema, q);
+  if (vap_->RepoCovers(q.relation, needed)) return AnswerFromRepo(q);
+  const TempStore::Entry* entry = temps.Find(q.relation);
+  if (entry == nullptr || !temps.Covers(q.relation, needed)) {
+    return Status::Internal("no temporary for query " + q.ToString());
+  }
+  // The temp is π_needed σ_cond(relation): project and re-select (the
+  // temp's condition may be an OR-merge wider than this query's).
+  SQ_ASSIGN_OR_RETURN(Relation selected, OpSelect(entry->data, q.cond));
+  SQ_ASSIGN_OR_RETURN(Relation projected,
+                      OpProject(selected, q.attrs, Semantics::kBag));
+  LocalAnswer out;
+  out.data = projected.ToSet();
+  out.used_virtual = true;
+  return out;
+}
+
+}  // namespace squirrel

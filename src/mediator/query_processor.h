@@ -1,0 +1,62 @@
+// The Query Processor (paper §4, §6.3): answers view queries from the local
+// store when possible, and through VAP temporaries when virtual attributes
+// are involved. Export answers use set semantics (the view definition
+// language is set-based; bags are internal).
+
+#ifndef SQUIRREL_MEDIATOR_QUERY_PROCESSOR_H_
+#define SQUIRREL_MEDIATOR_QUERY_PROCESSOR_H_
+
+#include <optional>
+
+#include "common/status.h"
+#include "mediator/local_store.h"
+#include "mediator/query.h"
+#include "mediator/vap.h"
+#include "vdp/vdp.h"
+
+namespace squirrel {
+
+/// \brief Answers ViewQueries over an annotated VDP.
+class QueryProcessor {
+ public:
+  /// Answer computed locally (timing/reflect data added by the Mediator).
+  struct LocalAnswer {
+    Relation data;              ///< set-semantics result
+    bool used_virtual = false;  ///< true iff the VAP ran
+    uint64_t polls = 0;         ///< source polls performed
+    uint64_t polled_tuples = 0;
+  };
+
+  /// None of the pointers are owned; all must outlive the processor.
+  QueryProcessor(const Vdp* vdp, const Annotation* ann,
+                 const LocalStore* store, const Vap* vap)
+      : vdp_(vdp), ann_(ann), store_(store), vap_(vap) {}
+
+  /// Normalizes a query: checks the relation is exported, defaults empty
+  /// attrs to the full schema, checks attrs exist.
+  Result<ViewQuery> Normalize(const ViewQuery& q) const;
+
+  /// The VAP plan the query needs, or nullopt when the materialized data
+  /// suffices. Input should be normalized.
+  Result<std::optional<VapPlan>> PlanFor(const ViewQuery& q) const;
+
+  /// Answers \p q, running the VAP with \p poll / \p comp when needed.
+  Result<LocalAnswer> Answer(const ViewQuery& q, const Vap::PollFn& poll,
+                             const Vap::CompensationFn& comp) const;
+
+  /// Answers \p q against pre-built temporaries (the Mediator's async path).
+  Result<LocalAnswer> AnswerWithTemps(const ViewQuery& q,
+                                      const TempStore& temps) const;
+
+ private:
+  Result<LocalAnswer> AnswerFromRepo(const ViewQuery& q) const;
+
+  const Vdp* vdp_;
+  const Annotation* ann_;
+  const LocalStore* store_;
+  const Vap* vap_;
+};
+
+}  // namespace squirrel
+
+#endif  // SQUIRREL_MEDIATOR_QUERY_PROCESSOR_H_

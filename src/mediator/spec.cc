@@ -1,0 +1,224 @@
+#include "mediator/spec.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace squirrel {
+
+Result<PlannerInput> MediatorSpec::ToPlannerInput() const {
+  PlannerInput input;
+  for (const auto& src : sources) {
+    for (const auto& decl : src.relations) {
+      if (input.scans.count(decl.name)) {
+        return Status::AlreadyExists(
+            "relation name used by two sources (qualify them uniquely): " +
+            decl.name);
+      }
+      input.scans[decl.name] = {src.name, decl.name, decl.schema};
+    }
+  }
+  for (const auto& [name, text] : exports) {
+    SQ_ASSIGN_OR_RETURN(AlgebraExpr::Ptr def, ParseAlgebra(text));
+    input.exports.push_back({name, def});
+  }
+  return input;
+}
+
+namespace {
+
+Result<double> ParseNumber(const std::string& token, const std::string& what) {
+  char* end = nullptr;
+  double v = std::strtod(token.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    return Status::InvalidArgument("bad number for " + what + ": " + token);
+  }
+  return v;
+}
+
+std::vector<std::string> Tokens(std::string_view line) {
+  std::vector<std::string> out;
+  for (const auto& t : Split(std::string(line), ' ')) {
+    auto s = StripWhitespace(t);
+    if (!s.empty()) out.emplace_back(s);
+  }
+  return out;
+}
+
+}  // namespace
+
+namespace {
+
+bool IsDirective(const std::string& line) {
+  return StartsWith(line, "source ") || StartsWith(line, "relation ") ||
+         StartsWith(line, "export ") || StartsWith(line, "annotate ") ||
+         StartsWith(line, "option ");
+}
+
+/// Joins continuation lines: a non-empty line that does not begin with a
+/// directive keyword extends the previous logical line (so long export
+/// definitions can wrap).
+std::vector<std::pair<int, std::string>> LogicalLines(
+    const std::string& text) {
+  std::vector<std::pair<int, std::string>> out;
+  int line_no = 0;
+  for (const auto& raw : Split(text, '\n')) {
+    ++line_no;
+    std::string line(StripWhitespace(raw));
+    auto hash = line.find('#');
+    if (hash != std::string::npos) {
+      line = std::string(StripWhitespace(line.substr(0, hash)));
+    }
+    if (line.empty()) continue;
+    if (!IsDirective(line) && !out.empty()) {
+      out.back().second += " " + line;
+    } else {
+      out.emplace_back(line_no, line);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<MediatorSpec> ParseMediatorSpec(const std::string& text) {
+  MediatorSpec spec;
+  SpecSource* current = nullptr;
+  for (const auto& [line_no_loop, line] : LogicalLines(text)) {
+    const int line_no = line_no_loop;
+    auto err = [&](const std::string& msg) {
+      return Status::InvalidArgument("spec line " + std::to_string(line_no) +
+                                     ": " + msg);
+    };
+
+    if (StartsWith(line, "source ")) {
+      auto toks = Tokens(line);
+      if (toks.size() < 2) return err("source needs a name");
+      SpecSource src;
+      src.name = toks[1];
+      for (size_t i = 2; i + 1 < toks.size(); i += 2) {
+        SQ_ASSIGN_OR_RETURN(double v, ParseNumber(toks[i + 1], toks[i]));
+        if (toks[i] == "comm") {
+          src.comm_delay = v;
+        } else if (toks[i] == "qproc") {
+          src.q_proc_delay = v;
+        } else if (toks[i] == "announce") {
+          src.announce_period = v;
+        } else {
+          return err("unknown source option: " + toks[i]);
+        }
+      }
+      spec.sources.push_back(std::move(src));
+      current = &spec.sources.back();
+      continue;
+    }
+    if (StartsWith(line, "relation ")) {
+      if (current == nullptr) return err("relation before any source");
+      SQ_ASSIGN_OR_RETURN(SchemaDecl decl,
+                          ParseSchemaDecl(line.substr(9)));
+      current->relations.push_back(std::move(decl));
+      continue;
+    }
+    if (StartsWith(line, "export ")) {
+      auto eq = line.find('=');
+      if (eq == std::string::npos) return err("export needs '='");
+      std::string name(StripWhitespace(line.substr(7, eq - 7)));
+      std::string def(StripWhitespace(line.substr(eq + 1)));
+      if (name.empty() || def.empty()) return err("empty export name or def");
+      spec.exports.emplace_back(name, def);
+      continue;
+    }
+    if (StartsWith(line, "annotate ")) {
+      auto colon = line.find(':');
+      if (colon == std::string::npos) return err("annotate needs ':'");
+      std::string node(StripWhitespace(line.substr(9, colon - 9)));
+      std::string ann(StripWhitespace(line.substr(colon + 1)));
+      spec.annotations.emplace_back(node, ann);
+      continue;
+    }
+    if (StartsWith(line, "option ")) {
+      auto toks = Tokens(line);
+      if (toks.size() != 3) return err("option needs a name and a value");
+      const std::string& key = toks[1];
+      const std::string& val = toks[2];
+      if (key == "strategy") {
+        if (val == "auto") {
+          spec.options.strategy = VapStrategy::kAuto;
+        } else if (val == "child") {
+          spec.options.strategy = VapStrategy::kChildBased;
+        } else if (val == "key") {
+          spec.options.strategy = VapStrategy::kKeyBased;
+        } else {
+          return err("unknown strategy: " + val);
+        }
+      } else if (key == "update_period") {
+        SQ_ASSIGN_OR_RETURN(spec.options.update_period,
+                            ParseNumber(val, key));
+      } else if (key == "uproc") {
+        SQ_ASSIGN_OR_RETURN(spec.options.u_proc_delay, ParseNumber(val, key));
+      } else if (key == "qproc") {
+        SQ_ASSIGN_OR_RETURN(spec.options.q_proc_delay, ParseNumber(val, key));
+      } else if (key == "trace") {
+        spec.options.record_trace = val == "on" || val == "true";
+        spec.options.snapshot_repos = spec.options.record_trace;
+      } else {
+        return err("unknown option: " + key);
+      }
+      continue;
+    }
+    return err("unrecognized directive: " + line);
+  }
+  if (spec.sources.empty()) {
+    return Status::InvalidArgument("spec declares no sources");
+  }
+  if (spec.exports.empty()) {
+    return Status::InvalidArgument("spec declares no exports");
+  }
+  return spec;
+}
+
+SourceDb* GeneratedSystem::Source(const std::string& name) const {
+  for (const auto& db : sources) {
+    if (db->name() == name) return db.get();
+  }
+  return nullptr;
+}
+
+Result<GeneratedSystem> GenerateSystem(const MediatorSpec& spec,
+                                       Scheduler* scheduler) {
+  GeneratedSystem out;
+  // Sources with declared relations.
+  for (const auto& src : spec.sources) {
+    auto db = std::make_unique<SourceDb>(src.name);
+    for (const auto& decl : src.relations) {
+      SQ_RETURN_IF_ERROR(db->AddRelation(decl.name, decl.schema));
+    }
+    out.sources.push_back(std::move(db));
+  }
+  // Plan the VDP.
+  SQ_ASSIGN_OR_RETURN(PlannerInput input, spec.ToPlannerInput());
+  SQ_ASSIGN_OR_RETURN(out.vdp, PlanVdp(input));
+  // Apply annotations.
+  for (const auto& [node, ann_spec] : spec.annotations) {
+    SQ_RETURN_IF_ERROR(
+        out.annotation.SetFromSpec(out.vdp, node, ann_spec));
+  }
+  SQ_RETURN_IF_ERROR(out.annotation.Validate(out.vdp));
+  // Wire the mediator.
+  std::vector<SourceSetup> setups;
+  for (size_t i = 0; i < spec.sources.size(); ++i) {
+    SourceSetup setup;
+    setup.db = out.sources[i].get();
+    setup.comm_delay = spec.sources[i].comm_delay;
+    setup.q_proc_delay = spec.sources[i].q_proc_delay;
+    setup.announce_period = spec.sources[i].announce_period;
+    setups.push_back(setup);
+  }
+  SQ_ASSIGN_OR_RETURN(out.mediator,
+                      Mediator::Create(out.vdp, out.annotation,
+                                       std::move(setups), scheduler,
+                                       spec.options));
+  return out;
+}
+
+}  // namespace squirrel

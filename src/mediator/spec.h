@@ -1,0 +1,81 @@
+// High-level mediator specifications.
+//
+// Squirrel is "a tool that can be used to generate these mediators from
+// high-level specifications" [ZHK95]. MediatorSpec is that specification: a
+// small text format declaring sources (with delay characteristics), export
+// view definitions in the relational algebra, and annotations; a generator
+// turns it into source databases, a planned VDP, and a running Mediator.
+//
+//   # Example 2.1 (Figure 1)
+//   source DB1 comm 1.0 qproc 0.5 announce 0
+//     relation R(r1, r2, r3, r4) key(r1)
+//   source DB2 comm 1.0
+//     relation S(s1, s2, s3) key(s1)
+//   export T = project[r1, r3, s1, s2](
+//       select[r4 = 100](R) join[r2 = s1] select[s3 < 50](S))
+//   annotate T: r1 m, r3 v, s1 m, s2 v
+//   annotate R': r1 v, r2 v, r3 v
+//   option strategy auto
+//   option update_period 2.0
+
+#ifndef SQUIRREL_MEDIATOR_SPEC_H_
+#define SQUIRREL_MEDIATOR_SPEC_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mediator/mediator.h"
+#include "relational/parser.h"
+#include "source/source_db.h"
+#include "vdp/planner.h"
+
+namespace squirrel {
+
+/// One declared source database.
+struct SpecSource {
+  std::string name;
+  Time comm_delay = 0;
+  Time q_proc_delay = 0;
+  Time announce_period = 0;
+  std::vector<SchemaDecl> relations;
+};
+
+/// A parsed mediator specification.
+struct MediatorSpec {
+  std::vector<SpecSource> sources;
+  std::vector<std::pair<std::string, std::string>> exports;  // name, algebra
+  std::vector<std::pair<std::string, std::string>> annotations;  // node, spec
+  MediatorOptions options;
+
+  /// Planner input derived from the declarations (relation names must be
+  /// unique across sources).
+  Result<PlannerInput> ToPlannerInput() const;
+};
+
+/// Parses the textual format above. '#' starts a comment; 'relation' lines
+/// attach to the preceding 'source'.
+Result<MediatorSpec> ParseMediatorSpec(const std::string& text);
+
+/// Everything GenerateSystem builds: live (empty) sources plus a started-
+/// ready mediator wired to them.
+struct GeneratedSystem {
+  std::vector<std::unique_ptr<SourceDb>> sources;
+  Vdp vdp;                 // kept for inspection (the mediator holds a copy)
+  Annotation annotation;
+  std::unique_ptr<Mediator> mediator;
+
+  /// Convenience: the source database declared under \p name.
+  SourceDb* Source(const std::string& name) const;
+};
+
+/// Instantiates sources, plans the VDP, applies annotations, and creates the
+/// mediator (not yet Start()ed — load initial data into the sources first).
+Result<GeneratedSystem> GenerateSystem(const MediatorSpec& spec,
+                                       Scheduler* scheduler);
+
+}  // namespace squirrel
+
+#endif  // SQUIRREL_MEDIATOR_SPEC_H_

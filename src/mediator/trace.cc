@@ -1,0 +1,13 @@
+#include "mediator/trace.h"
+
+namespace squirrel {
+
+std::vector<const TraceEntry*> Trace::OfKind(TxnKind kind) const {
+  std::vector<const TraceEntry*> out;
+  for (const auto& e : entries_) {
+    if (e.kind == kind) out.push_back(&e);
+  }
+  return out;
+}
+
+}  // namespace squirrel

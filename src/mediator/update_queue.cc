@@ -1,0 +1,35 @@
+#include "mediator/update_queue.h"
+
+namespace squirrel {
+
+void UpdateQueue::Enqueue(UpdateMessage msg) {
+  ++total_enqueued_;
+  total_atoms_ += msg.delta.AtomCount();
+  messages_.push_back(std::move(msg));
+}
+
+std::vector<UpdateMessage> UpdateQueue::Flush() {
+  std::vector<UpdateMessage> out(messages_.begin(), messages_.end());
+  messages_.clear();
+  return out;
+}
+
+Result<MultiDelta> UpdateQueue::PendingFrom(const std::string& source) const {
+  MultiDelta out;
+  for (const auto& msg : messages_) {
+    if (msg.source != source) continue;
+    SQ_RETURN_IF_ERROR(out.SmashInPlace(msg.delta));
+  }
+  return out;
+}
+
+Time UpdateQueue::LastPendingSendTime(const std::string& source,
+                                      Time fallback) const {
+  Time out = fallback;
+  for (const auto& msg : messages_) {
+    if (msg.source == source) out = msg.send_time;
+  }
+  return out;
+}
+
+}  // namespace squirrel

@@ -1,0 +1,58 @@
+// The mediator's incremental update queue (paper §4, §6.1).
+//
+// Holds UpdateMessages from the sources in arrival order. The IUP flushes
+// the whole queue at the start of each update transaction; between flushes
+// the Eager-Compensation machinery reads (without removing) the pending
+// deltas of a given source to roll poll answers back to the reflected state.
+
+#ifndef SQUIRREL_MEDIATOR_UPDATE_QUEUE_H_
+#define SQUIRREL_MEDIATOR_UPDATE_QUEUE_H_
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "source/messages.h"
+
+namespace squirrel {
+
+/// \brief FIFO of update announcements with ECA read access.
+class UpdateQueue {
+ public:
+  UpdateQueue() = default;
+
+  /// Appends a message (called by the mediator's channel receiver).
+  void Enqueue(UpdateMessage msg);
+
+  /// True iff no messages are waiting.
+  bool Empty() const { return messages_.empty(); }
+  /// Number of waiting messages.
+  size_t Size() const { return messages_.size(); }
+
+  /// Removes and returns all waiting messages, in arrival order. This is
+  /// the empty_queue(t) instant of paper §6.1.
+  std::vector<UpdateMessage> Flush();
+
+  /// Smash of the deltas of all *waiting* messages from \p source (arrival
+  /// order). Used by Eager Compensation; does not remove anything.
+  Result<MultiDelta> PendingFrom(const std::string& source) const;
+
+  /// Send time of the last waiting message from \p source (or \p fallback).
+  Time LastPendingSendTime(const std::string& source, Time fallback) const;
+
+  /// Total messages ever enqueued.
+  uint64_t TotalEnqueued() const { return total_enqueued_; }
+  /// Total delta atoms ever enqueued.
+  uint64_t TotalAtoms() const { return total_atoms_; }
+
+ private:
+  std::deque<UpdateMessage> messages_;
+  uint64_t total_enqueued_ = 0;
+  uint64_t total_atoms_ = 0;
+};
+
+}  // namespace squirrel
+
+#endif  // SQUIRREL_MEDIATOR_UPDATE_QUEUE_H_

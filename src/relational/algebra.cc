@@ -1,0 +1,99 @@
+#include "relational/algebra.h"
+
+#include "common/strings.h"
+
+namespace squirrel {
+
+AlgebraExpr::Ptr AlgebraExpr::Scan(std::string relation) {
+  auto e = std::shared_ptr<AlgebraExpr>(new AlgebraExpr());
+  e->kind_ = Kind::kScan;
+  e->relation_ = std::move(relation);
+  return e;
+}
+
+AlgebraExpr::Ptr AlgebraExpr::Select(Expr::Ptr cond, Ptr child) {
+  auto e = std::shared_ptr<AlgebraExpr>(new AlgebraExpr());
+  e->kind_ = Kind::kSelect;
+  e->condition_ = cond ? std::move(cond) : Expr::True();
+  e->left_ = std::move(child);
+  return e;
+}
+
+AlgebraExpr::Ptr AlgebraExpr::Project(std::vector<std::string> attrs,
+                                      Ptr child) {
+  auto e = std::shared_ptr<AlgebraExpr>(new AlgebraExpr());
+  e->kind_ = Kind::kProject;
+  e->attrs_ = std::move(attrs);
+  e->left_ = std::move(child);
+  return e;
+}
+
+AlgebraExpr::Ptr AlgebraExpr::Join(Expr::Ptr cond, Ptr left, Ptr right) {
+  auto e = std::shared_ptr<AlgebraExpr>(new AlgebraExpr());
+  e->kind_ = Kind::kJoin;
+  e->condition_ = cond ? std::move(cond) : Expr::True();
+  e->left_ = std::move(left);
+  e->right_ = std::move(right);
+  return e;
+}
+
+AlgebraExpr::Ptr AlgebraExpr::Union(Ptr left, Ptr right) {
+  auto e = std::shared_ptr<AlgebraExpr>(new AlgebraExpr());
+  e->kind_ = Kind::kUnion;
+  e->left_ = std::move(left);
+  e->right_ = std::move(right);
+  return e;
+}
+
+AlgebraExpr::Ptr AlgebraExpr::Diff(Ptr left, Ptr right) {
+  auto e = std::shared_ptr<AlgebraExpr>(new AlgebraExpr());
+  e->kind_ = Kind::kDiff;
+  e->left_ = std::move(left);
+  e->right_ = std::move(right);
+  return e;
+}
+
+void AlgebraExpr::CollectScans(std::set<std::string>* out) const {
+  switch (kind_) {
+    case Kind::kScan:
+      out->insert(relation_);
+      return;
+    case Kind::kSelect:
+    case Kind::kProject:
+      left_->CollectScans(out);
+      return;
+    case Kind::kJoin:
+    case Kind::kUnion:
+    case Kind::kDiff:
+      left_->CollectScans(out);
+      right_->CollectScans(out);
+      return;
+  }
+}
+
+std::string AlgebraExpr::ToString() const {
+  switch (kind_) {
+    case Kind::kScan:
+      return relation_;
+    case Kind::kSelect:
+      return "select[" + condition_->ToString() + "](" + left_->ToString() +
+             ")";
+    case Kind::kProject:
+      return "project[" + ::squirrel::Join(attrs_, ", ") + "](" +
+             left_->ToString() + ")";
+    case Kind::kJoin: {
+      std::string cond = condition_->IsTrueLiteral()
+                             ? ""
+                             : "[" + condition_->ToString() + "]";
+      return "(" + left_->ToString() + " join" + cond + " " +
+             right_->ToString() + ")";
+    }
+    case Kind::kUnion:
+      return "(" + left_->ToString() + " union " + right_->ToString() + ")";
+    case Kind::kDiff:
+      return "(" + left_->ToString() + " diff " + right_->ToString() + ")";
+  }
+  return "?";
+}
+
+}  // namespace squirrel

@@ -1,0 +1,71 @@
+// Relational-algebra expression trees (view definitions).
+//
+// The paper's view definition language (§5): select, project, join (with
+// arbitrary theta conditions), union, and difference, in the attribute-based
+// form of the algebra. AlgebraExpr is the parsed form of a view definition;
+// the planner decomposes it into a VDP, and the evaluator executes it
+// directly (used by the pure-virtual baseline and by recompute checks).
+
+#ifndef SQUIRREL_RELATIONAL_ALGEBRA_H_
+#define SQUIRREL_RELATIONAL_ALGEBRA_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "relational/expr.h"
+
+namespace squirrel {
+
+/// \brief Immutable relational-algebra tree node.
+class AlgebraExpr {
+ public:
+  using Ptr = std::shared_ptr<const AlgebraExpr>;
+
+  /// Node discriminator.
+  enum class Kind { kScan, kSelect, kProject, kJoin, kUnion, kDiff };
+
+  /// Base-relation reference by name.
+  static Ptr Scan(std::string relation);
+  /// σ_cond(child); a null \p cond means "true".
+  static Ptr Select(Expr::Ptr cond, Ptr child);
+  /// π_attrs(child).
+  static Ptr Project(std::vector<std::string> attrs, Ptr child);
+  /// left ⋈_cond right; a null \p cond means a cross product.
+  static Ptr Join(Expr::Ptr cond, Ptr left, Ptr right);
+  /// left ∪ right (bag union in mediator internals, set in export).
+  static Ptr Union(Ptr left, Ptr right);
+  /// left − right (set difference).
+  static Ptr Diff(Ptr left, Ptr right);
+
+  Kind kind() const { return kind_; }
+  /// Scanned relation name; only for kScan.
+  const std::string& relation() const { return relation_; }
+  /// Selection or join condition (never null; True() when absent).
+  const Expr::Ptr& condition() const { return condition_; }
+  /// Projection attribute list; only for kProject.
+  const std::vector<std::string>& attrs() const { return attrs_; }
+  /// Only child (kSelect/kProject) or left child.
+  const Ptr& left() const { return left_; }
+  /// Right child (kJoin/kUnion/kDiff).
+  const Ptr& right() const { return right_; }
+
+  /// Adds every scanned base-relation name to \p out.
+  void CollectScans(std::set<std::string>* out) const;
+
+  /// Renders in the parser's concrete syntax.
+  std::string ToString() const;
+
+ private:
+  AlgebraExpr() = default;
+  Kind kind_ = Kind::kScan;
+  std::string relation_;
+  Expr::Ptr condition_;
+  std::vector<std::string> attrs_;
+  Ptr left_, right_;
+};
+
+}  // namespace squirrel
+
+#endif  // SQUIRREL_RELATIONAL_ALGEBRA_H_

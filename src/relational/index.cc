@@ -1,0 +1,30 @@
+#include "relational/index.h"
+
+namespace squirrel {
+
+const std::vector<std::pair<Tuple, int64_t>> HashIndex::kEmpty = {};
+
+Result<HashIndex> HashIndex::Build(const Relation& rel,
+                                   const std::vector<std::string>& attrs) {
+  HashIndex index;
+  index.attrs_ = attrs;
+  std::vector<size_t> positions;
+  positions.reserve(attrs.size());
+  for (const auto& a : attrs) {
+    auto idx = rel.schema().IndexOf(a);
+    if (!idx) return Status::NotFound("index attribute not in schema: " + a);
+    positions.push_back(*idx);
+  }
+  rel.ForEach([&](const Tuple& t, int64_t count) {
+    index.buckets_[t.Project(positions)].emplace_back(t, count);
+  });
+  return index;
+}
+
+const std::vector<std::pair<Tuple, int64_t>>& HashIndex::Probe(
+    const Tuple& key) const {
+  auto it = buckets_.find(key);
+  return it == buckets_.end() ? kEmpty : it->second;
+}
+
+}  // namespace squirrel

@@ -1,0 +1,45 @@
+// Hash index over a subset of a relation's attributes.
+//
+// Used by the VAP's key-based construction (paper Example 2.3 and §5.3's
+// heuristic: "materialize key attributes so virtual attributes of a join
+// relation can be fetched efficiently from its underlying relations").
+
+#ifndef SQUIRREL_RELATIONAL_INDEX_H_
+#define SQUIRREL_RELATIONAL_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/relation.h"
+
+namespace squirrel {
+
+/// \brief An in-memory hash index mapping projections of indexed attributes
+/// to the full tuples carrying them (with multiplicities).
+class HashIndex {
+ public:
+  /// Builds an index on \p rel over \p attrs (a snapshot; not maintained).
+  static Result<HashIndex> Build(const Relation& rel,
+                                 const std::vector<std::string>& attrs);
+
+  /// All (tuple, count) entries whose indexed attributes equal \p key.
+  const std::vector<std::pair<Tuple, int64_t>>& Probe(const Tuple& key) const;
+
+  /// Number of distinct index keys.
+  size_t KeyCount() const { return buckets_.size(); }
+
+  /// Indexed attribute names.
+  const std::vector<std::string>& attrs() const { return attrs_; }
+
+ private:
+  std::vector<std::string> attrs_;
+  std::unordered_map<Tuple, std::vector<std::pair<Tuple, int64_t>>, TupleHash>
+      buckets_;
+  static const std::vector<std::pair<Tuple, int64_t>> kEmpty;
+};
+
+}  // namespace squirrel
+
+#endif  // SQUIRREL_RELATIONAL_INDEX_H_

@@ -1,0 +1,49 @@
+// Text parsers for predicates, algebra expressions, and schema declarations.
+//
+// These power the "Squirrel generates mediators from high-level
+// specifications" workflow: a MediatorSpec is written as text and parsed
+// into schemas + view definitions. Concrete syntax:
+//
+//   predicate:  r4 = 100 AND s3 < 50
+//               a1*a1 + a2 < b2*b2
+//   algebra:    project[r1, r3, s1, s2](
+//                 select[r4 = 100](R) join[r2 = s1] select[s3 < 50](S))
+//               project[a1, b1](E) diff project[a1, b1](F)
+//   schema:     R(r1:int, r2:int, note:string) key(r1)
+//
+// Keywords (select/project/join/union/diff/minus/and/or/not/key) are
+// case-insensitive; identifiers are case-sensitive.
+
+#ifndef SQUIRREL_RELATIONAL_PARSER_H_
+#define SQUIRREL_RELATIONAL_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/status.h"
+#include "relational/algebra.h"
+#include "relational/expr.h"
+#include "relational/schema.h"
+
+namespace squirrel {
+
+/// Parses a scalar/boolean predicate, e.g. "r4 = 100 AND s3 < 50".
+Result<Expr::Ptr> ParsePredicate(std::string_view text);
+
+/// Parses a relational-algebra view definition.
+Result<AlgebraExpr::Ptr> ParseAlgebra(std::string_view text);
+
+/// A parsed "Name(attr:type, ...) key(attr, ...)" declaration.
+struct SchemaDecl {
+  std::string name;
+  Schema schema;
+};
+
+/// Parses a schema declaration. Attribute types default to int; supported
+/// type names are int, double, string.
+Result<SchemaDecl> ParseSchemaDecl(std::string_view text);
+
+}  // namespace squirrel
+
+#endif  // SQUIRREL_RELATIONAL_PARSER_H_

@@ -1,0 +1,121 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+
+namespace squirrel {
+
+Status Relation::Insert(const Tuple& tuple, int64_t count) {
+  if (count <= 0) {
+    return Status::InvalidArgument("insert count must be positive");
+  }
+  if (tuple.size() != schema_.size()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(tuple.size()) +
+        " does not match schema arity " + std::to_string(schema_.size()));
+  }
+  int64_t& slot = rows_[tuple];
+  if (semantics_ == Semantics::kSet) {
+    if (slot == 0) {
+      slot = 1;
+      total_ += 1;
+    }
+    return Status::OK();
+  }
+  slot += count;
+  total_ += count;
+  return Status::OK();
+}
+
+Status Relation::Remove(const Tuple& tuple, int64_t count) {
+  if (count <= 0) {
+    return Status::InvalidArgument("remove count must be positive");
+  }
+  auto it = rows_.find(tuple);
+  if (it == rows_.end()) {
+    return Status::FailedPrecondition("removing absent tuple " +
+                                      tuple.ToString());
+  }
+  if (semantics_ == Semantics::kSet) {
+    total_ -= 1;
+    rows_.erase(it);
+    return Status::OK();
+  }
+  if (it->second < count) {
+    return Status::FailedPrecondition(
+        "removing " + std::to_string(count) + " copies of " +
+        tuple.ToString() + " but only " + std::to_string(it->second) +
+        " present");
+  }
+  it->second -= count;
+  total_ -= count;
+  if (it->second == 0) rows_.erase(it);
+  return Status::OK();
+}
+
+Status Relation::Adjust(const Tuple& tuple, int64_t delta) {
+  if (delta > 0) return Insert(tuple, delta);
+  if (delta < 0) return Remove(tuple, -delta);
+  return Status::OK();
+}
+
+int64_t Relation::CountOf(const Tuple& tuple) const {
+  auto it = rows_.find(tuple);
+  return it == rows_.end() ? 0 : it->second;
+}
+
+void Relation::Clear() {
+  rows_.clear();
+  total_ = 0;
+}
+
+void Relation::ForEach(
+    const std::function<void(const Tuple&, int64_t)>& fn) const {
+  for (const auto& [tuple, count] : rows_) fn(tuple, count);
+}
+
+std::vector<std::pair<Tuple, int64_t>> Relation::SortedRows() const {
+  std::vector<std::pair<Tuple, int64_t>> out(rows_.begin(), rows_.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+bool Relation::EqualContents(const Relation& other) const {
+  if (schema_.AttributeNames() != other.schema_.AttributeNames()) return false;
+  if (rows_.size() != other.rows_.size()) return false;
+  for (const auto& [tuple, count] : rows_) {
+    if (other.CountOf(tuple) != count) return false;
+  }
+  return true;
+}
+
+Relation Relation::ToSet() const {
+  Relation out(schema_, Semantics::kSet);
+  for (const auto& [tuple, count] : rows_) {
+    (void)count;
+    (void)out.Insert(tuple);
+  }
+  return out;
+}
+
+size_t Relation::ApproxBytes() const {
+  size_t per_value = 0;
+  for (const auto& a : schema_.attrs()) {
+    per_value += a.type == ValueType::kString ? 40 : 16;
+  }
+  // Hash-map node overhead estimate: bucket pointer + node header + count.
+  return rows_.size() * (per_value + 48);
+}
+
+std::string Relation::ToString(const std::string& name) const {
+  std::string out = schema_.ToString(name);
+  out += semantics_ == Semantics::kBag ? " [bag]\n" : " [set]\n";
+  for (const auto& [tuple, count] : SortedRows()) {
+    out += "  " + tuple.ToString();
+    if (count != 1) out += " x" + std::to_string(count);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace squirrel

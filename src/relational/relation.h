@@ -1,0 +1,104 @@
+// Relations with set or bag semantics.
+//
+// Paper §5: "some of the relations stored inside an integration mediator may
+// be bags, in order to support our incremental maintenance algorithms; this
+// occurs if the integrated view involves projection or union." Bag relations
+// store tuple multiplicities; set relations cap multiplicity at one.
+
+#ifndef SQUIRREL_RELATIONAL_RELATION_H_
+#define SQUIRREL_RELATIONAL_RELATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+
+namespace squirrel {
+
+/// Storage semantics of a relation (paper §5.1: set nodes vs bag nodes).
+enum class Semantics { kSet, kBag };
+
+/// \brief A relation instance: a schema plus a tuple-multiplicity map.
+///
+/// Multiplicities are always >= 1; inserting with negative count or removing
+/// below zero is an error. Set relations clamp multiplicity at 1 (duplicate
+/// inserts are idempotent).
+class Relation {
+ public:
+  Relation() = default;
+  /// Creates an empty relation with the given schema and semantics.
+  explicit Relation(Schema schema, Semantics semantics = Semantics::kSet)
+      : schema_(std::move(schema)), semantics_(semantics) {}
+
+  /// The relation's schema.
+  const Schema& schema() const { return schema_; }
+  /// Set or bag storage.
+  Semantics semantics() const { return semantics_; }
+
+  /// Inserts \p count copies of \p tuple (set semantics: becomes present).
+  /// Fails if the arity does not match the schema or count <= 0.
+  Status Insert(const Tuple& tuple, int64_t count = 1);
+
+  /// Removes \p count copies (set semantics: removes the tuple). Fails if
+  /// the tuple has fewer than \p count copies.
+  Status Remove(const Tuple& tuple, int64_t count = 1);
+
+  /// Adjusts multiplicity by a signed \p delta, clamping per semantics.
+  /// Fails if the result would be negative.
+  Status Adjust(const Tuple& tuple, int64_t delta);
+
+  /// Multiplicity of \p tuple (0 if absent).
+  int64_t CountOf(const Tuple& tuple) const;
+  /// True iff \p tuple has multiplicity >= 1.
+  bool Contains(const Tuple& tuple) const { return CountOf(tuple) > 0; }
+
+  /// Number of distinct tuples.
+  size_t DistinctSize() const { return rows_.size(); }
+  /// Sum of multiplicities.
+  int64_t TotalSize() const { return total_; }
+  /// True iff the relation is empty.
+  bool Empty() const { return rows_.empty(); }
+
+  /// Removes all tuples.
+  void Clear();
+
+  /// Iterates (tuple, count) pairs in unspecified order.
+  void ForEach(const std::function<void(const Tuple&, int64_t)>& fn) const;
+
+  /// All (tuple, count) pairs sorted by tuple — deterministic, for tests
+  /// and display.
+  std::vector<std::pair<Tuple, int64_t>> SortedRows() const;
+
+  /// Underlying map (for zero-copy scans by operators).
+  const std::unordered_map<Tuple, int64_t, TupleHash>& rows() const {
+    return rows_;
+  }
+
+  /// Bag equality: same schema attribute names and same multiplicities.
+  bool EqualContents(const Relation& other) const;
+
+  /// Set-projection of this relation's contents as a set relation with the
+  /// same schema (dedupes a bag). Used when feeding set nodes.
+  Relation ToSet() const;
+
+  /// Approximate resident bytes (schema-aware, for space measurements).
+  size_t ApproxBytes() const;
+
+  /// Renders schema + sorted rows, e.g. for golden tests.
+  std::string ToString(const std::string& name = "") const;
+
+ private:
+  Schema schema_;
+  Semantics semantics_ = Semantics::kSet;
+  std::unordered_map<Tuple, int64_t, TupleHash> rows_;
+  int64_t total_ = 0;
+};
+
+}  // namespace squirrel
+
+#endif  // SQUIRREL_RELATIONAL_RELATION_H_

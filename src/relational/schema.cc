@@ -1,0 +1,106 @@
+#include "relational/schema.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace squirrel {
+
+Schema::Schema(std::vector<Attribute> attrs, std::vector<std::string> key)
+    : attrs_(std::move(attrs)), key_(std::move(key)) {}
+
+Schema Schema::AllInt(const std::vector<std::string>& names,
+                      std::vector<std::string> key) {
+  std::vector<Attribute> attrs;
+  attrs.reserve(names.size());
+  for (const auto& n : names) attrs.push_back({n, ValueType::kInt});
+  return Schema(std::move(attrs), std::move(key));
+}
+
+Status Schema::Validate() const {
+  std::unordered_set<std::string> seen;
+  for (const auto& a : attrs_) {
+    if (a.name.empty()) {
+      return Status::InvalidArgument("schema has an empty attribute name");
+    }
+    if (!seen.insert(a.name).second) {
+      return Status::InvalidArgument("duplicate attribute name: " + a.name);
+    }
+  }
+  for (const auto& k : key_) {
+    if (!seen.count(k)) {
+      return Status::InvalidArgument("key attribute not in schema: " + k);
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Schema::AttributeNames() const {
+  std::vector<std::string> out;
+  out.reserve(attrs_.size());
+  for (const auto& a : attrs_) out.push_back(a.name);
+  return out;
+}
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+bool Schema::ContainsAll(const std::vector<std::string>& names) const {
+  return std::all_of(names.begin(), names.end(),
+                     [&](const std::string& n) { return Contains(n); });
+}
+
+bool Schema::KeyCoveredBy(const std::vector<std::string>& names) const {
+  if (key_.empty()) return false;
+  return std::all_of(key_.begin(), key_.end(), [&](const std::string& k) {
+    return std::find(names.begin(), names.end(), k) != names.end();
+  });
+}
+
+Result<Schema> Schema::Project(const std::vector<std::string>& names) const {
+  std::vector<Attribute> attrs;
+  attrs.reserve(names.size());
+  for (const auto& n : names) {
+    auto idx = IndexOf(n);
+    if (!idx) {
+      return Status::NotFound("projection attribute not in schema: " + n);
+    }
+    attrs.push_back(attrs_[*idx]);
+  }
+  std::vector<std::string> key;
+  if (KeyCoveredBy(names)) key = key_;
+  Schema out(std::move(attrs), std::move(key));
+  SQ_RETURN_IF_ERROR(out.Validate());  // catches duplicate projection names
+  return out;
+}
+
+Result<Schema> Schema::Concat(const Schema& other) const {
+  std::vector<Attribute> attrs = attrs_;
+  attrs.insert(attrs.end(), other.attrs_.begin(), other.attrs_.end());
+  std::vector<std::string> key;
+  if (HasKey() && other.HasKey()) {
+    key = key_;
+    key.insert(key.end(), other.key_.begin(), other.key_.end());
+  }
+  Schema out(std::move(attrs), std::move(key));
+  SQ_RETURN_IF_ERROR(out.Validate());
+  return out;
+}
+
+std::string Schema::ToString(const std::string& rel_name) const {
+  std::vector<std::string> cols;
+  cols.reserve(attrs_.size());
+  for (const auto& a : attrs_) {
+    cols.push_back(a.name + ":" + ValueTypeName(a.type));
+  }
+  std::string out = rel_name + "(" + Join(cols, ", ") + ")";
+  if (HasKey()) out += " key(" + Join(key_, ", ") + ")";
+  return out;
+}
+
+}  // namespace squirrel

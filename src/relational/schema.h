@@ -1,0 +1,92 @@
+// Relation schemas: ordered attribute lists with types and an optional key.
+
+#ifndef SQUIRREL_RELATIONAL_SCHEMA_H_
+#define SQUIRREL_RELATIONAL_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/value.h"
+
+namespace squirrel {
+
+/// One named, typed column of a relation.
+struct Attribute {
+  std::string name;
+  ValueType type = ValueType::kInt;
+
+  bool operator==(const Attribute& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// \brief Ordered list of attributes plus an optional (primary) key.
+///
+/// Attribute names must be unique within a schema. The key, when present, is
+/// a subset of the attribute names; keys drive functional-dependency
+/// reasoning in the VAP's key-based construction (paper Example 2.3).
+class Schema {
+ public:
+  Schema() = default;
+  /// Builds a schema; duplicate names or key attrs not in the schema are an
+  /// error surfaced via Validate() (constructor stays cheap and total).
+  explicit Schema(std::vector<Attribute> attrs,
+                  std::vector<std::string> key = {});
+
+  /// Convenience: all-int attributes named \p names with key \p key.
+  static Schema AllInt(const std::vector<std::string>& names,
+                       std::vector<std::string> key = {});
+
+  /// Checks name uniqueness and key containment.
+  Status Validate() const;
+
+  /// Number of attributes.
+  size_t size() const { return attrs_.size(); }
+  /// Attribute at position \p i.
+  const Attribute& attr(size_t i) const { return attrs_[i]; }
+  /// All attributes in order.
+  const std::vector<Attribute>& attrs() const { return attrs_; }
+  /// All attribute names in order.
+  std::vector<std::string> AttributeNames() const;
+
+  /// Position of attribute \p name, or nullopt.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+  /// True iff the schema has an attribute called \p name.
+  bool Contains(const std::string& name) const {
+    return IndexOf(name).has_value();
+  }
+  /// True iff every name in \p names is in the schema.
+  bool ContainsAll(const std::vector<std::string>& names) const;
+
+  /// Key attribute names (may be empty = no declared key).
+  const std::vector<std::string>& key() const { return key_; }
+  /// True iff a key is declared.
+  bool HasKey() const { return !key_.empty(); }
+  /// True iff \p names is a superset of the declared (non-empty) key.
+  bool KeyCoveredBy(const std::vector<std::string>& names) const;
+
+  /// Schema of π_{names}(this); preserves this schema's attribute order?
+  /// No — uses the order given in \p names. The key is kept iff covered.
+  Result<Schema> Project(const std::vector<std::string>& names) const;
+
+  /// Schema of this ⋈ other (concatenation). Fails on duplicate names.
+  /// The key of the result is the union of both keys if both declared.
+  Result<Schema> Concat(const Schema& other) const;
+
+  /// Renders e.g. "R(a:int, b:string) key(a)".
+  std::string ToString(const std::string& rel_name = "") const;
+
+  bool operator==(const Schema& other) const {
+    return attrs_ == other.attrs_ && key_ == other.key_;
+  }
+
+ private:
+  std::vector<Attribute> attrs_;
+  std::vector<std::string> key_;
+};
+
+}  // namespace squirrel
+
+#endif  // SQUIRREL_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,44 @@
+#include "relational/tuple.h"
+
+#include "common/strings.h"
+
+namespace squirrel {
+
+Tuple Tuple::Concat(const Tuple& other) const {
+  std::vector<Value> out = values_;
+  out.insert(out.end(), other.values_.begin(), other.values_.end());
+  return Tuple(std::move(out));
+}
+
+Tuple Tuple::Project(const std::vector<size_t>& positions) const {
+  std::vector<Value> out;
+  out.reserve(positions.size());
+  for (size_t p : positions) out.push_back(values_[p]);
+  return Tuple(std::move(out));
+}
+
+uint64_t Tuple::Hash() const {
+  uint64_t h = 0xC0FFEEULL;
+  for (const auto& v : values_) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+int Tuple::Compare(const Tuple& other) const {
+  size_t n = std::min(values_.size(), other.values_.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = values_[i].Compare(other.values_[i]);
+    if (c != 0) return c;
+  }
+  if (values_.size() < other.values_.size()) return -1;
+  if (values_.size() > other.values_.size()) return 1;
+  return 0;
+}
+
+std::string Tuple::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(values_.size());
+  for (const auto& v : values_) parts.push_back(v.ToString());
+  return "(" + Join(parts, ", ") + ")";
+}
+
+}  // namespace squirrel

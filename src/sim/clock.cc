@@ -1,0 +1,27 @@
+#include "sim/clock.h"
+
+#include <cstdio>
+
+namespace squirrel {
+
+bool TimeVectorLeq(const TimeVector& a, const TimeVector& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+  }
+  return true;
+}
+
+std::string TimeVectorToString(const TimeVector& v) {
+  std::string out = "<";
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ", ";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", v[i]);
+    out += buf;
+  }
+  out += ">";
+  return out;
+}
+
+}  // namespace squirrel

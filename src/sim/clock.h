@@ -1,0 +1,30 @@
+// Virtual time for the integration-environment simulator.
+//
+// Paper §3 models global time as a totally ordered set isomorphic to the
+// reals; the simulator uses a double-valued virtual clock. No component is
+// required to know global time (the algorithms never read it), but the
+// simulator and the correctness checkers do.
+
+#ifndef SQUIRREL_SIM_CLOCK_H_
+#define SQUIRREL_SIM_CLOCK_H_
+
+#include <string>
+#include <vector>
+
+namespace squirrel {
+
+/// Global virtual time, in abstract seconds.
+using Time = double;
+
+/// A time vector <t_1, ..., t_n> over the n source databases (paper §3).
+using TimeVector = std::vector<Time>;
+
+/// Component-wise t <= t' over equal-length vectors.
+bool TimeVectorLeq(const TimeVector& a, const TimeVector& b);
+
+/// Renders "<1.5, 2, 3.25>".
+std::string TimeVectorToString(const TimeVector& v);
+
+}  // namespace squirrel
+
+#endif  // SQUIRREL_SIM_CLOCK_H_

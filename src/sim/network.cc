@@ -1,0 +1,4 @@
+// Channel is a header-only template; this translation unit exists so the
+// sim module has a stable object file and a place for future non-template
+// network utilities.
+#include "sim/network.h"

@@ -1,0 +1,43 @@
+#include "sim/scheduler.h"
+
+#include <algorithm>
+
+namespace squirrel {
+
+void Scheduler::At(Time t, std::function<void()> fn) {
+  Event e;
+  e.time = std::max(t, now_);
+  e.seq = next_seq_++;
+  e.fn = std::move(fn);
+  queue_.push(std::move(e));
+}
+
+size_t Scheduler::Run(size_t max_events) {
+  size_t n = 0;
+  while (!queue_.empty() && n < max_events) {
+    // Copy out (priority_queue::top is const; fn must be movable-out).
+    Event e = queue_.top();
+    queue_.pop();
+    now_ = e.time;
+    ++fired_;
+    ++n;
+    e.fn();
+  }
+  return n;
+}
+
+size_t Scheduler::RunUntil(Time t) {
+  size_t n = 0;
+  while (!queue_.empty() && queue_.top().time <= t) {
+    Event e = queue_.top();
+    queue_.pop();
+    now_ = e.time;
+    ++fired_;
+    ++n;
+    e.fn();
+  }
+  now_ = std::max(now_, t);
+  return n;
+}
+
+}  // namespace squirrel

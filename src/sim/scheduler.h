@@ -1,0 +1,68 @@
+// Deterministic discrete-event scheduler.
+//
+// Events fire in (time, insertion-sequence) order, so simulations are fully
+// reproducible. Event handlers may schedule further events (including at the
+// current time, which run after all earlier-scheduled same-time events).
+
+#ifndef SQUIRREL_SIM_SCHEDULER_H_
+#define SQUIRREL_SIM_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/clock.h"
+
+namespace squirrel {
+
+/// \brief Priority-queue based event loop over virtual time.
+class Scheduler {
+ public:
+  Scheduler() = default;
+
+  /// Current virtual time (the fire time of the running/last event).
+  Time Now() const { return now_; }
+
+  /// Schedules \p fn at absolute time \p t (>= Now(); clamped up if behind).
+  void At(Time t, std::function<void()> fn);
+
+  /// Schedules \p fn after \p delay (>= 0) from Now().
+  void After(Time delay, std::function<void()> fn) { At(now_ + delay, fn); }
+
+  /// Runs events until the queue is empty or \p max_events fired.
+  /// Returns the number of events fired.
+  size_t Run(size_t max_events = SIZE_MAX);
+
+  /// Runs events with fire time <= \p t; then advances Now() to \p t.
+  size_t RunUntil(Time t);
+
+  /// Number of pending events.
+  size_t Pending() const { return queue_.size(); }
+
+  /// Total events fired since construction.
+  uint64_t EventsFired() const { return fired_; }
+
+ private:
+  struct Event {
+    Time time;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  uint64_t fired_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace squirrel
+
+#endif  // SQUIRREL_SIM_SCHEDULER_H_

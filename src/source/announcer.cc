@@ -1,0 +1,80 @@
+#include "source/announcer.h"
+
+#include "common/logging.h"
+
+namespace squirrel {
+
+Announcer::Announcer(SourceDb* db, Scheduler* scheduler,
+                     Channel<SourceToMediatorMsg>* channel, Time period)
+    : db_(db), scheduler_(scheduler), channel_(channel), period_(period) {
+  db_->SetCommitListener(
+      [this](Time now, const MultiDelta& delta) { OnCommit(now, delta); });
+}
+
+void Announcer::Start() {
+  if (started_ || period_ <= 0) return;
+  started_ = true;
+  scheduler_->After(period_, [this]() { Tick(); });
+}
+
+void Announcer::OnCommit(Time now, const MultiDelta& delta) {
+  (void)now;
+  Status st = pending_.SmashInPlace(delta);
+  if (!st.ok()) {
+    SQ_LOG(kError) << "announcer smash failed: " << st.ToString();
+    return;
+  }
+  if (period_ <= 0) FlushNow();
+}
+
+void Announcer::FlushNow() {
+  if (pending_.Empty()) return;
+  UpdateMessage msg;
+  msg.source = db_->name();
+  msg.send_time = scheduler_->Now();
+  msg.seq = ++seq_;
+  msg.delta = std::move(pending_);
+  pending_ = MultiDelta();
+  channel_->Send(SourceToMediatorMsg(std::move(msg)));
+}
+
+void Announcer::Tick() {
+  FlushNow();
+  scheduler_->After(period_, [this]() { Tick(); });
+}
+
+PollResponder::PollResponder(SourceDb* db, Scheduler* scheduler,
+                             Channel<SourceToMediatorMsg>* out,
+                             Announcer* announcer, Time q_proc_delay)
+    : db_(db),
+      scheduler_(scheduler),
+      out_(out),
+      announcer_(announcer),
+      q_proc_delay_(q_proc_delay) {}
+
+void PollResponder::OnRequest(PollRequest request) {
+  scheduler_->After(q_proc_delay_, [this, req = std::move(request)]() {
+    PollAnswer answer;
+    answer.id = req.id;
+    answer.source = db_->name();
+    answer.answered_at = scheduler_->Now();
+    answer.results.reserve(req.polls.size());
+    for (const PollSpec& poll : req.polls) {
+      auto result = db_->Query(poll.relation, poll.attrs, poll.cond);
+      if (!result.ok()) {
+        SQ_LOG(kError) << "poll of " << db_->name() << "." << poll.relation
+                       << " failed: " << result.status().ToString();
+        answer.results.emplace_back();  // empty marker; mediator validates
+        continue;
+      }
+      answer.results.push_back(std::move(result).value());
+    }
+    ++answered_;
+    // Flush pending updates BEFORE the answer so ECA sees everything the
+    // source committed up to the answered_at state.
+    if (announcer_ != nullptr) announcer_->FlushNow();
+    out_->Send(SourceToMediatorMsg(std::move(answer)));
+  });
+}
+
+}  // namespace squirrel

@@ -1,0 +1,97 @@
+// Active-source machinery: update announcers and the poll responder.
+//
+// Announcer gives a source database the "active" capability paper §4
+// requires of materialized- and hybrid-contributors: it batches committed
+// deltas and ships them as single net-change messages, either immediately
+// (period 0) or periodically (the paper's ann_delay policy knob).
+//
+// PollResponder answers VAP polls after a simulated processing delay; for
+// hybrid contributors it flushes the announcer *before* answering on the
+// same FIFO channel, which is the ordering Eager Compensation relies on.
+
+#ifndef SQUIRREL_SOURCE_ANNOUNCER_H_
+#define SQUIRREL_SOURCE_ANNOUNCER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+#include "source/messages.h"
+#include "source/source_db.h"
+
+namespace squirrel {
+
+/// \brief Batches a source's committed deltas into UpdateMessages.
+class Announcer {
+ public:
+  /// \param db the source to announce for (installs its commit listener)
+  /// \param scheduler event loop (not owned)
+  /// \param channel FIFO link to the mediator (not owned)
+  /// \param period announcement period; 0 announces on every commit
+  Announcer(SourceDb* db, Scheduler* scheduler,
+            Channel<SourceToMediatorMsg>* channel, Time period);
+
+  /// Begins periodic announcements (no-op for period 0, which is push-based).
+  void Start();
+
+  /// Sends any pending delta immediately (used before answering polls and by
+  /// tests). No message is sent if nothing is pending.
+  void FlushNow();
+
+  /// Announcement period.
+  Time period() const { return period_; }
+  /// Messages sent so far.
+  uint64_t AnnouncementCount() const { return seq_; }
+  /// True iff commits since the last announcement are waiting.
+  bool HasPending() const { return !pending_.Empty(); }
+
+ private:
+  void OnCommit(Time now, const MultiDelta& delta);
+  void Tick();
+
+  SourceDb* db_;
+  Scheduler* scheduler_;
+  Channel<SourceToMediatorMsg>* channel_;
+  Time period_;
+  MultiDelta pending_;
+  uint64_t seq_ = 0;
+  bool started_ = false;
+};
+
+/// \brief Answers PollRequests against a source's current state.
+class PollResponder {
+ public:
+  /// \param db the source answering polls (not owned)
+  /// \param scheduler event loop (not owned)
+  /// \param out FIFO link to the mediator — the SAME channel the announcer
+  ///        uses, so answers serialize after flushed updates (not owned)
+  /// \param announcer flushed before answering (nullptr for pure
+  ///        virtual-contributors, which have no announcer)
+  /// \param q_proc_delay simulated per-request processing time
+  PollResponder(SourceDb* db, Scheduler* scheduler,
+                Channel<SourceToMediatorMsg>* out, Announcer* announcer,
+                Time q_proc_delay);
+
+  /// Handles an incoming request: after q_proc_delay, evaluates every poll
+  /// against one state, flushes the announcer, then sends the answer.
+  void OnRequest(PollRequest request);
+
+  /// Requests answered so far.
+  uint64_t AnsweredCount() const { return answered_; }
+  /// Simulated per-request processing time.
+  Time q_proc_delay() const { return q_proc_delay_; }
+
+ private:
+  SourceDb* db_;
+  Scheduler* scheduler_;
+  Channel<SourceToMediatorMsg>* out_;
+  Announcer* announcer_;
+  Time q_proc_delay_;
+  uint64_t answered_ = 0;
+};
+
+}  // namespace squirrel
+
+#endif  // SQUIRREL_SOURCE_ANNOUNCER_H_

@@ -1,0 +1,61 @@
+// Message types exchanged between source databases and a mediator.
+//
+// Both incremental updates and poll answers from one source travel on a
+// single FIFO channel (paper §4's in-order assumption; [ZGHW95]'s model).
+// This ordering is what makes Eager-Compensation correct: by the time a poll
+// answer arrives, every update the source committed before answering has
+// already been enqueued at the mediator.
+
+#ifndef SQUIRREL_SOURCE_MESSAGES_H_
+#define SQUIRREL_SOURCE_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "delta/delta.h"
+#include "relational/expr.h"
+#include "relational/relation.h"
+#include "sim/clock.h"
+
+namespace squirrel {
+
+/// One batched net-change announcement: "every source database sends all the
+/// updates that reflect the difference between two database states in a
+/// single undividable message" (paper §4).
+struct UpdateMessage {
+  std::string source;  ///< announcing source database
+  Time send_time = 0;  ///< when the announcement left the source
+  uint64_t seq = 0;    ///< per-source sequence number
+  MultiDelta delta;    ///< net changes since the previous announcement
+};
+
+/// One select/project poll of a single source relation: π_attrs σ_cond(rel).
+struct PollSpec {
+  std::string relation;
+  std::vector<std::string> attrs;
+  Expr::Ptr cond;  ///< null means true
+};
+
+/// A poll transaction: all polls of one source executed against one state
+/// (paper §6.3: "packages all pollings of DB_k into a single transaction").
+struct PollRequest {
+  uint64_t id = 0;
+  std::vector<PollSpec> polls;
+};
+
+/// Answers to a PollRequest; all results reflect the same source state.
+struct PollAnswer {
+  uint64_t id = 0;
+  std::string source;
+  Time answered_at = 0;  ///< source-side time the state was read
+  std::vector<Relation> results;  ///< aligned with PollRequest::polls
+};
+
+/// What flows source -> mediator on the shared FIFO channel.
+using SourceToMediatorMsg = std::variant<UpdateMessage, PollAnswer>;
+
+}  // namespace squirrel
+
+#endif  // SQUIRREL_SOURCE_MESSAGES_H_

@@ -1,0 +1,95 @@
+// Autonomous source databases (simulated substrate).
+//
+// The paper's sources are remote, autonomous DBMSs. This substrate provides
+// exactly the capabilities the algorithms rely on — local transactions,
+// answering select/project queries against a single state, and (for active
+// sources) exposing net-change deltas to an announcer — plus one capability
+// real deployments lack that the correctness checkers need: full state
+// history, so state(DB_i, t) of paper §3 is reconstructible for any t.
+
+#ifndef SQUIRREL_SOURCE_SOURCE_DB_H_
+#define SQUIRREL_SOURCE_SOURCE_DB_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "delta/delta.h"
+#include "relational/expr.h"
+#include "relational/relation.h"
+#include "sim/clock.h"
+
+namespace squirrel {
+
+/// \brief One autonomous source database: named set-relations, transactional
+/// commits stamped with virtual time, and a commit log for history replay.
+class SourceDb {
+ public:
+  /// Creates an empty database called \p name.
+  explicit SourceDb(std::string name) : name_(std::move(name)) {}
+
+  /// The database name (unique within an integration environment).
+  const std::string& name() const { return name_; }
+
+  /// Declares a relation. Source relations are sets (real DBMS tables).
+  Status AddRelation(const std::string& rel_name, Schema schema);
+
+  /// Names of declared relations (sorted).
+  std::vector<std::string> RelationNames() const;
+
+  /// Schema of a declared relation.
+  Result<Schema> RelationSchema(const std::string& rel_name) const;
+
+  /// Commits \p delta as one transaction at time \p now. Commit times must
+  /// be non-decreasing. The delta must be non-redundant (strict apply).
+  Status Commit(Time now, const MultiDelta& delta);
+
+  /// Convenience single-tuple insert committed at \p now.
+  Status InsertTuple(Time now, const std::string& rel_name, const Tuple& t);
+  /// Convenience single-tuple delete committed at \p now.
+  Status DeleteTuple(Time now, const std::string& rel_name, const Tuple& t);
+
+  /// Current contents of a relation.
+  Result<const Relation*> Current(const std::string& rel_name) const;
+
+  /// Reconstructs the contents of \p rel_name as of time \p t (commits with
+  /// time <= t applied). Used by the consistency/freshness checkers.
+  Result<Relation> StateAt(const std::string& rel_name, Time t) const;
+
+  /// Evaluates π_attrs σ_cond(rel) against the *current* state (bag result,
+  /// as projections may merge tuples). This is the query interface the
+  /// mediator's VAP polls.
+  Result<Relation> Query(const std::string& rel_name,
+                         const std::vector<std::string>& attrs,
+                         const Expr::Ptr& cond) const;
+
+  /// Installs a listener invoked after every successful commit (the
+  /// announcer of an active source). At most one listener.
+  void SetCommitListener(std::function<void(Time, const MultiDelta&)> fn) {
+    commit_listener_ = std::move(fn);
+  }
+
+  /// Number of committed transactions.
+  uint64_t CommitCount() const { return log_.size(); }
+  /// Commit times of every transaction, in order.
+  std::vector<Time> CommitTimes() const;
+  /// Time of the last commit (-inf if none).
+  Time LastCommitTime() const;
+
+ private:
+  struct LogEntry {
+    Time time;
+    MultiDelta delta;
+  };
+
+  std::string name_;
+  std::map<std::string, Relation> relations_;
+  std::vector<LogEntry> log_;
+  std::function<void(Time, const MultiDelta&)> commit_listener_;
+};
+
+}  // namespace squirrel
+
+#endif  // SQUIRREL_SOURCE_SOURCE_DB_H_

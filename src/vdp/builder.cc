@@ -1,0 +1,138 @@
+#include "vdp/builder.h"
+
+#include "relational/parser.h"
+
+namespace squirrel {
+
+void VdpBuilder::Record(const Status& st) {
+  if (first_error_.ok() && !st.ok()) first_error_ = st;
+}
+
+Result<ChildTerm> VdpBuilder::MakeTerm(const TermSpec& spec) {
+  ChildTerm term;
+  term.child = spec.child;
+  term.project = spec.project;
+  if (!spec.select.empty()) {
+    SQ_ASSIGN_OR_RETURN(term.select, ParsePredicate(spec.select));
+  }
+  return term;
+}
+
+VdpBuilder& VdpBuilder::Leaf(const std::string& name,
+                             const std::string& source_db,
+                             const std::string& source_relation,
+                             const std::string& schema_decl) {
+  auto decl = ParseSchemaDecl(schema_decl);
+  if (!decl.ok()) {
+    Record(decl.status());
+    return *this;
+  }
+  Record(vdp_.AddLeaf(name, source_db, source_relation,
+                      std::move(decl).value().schema));
+  return *this;
+}
+
+VdpBuilder& VdpBuilder::LeafWithSchema(const std::string& name,
+                                       const std::string& source_db,
+                                       const std::string& source_relation,
+                                       Schema schema) {
+  Record(vdp_.AddLeaf(name, source_db, source_relation, std::move(schema)));
+  return *this;
+}
+
+VdpBuilder& VdpBuilder::LeafParent(const std::string& name,
+                                   const std::string& leaf,
+                                   const std::vector<std::string>& project,
+                                   const std::string& select) {
+  auto term = MakeTerm({leaf, project, select});
+  if (!term.ok()) {
+    Record(term.status());
+    return *this;
+  }
+  NodeDef def = NodeDef::Spj({std::move(term).value()}, {}, {}, nullptr);
+  Record(vdp_.AddDerived(name, std::move(def)));
+  return *this;
+}
+
+VdpBuilder& VdpBuilder::Spj(const std::string& name,
+                            const std::vector<TermSpec>& terms,
+                            const std::vector<std::string>& join_conds,
+                            const std::vector<std::string>& outer_project,
+                            const std::string& outer_select, bool exported) {
+  std::vector<ChildTerm> ts;
+  for (const auto& spec : terms) {
+    auto term = MakeTerm(spec);
+    if (!term.ok()) {
+      Record(term.status());
+      return *this;
+    }
+    ts.push_back(std::move(term).value());
+  }
+  std::vector<Expr::Ptr> conds;
+  for (const auto& c : join_conds) {
+    if (c.empty()) {
+      conds.push_back(Expr::True());
+      continue;
+    }
+    auto cond = ParsePredicate(c);
+    if (!cond.ok()) {
+      Record(cond.status());
+      return *this;
+    }
+    conds.push_back(std::move(cond).value());
+  }
+  Expr::Ptr osel;
+  if (!outer_select.empty()) {
+    auto cond = ParsePredicate(outer_select);
+    if (!cond.ok()) {
+      Record(cond.status());
+      return *this;
+    }
+    osel = std::move(cond).value();
+  }
+  NodeDef def = NodeDef::Spj(std::move(ts), std::move(conds), outer_project,
+                             std::move(osel));
+  Record(vdp_.AddDerived(name, std::move(def), exported));
+  return *this;
+}
+
+VdpBuilder& VdpBuilder::Union(const std::string& name, const TermSpec& left,
+                              const TermSpec& right, bool exported) {
+  auto l = MakeTerm(left);
+  auto r = MakeTerm(right);
+  if (!l.ok() || !r.ok()) {
+    Record(l.ok() ? r.status() : l.status());
+    return *this;
+  }
+  Record(vdp_.AddDerived(
+      name, NodeDef::Union2(std::move(l).value(), std::move(r).value()),
+      exported));
+  return *this;
+}
+
+VdpBuilder& VdpBuilder::Diff(const std::string& name, const TermSpec& left,
+                             const TermSpec& right, bool exported) {
+  auto l = MakeTerm(left);
+  auto r = MakeTerm(right);
+  if (!l.ok() || !r.ok()) {
+    Record(l.ok() ? r.status() : l.status());
+    return *this;
+  }
+  Record(vdp_.AddDerived(
+      name, NodeDef::Diff2(std::move(l).value(), std::move(r).value()),
+      exported));
+  return *this;
+}
+
+VdpBuilder& VdpBuilder::Export(const std::string& name) {
+  Record(vdp_.MarkExported(name));
+  return *this;
+}
+
+Result<Vdp> VdpBuilder::Build() {
+  SQ_RETURN_IF_ERROR(first_error_);
+  SQ_RETURN_IF_ERROR(vdp_.Validate());
+  return std::move(vdp_);
+}
+
+}  // namespace squirrel

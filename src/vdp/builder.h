@@ -1,0 +1,87 @@
+// Fluent construction of VDPs.
+//
+// VdpBuilder wraps Vdp's children-first API with parsing conveniences so
+// tests, examples, and the planner can assemble plans tersely:
+//
+//   VdpBuilder b;
+//   b.Leaf("R", "DB1", "R", "R(r1, r2, r3, r4) key(r1)");
+//   b.LeafParent("R'", "R", {"r1", "r2", "r3"}, "r4 = 100");
+//   b.Spj("T", {{"R'", {"r1","r2","r3"}}, {"S'", {"s1","s2"}}},
+//         {"r2 = s1"}, {"r1", "r3", "s1", "s2"}, "", /*export=*/true);
+//   SQ_ASSIGN_OR_RETURN(Vdp vdp, b.Build());
+
+#ifndef SQUIRREL_VDP_BUILDER_H_
+#define SQUIRREL_VDP_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "vdp/vdp.h"
+
+namespace squirrel {
+
+/// A child term spec with a textual selection condition.
+struct TermSpec {
+  std::string child;
+  std::vector<std::string> project;
+  std::string select;  ///< predicate text; empty = true
+};
+
+/// \brief Incremental Vdp assembly with text conditions. The first error
+/// sticks; Build() reports it.
+class VdpBuilder {
+ public:
+  VdpBuilder() = default;
+
+  /// Adds a leaf; \p schema_decl is e.g. "R(r1, r2, note string) key(r1)".
+  /// The declared name inside the decl is ignored in favor of \p name.
+  VdpBuilder& Leaf(const std::string& name, const std::string& source_db,
+                   const std::string& source_relation,
+                   const std::string& schema_decl);
+
+  /// Adds a leaf with an explicit schema.
+  VdpBuilder& LeafWithSchema(const std::string& name,
+                             const std::string& source_db,
+                             const std::string& source_relation,
+                             Schema schema);
+
+  /// Adds a leaf-parent: π_project σ_select(leaf).
+  VdpBuilder& LeafParent(const std::string& name, const std::string& leaf,
+                         const std::vector<std::string>& project,
+                         const std::string& select = "");
+
+  /// Adds an SPJ node. \p join_conds are textual conditions (size =
+  /// terms-1); \p outer_project empty keeps all attrs; \p outer_select empty
+  /// means true.
+  VdpBuilder& Spj(const std::string& name, const std::vector<TermSpec>& terms,
+                  const std::vector<std::string>& join_conds,
+                  const std::vector<std::string>& outer_project = {},
+                  const std::string& outer_select = "",
+                  bool exported = false);
+
+  /// Adds a union node.
+  VdpBuilder& Union(const std::string& name, const TermSpec& left,
+                    const TermSpec& right, bool exported = false);
+
+  /// Adds a difference node (set node).
+  VdpBuilder& Diff(const std::string& name, const TermSpec& left,
+                   const TermSpec& right, bool exported = false);
+
+  /// Marks a node exported.
+  VdpBuilder& Export(const std::string& name);
+
+  /// Finishes: validates and returns the VDP (or the first recorded error).
+  Result<Vdp> Build();
+
+ private:
+  Result<ChildTerm> MakeTerm(const TermSpec& spec);
+  void Record(const Status& st);
+
+  Vdp vdp_;
+  Status first_error_;
+};
+
+}  // namespace squirrel
+
+#endif  // SQUIRREL_VDP_BUILDER_H_

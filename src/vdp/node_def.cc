@@ -1,0 +1,202 @@
+#include "vdp/node_def.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+#include "relational/operators.h"
+
+namespace squirrel {
+
+std::vector<std::string> ChildTerm::NeededAttrs() const {
+  std::set<std::string> needed(project.begin(), project.end());
+  if (select) {
+    select->CollectAttrs(&needed);
+  }
+  return std::vector<std::string>(needed.begin(), needed.end());
+}
+
+NodeDef NodeDef::Spj(std::vector<ChildTerm> terms,
+                     std::vector<Expr::Ptr> join_conds,
+                     std::vector<std::string> outer_project,
+                     Expr::Ptr outer_select) {
+  NodeDef def;
+  def.kind_ = Kind::kSpj;
+  def.terms_ = std::move(terms);
+  def.join_conds_ = std::move(join_conds);
+  for (auto& c : def.join_conds_) {
+    if (!c) c = Expr::True();
+  }
+  def.outer_project_ = std::move(outer_project);
+  def.outer_select_ = outer_select ? std::move(outer_select) : Expr::True();
+  return def;
+}
+
+NodeDef NodeDef::Union2(ChildTerm left, ChildTerm right) {
+  NodeDef def;
+  def.kind_ = Kind::kUnion;
+  def.terms_ = {std::move(left), std::move(right)};
+  def.outer_select_ = Expr::True();
+  return def;
+}
+
+NodeDef NodeDef::Diff2(ChildTerm left, ChildTerm right) {
+  NodeDef def;
+  def.kind_ = Kind::kDiff;
+  def.terms_ = {std::move(left), std::move(right)};
+  def.outer_select_ = Expr::True();
+  return def;
+}
+
+std::vector<std::string> NodeDef::Children() const {
+  std::vector<std::string> out;
+  for (const auto& t : terms_) {
+    if (std::find(out.begin(), out.end(), t.child) == out.end()) {
+      out.push_back(t.child);
+    }
+  }
+  return out;
+}
+
+Result<Schema> NodeDef::InferSchema(
+    const std::function<Result<Schema>(const std::string&)>& child_schema)
+    const {
+  // Per-term schemas.
+  std::vector<Schema> term_schemas;
+  for (const auto& term : terms_) {
+    SQ_ASSIGN_OR_RETURN(Schema child, child_schema(term.child));
+    // Validate the selection references existing attributes.
+    if (term.select) {
+      for (const auto& a : term.select->ReferencedAttrs()) {
+        if (!child.Contains(a)) {
+          return Status::InvalidArgument(
+              "term selection on " + term.child +
+              " references unknown attribute: " + a);
+        }
+      }
+    }
+    SQ_ASSIGN_OR_RETURN(Schema projected, child.Project(term.project));
+    term_schemas.push_back(std::move(projected));
+  }
+
+  if (kind_ == Kind::kUnion || kind_ == Kind::kDiff) {
+    if (term_schemas.size() != 2) {
+      return Status::InvalidArgument("union/diff must have exactly 2 terms");
+    }
+    const auto a = term_schemas[0].AttributeNames();
+    const auto b = term_schemas[1].AttributeNames();
+    if (a != b) {
+      return Status::InvalidArgument(
+          "union/diff terms project different attributes: [" +
+          Join(a, ",") + "] vs [" + Join(b, ",") + "]");
+    }
+    return term_schemas[0];
+  }
+
+  // SPJ: left-deep concatenation.
+  if (term_schemas.empty()) {
+    return Status::InvalidArgument("SPJ definition with no terms");
+  }
+  if (join_conds_.size() + 1 != term_schemas.size()) {
+    return Status::InvalidArgument(
+        "SPJ definition needs terms-1 join conditions, got " +
+        std::to_string(join_conds_.size()) + " for " +
+        std::to_string(term_schemas.size()) + " terms");
+  }
+  Schema acc = term_schemas[0];
+  for (size_t i = 1; i < term_schemas.size(); ++i) {
+    SQ_ASSIGN_OR_RETURN(acc, acc.Concat(term_schemas[i]));
+    for (const auto& a : join_conds_[i - 1]->ReferencedAttrs()) {
+      if (!acc.Contains(a)) {
+        return Status::InvalidArgument(
+            "join condition references unknown attribute: " + a);
+      }
+    }
+  }
+  for (const auto& a : outer_select_->ReferencedAttrs()) {
+    if (!acc.Contains(a)) {
+      return Status::InvalidArgument(
+          "outer selection references unknown attribute: " + a);
+    }
+  }
+  if (outer_project_.empty()) return acc;
+  return acc.Project(outer_project_);
+}
+
+Result<Relation> EvalTerm(const Relation& child_state,
+                          const ChildTerm& term) {
+  bool trivial_select = !term.select || term.select->IsTrueLiteral();
+  bool trivial_project =
+      term.project == child_state.schema().AttributeNames();
+  if (trivial_select && trivial_project) return child_state;
+  SQ_ASSIGN_OR_RETURN(Relation selected,
+                      OpSelect(child_state, term.SelectOrTrue()));
+  return OpProject(selected, term.project, Semantics::kBag);
+}
+
+Result<Relation> NodeDef::Evaluate(const NodeStateFn& states) const {
+  // Fetch term relations.
+  std::vector<Relation> term_rels;
+  for (const auto& term : terms_) {
+    SQ_ASSIGN_OR_RETURN(std::shared_ptr<const Relation> child,
+                        states(term.child, term.NeededAttrs()));
+    SQ_ASSIGN_OR_RETURN(Relation tr, EvalTerm(*child, term));
+    term_rels.push_back(std::move(tr));
+  }
+
+  if (kind_ == Kind::kUnion) {
+    return OpUnion(term_rels[0], term_rels[1], Semantics::kBag);
+  }
+  if (kind_ == Kind::kDiff) {
+    return OpDiff(term_rels[0].ToSet(), term_rels[1].ToSet());
+  }
+
+  Relation acc = std::move(term_rels[0]);
+  for (size_t i = 1; i < term_rels.size(); ++i) {
+    SQ_ASSIGN_OR_RETURN(acc, OpJoin(acc, term_rels[i], join_conds_[i - 1]));
+  }
+  SQ_ASSIGN_OR_RETURN(acc, OpSelect(acc, outer_select_));
+  if (!outer_project_.empty()) {
+    SQ_ASSIGN_OR_RETURN(acc, OpProject(acc, outer_project_, Semantics::kBag));
+  }
+  return acc;
+}
+
+namespace {
+
+std::string TermToString(const ChildTerm& term) {
+  std::string out = term.child;
+  if (term.select && !term.select->IsTrueLiteral()) {
+    out = "select[" + term.select->ToString() + "](" + out + ")";
+  }
+  out = "project[" + Join(term.project, ",") + "](" + out + ")";
+  return out;
+}
+
+}  // namespace
+
+std::string NodeDef::ToString() const {
+  if (kind_ == Kind::kUnion) {
+    return TermToString(terms_[0]) + " union " + TermToString(terms_[1]);
+  }
+  if (kind_ == Kind::kDiff) {
+    return TermToString(terms_[0]) + " diff " + TermToString(terms_[1]);
+  }
+  std::string inner = TermToString(terms_[0]);
+  for (size_t i = 1; i < terms_.size(); ++i) {
+    std::string cond = join_conds_[i - 1]->IsTrueLiteral()
+                           ? ""
+                           : "[" + join_conds_[i - 1]->ToString() + "]";
+    inner += " join" + cond + " " + TermToString(terms_[i]);
+  }
+  std::string out = inner;
+  if (!outer_select_->IsTrueLiteral()) {
+    out = "select[" + outer_select_->ToString() + "](" + out + ")";
+  }
+  if (!outer_project_.empty()) {
+    out = "project[" + Join(outer_project_, ",") + "](" + out + ")";
+  }
+  return out;
+}
+
+}  // namespace squirrel

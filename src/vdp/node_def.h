@@ -1,0 +1,118 @@
+// Node definitions def(v) for non-leaf VDP nodes (paper §5.1 item 4).
+//
+// The permitted forms are:
+//  (a/b) SPJ:  T = π_p σ_f (π_p1 σ_f1 C1 ⋈_g1 ... ⋈_g(n-1) π_pn σ_fn Cn)
+//  (c)  union: T = (π_C σ_h1 C1) ∪ (π_C σ_h2 C2)
+//       diff:  T = (π_C σ_h1 C1) − (π_C σ_h2 C2)
+// where the Ci are child nodes. Leaf-parents are the SPJ form with a single
+// term over a leaf (restriction (a): only projection and selection).
+// Difference yields a *set node*; all other nodes are *bag nodes*.
+
+#ifndef SQUIRREL_VDP_NODE_DEF_H_
+#define SQUIRREL_VDP_NODE_DEF_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/expr.h"
+#include "relational/relation.h"
+
+namespace squirrel {
+
+/// One π_pi σ_fi Ci factor of a node definition.
+struct ChildTerm {
+  std::string child;                 ///< name of the child VDP node
+  std::vector<std::string> project;  ///< attrs kept (order = output order)
+  Expr::Ptr select;                  ///< selection over child attrs (or null)
+
+  /// The term's selection, never null (True() when absent).
+  Expr::Ptr SelectOrTrue() const { return select ? select : Expr::True(); }
+
+  /// Attrs of the child this term reads: project ∪ attrs(select).
+  std::vector<std::string> NeededAttrs() const;
+};
+
+/// Resolves a node name to its current contents, restricted to at least the
+/// requested attributes (the local store serves materialized repositories;
+/// the VAP serves temporaries for virtual data). The returned pointer may be
+/// non-owning (aliased) — it must stay valid for the duration of the call
+/// that requested it.
+using NodeStateFn = std::function<Result<std::shared_ptr<const Relation>>(
+    const std::string& node, const std::vector<std::string>& attrs)>;
+
+/// \brief The derivation def(v) of a non-leaf VDP node.
+class NodeDef {
+ public:
+  /// Definition form.
+  enum class Kind { kSpj, kUnion, kDiff };
+
+  /// Builds an SPJ definition. \p join_conds has terms.size()-1 entries;
+  /// join_conds[i] relates the accumulated left side (terms 0..i) with
+  /// term i+1 (left-deep chain). \p outer_project empty means "all attrs of
+  /// the join result".
+  static NodeDef Spj(std::vector<ChildTerm> terms,
+                     std::vector<Expr::Ptr> join_conds,
+                     std::vector<std::string> outer_project,
+                     Expr::Ptr outer_select);
+
+  /// Builds a two-child union definition (bag node).
+  static NodeDef Union2(ChildTerm left, ChildTerm right);
+
+  /// Builds a two-child difference definition (set node).
+  static NodeDef Diff2(ChildTerm left, ChildTerm right);
+
+  Kind kind() const { return kind_; }
+  /// The child terms (2 for union/diff; >= 1 for SPJ).
+  const std::vector<ChildTerm>& terms() const { return terms_; }
+  /// Left-deep join conditions (SPJ only).
+  const std::vector<Expr::Ptr>& join_conds() const { return join_conds_; }
+  /// Outer projection (SPJ only; empty = keep all).
+  const std::vector<std::string>& outer_project() const {
+    return outer_project_;
+  }
+  /// Outer selection (SPJ only; never null).
+  const Expr::Ptr& outer_select() const { return outer_select_; }
+
+  /// Distinct child node names, in order of first appearance. (A child may
+  /// appear in several terms — self-joins — but is listed once.)
+  std::vector<std::string> Children() const;
+
+  /// Storage semantics: set for difference nodes, bag otherwise (§5.1).
+  Semantics semantics() const {
+    return kind_ == Kind::kDiff ? Semantics::kSet : Semantics::kBag;
+  }
+
+  /// Infers this node's schema from child schemas. Keys propagate through
+  /// term projections and join concatenation.
+  Result<Schema> InferSchema(
+      const std::function<Result<Schema>(const std::string&)>& child_schema)
+      const;
+
+  /// Full (re)computation of the node's contents from child states.
+  /// Bag semantics for SPJ/union; set for difference.
+  Result<Relation> Evaluate(const NodeStateFn& states) const;
+
+  /// Renders the definition, e.g.
+  /// "project[r1,s1](select[r4 = 100](R') join[r2 = s1] S')".
+  std::string ToString() const;
+
+ private:
+  NodeDef() = default;
+  Kind kind_ = Kind::kSpj;
+  std::vector<ChildTerm> terms_;
+  std::vector<Expr::Ptr> join_conds_;
+  std::vector<std::string> outer_project_;
+  Expr::Ptr outer_select_;
+};
+
+/// Evaluates one term πσ(child_state) as a bag. Skips copies when the term
+/// is a pass-through of the provided state.
+Result<Relation> EvalTerm(const Relation& child_state, const ChildTerm& term);
+
+}  // namespace squirrel
+
+#endif  // SQUIRREL_VDP_NODE_DEF_H_

@@ -1,0 +1,67 @@
+#include "vdp/paper_examples.h"
+
+#include "vdp/builder.h"
+
+namespace squirrel {
+
+Result<Vdp> BuildFigure1Vdp() {
+  VdpBuilder b;
+  b.Leaf("R", "DB1", "R", "R(r1, r2, r3, r4) key(r1)");
+  b.Leaf("S", "DB2", "S", "S(s1, s2, s3) key(s1)");
+  b.LeafParent("R'", "R", {"r1", "r2", "r3"}, "r4 = 100");
+  b.LeafParent("S'", "S", {"s1", "s2"}, "s3 < 50");
+  b.Spj("T",
+        {{"R'", {"r1", "r2", "r3"}, ""}, {"S'", {"s1", "s2"}, ""}},
+        {"r2 = s1"}, {"r1", "r3", "s1", "s2"}, "", /*exported=*/true);
+  return b.Build();
+}
+
+Annotation AnnotationExample21() { return Annotation::AllMaterialized(); }
+
+Annotation AnnotationExample22(const Vdp& vdp) {
+  Annotation ann;
+  (void)ann.SetAll(vdp, "R'", AttrMode::kVirtual);
+  return ann;
+}
+
+Annotation AnnotationExample23(const Vdp& vdp) {
+  Annotation ann;
+  (void)ann.SetAll(vdp, "R'", AttrMode::kVirtual);
+  (void)ann.SetAll(vdp, "S'", AttrMode::kVirtual);
+  (void)ann.SetFromSpec(vdp, "T", "r1 m, r3 v, s1 m, s2 v");
+  return ann;
+}
+
+Result<Vdp> BuildFigure4Vdp() {
+  // Attribute names of C and D are chosen so that F's projection aligns
+  // with π_{a1,b1}(E) without attribute renaming (which the paper also
+  // sets aside "in the interest of clarity").
+  VdpBuilder b;
+  b.Leaf("A", "DBA", "A", "A(a1, a2) key(a1)");
+  b.Leaf("B", "DBB", "B", "B(b1, b2) key(b1)");
+  b.Leaf("C", "DBC", "C", "C(c1, a1) key(c1)");
+  b.Leaf("D", "DBD", "D", "D(d1, b1) key(d1)");
+  b.LeafParent("A'", "A", {"a1", "a2"});
+  b.LeafParent("B'", "B", {"b1", "b2"});
+  b.LeafParent("C'", "C", {"c1", "a1"});
+  b.LeafParent("D'", "D", {"d1", "b1"});
+  b.Spj("E",
+        {{"A'", {"a1", "a2"}, ""}, {"B'", {"b1", "b2"}, ""}},
+        {"a1*a1 + a2 < b2*b2"}, {"a1", "a2", "b1"}, "", /*exported=*/true);
+  b.Spj("F",
+        {{"C'", {"c1", "a1"}, ""}, {"D'", {"d1", "b1"}, ""}},
+        {"c1 = d1"}, {"a1", "b1"}, "", /*exported=*/false);
+  b.Diff("G", {"E", {"a1", "b1"}, ""}, {"F", {"a1", "b1"}, ""},
+         /*exported=*/true);
+  return b.Build();
+}
+
+Annotation AnnotationExample51(const Vdp& vdp) {
+  Annotation ann;
+  (void)ann.SetAll(vdp, "B'", AttrMode::kVirtual);
+  (void)ann.SetAll(vdp, "F", AttrMode::kVirtual);
+  (void)ann.SetFromSpec(vdp, "E", "a1 m, a2 v, b1 m");
+  return ann;
+}
+
+}  // namespace squirrel

@@ -1,0 +1,439 @@
+#include "vdp/planner.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "relational/operators.h"
+
+namespace squirrel {
+
+namespace {
+
+/// A σ/π/⋈ region flattened to canonical SPJ form:
+///   π_project σ_(∧ selects) (core_0 ⋈_jc0 core_1 ⋈_jc1 ...)
+/// where each core is a Scan or a union/difference subtree.
+struct FlatSpj {
+  std::vector<AlgebraExpr::Ptr> cores;
+  std::vector<Expr::Ptr> join_conds;        // cores.size() - 1
+  std::vector<Expr::Ptr> select_clauses;    // conjuncts
+  std::optional<std::vector<std::string>> project;  // nullopt = all attrs
+};
+
+class Planner {
+ public:
+  explicit Planner(const PlannerInput& input) : input_(input) {}
+
+  Result<Vdp> Run() {
+    for (const auto& v : input_.exports) {
+      if (!v.definition) {
+        return Status::InvalidArgument("export " + v.name +
+                                       " has no definition");
+      }
+      SQ_RETURN_IF_ERROR(CompileNode(v.name, v.definition, /*exported=*/true));
+    }
+    SQ_RETURN_IF_ERROR(vdp_.Validate());
+    return std::move(vdp_);
+  }
+
+ private:
+  Result<Schema> ScanSchema(const std::string& scan) const {
+    auto it = input_.scans.find(scan);
+    if (it == input_.scans.end()) {
+      return Status::NotFound("unbound relation in view definition: " + scan);
+    }
+    return it->second.schema;
+  }
+
+  /// Output schema of any algebra subtree.
+  Result<Schema> SchemaOf(const AlgebraExpr::Ptr& expr) const {
+    return InferSchema(expr, [this](const std::string& scan) {
+      return ScanSchema(scan);
+    });
+  }
+
+  Result<FlatSpj> Flatten(const AlgebraExpr::Ptr& expr) const {
+    switch (expr->kind()) {
+      case AlgebraExpr::Kind::kScan:
+      case AlgebraExpr::Kind::kUnion:
+      case AlgebraExpr::Kind::kDiff: {
+        FlatSpj f;
+        f.cores.push_back(expr);
+        return f;
+      }
+      case AlgebraExpr::Kind::kSelect: {
+        SQ_ASSIGN_OR_RETURN(FlatSpj f, Flatten(expr->left()));
+        // σ_c π_p σ_f X = π_p σ_{f ∧ c} X (c only references kept attrs).
+        for (const auto& clause : ConjunctiveClauses(expr->condition())) {
+          f.select_clauses.push_back(clause);
+        }
+        return f;
+      }
+      case AlgebraExpr::Kind::kProject: {
+        SQ_ASSIGN_OR_RETURN(FlatSpj f, Flatten(expr->left()));
+        f.project = expr->attrs();
+        return f;
+      }
+      case AlgebraExpr::Kind::kJoin: {
+        SQ_ASSIGN_OR_RETURN(FlatSpj l, Flatten(expr->left()));
+        SQ_ASSIGN_OR_RETURN(FlatSpj r, Flatten(expr->right()));
+        // Mid-chain projections are deferred: bag projection is linear, so
+        // projecting after the join preserves multiplicities as long as the
+        // visible-attribute set is restored at the end.
+        std::optional<std::vector<std::string>> project;
+        if (l.project.has_value() || r.project.has_value()) {
+          SQ_ASSIGN_OR_RETURN(Schema ls, SchemaOf(expr->left()));
+          SQ_ASSIGN_OR_RETURN(Schema rs, SchemaOf(expr->right()));
+          std::vector<std::string> attrs = ls.AttributeNames();
+          for (const auto& a : rs.AttributeNames()) attrs.push_back(a);
+          project = attrs;
+        }
+        FlatSpj f;
+        f.cores = l.cores;
+        f.cores.insert(f.cores.end(), r.cores.begin(), r.cores.end());
+        f.join_conds = l.join_conds;
+        f.join_conds.push_back(expr->condition());
+        f.join_conds.insert(f.join_conds.end(), r.join_conds.begin(),
+                            r.join_conds.end());
+        f.select_clauses = l.select_clauses;
+        f.select_clauses.insert(f.select_clauses.end(),
+                                r.select_clauses.begin(),
+                                r.select_clauses.end());
+        f.project = std::move(project);
+        return f;
+      }
+    }
+    return Status::Internal("unknown algebra node");
+  }
+
+  /// Ensures a leaf node exists for \p scan; returns its VDP name.
+  Result<std::string> EnsureLeaf(const std::string& scan) {
+    if (vdp_.Contains(scan)) return scan;
+    auto it = input_.scans.find(scan);
+    if (it == input_.scans.end()) {
+      return Status::NotFound("unbound relation in view definition: " + scan);
+    }
+    SQ_RETURN_IF_ERROR(vdp_.AddLeaf(scan, it->second.source_db,
+                                    it->second.relation, it->second.schema));
+    return scan;
+  }
+
+  /// Creates a leaf-parent π_project σ_select(scan); reuses an existing one
+  /// with an identical definition.
+  Result<std::string> EnsureLeafParent(const std::string& scan,
+                                       const std::vector<std::string>& project,
+                                       const Expr::Ptr& select) {
+    SQ_ASSIGN_OR_RETURN(std::string leaf, EnsureLeaf(scan));
+    Expr::Ptr sel = select ? select : Expr::True();
+    // Reuse a structurally identical leaf-parent.
+    for (const auto& [name, def] : leaf_parents_) {
+      if (def.child == leaf && def.project == project &&
+          def.sel->Equals(*sel)) {
+        return name;
+      }
+    }
+    std::string name = scan + "'";
+    int suffix = 2;
+    while (vdp_.Contains(name)) {
+      name = scan + "'" + std::to_string(suffix++);
+    }
+    ChildTerm term;
+    term.child = leaf;
+    term.project = project;
+    term.select = sel;
+    SQ_RETURN_IF_ERROR(
+        vdp_.AddDerived(name, NodeDef::Spj({term}, {}, {}, nullptr)));
+    leaf_parents_[name] = {leaf, project, sel};
+    return name;
+  }
+
+  std::string FreshName(const std::string& base) {
+    std::string name = base;
+    int suffix = 2;
+    while (vdp_.Contains(name)) {
+      name = base + "_" + std::to_string(suffix++);
+    }
+    return name;
+  }
+
+  /// Attributes of \p candidate needed above: output ∪ join conds ∪
+  /// residual selects, restricted to the candidate's schema.
+  static std::vector<std::string> NeededFrom(
+      const Schema& schema, const std::vector<std::string>& output,
+      const std::vector<Expr::Ptr>& conds) {
+    std::set<std::string> needed;
+    for (const auto& a : output) {
+      if (schema.Contains(a)) needed.insert(a);
+    }
+    for (const auto& c : conds) {
+      if (!c) continue;
+      for (const auto& a : c->ReferencedAttrs()) {
+        if (schema.Contains(a)) needed.insert(a);
+      }
+    }
+    std::vector<std::string> out;
+    for (const auto& a : schema.attrs()) {
+      if (needed.count(a.name)) out.push_back(a.name);
+    }
+    return out;
+  }
+
+  /// Compiles \p expr into a VDP node named \p name.
+  Status CompileNode(const std::string& name, const AlgebraExpr::Ptr& expr,
+                     bool exported) {
+    if (expr->kind() == AlgebraExpr::Kind::kUnion ||
+        expr->kind() == AlgebraExpr::Kind::kDiff) {
+      return CompileSetNode(name, expr, exported);
+    }
+    SQ_ASSIGN_OR_RETURN(FlatSpj flat, Flatten(expr));
+    if (!flat.cores.empty() &&
+        (flat.cores[0]->kind() == AlgebraExpr::Kind::kUnion ||
+         flat.cores[0]->kind() == AlgebraExpr::Kind::kDiff) &&
+        flat.cores.size() == 1 && flat.select_clauses.empty() &&
+        !flat.project.has_value()) {
+      // A bare union/diff expression.
+      return CompileSetNode(name, flat.cores[0], exported);
+    }
+    SQ_RETURN_IF_ERROR(CompileSpj(name, flat, exported));
+    return Status::OK();
+  }
+
+  Status CompileSpj(const std::string& name, const FlatSpj& flat,
+                    bool exported) {
+    // Output attrs: flat.project, or every core attr.
+    std::vector<std::string> output;
+    if (flat.project.has_value()) {
+      output = *flat.project;
+    } else {
+      for (const auto& core : flat.cores) {
+        SQ_ASSIGN_OR_RETURN(Schema s, SchemaOf(core));
+        for (const auto& a : s.AttributeNames()) output.push_back(a);
+      }
+    }
+
+    // Partition select clauses: pushable to a single core vs residual.
+    std::vector<Schema> core_schemas;
+    for (const auto& core : flat.cores) {
+      SQ_ASSIGN_OR_RETURN(Schema s, SchemaOf(core));
+      core_schemas.push_back(std::move(s));
+    }
+    std::vector<std::vector<Expr::Ptr>> pushed(flat.cores.size());
+    std::vector<Expr::Ptr> residual;
+    for (const auto& clause : flat.select_clauses) {
+      bool placed = false;
+      for (size_t i = 0; i < flat.cores.size(); ++i) {
+        bool fits = true;
+        for (const auto& a : clause->ReferencedAttrs()) {
+          if (!core_schemas[i].Contains(a)) {
+            fits = false;
+            break;
+          }
+        }
+        if (fits) {
+          pushed[i].push_back(clause);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) residual.push_back(clause);
+    }
+
+    // Conditions that stay above the cores (for attr-needs computation).
+    std::vector<Expr::Ptr> above = flat.join_conds;
+    above.insert(above.end(), residual.begin(), residual.end());
+
+    // Compile each core into a child node and build the SPJ terms.
+    std::vector<ChildTerm> terms;
+    for (size_t i = 0; i < flat.cores.size(); ++i) {
+      const auto& core = flat.cores[i];
+      std::vector<std::string> needed =
+          NeededFrom(core_schemas[i], output, above);
+      if (needed.empty()) needed = {core_schemas[i].attr(0).name};
+      ChildTerm term;
+      term.project = needed;
+      term.select = Expr::True();
+      if (core->kind() == AlgebraExpr::Kind::kScan) {
+        SQ_ASSIGN_OR_RETURN(
+            term.child,
+            EnsureLeafParent(core->relation(), needed, AndAll(pushed[i])));
+      } else {
+        std::string child_name = FreshName(name + "_sub");
+        SQ_RETURN_IF_ERROR(CompileSetNode(child_name, core, false));
+        // Pushed clauses stay in the term select over the compiled child.
+        term.select = AndAll(pushed[i]);
+        SQ_ASSIGN_OR_RETURN(const VdpNode* child, vdp_.Get(child_name));
+        // Narrow the term to the needed attrs of the child.
+        std::vector<std::string> child_needed;
+        std::set<std::string> want(needed.begin(), needed.end());
+        for (const auto& c : pushed[i]) {
+          for (const auto& a : c->ReferencedAttrs()) want.insert(a);
+        }
+        for (const auto& a : child->schema.attrs()) {
+          if (want.count(a.name)) child_needed.push_back(a.name);
+        }
+        term.project = needed;
+        // Attrs referenced by pushed clauses must survive the child node;
+        // they do (the child exports its full schema).
+        (void)child_needed;
+        term.child = child_name;
+      }
+      terms.push_back(std::move(term));
+    }
+
+    NodeDef def = NodeDef::Spj(std::move(terms), flat.join_conds, output,
+                               AndAll(residual));
+    return vdp_.AddDerived(name, std::move(def), exported);
+  }
+
+  /// Compiles a union/difference expression: peels π/σ off each side to get
+  /// the child terms of the set node.
+  Status CompileSetNode(const std::string& name, const AlgebraExpr::Ptr& expr,
+                        bool exported) {
+    SQ_ASSIGN_OR_RETURN(ChildTerm left, CompileSetTerm(name, expr->left()));
+    SQ_ASSIGN_OR_RETURN(ChildTerm right, CompileSetTerm(name, expr->right()));
+    NodeDef def = expr->kind() == AlgebraExpr::Kind::kUnion
+                      ? NodeDef::Union2(std::move(left), std::move(right))
+                      : NodeDef::Diff2(std::move(left), std::move(right));
+    return vdp_.AddDerived(name, std::move(def), exported);
+  }
+
+  Result<ChildTerm> CompileSetTerm(const std::string& parent,
+                                   const AlgebraExpr::Ptr& side) {
+    // Peel top-level project/select.
+    std::optional<std::vector<std::string>> project;
+    std::vector<Expr::Ptr> selects;
+    AlgebraExpr::Ptr core = side;
+    for (;;) {
+      if (core->kind() == AlgebraExpr::Kind::kProject &&
+          !project.has_value()) {
+        project = core->attrs();
+        core = core->left();
+        continue;
+      }
+      if (core->kind() == AlgebraExpr::Kind::kSelect) {
+        for (const auto& c : ConjunctiveClauses(core->condition())) {
+          selects.push_back(c);
+        }
+        core = core->left();
+        continue;
+      }
+      break;
+    }
+    SQ_ASSIGN_OR_RETURN(Schema core_schema, SchemaOf(core));
+    std::vector<std::string> attrs =
+        project.has_value() ? *project : core_schema.AttributeNames();
+
+    ChildTerm term;
+    term.project = attrs;
+    term.select = AndAll(selects);
+    if (core->kind() == AlgebraExpr::Kind::kScan) {
+      // Set nodes may not have leaf children (§5.1 restriction (a)); give
+      // the scan a pass-through leaf-parent carrying what the term needs.
+      std::set<std::string> need(attrs.begin(), attrs.end());
+      for (const auto& s : selects) {
+        for (const auto& a : s->ReferencedAttrs()) need.insert(a);
+      }
+      std::vector<std::string> lp_attrs;
+      for (const auto& a : core_schema.attrs()) {
+        if (need.count(a.name)) lp_attrs.push_back(a.name);
+      }
+      SQ_ASSIGN_OR_RETURN(
+          term.child,
+          EnsureLeafParent(core->relation(), lp_attrs, nullptr));
+    } else if (core->kind() == AlgebraExpr::Kind::kScan) {
+      return Status::Internal("unreachable");
+    } else if (core->kind() == AlgebraExpr::Kind::kUnion ||
+               core->kind() == AlgebraExpr::Kind::kDiff) {
+      std::string child_name = FreshName(parent + "_sub");
+      SQ_RETURN_IF_ERROR(CompileSetNode(child_name, core, false));
+      term.child = child_name;
+    } else {
+      // An SPJ block under the set operator.
+      std::string child_name = FreshName(parent + "_sub");
+      SQ_RETURN_IF_ERROR(CompileNode(child_name, core, false));
+      term.child = child_name;
+    }
+    return term;
+  }
+
+  const PlannerInput& input_;
+  Vdp vdp_;
+  struct LeafParentDef {
+    std::string child;
+    std::vector<std::string> project;
+    Expr::Ptr sel;
+  };
+  std::map<std::string, LeafParentDef> leaf_parents_;
+};
+
+}  // namespace
+
+Result<Vdp> PlanVdp(const PlannerInput& input) { return Planner(input).Run(); }
+
+Annotation SuggestAnnotation(const Vdp& vdp, const AnnotationHints& hints) {
+  Annotation ann;  // default: everything materialized
+  for (const auto& name : vdp.DerivedNames()) {
+    const VdpNode* node = vdp.Find(name);
+    const NodeDef& def = *node->def;
+
+    // Example 2.2: leaf-parents over frequently-updated sources go virtual —
+    // continual maintenance would dominate, and the SPJ rules above them can
+    // still fire by polling.
+    if (vdp.IsLeafParent(name)) {
+      const VdpNode* leaf = vdp.Find(def.terms()[0].child);
+      auto it = hints.source_update_freq.find(leaf->source_db);
+      if (it != hints.source_update_freq.end() &&
+          it->second > hints.hot_update_threshold && !node->exported) {
+        (void)ann.SetAll(vdp, name, AttrMode::kVirtual);
+      }
+      continue;
+    }
+
+    // Example 5.1's F: cheap interior equi-join nodes can stay virtual.
+    if (hints.virtualize_cheap_interior && !node->exported &&
+        def.kind() == NodeDef::Kind::kSpj) {
+      bool all_equi = true;
+      for (const auto& jc : def.join_conds()) {
+        auto parts_ok =
+            jc->IsTrueLiteral() ||
+            (jc->kind() == Expr::Kind::kBinary && jc->bin_op() == BinOp::kEq);
+        if (!parts_ok) all_equi = false;
+      }
+      if (all_equi) {
+        (void)ann.SetAll(vdp, name, AttrMode::kVirtual);
+        continue;
+      }
+    }
+
+    // Example 2.3 / §5.3: for expensive (multi-term) exported join nodes,
+    // materialize keys and hot attributes; virtualize the rest.
+    if (def.kind() == NodeDef::Kind::kSpj && def.terms().size() >= 2) {
+      std::set<std::string> keep(node->schema.key().begin(),
+                                 node->schema.key().end());
+      // Child keys appearing in this node also stay materialized (they are
+      // what makes the key-based fetch of virtual attributes efficient).
+      for (const auto& term : def.terms()) {
+        const VdpNode* child = vdp.Find(term.child);
+        for (const auto& k : child->schema.key()) {
+          if (node->schema.Contains(k)) keep.insert(k);
+        }
+      }
+      auto hit = hints.hot_attrs.find(name);
+      if (hit != hints.hot_attrs.end()) {
+        for (const auto& a : hit->second) keep.insert(a);
+      }
+      if (!keep.empty()) {
+        for (const auto& a : node->schema.attrs()) {
+          if (!keep.count(a.name)) {
+            ann.Set(name, a.name, AttrMode::kVirtual);
+          }
+        }
+      }
+      continue;
+    }
+    // Difference (set) nodes and unions stay materialized (set nodes cannot
+    // be hybrid; exports answer queries fastest materialized).
+  }
+  return ann;
+}
+
+}  // namespace squirrel

@@ -1,0 +1,73 @@
+// VDP planning: decomposing view definitions into View Decomposition Plans.
+//
+// This is the generator side of Squirrel: given export relations defined in
+// the relational algebra over named source relations, produce a VDP —
+// leaves for the scanned source relations, leaf-parents holding the pushed
+// selections/projections (paper §5.1 restriction (a)), SPJ nodes for
+// join blocks, and union/difference nodes at set-operator boundaries.
+// Selections are pushed to the lowest node that sees their attributes and
+// projections are narrowed to the attributes actually needed above.
+//
+// SuggestAnnotation implements the §5.3 heuristics: keys of join nodes stay
+// materialized, rarely-accessed attributes of expensive nodes go virtual,
+// leaf-parents over frequently-updated sources go virtual, and cheap
+// non-export nodes go virtual.
+
+#ifndef SQUIRREL_VDP_PLANNER_H_
+#define SQUIRREL_VDP_PLANNER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/algebra.h"
+#include "vdp/annotation.h"
+#include "vdp/vdp.h"
+
+namespace squirrel {
+
+/// Where a scanned relation lives.
+struct SourceRelationBinding {
+  std::string source_db;
+  std::string relation;
+  Schema schema;
+};
+
+/// One export relation of the integrated view.
+struct ViewDefinition {
+  std::string name;
+  AlgebraExpr::Ptr definition;
+};
+
+/// Planner input: scan-name bindings plus the export definitions.
+struct PlannerInput {
+  std::map<std::string, SourceRelationBinding> scans;
+  std::vector<ViewDefinition> exports;
+};
+
+/// Decomposes the exports into a validated VDP.
+Result<Vdp> PlanVdp(const PlannerInput& input);
+
+/// Workload hints driving the §5.3 annotation heuristics.
+struct AnnotationHints {
+  /// Updates per unit time, per source database. Sources above
+  /// hot_update_threshold get virtual leaf-parents (Example 2.2).
+  std::map<std::string, double> source_update_freq;
+  double hot_update_threshold = 1.0;
+  /// Frequently queried attributes per export node; other non-key
+  /// attributes of expensive nodes go virtual (Example 2.3).
+  std::map<std::string, std::set<std::string>> hot_attrs;
+  /// Virtualize cheap non-export nodes (Example 5.1's F).
+  bool virtualize_cheap_interior = true;
+};
+
+/// Suggests an annotation per the paper's trade-off guidance. Always keeps
+/// join-node keys materialized ("the minimal suggested amount of
+/// materialization for expensive join relations").
+Annotation SuggestAnnotation(const Vdp& vdp, const AnnotationHints& hints);
+
+}  // namespace squirrel
+
+#endif  // SQUIRREL_VDP_PLANNER_H_

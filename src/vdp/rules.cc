@@ -1,0 +1,179 @@
+#include "vdp/rules.h"
+
+#include <optional>
+
+#include "delta/delta_algebra.h"
+#include "relational/operators.h"
+
+namespace squirrel {
+
+namespace {
+
+/// The relation of term \p j of \p parent's def, taken from the right state:
+/// the firing child's occurrences at positions before \p firing_pos are in
+/// their NEW state (old + delta), everything else in the current repository
+/// state.
+Result<Relation> TermRelation(const NodeDef& def, size_t j,
+                              const std::string& firing_child,
+                              size_t firing_pos, const Delta& child_delta,
+                              const NodeStateFn& states) {
+  const ChildTerm& term = def.terms()[j];
+  SQ_ASSIGN_OR_RETURN(std::shared_ptr<const Relation> state,
+                      states(term.child, term.NeededAttrs()));
+  SQ_ASSIGN_OR_RETURN(Relation term_rel, EvalTerm(*state, term));
+  if (term.child == firing_child && j < firing_pos) {
+    // New state of this occurrence: apply the (filtered) delta to the term.
+    SQ_ASSIGN_OR_RETURN(
+        Delta filtered,
+        FilterDeltaToLeafParent(child_delta, term.SelectOrTrue(),
+                                term.project));
+    SQ_RETURN_IF_ERROR(ApplyDelta(&term_rel, filtered));
+  }
+  return term_rel;
+}
+
+Result<Delta> FireSpj(const VdpNode& parent, const std::string& child,
+                      const Delta& child_delta, const NodeStateFn& states) {
+  const NodeDef& def = *parent.def;
+  Delta result(parent.schema);
+  for (size_t i = 0; i < def.terms().size(); ++i) {
+    const ChildTerm& term = def.terms()[i];
+    if (term.child != child) continue;
+
+    // Restrict the incoming delta to this term's view of the child. The
+    // delta may be wider than the term's needed attrs (full child schema);
+    // select first (the condition's attrs are in the delta), then project.
+    SQ_ASSIGN_OR_RETURN(
+        Delta term_delta,
+        FilterDeltaToLeafParent(child_delta, term.SelectOrTrue(),
+                                term.project));
+    if (term_delta.Empty()) continue;
+
+    // Left side: accumulated join of terms 0..i-1.
+    std::optional<Relation> left;
+    for (size_t j = 0; j < i; ++j) {
+      SQ_ASSIGN_OR_RETURN(
+          Relation tr, TermRelation(def, j, child, i, child_delta, states));
+      if (!left) {
+        left = std::move(tr);
+      } else {
+        SQ_ASSIGN_OR_RETURN(left,
+                            OpJoin(*left, tr, def.join_conds()[j - 1]));
+      }
+    }
+
+    Delta acc = std::move(term_delta);
+    if (left) {
+      SQ_ASSIGN_OR_RETURN(
+          acc, RelationJoinDelta(*left, acc, def.join_conds()[i - 1]));
+    }
+    // Right side: terms i+1..n-1, one join at a time.
+    for (size_t j = i + 1; j < def.terms().size(); ++j) {
+      SQ_ASSIGN_OR_RETURN(
+          Relation tr, TermRelation(def, j, child, i, child_delta, states));
+      SQ_ASSIGN_OR_RETURN(acc,
+                          DeltaJoinRelation(acc, tr, def.join_conds()[j - 1]));
+    }
+    SQ_ASSIGN_OR_RETURN(acc, DeltaSelect(acc, def.outer_select()));
+    if (!def.outer_project().empty()) {
+      SQ_ASSIGN_OR_RETURN(acc, DeltaProject(acc, def.outer_project()));
+    }
+    SQ_RETURN_IF_ERROR(result.SmashInPlace(acc));
+  }
+  return result;
+}
+
+Result<Delta> FireUnion(const VdpNode& parent, const std::string& child,
+                        const Delta& child_delta, const NodeStateFn& states) {
+  (void)states;  // union needs no sibling state
+  const NodeDef& def = *parent.def;
+  Delta result(parent.schema);
+  for (const ChildTerm& term : def.terms()) {
+    if (term.child != child) continue;
+    SQ_ASSIGN_OR_RETURN(
+        Delta term_delta,
+        FilterDeltaToLeafParent(child_delta, term.SelectOrTrue(),
+                                term.project));
+    SQ_RETURN_IF_ERROR(result.SmashInPlace(term_delta));
+  }
+  return result;
+}
+
+/// Presence (set-level) delta the bag-level \p child_delta induces on term
+/// \p j of the def, plus that term's new bag state.
+Result<Delta> TermPresenceDelta(const NodeDef& def, size_t j,
+                                const Delta& child_delta,
+                                const NodeStateFn& states) {
+  const ChildTerm& term = def.terms()[j];
+  SQ_ASSIGN_OR_RETURN(
+      Delta term_delta,
+      FilterDeltaToLeafParent(child_delta, term.SelectOrTrue(),
+                              term.project));
+  if (term_delta.Empty()) return Delta(term_delta.schema());
+  SQ_ASSIGN_OR_RETURN(std::shared_ptr<const Relation> state,
+                      states(term.child, term.NeededAttrs()));
+  SQ_ASSIGN_OR_RETURN(Relation term_new, EvalTerm(*state, term));
+  SQ_RETURN_IF_ERROR(ApplyDelta(&term_new, term_delta));
+  return PresenceDelta(term_new, term_delta);
+}
+
+Result<Delta> FireDiff(const VdpNode& parent, const std::string& child,
+                       const Delta& child_delta, const NodeStateFn& states) {
+  const NodeDef& def = *parent.def;
+  Delta result(parent.schema);
+
+  // Left term firing (diff1). Corrected rule:
+  //   (ΔT)⁺ = (Δ̂₁)⁺ − R₂ ;  (ΔT)⁻ = (Δ̂₁)⁻ − R₂
+  if (def.terms()[0].child == child) {
+    SQ_ASSIGN_OR_RETURN(Delta pres1,
+                        TermPresenceDelta(def, 0, child_delta, states));
+    if (!pres1.Empty()) {
+      // Right term in its current (or, for self-diff, old) state.
+      SQ_ASSIGN_OR_RETURN(
+          Relation r2,
+          TermRelation(def, 1, child, /*firing_pos=*/0, child_delta, states));
+      SQ_RETURN_IF_ERROR(
+          result.SmashInPlace(DeltaMinusRelation(pres1, r2.ToSet())));
+    }
+  }
+
+  // Right term firing (diff2):
+  //   (ΔT)⁺ = (Δ̂₂)⁻ ∩ R₁ ;  (ΔT)⁻ = (Δ̂₂)⁺ ∩ R₁   i.e.  (Δ̂₂)⁻¹ ∩ R₁
+  if (def.terms()[1].child == child) {
+    SQ_ASSIGN_OR_RETURN(Delta pres2,
+                        TermPresenceDelta(def, 1, child_delta, states));
+    if (!pres2.Empty()) {
+      // Left term; for self-diff its occurrence (position 0) counts as
+      // "before" the right firing, hence new state.
+      SQ_ASSIGN_OR_RETURN(
+          Relation r1,
+          TermRelation(def, 0, child, /*firing_pos=*/1, child_delta, states));
+      SQ_RETURN_IF_ERROR(result.SmashInPlace(
+          DeltaIntersectRelation(pres2.Inverse(), r1.ToSet())));
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<Delta> FireEdgeRules(const VdpNode& parent, const std::string& child,
+                            const Delta& child_delta,
+                            const NodeStateFn& states) {
+  if (!parent.def) {
+    return Status::InvalidArgument("cannot fire rules into leaf node " +
+                                   parent.name);
+  }
+  if (child_delta.Empty()) return Delta(parent.schema);
+  switch (parent.def->kind()) {
+    case NodeDef::Kind::kSpj:
+      return FireSpj(parent, child, child_delta, states);
+    case NodeDef::Kind::kUnion:
+      return FireUnion(parent, child, child_delta, states);
+    case NodeDef::Kind::kDiff:
+      return FireDiff(parent, child, child_delta, states);
+  }
+  return Status::Internal("unknown def kind");
+}
+
+}  // namespace squirrel

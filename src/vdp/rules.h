@@ -1,0 +1,46 @@
+// Update-propagation rules along VDP edges (paper §5.2), fired under the
+// sequential discipline of §6.4 that fixes Example 6.1's "missing
+// contribution" problem: a node's delta is fired toward its parents using
+// the *current* repositories of its siblings (already-processed siblings
+// expose their new state, unprocessed ones their old state), and the node's
+// own repository is updated only after firing.
+//
+// Implemented rule families:
+//  - SPJ: ΔT = π_p σ_f(term_1 ⋈ ... Δterm_i ... ⋈ term_n), with the
+//    occurrences of the firing child at positions before the firing one
+//    taken in their new state (handles self-joins).
+//  - Union: ΔT = filtered Δterm (bag).
+//  - Difference (set node, presence deltas):
+//      diff1 (firing left):  ΔT = Δ̂₁ − R₂  (both signs; the paper's
+//        "(ΔR₁)⁻ ∩ R₂" deletion term is corrected to "−R₂" — see DESIGN.md)
+//      diff2 (firing right): ΔT = (Δ̂₂)⁻¹ ∩ R₁
+//    where Δ̂ is the presence delta the bag-level change induces on the term.
+
+#ifndef SQUIRREL_VDP_RULES_H_
+#define SQUIRREL_VDP_RULES_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "delta/delta.h"
+#include "vdp/vdp.h"
+
+namespace squirrel {
+
+/// Computes the contribution to parent's Δ repository from a change
+/// \p child_delta (full-attribute bag delta, not yet applied to the child's
+/// state) of node \p child.
+///
+/// \param parent the parent node whose def consumes \p child
+/// \param child name of the changed node (a child of \p parent)
+/// \param child_delta the child's pending delta, in the child's full schema
+///        or any schema covering the attrs the parent's terms need
+/// \param states resolver for current node states (see NodeStateFn); for the
+///        firing child it must return the PRE-application state
+Result<Delta> FireEdgeRules(const VdpNode& parent, const std::string& child,
+                            const Delta& child_delta,
+                            const NodeStateFn& states);
+
+}  // namespace squirrel
+
+#endif  // SQUIRREL_VDP_RULES_H_

@@ -1,0 +1,206 @@
+#include "vdp/vdp.h"
+
+#include <algorithm>
+
+namespace squirrel {
+
+Status Vdp::AddNode(VdpNode node) {
+  if (node.name.empty()) {
+    return Status::InvalidArgument("VDP node needs a name");
+  }
+  if (index_.count(node.name)) {
+    return Status::AlreadyExists("VDP node already exists: " + node.name);
+  }
+  index_[node.name] = nodes_.size();
+  order_.push_back(node.name);
+  nodes_.push_back(std::move(node));
+  return Status::OK();
+}
+
+Status Vdp::AddLeaf(const std::string& name, const std::string& source_db,
+                    const std::string& source_relation, Schema schema) {
+  SQ_RETURN_IF_ERROR(schema.Validate());
+  VdpNode node;
+  node.name = name;
+  node.schema = std::move(schema);
+  node.is_leaf = true;
+  node.source_db = source_db;
+  node.source_relation = source_relation;
+  return AddNode(std::move(node));
+}
+
+Status Vdp::AddDerived(const std::string& name, NodeDef def, bool exported) {
+  // Children must already exist (children-first insertion <=> acyclic).
+  bool has_leaf_child = false;
+  for (const auto& child : def.Children()) {
+    const VdpNode* c = Find(child);
+    if (c == nullptr) {
+      return Status::NotFound("child node not yet defined: " + child +
+                              " (add children before parents)");
+    }
+    if (c->is_leaf) has_leaf_child = true;
+  }
+  // §5.1 restriction (a): immediate parents of leaves may only project and
+  // select on those leaves.
+  if (has_leaf_child) {
+    bool ok = def.kind() == NodeDef::Kind::kSpj && def.terms().size() == 1 &&
+              def.outer_select()->IsTrueLiteral() &&
+              def.outer_project().empty();
+    if (!ok) {
+      return Status::InvalidArgument(
+          "node " + name +
+          " has a leaf child but is not a pure project/select of it "
+          "(paper §5.1 restriction (a))");
+    }
+  }
+  SQ_ASSIGN_OR_RETURN(
+      Schema schema,
+      def.InferSchema([this](const std::string& child) -> Result<Schema> {
+        SQ_ASSIGN_OR_RETURN(const VdpNode* c, Get(child));
+        return c->schema;
+      }));
+  VdpNode node;
+  node.name = name;
+  node.schema = std::move(schema);
+  node.def = std::move(def);
+  node.exported = exported;
+  return AddNode(std::move(node));
+}
+
+Status Vdp::MarkExported(const std::string& name) {
+  auto it = index_.find(name);
+  if (it == index_.end()) return Status::NotFound("no VDP node: " + name);
+  if (nodes_[it->second].is_leaf) {
+    return Status::InvalidArgument("cannot export a leaf node: " + name);
+  }
+  nodes_[it->second].exported = true;
+  return Status::OK();
+}
+
+Result<const VdpNode*> Vdp::Get(const std::string& name) const {
+  const VdpNode* n = Find(name);
+  if (n == nullptr) return Status::NotFound("no VDP node: " + name);
+  return n;
+}
+
+const VdpNode* Vdp::Find(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &nodes_[it->second];
+}
+
+std::vector<std::string> Vdp::LeafNames() const {
+  std::vector<std::string> out;
+  for (const auto& n : nodes_) {
+    if (n.is_leaf) out.push_back(n.name);
+  }
+  return out;
+}
+
+std::vector<std::string> Vdp::DerivedNames() const {
+  std::vector<std::string> out;
+  for (const auto& name : order_) {
+    if (!Find(name)->is_leaf) out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<std::string> Vdp::ExportNames() const {
+  std::vector<std::string> out;
+  for (const auto& n : nodes_) {
+    if (n.exported) out.push_back(n.name);
+  }
+  return out;
+}
+
+std::vector<std::string> Vdp::Parents(const std::string& name) const {
+  std::vector<std::string> out;
+  for (const auto& n : nodes_) {
+    if (n.is_leaf || !n.def) continue;
+    auto children = n.def->Children();
+    if (std::find(children.begin(), children.end(), name) != children.end()) {
+      out.push_back(n.name);
+    }
+  }
+  return out;
+}
+
+bool Vdp::IsLeafParent(const std::string& name) const {
+  const VdpNode* n = Find(name);
+  if (n == nullptr || n->is_leaf || !n->def) return false;
+  for (const auto& child : n->def->Children()) {
+    const VdpNode* c = Find(child);
+    if (c != nullptr && c->is_leaf) return true;
+  }
+  return false;
+}
+
+const VdpNode* Vdp::FindLeaf(const std::string& source_db,
+                             const std::string& source_relation) const {
+  for (const auto& n : nodes_) {
+    if (n.is_leaf && n.source_db == source_db &&
+        n.source_relation == source_relation) {
+      return &n;
+    }
+  }
+  return nullptr;
+}
+
+Status Vdp::Validate() const {
+  if (nodes_.empty()) return Status::InvalidArgument("empty VDP");
+  // Each maximal (parentless) non-leaf node must be in Export (§5.1 item 5).
+  for (const auto& n : nodes_) {
+    if (n.is_leaf) continue;
+    if (Parents(n.name).empty() && !n.exported) {
+      return Status::InvalidArgument(
+          "maximal node " + n.name + " must be in the export set");
+    }
+  }
+  // At least one export.
+  if (ExportNames().empty()) {
+    return Status::InvalidArgument("VDP has no export relations");
+  }
+  return Status::OK();
+}
+
+std::string Vdp::ToString() const {
+  std::string out;
+  for (const auto& name : order_) {
+    const VdpNode* n = Find(name);
+    out += n->name;
+    if (n->exported) out += " [export]";
+    if (n->is_leaf) {
+      out += " [leaf " + n->source_db + "." + n->source_relation + "]";
+    }
+    out += " " + n->schema.ToString();
+    if (n->def) {
+      out += "\n    := " + n->def->ToString();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string Vdp::ToDot(const std::string& graph_name) const {
+  std::string out = "digraph " + graph_name + " {\n  rankdir=BT;\n";
+  for (const auto& n : nodes_) {
+    out += "  \"" + n.name + "\" [";
+    if (n.is_leaf) {
+      out += "shape=box";
+    } else if (n.exported) {
+      out += "shape=doublecircle";
+    } else {
+      out += "shape=ellipse";
+    }
+    out += "];\n";
+  }
+  for (const auto& n : nodes_) {
+    if (!n.def) continue;
+    for (const auto& child : n.def->Children()) {
+      out += "  \"" + child + "\" -> \"" + n.name + "\";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace squirrel

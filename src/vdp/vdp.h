@@ -1,0 +1,112 @@
+// View Decomposition Plans (paper §5).
+//
+// A VDP is a labeled dag: leaves are source-database relations, non-leaves
+// are relations maintained by the mediator, and each non-leaf carries a
+// def(v) deriving it from its children. Export nodes are the relations the
+// integrated view offers to queries. Update propagation proceeds along the
+// edges, leaves to exports; VDPs are the static analogue of query execution
+// plans.
+
+#ifndef SQUIRREL_VDP_VDP_H_
+#define SQUIRREL_VDP_VDP_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/schema.h"
+#include "vdp/node_def.h"
+
+namespace squirrel {
+
+/// \brief One node of a VDP.
+struct VdpNode {
+  std::string name;    ///< relation name, unique in the VDP
+  Schema schema;       ///< full logical schema (annotation-independent)
+  bool is_leaf = false;
+  std::string source_db;        ///< leaves: owning source database
+  std::string source_relation;  ///< leaves: relation name at the source
+  std::optional<NodeDef> def;   ///< non-leaves: the derivation
+  bool exported = false;        ///< member of the Export set
+
+  /// Set for difference nodes, bag otherwise; leaves are sets.
+  Semantics semantics() const {
+    return is_leaf || (def && def->kind() == NodeDef::Kind::kDiff)
+               ? Semantics::kSet
+               : Semantics::kBag;
+  }
+};
+
+/// \brief The dag of nodes. Nodes must be added children-first, which also
+/// certifies acyclicity; insertion order is a topological order.
+class Vdp {
+ public:
+  Vdp() = default;
+
+  /// Adds a leaf node for relation \p source_relation of \p source_db.
+  Status AddLeaf(const std::string& name, const std::string& source_db,
+                 const std::string& source_relation, Schema schema);
+
+  /// Adds a derived node. All children must already exist; the schema is
+  /// inferred from the definition. Restriction (a) of §5.1 is enforced:
+  /// a node with a leaf child must be a single-term project/select of it.
+  Status AddDerived(const std::string& name, NodeDef def,
+                    bool exported = false);
+
+  /// Marks an existing non-leaf node as exported.
+  Status MarkExported(const std::string& name);
+
+  /// Node lookup; NotFound if absent.
+  Result<const VdpNode*> Get(const std::string& name) const;
+  /// Node lookup; nullptr if absent.
+  const VdpNode* Find(const std::string& name) const;
+  /// True iff a node with this name exists.
+  bool Contains(const std::string& name) const {
+    return index_.count(name) > 0;
+  }
+
+  /// All node names in insertion (= topological, children-first) order.
+  const std::vector<std::string>& TopoOrder() const { return order_; }
+  /// Names of leaf nodes.
+  std::vector<std::string> LeafNames() const;
+  /// Names of non-leaf nodes, children-first.
+  std::vector<std::string> DerivedNames() const;
+  /// Names of export nodes.
+  std::vector<std::string> ExportNames() const;
+
+  /// Names of nodes that list \p name among their children.
+  std::vector<std::string> Parents(const std::string& name) const;
+
+  /// True iff \p name is a non-leaf with at least one leaf child.
+  bool IsLeafParent(const std::string& name) const;
+
+  /// Leaf node name for (source_db, source_relation), if present.
+  const VdpNode* FindLeaf(const std::string& source_db,
+                          const std::string& source_relation) const;
+
+  /// Structural checks beyond the incremental ones (maximal nodes exported).
+  Status Validate() const;
+
+  /// Number of nodes.
+  size_t NodeCount() const { return nodes_.size(); }
+
+  /// Human-readable listing of all nodes and defs.
+  std::string ToString() const;
+
+  /// Graphviz dot rendering (leaves as boxes, exports as double circles —
+  /// the paper's Figure 1/4 conventions).
+  std::string ToDot(const std::string& graph_name = "vdp") const;
+
+ private:
+  Status AddNode(VdpNode node);
+
+  std::vector<VdpNode> nodes_;
+  std::vector<std::string> order_;
+  std::map<std::string, size_t> index_;
+};
+
+}  // namespace squirrel
+
+#endif  // SQUIRREL_VDP_VDP_H_

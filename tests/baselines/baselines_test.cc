@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "baselines/virtual_mediator.h"
+#include "baselines/zgh_warehouse.h"
+#include "testing/harness.h"
+#include "testing/util.h"
+#include "vdp/paper_examples.h"
+
+namespace squirrel {
+namespace {
+
+using testing::MakeSchema;
+using testing::Rows;
+
+class VirtualMediatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db1_ = std::make_unique<SourceDb>("DB1");
+    db2_ = std::make_unique<SourceDb>("DB2");
+    SQ_ASSERT_OK(
+        db1_->AddRelation("R", MakeSchema("R(r1, r2, r3, r4) key(r1)")));
+    SQ_ASSERT_OK(db2_->AddRelation("S", MakeSchema("S(s1, s2, s3) key(s1)")));
+    SQ_ASSERT_OK(db1_->InsertTuple(0, "R", Tuple({1, 100, 11, 100})));
+    SQ_ASSERT_OK(db1_->InsertTuple(0, "R", Tuple({2, 100, 22, 7})));
+    SQ_ASSERT_OK(db2_->InsertTuple(0, "S", Tuple({100, 5, 10})));
+
+    PlannerInput input;
+    input.scans["R"] = {"DB1", "R", MakeSchema("R(r1, r2, r3, r4) key(r1)")};
+    input.scans["S"] = {"DB2", "S", MakeSchema("S(s1, s2, s3) key(s1)")};
+    auto view = ParseAlgebra(
+        "project[r1, r3, s1, s2](select[r4 = 100](R) join[r2 = s1] "
+        "select[s3 < 50](S))");
+    ASSERT_TRUE(view.ok());
+    input.exports.push_back({"T", *view});
+
+    std::vector<SourceSetup> setups = {{db1_.get(), 0.5, 0.2, 0.0},
+                                       {db2_.get(), 0.5, 0.2, 0.0}};
+    auto med = VirtualMediator::Create(std::move(input), setups, &scheduler_,
+                                       /*q_proc_delay=*/0.1);
+    ASSERT_TRUE(med.ok()) << med.status().ToString();
+    mediator_ = std::move(med).value();
+    SQ_ASSERT_OK(mediator_->Start());
+  }
+
+  Scheduler scheduler_;
+  std::unique_ptr<SourceDb> db1_, db2_;
+  std::unique_ptr<VirtualMediator> mediator_;
+};
+
+TEST_F(VirtualMediatorTest, AnswersAreAlwaysCurrent) {
+  std::vector<ViewAnswer> answers;
+  auto q = [&](Time at) {
+    scheduler_.At(at, [this, &answers]() {
+      mediator_->SubmitQuery(ViewQuery{"T", {}, nullptr},
+                             [&answers](Result<ViewAnswer> ans) {
+                               ASSERT_TRUE(ans.ok())
+                                   << ans.status().ToString();
+                               answers.push_back(std::move(ans).value());
+                             });
+    });
+  };
+  q(1.0);
+  scheduler_.At(5.0, [this]() {
+    SQ_EXPECT_OK(db1_->InsertTuple(scheduler_.Now(), "R",
+                                   Tuple({3, 100, 33, 100})));
+  });
+  q(10.0);
+  scheduler_.RunUntil(100.0);
+  ASSERT_EQ(answers.size(), 2u);
+  EXPECT_EQ(Rows(answers[0].data), "(1, 11, 100, 5) ");
+  EXPECT_EQ(Rows(answers[1].data), "(1, 11, 100, 5) (3, 33, 100, 5) ");
+  // Every query decomposes: one poll per scanned relation.
+  EXPECT_EQ(mediator_->stats().polls, 4u);
+  EXPECT_GT(mediator_->stats().polled_tuples, 0u);
+  // Latency includes the round trips.
+  EXPECT_GT(answers[0].commit_time, 1.0);
+}
+
+TEST_F(VirtualMediatorTest, PushesQueryConditionsToSources) {
+  uint64_t before = mediator_->stats().polled_tuples;
+  bool done = false;
+  scheduler_.At(1.0, [&]() {
+    mediator_->SubmitQuery(
+        ViewQuery{"T", {"r1"}, testing::Pred("r1 = 1")},
+        [&](Result<ViewAnswer> ans) {
+          ASSERT_TRUE(ans.ok());
+          EXPECT_EQ(Rows(ans->data), "(1) ");
+          done = true;
+        });
+  });
+  scheduler_.RunUntil(100.0);
+  ASSERT_TRUE(done);
+  // The r1 = 1 clause was pushed to DB1: only one R row shipped (plus S).
+  EXPECT_LE(mediator_->stats().polled_tuples - before, 2u);
+}
+
+TEST_F(VirtualMediatorTest, UnknownExportRejected) {
+  bool failed = false;
+  scheduler_.At(1.0, [&]() {
+    mediator_->SubmitQuery(ViewQuery{"Nope", {}, nullptr},
+                           [&](Result<ViewAnswer> ans) {
+                             failed = !ans.ok();
+                           });
+  });
+  scheduler_.RunUntil(50.0);
+  EXPECT_TRUE(failed);
+}
+
+TEST_F(VirtualMediatorTest, QueriesSerialize) {
+  std::vector<Time> commits;
+  for (int i = 0; i < 3; ++i) {
+    scheduler_.At(1.0, [this, &commits]() {
+      mediator_->SubmitQuery(ViewQuery{"T", {"r1"}, nullptr},
+                             [&commits](Result<ViewAnswer> ans) {
+                               ASSERT_TRUE(ans.ok());
+                               commits.push_back(ans->commit_time);
+                             });
+    });
+  }
+  scheduler_.RunUntil(100.0);
+  ASSERT_EQ(commits.size(), 3u);
+  EXPECT_LT(commits[0], commits[1]);
+  EXPECT_LT(commits[1], commits[2]);
+}
+
+TEST(WarehouseAnnotationTest, ExportsMaterializedInteriorVirtual) {
+  auto vdp = BuildFigure4Vdp();
+  ASSERT_TRUE(vdp.ok());
+  Annotation ann = WarehouseAnnotation(*vdp);
+  EXPECT_TRUE(ann.FullyMaterialized(*vdp, "E"));
+  EXPECT_TRUE(ann.FullyMaterialized(*vdp, "G"));
+  EXPECT_TRUE(ann.FullyVirtual(*vdp, "A'"));
+  EXPECT_TRUE(ann.FullyVirtual(*vdp, "F"));
+  SQ_ASSERT_OK(ann.Validate(*vdp));
+}
+
+TEST(WarehouseAnnotationTest, FullyVirtualAnnotationCoversEverything) {
+  auto vdp = BuildFigure1Vdp();
+  ASSERT_TRUE(vdp.ok());
+  Annotation ann = FullyVirtualAnnotation(*vdp);
+  for (const auto& name : vdp->DerivedNames()) {
+    EXPECT_TRUE(ann.FullyVirtual(*vdp, name)) << name;
+  }
+}
+
+TEST(WarehouseAnnotationTest, WarehouseMaintainsViewByPolling) {
+  // The ZGHW95 configuration: T materialized, R'/S' virtual. Every R update
+  // needs S data -> polls; result must still match recomputation.
+  auto vdp = BuildFigure1Vdp();
+  ASSERT_TRUE(vdp.ok());
+  auto db1 = std::make_unique<SourceDb>("DB1");
+  auto db2 = std::make_unique<SourceDb>("DB2");
+  SQ_ASSERT_OK(
+      db1->AddRelation("R", MakeSchema("R(r1, r2, r3, r4) key(r1)")));
+  SQ_ASSERT_OK(db2->AddRelation("S", MakeSchema("S(s1, s2, s3) key(s1)")));
+  SQ_ASSERT_OK(db2->InsertTuple(0, "S", Tuple({100, 5, 10})));
+  testing::DirectHarness h(std::move(vdp).value(), WarehouseAnnotation(
+                               *BuildFigure1Vdp()),
+                           {{"DB1", db1.get()}, {"DB2", db2.get()}});
+  SQ_ASSERT_OK(h.Load());
+  MultiDelta md;
+  SQ_ASSERT_OK(md.Mutable("R", MakeSchema("R(r1, r2, r3, r4)"))
+                   ->AddInsert(Tuple({1, 100, 11, 100})));
+  SQ_ASSERT_OK_AND_ASSIGN(IupStats stats,
+                          h.CommitAndPropagate("DB1", 1.0, md));
+  EXPECT_GT(stats.polls, 0u);  // no auxiliary data -> must poll
+  SQ_ASSERT_OK(h.VerifyRepos());
+}
+
+}  // namespace
+}  // namespace squirrel

@@ -1,0 +1,190 @@
+#include "delta/delta.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/util.h"
+
+namespace squirrel {
+namespace {
+
+using testing::MakeRelation;
+using testing::MakeSchema;
+
+TEST(DeltaTest, InsertDeleteAtomsMerge) {
+  Delta d(MakeSchema("R(a)"));
+  SQ_ASSERT_OK(d.AddInsert(Tuple({1})));
+  SQ_ASSERT_OK(d.AddDelete(Tuple({1})));
+  EXPECT_TRUE(d.Empty());  // +t then -t cancel (consistency condition)
+}
+
+TEST(DeltaTest, CountsAccumulate) {
+  Delta d(MakeSchema("R(a)"));
+  SQ_ASSERT_OK(d.AddInsert(Tuple({1}), 2));
+  SQ_ASSERT_OK(d.AddInsert(Tuple({1})));
+  SQ_ASSERT_OK(d.AddDelete(Tuple({2}), 4));
+  EXPECT_EQ(d.CountOf(Tuple({1})), 3);
+  EXPECT_EQ(d.CountOf(Tuple({2})), -4);
+  EXPECT_EQ(d.AtomCount(), 2u);
+  EXPECT_EQ(d.TotalMagnitude(), 7);
+}
+
+TEST(DeltaTest, ArityChecked) {
+  Delta d(MakeSchema("R(a, b)"));
+  EXPECT_FALSE(d.Add(Tuple({1}), 1).ok());
+}
+
+TEST(DeltaTest, InverseFlipsSigns) {
+  Delta d(MakeSchema("R(a)"));
+  SQ_ASSERT_OK(d.AddInsert(Tuple({1}), 2));
+  SQ_ASSERT_OK(d.AddDelete(Tuple({2})));
+  Delta inv = d.Inverse();
+  EXPECT_EQ(inv.CountOf(Tuple({1})), -2);
+  EXPECT_EQ(inv.CountOf(Tuple({2})), 1);
+}
+
+TEST(DeltaTest, SmashIsPointwiseSum) {
+  Delta d1(MakeSchema("R(a)"));
+  SQ_ASSERT_OK(d1.AddInsert(Tuple({1})));
+  SQ_ASSERT_OK(d1.AddDelete(Tuple({2})));
+  Delta d2(MakeSchema("R(a)"));
+  SQ_ASSERT_OK(d2.AddDelete(Tuple({1})));
+  SQ_ASSERT_OK(d2.AddDelete(Tuple({2})));
+  SQ_ASSERT_OK_AND_ASSIGN(Delta s, Delta::Smash(d1, d2));
+  EXPECT_EQ(s.CountOf(Tuple({1})), 0);
+  EXPECT_EQ(s.CountOf(Tuple({2})), -2);
+}
+
+TEST(DeltaTest, SmashLawApply) {
+  // apply(db, d1 ! d2) == apply(apply(db, d1), d2) — the defining law.
+  Relation db(MakeSchema("R(a)"), Semantics::kBag);
+  SQ_ASSERT_OK(db.Insert(Tuple({1}), 2));
+  SQ_ASSERT_OK(db.Insert(Tuple({2}), 1));
+  Delta d1(MakeSchema("R(a)"));
+  SQ_ASSERT_OK(d1.AddInsert(Tuple({3}), 2));
+  SQ_ASSERT_OK(d1.AddDelete(Tuple({1})));
+  Delta d2(MakeSchema("R(a)"));
+  SQ_ASSERT_OK(d2.AddDelete(Tuple({3})));
+  SQ_ASSERT_OK(d2.AddInsert(Tuple({2})));
+
+  Relation seq = db;
+  SQ_ASSERT_OK(ApplyDelta(&seq, d1));
+  SQ_ASSERT_OK(ApplyDelta(&seq, d2));
+  Relation smashed = db;
+  SQ_ASSERT_OK_AND_ASSIGN(Delta s, Delta::Smash(d1, d2));
+  SQ_ASSERT_OK(ApplyDelta(&smashed, s));
+  EXPECT_TRUE(seq.EqualContents(smashed));
+}
+
+TEST(DeltaTest, InverseLaw) {
+  // apply(apply(db, d), d^-1) == db for non-redundant deltas.
+  Relation db(MakeSchema("R(a)"), Semantics::kBag);
+  SQ_ASSERT_OK(db.Insert(Tuple({1}), 2));
+  Delta d(MakeSchema("R(a)"));
+  SQ_ASSERT_OK(d.AddInsert(Tuple({2}), 3));
+  SQ_ASSERT_OK(d.AddDelete(Tuple({1})));
+  Relation r = db;
+  SQ_ASSERT_OK(ApplyDelta(&r, d));
+  SQ_ASSERT_OK(ApplyDelta(&r, d.Inverse()));
+  EXPECT_TRUE(r.EqualContents(db));
+}
+
+TEST(DeltaTest, SmashInverseDistributes) {
+  // (d1 ! d2)^-1 == d2^-1 ! d1^-1 (they are equal as signed counts).
+  Delta d1(MakeSchema("R(a)"));
+  SQ_ASSERT_OK(d1.AddInsert(Tuple({1})));
+  Delta d2(MakeSchema("R(a)"));
+  SQ_ASSERT_OK(d2.AddDelete(Tuple({2}), 2));
+  SQ_ASSERT_OK_AND_ASSIGN(Delta lhs, Delta::Smash(d1, d2));
+  lhs = lhs.Inverse();
+  SQ_ASSERT_OK_AND_ASSIGN(Delta rhs, Delta::Smash(d2.Inverse(), d1.Inverse()));
+  EXPECT_TRUE(lhs.EqualContents(rhs));
+}
+
+TEST(DeltaTest, PositiveNegativeParts) {
+  Delta d(MakeSchema("R(a)"));
+  SQ_ASSERT_OK(d.AddInsert(Tuple({1}), 2));
+  SQ_ASSERT_OK(d.AddDelete(Tuple({2}), 3));
+  Relation pos = d.Positive();
+  Relation neg = d.Negative();
+  EXPECT_EQ(pos.CountOf(Tuple({1})), 2);
+  EXPECT_EQ(pos.CountOf(Tuple({2})), 0);
+  EXPECT_EQ(neg.CountOf(Tuple({2})), 3);
+}
+
+TEST(DeltaTest, BetweenComputesDifference) {
+  Relation from = MakeRelation("R(a)", {Tuple({1}), Tuple({2})});
+  Relation to = MakeRelation("R(a)", {Tuple({2}), Tuple({3})});
+  SQ_ASSERT_OK_AND_ASSIGN(Delta d, Delta::Between(from, to));
+  EXPECT_EQ(d.CountOf(Tuple({1})), -1);
+  EXPECT_EQ(d.CountOf(Tuple({3})), 1);
+  EXPECT_EQ(d.CountOf(Tuple({2})), 0);
+  Relation r = from;
+  SQ_ASSERT_OK(ApplyDelta(&r, d));
+  EXPECT_TRUE(r.EqualContents(to));
+}
+
+TEST(DeltaTest, ApplyStrictOnSetRedundancy) {
+  Relation r = MakeRelation("R(a)", {Tuple({1})});
+  Delta redundant_insert(MakeSchema("R(a)"));
+  SQ_ASSERT_OK(redundant_insert.AddInsert(Tuple({1})));
+  EXPECT_FALSE(ApplyDelta(&r, redundant_insert).ok());
+  Delta redundant_delete(MakeSchema("R(a)"));
+  SQ_ASSERT_OK(redundant_delete.AddDelete(Tuple({9})));
+  EXPECT_FALSE(ApplyDelta(&r, redundant_delete).ok());
+}
+
+TEST(DeltaTest, ApplyStrictOnBagUnderflow) {
+  Relation r(MakeSchema("R(a)"), Semantics::kBag);
+  SQ_ASSERT_OK(r.Insert(Tuple({1}), 1));
+  Delta d(MakeSchema("R(a)"));
+  SQ_ASSERT_OK(d.AddDelete(Tuple({1}), 2));
+  EXPECT_FALSE(ApplyDelta(&r, d).ok());
+  // Failed apply leaves the relation untouched.
+  EXPECT_EQ(r.CountOf(Tuple({1})), 1);
+}
+
+TEST(DeltaTest, ApplySetRejectsWideCounts) {
+  Relation r = MakeRelation("R(a)", {});
+  Delta d(MakeSchema("R(a)"));
+  SQ_ASSERT_OK(d.AddInsert(Tuple({1}), 2));
+  EXPECT_FALSE(ApplyDelta(&r, d).ok());
+}
+
+TEST(DeltaTest, ToStringSortedAndSigned) {
+  Delta d(MakeSchema("R(a)"));
+  SQ_ASSERT_OK(d.AddDelete(Tuple({2})));
+  SQ_ASSERT_OK(d.AddInsert(Tuple({1}), 2));
+  EXPECT_EQ(d.ToString(), "{+(1) x2, -(2)}");
+}
+
+TEST(MultiDeltaTest, PerRelationRouting) {
+  MultiDelta md;
+  SQ_ASSERT_OK(md.Mutable("R", MakeSchema("R(a)"))->AddInsert(Tuple({1})));
+  SQ_ASSERT_OK(md.Mutable("S", MakeSchema("S(b)"))->AddDelete(Tuple({2})));
+  EXPECT_EQ(md.RelationNames(), (std::vector<std::string>{"R", "S"}));
+  EXPECT_NE(md.Find("R"), nullptr);
+  EXPECT_EQ(md.Find("Z"), nullptr);
+  EXPECT_EQ(md.AtomCount(), 2u);
+}
+
+TEST(MultiDeltaTest, EmptyDeltasInvisible) {
+  MultiDelta md;
+  md.Mutable("R", MakeSchema("R(a)"));
+  EXPECT_TRUE(md.Empty());
+  EXPECT_EQ(md.Find("R"), nullptr);
+  EXPECT_TRUE(md.RelationNames().empty());
+}
+
+TEST(MultiDeltaTest, SmashMergesRelationWise) {
+  MultiDelta a, b;
+  SQ_ASSERT_OK(a.Mutable("R", MakeSchema("R(x)"))->AddInsert(Tuple({1})));
+  SQ_ASSERT_OK(b.Mutable("R", MakeSchema("R(x)"))->AddDelete(Tuple({1})));
+  SQ_ASSERT_OK(b.Mutable("S", MakeSchema("S(y)"))->AddInsert(Tuple({2})));
+  SQ_ASSERT_OK(a.SmashInPlace(b));
+  EXPECT_EQ(a.Find("R"), nullptr);  // cancelled
+  ASSERT_NE(a.Find("S"), nullptr);
+  EXPECT_EQ(a.Find("S")->CountOf(Tuple({2})), 1);
+}
+
+}  // namespace
+}  // namespace squirrel

@@ -1,0 +1,112 @@
+// Remark 3.1 / Figure 2: a scenario that is pseudo-consistent but NOT
+// consistent, demonstrating that the paper's consistency definition is
+// strictly stronger than the pairwise formulation.
+
+#include <gtest/gtest.h>
+
+#include "mediator/consistency.h"
+#include "relational/parser.h"
+#include "testing/util.h"
+
+namespace squirrel {
+namespace {
+
+using testing::MakeRelation;
+using testing::MakeSchema;
+
+class Figure2Scenario : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<SourceDb>("DB");
+    SQ_ASSERT_OK(db_->AddRelation("R", MakeSchema("R(p, q, note string)")));
+    // Figure 2's source history: R holds exactly one binary tuple at each
+    // time 1..6 (we use (p, q) and project the view S = π_q(R)).
+    // t1 (a,a)  t2 (b,b)  t3 (c,a)  t4 (d,a)  t5 (e,a)  t6 (f,a)
+    // We encode a..f as 1..6.
+    const int pairs[6][2] = {{1, 1}, {2, 2}, {3, 1}, {4, 1}, {5, 1}, {6, 1}};
+    Tuple prev;
+    for (int i = 0; i < 6; ++i) {
+      MultiDelta md;
+      auto* d = md.Mutable("R", MakeSchema("R(p, q, note string)"));
+      if (i > 0) SQ_ASSERT_OK(d->AddDelete(prev));
+      Tuple cur({pairs[i][0], pairs[i][1], "x"});
+      SQ_ASSERT_OK(d->AddInsert(cur));
+      SQ_ASSERT_OK(db_->Commit(i + 1, md));
+      prev = cur;
+    }
+    auto view = ParseAlgebra("project[q](R)");
+    ASSERT_TRUE(view.ok());
+    view_ = *view;
+  }
+
+  Relation S(int v) { return MakeRelation("S(q)", {Tuple({v})}); }
+
+  std::unique_ptr<SourceDb> db_;
+  AlgebraExpr::Ptr view_;
+};
+
+TEST_F(Figure2Scenario, PaperScenarioIsPseudoConsistentButNotConsistent) {
+  // Figure 2's view history: S(a) S(a) S(b) S(a) S(b) S(a), a=1, b=2.
+  std::vector<ViewObservation> obs = {
+      {1, S(1)}, {2, S(1)}, {3, S(2)}, {4, S(1)}, {5, S(2)}, {6, S(1)},
+  };
+  SQ_ASSERT_OK_AND_ASSIGN(bool pseudo, IsPseudoConsistent(*db_, view_, obs));
+  EXPECT_TRUE(pseudo);
+  SQ_ASSERT_OK_AND_ASSIGN(bool consistent,
+                          IsScenarioConsistent(*db_, view_, obs));
+  EXPECT_FALSE(consistent);
+}
+
+TEST_F(Figure2Scenario, MonotoneViewHistoryIsConsistent) {
+  // A well-behaved mediator's history: S(a), S(b), S(a)-at-or-after-t3.
+  std::vector<ViewObservation> obs = {
+      {1, S(1)}, {2.5, S(2)}, {4, S(1)}, {6, S(1)},
+  };
+  SQ_ASSERT_OK_AND_ASSIGN(bool pseudo, IsPseudoConsistent(*db_, view_, obs));
+  EXPECT_TRUE(pseudo);
+  SQ_ASSERT_OK_AND_ASSIGN(bool consistent,
+                          IsScenarioConsistent(*db_, view_, obs));
+  EXPECT_TRUE(consistent);
+}
+
+TEST_F(Figure2Scenario, ForecastingTheFutureIsNeitherKind) {
+  // The view shows S(b) before the source ever produced q=b (chronology
+  // violation): neither pseudo-consistent nor consistent.
+  std::vector<ViewObservation> obs = {{1.5, S(2)}};
+  SQ_ASSERT_OK_AND_ASSIGN(bool pseudo, IsPseudoConsistent(*db_, view_, obs));
+  EXPECT_FALSE(pseudo);
+  SQ_ASSERT_OK_AND_ASSIGN(bool consistent,
+                          IsScenarioConsistent(*db_, view_, obs));
+  EXPECT_FALSE(consistent);
+}
+
+TEST_F(Figure2Scenario, FabricatedStateIsInvalid) {
+  // S(c=3) never corresponds to any source state.
+  std::vector<ViewObservation> obs = {{6, S(3)}};
+  SQ_ASSERT_OK_AND_ASSIGN(bool pseudo, IsPseudoConsistent(*db_, view_, obs));
+  EXPECT_FALSE(pseudo);
+  SQ_ASSERT_OK_AND_ASSIGN(bool consistent,
+                          IsScenarioConsistent(*db_, view_, obs));
+  EXPECT_FALSE(consistent);
+}
+
+TEST_F(Figure2Scenario, EmptyObservationHistoryTriviallyConsistent) {
+  std::vector<ViewObservation> obs;
+  SQ_ASSERT_OK_AND_ASSIGN(bool pseudo, IsPseudoConsistent(*db_, view_, obs));
+  EXPECT_TRUE(pseudo);
+  SQ_ASSERT_OK_AND_ASSIGN(bool consistent,
+                          IsScenarioConsistent(*db_, view_, obs));
+  EXPECT_TRUE(consistent);
+}
+
+TEST_F(Figure2Scenario, InitialEmptyStateIsAWitness) {
+  // Before the first commit the source (and hence the view) is empty.
+  Relation empty(MakeSchema("S(q)"), Semantics::kSet);
+  std::vector<ViewObservation> obs = {{1, empty}, {2, S(1)}};
+  SQ_ASSERT_OK_AND_ASSIGN(bool consistent,
+                          IsScenarioConsistent(*db_, view_, obs));
+  EXPECT_TRUE(consistent);
+}
+
+}  // namespace
+}  // namespace squirrel

@@ -1,0 +1,202 @@
+// Unit tests for the smaller mediator components: LocalStore, UpdateQueue,
+// contributor classification, freshness bounds, and ViewQuery parsing.
+
+#include <gtest/gtest.h>
+
+#include "mediator/contributor.h"
+#include "mediator/freshness.h"
+#include "mediator/local_store.h"
+#include "mediator/query.h"
+#include "mediator/update_queue.h"
+#include "testing/util.h"
+#include "vdp/paper_examples.h"
+
+namespace squirrel {
+namespace {
+
+using testing::MakeSchema;
+
+class LocalStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto vdp = BuildFigure1Vdp();
+    ASSERT_TRUE(vdp.ok());
+    vdp_ = std::move(vdp).value();
+  }
+  Vdp vdp_;
+};
+
+TEST_F(LocalStoreTest, FullyMaterializedHasAllRepos) {
+  Annotation ann;
+  LocalStore store(&vdp_, &ann);
+  EXPECT_TRUE(store.HasRepo("R'"));
+  EXPECT_TRUE(store.HasRepo("S'"));
+  EXPECT_TRUE(store.HasRepo("T"));
+  EXPECT_FALSE(store.HasRepo("R"));  // leaves never have repos
+  EXPECT_EQ(store.MaterializedNodes().size(), 3u);
+}
+
+TEST_F(LocalStoreTest, VirtualNodesHaveNoRepo) {
+  Annotation ann = AnnotationExample23(vdp_);
+  LocalStore store(&vdp_, &ann);
+  EXPECT_FALSE(store.HasRepo("R'"));
+  EXPECT_FALSE(store.HasRepo("S'"));
+  EXPECT_TRUE(store.HasRepo("T"));
+  // Hybrid repo schema holds only the materialized attrs.
+  SQ_ASSERT_OK_AND_ASSIGN(const Relation* t, store.Repo("T"));
+  EXPECT_EQ(t->schema().AttributeNames(),
+            (std::vector<std::string>{"r1", "s1"}));
+  EXPECT_FALSE(store.Repo("R'").ok());
+}
+
+TEST_F(LocalStoreTest, ApplyNodeDeltaNarrowsToMaterialized) {
+  Annotation ann = AnnotationExample23(vdp_);
+  LocalStore store(&vdp_, &ann);
+  Delta full(vdp_.Find("T")->schema);
+  SQ_ASSERT_OK(full.AddInsert(Tuple({1, 11, 100, 5})));
+  SQ_ASSERT_OK(store.ApplyNodeDelta("T", full));
+  SQ_ASSERT_OK_AND_ASSIGN(const Relation* t, store.Repo("T"));
+  EXPECT_TRUE(t->Contains(Tuple({1, 100})));
+}
+
+TEST_F(LocalStoreTest, SetRepoValidatesSchema) {
+  Annotation ann;
+  LocalStore store(&vdp_, &ann);
+  Relation wrong(MakeSchema("X(a)"), Semantics::kBag);
+  EXPECT_FALSE(store.SetRepo("T", wrong).ok());
+  EXPECT_FALSE(store.SetRepo("NoSuchNode", wrong).ok());
+}
+
+TEST(UpdateQueueTest, FifoFlush) {
+  UpdateQueue queue;
+  for (int i = 0; i < 3; ++i) {
+    UpdateMessage msg;
+    msg.source = "DB";
+    msg.send_time = i;
+    msg.seq = i;
+    queue.Enqueue(std::move(msg));
+  }
+  EXPECT_EQ(queue.Size(), 3u);
+  auto msgs = queue.Flush();
+  ASSERT_EQ(msgs.size(), 3u);
+  EXPECT_EQ(msgs[0].seq, 0u);
+  EXPECT_EQ(msgs[2].seq, 2u);
+  EXPECT_TRUE(queue.Empty());
+  EXPECT_EQ(queue.TotalEnqueued(), 3u);
+}
+
+TEST(UpdateQueueTest, PendingFromSmashesPerSource) {
+  UpdateQueue queue;
+  Schema schema = MakeSchema("R(a)");
+  auto enqueue = [&](const std::string& source, const Tuple& t, int sign) {
+    UpdateMessage msg;
+    msg.source = source;
+    SQ_EXPECT_OK(msg.delta.Mutable("R", schema)->Add(t, sign));
+    queue.Enqueue(std::move(msg));
+  };
+  enqueue("A", Tuple({1}), 1);
+  enqueue("B", Tuple({2}), 1);
+  enqueue("A", Tuple({1}), -1);  // cancels for A
+  enqueue("A", Tuple({3}), 1);
+  SQ_ASSERT_OK_AND_ASSIGN(MultiDelta a, queue.PendingFrom("A"));
+  const Delta* da = a.Find("R");
+  ASSERT_NE(da, nullptr);
+  EXPECT_EQ(da->CountOf(Tuple({1})), 0);
+  EXPECT_EQ(da->CountOf(Tuple({3})), 1);
+  SQ_ASSERT_OK_AND_ASSIGN(MultiDelta c, queue.PendingFrom("C"));
+  EXPECT_TRUE(c.Empty());
+}
+
+TEST(UpdateQueueTest, LastPendingSendTime) {
+  UpdateQueue queue;
+  UpdateMessage m1;
+  m1.source = "A";
+  m1.send_time = 1.5;
+  queue.Enqueue(std::move(m1));
+  UpdateMessage m2;
+  m2.source = "A";
+  m2.send_time = 4.5;
+  queue.Enqueue(std::move(m2));
+  EXPECT_DOUBLE_EQ(queue.LastPendingSendTime("A", 0), 4.5);
+  EXPECT_DOUBLE_EQ(queue.LastPendingSendTime("B", 9.0), 9.0);
+}
+
+TEST(ContributorTest, Figure1Classifications) {
+  auto vdp = BuildFigure1Vdp();
+  ASSERT_TRUE(vdp.ok());
+  // Fully materialized: both sources feed only materialized nodes.
+  Annotation mat;
+  EXPECT_EQ(ClassifyContributor(*vdp, mat, "DB1"),
+            ContributorKind::kMaterialized);
+  // Example 2.2: R' virtual but T (fed by DB1) materialized -> hybrid.
+  Annotation ex22 = AnnotationExample22(*vdp);
+  EXPECT_EQ(ClassifyContributor(*vdp, ex22, "DB1"),
+            ContributorKind::kHybrid);
+  EXPECT_EQ(ClassifyContributor(*vdp, ex22, "DB2"),
+            ContributorKind::kMaterialized);
+  // Fully virtual everything: both sources virtual-contributors.
+  Annotation virt;
+  for (const auto& name : vdp->DerivedNames()) {
+    SQ_ASSERT_OK(virt.SetAll(*vdp, name, AttrMode::kVirtual));
+  }
+  EXPECT_EQ(ClassifyContributor(*vdp, virt, "DB1"),
+            ContributorKind::kVirtual);
+  // Unknown source feeds nothing -> virtual by convention.
+  EXPECT_EQ(ClassifyContributor(*vdp, mat, "Unknown"),
+            ContributorKind::kVirtual);
+}
+
+TEST(ContributorTest, Predicates) {
+  EXPECT_TRUE(MustAnnounce(ContributorKind::kMaterialized));
+  EXPECT_TRUE(MustAnnounce(ContributorKind::kHybrid));
+  EXPECT_FALSE(MustAnnounce(ContributorKind::kVirtual));
+  EXPECT_FALSE(MustAnswerPolls(ContributorKind::kMaterialized));
+  EXPECT_TRUE(MustAnswerPolls(ContributorKind::kHybrid));
+  EXPECT_TRUE(MustAnswerPolls(ContributorKind::kVirtual));
+}
+
+TEST(FreshnessBoundTest, Theorem72Formula) {
+  std::vector<DelayProfile> profiles = {{2.0, 1.0, 0.5}, {0.0, 0.5, 0.25}};
+  MediatorDelays med{3.0, 0.2, 0.1};
+  std::vector<ContributorKind> kinds = {ContributorKind::kHybrid,
+                                        ContributorKind::kVirtual};
+  std::vector<Time> f = FreshnessBound(profiles, med, kinds);
+  // poll_term = (0.5 + 2*1.0) + (0.25 + 2*0.5) = 2.5 + 1.25 = 3.75.
+  // f_0 (hybrid)  = 2 + 1 + 3 + 0.2 + 3.75 = 9.95
+  // f_1 (virtual) = 3.75 + 0.1 = 3.85
+  EXPECT_NEAR(f[0], 9.95, 1e-9);
+  EXPECT_NEAR(f[1], 3.85, 1e-9);
+}
+
+TEST(ViewQueryTest, ParseForms) {
+  SQ_ASSERT_OK_AND_ASSIGN(ViewQuery q1, ParseViewQuery("T"));
+  EXPECT_EQ(q1.relation, "T");
+  EXPECT_TRUE(q1.attrs.empty());
+  EXPECT_EQ(q1.cond, nullptr);
+
+  SQ_ASSERT_OK_AND_ASSIGN(ViewQuery q2,
+                          ParseViewQuery("project[a, b](T)"));
+  EXPECT_EQ(q2.attrs, (std::vector<std::string>{"a", "b"}));
+
+  SQ_ASSERT_OK_AND_ASSIGN(
+      ViewQuery q3, ParseViewQuery("project[a](select[b < 3](T))"));
+  EXPECT_EQ(q3.relation, "T");
+  ASSERT_NE(q3.cond, nullptr);
+  EXPECT_FALSE(q3.cond->IsTrueLiteral());
+
+  // Joins are not single-relation view queries.
+  EXPECT_FALSE(ParseViewQuery("A join B").ok());
+  // Select over project is not the canonical nesting.
+  EXPECT_FALSE(ParseViewQuery("select[a = 1](project[a](T))").ok());
+}
+
+TEST(ViewQueryTest, ToStringRoundTrips) {
+  SQ_ASSERT_OK_AND_ASSIGN(
+      ViewQuery q, ParseViewQuery("project[r3, s1](select[r3 < 100](T))"));
+  SQ_ASSERT_OK_AND_ASSIGN(ViewQuery again, ParseViewQuery(q.ToString()));
+  EXPECT_EQ(again.relation, q.relation);
+  EXPECT_EQ(again.attrs, q.attrs);
+}
+
+}  // namespace
+}  // namespace squirrel

@@ -1,0 +1,253 @@
+// Tests for the IUP over the paper's Figure 1 VDP, exercising Examples
+// 2.1 (fully materialized support), 2.2 (virtual auxiliary R'), and the
+// preparation phase's poll avoidance claims.
+
+#include "mediator/iup.h"
+
+#include <gtest/gtest.h>
+
+#include "source/source_db.h"
+#include "testing/harness.h"
+#include "testing/util.h"
+#include "vdp/paper_examples.h"
+
+namespace squirrel {
+namespace {
+
+using testing::DirectHarness;
+using testing::MakeSchema;
+
+class Figure1Fixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db1_ = std::make_unique<SourceDb>("DB1");
+    db2_ = std::make_unique<SourceDb>("DB2");
+    SQ_ASSERT_OK(db1_->AddRelation("R", MakeSchema("R(r1, r2, r3, r4) key(r1)")));
+    SQ_ASSERT_OK(db2_->AddRelation("S", MakeSchema("S(s1, s2, s3) key(s1)")));
+    // Seed data: r1=1 matches, r1=2 fails s3 filter, r1=3 fails r4 filter.
+    SQ_ASSERT_OK(db1_->InsertTuple(0, "R", Tuple({1, 100, 11, 100})));
+    SQ_ASSERT_OK(db1_->InsertTuple(0, "R", Tuple({2, 200, 22, 100})));
+    SQ_ASSERT_OK(db1_->InsertTuple(0, "R", Tuple({3, 100, 33, 999})));
+    SQ_ASSERT_OK(db2_->InsertTuple(0, "S", Tuple({100, 5, 10})));
+    SQ_ASSERT_OK(db2_->InsertTuple(0, "S", Tuple({200, 6, 99})));
+  }
+
+  std::unique_ptr<DirectHarness> MakeHarness(const Annotation& ann) {
+    auto vdp = BuildFigure1Vdp();
+    EXPECT_TRUE(vdp.ok());
+    auto h = std::make_unique<DirectHarness>(
+        std::move(vdp).value(), ann,
+        std::map<std::string, SourceDb*>{{"DB1", db1_.get()},
+                                         {"DB2", db2_.get()}});
+    auto st = h->Load();
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return h;
+  }
+
+  MultiDelta InsertR(const Tuple& t) {
+    MultiDelta md;
+    EXPECT_TRUE(md.Mutable("R", MakeSchema("R(r1, r2, r3, r4)"))
+                    ->AddInsert(t)
+                    .ok());
+    return md;
+  }
+  MultiDelta DeleteR(const Tuple& t) {
+    MultiDelta md;
+    EXPECT_TRUE(md.Mutable("R", MakeSchema("R(r1, r2, r3, r4)"))
+                    ->AddDelete(t)
+                    .ok());
+    return md;
+  }
+  MultiDelta InsertS(const Tuple& t) {
+    MultiDelta md;
+    EXPECT_TRUE(
+        md.Mutable("S", MakeSchema("S(s1, s2, s3)"))->AddInsert(t).ok());
+    return md;
+  }
+  MultiDelta DeleteS(const Tuple& t) {
+    MultiDelta md;
+    EXPECT_TRUE(
+        md.Mutable("S", MakeSchema("S(s1, s2, s3)"))->AddDelete(t).ok());
+    return md;
+  }
+
+  std::unique_ptr<SourceDb> db1_, db2_;
+};
+
+TEST_F(Figure1Fixture, InitialLoadMatchesView) {
+  auto h = MakeHarness(AnnotationExample21());
+  SQ_ASSERT_OK_AND_ASSIGN(const Relation* t, h->store().Repo("T"));
+  EXPECT_EQ(testing::Rows(*t), "(1, 11, 100, 5) ");
+}
+
+TEST_F(Figure1Fixture, Example21InsertPropagatesWithoutPolling) {
+  auto h = MakeHarness(AnnotationExample21());
+  SQ_ASSERT_OK_AND_ASSIGN(
+      IupStats stats,
+      h->CommitAndPropagate("DB1", 1, InsertR(Tuple({4, 100, 44, 100}))));
+  // Fully materialized support: "T can be maintained ... without polling
+  // of the source databases" (Example 2.1).
+  EXPECT_EQ(stats.polls, 0u);
+  EXPECT_EQ(h->polls(), 0u);
+  SQ_ASSERT_OK(h->VerifyRepos());
+  SQ_ASSERT_OK_AND_ASSIGN(const Relation* t, h->store().Repo("T"));
+  EXPECT_TRUE(t->Contains(Tuple({4, 44, 100, 5})));
+}
+
+TEST_F(Figure1Fixture, Example21DeletePropagates) {
+  auto h = MakeHarness(AnnotationExample21());
+  SQ_ASSERT_OK_AND_ASSIGN(
+      IupStats stats,
+      h->CommitAndPropagate("DB1", 1, DeleteR(Tuple({1, 100, 11, 100}))));
+  EXPECT_EQ(stats.polls, 0u);
+  SQ_ASSERT_OK(h->VerifyRepos());
+  SQ_ASSERT_OK_AND_ASSIGN(const Relation* t, h->store().Repo("T"));
+  EXPECT_TRUE(t->Empty());
+}
+
+TEST_F(Figure1Fixture, Example21SUpdates) {
+  auto h = MakeHarness(AnnotationExample21());
+  SQ_ASSERT_OK_AND_ASSIGN(
+      IupStats s1,
+      h->CommitAndPropagate("DB2", 1, InsertS(Tuple({200, 7, 20}))));
+  EXPECT_EQ(s1.polls, 0u);
+  SQ_ASSERT_OK(h->VerifyRepos());
+  // Now r1=2 joins s1=200 (s3=20 < 50).
+  SQ_ASSERT_OK_AND_ASSIGN(const Relation* t, h->store().Repo("T"));
+  EXPECT_TRUE(t->Contains(Tuple({2, 22, 200, 7})));
+  // Delete it again.
+  SQ_ASSERT_OK_AND_ASSIGN(
+      IupStats s2,
+      h->CommitAndPropagate("DB2", 2, DeleteS(Tuple({200, 7, 20}))));
+  EXPECT_EQ(s2.polls, 0u);
+  SQ_ASSERT_OK(h->VerifyRepos());
+}
+
+TEST_F(Figure1Fixture, FilteredOutUpdateIsNoop) {
+  auto h = MakeHarness(AnnotationExample21());
+  // r4 != 100: filtered at the leaf-parent; nothing propagates.
+  SQ_ASSERT_OK_AND_ASSIGN(
+      IupStats stats,
+      h->CommitAndPropagate("DB1", 1, InsertR(Tuple({9, 100, 99, 777}))));
+  EXPECT_EQ(stats.nodes_processed, 0u);
+  SQ_ASSERT_OK(h->VerifyRepos());
+}
+
+TEST_F(Figure1Fixture, Example22FrequentRUpdatesNeedNoPolling) {
+  // R' virtual: ΔR propagation computes ΔT = ΔR' ⋈ S' from S' alone.
+  auto vdp = BuildFigure1Vdp();
+  ASSERT_TRUE(vdp.ok());
+  auto h = MakeHarness(AnnotationExample22(*vdp));
+  EXPECT_FALSE(h->store().HasRepo("R'"));  // nothing materialized for R'
+  for (int i = 0; i < 5; ++i) {
+    SQ_ASSERT_OK_AND_ASSIGN(
+        IupStats stats,
+        h->CommitAndPropagate(
+            "DB1", i + 1, InsertR(Tuple({10 + i, 100, 50 + i, 100}))));
+    EXPECT_EQ(stats.polls, 0u) << "ΔR must not poll (Example 2.2)";
+  }
+  SQ_ASSERT_OK(h->VerifyRepos());
+}
+
+TEST_F(Figure1Fixture, Example22RareSUpdatePollsR) {
+  auto vdp = BuildFigure1Vdp();
+  ASSERT_TRUE(vdp.ok());
+  auto h = MakeHarness(AnnotationExample22(*vdp));
+  // ΔS needs R' (virtual) to compute R' ⋈ ΔS': must poll DB1.
+  SQ_ASSERT_OK_AND_ASSIGN(
+      IupStats stats,
+      h->CommitAndPropagate("DB2", 1, InsertS(Tuple({200, 7, 20}))));
+  EXPECT_GE(stats.polls, 1u) << "ΔS must poll R (Example 2.2)";
+  SQ_ASSERT_OK(h->VerifyRepos());
+  SQ_ASSERT_OK_AND_ASSIGN(const Relation* t, h->store().Repo("T"));
+  EXPECT_TRUE(t->Contains(Tuple({2, 22, 200, 7})));
+}
+
+TEST_F(Figure1Fixture, Example22MixedCommitSequence) {
+  auto vdp = BuildFigure1Vdp();
+  ASSERT_TRUE(vdp.ok());
+  auto h = MakeHarness(AnnotationExample22(*vdp));
+  SQ_ASSERT_OK(h->CommitAndPropagate("DB1", 1,
+                                     InsertR(Tuple({4, 200, 44, 100})))
+                   .status());
+  SQ_ASSERT_OK(
+      h->CommitAndPropagate("DB2", 2, InsertS(Tuple({300, 8, 5}))).status());
+  SQ_ASSERT_OK(h->CommitAndPropagate("DB1", 3,
+                                     InsertR(Tuple({5, 300, 55, 100})))
+                   .status());
+  SQ_ASSERT_OK(
+      h->CommitAndPropagate("DB2", 4, DeleteS(Tuple({100, 5, 10}))).status());
+  SQ_ASSERT_OK(h->VerifyRepos());
+}
+
+TEST_F(Figure1Fixture, Example23HybridMaintenance) {
+  auto vdp = BuildFigure1Vdp();
+  ASSERT_TRUE(vdp.ok());
+  auto h = MakeHarness(AnnotationExample23(*vdp));
+  // T stores only (r1, s1).
+  SQ_ASSERT_OK_AND_ASSIGN(const Relation* t, h->store().Repo("T"));
+  EXPECT_EQ(t->schema().AttributeNames(),
+            (std::vector<std::string>{"r1", "s1"}));
+  EXPECT_TRUE(t->Contains(Tuple({1, 100})));
+  // Updates keep the hybrid projection correct.
+  SQ_ASSERT_OK(h->CommitAndPropagate("DB1", 1,
+                                     InsertR(Tuple({4, 100, 44, 100})))
+                   .status());
+  SQ_ASSERT_OK(
+      h->CommitAndPropagate("DB2", 2, InsertS(Tuple({200, 7, 20}))).status());
+  SQ_ASSERT_OK(h->VerifyRepos());
+}
+
+TEST_F(Figure1Fixture, PreparationRequestsNothingWhenMaterialized) {
+  auto h = MakeHarness(AnnotationExample21());
+  std::map<std::string, Delta> leaf_deltas;
+  Delta d(MakeSchema("R(r1, r2, r3, r4)"));
+  SQ_ASSERT_OK(d.AddInsert(Tuple({7, 100, 77, 100})));
+  leaf_deltas.emplace("R", std::move(d));
+  SQ_ASSERT_OK_AND_ASSIGN(auto requests,
+                          h->iup().PrepareTempRequests(leaf_deltas));
+  EXPECT_TRUE(requests.empty());
+}
+
+TEST_F(Figure1Fixture, PreparationSkipsFilteredDeltas) {
+  auto vdp = BuildFigure1Vdp();
+  ASSERT_TRUE(vdp.ok());
+  auto h = MakeHarness(AnnotationExample22(*vdp));
+  // An S update failing s3<50 must not request the (virtual) R' temp.
+  std::map<std::string, Delta> leaf_deltas;
+  Delta d(MakeSchema("S(s1, s2, s3)"));
+  SQ_ASSERT_OK(d.AddInsert(Tuple({500, 9, 99})));
+  leaf_deltas.emplace("S", std::move(d));
+  SQ_ASSERT_OK_AND_ASSIGN(auto requests,
+                          h->iup().PrepareTempRequests(leaf_deltas));
+  EXPECT_TRUE(requests.empty());
+}
+
+TEST_F(Figure1Fixture, PreparationRequestsVirtualSibling) {
+  auto vdp = BuildFigure1Vdp();
+  ASSERT_TRUE(vdp.ok());
+  auto h = MakeHarness(AnnotationExample22(*vdp));
+  std::map<std::string, Delta> leaf_deltas;
+  Delta d(MakeSchema("S(s1, s2, s3)"));
+  SQ_ASSERT_OK(d.AddInsert(Tuple({500, 9, 9})));
+  leaf_deltas.emplace("S", std::move(d));
+  SQ_ASSERT_OK_AND_ASSIGN(auto requests,
+                          h->iup().PrepareTempRequests(leaf_deltas));
+  ASSERT_EQ(requests.size(), 1u);
+  EXPECT_EQ(requests[0].node, "R'");
+  EXPECT_EQ(requests[0].attrs,
+            (std::vector<std::string>{"r1", "r2", "r3"}));
+}
+
+TEST_F(Figure1Fixture, KernelRejectsDeltaForNonLeaf) {
+  auto h = MakeHarness(AnnotationExample21());
+  std::map<std::string, Delta> bad;
+  Delta d(MakeSchema("X(r1, r2, r3)"));
+  SQ_ASSERT_OK(d.AddInsert(Tuple({1, 2, 3})));
+  bad.emplace("R'", std::move(d));
+  TempStore temps;
+  EXPECT_FALSE(h->iup().RunKernel(bad, &temps).ok());
+}
+
+}  // namespace
+}  // namespace squirrel

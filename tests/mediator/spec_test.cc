@@ -1,0 +1,134 @@
+#include "mediator/spec.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/util.h"
+
+namespace squirrel {
+namespace {
+
+constexpr const char* kFig1Spec = R"spec(
+# Figure 1 as a spec.
+source DB1 comm 1.0 qproc 0.5 announce 0
+  relation R(r1, r2, r3, r4) key(r1)
+source DB2 comm 0.5
+  relation S(s1, s2, s3) key(s1)
+export T = project[r1, r3, s1, s2](
+    select[r4 = 100](R) join[r2 = s1] select[s3 < 50](S))
+annotate T: r1 m, r3 v, s1 m, s2 v
+annotate R': r1 v, r2 v, r3 v
+annotate S': s1 v, s2 v
+option strategy key
+option update_period 2.5
+option uproc 0.1
+)spec";
+
+TEST(SpecTest, ParsesAllDirectives) {
+  SQ_ASSERT_OK_AND_ASSIGN(MediatorSpec spec, ParseMediatorSpec(kFig1Spec));
+  ASSERT_EQ(spec.sources.size(), 2u);
+  EXPECT_EQ(spec.sources[0].name, "DB1");
+  EXPECT_DOUBLE_EQ(spec.sources[0].comm_delay, 1.0);
+  EXPECT_DOUBLE_EQ(spec.sources[0].q_proc_delay, 0.5);
+  EXPECT_DOUBLE_EQ(spec.sources[1].comm_delay, 0.5);
+  ASSERT_EQ(spec.sources[0].relations.size(), 1u);
+  EXPECT_EQ(spec.sources[0].relations[0].name, "R");
+  ASSERT_EQ(spec.exports.size(), 1u);
+  EXPECT_EQ(spec.exports[0].first, "T");
+  EXPECT_EQ(spec.annotations.size(), 3u);
+  EXPECT_EQ(spec.options.strategy, VapStrategy::kKeyBased);
+  EXPECT_DOUBLE_EQ(spec.options.update_period, 2.5);
+  EXPECT_DOUBLE_EQ(spec.options.u_proc_delay, 0.1);
+}
+
+TEST(SpecTest, MultiLineExportContinuation) {
+  SQ_ASSERT_OK_AND_ASSIGN(MediatorSpec spec, ParseMediatorSpec(kFig1Spec));
+  // The two-line export parsed into one definition.
+  SQ_ASSERT_OK_AND_ASSIGN(PlannerInput input, spec.ToPlannerInput());
+  ASSERT_EQ(input.exports.size(), 1u);
+  EXPECT_EQ(input.exports[0].name, "T");
+}
+
+TEST(SpecTest, GenerateSystemEndToEnd) {
+  SQ_ASSERT_OK_AND_ASSIGN(MediatorSpec spec, ParseMediatorSpec(kFig1Spec));
+  Scheduler scheduler;
+  SQ_ASSERT_OK_AND_ASSIGN(GeneratedSystem sys,
+                          GenerateSystem(spec, &scheduler));
+  ASSERT_NE(sys.Source("DB1"), nullptr);
+  ASSERT_NE(sys.Source("DB2"), nullptr);
+  EXPECT_EQ(sys.Source("Nope"), nullptr);
+  EXPECT_TRUE(sys.vdp.Contains("T"));
+  EXPECT_TRUE(sys.annotation.IsHybrid(sys.vdp, "T"));
+
+  // Load data, start, query through the generated mediator.
+  SQ_ASSERT_OK(sys.Source("DB1")->InsertTuple(0, "R",
+                                              Tuple({1, 100, 11, 100})));
+  SQ_ASSERT_OK(sys.Source("DB2")->InsertTuple(0, "S", Tuple({100, 5, 10})));
+  SQ_ASSERT_OK(sys.mediator->Start());
+  bool answered = false;
+  scheduler.At(1.0, [&]() {
+    sys.mediator->SubmitQuery(ViewQuery{"T", {"r1", "s1"}, nullptr},
+                              [&](Result<ViewAnswer> ans) {
+                                ASSERT_TRUE(ans.ok());
+                                EXPECT_EQ(ans->data.DistinctSize(), 1u);
+                                answered = true;
+                              });
+  });
+  scheduler.RunUntil(100.0);
+  EXPECT_TRUE(answered);
+}
+
+TEST(SpecTest, CommentsAndBlankLinesIgnored) {
+  SQ_ASSERT_OK_AND_ASSIGN(MediatorSpec spec, ParseMediatorSpec(R"(
+# leading comment
+
+source DB comm 0  # trailing comment
+  relation R(a)
+export E = project[a](R)
+)"));
+  EXPECT_EQ(spec.sources.size(), 1u);
+  EXPECT_EQ(spec.exports.size(), 1u);
+}
+
+TEST(SpecTest, Errors) {
+  EXPECT_FALSE(ParseMediatorSpec("").ok());  // no sources
+  EXPECT_FALSE(ParseMediatorSpec("source DB\n").ok());  // no exports
+  EXPECT_FALSE(
+      ParseMediatorSpec("relation R(a)\nexport E = R\n").ok());  // orphan rel
+  EXPECT_FALSE(ParseMediatorSpec(
+                   "source DB frobnicate 1\n relation R(a)\nexport E = R\n")
+                   .ok());
+  EXPECT_FALSE(ParseMediatorSpec(
+                   "source DB\n relation R(a)\nexport E = R\n"
+                   "option strategy bogus\n")
+                   .ok());
+  EXPECT_FALSE(ParseMediatorSpec(
+                   "source DB\n relation R(a)\nexport NoEquals\n")
+                   .ok());
+}
+
+TEST(SpecTest, DuplicateRelationNamesAcrossSourcesRejected) {
+  auto spec = ParseMediatorSpec(R"(
+source DB1
+  relation R(a)
+source DB2
+  relation R(b)
+export E = project[a](R)
+)");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(spec->ToPlannerInput().ok());
+}
+
+TEST(SpecTest, AnnotationForUnknownNodeFailsAtGeneration) {
+  auto spec = ParseMediatorSpec(R"(
+source DB
+  relation R(a)
+export E = project[a](R)
+annotate Bogus: a v
+)");
+  ASSERT_TRUE(spec.ok());
+  Scheduler scheduler;
+  EXPECT_FALSE(GenerateSystem(*spec, &scheduler).ok());
+}
+
+}  // namespace
+}  // namespace squirrel

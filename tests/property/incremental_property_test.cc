@@ -1,0 +1,286 @@
+// The central correctness property: for every annotation and any random
+// update stream, incremental maintenance through the IUP leaves every
+// materialized repository identical to a from-scratch recomputation of the
+// view at the sources' current state.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "testing/harness.h"
+#include "testing/util.h"
+#include "vdp/paper_examples.h"
+
+namespace squirrel {
+namespace {
+
+using testing::DirectHarness;
+using testing::MakeSchema;
+
+enum class Fig1Ann { kAllMaterialized, kVirtualAux, kHybrid };
+
+struct Fig1Param {
+  Fig1Ann ann;
+  int seed;
+};
+
+class Figure1Property : public ::testing::TestWithParam<Fig1Param> {};
+
+TEST_P(Figure1Property, IncrementalEqualsRecompute) {
+  Rng rng(GetParam().seed * 2654435761u + 17);
+  auto db1 = std::make_unique<SourceDb>("DB1");
+  auto db2 = std::make_unique<SourceDb>("DB2");
+  SQ_ASSERT_OK(db1->AddRelation("R", MakeSchema("R(r1, r2, r3, r4) key(r1)")));
+  SQ_ASSERT_OK(db2->AddRelation("S", MakeSchema("S(s1, s2, s3) key(s1)")));
+
+  // Seeded initial state: keyed rows.
+  std::map<int64_t, Tuple> r_rows, s_rows;
+  Time now = 0;
+  auto insert_r = [&](MultiDelta* md) {
+    int64_t key = rng.UniformInt(0, 30);
+    if (r_rows.count(key)) return;
+    Tuple t({key, rng.UniformInt(0, 5) * 100, rng.UniformInt(0, 200),
+             rng.Bernoulli(0.6) ? int64_t{100} : rng.UniformInt(0, 999)});
+    r_rows[key] = t;
+    EXPECT_TRUE(
+        md->Mutable("R", MakeSchema("R(r1, r2, r3, r4)"))->AddInsert(t).ok());
+  };
+  auto delete_r = [&](MultiDelta* md) {
+    if (r_rows.empty()) return;
+    auto it = r_rows.begin();
+    std::advance(it, rng.Uniform(r_rows.size()));
+    EXPECT_TRUE(md->Mutable("R", MakeSchema("R(r1, r2, r3, r4)"))
+                    ->AddDelete(it->second)
+                    .ok());
+    r_rows.erase(it);
+  };
+  auto insert_s = [&](MultiDelta* md) {
+    int64_t key = rng.UniformInt(0, 5) * 100;
+    if (s_rows.count(key)) return;
+    Tuple t({key, rng.UniformInt(0, 9), rng.UniformInt(0, 99)});
+    s_rows[key] = t;
+    EXPECT_TRUE(
+        md->Mutable("S", MakeSchema("S(s1, s2, s3)"))->AddInsert(t).ok());
+  };
+  auto delete_s = [&](MultiDelta* md) {
+    if (s_rows.empty()) return;
+    auto it = s_rows.begin();
+    std::advance(it, rng.Uniform(s_rows.size()));
+    EXPECT_TRUE(md->Mutable("S", MakeSchema("S(s1, s2, s3)"))
+                    ->AddDelete(it->second)
+                    .ok());
+    s_rows.erase(it);
+  };
+
+  // Initial load.
+  {
+    MultiDelta md;
+    for (int i = 0; i < 8; ++i) insert_r(&md);
+    if (!md.Empty()) SQ_ASSERT_OK(db1->Commit(now, md));
+    MultiDelta ms;
+    for (int i = 0; i < 4; ++i) insert_s(&ms);
+    if (!ms.Empty()) SQ_ASSERT_OK(db2->Commit(now, ms));
+  }
+
+  auto vdp = BuildFigure1Vdp();
+  ASSERT_TRUE(vdp.ok());
+  Annotation ann;
+  switch (GetParam().ann) {
+    case Fig1Ann::kAllMaterialized:
+      ann = AnnotationExample21();
+      break;
+    case Fig1Ann::kVirtualAux:
+      ann = AnnotationExample22(*vdp);
+      break;
+    case Fig1Ann::kHybrid:
+      ann = AnnotationExample23(*vdp);
+      break;
+  }
+  DirectHarness h(std::move(vdp).value(), ann,
+                  {{"DB1", db1.get()}, {"DB2", db2.get()}});
+  SQ_ASSERT_OK(h.Load());
+
+  // Random update stream: batches mixing inserts/deletes on both sources.
+  for (int step = 0; step < 30; ++step) {
+    now += 1.0;
+    const std::string source = rng.Bernoulli(0.6) ? "DB1" : "DB2";
+    MultiDelta md;
+    int ops = 1 + static_cast<int>(rng.Uniform(3));
+    for (int i = 0; i < ops; ++i) {
+      if (source == "DB1") {
+        if (rng.Bernoulli(0.6)) {
+          insert_r(&md);
+        } else {
+          delete_r(&md);
+        }
+      } else {
+        if (rng.Bernoulli(0.6)) {
+          insert_s(&md);
+        } else {
+          delete_s(&md);
+        }
+      }
+    }
+    if (md.Empty()) continue;
+    SQ_ASSERT_OK(h.CommitAndPropagate(source, now, md).status());
+    SQ_ASSERT_OK(h.VerifyRepos());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Figure1Property,
+    ::testing::Values(
+        Fig1Param{Fig1Ann::kAllMaterialized, 1},
+        Fig1Param{Fig1Ann::kAllMaterialized, 2},
+        Fig1Param{Fig1Ann::kAllMaterialized, 3},
+        Fig1Param{Fig1Ann::kVirtualAux, 1}, Fig1Param{Fig1Ann::kVirtualAux, 2},
+        Fig1Param{Fig1Ann::kVirtualAux, 3}, Fig1Param{Fig1Ann::kHybrid, 1},
+        Fig1Param{Fig1Ann::kHybrid, 2}, Fig1Param{Fig1Ann::kHybrid, 3}),
+    [](const ::testing::TestParamInfo<Fig1Param>& info) {
+      std::string name;
+      switch (info.param.ann) {
+        case Fig1Ann::kAllMaterialized:
+          name = "AllMat";
+          break;
+        case Fig1Ann::kVirtualAux:
+          name = "VirtualAux";
+          break;
+        case Fig1Ann::kHybrid:
+          name = "Hybrid";
+          break;
+      }
+      return name + "_seed" + std::to_string(info.param.seed);
+    });
+
+enum class Fig4Ann { kAllMaterialized, kExample51, kWarehouseish };
+
+struct Fig4Param {
+  Fig4Ann ann;
+  int seed;
+};
+
+class Figure4Property : public ::testing::TestWithParam<Fig4Param> {};
+
+TEST_P(Figure4Property, IncrementalEqualsRecompute) {
+  Rng rng(GetParam().seed * 40503u + 3);
+  std::vector<std::unique_ptr<SourceDb>> dbs;
+  for (const char* name : {"DBA", "DBB", "DBC", "DBD"}) {
+    dbs.push_back(std::make_unique<SourceDb>(name));
+  }
+  SQ_ASSERT_OK(dbs[0]->AddRelation("A", MakeSchema("A(a1, a2) key(a1)")));
+  SQ_ASSERT_OK(dbs[1]->AddRelation("B", MakeSchema("B(b1, b2) key(b1)")));
+  SQ_ASSERT_OK(dbs[2]->AddRelation("C", MakeSchema("C(c1, a1) key(c1)")));
+  SQ_ASSERT_OK(dbs[3]->AddRelation("D", MakeSchema("D(d1, b1) key(d1)")));
+
+  struct RelState {
+    std::string rel;
+    size_t db;
+    std::map<int64_t, Tuple> rows;
+  };
+  std::vector<RelState> rels = {
+      {"A", 0, {}}, {"B", 1, {}}, {"C", 2, {}}, {"D", 3, {}}};
+  Time now = 0;
+
+  auto random_tuple = [&](const std::string& rel, int64_t key) {
+    if (rel == "A") return Tuple({key, rng.UniformInt(-3, 10)});
+    if (rel == "B") return Tuple({key, rng.UniformInt(0, 6)});
+    if (rel == "C") return Tuple({key, rng.UniformInt(0, 8)});
+    return Tuple({key, rng.UniformInt(5, 15)});
+  };
+  // At most one operation per key within a batch, so atoms never cancel
+  // into a state that disagrees with the tracked rows.
+  auto mutate = [&](RelState* rs, MultiDelta* md,
+                    std::set<int64_t>* used) {
+    auto schema = dbs[rs->db]->RelationSchema(rs->rel);
+    ASSERT_TRUE(schema.ok());
+    if (!rs->rows.empty() && rng.Bernoulli(0.35)) {
+      auto it = rs->rows.begin();
+      std::advance(it, rng.Uniform(rs->rows.size()));
+      if (!used->insert(it->first).second) return;
+      SQ_EXPECT_OK(md->Mutable(rs->rel, *schema)->AddDelete(it->second));
+      rs->rows.erase(it);
+    } else {
+      int64_t key = rng.UniformInt(0, 12);
+      if (rs->rows.count(key) || !used->insert(key).second) return;
+      Tuple t = random_tuple(rs->rel, key);
+      rs->rows[key] = t;
+      SQ_EXPECT_OK(md->Mutable(rs->rel, *schema)->AddInsert(t));
+    }
+  };
+
+  // Initial data.
+  for (auto& rs : rels) {
+    MultiDelta md;
+    std::set<int64_t> used;
+    for (int i = 0; i < 5; ++i) mutate(&rs, &md, &used);
+    if (!md.Empty()) SQ_ASSERT_OK(dbs[rs.db]->Commit(now, md));
+  }
+
+  auto vdp = BuildFigure4Vdp();
+  ASSERT_TRUE(vdp.ok());
+  Annotation ann;
+  switch (GetParam().ann) {
+    case Fig4Ann::kAllMaterialized:
+      ann = Annotation::AllMaterialized();
+      break;
+    case Fig4Ann::kExample51:
+      ann = AnnotationExample51(*vdp);
+      break;
+    case Fig4Ann::kWarehouseish: {
+      // Exports materialized, everything else virtual.
+      for (const auto& name : vdp->DerivedNames()) {
+        if (!vdp->Find(name)->exported) {
+          SQ_ASSERT_OK(ann.SetAll(*vdp, name, AttrMode::kVirtual));
+        }
+      }
+      break;
+    }
+  }
+  std::map<std::string, SourceDb*> source_map;
+  for (auto& db : dbs) source_map[db->name()] = db.get();
+  DirectHarness h(std::move(vdp).value(), ann, source_map);
+  SQ_ASSERT_OK(h.Load());
+
+  for (int step = 0; step < 25; ++step) {
+    now += 1.0;
+    RelState& rs = rels[rng.Uniform(rels.size())];
+    MultiDelta md;
+    std::set<int64_t> used;
+    int ops = 1 + static_cast<int>(rng.Uniform(2));
+    for (int i = 0; i < ops; ++i) mutate(&rs, &md, &used);
+    if (md.Empty()) continue;
+    SQ_ASSERT_OK(
+        h.CommitAndPropagate(dbs[rs.db]->name(), now, md).status());
+    SQ_ASSERT_OK(h.VerifyRepos());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Figure4Property,
+    ::testing::Values(Fig4Param{Fig4Ann::kAllMaterialized, 1},
+                      Fig4Param{Fig4Ann::kAllMaterialized, 2},
+                      Fig4Param{Fig4Ann::kAllMaterialized, 3},
+                      Fig4Param{Fig4Ann::kExample51, 1},
+                      Fig4Param{Fig4Ann::kExample51, 2},
+                      Fig4Param{Fig4Ann::kExample51, 3},
+                      Fig4Param{Fig4Ann::kWarehouseish, 1},
+                      Fig4Param{Fig4Ann::kWarehouseish, 2}),
+    [](const ::testing::TestParamInfo<Fig4Param>& info) {
+      std::string name;
+      switch (info.param.ann) {
+        case Fig4Ann::kAllMaterialized:
+          name = "AllMat";
+          break;
+        case Fig4Ann::kExample51:
+          name = "Example51";
+          break;
+        case Fig4Ann::kWarehouseish:
+          name = "Warehouse";
+          break;
+      }
+      return name + "_seed" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace squirrel

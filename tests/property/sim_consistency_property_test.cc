@@ -1,0 +1,168 @@
+// Theorem 7.1 as a property: randomized commit/query schedules with random
+// delay configurations, across annotations — every trace a Squirrel
+// mediator produces must pass the independent consistency checker, and
+// stalenesses must stay within the Theorem 7.2 bound.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "mediator/consistency.h"
+#include "mediator/freshness.h"
+#include "mediator/mediator.h"
+#include "testing/util.h"
+#include "vdp/paper_examples.h"
+
+namespace squirrel {
+namespace {
+
+using testing::MakeSchema;
+
+struct SimParam {
+  int ann_kind;  // 0 = all materialized, 1 = Ex 2.2, 2 = Ex 2.3
+  int seed;
+};
+
+class SimConsistencyProperty : public ::testing::TestWithParam<SimParam> {};
+
+TEST_P(SimConsistencyProperty, EveryTraceIsConsistentAndFresh) {
+  Rng rng(GetParam().seed * 7349u + 101);
+  auto db1 = std::make_unique<SourceDb>("DB1");
+  auto db2 = std::make_unique<SourceDb>("DB2");
+  SQ_ASSERT_OK(
+      db1->AddRelation("R", MakeSchema("R(r1, r2, r3, r4) key(r1)")));
+  SQ_ASSERT_OK(db2->AddRelation("S", MakeSchema("S(s1, s2, s3) key(s1)")));
+  SQ_ASSERT_OK(db1->InsertTuple(0, "R", Tuple({1, 100, 11, 100})));
+  SQ_ASSERT_OK(db2->InsertTuple(0, "S", Tuple({100, 5, 10})));
+
+  auto vdp = BuildFigure1Vdp();
+  ASSERT_TRUE(vdp.ok());
+  Annotation ann;
+  if (GetParam().ann_kind == 1) ann = AnnotationExample22(*vdp);
+  if (GetParam().ann_kind == 2) ann = AnnotationExample23(*vdp);
+
+  Scheduler scheduler;
+  MediatorOptions options;
+  options.update_period = rng.Bernoulli(0.5) ? 0.0 : rng.UniformDouble() * 3;
+  options.u_proc_delay = rng.UniformDouble() * 0.2;
+  options.q_proc_delay = rng.UniformDouble() * 0.2;
+  std::vector<SourceSetup> setups = {
+      {db1.get(), 0.2 + rng.UniformDouble(), 0.1 + rng.UniformDouble() * 0.5,
+       rng.Bernoulli(0.5) ? 0.0 : rng.UniformDouble() * 2},
+      {db2.get(), 0.2 + rng.UniformDouble(), 0.1 + rng.UniformDouble() * 0.5,
+       rng.Bernoulli(0.5) ? 0.0 : rng.UniformDouble() * 2},
+  };
+  auto med = Mediator::Create(*vdp, ann, setups, &scheduler, options);
+  ASSERT_TRUE(med.ok()) << med.status().ToString();
+  SQ_ASSERT_OK((*med)->Start());
+  Mediator* mediator = med->get();
+
+  // Random schedule: keyed inserts/deletes plus queries.
+  std::map<int64_t, Tuple> r_rows = {{1, Tuple({1, 100, 11, 100})}};
+  std::map<int64_t, Tuple> s_rows = {{100, Tuple({100, 5, 10})}};
+  size_t answers = 0, expected_answers = 0;
+  Time t = 1.0;
+  // Spacing keeps the mediator unsaturated: Theorem 7.2's bound charges one
+  // polling round per transaction and does not model transactions queueing
+  // behind each other.
+  for (int step = 0; step < 40; ++step) {
+    t += 5.0 + rng.UniformDouble() * 2;
+    double dice = rng.UniformDouble();
+    if (dice < 0.35) {
+      // Commit on R.
+      bool del = !r_rows.empty() && rng.Bernoulli(0.4);
+      if (del) {
+        auto it = r_rows.begin();
+        std::advance(it, rng.Uniform(r_rows.size()));
+        Tuple victim = it->second;
+        r_rows.erase(it);
+        scheduler.At(t, [&db1, victim, &scheduler]() {
+          SQ_EXPECT_OK(db1->DeleteTuple(scheduler.Now(), "R", victim));
+        });
+      } else {
+        int64_t key = rng.UniformInt(0, 40);
+        if (r_rows.count(key)) continue;
+        Tuple tup({key, rng.UniformInt(0, 4) * 100, rng.UniformInt(0, 99),
+                   rng.Bernoulli(0.7) ? int64_t{100} : int64_t{7}});
+        r_rows[key] = tup;
+        scheduler.At(t, [&db1, tup, &scheduler]() {
+          SQ_EXPECT_OK(db1->InsertTuple(scheduler.Now(), "R", tup));
+        });
+      }
+    } else if (dice < 0.55) {
+      // Commit on S.
+      bool del = !s_rows.empty() && rng.Bernoulli(0.4);
+      if (del) {
+        auto it = s_rows.begin();
+        std::advance(it, rng.Uniform(s_rows.size()));
+        Tuple victim = it->second;
+        s_rows.erase(it);
+        scheduler.At(t, [&db2, victim, &scheduler]() {
+          SQ_EXPECT_OK(db2->DeleteTuple(scheduler.Now(), "S", victim));
+        });
+      } else {
+        int64_t key = rng.UniformInt(0, 4) * 100;
+        if (s_rows.count(key)) continue;
+        Tuple tup({key, rng.UniformInt(0, 9), rng.UniformInt(0, 99)});
+        s_rows[key] = tup;
+        scheduler.At(t, [&db2, tup, &scheduler]() {
+          SQ_EXPECT_OK(db2->InsertTuple(scheduler.Now(), "S", tup));
+        });
+      }
+    } else {
+      // Query: either materialized-only or one involving virtual attrs.
+      ViewQuery q;
+      q.relation = "T";
+      if (rng.Bernoulli(0.5)) {
+        q.attrs = {"r1", "s1"};
+      } else {
+        q.attrs = {"r1", "r3", "s2"};
+        if (rng.Bernoulli(0.5)) q.cond = testing::Pred("r3 < 50");
+      }
+      ++expected_answers;
+      scheduler.At(t, [mediator, q, &answers]() {
+        mediator->SubmitQuery(q, [&answers](Result<ViewAnswer> ans) {
+          EXPECT_TRUE(ans.ok()) << ans.status().ToString();
+          ++answers;
+        });
+      });
+    }
+  }
+  scheduler.RunUntil(t + 200.0);
+  EXPECT_EQ(answers, expected_answers);
+
+  // Consistency (Theorem 7.1).
+  auto checker_vdp = BuildFigure1Vdp();
+  ASSERT_TRUE(checker_vdp.ok());
+  ConsistencyChecker checker(&*checker_vdp, &mediator->annotation(),
+                             {db1.get(), db2.get()});
+  SQ_ASSERT_OK_AND_ASSIGN(ConsistencyReport report,
+                          checker.Check(mediator->trace()));
+  EXPECT_TRUE(report.consistent())
+      << (report.violations.empty() ? "no details" : report.violations[0]);
+
+  // Freshness (Theorem 7.2).
+  FreshnessReport fresh = CheckFreshness(
+      mediator->trace(), mediator->DelayProfiles(), mediator->Delays(),
+      mediator->ContributorKinds(), {db1.get(), db2.get()});
+  EXPECT_TRUE(fresh.all_within_bound);
+}
+
+std::vector<SimParam> MakeParams() {
+  std::vector<SimParam> out;
+  for (int ann = 0; ann < 3; ++ann) {
+    for (int seed = 1; seed <= 6; ++seed) out.push_back({ann, seed});
+  }
+  return out;
+}
+
+std::string SimParamName(const ::testing::TestParamInfo<SimParam>& info) {
+  static const char* kAnn[] = {"AllMat", "VirtualAux", "Hybrid"};
+  return std::string(kAnn[info.param.ann_kind]) + "_seed" +
+         std::to_string(info.param.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SimConsistencyProperty,
+                         ::testing::ValuesIn(MakeParams()), SimParamName);
+
+}  // namespace
+}  // namespace squirrel

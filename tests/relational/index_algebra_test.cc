@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "relational/algebra.h"
+#include "relational/index.h"
+#include "testing/util.h"
+
+namespace squirrel {
+namespace {
+
+using testing::MakeRelation;
+
+TEST(HashIndexTest, ProbeFindsMatchingTuples) {
+  Relation r = MakeRelation("R(a, b)",
+                            {Tuple({1, 10}), Tuple({1, 20}), Tuple({2, 30})});
+  SQ_ASSERT_OK_AND_ASSIGN(HashIndex index, HashIndex::Build(r, {"a"}));
+  EXPECT_EQ(index.KeyCount(), 2u);
+  const auto& hits = index.Probe(Tuple({1}));
+  EXPECT_EQ(hits.size(), 2u);
+  EXPECT_TRUE(index.Probe(Tuple({9})).empty());
+}
+
+TEST(HashIndexTest, CompositeKeys) {
+  Relation r = MakeRelation("R(a, b, c)",
+                            {Tuple({1, 10, 100}), Tuple({1, 20, 200})});
+  SQ_ASSERT_OK_AND_ASSIGN(HashIndex index, HashIndex::Build(r, {"a", "b"}));
+  EXPECT_EQ(index.Probe(Tuple({1, 10})).size(), 1u);
+  EXPECT_EQ(index.Probe(Tuple({1, 10}))[0].first, Tuple({1, 10, 100}));
+}
+
+TEST(HashIndexTest, CarriesMultiplicities) {
+  Relation r(testing::MakeSchema("R(a)"), Semantics::kBag);
+  SQ_ASSERT_OK(r.Insert(Tuple({1}), 3));
+  SQ_ASSERT_OK_AND_ASSIGN(HashIndex index, HashIndex::Build(r, {"a"}));
+  ASSERT_EQ(index.Probe(Tuple({1})).size(), 1u);
+  EXPECT_EQ(index.Probe(Tuple({1}))[0].second, 3);
+}
+
+TEST(HashIndexTest, UnknownAttributeFails) {
+  Relation r = MakeRelation("R(a)", {Tuple({1})});
+  EXPECT_FALSE(HashIndex::Build(r, {"zzz"}).ok());
+}
+
+TEST(AlgebraExprTest, CollectScans) {
+  auto e = ParseAlgebra("project[a]((R join S) union select[x = 1](R))");
+  ASSERT_TRUE(e.ok());
+  std::set<std::string> scans;
+  (*e)->CollectScans(&scans);
+  EXPECT_EQ(scans, (std::set<std::string>{"R", "S"}));
+}
+
+TEST(AlgebraExprTest, AccessorsPerKind) {
+  auto e = ParseAlgebra("select[a = 1](R)");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind(), AlgebraExpr::Kind::kSelect);
+  EXPECT_FALSE((*e)->condition()->IsTrueLiteral());
+  EXPECT_EQ((*e)->left()->relation(), "R");
+
+  auto j = AlgebraExpr::Join(nullptr, AlgebraExpr::Scan("A"),
+                             AlgebraExpr::Scan("B"));
+  EXPECT_TRUE(j->condition()->IsTrueLiteral());  // null => cross product
+}
+
+TEST(AlgebraExprTest, ToStringStable) {
+  auto e = ParseAlgebra("project[a](A) diff project[a](B)");
+  ASSERT_TRUE(e.ok());
+  auto round = ParseAlgebra((*e)->ToString());
+  ASSERT_TRUE(round.ok()) << (*e)->ToString();
+  EXPECT_EQ((*round)->ToString(), (*e)->ToString());
+}
+
+}  // namespace
+}  // namespace squirrel

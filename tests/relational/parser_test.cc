@@ -1,0 +1,151 @@
+#include "relational/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/util.h"
+
+namespace squirrel {
+namespace {
+
+TEST(ParserTest, PredicateBasics) {
+  auto e = ParsePredicate("r4 = 100 AND s3 < 50");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind(), Expr::Kind::kBinary);
+  EXPECT_EQ((*e)->bin_op(), BinOp::kAnd);
+}
+
+TEST(ParserTest, PredicateDoublesAndStrings) {
+  auto e = ParsePredicate("x < 2.5 OR name = 'bob'");
+  ASSERT_TRUE(e.ok());
+}
+
+TEST(ParserTest, PredicateNotEqualVariants) {
+  ASSERT_TRUE(ParsePredicate("a != 1").ok());
+  ASSERT_TRUE(ParsePredicate("a <> 1").ok());
+  auto a = ParsePredicate("a != 1");
+  auto b = ParsePredicate("a <> 1");
+  EXPECT_TRUE((*a)->Equals(**b));
+}
+
+TEST(ParserTest, PredicateNullLiteral) {
+  auto e = ParsePredicate("a = null");
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE((*e)->right()->value().is_null());
+}
+
+TEST(ParserTest, PredicateErrors) {
+  EXPECT_FALSE(ParsePredicate("").ok());
+  EXPECT_FALSE(ParsePredicate("a = ").ok());
+  EXPECT_FALSE(ParsePredicate("a = 1 extra junk +").ok());
+  EXPECT_FALSE(ParsePredicate("(a = 1").ok());
+  EXPECT_FALSE(ParsePredicate("a @ 1").ok());
+  EXPECT_FALSE(ParsePredicate("s = 'unterminated").ok());
+}
+
+TEST(ParserTest, AlgebraFigure1) {
+  auto e = ParseAlgebra(
+      "project[r1, r3, s1, s2](select[r4 = 100](R) join[r2 = s1] "
+      "select[s3 < 50](S))");
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_EQ((*e)->kind(), AlgebraExpr::Kind::kProject);
+  EXPECT_EQ((*e)->attrs().size(), 4u);
+  EXPECT_EQ((*e)->left()->kind(), AlgebraExpr::Kind::kJoin);
+}
+
+TEST(ParserTest, AlgebraScan) {
+  auto e = ParseAlgebra("MyRel");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind(), AlgebraExpr::Kind::kScan);
+  EXPECT_EQ((*e)->relation(), "MyRel");
+}
+
+TEST(ParserTest, AlgebraUnionDiff) {
+  auto e = ParseAlgebra("project[a](E) diff project[a](F)");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind(), AlgebraExpr::Kind::kDiff);
+  auto u = ParseAlgebra("A union B union C");
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ((*u)->kind(), AlgebraExpr::Kind::kUnion);
+  // Left-associative: (A union B) union C.
+  EXPECT_EQ((*u)->left()->kind(), AlgebraExpr::Kind::kUnion);
+  auto m = ParseAlgebra("A minus B");
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ((*m)->kind(), AlgebraExpr::Kind::kDiff);
+}
+
+TEST(ParserTest, AlgebraJoinWithoutCondition) {
+  auto e = ParseAlgebra("A join B");
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE((*e)->condition()->IsTrueLiteral());
+}
+
+TEST(ParserTest, AlgebraJoinChainLeftDeep) {
+  auto e = ParseAlgebra("A join[a = b] B join[c = d] C");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind(), AlgebraExpr::Kind::kJoin);
+  EXPECT_EQ((*e)->left()->kind(), AlgebraExpr::Kind::kJoin);
+  EXPECT_EQ((*e)->right()->relation(), "C");
+}
+
+TEST(ParserTest, AlgebraParenthesizedGrouping) {
+  auto e = ParseAlgebra("A join (B union C)");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->right()->kind(), AlgebraExpr::Kind::kUnion);
+}
+
+TEST(ParserTest, AlgebraCaseInsensitiveKeywords) {
+  ASSERT_TRUE(ParseAlgebra("PROJECT[a](SELECT[a = 1](R))").ok());
+  ASSERT_TRUE(ParseAlgebra("r JOIN[x = y] s").ok());
+}
+
+TEST(ParserTest, AlgebraErrors) {
+  EXPECT_FALSE(ParseAlgebra("project[](R)").ok());
+  EXPECT_FALSE(ParseAlgebra("project[a](R").ok());
+  EXPECT_FALSE(ParseAlgebra("select[]{R}").ok());
+  EXPECT_FALSE(ParseAlgebra("A join[x =] B").ok());
+  EXPECT_FALSE(ParseAlgebra("A B").ok());  // trailing input
+}
+
+TEST(ParserTest, AlgebraToStringRoundTrips) {
+  const char* text =
+      "project[r1, r3, s1, s2](select[r4 = 100](R) join[r2 = s1] "
+      "select[s3 < 50](S))";
+  auto e = ParseAlgebra(text);
+  ASSERT_TRUE(e.ok());
+  auto again = ParseAlgebra((*e)->ToString());
+  ASSERT_TRUE(again.ok()) << (*e)->ToString();
+  EXPECT_EQ((*again)->ToString(), (*e)->ToString());
+}
+
+TEST(ParserTest, SchemaDeclBasics) {
+  auto d = ParseSchemaDecl("R(r1, r2, r3, r4) key(r1)");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->name, "R");
+  EXPECT_EQ(d->schema.size(), 4u);
+  EXPECT_EQ(d->schema.key(), std::vector<std::string>{"r1"});
+}
+
+TEST(ParserTest, SchemaDeclTypes) {
+  auto d = ParseSchemaDecl("Emp(id, name string, salary double) key(id)");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->schema.attr(1).type, ValueType::kString);
+  EXPECT_EQ(d->schema.attr(2).type, ValueType::kDouble);
+}
+
+TEST(ParserTest, SchemaDeclCompositeKey) {
+  auto d = ParseSchemaDecl("R(a, b, c) key(a, b)");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->schema.key().size(), 2u);
+}
+
+TEST(ParserTest, SchemaDeclErrors) {
+  EXPECT_FALSE(ParseSchemaDecl("(a)").ok());
+  EXPECT_FALSE(ParseSchemaDecl("R()").ok());
+  EXPECT_FALSE(ParseSchemaDecl("R(a) key(zzz)").ok());
+  EXPECT_FALSE(ParseSchemaDecl("R(a, a)").ok());
+  EXPECT_FALSE(ParseSchemaDecl("R(a frobnicate)").ok());
+  EXPECT_FALSE(ParseSchemaDecl("R(a) trailing").ok());
+}
+
+}  // namespace
+}  // namespace squirrel

@@ -1,0 +1,120 @@
+#include "relational/relation.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/util.h"
+
+namespace squirrel {
+namespace {
+
+using testing::MakeSchema;
+
+TEST(RelationTest, SetInsertIsIdempotent) {
+  Relation r(MakeSchema("R(a)"), Semantics::kSet);
+  SQ_ASSERT_OK(r.Insert(Tuple({1})));
+  SQ_ASSERT_OK(r.Insert(Tuple({1})));
+  EXPECT_EQ(r.DistinctSize(), 1u);
+  EXPECT_EQ(r.TotalSize(), 1);
+  EXPECT_EQ(r.CountOf(Tuple({1})), 1);
+}
+
+TEST(RelationTest, BagInsertAccumulates) {
+  Relation r(MakeSchema("R(a)"), Semantics::kBag);
+  SQ_ASSERT_OK(r.Insert(Tuple({1}), 2));
+  SQ_ASSERT_OK(r.Insert(Tuple({1})));
+  EXPECT_EQ(r.DistinctSize(), 1u);
+  EXPECT_EQ(r.TotalSize(), 3);
+  EXPECT_EQ(r.CountOf(Tuple({1})), 3);
+}
+
+TEST(RelationTest, ArityMismatchRejected) {
+  Relation r(MakeSchema("R(a, b)"));
+  EXPECT_FALSE(r.Insert(Tuple({1})).ok());
+}
+
+TEST(RelationTest, NonPositiveCountRejected) {
+  Relation r(MakeSchema("R(a)"), Semantics::kBag);
+  EXPECT_FALSE(r.Insert(Tuple({1}), 0).ok());
+  EXPECT_FALSE(r.Insert(Tuple({1}), -2).ok());
+}
+
+TEST(RelationTest, RemoveBelowZeroRejected) {
+  Relation r(MakeSchema("R(a)"), Semantics::kBag);
+  SQ_ASSERT_OK(r.Insert(Tuple({1}), 2));
+  EXPECT_FALSE(r.Remove(Tuple({1}), 3).ok());
+  EXPECT_EQ(r.CountOf(Tuple({1})), 2);  // unchanged on failure
+  SQ_ASSERT_OK(r.Remove(Tuple({1}), 2));
+  EXPECT_TRUE(r.Empty());
+}
+
+TEST(RelationTest, RemoveAbsentRejected) {
+  Relation r(MakeSchema("R(a)"));
+  EXPECT_FALSE(r.Remove(Tuple({9})).ok());
+}
+
+TEST(RelationTest, AdjustSignedSemantics) {
+  Relation r(MakeSchema("R(a)"), Semantics::kBag);
+  SQ_ASSERT_OK(r.Adjust(Tuple({1}), 3));
+  SQ_ASSERT_OK(r.Adjust(Tuple({1}), -1));
+  EXPECT_EQ(r.CountOf(Tuple({1})), 2);
+  SQ_ASSERT_OK(r.Adjust(Tuple({1}), 0));  // no-op
+  EXPECT_EQ(r.CountOf(Tuple({1})), 2);
+}
+
+TEST(RelationTest, SortedRowsDeterministic) {
+  Relation r(MakeSchema("R(a)"), Semantics::kBag);
+  SQ_ASSERT_OK(r.Insert(Tuple({3})));
+  SQ_ASSERT_OK(r.Insert(Tuple({1})));
+  SQ_ASSERT_OK(r.Insert(Tuple({2})));
+  auto rows = r.SortedRows();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].first, Tuple({1}));
+  EXPECT_EQ(rows[2].first, Tuple({3}));
+}
+
+TEST(RelationTest, EqualContentsComparesMultiplicities) {
+  Relation a(MakeSchema("R(x)"), Semantics::kBag);
+  Relation b(MakeSchema("R(x)"), Semantics::kBag);
+  SQ_ASSERT_OK(a.Insert(Tuple({1}), 2));
+  SQ_ASSERT_OK(b.Insert(Tuple({1}), 1));
+  EXPECT_FALSE(a.EqualContents(b));
+  SQ_ASSERT_OK(b.Insert(Tuple({1}), 1));
+  EXPECT_TRUE(a.EqualContents(b));
+}
+
+TEST(RelationTest, EqualContentsRequiresSameAttrNames) {
+  Relation a(MakeSchema("R(x)"));
+  Relation b(MakeSchema("R(y)"));
+  SQ_ASSERT_OK(a.Insert(Tuple({1})));
+  SQ_ASSERT_OK(b.Insert(Tuple({1})));
+  EXPECT_FALSE(a.EqualContents(b));
+}
+
+TEST(RelationTest, ToSetCollapsesBag) {
+  Relation r(MakeSchema("R(a)"), Semantics::kBag);
+  SQ_ASSERT_OK(r.Insert(Tuple({1}), 5));
+  SQ_ASSERT_OK(r.Insert(Tuple({2}), 1));
+  Relation s = r.ToSet();
+  EXPECT_EQ(s.semantics(), Semantics::kSet);
+  EXPECT_EQ(s.CountOf(Tuple({1})), 1);
+  EXPECT_EQ(s.TotalSize(), 2);
+}
+
+TEST(RelationTest, ClearEmpties) {
+  Relation r(MakeSchema("R(a)"), Semantics::kBag);
+  SQ_ASSERT_OK(r.Insert(Tuple({1}), 4));
+  r.Clear();
+  EXPECT_TRUE(r.Empty());
+  EXPECT_EQ(r.TotalSize(), 0);
+}
+
+TEST(RelationTest, ApproxBytesGrowsWithRows) {
+  Relation r(MakeSchema("R(a, b)"), Semantics::kBag);
+  size_t empty = r.ApproxBytes();
+  SQ_ASSERT_OK(r.Insert(Tuple({1, 2})));
+  SQ_ASSERT_OK(r.Insert(Tuple({3, 4})));
+  EXPECT_GT(r.ApproxBytes(), empty);
+}
+
+}  // namespace
+}  // namespace squirrel

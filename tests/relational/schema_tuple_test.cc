@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "relational/schema.h"
+#include "relational/tuple.h"
+#include "testing/util.h"
+
+namespace squirrel {
+namespace {
+
+using testing::MakeSchema;
+
+TEST(SchemaTest, BasicAccessors) {
+  Schema s = MakeSchema("R(a, b, c) key(a)");
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.attr(0).name, "a");
+  EXPECT_TRUE(s.Contains("b"));
+  EXPECT_FALSE(s.Contains("z"));
+  EXPECT_EQ(*s.IndexOf("c"), 2u);
+  EXPECT_TRUE(s.HasKey());
+  EXPECT_EQ(s.key(), std::vector<std::string>{"a"});
+}
+
+TEST(SchemaTest, ValidateRejectsDuplicates) {
+  Schema s({{"a", ValueType::kInt}, {"a", ValueType::kInt}});
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SchemaTest, ValidateRejectsKeyOutsideSchema) {
+  Schema s({{"a", ValueType::kInt}}, {"zzz"});
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SchemaTest, ProjectKeepsKeyWhenCovered) {
+  Schema s = MakeSchema("R(a, b, c) key(a)");
+  auto p = s.Project({"a", "c"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->HasKey());
+  auto q = s.Project({"b", "c"});
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(q->HasKey());
+}
+
+TEST(SchemaTest, ProjectReordersAttrs) {
+  Schema s = MakeSchema("R(a, b, c)");
+  auto p = s.Project({"c", "a"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->attr(0).name, "c");
+  EXPECT_EQ(p->attr(1).name, "a");
+}
+
+TEST(SchemaTest, ProjectUnknownAttrFails) {
+  Schema s = MakeSchema("R(a, b)");
+  EXPECT_FALSE(s.Project({"a", "zzz"}).ok());
+}
+
+TEST(SchemaTest, ConcatCombinesKeys) {
+  Schema l = MakeSchema("R(a, b) key(a)");
+  Schema r = MakeSchema("S(c, d) key(c)");
+  auto joined = l.Concat(r);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->size(), 4u);
+  EXPECT_EQ(joined->key(), (std::vector<std::string>{"a", "c"}));
+}
+
+TEST(SchemaTest, ConcatRejectsDuplicateNames) {
+  Schema l = MakeSchema("R(a, b)");
+  Schema r = MakeSchema("S(b, c)");
+  EXPECT_FALSE(l.Concat(r).ok());
+}
+
+TEST(SchemaTest, KeyCoveredBy) {
+  Schema s = MakeSchema("R(a, b, c) key(a, b)");
+  EXPECT_TRUE(s.KeyCoveredBy({"b", "a", "c"}));
+  EXPECT_FALSE(s.KeyCoveredBy({"a", "c"}));
+  Schema nokey = MakeSchema("R(a)");
+  EXPECT_FALSE(nokey.KeyCoveredBy({"a"}));
+}
+
+TEST(SchemaTest, TypedDeclarations) {
+  Schema s = MakeSchema("R(id, name string, score double)");
+  EXPECT_EQ(s.attr(0).type, ValueType::kInt);
+  EXPECT_EQ(s.attr(1).type, ValueType::kString);
+  EXPECT_EQ(s.attr(2).type, ValueType::kDouble);
+}
+
+TEST(TupleTest, ConcatAndProject) {
+  Tuple t({1, "x"});
+  Tuple u({2.5});
+  Tuple c = t.Concat(u);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.at(2), Value(2.5));
+  Tuple p = c.Project({2, 0});
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.at(0), Value(2.5));
+  EXPECT_EQ(p.at(1), Value(1));
+}
+
+TEST(TupleTest, LexicographicCompare) {
+  EXPECT_LT(Tuple({1, 2}), Tuple({1, 3}));
+  EXPECT_LT(Tuple({1}), Tuple({1, 0}));  // shorter first on prefix tie
+  EXPECT_EQ(Tuple({1, "a"}).Compare(Tuple({1, "a"})), 0);
+}
+
+TEST(TupleTest, HashEqualsForEqualTuples) {
+  EXPECT_EQ(Tuple({1, 2.0, "x"}).Hash(), Tuple({1, 2, "x"}).Hash());
+  EXPECT_NE(Tuple({1, 2}).Hash(), Tuple({2, 1}).Hash());
+}
+
+TEST(TupleTest, ToString) {
+  EXPECT_EQ(Tuple({1, "a", Value()}).ToString(), "(1, 'a', NULL)");
+}
+
+}  // namespace
+}  // namespace squirrel

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/clock.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+
+namespace squirrel {
+namespace {
+
+TEST(SchedulerTest, EventsFireInTimeOrder) {
+  Scheduler s;
+  std::vector<int> fired;
+  s.At(3.0, [&]() { fired.push_back(3); });
+  s.At(1.0, [&]() { fired.push_back(1); });
+  s.At(2.0, [&]() { fired.push_back(2); });
+  s.Run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(s.Now(), 3.0);
+  EXPECT_EQ(s.EventsFired(), 3u);
+}
+
+TEST(SchedulerTest, TiesBreakByInsertionOrder) {
+  Scheduler s;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    s.At(1.0, [&fired, i]() { fired.push_back(i); });
+  }
+  s.Run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SchedulerTest, HandlersMayScheduleMoreEvents) {
+  Scheduler s;
+  int count = 0;
+  std::function<void()> chain = [&]() {
+    if (++count < 5) s.After(1.0, chain);
+  };
+  s.After(1.0, chain);
+  s.Run();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(s.Now(), 5.0);
+}
+
+TEST(SchedulerTest, RunUntilStopsAtBoundary) {
+  Scheduler s;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    s.At(i, [&]() { ++count; });
+  }
+  s.RunUntil(5.0);
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(s.Now(), 5.0);
+  EXPECT_EQ(s.Pending(), 5u);
+  s.Run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(SchedulerTest, PastTimesClampToNow) {
+  Scheduler s;
+  s.At(5.0, [&]() {
+    // Scheduling "at 1.0" from time 5.0 fires immediately after.
+    s.At(1.0, [&]() { EXPECT_DOUBLE_EQ(s.Now(), 5.0); });
+  });
+  s.Run();
+}
+
+TEST(SchedulerTest, MaxEventsBound) {
+  Scheduler s;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) s.At(i, [&]() { ++count; });
+  size_t fired = s.Run(3);
+  EXPECT_EQ(fired, 3u);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(ChannelTest, DeliversWithDelay) {
+  Scheduler s;
+  Channel<int> ch(&s, 2.0);
+  std::vector<std::pair<Time, int>> got;
+  ch.SetReceiver([&](int v) { got.push_back({s.Now(), v}); });
+  s.At(1.0, [&]() { ch.Send(42); });
+  s.Run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_DOUBLE_EQ(got[0].first, 3.0);
+  EXPECT_EQ(got[0].second, 42);
+}
+
+TEST(ChannelTest, FifoEvenWhenSentBackToBack) {
+  Scheduler s;
+  Channel<int> ch(&s, 1.0);
+  std::vector<int> got;
+  ch.SetReceiver([&](int v) { got.push_back(v); });
+  s.At(0.0, [&]() {
+    ch.Send(1);
+    ch.Send(2);
+    ch.Send(3);
+  });
+  s.Run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ChannelTest, StatsCountMessages) {
+  Scheduler s;
+  Channel<std::string> ch(&s, 0.5);
+  ch.SetReceiver([](std::string) {});
+  s.At(0.0, [&]() {
+    ch.Send("a");
+    ch.Send("b");
+  });
+  s.Run();
+  EXPECT_EQ(ch.stats().messages_sent, 2u);
+  EXPECT_GE(ch.stats().total_delay, 1.0);
+}
+
+TEST(TimeVectorTest, LeqComponentwise) {
+  EXPECT_TRUE(TimeVectorLeq({1, 2}, {1, 3}));
+  EXPECT_FALSE(TimeVectorLeq({1, 4}, {1, 3}));
+  EXPECT_FALSE(TimeVectorLeq({1, 2}, {1, 2, 3}));  // arity mismatch
+  EXPECT_TRUE(TimeVectorLeq({}, {}));
+}
+
+TEST(TimeVectorTest, ToString) {
+  EXPECT_EQ(TimeVectorToString({1.5, 2}), "<1.5, 2>");
+  EXPECT_EQ(TimeVectorToString({}), "<>");
+}
+
+}  // namespace
+}  // namespace squirrel

@@ -1,0 +1,150 @@
+#include "vdp/node_def.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "testing/util.h"
+#include "vdp/builder.h"
+
+namespace squirrel {
+namespace {
+
+using testing::MakeRelation;
+using testing::MakeSchema;
+using testing::Pred;
+
+NodeStateFn StatesOf(const std::map<std::string, Relation>& states) {
+  return [&states](const std::string& node, const std::vector<std::string>&)
+             -> Result<std::shared_ptr<const Relation>> {
+    auto it = states.find(node);
+    if (it == states.end()) return Status::NotFound("no state for " + node);
+    return std::shared_ptr<const Relation>(std::shared_ptr<void>(),
+                                           &it->second);
+  };
+}
+
+TEST(ChildTermTest, NeededAttrsUnionsProjectAndSelect) {
+  ChildTerm term{"C", {"a", "b"}, Pred("c = 1 AND a > 0")};
+  auto needed = term.NeededAttrs();
+  EXPECT_EQ(needed, (std::vector<std::string>{"a", "b", "c"}));
+  ChildTerm bare{"C", {"x"}, nullptr};
+  EXPECT_EQ(bare.NeededAttrs(), std::vector<std::string>{"x"});
+  EXPECT_TRUE(bare.SelectOrTrue()->IsTrueLiteral());
+}
+
+TEST(NodeDefTest, SpjInferSchemaLeftDeep) {
+  NodeDef def = NodeDef::Spj(
+      {{"L", {"a", "b"}, nullptr}, {"M", {"c"}, nullptr}},
+      {Pred("b = c")}, {"a", "c"}, nullptr);
+  auto lookup = [](const std::string& child) -> Result<Schema> {
+    if (child == "L") return MakeSchema("L(a, b) key(a)");
+    return MakeSchema("M(c, d) key(c)");
+  };
+  SQ_ASSERT_OK_AND_ASSIGN(Schema schema, def.InferSchema(lookup));
+  EXPECT_EQ(schema.AttributeNames(), (std::vector<std::string>{"a", "c"}));
+  EXPECT_EQ(def.Children(), (std::vector<std::string>{"L", "M"}));
+  EXPECT_EQ(def.semantics(), Semantics::kBag);
+}
+
+TEST(NodeDefTest, InferSchemaRejectsBadReferences) {
+  auto lookup = [](const std::string&) -> Result<Schema> {
+    return MakeSchema("L(a)");
+  };
+  // Selection on a missing attribute.
+  NodeDef bad_sel =
+      NodeDef::Spj({{"L", {"a"}, Pred("zzz = 1")}}, {}, {}, nullptr);
+  EXPECT_FALSE(bad_sel.InferSchema(lookup).ok());
+  // Join condition on a missing attribute.
+  NodeDef bad_join = NodeDef::Spj(
+      {{"L", {"a"}, nullptr}, {"L", {"a"}, nullptr}}, {Pred("q = 1")},
+      {}, nullptr);
+  EXPECT_FALSE(bad_join.InferSchema(lookup).ok());
+  // Wrong join-condition count.
+  NodeDef bad_count =
+      NodeDef::Spj({{"L", {"a"}, nullptr}}, {Pred("a = 1")}, {}, nullptr);
+  EXPECT_FALSE(bad_count.InferSchema(lookup).ok());
+}
+
+TEST(NodeDefTest, UnionTermsMustProjectSameNames) {
+  auto lookup = [](const std::string& child) -> Result<Schema> {
+    if (child == "L") return MakeSchema("L(a)");
+    return MakeSchema("M(b)");
+  };
+  NodeDef def = NodeDef::Union2({"L", {"a"}, nullptr}, {"M", {"b"}, nullptr});
+  EXPECT_FALSE(def.InferSchema(lookup).ok());
+}
+
+TEST(NodeDefTest, EvaluateSpjWithOuterOps) {
+  std::map<std::string, Relation> states;
+  states["L"] = MakeRelation("L(a, b)", {Tuple({1, 7}), Tuple({2, 8})});
+  states["M"] = MakeRelation("M(c, d)", {Tuple({7, 70}), Tuple({8, 99})});
+  NodeDef def = NodeDef::Spj(
+      {{"L", {"a", "b"}, nullptr}, {"M", {"c", "d"}, nullptr}},
+      {Pred("b = c")}, {"a", "d"}, Pred("d < 90"));
+  SQ_ASSERT_OK_AND_ASSIGN(Relation out, def.Evaluate(StatesOf(states)));
+  EXPECT_EQ(testing::Rows(out), "(1, 70) ");
+}
+
+TEST(NodeDefTest, EvaluateDiffIsSet) {
+  std::map<std::string, Relation> states;
+  states["L"] = MakeRelation("L(x)", {Tuple({1}), Tuple({2})});
+  states["M"] = MakeRelation("M(x)", {Tuple({2})});
+  NodeDef def = NodeDef::Diff2({"L", {"x"}, nullptr}, {"M", {"x"}, nullptr});
+  SQ_ASSERT_OK_AND_ASSIGN(Relation out, def.Evaluate(StatesOf(states)));
+  EXPECT_EQ(out.semantics(), Semantics::kSet);
+  EXPECT_EQ(testing::Rows(out), "(1) ");
+  EXPECT_EQ(def.semantics(), Semantics::kSet);
+}
+
+TEST(NodeDefTest, EvalTermPassThroughAvoidsWork) {
+  Relation state = MakeRelation("C(a, b)", {Tuple({1, 2})});
+  ChildTerm pass{"C", {"a", "b"}, nullptr};
+  SQ_ASSERT_OK_AND_ASSIGN(Relation out, EvalTerm(state, pass));
+  EXPECT_TRUE(out.EqualContents(state));
+  ChildTerm narrowed{"C", {"b"}, Pred("a = 1")};
+  SQ_ASSERT_OK_AND_ASSIGN(Relation out2, EvalTerm(state, narrowed));
+  EXPECT_EQ(testing::Rows(out2), "(2) ");
+}
+
+TEST(NodeDefTest, ToStringShowsStructure) {
+  NodeDef def = NodeDef::Spj(
+      {{"R'", {"r1", "r2"}, nullptr}, {"S'", {"s1"}, nullptr}},
+      {Pred("r2 = s1")}, {"r1", "s1"}, nullptr);
+  std::string s = def.ToString();
+  EXPECT_NE(s.find("join[(r2 = s1)]"), std::string::npos);
+  EXPECT_NE(s.find("project[r1,s1]"), std::string::npos);
+  NodeDef diff =
+      NodeDef::Diff2({"E", {"a"}, nullptr}, {"F", {"a"}, nullptr});
+  EXPECT_NE(diff.ToString().find(" diff "), std::string::npos);
+  NodeDef un = NodeDef::Union2({"E", {"a"}, nullptr}, {"F", {"a"}, nullptr});
+  EXPECT_NE(un.ToString().find(" union "), std::string::npos);
+}
+
+TEST(VdpBuilderTest, ErrorsStickUntilBuild) {
+  VdpBuilder b;
+  b.Leaf("R", "DB", "R", "R(a,");  // malformed schema
+  b.LeafParent("R'", "R", {"a"});
+  auto result = b.Build();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(VdpBuilderTest, BadPredicateReported) {
+  VdpBuilder b;
+  b.Leaf("R", "DB", "R", "R(a)");
+  b.LeafParent("R'", "R", {"a"}, "a = ");
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(VdpBuilderTest, ExportMarking) {
+  VdpBuilder b;
+  b.Leaf("R", "DB", "R", "R(a)");
+  b.LeafParent("R'", "R", {"a"});
+  b.Export("R'");
+  SQ_ASSERT_OK_AND_ASSIGN(Vdp vdp, b.Build());
+  EXPECT_TRUE(vdp.Find("R'")->exported);
+}
+
+}  // namespace
+}  // namespace squirrel

@@ -1,0 +1,210 @@
+#include "vdp/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "relational/operators.h"
+#include "relational/parser.h"
+#include "testing/util.h"
+
+namespace squirrel {
+namespace {
+
+using testing::MakeSchema;
+
+PlannerInput Fig1Input() {
+  PlannerInput input;
+  input.scans["R"] = {"DB1", "R", MakeSchema("R(r1, r2, r3, r4) key(r1)")};
+  input.scans["S"] = {"DB2", "S", MakeSchema("S(s1, s2, s3) key(s1)")};
+  auto view = ParseAlgebra(
+      "project[r1, r3, s1, s2](select[r4 = 100](R) join[r2 = s1] "
+      "select[s3 < 50](S))");
+  EXPECT_TRUE(view.ok());
+  input.exports.push_back({"T", *view});
+  return input;
+}
+
+TEST(PlannerTest, Figure1Decomposition) {
+  SQ_ASSERT_OK_AND_ASSIGN(Vdp vdp, PlanVdp(Fig1Input()));
+  // Leaves R, S; leaf-parents R', S'; export T.
+  EXPECT_TRUE(vdp.Contains("R"));
+  EXPECT_TRUE(vdp.Contains("S"));
+  EXPECT_TRUE(vdp.Contains("R'"));
+  EXPECT_TRUE(vdp.Contains("S'"));
+  EXPECT_TRUE(vdp.Find("T")->exported);
+  // Selections were pushed into the leaf-parents.
+  const VdpNode* rp = vdp.Find("R'");
+  ASSERT_NE(rp, nullptr);
+  EXPECT_FALSE(rp->def->terms()[0].SelectOrTrue()->IsTrueLiteral());
+  // Projection narrowing: R' does not carry r4 (consumed by the selection).
+  EXPECT_FALSE(rp->schema.Contains("r4"));
+  EXPECT_TRUE(rp->schema.Contains("r2"));  // join attr kept
+  // T's schema matches the view definition.
+  EXPECT_EQ(vdp.Find("T")->schema.AttributeNames(),
+            (std::vector<std::string>{"r1", "r3", "s1", "s2"}));
+}
+
+TEST(PlannerTest, PlannedVdpEvaluatesLikeView) {
+  SQ_ASSERT_OK_AND_ASSIGN(Vdp vdp, PlanVdp(Fig1Input()));
+  // Evaluate bottom-up from concrete source relations and compare with a
+  // direct evaluation of the algebra.
+  Relation r = testing::MakeRelation(
+      "R(r1, r2, r3, r4)",
+      {Tuple({1, 100, 11, 100}), Tuple({2, 100, 22, 7}),
+       Tuple({3, 200, 33, 100})});
+  Relation s = testing::MakeRelation(
+      "S(s1, s2, s3)", {Tuple({100, 5, 10}), Tuple({200, 6, 99})});
+  std::map<std::string, Relation> states;
+  for (const auto& name : vdp.TopoOrder()) {
+    const VdpNode* node = vdp.Find(name);
+    if (node->is_leaf) {
+      states[name] = node->source_relation == "R" ? r : s;
+      continue;
+    }
+    NodeStateFn fn = [&states](const std::string& child,
+                               const std::vector<std::string>&)
+        -> Result<std::shared_ptr<const Relation>> {
+      return std::shared_ptr<const Relation>(std::shared_ptr<void>(),
+                                             &states.at(child));
+    };
+    SQ_ASSERT_OK_AND_ASSIGN(Relation contents, node->def->Evaluate(fn));
+    states[name] = std::move(contents);
+  }
+  Catalog catalog;
+  catalog.Register("R", &r);
+  catalog.Register("S", &s);
+  SQ_ASSERT_OK_AND_ASSIGN(Relation expect,
+                          EvalAlgebra(Fig1Input().exports[0].definition,
+                                      catalog));
+  EXPECT_TRUE(states.at("T").ToSet().EqualContents(expect.ToSet()));
+}
+
+TEST(PlannerTest, SharedScanGetsDistinctLeafParents) {
+  PlannerInput input;
+  input.scans["R"] = {"DB1", "R", MakeSchema("R(a, b)")};
+  SQ_ASSERT_OK_AND_ASSIGN(auto v1, ParseAlgebra("project[a](select[b = 1](R))"));
+  SQ_ASSERT_OK_AND_ASSIGN(auto v2, ParseAlgebra("project[b](select[a = 2](R))"));
+  input.exports.push_back({"X", v1});
+  input.exports.push_back({"Y", v2});
+  SQ_ASSERT_OK_AND_ASSIGN(Vdp vdp, PlanVdp(input));
+  // One leaf R; the two exports are distinct leaf-parents.
+  EXPECT_EQ(vdp.LeafNames(), std::vector<std::string>{"R"});
+  EXPECT_TRUE(vdp.Find("X")->exported);
+  EXPECT_TRUE(vdp.Find("Y")->exported);
+}
+
+TEST(PlannerTest, IdenticalLeafParentsAreShared) {
+  PlannerInput input;
+  input.scans["R"] = {"DB1", "R", MakeSchema("R(a, b)")};
+  input.scans["S"] = {"DB2", "S", MakeSchema("S(c)")};
+  input.scans["U"] = {"DB3", "U", MakeSchema("U(d)")};
+  SQ_ASSERT_OK_AND_ASSIGN(auto v1, ParseAlgebra("project[a, c](R join[a = c] S)"));
+  SQ_ASSERT_OK_AND_ASSIGN(auto v2, ParseAlgebra("project[a, d](R join[a = d] U)"));
+  input.exports.push_back({"X", v1});
+  input.exports.push_back({"Y", v2});
+  SQ_ASSERT_OK_AND_ASSIGN(Vdp vdp, PlanVdp(input));
+  // R is needed as π_a both times: a single R' should be reused.
+  size_t r_parents = 0;
+  for (const auto& name : vdp.DerivedNames()) {
+    if (vdp.IsLeafParent(name)) {
+      const VdpNode* n = vdp.Find(name);
+      if (n->def->terms()[0].child == "R") ++r_parents;
+    }
+  }
+  EXPECT_EQ(r_parents, 1u);
+}
+
+TEST(PlannerTest, DiffExport) {
+  PlannerInput input;
+  input.scans["L"] = {"DB1", "L", MakeSchema("L(x, y)")};
+  input.scans["M"] = {"DB2", "M", MakeSchema("M(x, z)")};
+  SQ_ASSERT_OK_AND_ASSIGN(
+      auto view, ParseAlgebra("project[x](L) diff project[x](M)"));
+  input.exports.push_back({"D", view});
+  SQ_ASSERT_OK_AND_ASSIGN(Vdp vdp, PlanVdp(input));
+  const VdpNode* d = vdp.Find("D");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->def->kind(), NodeDef::Kind::kDiff);
+  EXPECT_EQ(d->semantics(), Semantics::kSet);
+  // Children are leaf-parents (restriction (a)), not the leaves directly.
+  for (const auto& child : d->def->Children()) {
+    EXPECT_FALSE(vdp.Find(child)->is_leaf) << child;
+  }
+}
+
+TEST(PlannerTest, UnionUnderJoin) {
+  PlannerInput input;
+  input.scans["A"] = {"DB1", "A", MakeSchema("A(k, v)")};
+  input.scans["B"] = {"DB1", "B", MakeSchema("B(k, v)")};
+  input.scans["C"] = {"DB2", "C", MakeSchema("C(j, w)")};
+  SQ_ASSERT_OK_AND_ASSIGN(
+      auto view,
+      ParseAlgebra("project[k, w]((A union B) join[k = j] C)"));
+  input.exports.push_back({"X", view});
+  SQ_ASSERT_OK_AND_ASSIGN(Vdp vdp, PlanVdp(input));
+  const VdpNode* x = vdp.Find("X");
+  ASSERT_NE(x, nullptr);
+  EXPECT_EQ(x->def->kind(), NodeDef::Kind::kSpj);
+  // One child must be the compiled union node.
+  bool has_union_child = false;
+  for (const auto& child : x->def->Children()) {
+    if (vdp.Find(child)->def &&
+        vdp.Find(child)->def->kind() == NodeDef::Kind::kUnion) {
+      has_union_child = true;
+    }
+  }
+  EXPECT_TRUE(has_union_child);
+}
+
+TEST(PlannerTest, MultiClauseSelectSplitsAcrossCores) {
+  PlannerInput input;
+  input.scans["R"] = {"DB1", "R", MakeSchema("R(a, b)")};
+  input.scans["S"] = {"DB2", "S", MakeSchema("S(c, d)")};
+  SQ_ASSERT_OK_AND_ASSIGN(
+      auto view,
+      ParseAlgebra(
+          "project[a, c](select[b > 1 AND d < 5 AND a < c](R join S))"));
+  input.exports.push_back({"X", view});
+  SQ_ASSERT_OK_AND_ASSIGN(Vdp vdp, PlanVdp(input));
+  const VdpNode* x = vdp.Find("X");
+  // b > 1 pushed to R', d < 5 to S', a < c stays as the residual.
+  EXPECT_FALSE(x->def->outer_select()->IsTrueLiteral());
+  EXPECT_NE(x->def->outer_select()->ToString().find("<"),
+            std::string::npos);
+  for (const auto& name : vdp.DerivedNames()) {
+    if (!vdp.IsLeafParent(name)) continue;
+    const ChildTerm& term = vdp.Find(name)->def->terms()[0];
+    EXPECT_FALSE(term.SelectOrTrue()->IsTrueLiteral()) << name;
+  }
+}
+
+TEST(PlannerTest, UnboundScanFails) {
+  PlannerInput input;
+  SQ_ASSERT_OK_AND_ASSIGN(auto view, ParseAlgebra("project[a](Nope)"));
+  input.exports.push_back({"X", view});
+  EXPECT_FALSE(PlanVdp(input).ok());
+}
+
+TEST(SuggestAnnotationTest, HotSourceLeafParentGoesVirtual) {
+  SQ_ASSERT_OK_AND_ASSIGN(Vdp vdp, PlanVdp(Fig1Input()));
+  AnnotationHints hints;
+  hints.source_update_freq["DB1"] = 100.0;
+  hints.source_update_freq["DB2"] = 0.01;
+  Annotation ann = SuggestAnnotation(vdp, hints);
+  EXPECT_TRUE(ann.FullyVirtual(vdp, "R'"));
+  EXPECT_FALSE(ann.FullyVirtual(vdp, "S'"));
+  SQ_ASSERT_OK(ann.Validate(vdp));
+}
+
+TEST(SuggestAnnotationTest, JoinNodeKeysStayMaterialized) {
+  SQ_ASSERT_OK_AND_ASSIGN(Vdp vdp, PlanVdp(Fig1Input()));
+  AnnotationHints hints;
+  hints.hot_attrs["T"] = {};  // nothing hot: only keys stay
+  Annotation ann = SuggestAnnotation(vdp, hints);
+  EXPECT_TRUE(ann.IsMaterialized("T", "r1"));
+  EXPECT_TRUE(ann.IsMaterialized("T", "s1"));
+  EXPECT_FALSE(ann.IsMaterialized("T", "r3"));
+  EXPECT_FALSE(ann.IsMaterialized("T", "s2"));
+}
+
+}  // namespace
+}  // namespace squirrel

@@ -1,0 +1,193 @@
+#include "vdp/vdp.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/util.h"
+#include "vdp/builder.h"
+#include "vdp/paper_examples.h"
+
+namespace squirrel {
+namespace {
+
+TEST(VdpTest, Figure1Structure) {
+  SQ_ASSERT_OK_AND_ASSIGN(Vdp vdp, BuildFigure1Vdp());
+  EXPECT_EQ(vdp.NodeCount(), 5u);
+  EXPECT_EQ(vdp.LeafNames(), (std::vector<std::string>{"R", "S"}));
+  EXPECT_EQ(vdp.ExportNames(), std::vector<std::string>{"T"});
+  EXPECT_TRUE(vdp.IsLeafParent("R'"));
+  EXPECT_TRUE(vdp.IsLeafParent("S'"));
+  EXPECT_FALSE(vdp.IsLeafParent("T"));
+  EXPECT_EQ(vdp.Parents("R'"), std::vector<std::string>{"T"});
+  EXPECT_EQ(vdp.Parents("R"), std::vector<std::string>{"R'"});
+  const VdpNode* t = vdp.Find("T");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->schema.AttributeNames(),
+            (std::vector<std::string>{"r1", "r3", "s1", "s2"}));
+}
+
+TEST(VdpTest, Figure4Structure) {
+  SQ_ASSERT_OK_AND_ASSIGN(Vdp vdp, BuildFigure4Vdp());
+  EXPECT_EQ(vdp.LeafNames().size(), 4u);
+  EXPECT_EQ(vdp.ExportNames(), (std::vector<std::string>{"E", "G"}));
+  const VdpNode* g = vdp.Find("G");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->def->kind(), NodeDef::Kind::kDiff);
+  EXPECT_EQ(g->semantics(), Semantics::kSet);
+  const VdpNode* e = vdp.Find("E");
+  EXPECT_EQ(e->semantics(), Semantics::kBag);
+  // E's key is inherited from A' and B' through the projection.
+  EXPECT_EQ(e->schema.key(), (std::vector<std::string>{"a1", "b1"}));
+}
+
+TEST(VdpTest, ChildrenMustExistFirst) {
+  Vdp vdp;
+  ChildTerm term{"nonexistent", {"a"}, nullptr};
+  EXPECT_FALSE(
+      vdp.AddDerived("X", NodeDef::Spj({term}, {}, {}, nullptr)).ok());
+}
+
+TEST(VdpTest, DuplicateNamesRejected) {
+  Vdp vdp;
+  SQ_ASSERT_OK(vdp.AddLeaf("R", "DB", "R", testing::MakeSchema("R(a)")));
+  EXPECT_FALSE(
+      vdp.AddLeaf("R", "DB", "R", testing::MakeSchema("R(a)")).ok());
+}
+
+TEST(VdpTest, LeafParentRestrictionEnforced) {
+  // A node over a leaf may only project/select (§5.1 restriction (a)).
+  Vdp vdp;
+  SQ_ASSERT_OK(vdp.AddLeaf("R", "DB", "R", testing::MakeSchema("R(a)")));
+  SQ_ASSERT_OK(vdp.AddLeaf("S", "DB", "S", testing::MakeSchema("S(b)")));
+  ChildTerm tr{"R", {"a"}, nullptr};
+  ChildTerm ts{"S", {"b"}, nullptr};
+  // Join of two leaves: not allowed.
+  EXPECT_FALSE(
+      vdp.AddDerived("X", NodeDef::Spj({tr, ts}, {Expr::True()}, {}, nullptr))
+          .ok());
+  // Pure project/select: allowed.
+  SQ_ASSERT_OK(vdp.AddDerived("R'", NodeDef::Spj({tr}, {}, {}, nullptr)));
+}
+
+TEST(VdpTest, MaximalNodesMustBeExported) {
+  VdpBuilder b;
+  b.Leaf("R", "DB", "R", "R(a)");
+  b.LeafParent("R'", "R", {"a"});
+  // R' is maximal but not exported.
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(VdpTest, MarkExportedRejectsLeaves) {
+  Vdp vdp;
+  SQ_ASSERT_OK(vdp.AddLeaf("R", "DB", "R", testing::MakeSchema("R(a)")));
+  EXPECT_FALSE(vdp.MarkExported("R").ok());
+  EXPECT_FALSE(vdp.MarkExported("missing").ok());
+}
+
+TEST(VdpTest, TopoOrderChildrenFirst) {
+  SQ_ASSERT_OK_AND_ASSIGN(Vdp vdp, BuildFigure4Vdp());
+  const auto& order = vdp.TopoOrder();
+  auto pos = [&](const std::string& n) {
+    return std::find(order.begin(), order.end(), n) - order.begin();
+  };
+  EXPECT_LT(pos("A"), pos("A'"));
+  EXPECT_LT(pos("A'"), pos("E"));
+  EXPECT_LT(pos("E"), pos("G"));
+  EXPECT_LT(pos("F"), pos("G"));
+}
+
+TEST(VdpTest, FindLeafBySource) {
+  SQ_ASSERT_OK_AND_ASSIGN(Vdp vdp, BuildFigure1Vdp());
+  const VdpNode* leaf = vdp.FindLeaf("DB1", "R");
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_EQ(leaf->name, "R");
+  EXPECT_EQ(vdp.FindLeaf("DB1", "nope"), nullptr);
+}
+
+TEST(VdpTest, ToDotMentionsAllNodes) {
+  SQ_ASSERT_OK_AND_ASSIGN(Vdp vdp, BuildFigure1Vdp());
+  std::string dot = vdp.ToDot("fig1");
+  for (const auto& name : vdp.TopoOrder()) {
+    EXPECT_NE(dot.find("\"" + name + "\""), std::string::npos) << name;
+  }
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);  // export T
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);     // leaves
+}
+
+TEST(VdpTest, SchemaInferenceRejectsBadConditions) {
+  VdpBuilder b;
+  b.Leaf("R", "DB", "R", "R(a, b)");
+  b.LeafParent("R'", "R", {"a"}, "zzz = 1");  // unknown attr in select
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(VdpTest, UnionTermsMustAlign) {
+  VdpBuilder b;
+  b.Leaf("R", "DB", "R", "R(a, b)");
+  b.Leaf("S", "DB", "S", "S(c, d)");
+  b.LeafParent("R'", "R", {"a", "b"});
+  b.LeafParent("S'", "S", {"c", "d"});
+  b.Union("U", {"R'", {"a"}, ""}, {"S'", {"c"}, ""}, true);
+  EXPECT_FALSE(b.Build().ok());  // attr names differ: a vs c
+}
+
+TEST(AnnotationTest, DefaultsMaterialized) {
+  SQ_ASSERT_OK_AND_ASSIGN(Vdp vdp, BuildFigure1Vdp());
+  Annotation ann;
+  EXPECT_TRUE(ann.FullyMaterialized(vdp, "T"));
+  EXPECT_FALSE(ann.IsHybrid(vdp, "T"));
+  EXPECT_EQ(ann.MaterializedAttrs(vdp, "T").size(), 4u);
+}
+
+TEST(AnnotationTest, Example23Annotation) {
+  SQ_ASSERT_OK_AND_ASSIGN(Vdp vdp, BuildFigure1Vdp());
+  Annotation ann = AnnotationExample23(vdp);
+  EXPECT_TRUE(ann.IsHybrid(vdp, "T"));
+  EXPECT_TRUE(ann.FullyVirtual(vdp, "R'"));
+  EXPECT_TRUE(ann.FullyVirtual(vdp, "S'"));
+  EXPECT_EQ(ann.MaterializedAttrs(vdp, "T"),
+            (std::vector<std::string>{"r1", "s1"}));
+  EXPECT_EQ(ann.VirtualAttrs(vdp, "T"),
+            (std::vector<std::string>{"r3", "s2"}));
+  SQ_ASSERT_OK(ann.Validate(vdp));
+  EXPECT_EQ(ann.NodeToString(vdp, "T"), "T[r1^m, r3^v, s1^m, s2^v]");
+}
+
+TEST(AnnotationTest, SetFromSpecRejectsBadInput) {
+  SQ_ASSERT_OK_AND_ASSIGN(Vdp vdp, BuildFigure1Vdp());
+  Annotation ann;
+  EXPECT_FALSE(ann.SetFromSpec(vdp, "T", "r1 x").ok());
+  EXPECT_FALSE(ann.SetFromSpec(vdp, "T", "zzz m").ok());
+  EXPECT_FALSE(ann.SetFromSpec(vdp, "NoSuchNode", "r1 m").ok());
+}
+
+TEST(AnnotationTest, ValidateRejectsLeafAnnotation) {
+  SQ_ASSERT_OK_AND_ASSIGN(Vdp vdp, BuildFigure1Vdp());
+  Annotation ann;
+  ann.Set("R", "r1", AttrMode::kVirtual);
+  EXPECT_FALSE(ann.Validate(vdp).ok());
+}
+
+TEST(AnnotationTest, HybridDiffNodeRejected) {
+  SQ_ASSERT_OK_AND_ASSIGN(Vdp vdp, BuildFigure4Vdp());
+  Annotation ann;
+  ann.Set("G", "a1", AttrMode::kVirtual);  // G hybrid: a1 virtual, b1 mat
+  EXPECT_FALSE(ann.Validate(vdp).ok());
+  // Fully virtual difference node is fine.
+  Annotation ok;
+  SQ_ASSERT_OK(ok.SetAll(vdp, "G", AttrMode::kVirtual));
+  SQ_ASSERT_OK(ok.Validate(vdp));
+}
+
+TEST(AnnotationTest, Example51Annotation) {
+  SQ_ASSERT_OK_AND_ASSIGN(Vdp vdp, BuildFigure4Vdp());
+  Annotation ann = AnnotationExample51(vdp);
+  SQ_ASSERT_OK(ann.Validate(vdp));
+  EXPECT_TRUE(ann.FullyVirtual(vdp, "B'"));
+  EXPECT_TRUE(ann.FullyVirtual(vdp, "F"));
+  EXPECT_TRUE(ann.IsHybrid(vdp, "E"));
+  EXPECT_EQ(ann.MaterializedAttrs(vdp, "E"),
+            (std::vector<std::string>{"a1", "b1"}));
+}
+
+}  // namespace
+}  // namespace squirrel
