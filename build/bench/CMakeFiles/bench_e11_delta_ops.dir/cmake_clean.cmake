@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_delta_ops.dir/bench_e11_delta_ops.cc.o"
+  "CMakeFiles/bench_e11_delta_ops.dir/bench_e11_delta_ops.cc.o.d"
+  "bench_e11_delta_ops"
+  "bench_e11_delta_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_delta_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

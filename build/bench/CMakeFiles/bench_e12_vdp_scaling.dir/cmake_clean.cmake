@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_vdp_scaling.dir/bench_e12_vdp_scaling.cc.o"
+  "CMakeFiles/bench_e12_vdp_scaling.dir/bench_e12_vdp_scaling.cc.o.d"
+  "bench_e12_vdp_scaling"
+  "bench_e12_vdp_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_vdp_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

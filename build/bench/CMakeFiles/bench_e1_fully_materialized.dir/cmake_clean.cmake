@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_fully_materialized.dir/bench_e1_fully_materialized.cc.o"
+  "CMakeFiles/bench_e1_fully_materialized.dir/bench_e1_fully_materialized.cc.o.d"
+  "bench_e1_fully_materialized"
+  "bench_e1_fully_materialized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_fully_materialized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e1_fully_materialized.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_virtual_auxiliary.dir/bench_e2_virtual_auxiliary.cc.o"
+  "CMakeFiles/bench_e2_virtual_auxiliary.dir/bench_e2_virtual_auxiliary.cc.o.d"
+  "bench_e2_virtual_auxiliary"
+  "bench_e2_virtual_auxiliary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_virtual_auxiliary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_hybrid_view.dir/bench_e3_hybrid_view.cc.o"
+  "CMakeFiles/bench_e3_hybrid_view.dir/bench_e3_hybrid_view.cc.o.d"
+  "bench_e3_hybrid_view"
+  "bench_e3_hybrid_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_hybrid_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

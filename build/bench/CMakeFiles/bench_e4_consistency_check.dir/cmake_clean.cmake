@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_consistency_check.dir/bench_e4_consistency_check.cc.o"
+  "CMakeFiles/bench_e4_consistency_check.dir/bench_e4_consistency_check.cc.o.d"
+  "bench_e4_consistency_check"
+  "bench_e4_consistency_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_consistency_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_two_exports.dir/bench_e6_two_exports.cc.o"
+  "CMakeFiles/bench_e6_two_exports.dir/bench_e6_two_exports.cc.o.d"
+  "bench_e6_two_exports"
+  "bench_e6_two_exports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_two_exports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

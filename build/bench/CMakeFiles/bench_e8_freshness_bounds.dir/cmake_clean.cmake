@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_freshness_bounds.dir/bench_e8_freshness_bounds.cc.o"
+  "CMakeFiles/bench_e8_freshness_bounds.dir/bench_e8_freshness_bounds.cc.o.d"
+  "bench_e8_freshness_bounds"
+  "bench_e8_freshness_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_freshness_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

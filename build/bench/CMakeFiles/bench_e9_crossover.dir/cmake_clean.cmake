@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_crossover.dir/bench_e9_crossover.cc.o"
+  "CMakeFiles/bench_e9_crossover.dir/bench_e9_crossover.cc.o.d"
+  "bench_e9_crossover"
+  "bench_e9_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

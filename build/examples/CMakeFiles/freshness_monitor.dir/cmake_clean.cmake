@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freshness_monitor.dir/freshness_monitor.cpp.o"
+  "CMakeFiles/freshness_monitor.dir/freshness_monitor.cpp.o.d"
+  "freshness_monitor"
+  "freshness_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freshness_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

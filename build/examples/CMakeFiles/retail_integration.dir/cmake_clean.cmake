@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retail_integration.dir/retail_integration.cpp.o"
+  "CMakeFiles/retail_integration.dir/retail_integration.cpp.o.d"
+  "retail_integration"
+  "retail_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retail_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

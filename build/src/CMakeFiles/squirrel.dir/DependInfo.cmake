@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/virtual_mediator.cc" "src/CMakeFiles/squirrel.dir/baselines/virtual_mediator.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/baselines/virtual_mediator.cc.o.d"
+  "/root/repo/src/baselines/zgh_warehouse.cc" "src/CMakeFiles/squirrel.dir/baselines/zgh_warehouse.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/baselines/zgh_warehouse.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/squirrel.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/squirrel.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/squirrel.dir/common/status.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/squirrel.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/common/strings.cc.o.d"
+  "/root/repo/src/delta/delta.cc" "src/CMakeFiles/squirrel.dir/delta/delta.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/delta/delta.cc.o.d"
+  "/root/repo/src/delta/delta_algebra.cc" "src/CMakeFiles/squirrel.dir/delta/delta_algebra.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/delta/delta_algebra.cc.o.d"
+  "/root/repo/src/mediator/consistency.cc" "src/CMakeFiles/squirrel.dir/mediator/consistency.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/mediator/consistency.cc.o.d"
+  "/root/repo/src/mediator/contributor.cc" "src/CMakeFiles/squirrel.dir/mediator/contributor.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/mediator/contributor.cc.o.d"
+  "/root/repo/src/mediator/freshness.cc" "src/CMakeFiles/squirrel.dir/mediator/freshness.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/mediator/freshness.cc.o.d"
+  "/root/repo/src/mediator/iup.cc" "src/CMakeFiles/squirrel.dir/mediator/iup.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/mediator/iup.cc.o.d"
+  "/root/repo/src/mediator/local_store.cc" "src/CMakeFiles/squirrel.dir/mediator/local_store.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/mediator/local_store.cc.o.d"
+  "/root/repo/src/mediator/mediator.cc" "src/CMakeFiles/squirrel.dir/mediator/mediator.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/mediator/mediator.cc.o.d"
+  "/root/repo/src/mediator/query.cc" "src/CMakeFiles/squirrel.dir/mediator/query.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/mediator/query.cc.o.d"
+  "/root/repo/src/mediator/query_processor.cc" "src/CMakeFiles/squirrel.dir/mediator/query_processor.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/mediator/query_processor.cc.o.d"
+  "/root/repo/src/mediator/spec.cc" "src/CMakeFiles/squirrel.dir/mediator/spec.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/mediator/spec.cc.o.d"
+  "/root/repo/src/mediator/trace.cc" "src/CMakeFiles/squirrel.dir/mediator/trace.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/mediator/trace.cc.o.d"
+  "/root/repo/src/mediator/update_queue.cc" "src/CMakeFiles/squirrel.dir/mediator/update_queue.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/mediator/update_queue.cc.o.d"
+  "/root/repo/src/mediator/vap.cc" "src/CMakeFiles/squirrel.dir/mediator/vap.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/mediator/vap.cc.o.d"
+  "/root/repo/src/relational/algebra.cc" "src/CMakeFiles/squirrel.dir/relational/algebra.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/relational/algebra.cc.o.d"
+  "/root/repo/src/relational/expr.cc" "src/CMakeFiles/squirrel.dir/relational/expr.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/relational/expr.cc.o.d"
+  "/root/repo/src/relational/index.cc" "src/CMakeFiles/squirrel.dir/relational/index.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/relational/index.cc.o.d"
+  "/root/repo/src/relational/operators.cc" "src/CMakeFiles/squirrel.dir/relational/operators.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/relational/operators.cc.o.d"
+  "/root/repo/src/relational/parser.cc" "src/CMakeFiles/squirrel.dir/relational/parser.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/relational/parser.cc.o.d"
+  "/root/repo/src/relational/relation.cc" "src/CMakeFiles/squirrel.dir/relational/relation.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/relational/relation.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/CMakeFiles/squirrel.dir/relational/schema.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/relational/schema.cc.o.d"
+  "/root/repo/src/relational/tuple.cc" "src/CMakeFiles/squirrel.dir/relational/tuple.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/relational/tuple.cc.o.d"
+  "/root/repo/src/relational/value.cc" "src/CMakeFiles/squirrel.dir/relational/value.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/relational/value.cc.o.d"
+  "/root/repo/src/sim/clock.cc" "src/CMakeFiles/squirrel.dir/sim/clock.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/sim/clock.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/CMakeFiles/squirrel.dir/sim/network.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/sim/network.cc.o.d"
+  "/root/repo/src/sim/scheduler.cc" "src/CMakeFiles/squirrel.dir/sim/scheduler.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/sim/scheduler.cc.o.d"
+  "/root/repo/src/source/announcer.cc" "src/CMakeFiles/squirrel.dir/source/announcer.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/source/announcer.cc.o.d"
+  "/root/repo/src/source/source_db.cc" "src/CMakeFiles/squirrel.dir/source/source_db.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/source/source_db.cc.o.d"
+  "/root/repo/src/vdp/annotation.cc" "src/CMakeFiles/squirrel.dir/vdp/annotation.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/vdp/annotation.cc.o.d"
+  "/root/repo/src/vdp/builder.cc" "src/CMakeFiles/squirrel.dir/vdp/builder.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/vdp/builder.cc.o.d"
+  "/root/repo/src/vdp/node_def.cc" "src/CMakeFiles/squirrel.dir/vdp/node_def.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/vdp/node_def.cc.o.d"
+  "/root/repo/src/vdp/paper_examples.cc" "src/CMakeFiles/squirrel.dir/vdp/paper_examples.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/vdp/paper_examples.cc.o.d"
+  "/root/repo/src/vdp/planner.cc" "src/CMakeFiles/squirrel.dir/vdp/planner.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/vdp/planner.cc.o.d"
+  "/root/repo/src/vdp/rules.cc" "src/CMakeFiles/squirrel.dir/vdp/rules.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/vdp/rules.cc.o.d"
+  "/root/repo/src/vdp/vdp.cc" "src/CMakeFiles/squirrel.dir/vdp/vdp.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/vdp/vdp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_components_tests.dir/baselines/baselines_test.cc.o"
+  "CMakeFiles/baselines_components_tests.dir/baselines/baselines_test.cc.o.d"
+  "CMakeFiles/baselines_components_tests.dir/mediator/components_test.cc.o"
+  "CMakeFiles/baselines_components_tests.dir/mediator/components_test.cc.o.d"
+  "baselines_components_tests"
+  "baselines_components_tests.pdb"
+  "baselines_components_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_components_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delta_tests.dir/delta/delta_algebra_test.cc.o"
+  "CMakeFiles/delta_tests.dir/delta/delta_algebra_test.cc.o.d"
+  "CMakeFiles/delta_tests.dir/delta/delta_test.cc.o"
+  "CMakeFiles/delta_tests.dir/delta/delta_test.cc.o.d"
+  "delta_tests"
+  "delta_tests.pdb"
+  "delta_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delta_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mediator_core_tests.dir/mediator/iup_test.cc.o"
+  "CMakeFiles/mediator_core_tests.dir/mediator/iup_test.cc.o.d"
+  "CMakeFiles/mediator_core_tests.dir/mediator/vap_test.cc.o"
+  "CMakeFiles/mediator_core_tests.dir/mediator/vap_test.cc.o.d"
+  "mediator_core_tests"
+  "mediator_core_tests.pdb"
+  "mediator_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mediator_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planner_spec_tests.dir/mediator/spec_test.cc.o"
+  "CMakeFiles/planner_spec_tests.dir/mediator/spec_test.cc.o.d"
+  "CMakeFiles/planner_spec_tests.dir/vdp/planner_test.cc.o"
+  "CMakeFiles/planner_spec_tests.dir/vdp/planner_test.cc.o.d"
+  "planner_spec_tests"
+  "planner_spec_tests.pdb"
+  "planner_spec_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planner_spec_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

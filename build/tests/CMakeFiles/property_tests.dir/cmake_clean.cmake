@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_tests.dir/property/delta_property_test.cc.o"
+  "CMakeFiles/property_tests.dir/property/delta_property_test.cc.o.d"
+  "CMakeFiles/property_tests.dir/property/incremental_property_test.cc.o"
+  "CMakeFiles/property_tests.dir/property/incremental_property_test.cc.o.d"
+  "CMakeFiles/property_tests.dir/property/sim_consistency_property_test.cc.o"
+  "CMakeFiles/property_tests.dir/property/sim_consistency_property_test.cc.o.d"
+  "property_tests"
+  "property_tests.pdb"
+  "property_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/relational/expr_test.cc" "tests/CMakeFiles/relational_tests.dir/relational/expr_test.cc.o" "gcc" "tests/CMakeFiles/relational_tests.dir/relational/expr_test.cc.o.d"
+  "/root/repo/tests/relational/operators_test.cc" "tests/CMakeFiles/relational_tests.dir/relational/operators_test.cc.o" "gcc" "tests/CMakeFiles/relational_tests.dir/relational/operators_test.cc.o.d"
+  "/root/repo/tests/relational/parser_test.cc" "tests/CMakeFiles/relational_tests.dir/relational/parser_test.cc.o" "gcc" "tests/CMakeFiles/relational_tests.dir/relational/parser_test.cc.o.d"
+  "/root/repo/tests/relational/relation_test.cc" "tests/CMakeFiles/relational_tests.dir/relational/relation_test.cc.o" "gcc" "tests/CMakeFiles/relational_tests.dir/relational/relation_test.cc.o.d"
+  "/root/repo/tests/relational/schema_tuple_test.cc" "tests/CMakeFiles/relational_tests.dir/relational/schema_tuple_test.cc.o" "gcc" "tests/CMakeFiles/relational_tests.dir/relational/schema_tuple_test.cc.o.d"
+  "/root/repo/tests/relational/value_test.cc" "tests/CMakeFiles/relational_tests.dir/relational/value_test.cc.o" "gcc" "tests/CMakeFiles/relational_tests.dir/relational/value_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/squirrel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/figure2_test.cc" "tests/CMakeFiles/scenario_tests.dir/integration/figure2_test.cc.o" "gcc" "tests/CMakeFiles/scenario_tests.dir/integration/figure2_test.cc.o.d"
+  "/root/repo/tests/integration/union_and_virtual_test.cc" "tests/CMakeFiles/scenario_tests.dir/integration/union_and_virtual_test.cc.o" "gcc" "tests/CMakeFiles/scenario_tests.dir/integration/union_and_virtual_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/squirrel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

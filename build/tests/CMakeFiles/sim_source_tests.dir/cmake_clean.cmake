@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_source_tests.dir/sim/sim_test.cc.o"
+  "CMakeFiles/sim_source_tests.dir/sim/sim_test.cc.o.d"
+  "CMakeFiles/sim_source_tests.dir/source/source_test.cc.o"
+  "CMakeFiles/sim_source_tests.dir/source/source_test.cc.o.d"
+  "sim_source_tests"
+  "sim_source_tests.pdb"
+  "sim_source_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_source_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdp_tests.dir/vdp/rules_test.cc.o"
+  "CMakeFiles/vdp_tests.dir/vdp/rules_test.cc.o.d"
+  "CMakeFiles/vdp_tests.dir/vdp/vdp_test.cc.o"
+  "CMakeFiles/vdp_tests.dir/vdp/vdp_test.cc.o.d"
+  "vdp_tests"
+  "vdp_tests.pdb"
+  "vdp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

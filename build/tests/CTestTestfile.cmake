@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/relational_tests[1]_include.cmake")
+include("/root/repo/build/tests/delta_tests[1]_include.cmake")
+include("/root/repo/build/tests/vdp_tests[1]_include.cmake")
+include("/root/repo/build/tests/mediator_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_source_tests[1]_include.cmake")
+include("/root/repo/build/tests/scenario_tests[1]_include.cmake")
+include("/root/repo/build/tests/property_tests[1]_include.cmake")
+include("/root/repo/build/tests/planner_spec_tests[1]_include.cmake")
+include("/root/repo/build/tests/baselines_components_tests[1]_include.cmake")
+include("/root/repo/build/tests/common_tests[1]_include.cmake")
