@@ -239,5 +239,5 @@ bench/CMakeFiles/bench_e1_fully_materialized.dir/bench_e1_fully_materialized.cc.
  /root/repo/src/mediator/update_queue.h /root/repo/src/sim/network.h \
  /root/repo/src/sim/scheduler.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/source/announcer.h \
- /root/repo/src/relational/parser.h /root/repo/src/relational/algebra.h \
- /root/repo/src/vdp/paper_examples.h
+ /root/repo/src/sim/fault.h /root/repo/src/relational/parser.h \
+ /root/repo/src/relational/algebra.h /root/repo/src/vdp/paper_examples.h

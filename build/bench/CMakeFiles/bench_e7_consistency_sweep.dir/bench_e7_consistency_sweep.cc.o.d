@@ -239,6 +239,6 @@ bench/CMakeFiles/bench_e7_consistency_sweep.dir/bench_e7_consistency_sweep.cc.o:
  /root/repo/src/mediator/update_queue.h /root/repo/src/sim/network.h \
  /root/repo/src/sim/scheduler.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/source/announcer.h \
- /root/repo/src/relational/parser.h /root/repo/src/relational/algebra.h \
- /root/repo/src/vdp/paper_examples.h \
+ /root/repo/src/sim/fault.h /root/repo/src/relational/parser.h \
+ /root/repo/src/relational/algebra.h /root/repo/src/vdp/paper_examples.h \
  /root/repo/src/mediator/consistency.h

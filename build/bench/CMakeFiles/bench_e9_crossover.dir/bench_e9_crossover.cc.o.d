@@ -239,7 +239,7 @@ bench/CMakeFiles/bench_e9_crossover.dir/bench_e9_crossover.cc.o: \
  /root/repo/src/mediator/update_queue.h /root/repo/src/sim/network.h \
  /root/repo/src/sim/scheduler.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/source/announcer.h \
+ /root/repo/src/sim/fault.h /root/repo/src/common/rng.h \
  /root/repo/src/vdp/planner.h /root/repo/src/relational/algebra.h \
  /root/repo/src/baselines/zgh_warehouse.h /root/repo/bench/bench_util.h \
- /root/repo/src/common/rng.h /root/repo/src/relational/parser.h \
- /root/repo/src/vdp/paper_examples.h
+ /root/repo/src/relational/parser.h /root/repo/src/vdp/paper_examples.h

@@ -240,8 +240,8 @@ bench/CMakeFiles/bench_util.dir/bench_util.cc.o: \
  /root/repo/src/mediator/update_queue.h /root/repo/src/sim/network.h \
  /root/repo/src/sim/scheduler.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/source/announcer.h \
- /root/repo/src/relational/parser.h /root/repo/src/relational/algebra.h \
- /root/repo/src/vdp/paper_examples.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/sim/fault.h /root/repo/src/relational/parser.h \
+ /root/repo/src/relational/algebra.h /root/repo/src/vdp/paper_examples.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h

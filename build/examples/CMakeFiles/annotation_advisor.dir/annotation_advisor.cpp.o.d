@@ -235,5 +235,7 @@ examples/CMakeFiles/annotation_advisor.dir/annotation_advisor.cpp.o: \
  /root/repo/src/mediator/update_queue.h /root/repo/src/sim/network.h \
  /root/repo/src/sim/scheduler.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/source/announcer.h \
+ /root/repo/src/sim/fault.h /usr/include/c++/12/limits \
+ /root/repo/src/common/rng.h /usr/include/c++/12/cstddef \
  /root/repo/src/relational/parser.h /root/repo/src/relational/algebra.h \
  /root/repo/src/vdp/planner.h

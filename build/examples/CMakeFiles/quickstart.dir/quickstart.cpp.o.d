@@ -236,4 +236,6 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /root/repo/src/mediator/update_queue.h /root/repo/src/sim/network.h \
  /root/repo/src/sim/scheduler.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/source/announcer.h \
+ /root/repo/src/sim/fault.h /usr/include/c++/12/limits \
+ /root/repo/src/common/rng.h /usr/include/c++/12/cstddef \
  /root/repo/src/relational/parser.h /root/repo/src/vdp/paper_examples.h

@@ -38,6 +38,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/relational/tuple.cc" "src/CMakeFiles/squirrel.dir/relational/tuple.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/relational/tuple.cc.o.d"
   "/root/repo/src/relational/value.cc" "src/CMakeFiles/squirrel.dir/relational/value.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/relational/value.cc.o.d"
   "/root/repo/src/sim/clock.cc" "src/CMakeFiles/squirrel.dir/sim/clock.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/sim/clock.cc.o.d"
+  "/root/repo/src/sim/fault.cc" "src/CMakeFiles/squirrel.dir/sim/fault.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/sim/fault.cc.o.d"
   "/root/repo/src/sim/network.cc" "src/CMakeFiles/squirrel.dir/sim/network.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/sim/network.cc.o.d"
   "/root/repo/src/sim/scheduler.cc" "src/CMakeFiles/squirrel.dir/sim/scheduler.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/sim/scheduler.cc.o.d"
   "/root/repo/src/source/announcer.cc" "src/CMakeFiles/squirrel.dir/source/announcer.cc.o" "gcc" "src/CMakeFiles/squirrel.dir/source/announcer.cc.o.d"

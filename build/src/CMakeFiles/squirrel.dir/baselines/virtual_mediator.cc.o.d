@@ -234,6 +234,8 @@ src/CMakeFiles/squirrel.dir/baselines/virtual_mediator.cc.o: \
  /root/repo/src/mediator/update_queue.h /root/repo/src/sim/network.h \
  /root/repo/src/sim/scheduler.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/source/announcer.h \
+ /root/repo/src/sim/fault.h /usr/include/c++/12/limits \
+ /root/repo/src/common/rng.h /usr/include/c++/12/cstddef \
  /root/repo/src/vdp/planner.h /root/repo/src/relational/algebra.h \
  /root/repo/src/common/logging.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \

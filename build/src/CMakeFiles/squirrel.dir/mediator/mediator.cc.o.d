@@ -234,12 +234,14 @@ src/CMakeFiles/squirrel.dir/mediator/mediator.cc.o: \
  /root/repo/src/mediator/update_queue.h /root/repo/src/sim/network.h \
  /root/repo/src/sim/scheduler.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/source/announcer.h \
+ /root/repo/src/sim/fault.h /usr/include/c++/12/limits \
+ /root/repo/src/common/rng.h /usr/include/c++/12/cstddef \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/common/logging.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/strings.h \
  /root/repo/src/delta/delta_algebra.h \
  /root/repo/src/relational/operators.h \
  /root/repo/src/relational/algebra.h

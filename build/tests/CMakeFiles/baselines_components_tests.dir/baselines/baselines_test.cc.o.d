@@ -310,6 +310,7 @@ tests/CMakeFiles/baselines_components_tests.dir/baselines/baselines_test.cc.o: \
  /root/repo/src/mediator/update_queue.h /root/repo/src/sim/network.h \
  /root/repo/src/sim/scheduler.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/source/announcer.h \
+ /root/repo/src/sim/fault.h /root/repo/src/common/rng.h \
  /root/repo/src/vdp/planner.h /root/repo/src/relational/algebra.h \
  /root/repo/src/baselines/zgh_warehouse.h \
  /root/repo/tests/testing/harness.h /root/repo/src/delta/delta_algebra.h \

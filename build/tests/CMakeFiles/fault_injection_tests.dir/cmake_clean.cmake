@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_injection_tests.dir/integration/fault_injection_test.cc.o"
+  "CMakeFiles/fault_injection_tests.dir/integration/fault_injection_test.cc.o.d"
+  "CMakeFiles/fault_injection_tests.dir/testing/sim_harness.cc.o"
+  "CMakeFiles/fault_injection_tests.dir/testing/sim_harness.cc.o.d"
+  "fault_injection_tests"
+  "fault_injection_tests.pdb"
+  "fault_injection_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_injection_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

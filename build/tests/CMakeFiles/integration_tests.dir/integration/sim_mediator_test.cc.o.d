@@ -312,5 +312,6 @@ tests/CMakeFiles/integration_tests.dir/integration/sim_mediator_test.cc.o: \
  /root/repo/src/mediator/update_queue.h /root/repo/src/sim/network.h \
  /root/repo/src/sim/scheduler.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/source/announcer.h \
+ /root/repo/src/sim/fault.h /root/repo/src/common/rng.h \
  /root/repo/tests/testing/util.h /root/repo/src/relational/parser.h \
  /root/repo/src/vdp/paper_examples.h

@@ -233,9 +233,10 @@ tests/CMakeFiles/planner_spec_tests.dir/mediator/spec_test.cc.o: \
  /root/repo/src/mediator/update_queue.h /root/repo/src/sim/network.h \
  /root/repo/src/sim/scheduler.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/source/announcer.h \
+ /root/repo/src/sim/fault.h /usr/include/c++/12/limits \
+ /root/repo/src/common/rng.h /usr/include/c++/12/cstddef \
  /root/repo/src/relational/parser.h /root/repo/src/relational/algebra.h \
  /root/repo/src/vdp/planner.h /root/miniconda/include/gtest/gtest.h \
- /usr/include/c++/12/cstddef /usr/include/c++/12/limits \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \

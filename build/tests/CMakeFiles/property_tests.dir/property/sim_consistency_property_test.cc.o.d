@@ -312,5 +312,5 @@ tests/CMakeFiles/property_tests.dir/property/sim_consistency_property_test.cc.o:
  /root/repo/src/mediator/update_queue.h /root/repo/src/sim/network.h \
  /root/repo/src/sim/scheduler.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/source/announcer.h \
- /root/repo/tests/testing/util.h /root/repo/src/relational/parser.h \
- /root/repo/src/vdp/paper_examples.h
+ /root/repo/src/sim/fault.h /root/repo/tests/testing/util.h \
+ /root/repo/src/relational/parser.h /root/repo/src/vdp/paper_examples.h

@@ -312,6 +312,7 @@ tests/CMakeFiles/scenario_tests.dir/integration/union_and_virtual_test.cc.o: \
  /root/repo/src/mediator/update_queue.h /root/repo/src/sim/network.h \
  /root/repo/src/sim/scheduler.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/source/announcer.h \
+ /root/repo/src/sim/fault.h /root/repo/src/common/rng.h \
  /root/repo/tests/testing/harness.h /root/repo/src/delta/delta_algebra.h \
  /root/repo/src/relational/operators.h /root/repo/tests/testing/util.h \
  /root/repo/src/relational/parser.h /root/repo/src/vdp/builder.h \

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property/fault_sweep_test.cc" "tests/CMakeFiles/sim_fault_sweep.dir/property/fault_sweep_test.cc.o" "gcc" "tests/CMakeFiles/sim_fault_sweep.dir/property/fault_sweep_test.cc.o.d"
+  "/root/repo/tests/testing/sim_harness.cc" "tests/CMakeFiles/sim_fault_sweep.dir/testing/sim_harness.cc.o" "gcc" "tests/CMakeFiles/sim_fault_sweep.dir/testing/sim_harness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/squirrel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_fault_sweep.dir/property/fault_sweep_test.cc.o"
+  "CMakeFiles/sim_fault_sweep.dir/property/fault_sweep_test.cc.o.d"
+  "CMakeFiles/sim_fault_sweep.dir/testing/sim_harness.cc.o"
+  "CMakeFiles/sim_fault_sweep.dir/testing/sim_harness.cc.o.d"
+  "sim_fault_sweep"
+  "sim_fault_sweep.pdb"
+  "sim_fault_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_fault_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -294,7 +294,8 @@ tests/CMakeFiles/sim_source_tests.dir/source/source_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/source/announcer.h /root/repo/src/common/status.h \
- /root/repo/src/sim/network.h /root/repo/src/sim/clock.h \
+ /root/repo/src/sim/fault.h /root/repo/src/common/rng.h \
+ /root/repo/src/sim/clock.h /root/repo/src/sim/network.h \
  /root/repo/src/sim/scheduler.h /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \

@@ -9,6 +9,8 @@ include("/root/repo/build/tests/delta_tests[1]_include.cmake")
 include("/root/repo/build/tests/vdp_tests[1]_include.cmake")
 include("/root/repo/build/tests/mediator_core_tests[1]_include.cmake")
 include("/root/repo/build/tests/integration_tests[1]_include.cmake")
+include("/root/repo/build/tests/fault_injection_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_fault_sweep[1]_include.cmake")
 include("/root/repo/build/tests/sim_source_tests[1]_include.cmake")
 include("/root/repo/build/tests/scenario_tests[1]_include.cmake")
 include("/root/repo/build/tests/property_tests[1]_include.cmake")

@@ -23,6 +23,7 @@ enum class StatusCode {
   kAlreadyExists,     ///< duplicate definition
   kFailedPrecondition,///< operation not valid in current state
   kUnsupported,       ///< feature outside the supported fragment
+  kUnavailable,       ///< remote party unreachable; retrying may succeed
   kInternal,          ///< invariant violation inside the library
 };
 
@@ -64,6 +65,10 @@ class Status {
   /// Returns an Unsupported status with \p msg.
   static Status Unsupported(std::string msg) {
     return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
   /// Returns an Internal status with \p msg.
   static Status Internal(std::string msg) {

@@ -17,6 +17,7 @@ void IupStats::Merge(const IupStats& other) {
   polls += other.polls;
   polled_tuples += other.polled_tuples;
   temps_built += other.temps_built;
+  poll_retries += other.poll_retries;
 }
 
 namespace {

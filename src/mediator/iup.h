@@ -39,6 +39,7 @@ struct IupStats {
   uint64_t polls = 0;             ///< source polls (phase b)
   uint64_t polled_tuples = 0;     ///< tuples fetched from sources
   uint64_t temps_built = 0;       ///< temporaries materialized (phase b)
+  uint64_t poll_retries = 0;      ///< re-polls after timeouts (fault paths)
 
   /// Accumulates another run's counters.
   void Merge(const IupStats& other);

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/logging.h"
+#include "common/strings.h"
 #include "delta/delta_algebra.h"
 #include "relational/operators.h"
 
@@ -87,15 +88,24 @@ Status Mediator::Start() {
         [this](SourceToMediatorMsg msg) { OnSourceMessage(std::move(msg)); });
     rt->outbound = std::make_unique<Channel<PollRequest>>(
         scheduler_, rt->setup.comm_delay);
+    if (FaultInjector* f = rt->setup.faults; f != nullptr) {
+      std::string name = rt->setup.db->name();
+      rt->inbound->SetFaultHook([f, name](Time now) {
+        return f->OnSend(now, FaultInjector::Dir::kToMediator, name);
+      });
+      rt->outbound->SetFaultHook([f, name](Time now) {
+        return f->OnSend(now, FaultInjector::Dir::kToSource, name);
+      });
+    }
     if (MustAnnounce(rt->kind)) {
       rt->announcer = std::make_unique<Announcer>(
           rt->setup.db, scheduler_, rt->inbound.get(),
-          rt->setup.announce_period);
+          rt->setup.announce_period, rt->setup.faults);
       rt->announcer->Start();
     }
     rt->responder = std::make_unique<PollResponder>(
         rt->setup.db, scheduler_, rt->inbound.get(), rt->announcer.get(),
-        rt->setup.q_proc_delay);
+        rt->setup.q_proc_delay, rt->setup.faults);
     auto* responder = rt->responder.get();
     rt->outbound->SetReceiver(
         [responder](PollRequest req) { responder->OnRequest(std::move(req)); });
@@ -171,18 +181,40 @@ void Mediator::PeriodicTick() {
 void Mediator::OnSourceMessage(SourceToMediatorMsg msg) {
   ++stats_.messages_received;
   if (std::holds_alternative<UpdateMessage>(msg)) {
-    queue_.Enqueue(std::get<UpdateMessage>(std::move(msg)));
+    UpdateMessage upd = std::get<UpdateMessage>(std::move(msg));
+    SourceRuntime* rt = FindSource(upd.source);
+    if (rt != nullptr) {
+      ClearQuarantine(rt);  // any delivery proves the source alive
+      if (upd.seq != 0 && upd.seq <= rt->last_update_seq) {
+        // At-least-once retransmit of an announcement already applied;
+        // applying it again would double-count the delta.
+        ++stats_.duplicate_updates_dropped;
+        return;
+      }
+      if (upd.seq != 0) rt->last_update_seq = upd.seq;
+    }
+    queue_.Enqueue(std::move(upd));
     if (options_.update_period <= 0) ScheduleUpdateTxn();
     return;
   }
   // Poll answer: route to the waiting transaction.
   PollAnswer answer = std::get<PollAnswer>(std::move(msg));
+  ClearQuarantine(FindSource(answer.source));
   if (!poll_wait_.has_value()) {
+    ++stats_.stale_poll_answers;
     SQ_LOG(kWarn) << "poll answer from " << answer.source
                   << " with no transaction waiting";
     return;
   }
   PollWait& wait = *poll_wait_;
+  auto oit = wait.outstanding.find(answer.source);
+  if (oit == wait.outstanding.end() || oit->second.id != answer.id) {
+    // Duplicate delivery of an answer already consumed, or an answer to a
+    // request superseded by a re-poll round.
+    ++stats_.stale_poll_answers;
+    return;
+  }
+  wait.outstanding.erase(oit);
   auto& ready = wait.ready[answer.source];
   for (auto& rel : answer.results) ready.push_back(std::move(rel));
   wait.answered_at[answer.source] = answer.answered_at;
@@ -234,7 +266,8 @@ void Mediator::ScheduleUpdateTxn() {
   });
 }
 
-void Mediator::IssuePolls(const VapPlan& plan, std::function<void()> done) {
+void Mediator::IssuePolls(const VapPlan& plan, std::function<void()> done,
+                          std::function<void(const Status&)> on_failure) {
   // Package all polls of one source into a single request transaction
   // (paper §6.3), preserving per-source plan order.
   std::map<std::string, PollRequest> grouped;
@@ -246,11 +279,98 @@ void Mediator::IssuePolls(const VapPlan& plan, std::function<void()> done) {
   PollWait wait;
   wait.remaining = grouped.size();
   wait.on_complete = std::move(done);
+  wait.on_failure = std::move(on_failure);
+  wait.generation = next_poll_generation_++;
+  wait.outstanding = grouped;
   poll_wait_ = std::move(wait);
   for (auto& [source, req] : grouped) {
     SourceRuntime* rt = FindSource(source);
     rt->outbound->Send(std::move(req));
   }
+  ArmPollTimeout();
+}
+
+void Mediator::ArmPollTimeout() {
+  if (options_.poll_timeout <= 0 || !poll_wait_.has_value()) return;
+  // Exponential backoff by round; a multiply loop keeps the double exactly
+  // reproducible (std::pow may differ across libms).
+  Time deadline = options_.poll_timeout;
+  for (int i = 0; i < poll_wait_->attempt; ++i) {
+    deadline *= options_.poll_backoff;
+  }
+  uint64_t gen = poll_wait_->generation;
+  scheduler_->After(deadline, [this, gen]() { OnPollTimeout(gen); });
+}
+
+void Mediator::OnPollTimeout(uint64_t generation) {
+  if (!poll_wait_.has_value() || poll_wait_->generation != generation ||
+      poll_wait_->remaining == 0) {
+    return;  // that polling round already completed or was superseded
+  }
+  PollWait& wait = *poll_wait_;
+  ++stats_.poll_timeouts;
+  if (wait.attempt >= options_.poll_max_retries) {
+    std::vector<std::string> silent;
+    for (const auto& [source, req] : wait.outstanding) {
+      silent.push_back(source);
+    }
+    for (const auto& source : silent) Quarantine(source);
+    auto fail = std::move(wait.on_failure);
+    Status st = Status::Unavailable(
+        "poll timed out after " + std::to_string(wait.attempt + 1) +
+        " rounds; silent sources: " + Join(silent, ","));
+    if (fail) {
+      fail(st);
+    } else {
+      SQ_LOG(kError) << st.ToString();
+      FinishTxn();
+    }
+    return;
+  }
+  // Re-poll every silent source under a fresh request id. A late answer to
+  // the old id is dropped as stale, so a re-polled source can never be
+  // counted twice toward `remaining`.
+  ++wait.attempt;
+  for (auto& [source, req] : wait.outstanding) {
+    req.id = next_poll_id_++;
+    ++wait.resends;
+    ++stats_.poll_retries;
+    if (options_.record_trace) {
+      trace_->Note(scheduler_->Now(), "re-poll " + source + " round " +
+                                          std::to_string(wait.attempt));
+    }
+    SourceRuntime* rt = FindSource(source);
+    PollRequest copy = req;
+    rt->outbound->Send(std::move(copy));
+  }
+  ArmPollTimeout();
+}
+
+void Mediator::Quarantine(const std::string& source) {
+  SourceRuntime* rt = FindSource(source);
+  if (rt == nullptr || rt->quarantined) return;
+  rt->quarantined = true;
+  ++stats_.quarantines;
+  if (options_.record_trace) {
+    trace_->Note(scheduler_->Now(), "quarantine " + source);
+  }
+}
+
+void Mediator::ClearQuarantine(SourceRuntime* rt) {
+  if (rt == nullptr || !rt->quarantined) return;
+  rt->quarantined = false;
+  if (options_.record_trace) {
+    trace_->Note(scheduler_->Now(),
+                 "quarantine cleared " + rt->setup.db->name());
+  }
+}
+
+std::vector<std::string> Mediator::QuarantinedSources() const {
+  std::vector<std::string> out;
+  for (const auto& rt : sources_) {
+    if (rt->quarantined) out.push_back(rt->setup.db->name());
+  }
+  return out;
 }
 
 Vap::PollFn Mediator::ReadyPollFn() {
@@ -353,7 +473,9 @@ void Mediator::RecordUpdateCommit(const IupStats& stats, uint64_t polls) {
 }
 
 void Mediator::RunUpdateTxn() {
-  std::vector<UpdateMessage> msgs = queue_.Flush();
+  auto msgs_shared =
+      std::make_shared<std::vector<UpdateMessage>>(queue_.Flush());
+  const std::vector<UpdateMessage>& msgs = *msgs_shared;
   if (msgs.empty()) {
     FinishTxn();
     return;
@@ -417,6 +539,9 @@ void Mediator::RunUpdateTxn() {
       FinishTxn();
       return;
     }
+    if (poll_wait_.has_value()) {
+      stats->poll_retries = poll_wait_->resends;
+    }
     for (const auto& [source, send_time] : *reflect_candidates) {
       SourceRuntime* rt = FindSource(source);
       if (rt != nullptr) {
@@ -459,7 +584,23 @@ void Mediator::RunUpdateTxn() {
     commit();
     return;
   }
-  IssuePolls(*plan, commit);
+  // Abort path (exhausted poll retries): put the flushed messages back at
+  // the queue front — nothing has been applied yet, so the view still
+  // reflects the state before this batch — and retry once the quarantined
+  // source has had time to recover.
+  auto abort = [this, msgs_shared](const Status& st) {
+    ++stats_.update_txn_aborts;
+    if (options_.record_trace) {
+      trace_->Note(scheduler_->Now(),
+                   "update txn aborted: " + st.ToString());
+    }
+    queue_.Requeue(std::move(*msgs_shared));
+    FinishTxn();
+    scheduler_->After(options_.txn_retry_delay, [this]() {
+      if (!queue_.Empty()) ScheduleUpdateTxn();
+    });
+  };
+  IssuePolls(*plan, commit, abort);
 }
 
 void Mediator::SubmitQuery(const ViewQuery& q,
@@ -554,7 +695,16 @@ void Mediator::RunQueryTxn(ViewQuery q,
     execute();
     return;
   }
-  IssuePolls(vap_plan, execute);
+  // Queries have a caller to report to: fail over instead of retrying.
+  auto fail = [this, cb](const Status& st) {
+    ++stats_.failed_queries;
+    if (options_.record_trace) {
+      trace_->Note(scheduler_->Now(), "query failed: " + st.ToString());
+    }
+    cb(st);
+    FinishTxn();
+  };
+  IssuePolls(vap_plan, execute, fail);
 }
 
 std::vector<ContributorKind> Mediator::ContributorKinds() const {

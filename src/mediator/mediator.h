@@ -43,6 +43,9 @@ struct SourceSetup {
   Time comm_delay = 0.0;      ///< one-way channel latency
   Time q_proc_delay = 0.0;    ///< source-side poll processing time
   Time announce_period = 0.0; ///< 0 = announce on every commit
+  /// Optional fault injector wired into this source's channels, announcer,
+  /// and poll responder (not owned; nullptr = ideal network).
+  FaultInjector* faults = nullptr;
 };
 
 /// Mediator policy knobs.
@@ -57,6 +60,19 @@ struct MediatorOptions {
   /// Snapshot every repository into the trace at update commits (needed by
   /// the consistency checker's validity test; costly on big stores).
   bool snapshot_repos = true;
+  /// 0 disables poll supervision (a transaction waits forever, the paper's
+  /// idealized network). > 0 = deadline for one polling round; sources that
+  /// miss it are re-polled under fresh request ids with backed-off
+  /// deadlines.
+  Time poll_timeout = 0.0;
+  /// Deadline multiplier applied per re-poll round.
+  double poll_backoff = 2.0;
+  /// Re-poll rounds before the transaction gives up and the silent sources
+  /// are quarantined. Update transactions re-queue their messages and retry
+  /// later; query transactions fail over to the caller with kUnavailable.
+  int poll_max_retries = 3;
+  /// Delay before an aborted update transaction is retried.
+  Time txn_retry_delay = 1.0;
 };
 
 /// Aggregate counters over a mediator's lifetime.
@@ -67,6 +83,14 @@ struct MediatorStats {
   uint64_t polled_tuples = 0;
   uint64_t messages_received = 0;
   IupStats iup;
+  // ---- robustness counters (all zero on an ideal network) ----
+  uint64_t duplicate_updates_dropped = 0;  ///< seq-suppressed retransmits
+  uint64_t stale_poll_answers = 0;  ///< answers to superseded/absent polls
+  uint64_t poll_timeouts = 0;       ///< polling rounds that hit a deadline
+  uint64_t poll_retries = 0;        ///< per-source re-polls issued
+  uint64_t update_txn_aborts = 0;   ///< update txns re-queued after timeout
+  uint64_t failed_queries = 0;      ///< queries failed over with kUnavailable
+  uint64_t quarantines = 0;         ///< sources marked stale after retries
 };
 
 /// \brief A generated Squirrel integration mediator.
@@ -111,6 +135,11 @@ class Mediator {
   size_t StoreBytes() const { return store_->ApproxBytes(); }
   /// True iff a transaction is executing (between start and commit).
   bool busy() const { return busy_; }
+  /// Number of update messages waiting in the queue.
+  size_t QueueSize() const { return queue_.Size(); }
+  /// Sources currently quarantined as stale (exceeded their poll retries
+  /// without answering; cleared by the next message they deliver).
+  std::vector<std::string> QuarantinedSources() const;
 
  private:
   struct SourceRuntime {
@@ -122,6 +151,11 @@ class Mediator {
     std::unique_ptr<Announcer> announcer;
     std::unique_ptr<PollResponder> responder;
     Time last_reflected_send = 0;
+    /// Highest announcement sequence number accepted; retransmits at or
+    /// below it are duplicates and must not be applied twice.
+    uint64_t last_update_seq = 0;
+    /// True while the source is considered stale (poll retries exhausted).
+    bool quarantined = false;
   };
 
   struct PollWait {
@@ -135,6 +169,19 @@ class Mediator {
     /// are NOT in the answer and must not be compensated.
     std::map<std::string, MultiDelta> pending_at_answer;
     std::function<void()> on_complete;
+    /// Distinguishes this wait from earlier ones so backed-off timeout
+    /// events scheduled for a finished round become no-ops.
+    uint64_t generation = 0;
+    /// Re-poll rounds performed so far.
+    int attempt = 0;
+    /// Per-source resends issued (recorded into IupStats::poll_retries).
+    uint64_t resends = 0;
+    /// Requests not yet answered, keyed by source. An answer is accepted
+    /// only if its id matches — late answers to superseded requests and
+    /// duplicate deliveries are dropped as stale.
+    std::map<std::string, PollRequest> outstanding;
+    /// Invoked instead of on_complete when retries are exhausted.
+    std::function<void(const Status&)> on_failure;
   };
 
   Mediator() = default;
@@ -147,8 +194,18 @@ class Mediator {
   void PeriodicTick();
   void RunUpdateTxn();
   void RunQueryTxn(ViewQuery q, std::function<void(Result<ViewAnswer>)> cb);
-  /// Sends grouped poll requests; invokes \p done when all answers arrived.
-  void IssuePolls(const VapPlan& plan, std::function<void()> done);
+  /// Sends grouped poll requests; invokes \p done when all answers arrived,
+  /// or \p on_failure after poll_max_retries timed-out rounds.
+  void IssuePolls(const VapPlan& plan, std::function<void()> done,
+                  std::function<void(const Status&)> on_failure);
+  /// Arms the (backed-off) deadline for the current polling round.
+  void ArmPollTimeout();
+  /// Deadline handler: re-polls silent sources or fails the transaction.
+  void OnPollTimeout(uint64_t generation);
+  /// Marks \p source stale after exhausted retries (idempotent).
+  void Quarantine(const std::string& source);
+  /// Clears a quarantine once the source proves alive again.
+  void ClearQuarantine(SourceRuntime* rt);
   /// Poll function serving answers collected by IssuePolls, in plan order.
   Vap::PollFn ReadyPollFn();
   /// Compensation against the queue and (for updates) the in-flight batch.
@@ -180,6 +237,7 @@ class Mediator {
   std::deque<std::function<void()>> pending_txns_;
   std::optional<PollWait> poll_wait_;
   uint64_t next_poll_id_ = 1;
+  uint64_t next_poll_generation_ = 1;
   Time view_init_time_ = 0;
 };
 

@@ -1,11 +1,83 @@
 #include "mediator/trace.h"
 
+#include <cstdio>
+
 namespace squirrel {
+
+namespace {
+
+/// Round-trippable rendering of a virtual time (%.17g preserves doubles).
+std::string TimeRepr(Time t) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", t);
+  return buf;
+}
+
+const char* KindName(TxnKind kind) {
+  switch (kind) {
+    case TxnKind::kInit:
+      return "init";
+    case TxnKind::kUpdate:
+      return "update";
+    case TxnKind::kQuery:
+      return "query";
+  }
+  return "?";
+}
+
+}  // namespace
 
 std::vector<const TraceEntry*> Trace::OfKind(TxnKind kind) const {
   std::vector<const TraceEntry*> out;
   for (const auto& e : entries_) {
     if (e.kind == kind) out.push_back(&e);
+  }
+  return out;
+}
+
+std::string Trace::ToString(bool include_data) const {
+  std::string out = "sources:";
+  for (const auto& s : source_names_) out += " " + s;
+  out += "\n";
+  for (const auto& e : entries_) {
+    out += KindName(e.kind);
+    out += " @" + TimeRepr(e.commit_time);
+    out += " reflect=<";
+    for (size_t i = 0; i < e.reflect.size(); ++i) {
+      if (i > 0) out += ",";
+      out += TimeRepr(e.reflect[i]);
+    }
+    out += ">";
+    out += " polls=" + std::to_string(e.polls);
+    if (e.kind == TxnKind::kUpdate) {
+      out += " iup={fired=" + std::to_string(e.iup_stats.rules_fired) +
+             " in=" + std::to_string(e.iup_stats.atoms_in) +
+             " prop=" + std::to_string(e.iup_stats.atoms_propagated) +
+             " nodes=" + std::to_string(e.iup_stats.nodes_processed) +
+             " retries=" + std::to_string(e.iup_stats.poll_retries) + "}";
+    }
+    if (e.query.has_value()) out += " q=" + e.query->ToString();
+    out += "\n";
+    if (include_data && e.answer.has_value()) {
+      for (const auto& [tuple, count] : e.answer->SortedRows()) {
+        out += "  a " + tuple.ToString();
+        if (count != 1) out += "x" + std::to_string(count);
+        out += "\n";
+      }
+    }
+    if (include_data) {
+      for (const auto& [node, rel] : e.repo_snapshot) {
+        out += "  repo " + node + ":";
+        for (const auto& [tuple, count] : rel.SortedRows()) {
+          out += " " + tuple.ToString();
+          if (count != 1) out += "x" + std::to_string(count);
+        }
+        out += "\n";
+      }
+    }
+  }
+  for (const auto& [t, text] : notes_) {
+    out += "note @" + TimeRepr(t) + " " + text + "\n";
   }
   return out;
 }

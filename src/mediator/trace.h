@@ -8,6 +8,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mediator/iup.h"
@@ -50,7 +51,18 @@ class Trace {
   /// Appends an entry (commit times must be non-decreasing).
   void Add(TraceEntry entry) { entries_.push_back(std::move(entry)); }
 
+  /// Appends a free-form operational note (quarantines, aborted
+  /// transactions, failed queries). Notes are not transactions — the
+  /// consistency checker ignores them — but they are part of the replay
+  /// identity a seeded fault schedule must reproduce.
+  void Note(Time t, std::string text) {
+    notes_.emplace_back(t, std::move(text));
+  }
+
   const std::vector<TraceEntry>& entries() const { return entries_; }
+  const std::vector<std::pair<Time, std::string>>& notes() const {
+    return notes_;
+  }
   const std::vector<std::string>& source_names() const {
     return source_names_;
   }
@@ -58,9 +70,16 @@ class Trace {
   /// Entries of one kind.
   std::vector<const TraceEntry*> OfKind(TxnKind kind) const;
 
+  /// Deterministic rendering of the whole trace — every entry (with
+  /// snapshots and answers when \p include_data) plus every note. Two runs
+  /// of the same seeded simulation must produce byte-identical renderings;
+  /// the fault harness's replay check compares these strings.
+  std::string ToString(bool include_data = true) const;
+
  private:
   std::vector<std::string> source_names_;
   std::vector<TraceEntry> entries_;
+  std::vector<std::pair<Time, std::string>> notes_;
 };
 
 }  // namespace squirrel

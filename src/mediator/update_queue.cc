@@ -14,6 +14,12 @@ std::vector<UpdateMessage> UpdateQueue::Flush() {
   return out;
 }
 
+void UpdateQueue::Requeue(std::vector<UpdateMessage> msgs) {
+  total_requeued_ += msgs.size();
+  messages_.insert(messages_.begin(), std::make_move_iterator(msgs.begin()),
+                   std::make_move_iterator(msgs.end()));
+}
+
 Result<MultiDelta> UpdateQueue::PendingFrom(const std::string& source) const {
   MultiDelta out;
   for (const auto& msg : messages_) {

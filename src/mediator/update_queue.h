@@ -35,6 +35,12 @@ class UpdateQueue {
   /// the empty_queue(t) instant of paper §6.1.
   std::vector<UpdateMessage> Flush();
 
+  /// Puts flushed-but-unprocessed messages back at the FRONT of the queue,
+  /// preserving their order. Used when an update transaction aborts (poll
+  /// timeout): the messages are older than anything that arrived since, so
+  /// re-queueing at the front keeps every source's FIFO stream intact.
+  void Requeue(std::vector<UpdateMessage> msgs);
+
   /// Smash of the deltas of all *waiting* messages from \p source (arrival
   /// order). Used by Eager Compensation; does not remove anything.
   Result<MultiDelta> PendingFrom(const std::string& source) const;
@@ -46,11 +52,14 @@ class UpdateQueue {
   uint64_t TotalEnqueued() const { return total_enqueued_; }
   /// Total delta atoms ever enqueued.
   uint64_t TotalAtoms() const { return total_atoms_; }
+  /// Total messages ever re-queued after an aborted transaction.
+  uint64_t TotalRequeued() const { return total_requeued_; }
 
  private:
   std::deque<UpdateMessage> messages_;
   uint64_t total_enqueued_ = 0;
   uint64_t total_atoms_ = 0;
+  uint64_t total_requeued_ = 0;
 };
 
 }  // namespace squirrel

@@ -1,0 +1,49 @@
+#include "sim/fault.h"
+
+namespace squirrel {
+
+bool FaultInjector::Crashed(const std::string& source, Time t) const {
+  auto it = plan_.crashes.find(source);
+  if (it == plan_.crashes.end()) return false;
+  for (const auto& w : it->second) {
+    if (t >= w.start && t < w.end) return true;
+  }
+  return false;
+}
+
+Time FaultInjector::Jitter(Time now) {
+  if (!Active(now) || plan_.delay_jitter_max <= 0) return 0;
+  return rng_.UniformDouble() * plan_.delay_jitter_max;
+}
+
+std::vector<Time> FaultInjector::OnSend(Time now, Dir dir,
+                                        const std::string& source) {
+  if (dir == Dir::kToSource && Crashed(source, now)) {
+    ++counters_.blackholed;
+    return {};
+  }
+  Time extra = Jitter(now);
+  for (int tx = 1; tx < plan_.max_transmissions && Active(now) &&
+                   rng_.Bernoulli(plan_.drop_prob);
+       ++tx) {
+    extra += plan_.retransmit_timeout + Jitter(now);
+    ++counters_.transmissions_lost;
+  }
+  std::vector<Time> deliveries = {extra};
+  if (Active(now) && rng_.Bernoulli(plan_.dup_prob)) {
+    deliveries.push_back(extra + plan_.retransmit_timeout + Jitter(now));
+    ++counters_.duplicates;
+  }
+  return deliveries;
+}
+
+Time FaultInjector::SlowPollExtra(Time now) {
+  if (!Active(now) || plan_.slow_poll_delay <= 0 ||
+      !rng_.Bernoulli(plan_.slow_poll_prob)) {
+    return 0;
+  }
+  ++counters_.slow_polls;
+  return plan_.slow_poll_delay * (0.5 + 0.5 * rng_.UniformDouble());
+}
+
+}  // namespace squirrel

@@ -1,0 +1,116 @@
+// Deterministic fault injection for the integration-environment simulator.
+//
+// The paper proves consistency and freshness under an idealized network:
+// FIFO channels, no loss, no crashes (§4). A FaultPlan relaxes exactly the
+// assumptions a production deployment cannot count on while preserving the
+// two properties the algorithms genuinely require — per-channel FIFO order
+// and at-least-once delivery of source announcements:
+//
+//  - per-transmission delay jitter;
+//  - transmission loss with sender-side retransmit (modeled as the ARQ
+//    outcome: the message arrives after k retransmit timeouts — never lost
+//    for good on source->mediator links);
+//  - duplicate deliveries (a retransmission whose acknowledgment was lost;
+//    the mediator must suppress these by per-source sequence number);
+//  - source crash/recover windows, during which the source answers no polls
+//    and mediator->source messages are black-holed;
+//  - slow poll responses (extra source-side processing time).
+//
+// All decisions are drawn from one seeded Rng in simulation-event order, so
+// a (seed, workload) pair replays to a byte-identical trace.
+
+#ifndef SQUIRREL_SIM_FAULT_H_
+#define SQUIRREL_SIM_FAULT_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/clock.h"
+
+namespace squirrel {
+
+/// A half-open interval [start, end) during which a source is down.
+struct CrashWindow {
+  Time start = 0;
+  Time end = 0;
+};
+
+/// Knobs of one fault schedule. Defaults inject nothing.
+struct FaultPlan {
+  /// Extra per-transmission delay, uniform in [0, delay_jitter_max).
+  Time delay_jitter_max = 0;
+  /// Probability each transmission is lost (forcing a retransmit).
+  double drop_prob = 0;
+  /// Probability an acknowledged message is delivered a second time.
+  double dup_prob = 0;
+  /// Sender ARQ timeout added per lost transmission.
+  Time retransmit_timeout = 0.5;
+  /// Transmission-attempt cap; the last attempt always goes through, so
+  /// source->mediator links provide at-least-once delivery.
+  int max_transmissions = 8;
+  /// Probability a poll response is served slowly.
+  double slow_poll_prob = 0;
+  /// Extra source-side processing time of a slow poll response.
+  Time slow_poll_delay = 0;
+  /// How often a holding announcer re-probes its crashed source.
+  Time crash_probe_period = 1.0;
+  /// Randomized faults (jitter/drop/dup/slow) stop at this time; crash
+  /// windows end on their own schedule. Lets tests guarantee quiescence.
+  Time active_until = std::numeric_limits<Time>::infinity();
+  /// Crash/recover windows per source-database name.
+  std::map<std::string, std::vector<CrashWindow>> crashes;
+};
+
+/// \brief Draws per-message fault decisions from a FaultPlan.
+///
+/// One injector serves a whole simulation (all channels of all sources);
+/// decisions consume the seeded Rng in call order, which the deterministic
+/// scheduler makes reproducible.
+class FaultInjector {
+ public:
+  /// Which way a message is traveling.
+  enum class Dir { kToMediator, kToSource };
+
+  /// Counters for tests and debugging dumps.
+  struct Counters {
+    uint64_t transmissions_lost = 0;  ///< drops absorbed by retransmit
+    uint64_t duplicates = 0;          ///< extra deliveries injected
+    uint64_t blackholed = 0;          ///< messages to crashed sources
+    uint64_t slow_polls = 0;          ///< poll responses served slowly
+  };
+
+  FaultInjector(FaultPlan plan, uint64_t seed)
+      : plan_(std::move(plan)), rng_(seed * 0x9E3779B97F4A7C15ULL + 1) {}
+
+  /// Decides the fate of one message sent at \p now on the link between the
+  /// mediator and \p source. Returns one extra-delay offset per delivery
+  /// (first = the real delivery, further entries = duplicates); empty means
+  /// the message is black-holed (only for kToSource during a crash).
+  std::vector<Time> OnSend(Time now, Dir dir, const std::string& source);
+
+  /// True iff \p source is inside one of its crash windows at \p t.
+  bool Crashed(const std::string& source, Time t) const;
+
+  /// Extra processing delay for a poll response decided at \p now.
+  Time SlowPollExtra(Time now);
+
+  const FaultPlan& plan() const { return plan_; }
+  const Counters& counters() const { return counters_; }
+
+ private:
+  /// True iff randomized faults are still active at \p now.
+  bool Active(Time now) const { return now < plan_.active_until; }
+  Time Jitter(Time now);
+
+  FaultPlan plan_;
+  Rng rng_;
+  Counters counters_;
+};
+
+}  // namespace squirrel
+
+#endif  // SQUIRREL_SIM_FAULT_H_

@@ -1,55 +1,84 @@
-// In-order message channels with configurable delay.
+// In-order message channels with configurable delay and fault injection.
 //
 // Paper §4 assumes "the messages transferred from one source database to the
 // mediator must be in order". Channel enforces FIFO delivery even when the
 // per-message delay would reorder (delivery time is clamped to be monotone).
+// An optional fault hook (see sim/fault.h) can stretch, duplicate, or drop
+// individual messages; because the FIFO clamp also applies to stretched and
+// duplicate deliveries, a faulty channel still never reorders — it degrades
+// to in-order at-least-once delivery, which is what the mediator's
+// sequence-number suppression is built against.
 
 #ifndef SQUIRREL_SIM_NETWORK_H_
 #define SQUIRREL_SIM_NETWORK_H_
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <utility>
+#include <vector>
 
 #include "sim/clock.h"
 #include "sim/scheduler.h"
 
 namespace squirrel {
 
-/// Counters describing a channel's traffic (benchmarks read these).
+/// Counters describing a channel's traffic (benchmarks and tests read these).
 struct ChannelStats {
-  uint64_t messages_sent = 0;
-  Time total_delay = 0.0;
+  uint64_t messages_sent = 0;          ///< accepted sends (>= 1 delivery each)
+  uint64_t messages_dropped = 0;       ///< sends black-holed by the fault hook
+  uint64_t duplicate_deliveries = 0;   ///< extra deliveries beyond the first
+  Time total_delay = 0.0;              ///< summed send-to-delivery latency
 };
 
 /// \brief FIFO simulated link carrying messages of type M.
 ///
 /// Each Send schedules delivery `delay` later, clamped so deliveries never
-/// overtake earlier ones.
+/// overtake earlier ones. Scheduled deliveries hold a weak alive-token, so a
+/// channel destroyed before its last delivery simply stops delivering
+/// instead of dangling.
 template <typename M>
 class Channel {
  public:
+  /// Per-send fault decision: one extra-delay offset per delivery of the
+  /// message (first entry = the real delivery, further entries = duplicate
+  /// deliveries); an empty vector black-holes the message entirely.
+  using FaultHook = std::function<std::vector<Time>(Time now)>;
+
   /// \param scheduler event loop driving deliveries (not owned)
   /// \param delay one-way latency applied to every message
   Channel(Scheduler* scheduler, Time delay)
       : scheduler_(scheduler), delay_(delay) {}
+
+  // Scheduled deliveries capture `this`; a moved-from channel would dangle.
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
 
   /// Installs the receiving endpoint. Must be set before the first delivery.
   void SetReceiver(std::function<void(M)> receiver) {
     receiver_ = std::move(receiver);
   }
 
-  /// Sends a message; it is delivered at max(now + delay, last delivery).
+  /// Installs a fault hook consulted on every Send (nullptr = ideal link).
+  void SetFaultHook(FaultHook hook) { fault_ = std::move(hook); }
+
+  /// Sends a message; each delivery lands at max(now + delay + extra, last
+  /// delivery), so faults never break FIFO order.
   void Send(M message) {
-    Time deliver_at = scheduler_->Now() + delay_;
-    if (deliver_at < last_delivery_) deliver_at = last_delivery_;
-    last_delivery_ = deliver_at;
-    stats_.messages_sent++;
-    stats_.total_delay += deliver_at - scheduler_->Now();
-    auto* self = this;
-    scheduler_->At(deliver_at, [self, msg = std::move(message)]() mutable {
-      self->receiver_(std::move(msg));
-    });
+    std::vector<Time> extras = {0.0};
+    if (fault_) {
+      extras = fault_(scheduler_->Now());
+      if (extras.empty()) {
+        ++stats_.messages_dropped;
+        return;
+      }
+    }
+    ++stats_.messages_sent;
+    stats_.duplicate_deliveries += extras.size() - 1;
+    for (size_t i = 0; i + 1 < extras.size(); ++i) {
+      ScheduleDelivery(extras[i], message);  // all but the last need a copy
+    }
+    ScheduleDelivery(extras.back(), std::move(message));
   }
 
   /// One-way latency of this channel.
@@ -58,11 +87,27 @@ class Channel {
   const ChannelStats& stats() const { return stats_; }
 
  private:
+  void ScheduleDelivery(Time extra, M message) {
+    Time deliver_at = scheduler_->Now() + delay_ + extra;
+    if (deliver_at < last_delivery_) deliver_at = last_delivery_;
+    last_delivery_ = deliver_at;
+    stats_.total_delay += deliver_at - scheduler_->Now();
+    auto* self = this;
+    scheduler_->At(deliver_at,
+                   [self, alive = std::weak_ptr<const bool>(alive_),
+                    msg = std::move(message)]() mutable {
+                     if (alive.expired()) return;  // channel was destroyed
+                     self->receiver_(std::move(msg));
+                   });
+  }
+
   Scheduler* scheduler_;
   Time delay_;
   Time last_delivery_ = 0.0;
   std::function<void(M)> receiver_;
+  FaultHook fault_;
   ChannelStats stats_;
+  std::shared_ptr<const bool> alive_ = std::make_shared<const bool>(true);
 };
 
 }  // namespace squirrel

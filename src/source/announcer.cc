@@ -5,8 +5,13 @@
 namespace squirrel {
 
 Announcer::Announcer(SourceDb* db, Scheduler* scheduler,
-                     Channel<SourceToMediatorMsg>* channel, Time period)
-    : db_(db), scheduler_(scheduler), channel_(channel), period_(period) {
+                     Channel<SourceToMediatorMsg>* channel, Time period,
+                     FaultInjector* faults)
+    : db_(db),
+      scheduler_(scheduler),
+      channel_(channel),
+      period_(period),
+      faults_(faults) {
   db_->SetCommitListener(
       [this](Time now, const MultiDelta& delta) { OnCommit(now, delta); });
 }
@@ -29,6 +34,18 @@ void Announcer::OnCommit(Time now, const MultiDelta& delta) {
 
 void Announcer::FlushNow() {
   if (pending_.Empty()) return;
+  if (faults_ != nullptr && faults_->Crashed(db_->name(), scheduler_->Now())) {
+    // Source is down: hold the batch and re-probe until the crash window
+    // ends. Smashing keeps later commits folded into the held net change.
+    if (!crash_probe_pending_) {
+      crash_probe_pending_ = true;
+      scheduler_->After(faults_->plan().crash_probe_period, [this]() {
+        crash_probe_pending_ = false;
+        FlushNow();
+      });
+    }
+    return;
+  }
   UpdateMessage msg;
   msg.source = db_->name();
   msg.send_time = scheduler_->Now();
@@ -45,15 +62,28 @@ void Announcer::Tick() {
 
 PollResponder::PollResponder(SourceDb* db, Scheduler* scheduler,
                              Channel<SourceToMediatorMsg>* out,
-                             Announcer* announcer, Time q_proc_delay)
+                             Announcer* announcer, Time q_proc_delay,
+                             FaultInjector* faults)
     : db_(db),
       scheduler_(scheduler),
       out_(out),
       announcer_(announcer),
-      q_proc_delay_(q_proc_delay) {}
+      q_proc_delay_(q_proc_delay),
+      faults_(faults) {}
 
 void PollResponder::OnRequest(PollRequest request) {
-  scheduler_->After(q_proc_delay_, [this, req = std::move(request)]() {
+  if (faults_ != nullptr && faults_->Crashed(db_->name(), scheduler_->Now())) {
+    ++dropped_;  // the request reached a crashed source and is lost
+    return;
+  }
+  Time extra =
+      faults_ != nullptr ? faults_->SlowPollExtra(scheduler_->Now()) : 0.0;
+  scheduler_->After(q_proc_delay_ + extra, [this, req = std::move(request)]() {
+    if (faults_ != nullptr &&
+        faults_->Crashed(db_->name(), scheduler_->Now())) {
+      ++dropped_;  // crashed while processing: the answer never leaves
+      return;
+    }
     PollAnswer answer;
     answer.id = req.id;
     answer.source = db_->name();

@@ -8,6 +8,12 @@
 // PollResponder answers VAP polls after a simulated processing delay; for
 // hybrid contributors it flushes the announcer *before* answering on the
 // same FIFO channel, which is the ordering Eager Compensation relies on.
+//
+// Both cooperate with an optional FaultInjector: a crashed source answers
+// no polls (requests received or in flight during the window are lost) and
+// holds announcements until recovery; slow-poll faults stretch response
+// processing. The flush-before-answer ordering is preserved across all of
+// it, so Eager Compensation stays correct under faults.
 
 #ifndef SQUIRREL_SOURCE_ANNOUNCER_H_
 #define SQUIRREL_SOURCE_ANNOUNCER_H_
@@ -16,6 +22,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "sim/fault.h"
 #include "sim/network.h"
 #include "sim/scheduler.h"
 #include "source/messages.h"
@@ -30,19 +37,22 @@ class Announcer {
   /// \param scheduler event loop (not owned)
   /// \param channel FIFO link to the mediator (not owned)
   /// \param period announcement period; 0 announces on every commit
+  /// \param faults optional fault injector (not owned; nullptr = no faults)
   Announcer(SourceDb* db, Scheduler* scheduler,
-            Channel<SourceToMediatorMsg>* channel, Time period);
+            Channel<SourceToMediatorMsg>* channel, Time period,
+            FaultInjector* faults = nullptr);
 
   /// Begins periodic announcements (no-op for period 0, which is push-based).
   void Start();
 
   /// Sends any pending delta immediately (used before answering polls and by
-  /// tests). No message is sent if nothing is pending.
+  /// tests). No message is sent if nothing is pending; if the source is
+  /// crashed the batch is held and re-probed until recovery.
   void FlushNow();
 
   /// Announcement period.
   Time period() const { return period_; }
-  /// Messages sent so far.
+  /// Messages sent so far (also the per-source sequence-number high water).
   uint64_t AnnouncementCount() const { return seq_; }
   /// True iff commits since the last announcement are waiting.
   bool HasPending() const { return !pending_.Empty(); }
@@ -55,9 +65,11 @@ class Announcer {
   Scheduler* scheduler_;
   Channel<SourceToMediatorMsg>* channel_;
   Time period_;
+  FaultInjector* faults_;
   MultiDelta pending_;
   uint64_t seq_ = 0;
   bool started_ = false;
+  bool crash_probe_pending_ = false;
 };
 
 /// \brief Answers PollRequests against a source's current state.
@@ -70,16 +82,20 @@ class PollResponder {
   /// \param announcer flushed before answering (nullptr for pure
   ///        virtual-contributors, which have no announcer)
   /// \param q_proc_delay simulated per-request processing time
+  /// \param faults optional fault injector (not owned; nullptr = no faults)
   PollResponder(SourceDb* db, Scheduler* scheduler,
                 Channel<SourceToMediatorMsg>* out, Announcer* announcer,
-                Time q_proc_delay);
+                Time q_proc_delay, FaultInjector* faults = nullptr);
 
-  /// Handles an incoming request: after q_proc_delay, evaluates every poll
-  /// against one state, flushes the announcer, then sends the answer.
+  /// Handles an incoming request: after q_proc_delay (plus any slow-poll
+  /// fault), evaluates every poll against one state, flushes the announcer,
+  /// then sends the answer. Requests hitting a crashed source are lost.
   void OnRequest(PollRequest request);
 
   /// Requests answered so far.
   uint64_t AnsweredCount() const { return answered_; }
+  /// Requests lost to crash windows.
+  uint64_t DroppedCount() const { return dropped_; }
   /// Simulated per-request processing time.
   Time q_proc_delay() const { return q_proc_delay_; }
 
@@ -89,7 +105,9 @@ class PollResponder {
   Channel<SourceToMediatorMsg>* out_;
   Announcer* announcer_;
   Time q_proc_delay_;
+  FaultInjector* faults_;
   uint64_t answered_ = 0;
+  uint64_t dropped_ = 0;
 };
 
 }  // namespace squirrel

@@ -5,6 +5,7 @@
 
 #include "mediator/contributor.h"
 #include "mediator/freshness.h"
+#include "mediator/iup.h"
 #include "mediator/local_store.h"
 #include "mediator/query.h"
 #include "mediator/update_queue.h"
@@ -119,6 +120,58 @@ TEST(UpdateQueueTest, LastPendingSendTime) {
   queue.Enqueue(std::move(m2));
   EXPECT_DOUBLE_EQ(queue.LastPendingSendTime("A", 0), 4.5);
   EXPECT_DOUBLE_EQ(queue.LastPendingSendTime("B", 9.0), 9.0);
+}
+
+TEST(UpdateQueueTest, RequeuePutsMessagesBackInFront) {
+  UpdateQueue queue;
+  auto make = [](const std::string& source, uint64_t seq) {
+    UpdateMessage msg;
+    msg.source = source;
+    msg.seq = seq;
+    return msg;
+  };
+  queue.Enqueue(make("A", 1));
+  queue.Enqueue(make("A", 2));
+  auto flushed = queue.Flush();
+  ASSERT_EQ(flushed.size(), 2u);
+  // A new announcement arrives while the (to-be-aborted) txn is in flight.
+  queue.Enqueue(make("A", 3));
+  queue.Requeue(std::move(flushed));
+  EXPECT_EQ(queue.TotalRequeued(), 2u);
+  // The requeued messages are older: per-source FIFO order must survive.
+  auto msgs = queue.Flush();
+  ASSERT_EQ(msgs.size(), 3u);
+  EXPECT_EQ(msgs[0].seq, 1u);
+  EXPECT_EQ(msgs[1].seq, 2u);
+  EXPECT_EQ(msgs[2].seq, 3u);
+  EXPECT_EQ(queue.TotalEnqueued(), 3u);  // requeues are not new arrivals
+}
+
+TEST(IupStatsTest, MergeAccumulatesEveryField) {
+  IupStats a;
+  a.rules_fired = 1;
+  a.atoms_in = 2;
+  a.atoms_propagated = 3;
+  a.nodes_processed = 4;
+  a.polls = 5;
+  a.polled_tuples = 6;
+  a.temps_built = 7;
+  a.poll_retries = 8;
+  IupStats b = a;
+  b.Merge(a);
+  EXPECT_EQ(b.rules_fired, 2u);
+  EXPECT_EQ(b.atoms_in, 4u);
+  EXPECT_EQ(b.atoms_propagated, 6u);
+  EXPECT_EQ(b.nodes_processed, 8u);
+  EXPECT_EQ(b.polls, 10u);
+  EXPECT_EQ(b.polled_tuples, 12u);
+  EXPECT_EQ(b.temps_built, 14u);
+  EXPECT_EQ(b.poll_retries, 16u);
+  // Merging a default-constructed stats is the identity.
+  IupStats c = b;
+  c.Merge(IupStats{});
+  EXPECT_EQ(c.rules_fired, b.rules_fired);
+  EXPECT_EQ(c.poll_retries, b.poll_retries);
 }
 
 TEST(ContributorTest, Figure1Classifications) {

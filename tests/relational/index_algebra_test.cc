@@ -35,6 +35,20 @@ TEST(HashIndexTest, CarriesMultiplicities) {
   EXPECT_EQ(index.Probe(Tuple({1}))[0].second, 3);
 }
 
+TEST(HashIndexTest, ProbeMissingKeyReturnsStableEmptyRef) {
+  Relation r = MakeRelation("R(a, b)", {Tuple({1, 10})});
+  SQ_ASSERT_OK_AND_ASSIGN(HashIndex index, HashIndex::Build(r, {"a"}));
+  const auto& miss1 = index.Probe(Tuple({42}));
+  EXPECT_TRUE(miss1.empty());
+  // Probe returns a reference; for missing keys it must be the shared empty
+  // bucket, identical across probes and still valid after further probes.
+  const auto& miss2 = index.Probe(Tuple({43}));
+  EXPECT_EQ(&miss1, &miss2);
+  EXPECT_TRUE(miss1.empty());
+  // Probing must not have materialized buckets for the missing keys.
+  EXPECT_EQ(index.KeyCount(), 1u);
+}
+
 TEST(HashIndexTest, UnknownAttributeFails) {
   Relation r = MakeRelation("R(a)", {Tuple({1})});
   EXPECT_FALSE(HashIndex::Build(r, {"zzz"}).ok());

@@ -72,6 +72,28 @@ TEST(OperatorsTest, JoinMixedEquiAndResidual) {
   EXPECT_EQ(Rows(out), "(1, 10, 1, 7) ");
 }
 
+TEST(OperatorsTest, JoinWithZeroEquiConjunctsUsesNestedLoop) {
+  // A pure inequality condition has no equi-conjunct to hash on; the join
+  // must fall back to the nested loop and still honor the full predicate.
+  Relation r = MakeRelation("R(a, b)", {Tuple({1, 2}), Tuple({5, 1})});
+  Relation s = MakeRelation("S(c)", {Tuple({3}), Tuple({4})});
+  SQ_ASSERT_OK_AND_ASSIGN(Relation out,
+                          OpJoin(r, s, Pred("a < c AND b < c")));
+  EXPECT_EQ(Rows(out), "(1, 2, 3) (1, 2, 4) ");
+  // Empty inputs through the same path.
+  Relation empty_s = MakeRelation("S(c)", {});
+  SQ_ASSERT_OK_AND_ASSIGN(Relation none, OpJoin(r, empty_s, Pred("a < c")));
+  EXPECT_TRUE(none.Empty());
+}
+
+TEST(OperatorsTest, ProjectSetOnEmptyInputStaysEmptySet) {
+  Relation r = MakeRelation("R(a, b)", {});
+  SQ_ASSERT_OK_AND_ASSIGN(Relation out, OpProject(r, {"a"}, Semantics::kSet));
+  EXPECT_TRUE(out.Empty());
+  EXPECT_EQ(out.semantics(), Semantics::kSet);
+  EXPECT_EQ(out.schema().AttributeNames(), (std::vector<std::string>{"a"}));
+}
+
 TEST(OperatorsTest, CrossProductWhenNoCondition) {
   Relation r = MakeRelation("R(a)", {Tuple({1}), Tuple({2})});
   Relation s = MakeRelation("S(b)", {Tuple({3}), Tuple({4})});

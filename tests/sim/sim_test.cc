@@ -115,6 +115,71 @@ TEST(ChannelTest, StatsCountMessages) {
   EXPECT_GE(ch.stats().total_delay, 1.0);
 }
 
+TEST(ChannelTest, DestroyedBeforeDeliveryDoesNotDangle) {
+  // Regression: deliveries used to capture a raw `this`; a channel destroyed
+  // with sends in flight made the scheduled event dereference freed memory.
+  Scheduler s;
+  int received = 0;
+  {
+    Channel<int> ch(&s, 5.0);
+    ch.SetReceiver([&](int) { ++received; });
+    s.At(0.0, [&]() { ch.Send(7); });
+    s.RunUntil(1.0);  // send happened, delivery still pending at t=5
+  }
+  s.Run();  // the orphaned delivery must be a no-op, not a crash
+  EXPECT_EQ(received, 0);
+}
+
+TEST(ChannelTest, FaultHookDropAndDuplicateStats) {
+  Scheduler s;
+  Channel<int> ch(&s, 1.0);
+  std::vector<int> got;
+  ch.SetReceiver([&](int v) { got.push_back(v); });
+  int call = 0;
+  ch.SetFaultHook([&call](Time) -> std::vector<Time> {
+    ++call;
+    if (call == 1) return {};          // black-hole the first send
+    if (call == 2) return {0.0, 2.0};  // duplicate the second
+    return {0.0};
+  });
+  s.At(0.0, [&]() {
+    ch.Send(1);
+    ch.Send(2);
+    ch.Send(3);
+  });
+  s.Run();
+  // The duplicate of 2 lands at 3.0 and advances the monotone clamp, so 3
+  // (nominally 1.0) is held until 3.0 and delivered after it: a duplicated
+  // retransmission never lets a later message overtake it.
+  EXPECT_EQ(got, (std::vector<int>{2, 2, 3}));
+  EXPECT_EQ(ch.stats().messages_sent, 2u);
+  EXPECT_EQ(ch.stats().messages_dropped, 1u);
+  EXPECT_EQ(ch.stats().duplicate_deliveries, 1u);
+}
+
+TEST(ChannelTest, FifoPreservedUnderJitter) {
+  // A big extra delay on an early message must not let later ones overtake:
+  // the clamp turns the fault into in-order delivery with bunched arrivals.
+  Scheduler s;
+  Channel<int> ch(&s, 1.0);
+  std::vector<std::pair<Time, int>> got;
+  ch.SetReceiver([&](int v) { got.push_back({s.Now(), v}); });
+  int call = 0;
+  ch.SetFaultHook([&call](Time) -> std::vector<Time> {
+    return ++call == 1 ? std::vector<Time>{4.0} : std::vector<Time>{0.0};
+  });
+  s.At(0.0, [&]() {
+    ch.Send(1);  // would land at 5.0
+    ch.Send(2);  // nominally 1.0, clamped to 5.0
+  });
+  s.Run();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].second, 1);
+  EXPECT_EQ(got[1].second, 2);
+  EXPECT_DOUBLE_EQ(got[0].first, 5.0);
+  EXPECT_DOUBLE_EQ(got[1].first, 5.0);
+}
+
 TEST(TimeVectorTest, LeqComponentwise) {
   EXPECT_TRUE(TimeVectorLeq({1, 2}, {1, 3}));
   EXPECT_FALSE(TimeVectorLeq({1, 4}, {1, 3}));

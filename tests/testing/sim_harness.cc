@@ -1,0 +1,377 @@
+#include "testing/sim_harness.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "mediator/consistency.h"
+#include "relational/parser.h"
+#include "sim/fault.h"
+#include "sim/scheduler.h"
+#include "source/source_db.h"
+#include "vdp/builder.h"
+
+namespace squirrel {
+namespace testing {
+namespace {
+
+std::string SeedTag(uint64_t seed) {
+  return "[seed " + std::to_string(seed) + "] ";
+}
+
+std::string RowsString(const Relation& rel) {
+  std::string out;
+  for (const auto& [tuple, count] : rel.SortedRows()) {
+    out += tuple.ToString();
+    if (count != 1) out += "x" + std::to_string(count);
+    out += " ";
+  }
+  return out;
+}
+
+Status AddParsedRelation(SourceDb* db, const std::string& name,
+                         const std::string& decl) {
+  SQ_ASSIGN_OR_RETURN(auto parsed, ParseSchemaDecl(decl));
+  return db->AddRelation(name, parsed.schema);
+}
+
+}  // namespace
+
+Result<FaultSimResult> RunFaultSim(uint64_t seed,
+                                   const FaultSimOptions& opts) {
+  Rng rng(seed * 0x2545F4914F6CDD1DULL + 12345);
+  FaultSimResult result;
+  result.seed = seed;
+
+  // ---- sources (DB3 present in half the scenarios) ----
+  auto db1 = std::make_unique<SourceDb>("DB1");
+  auto db2 = std::make_unique<SourceDb>("DB2");
+  SQ_RETURN_IF_ERROR(
+      AddParsedRelation(db1.get(), "R", "R(r1, r2, r3, r4) key(r1)"));
+  SQ_RETURN_IF_ERROR(
+      AddParsedRelation(db2.get(), "S", "S(s1, s2, s3) key(s1)"));
+  bool has_db3 = rng.Bernoulli(0.5);
+  std::unique_ptr<SourceDb> db3;
+  if (has_db3) {
+    db3 = std::make_unique<SourceDb>("DB3");
+    SQ_RETURN_IF_ERROR(
+        AddParsedRelation(db3.get(), "U", "U(u1, u2) key(u1)"));
+  }
+
+  // ---- random Figure-1-shaped VDP (optional filters + third branch) ----
+  bool r_filter = rng.Bernoulli(0.7);
+  bool s_filter = rng.Bernoulli(0.7);
+  VdpBuilder b;
+  b.Leaf("R", "DB1", "R", "R(r1, r2, r3, r4) key(r1)");
+  b.Leaf("S", "DB2", "S", "S(s1, s2, s3) key(s1)");
+  b.LeafParent("R'", "R", {"r1", "r2", "r3"}, r_filter ? "r4 = 100" : "");
+  b.LeafParent("S'", "S", {"s1", "s2"}, s_filter ? "s3 < 50" : "");
+  b.Spj("T", {{"R'", {"r1", "r2", "r3"}, ""}, {"S'", {"s1", "s2"}, ""}},
+        {"r2 = s1"}, {"r1", "r3", "s1", "s2"}, "", /*exported=*/true);
+  if (has_db3) {
+    b.Leaf("U", "DB3", "U", "U(u1, u2) key(u1)");
+    b.LeafParent("U'", "U", {"u1", "u2"});
+    b.LeafParent("S2", "S", {"s1", "s3"});
+    b.Spj("W", {{"S2", {"s1", "s3"}, ""}, {"U'", {"u1", "u2"}, ""}},
+          {"s1 = u1"}, {"s1", "s3", "u2"}, "", /*exported=*/true);
+  }
+  SQ_ASSIGN_OR_RETURN(Vdp vdp, b.Build());
+
+  // ---- random annotation, drawn from the safe patterns of §2's examples:
+  // leaf-parents all-materialized or all-virtual, exports all-materialized,
+  // all-virtual via their inputs, or hybrid with the join keys materialized
+  // (Example 2.3) ----
+  Annotation ann;
+  int kind = static_cast<int>(rng.Uniform(4));
+  if (kind == 1) {
+    SQ_RETURN_IF_ERROR(ann.SetAll(vdp, "R'", AttrMode::kVirtual));
+  } else if (kind == 2) {
+    SQ_RETURN_IF_ERROR(ann.SetAll(vdp, "S'", AttrMode::kVirtual));
+  } else if (kind == 3) {
+    SQ_RETURN_IF_ERROR(ann.SetAll(vdp, "R'", AttrMode::kVirtual));
+    SQ_RETURN_IF_ERROR(ann.SetAll(vdp, "S'", AttrMode::kVirtual));
+    SQ_RETURN_IF_ERROR(
+        ann.SetFromSpec(vdp, "T", "r1 m, r3 v, s1 m, s2 v"));
+  }
+  if (has_db3) {
+    int wkind = static_cast<int>(rng.Uniform(3));
+    if (wkind == 1) {
+      SQ_RETURN_IF_ERROR(ann.SetAll(vdp, "U'", AttrMode::kVirtual));
+    } else if (wkind == 2) {
+      SQ_RETURN_IF_ERROR(ann.SetAll(vdp, "S2", AttrMode::kVirtual));
+      SQ_RETURN_IF_ERROR(
+          ann.SetFromSpec(vdp, "W", "s1 m, s3 v, u2 m"));
+    }
+  }
+
+  // ---- workload horizon (drawn up front so fault plans can bound their
+  // crash windows inside it) ----
+  std::vector<Time> event_times;
+  Time t = 1.0;
+  for (int i = 0; i < opts.steps; ++i) {
+    t += 3.0 + rng.UniformDouble() * 2.5;
+    event_times.push_back(t);
+  }
+  const Time t_end = t;
+
+  // ---- per-source fault plans; every randomized fault stops at t_end and
+  // all crash windows close before it, so the drain phase quiesces ----
+  auto make_plan = [&rng, t_end](const std::string& name) {
+    FaultPlan p;
+    p.delay_jitter_max = rng.UniformDouble() * 0.4;
+    p.drop_prob = rng.UniformDouble() * 0.25;
+    p.dup_prob = rng.UniformDouble() * 0.15;
+    p.retransmit_timeout = 0.2 + rng.UniformDouble() * 0.5;
+    p.slow_poll_prob = rng.UniformDouble() * 0.3;
+    p.slow_poll_delay = rng.UniformDouble() * 1.5;
+    p.crash_probe_period = 0.5;
+    p.active_until = t_end;
+    int windows = static_cast<int>(rng.Uniform(3));
+    Time cursor = 5.0;
+    for (int w = 0; w < windows; ++w) {
+      Time start = cursor + rng.UniformDouble() * t_end * 0.6;
+      Time end = std::min(start + 2.0 + rng.UniformDouble() * 6.0,
+                          t_end - 1.0);
+      if (end > start) p.crashes[name].push_back({start, end});
+      cursor = end + 2.0;
+    }
+    return p;
+  };
+  std::vector<std::unique_ptr<FaultInjector>> injectors;
+  std::vector<SourceDb*> dbs = {db1.get(), db2.get()};
+  if (has_db3) dbs.push_back(db3.get());
+  for (size_t i = 0; i < dbs.size(); ++i) {
+    injectors.push_back(std::make_unique<FaultInjector>(
+        make_plan(dbs[i]->name()), seed + 1000 + i));
+  }
+
+  // ---- mediator configuration; the final re-poll deadline
+  // (poll_timeout * backoff^retries >= 12) comfortably exceeds the
+  // worst-case healthy round trip, so post-fault rounds always complete ----
+  Scheduler scheduler;
+  MediatorOptions options;
+  options.update_period = rng.Bernoulli(0.5) ? 0.0 : rng.UniformDouble() * 3;
+  options.u_proc_delay = rng.UniformDouble() * 0.2;
+  options.q_proc_delay = rng.UniformDouble() * 0.2;
+  options.poll_timeout = 1.5 + rng.UniformDouble() * 2.0;
+  options.poll_backoff = 2.0;
+  options.poll_max_retries = 3;
+  options.txn_retry_delay = 0.5 + rng.UniformDouble();
+  std::vector<SourceSetup> setups;
+  for (size_t i = 0; i < dbs.size(); ++i) {
+    SourceSetup s;
+    s.db = dbs[i];
+    s.comm_delay = 0.2 + rng.UniformDouble() * 0.5;
+    s.q_proc_delay = 0.1 + rng.UniformDouble() * 0.3;
+    s.announce_period = rng.Bernoulli(0.5) ? 0.0 : rng.UniformDouble() * 2;
+    s.faults = injectors[i].get();
+    setups.push_back(s);
+  }
+
+  // ---- initial contents (joinable value schemes: r2/s1/u1 in 100*[0,3]) ----
+  std::map<int64_t, Tuple> r_rows = {{1, Tuple({1, 100, 11, 100})}};
+  std::map<int64_t, Tuple> s_rows = {{100, Tuple({100, 5, 10})}};
+  std::map<int64_t, Tuple> u_rows;
+  SQ_RETURN_IF_ERROR(db1->InsertTuple(0, "R", r_rows[1]));
+  SQ_RETURN_IF_ERROR(db2->InsertTuple(0, "S", s_rows[100]));
+  if (has_db3) {
+    u_rows[100] = Tuple({100, 7});
+    SQ_RETURN_IF_ERROR(db3->InsertTuple(0, "U", u_rows[100]));
+  }
+
+  SQ_ASSIGN_OR_RETURN(std::unique_ptr<Mediator> med,
+                      Mediator::Create(vdp, ann, setups, &scheduler, options));
+  SQ_RETURN_IF_ERROR(med->Start());
+  Mediator* mediator = med.get();
+
+  // ---- schedule the workload (all randomness drawn now, none at run time,
+  // so the whole event sequence is a function of the seed) ----
+  std::string bad_status;
+  auto submit_query = [&scheduler, mediator, &result, &bad_status](
+                          Time at, ViewQuery q) {
+    scheduler.At(at, [mediator, q, &result, &bad_status]() {
+      mediator->SubmitQuery(
+          q, [&result, &bad_status](Result<ViewAnswer> ans) {
+            if (ans.ok()) {
+              ++result.queries_ok;
+            } else if (ans.status().code() == StatusCode::kUnavailable) {
+              ++result.queries_failed;  // legal fail-over under faults
+            } else if (bad_status.empty()) {
+              bad_status = ans.status().ToString();
+            }
+          });
+    });
+  };
+  for (Time when : event_times) {
+    double dice = rng.UniformDouble();
+    if (dice < 0.30) {
+      // Commit on R.
+      if (!r_rows.empty() && rng.Bernoulli(0.4)) {
+        auto it = r_rows.begin();
+        std::advance(it, rng.Uniform(r_rows.size()));
+        Tuple victim = it->second;
+        r_rows.erase(it);
+        scheduler.At(when, [&db1, victim, &scheduler]() {
+          (void)db1->DeleteTuple(scheduler.Now(), "R", victim);
+        });
+      } else {
+        int64_t key = rng.UniformInt(0, 40);
+        if (r_rows.count(key)) continue;
+        Tuple tup({key, rng.UniformInt(0, 4) * 100, rng.UniformInt(0, 99),
+                   rng.Bernoulli(0.7) ? int64_t{100} : int64_t{7}});
+        r_rows[key] = tup;
+        scheduler.At(when, [&db1, tup, &scheduler]() {
+          (void)db1->InsertTuple(scheduler.Now(), "R", tup);
+        });
+      }
+    } else if (dice < 0.55) {
+      // Commit on S.
+      if (!s_rows.empty() && rng.Bernoulli(0.4)) {
+        auto it = s_rows.begin();
+        std::advance(it, rng.Uniform(s_rows.size()));
+        Tuple victim = it->second;
+        s_rows.erase(it);
+        scheduler.At(when, [&db2, victim, &scheduler]() {
+          (void)db2->DeleteTuple(scheduler.Now(), "S", victim);
+        });
+      } else {
+        int64_t key = rng.UniformInt(0, 4) * 100;
+        if (s_rows.count(key)) continue;
+        Tuple tup({key, rng.UniformInt(0, 9), rng.UniformInt(0, 99)});
+        s_rows[key] = tup;
+        scheduler.At(when, [&db2, tup, &scheduler]() {
+          (void)db2->InsertTuple(scheduler.Now(), "S", tup);
+        });
+      }
+    } else if (has_db3 && dice < 0.70) {
+      // Commit on U.
+      if (!u_rows.empty() && rng.Bernoulli(0.4)) {
+        auto it = u_rows.begin();
+        std::advance(it, rng.Uniform(u_rows.size()));
+        Tuple victim = it->second;
+        u_rows.erase(it);
+        scheduler.At(when, [&db3, victim, &scheduler]() {
+          (void)db3->DeleteTuple(scheduler.Now(), "U", victim);
+        });
+      } else {
+        int64_t key = rng.UniformInt(0, 4) * 100;
+        if (u_rows.count(key)) continue;
+        Tuple tup({key, rng.UniformInt(0, 99)});
+        u_rows[key] = tup;
+        scheduler.At(when, [&db3, tup, &scheduler]() {
+          (void)db3->InsertTuple(scheduler.Now(), "U", tup);
+        });
+      }
+    } else {
+      ViewQuery q;
+      if (has_db3 && rng.Bernoulli(0.4)) {
+        q.relation = "W";
+        if (rng.Bernoulli(0.5)) q.attrs = {"s1", "u2"};
+      } else {
+        q.relation = "T";
+        if (rng.Bernoulli(0.5)) {
+          q.attrs = {"r1", "s1"};
+        } else {
+          q.attrs = {"r1", "r3", "s2"};
+          if (rng.Bernoulli(0.5)) {
+            SQ_ASSIGN_OR_RETURN(q.cond, ParsePredicate("r3 < 50"));
+          }
+        }
+      }
+      submit_query(when, q);
+    }
+  }
+
+  // ---- run to quiescence: all faults are over by t_end, so within the
+  // drain every retransmit lands, every aborted transaction retries
+  // successfully, and the queue empties ----
+  scheduler.RunUntil(t_end + opts.drain);
+  if (mediator->busy() || mediator->QueueSize() != 0) {
+    return Status::Internal(
+        SeedTag(seed) + "no quiescence after drain: busy=" +
+        std::to_string(mediator->busy()) +
+        " queue=" + std::to_string(mediator->QueueSize()));
+  }
+  if (!bad_status.empty()) {
+    return Status::Internal(SeedTag(seed) + "query failed with non-fault " +
+                            "status: " + bad_status);
+  }
+
+  // ---- every export must equal a from-scratch recomputation over the
+  // final source states ----
+  ConsistencyChecker checker(&vdp, &mediator->annotation(),
+                             {dbs.begin(), dbs.end()});
+  const Time t_fq = t_end + opts.drain + 10.0;
+  std::map<std::string, Result<ViewAnswer>> final_answers;
+  for (const std::string& exp : vdp.ExportNames()) {
+    ViewQuery q;
+    q.relation = exp;
+    final_answers.emplace(exp, Status::Internal("no answer"));
+    auto* slot = &final_answers.at(exp);
+    scheduler.At(t_fq, [mediator, q, slot]() {
+      mediator->SubmitQuery(
+          q, [slot](Result<ViewAnswer> ans) { *slot = std::move(ans); });
+    });
+  }
+  scheduler.RunUntil(t_fq + 100.0);
+  TimeVector final_at(dbs.size(), t_end + 1.0);
+  for (const std::string& exp : vdp.ExportNames()) {
+    const Result<ViewAnswer>& ans = final_answers.at(exp);
+    if (!ans.ok()) {
+      return Status::Internal(SeedTag(seed) + "final query on " + exp +
+                              " failed: " + ans.status().ToString());
+    }
+    SQ_ASSIGN_OR_RETURN(Relation expected, checker.EvalNodeAt(exp, final_at));
+    std::string got = RowsString(ans.value().data);
+    std::string want = RowsString(expected.ToSet());
+    if (got != want) {
+      return Status::Internal(SeedTag(seed) + "final state of " + exp +
+                              " diverged from recomputation:\n  got  " + got +
+                              "\n  want " + want);
+    }
+    ++result.exports_checked;
+  }
+
+  // ---- the whole trace must pass the independent consistency checker ----
+  SQ_ASSIGN_OR_RETURN(ConsistencyReport report,
+                      checker.Check(mediator->trace()));
+  if (!report.consistent()) {
+    return Status::Internal(
+        SeedTag(seed) + "trace inconsistent: " +
+        (report.violations.empty() ? "no details" : report.violations[0]));
+  }
+
+  // ---- deterministic rendering for the replay-identity check ----
+  result.stats = mediator->stats();
+  for (const auto& inj : injectors) {
+    result.transmissions_lost += inj->counters().transmissions_lost;
+    result.duplicates += inj->counters().duplicates;
+    result.blackholed += inj->counters().blackholed;
+    result.slow_polls += inj->counters().slow_polls;
+  }
+  const MediatorStats& ms = result.stats;
+  result.trace_dump =
+      mediator->trace().ToString(/*include_data=*/true) +
+      "stats: updates=" + std::to_string(ms.update_txns) +
+      " queries=" + std::to_string(ms.query_txns) +
+      " polls=" + std::to_string(ms.polls) +
+      " dup_updates=" + std::to_string(ms.duplicate_updates_dropped) +
+      " stale_answers=" + std::to_string(ms.stale_poll_answers) +
+      " timeouts=" + std::to_string(ms.poll_timeouts) +
+      " retries=" + std::to_string(ms.poll_retries) +
+      " aborts=" + std::to_string(ms.update_txn_aborts) +
+      " failed_queries=" + std::to_string(ms.failed_queries) +
+      " quarantines=" + std::to_string(ms.quarantines) +
+      "\nfaults: lost=" + std::to_string(result.transmissions_lost) +
+      " dups=" + std::to_string(result.duplicates) +
+      " blackholed=" + std::to_string(result.blackholed) +
+      " slow=" + std::to_string(result.slow_polls) + "\n";
+  return result;
+}
+
+}  // namespace testing
+}  // namespace squirrel
