@@ -1,0 +1,301 @@
+#include "mediator/durability/durability.h"
+
+#include <deque>
+
+#include "delta/delta.h"
+#include "mediator/durability/serialize.h"
+
+namespace squirrel {
+
+namespace {
+
+// WAL record tags. The one-byte tag leads every record.
+enum RecordTag : uint8_t {
+  kEnqueue = 1,
+  kTxnBegin = 2,
+  kTxnCommit = 3,
+  kTxnAbort = 4,
+  kCheckpoint = 5,
+};
+
+// Checkpoint format version, bumped on incompatible layout changes.
+constexpr uint32_t kHardStateVersion = 1;
+
+}  // namespace
+
+// ---- HardState ------------------------------------------------------------
+
+std::string HardState::Encode() const {
+  BinaryWriter w;
+  w.PutU32(kHardStateVersion);
+  w.PutU32(static_cast<uint32_t>(repos.size()));
+  for (const auto& [node, rel] : repos) {
+    w.PutString(node);
+    EncodeRelation(&w, rel);
+  }
+  w.PutU64(queue.size());
+  for (const auto& msg : queue) EncodeUpdateMessage(&w, msg);
+  w.PutU32(static_cast<uint32_t>(sources.size()));
+  for (const auto& [name, st] : sources) {
+    w.PutString(name);
+    w.PutU64(st.last_update_seq);
+    w.PutTime(st.last_reflected_send);
+    w.PutU8(st.quarantined ? 1 : 0);
+  }
+  w.PutU64(next_txn_id);
+  return w.Take();
+}
+
+Result<HardState> HardState::Decode(const std::string& bytes) {
+  BinaryReader r(bytes);
+  SQ_ASSIGN_OR_RETURN(uint32_t version, r.GetU32());
+  if (version != kHardStateVersion) {
+    return Status::Internal("unsupported checkpoint version " +
+                            std::to_string(version));
+  }
+  HardState hs;
+  SQ_ASSIGN_OR_RETURN(uint32_t nrepos, r.GetU32());
+  for (uint32_t i = 0; i < nrepos; ++i) {
+    SQ_ASSIGN_OR_RETURN(std::string node, r.GetString());
+    SQ_ASSIGN_OR_RETURN(Relation rel, DecodeRelation(&r));
+    hs.repos.emplace(std::move(node), std::move(rel));
+  }
+  SQ_ASSIGN_OR_RETURN(uint64_t nmsgs, r.GetU64());
+  hs.queue.reserve(nmsgs);
+  for (uint64_t i = 0; i < nmsgs; ++i) {
+    SQ_ASSIGN_OR_RETURN(UpdateMessage msg, DecodeUpdateMessage(&r));
+    hs.queue.push_back(std::move(msg));
+  }
+  SQ_ASSIGN_OR_RETURN(uint32_t nsources, r.GetU32());
+  for (uint32_t i = 0; i < nsources; ++i) {
+    SQ_ASSIGN_OR_RETURN(std::string name, r.GetString());
+    SourceState st;
+    SQ_ASSIGN_OR_RETURN(st.last_update_seq, r.GetU64());
+    SQ_ASSIGN_OR_RETURN(st.last_reflected_send, r.GetTime());
+    SQ_ASSIGN_OR_RETURN(uint8_t q, r.GetU8());
+    st.quarantined = q != 0;
+    hs.sources.emplace(std::move(name), st);
+  }
+  SQ_ASSIGN_OR_RETURN(hs.next_txn_id, r.GetU64());
+  if (!r.AtEnd()) {
+    return Status::Internal("checkpoint has trailing bytes");
+  }
+  return hs;
+}
+
+// ---- DurabilityManager: logging -------------------------------------------
+
+Status DurabilityManager::Append(std::string record) {
+  bytes_logged_ += record.size();
+  ++records_logged_;
+  return opts_.device->Append(std::move(record)).status();
+}
+
+Status DurabilityManager::LogEnqueue(const UpdateMessage& msg) {
+  if (!wal_enabled()) return Status::OK();
+  BinaryWriter w;
+  w.PutU8(kEnqueue);
+  EncodeUpdateMessage(&w, msg);
+  return Append(w.Take());
+}
+
+Status DurabilityManager::LogTxnBegin(uint64_t txn_id, uint64_t consumed) {
+  if (!wal_enabled()) return Status::OK();
+  BinaryWriter w;
+  w.PutU8(kTxnBegin);
+  w.PutU64(txn_id);
+  w.PutU64(consumed);
+  return Append(w.Take());
+}
+
+Status DurabilityManager::LogTxnCommit(const CommitPayload& payload) {
+  if (!wal_enabled()) return Status::OK();
+  BinaryWriter w;
+  w.PutU8(kTxnCommit);
+  w.PutU64(payload.txn_id);
+  w.PutU64(payload.consumed);
+  w.PutU32(static_cast<uint32_t>(payload.node_deltas.size()));
+  for (const auto& [node, delta] : payload.node_deltas) {
+    w.PutString(node);
+    EncodeDelta(&w, delta);
+  }
+  w.PutU32(static_cast<uint32_t>(payload.reflect.size()));
+  for (const auto& [source, send_time] : payload.reflect) {
+    w.PutString(source);
+    w.PutTime(send_time);
+  }
+  return Append(w.Take());
+}
+
+Status DurabilityManager::LogTxnAbort(uint64_t txn_id, bool requeued) {
+  if (!wal_enabled()) return Status::OK();
+  BinaryWriter w;
+  w.PutU8(kTxnAbort);
+  w.PutU64(txn_id);
+  w.PutU8(requeued ? 1 : 0);
+  return Append(w.Take());
+}
+
+Status DurabilityManager::WriteCheckpoint(const HardState& state) {
+  if (!enabled()) return Status::OK();
+  BinaryWriter w;
+  w.PutU8(kCheckpoint);
+  w.PutString(state.Encode());
+  bytes_logged_ += w.bytes().size();
+  ++records_logged_;
+  ++checkpoints_written_;
+  SQ_ASSIGN_OR_RETURN(uint64_t lsn, opts_.device->Append(w.Take()));
+  // Every record before the checkpoint is folded into it.
+  return opts_.device->TruncatePrefix(lsn);
+}
+
+// ---- DurabilityManager: recovery ------------------------------------------
+
+Result<RecoveredState> DurabilityManager::Recover() const {
+  if (!enabled()) {
+    return Status::FailedPrecondition(
+        "recovery requires a log device (durability is disabled)");
+  }
+  SQ_ASSIGN_OR_RETURN(std::vector<LogRecord> records, opts_.device->ReadAll());
+
+  // Find the newest checkpoint; replay starts right after it. (Truncation
+  // normally leaves the checkpoint first, but recovery does not rely on it:
+  // a crash between Append and TruncatePrefix leaves older records around,
+  // and they are simply skipped here.)
+  size_t start = 0;
+  RecoveredState out;
+  bool have_checkpoint = false;
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (!records[i].bytes.empty() &&
+        static_cast<uint8_t>(records[i].bytes[0]) == kCheckpoint) {
+      start = i;
+      have_checkpoint = true;
+    }
+  }
+  if (!have_checkpoint) {
+    return Status::Internal(
+        "no checkpoint in the log: the mediator never started durably");
+  }
+  {
+    BinaryReader r(records[start].bytes);
+    SQ_RETURN_IF_ERROR(r.GetU8().status());  // tag
+    SQ_ASSIGN_OR_RETURN(std::string blob, r.GetString());
+    SQ_ASSIGN_OR_RETURN(out.state, HardState::Decode(blob));
+    out.checkpoint_lsn = records[start].lsn;
+  }
+
+  // Replay the suffix. The queue is rebuilt in a deque so commits can pop
+  // consumed messages from the front while enqueues append at the back.
+  std::deque<UpdateMessage> queue(out.state.queue.begin(),
+                                  out.state.queue.end());
+  bool txn_open = false;
+  uint64_t open_txn_id = 0;
+  uint64_t open_consumed = 0;
+  auto roll_back_open = [&]() {
+    // A begin whose commit/abort never became durable: the flushed messages
+    // were never popped from the replay queue, so leaving them in place IS
+    // the Requeue — order preserved, nothing lost.
+    ++out.txns_rolled_back;
+    out.msgs_requeued += open_consumed;
+    txn_open = false;
+  };
+  for (size_t i = start + 1; i < records.size(); ++i) {
+    ++out.records_replayed;
+    BinaryReader r(records[i].bytes);
+    SQ_ASSIGN_OR_RETURN(uint8_t tag, r.GetU8());
+    switch (tag) {
+      case kEnqueue: {
+        SQ_ASSIGN_OR_RETURN(UpdateMessage msg, DecodeUpdateMessage(&r));
+        auto& src = out.state.sources[msg.source];
+        if (msg.seq != 0 && msg.seq > src.last_update_seq) {
+          src.last_update_seq = msg.seq;
+        }
+        queue.push_back(std::move(msg));
+        break;
+      }
+      case kTxnBegin: {
+        if (txn_open) roll_back_open();  // superseded by a later flush
+        SQ_ASSIGN_OR_RETURN(open_txn_id, r.GetU64());
+        SQ_ASSIGN_OR_RETURN(open_consumed, r.GetU64());
+        if (open_consumed > queue.size()) {
+          return Status::Internal("WAL replay: txn " +
+                                  std::to_string(open_txn_id) +
+                                  " consumed more messages than queued");
+        }
+        txn_open = true;
+        break;
+      }
+      case kTxnCommit: {
+        SQ_ASSIGN_OR_RETURN(uint64_t txn_id, r.GetU64());
+        SQ_ASSIGN_OR_RETURN(uint64_t consumed, r.GetU64());
+        if (!txn_open || txn_id != open_txn_id || consumed != open_consumed) {
+          return Status::Internal("WAL replay: commit of txn " +
+                                  std::to_string(txn_id) +
+                                  " does not match the open begin");
+        }
+        queue.erase(queue.begin(),
+                    queue.begin() + static_cast<ptrdiff_t>(consumed));
+        SQ_ASSIGN_OR_RETURN(uint32_t ndeltas, r.GetU32());
+        for (uint32_t d = 0; d < ndeltas; ++d) {
+          SQ_ASSIGN_OR_RETURN(std::string node, r.GetString());
+          SQ_ASSIGN_OR_RETURN(Delta delta, DecodeDelta(&r));
+          auto it = out.state.repos.find(node);
+          if (it == out.state.repos.end()) {
+            return Status::Internal("WAL replay: commit delta for unknown "
+                                    "repository " + node);
+          }
+          // The logged delta is exactly the narrowed delta the live
+          // mediator applied, so a plain bag/set apply reproduces the
+          // repository byte for byte.
+          SQ_RETURN_IF_ERROR(ApplyDelta(&it->second, delta));
+        }
+        SQ_ASSIGN_OR_RETURN(uint32_t nreflect, r.GetU32());
+        for (uint32_t s = 0; s < nreflect; ++s) {
+          SQ_ASSIGN_OR_RETURN(std::string source, r.GetString());
+          SQ_ASSIGN_OR_RETURN(Time send_time, r.GetTime());
+          auto& src = out.state.sources[source];
+          if (send_time > src.last_reflected_send) {
+            src.last_reflected_send = send_time;
+          }
+        }
+        if (txn_id >= out.state.next_txn_id) {
+          out.state.next_txn_id = txn_id + 1;
+        }
+        txn_open = false;
+        ++out.txns_replayed;
+        break;
+      }
+      case kTxnAbort: {
+        SQ_ASSIGN_OR_RETURN(uint64_t txn_id, r.GetU64());
+        SQ_ASSIGN_OR_RETURN(uint8_t requeued, r.GetU8());
+        if (!txn_open || txn_id != open_txn_id) {
+          return Status::Internal("WAL replay: abort of txn " +
+                                  std::to_string(txn_id) +
+                                  " does not match the open begin");
+        }
+        if (!requeued) {
+          // The live mediator dropped the batch (internal error path):
+          // mirror it so recovered state matches the survivor's.
+          queue.erase(queue.begin(),
+                      queue.begin() + static_cast<ptrdiff_t>(open_consumed));
+        }
+        if (txn_id >= out.state.next_txn_id) {
+          out.state.next_txn_id = txn_id + 1;
+        }
+        txn_open = false;
+        break;
+      }
+      case kCheckpoint:
+        return Status::Internal("WAL replay: checkpoint after the newest "
+                                "checkpoint");
+      default:
+        return Status::Internal("WAL replay: unknown record tag " +
+                                std::to_string(tag));
+    }
+  }
+  if (txn_open) roll_back_open();
+  out.state.queue.assign(queue.begin(), queue.end());
+  return out;
+}
+
+}  // namespace squirrel

@@ -1,0 +1,156 @@
+// Mediator durability: write-ahead log, checkpoints, and crash recovery.
+//
+// The mediator's hard state — the pieces a crash must not lose — is:
+//   - the LocalStore repositories (materialized view fragments),
+//   - the UpdateQueue contents (announcements received but not yet applied),
+//   - per-source announcement sequence numbers (dedup of at-least-once
+//     redelivery), last-reflected send times (the reflect vector of §6.1),
+//     and quarantine flags,
+//   - the update-transaction id counter.
+//
+// WAL record types and the commit invariant:
+//   kEnqueue(msg)            logged before the message enters the queue; an
+//                            announcement is only "received" once durable.
+//   kTxnBegin(id, n)         the update transaction flushed the first n
+//                            queue messages. Effects are NOT yet durable.
+//   kTxnCommit(id, n,        the transaction's effects: the narrowed per-
+//     node_deltas, reflect)  node deltas applied to the repositories and the
+//                            per-source reflect advances. A transaction's
+//                            effects reach recovered state only if this
+//                            record is durable (redo-only logging; there is
+//                            nothing to undo because uncommitted effects
+//                            live purely in volatile memory).
+//   kTxnAbort(id, requeued)  the transaction gave up (poll retries
+//                            exhausted); its messages went back to the queue
+//                            front (UpdateQueue::Requeue semantics).
+//   kCheckpoint(hard state)  full serialized hard state; every earlier
+//                            record is then truncated.
+//
+// Recovery = load the newest checkpoint, then replay the log suffix:
+// enqueues append to the queue (and raise the dedup high-water marks so
+// still-retransmitting sources are suppressed), commits pop their messages
+// and re-apply their node deltas, and a begin without commit/abort rolls
+// back by simply leaving the flushed messages at the queue front — exactly
+// the order Requeue would restore.
+
+#ifndef SQUIRREL_MEDIATOR_DURABILITY_DURABILITY_H_
+#define SQUIRREL_MEDIATOR_DURABILITY_DURABILITY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "delta/delta.h"
+#include "mediator/durability/log_device.h"
+#include "relational/relation.h"
+#include "sim/clock.h"
+#include "source/messages.h"
+
+namespace squirrel {
+
+/// Durability policy knobs (part of MediatorOptions).
+struct DurabilityOptions {
+  /// Durable storage; nullptr disables durability entirely (a crashed
+  /// mediator then cannot recover). Not owned; must outlive the mediator.
+  LogDevice* device = nullptr;
+  /// False = checkpoint-only mode: no WAL records are written, so recovery
+  /// falls back to the last checkpoint and loses everything after it. Exists
+  /// to demonstrate (in tests) that the WAL is load-bearing.
+  bool wal = true;
+  /// Update commits between periodic checkpoints; 0 = only the initial
+  /// checkpoint written at Start().
+  uint64_t checkpoint_every = 16;
+};
+
+/// Everything a checkpoint captures and recovery restores.
+struct HardState {
+  /// Per-source durable state, keyed by source name.
+  struct SourceState {
+    uint64_t last_update_seq = 0;  ///< dedup high-water mark
+    Time last_reflected_send = 0;  ///< reflect-vector entry
+    bool quarantined = false;
+  };
+
+  std::map<std::string, Relation> repos;  ///< node -> repository contents
+  std::vector<UpdateMessage> queue;       ///< update queue, front first
+  std::map<std::string, SourceState> sources;
+  uint64_t next_txn_id = 1;
+
+  /// Deterministic serialization (byte-identical for equal states).
+  std::string Encode() const;
+  static Result<HardState> Decode(const std::string& bytes);
+};
+
+/// The payload of one committed update transaction's WAL record.
+struct CommitPayload {
+  uint64_t txn_id = 0;
+  uint64_t consumed = 0;  ///< messages this transaction flushed
+  /// Narrowed per-node deltas exactly as applied to the repositories.
+  std::map<std::string, Delta> node_deltas;
+  /// Per-source send-time advances (reflect candidates).
+  std::map<std::string, Time> reflect;
+};
+
+/// What Recover() reconstructed, plus counters for stats/trace.
+struct RecoveredState {
+  HardState state;
+  uint64_t checkpoint_lsn = 0;      ///< LSN of the checkpoint restored
+  uint64_t records_replayed = 0;    ///< WAL records after the checkpoint
+  uint64_t txns_replayed = 0;       ///< commits re-applied
+  uint64_t txns_rolled_back = 0;    ///< begins without commit/abort
+  uint64_t msgs_requeued = 0;       ///< messages returned by rollbacks
+};
+
+/// \brief Writes the mediator's WAL and checkpoints; replays them on demand.
+///
+/// The manager is pure logging/recovery logic: it never touches live
+/// mediator components. The mediator calls Log* at the corresponding points
+/// of its update path and rebuilds itself from Recover()'s result.
+class DurabilityManager {
+ public:
+  /// Default = disabled (no device).
+  DurabilityManager() = default;
+  explicit DurabilityManager(DurabilityOptions opts) : opts_(opts) {}
+
+  bool enabled() const { return opts_.device != nullptr; }
+  bool wal_enabled() const { return enabled() && opts_.wal; }
+  const DurabilityOptions& options() const { return opts_; }
+
+  // ---- logging (no-ops when the WAL is disabled) ----
+  Status LogEnqueue(const UpdateMessage& msg);
+  Status LogTxnBegin(uint64_t txn_id, uint64_t consumed);
+  Status LogTxnCommit(const CommitPayload& payload);
+  Status LogTxnAbort(uint64_t txn_id, bool requeued);
+
+  /// Writes a checkpoint record and truncates everything before it.
+  /// Enabled-mode only (checkpoints are written even when the WAL is off).
+  Status WriteCheckpoint(const HardState& state);
+
+  /// True iff \p commits_since_checkpoint has reached the policy period.
+  bool CheckpointDue(uint64_t commits_since_checkpoint) const {
+    return enabled() && opts_.checkpoint_every > 0 &&
+           commits_since_checkpoint >= opts_.checkpoint_every;
+  }
+
+  /// Rebuilds hard state from the device: newest checkpoint + log suffix.
+  Result<RecoveredState> Recover() const;
+
+  // ---- observability ----
+  uint64_t records_logged() const { return records_logged_; }
+  uint64_t checkpoints_written() const { return checkpoints_written_; }
+  uint64_t bytes_logged() const { return bytes_logged_; }
+
+ private:
+  Status Append(std::string record);
+
+  DurabilityOptions opts_;
+  uint64_t records_logged_ = 0;
+  uint64_t checkpoints_written_ = 0;
+  uint64_t bytes_logged_ = 0;
+};
+
+}  // namespace squirrel
+
+#endif  // SQUIRREL_MEDIATOR_DURABILITY_DURABILITY_H_

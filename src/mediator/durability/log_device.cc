@@ -1,0 +1,132 @@
+#include "mediator/durability/log_device.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "mediator/durability/serialize.h"
+
+namespace squirrel {
+
+// ---- MemLogDevice ---------------------------------------------------------
+
+Result<uint64_t> MemLogDevice::Append(std::string bytes) {
+  uint64_t lsn = next_lsn_++;
+  size_bytes_ += bytes.size();
+  records_.push_back({lsn, std::move(bytes)});
+  if (append_hook_) append_hook_(lsn);
+  return lsn;
+}
+
+Status MemLogDevice::TruncatePrefix(uint64_t new_begin) {
+  size_t keep_from = 0;
+  while (keep_from < records_.size() && records_[keep_from].lsn < new_begin) {
+    size_bytes_ -= records_[keep_from].bytes.size();
+    ++keep_from;
+  }
+  records_.erase(records_.begin(),
+                 records_.begin() + static_cast<ptrdiff_t>(keep_from));
+  return Status::OK();
+}
+
+Result<std::vector<LogRecord>> MemLogDevice::ReadAll() const {
+  return records_;
+}
+
+// ---- FileLogDevice --------------------------------------------------------
+
+Result<std::unique_ptr<FileLogDevice>> FileLogDevice::Open(
+    const std::string& path) {
+  auto dev = std::unique_ptr<FileLogDevice>(new FileLogDevice(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return dev;  // fresh log
+  std::string contents;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) contents.append(buf, n);
+  std::fclose(f);
+  BinaryReader r(contents);
+  while (!r.AtEnd()) {
+    // A record that fails to frame is a torn tail from a crash mid-write:
+    // stop there; everything before it was confirmed durable.
+    auto lsn = r.GetU64();
+    if (!lsn.ok()) break;
+    auto bytes = r.GetString();
+    if (!bytes.ok()) break;
+    dev->size_bytes_ += bytes.value().size();
+    dev->next_lsn_ = lsn.value() + 1;
+    dev->records_.push_back({lsn.value(), std::move(bytes).value()});
+  }
+  if (!r.AtEnd()) {
+    // Discard the torn bytes on disk too — otherwise the next Append would
+    // land after them and be unreadable to a future Open.
+    SQ_RETURN_IF_ERROR(dev->Rewrite(dev->records_));
+  }
+  return dev;
+}
+
+Result<uint64_t> FileLogDevice::Append(std::string bytes) {
+  std::FILE* f = std::fopen(path_.c_str(), "ab");
+  if (f == nullptr) {
+    return Status::Internal("cannot open log file for append: " + path_);
+  }
+  uint64_t lsn = next_lsn_;
+  BinaryWriter w;
+  w.PutU64(lsn);
+  w.PutString(bytes);
+  size_t written = std::fwrite(w.bytes().data(), 1, w.bytes().size(), f);
+  std::fflush(f);
+  std::fclose(f);
+  if (written != w.bytes().size()) {
+    return Status::Internal("short write to log file: " + path_);
+  }
+  ++next_lsn_;
+  size_bytes_ += bytes.size();
+  records_.push_back({lsn, std::move(bytes)});
+  return lsn;
+}
+
+Status FileLogDevice::TruncatePrefix(uint64_t new_begin) {
+  std::vector<LogRecord> keep;
+  uint64_t kept_bytes = 0;
+  for (auto& rec : records_) {
+    if (rec.lsn >= new_begin) {
+      kept_bytes += rec.bytes.size();
+      keep.push_back(std::move(rec));
+    }
+  }
+  SQ_RETURN_IF_ERROR(Rewrite(keep));
+  records_ = std::move(keep);
+  size_bytes_ = kept_bytes;
+  return Status::OK();
+}
+
+Status FileLogDevice::Rewrite(const std::vector<LogRecord>& records) {
+  // Write-then-rename so a crash during truncation leaves a parseable log.
+  std::string tmp = path_ + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open log file for rewrite: " + tmp);
+  }
+  for (const auto& rec : records) {
+    BinaryWriter w;
+    w.PutU64(rec.lsn);
+    w.PutString(rec.bytes);
+    if (std::fwrite(w.bytes().data(), 1, w.bytes().size(), f) !=
+        w.bytes().size()) {
+      std::fclose(f);
+      return Status::Internal("short write rewriting log file: " + tmp);
+    }
+  }
+  std::fflush(f);
+  std::fclose(f);
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    return Status::Internal("cannot install rewritten log file: " + path_);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<LogRecord>> FileLogDevice::ReadAll() const {
+  return records_;
+}
+
+}  // namespace squirrel

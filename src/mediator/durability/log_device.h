@@ -1,0 +1,112 @@
+// Pluggable durable storage for the mediator's write-ahead log.
+//
+// A LogDevice is an ordered sequence of opaque records addressed by a
+// monotonically increasing log sequence number (LSN). Append is atomic and
+// durable: once Append returns OK the record survives any mediator crash.
+// Checkpoints are ordinary records; TruncatePrefix drops records folded into
+// a checkpoint so the log stays bounded.
+//
+// Two implementations:
+//  - MemLogDevice: in-process, for the deterministic crash–restart simulator
+//    (a mediator "crash" wipes the Mediator object's volatile state but the
+//    device, like a disk, survives). Its append hook lets the crash-point
+//    sweep kill the mediator right after any chosen record lands.
+//  - FileLogDevice: length-prefixed records in a single file, for the
+//    examples; demonstrates recovery across real process restarts.
+
+#ifndef SQUIRREL_MEDIATOR_DURABILITY_LOG_DEVICE_H_
+#define SQUIRREL_MEDIATOR_DURABILITY_LOG_DEVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace squirrel {
+
+/// One surviving log record and its position.
+struct LogRecord {
+  uint64_t lsn = 0;
+  std::string bytes;
+};
+
+/// \brief Durable, ordered record storage (the mediator's "disk").
+class LogDevice {
+ public:
+  virtual ~LogDevice() = default;
+
+  /// Durably appends a record; returns its LSN. Records are immutable.
+  virtual Result<uint64_t> Append(std::string bytes) = 0;
+
+  /// Drops every record with lsn < \p new_begin (checkpoint truncation).
+  virtual Status TruncatePrefix(uint64_t new_begin) = 0;
+
+  /// All surviving records in LSN order.
+  virtual Result<std::vector<LogRecord>> ReadAll() const = 0;
+
+  /// LSN the next Append will receive (= records ever appended).
+  virtual uint64_t NextLsn() const = 0;
+
+  /// Bytes currently held (post-truncation). Observability only.
+  virtual uint64_t SizeBytes() const = 0;
+};
+
+/// \brief In-memory device for the simulator.
+class MemLogDevice : public LogDevice {
+ public:
+  Result<uint64_t> Append(std::string bytes) override;
+  Status TruncatePrefix(uint64_t new_begin) override;
+  Result<std::vector<LogRecord>> ReadAll() const override;
+  uint64_t NextLsn() const override { return next_lsn_; }
+  uint64_t SizeBytes() const override { return size_bytes_; }
+
+  /// Invoked after each successful Append with the new record's LSN. The
+  /// crash-point sweep uses this to schedule a mediator crash immediately
+  /// after a chosen WAL position.
+  void SetAppendHook(std::function<void(uint64_t lsn)> hook) {
+    append_hook_ = std::move(hook);
+  }
+
+ private:
+  std::vector<LogRecord> records_;
+  uint64_t next_lsn_ = 0;
+  uint64_t size_bytes_ = 0;
+  std::function<void(uint64_t)> append_hook_;
+};
+
+/// \brief Single-file device: [u64 lsn][u32 len][bytes]* per record.
+///
+/// Append writes and flushes one framed record; TruncatePrefix rewrites the
+/// file (logs stay small between checkpoints, so the rewrite is cheap). A
+/// torn final record — a crash mid-write — is detected by the framing and
+/// dropped, which is safe because the mediator only acts on state whose
+/// record Append confirmed.
+class FileLogDevice : public LogDevice {
+ public:
+  /// Opens or creates \p path, scanning existing records to restore LSNs.
+  static Result<std::unique_ptr<FileLogDevice>> Open(const std::string& path);
+
+  Result<uint64_t> Append(std::string bytes) override;
+  Status TruncatePrefix(uint64_t new_begin) override;
+  Result<std::vector<LogRecord>> ReadAll() const override;
+  uint64_t NextLsn() const override { return next_lsn_; }
+  uint64_t SizeBytes() const override { return size_bytes_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  explicit FileLogDevice(std::string path) : path_(std::move(path)) {}
+  Status Rewrite(const std::vector<LogRecord>& records);
+
+  std::string path_;
+  std::vector<LogRecord> records_;  // cache of the file contents
+  uint64_t next_lsn_ = 0;
+  uint64_t size_bytes_ = 0;
+};
+
+}  // namespace squirrel
+
+#endif  // SQUIRREL_MEDIATOR_DURABILITY_LOG_DEVICE_H_

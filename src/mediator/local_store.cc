@@ -61,10 +61,14 @@ Status LocalStore::ApplyNodeDelta(const std::string& node,
   }
   const auto repo_attrs = it->second.schema().AttributeNames();
   if (full_delta.schema().AttributeNames() == repo_attrs) {
-    return ApplyDelta(&it->second, full_delta);
+    SQ_RETURN_IF_ERROR(ApplyDelta(&it->second, full_delta));
+    if (apply_listener_) apply_listener_(node, full_delta);
+    return Status::OK();
   }
   SQ_ASSIGN_OR_RETURN(Delta narrowed, DeltaProject(full_delta, repo_attrs));
-  return ApplyDelta(&it->second, narrowed);
+  SQ_RETURN_IF_ERROR(ApplyDelta(&it->second, narrowed));
+  if (apply_listener_) apply_listener_(node, narrowed);
+  return Status::OK();
 }
 
 std::vector<std::string> LocalStore::MaterializedNodes() const {

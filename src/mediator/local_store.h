@@ -6,6 +6,7 @@
 #ifndef SQUIRREL_MEDIATOR_LOCAL_STORE_H_
 #define SQUIRREL_MEDIATOR_LOCAL_STORE_H_
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -43,6 +44,19 @@ class LocalStore {
   /// For set nodes the delta must already be a presence delta.
   Status ApplyNodeDelta(const std::string& node, const Delta& full_delta);
 
+  /// Observer invoked by ApplyNodeDelta after a successful apply with the
+  /// NARROWED delta (the exact change the repository absorbed). The write-
+  /// ahead log records these to make update commits replayable; replaying
+  /// the narrowed delta against the pre-state reproduces the repository
+  /// byte for byte.
+  using ApplyListener =
+      std::function<void(const std::string& node, const Delta& narrowed)>;
+
+  /// Installs (or clears, with nullptr) the apply listener.
+  void SetApplyListener(ApplyListener listener) {
+    apply_listener_ = std::move(listener);
+  }
+
   /// Names of nodes with repositories, in VDP topological order.
   std::vector<std::string> MaterializedNodes() const;
 
@@ -59,6 +73,7 @@ class LocalStore {
   const Vdp* vdp_;
   const Annotation* ann_;
   std::map<std::string, Relation> repos_;
+  ApplyListener apply_listener_;
 };
 
 }  // namespace squirrel

@@ -67,6 +67,7 @@ Result<std::unique_ptr<Mediator>> Mediator::Create(
                                               med->store_.get(),
                                               med->vap_.get());
   med->trace_ = std::make_unique<Trace>(names);
+  med->durability_ = DurabilityManager(options.durability);
   return med;
 }
 
@@ -90,11 +91,12 @@ Status Mediator::Start() {
         scheduler_, rt->setup.comm_delay);
     if (FaultInjector* f = rt->setup.faults; f != nullptr) {
       std::string name = rt->setup.db->name();
-      rt->inbound->SetFaultHook([f, name](Time now) {
-        return f->OnSend(now, FaultInjector::Dir::kToMediator, name);
+      rt->inbound->SetFaultHook([f, name](Time now, Time base_delay) {
+        return f->OnSend(now, base_delay, FaultInjector::Dir::kToMediator,
+                         name);
       });
-      rt->outbound->SetFaultHook([f, name](Time now) {
-        return f->OnSend(now, FaultInjector::Dir::kToSource, name);
+      rt->outbound->SetFaultHook([f, name](Time now, Time base_delay) {
+        return f->OnSend(now, base_delay, FaultInjector::Dir::kToSource, name);
       });
     }
     if (MustAnnounce(rt->kind)) {
@@ -166,19 +168,54 @@ Status Mediator::Start() {
     trace_->Add(std::move(entry));
   }
 
+  // The WAL's commit records carry the narrowed per-node deltas exactly as
+  // the repositories absorbed them; the store's apply listener is how they
+  // are captured while an update transaction commits.
+  store_->SetApplyListener(
+      [this](const std::string& node, const Delta& narrowed) {
+        if (!capturing_deltas_) return;
+        auto [it, inserted] = txn_delta_capture_.try_emplace(node, narrowed);
+        if (!inserted) {
+          Status s = it->second.SmashInPlace(narrowed);
+          if (!s.ok()) {
+            SQ_LOG(kError) << "WAL delta capture failed: " << s.ToString();
+          }
+        }
+      });
+
+  // The initial checkpoint makes the freshly loaded view durable; without
+  // it a crash before the first periodic checkpoint could not recover.
+  if (durability_.enabled()) {
+    SQ_RETURN_IF_ERROR(durability_.WriteCheckpoint(BuildHardState()));
+  }
+
   // Periodic update policy (the u_hold knob).
   if (options_.update_period > 0) {
-    scheduler_->After(options_.update_period, [this]() { PeriodicTick(); });
+    AfterGuarded(options_.update_period, [this]() { PeriodicTick(); });
   }
   return Status::OK();
 }
 
 void Mediator::PeriodicTick() {
   if (!queue_.Empty()) ScheduleUpdateTxn();
-  scheduler_->After(options_.update_period, [this]() { PeriodicTick(); });
+  AfterGuarded(options_.update_period, [this]() { PeriodicTick(); });
+}
+
+void Mediator::AfterGuarded(Time delay, std::function<void()> fn) {
+  // A crash bumps epoch_, so every timer armed by the dead incarnation
+  // becomes a no-op — a real crash loses its timers with its memory.
+  scheduler_->After(delay, [this, e = epoch_, fn = std::move(fn)]() {
+    if (epoch_ == e && !crashed_) fn();
+  });
 }
 
 void Mediator::OnSourceMessage(SourceToMediatorMsg msg) {
+  if (crashed_) {
+    // Safety net: planned fault windows retransmit around the downtime (see
+    // FaultInjector::OnSend), so this only triggers for unplanned crashes.
+    ++stats_.msgs_dropped_at_crash;
+    return;
+  }
   ++stats_.messages_received;
   if (std::holds_alternative<UpdateMessage>(msg)) {
     UpdateMessage upd = std::get<UpdateMessage>(std::move(msg));
@@ -192,6 +229,12 @@ void Mediator::OnSourceMessage(SourceToMediatorMsg msg) {
         return;
       }
       if (upd.seq != 0) rt->last_update_seq = upd.seq;
+    }
+    // WAL: an announcement is "received" only once its enqueue record is
+    // durable; recovery re-queues it and restores the dedup high-water mark.
+    if (durability_.wal_enabled()) {
+      Status ds = durability_.LogEnqueue(upd);
+      if (!ds.ok()) SQ_LOG(kError) << "WAL enqueue failed: " << ds.ToString();
     }
     queue_.Enqueue(std::move(upd));
     if (options_.update_period <= 0) ScheduleUpdateTxn();
@@ -253,7 +296,7 @@ void Mediator::FinishTxn() {
   poll_wait_.reset();
   // Run the next queued transaction, if any, as a fresh event.
   if (!pending_txns_.empty()) {
-    scheduler_->After(0, [this]() { StartNextTxn(); });
+    AfterGuarded(0, [this]() { StartNextTxn(); });
   }
 }
 
@@ -299,7 +342,7 @@ void Mediator::ArmPollTimeout() {
     deadline *= options_.poll_backoff;
   }
   uint64_t gen = poll_wait_->generation;
-  scheduler_->After(deadline, [this, gen]() { OnPollTimeout(gen); });
+  AfterGuarded(deadline, [this, gen]() { OnPollTimeout(gen); });
 }
 
 void Mediator::OnPollTimeout(uint64_t generation) {
@@ -480,6 +523,21 @@ void Mediator::RunUpdateTxn() {
     FinishTxn();
     return;
   }
+  // WAL: begin record. Recovery treats a begin without a matching commit or
+  // abort as a crash mid-transaction and leaves its messages at the queue
+  // front (the Requeue ordering) — volatile effects simply never happened.
+  const uint64_t txn_id = next_txn_id_++;
+  if (durability_.wal_enabled()) {
+    Status ds = durability_.LogTxnBegin(txn_id, msgs.size());
+    if (!ds.ok()) SQ_LOG(kError) << "WAL begin failed: " << ds.ToString();
+  }
+  // Messages that fail assembly below are dropped, not re-queued; the abort
+  // record's `requeued` flag tells recovery which of the two happened.
+  auto log_abort = [this, txn_id](bool requeued) {
+    if (!durability_.wal_enabled()) return;
+    Status ds = durability_.LogTxnAbort(txn_id, requeued);
+    if (!ds.ok()) SQ_LOG(kError) << "WAL abort failed: " << ds.ToString();
+  };
   // Assemble (a) the per-leaf deltas for the kernel, (b) the per-source
   // in-flight batch for Eager Compensation, and (c) the reflect candidates.
   auto leaf_deltas = std::make_shared<std::map<std::string, Delta>>();
@@ -512,11 +570,13 @@ void Mediator::RunUpdateTxn() {
   }
   if (!st.ok()) {
     SQ_LOG(kError) << "update transaction failed: " << st.ToString();
+    log_abort(/*requeued=*/false);
     FinishTxn();
     return;
   }
 
-  auto commit = [this, leaf_deltas, inflight, reflect_candidates]() {
+  auto commit = [this, txn_id, log_abort, msgs_shared, leaf_deltas, inflight,
+                 reflect_candidates]() {
     Vap::PollFn poll = ReadyPollFn();
     Vap::CompensationFn comp = MakeCompensation(inflight.get());
     auto run = [&]() -> Result<IupStats> {
@@ -533,9 +593,13 @@ void Mediator::RunUpdateTxn() {
       stats.temps_built = temps.Count();
       return stats;
     };
+    txn_delta_capture_.clear();
+    capturing_deltas_ = true;
     Result<IupStats> stats = run();
+    capturing_deltas_ = false;
     if (!stats.ok()) {
       SQ_LOG(kError) << "IUP failed: " << stats.status().ToString();
+      log_abort(/*requeued=*/false);
       FinishTxn();
       return;
     }
@@ -548,13 +612,28 @@ void Mediator::RunUpdateTxn() {
         rt->last_reflected_send = std::max(rt->last_reflected_send, send_time);
       }
     }
+    // WAL: commit record. Only now are the transaction's effects — the
+    // narrowed node deltas just applied and the reflect advances — durable;
+    // a crash any earlier rolls the whole transaction back at recovery.
+    if (durability_.wal_enabled()) {
+      CommitPayload payload;
+      payload.txn_id = txn_id;
+      payload.consumed = msgs_shared->size();
+      payload.node_deltas = std::move(txn_delta_capture_);
+      payload.reflect = *reflect_candidates;
+      Status ds = durability_.LogTxnCommit(payload);
+      if (!ds.ok()) SQ_LOG(kError) << "WAL commit failed: " << ds.ToString();
+    }
+    txn_delta_capture_.clear();
     stats_.polled_tuples += stats->polled_tuples;
     auto finalize = [this, s = *stats]() {
       RecordUpdateCommit(s, s.polls);
+      ++commits_since_checkpoint_;
+      MaybeCheckpoint();
       FinishTxn();
     };
     if (options_.u_proc_delay > 0) {
-      scheduler_->After(options_.u_proc_delay, finalize);
+      AfterGuarded(options_.u_proc_delay, finalize);
     } else {
       finalize();
     }
@@ -564,6 +643,7 @@ void Mediator::RunUpdateTxn() {
   auto requests = iup_->PrepareTempRequests(*leaf_deltas);
   if (!requests.ok()) {
     SQ_LOG(kError) << requests.status().ToString();
+    log_abort(/*requeued=*/false);
     FinishTxn();
     return;
   }
@@ -576,6 +656,7 @@ void Mediator::RunUpdateTxn() {
   auto plan = vap_->Plan(*requests);
   if (!plan.ok()) {
     SQ_LOG(kError) << plan.status().ToString();
+    log_abort(/*requeued=*/false);
     FinishTxn();
     return;
   }
@@ -588,15 +669,16 @@ void Mediator::RunUpdateTxn() {
   // the queue front — nothing has been applied yet, so the view still
   // reflects the state before this batch — and retry once the quarantined
   // source has had time to recover.
-  auto abort = [this, msgs_shared](const Status& st) {
+  auto abort = [this, msgs_shared, log_abort](const Status& st) {
     ++stats_.update_txn_aborts;
     if (options_.record_trace) {
       trace_->Note(scheduler_->Now(),
                    "update txn aborted: " + st.ToString());
     }
+    log_abort(/*requeued=*/true);
     queue_.Requeue(std::move(*msgs_shared));
     FinishTxn();
-    scheduler_->After(options_.txn_retry_delay, [this]() {
+    AfterGuarded(options_.txn_retry_delay, [this]() {
       if (!queue_.Empty()) ScheduleUpdateTxn();
     });
   };
@@ -605,6 +687,11 @@ void Mediator::RunUpdateTxn() {
 
 void Mediator::SubmitQuery(const ViewQuery& q,
                            std::function<void(Result<ViewAnswer>)> callback) {
+  if (crashed_) {
+    ++stats_.failed_queries;
+    callback(Status::Unavailable("mediator is down"));
+    return;
+  }
   EnqueueTxn([this, q, cb = std::move(callback)]() mutable {
     RunQueryTxn(std::move(q), std::move(cb));
   });
@@ -645,7 +732,7 @@ void Mediator::RunQueryTxn(ViewQuery q,
       FinishTxn();
     };
     if (options_.q_proc_delay > 0) {
-      scheduler_->After(options_.q_proc_delay, complete);
+      AfterGuarded(options_.q_proc_delay, complete);
     } else {
       complete();
     }
@@ -740,5 +827,122 @@ MediatorDelays Mediator::Delays() const {
 }
 
 TimeVector Mediator::CurrentReflect() const { return UpdateReflect(); }
+
+HardState Mediator::BuildHardState() const {
+  HardState hs;
+  for (const auto& node : store_->MaterializedNodes()) {
+    hs.repos.emplace(node, **store_->Repo(node));
+  }
+  hs.queue = queue_.Snapshot();
+  for (const auto& rt : sources_) {
+    HardState::SourceState ss;
+    ss.last_update_seq = rt->last_update_seq;
+    ss.last_reflected_send = rt->last_reflected_send;
+    ss.quarantined = rt->quarantined;
+    hs.sources.emplace(rt->setup.db->name(), ss);
+  }
+  hs.next_txn_id = next_txn_id_;
+  return hs;
+}
+
+void Mediator::MaybeCheckpoint() {
+  if (!durability_.CheckpointDue(commits_since_checkpoint_)) return;
+  Status st = durability_.WriteCheckpoint(BuildHardState());
+  if (!st.ok()) {
+    SQ_LOG(kError) << "checkpoint failed: " << st.ToString();
+    return;
+  }
+  commits_since_checkpoint_ = 0;
+  if (options_.record_trace) {
+    trace_->Note(scheduler_->Now(), "checkpoint written");
+  }
+}
+
+void Mediator::Crash() {
+  if (!started_ || crashed_) return;
+  crashed_ = true;
+  ++epoch_;  // every timer of this incarnation is now a no-op
+  ++stats_.mediator_crashes;
+  busy_ = false;
+  update_txn_scheduled_ = false;
+  capturing_deltas_ = false;
+  txn_delta_capture_.clear();
+  pending_txns_.clear();
+  poll_wait_.reset();
+  queue_.Restore({});
+  for (auto& rt : sources_) {
+    rt->last_update_seq = 0;
+    rt->last_reflected_send = 0;
+    rt->quarantined = false;
+  }
+  // The repositories are volatile memory; wipe them in place (the VAP/IUP/QP
+  // hold pointers to the store, so the store object itself must survive).
+  for (const auto& node : store_->MaterializedNodes()) {
+    const Relation& cur = **store_->Repo(node);
+    Status st = store_->SetRepo(node, Relation(cur.schema(), cur.semantics()));
+    if (!st.ok()) SQ_LOG(kError) << "crash wipe failed: " << st.ToString();
+  }
+  // The trace and stats model EXTERNAL observability (a monitoring system),
+  // not process memory, so they deliberately survive the crash.
+  if (options_.record_trace) {
+    trace_->Note(scheduler_->Now(), "mediator crash");
+  }
+}
+
+Status Mediator::Recover() {
+  if (!started_) {
+    return Status::FailedPrecondition("mediator was never started");
+  }
+  if (!crashed_) {
+    return Status::FailedPrecondition("mediator is not crashed");
+  }
+  if (!durability_.enabled()) {
+    return Status::FailedPrecondition(
+        "durability disabled: the mediator's state is gone");
+  }
+  SQ_ASSIGN_OR_RETURN(RecoveredState rec, durability_.Recover());
+  for (auto& [node, rel] : rec.state.repos) {
+    SQ_RETURN_IF_ERROR(store_->SetRepo(node, std::move(rel)));
+  }
+  queue_.Restore(std::move(rec.state.queue));
+  for (auto& rt : sources_) {
+    auto it = rec.state.sources.find(rt->setup.db->name());
+    if (it == rec.state.sources.end()) continue;
+    rt->last_update_seq = it->second.last_update_seq;
+    rt->last_reflected_send = it->second.last_reflected_send;
+    rt->quarantined = it->second.quarantined;
+  }
+  next_txn_id_ = rec.state.next_txn_id;
+  crashed_ = false;
+  ++stats_.recoveries;
+  stats_.recovery_txns_replayed += rec.txns_replayed;
+  stats_.recovery_txns_rolled_back += rec.txns_rolled_back;
+  stats_.recovery_msgs_requeued += rec.msgs_requeued;
+  if (options_.record_trace) {
+    trace_->Note(scheduler_->Now(),
+                 "mediator recovered: replayed=" +
+                     std::to_string(rec.txns_replayed) + " rolled_back=" +
+                     std::to_string(rec.txns_rolled_back) + " requeued=" +
+                     std::to_string(rec.msgs_requeued));
+  }
+  // A post-recovery checkpoint bounds the next recovery's replay and
+  // truncates the log the dead incarnation left behind.
+  SQ_RETURN_IF_ERROR(durability_.WriteCheckpoint(BuildHardState()));
+  commits_since_checkpoint_ = 0;
+  // Re-arm the update policy in the new incarnation. Under the immediate
+  // policy the re-queued messages' triggers died with the old timers, so
+  // fire one explicitly.
+  if (options_.update_period > 0) {
+    AfterGuarded(options_.update_period, [this]() { PeriodicTick(); });
+  } else if (!queue_.Empty()) {
+    ScheduleUpdateTxn();
+  }
+  return Status::OK();
+}
+
+Status Mediator::CrashAndRecover() {
+  Crash();
+  return Recover();
+}
 
 }  // namespace squirrel

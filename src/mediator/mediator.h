@@ -20,6 +20,7 @@
 
 #include "common/status.h"
 #include "mediator/contributor.h"
+#include "mediator/durability/durability.h"
 #include "mediator/freshness.h"
 #include "mediator/iup.h"
 #include "mediator/local_store.h"
@@ -73,6 +74,10 @@ struct MediatorOptions {
   int poll_max_retries = 3;
   /// Delay before an aborted update transaction is retried.
   Time txn_retry_delay = 1.0;
+  /// Durability of the mediator's hard state (checkpoint + write-ahead
+  /// log). Default-constructed options have no log device and disable
+  /// durability entirely; see mediator/durability/durability.h.
+  DurabilityOptions durability;
 };
 
 /// Aggregate counters over a mediator's lifetime.
@@ -91,6 +96,13 @@ struct MediatorStats {
   uint64_t update_txn_aborts = 0;   ///< update txns re-queued after timeout
   uint64_t failed_queries = 0;      ///< queries failed over with kUnavailable
   uint64_t quarantines = 0;         ///< sources marked stale after retries
+  // ---- crash/recovery counters (zero unless Crash/Recover were used) ----
+  uint64_t mediator_crashes = 0;    ///< Crash() calls that took effect
+  uint64_t recoveries = 0;          ///< successful Recover() calls
+  uint64_t recovery_txns_rolled_back = 0;  ///< dangling txns undone at recovery
+  uint64_t recovery_msgs_requeued = 0;  ///< messages re-queued by rollbacks
+  uint64_t recovery_txns_replayed = 0;  ///< committed txns redone at recovery
+  uint64_t msgs_dropped_at_crash = 0;  ///< deliveries into a crashed mediator
 };
 
 /// \brief A generated Squirrel integration mediator.
@@ -107,9 +119,37 @@ class Mediator {
   Status Start();
 
   /// Submits a query; the callback fires at the query transaction's commit
-  /// (same event when no polling is needed). Transactions serialize.
+  /// (same event when no polling is needed). Transactions serialize. While
+  /// the mediator is crashed the callback fires immediately with
+  /// kUnavailable.
   void SubmitQuery(const ViewQuery& q,
                    std::function<void(Result<ViewAnswer>)> callback);
+
+  // ---- crash/recovery (paper has no story here; see DESIGN.md) ----
+
+  /// Kills the mediator in place: all volatile state — repositories, update
+  /// queue, per-source dedup/reflect state, in-flight transactions, pending
+  /// timers — is wiped, exactly as a process crash would. The trace and the
+  /// stats counters survive (they model external observability, not process
+  /// memory). No-op if not started or already crashed.
+  void Crash();
+
+  /// Restarts a crashed mediator from its durable state: loads the latest
+  /// checkpoint, replays committed transactions from the write-ahead log,
+  /// re-queues the messages of uncommitted ones (UpdateQueue::Requeue
+  /// ordering), restores dedup state so redelivered announcements are
+  /// suppressed, and re-arms the update policy. Fails if durability is
+  /// disabled (the state is simply gone).
+  Status Recover();
+
+  /// Crash() immediately followed by Recover(), as one atomic simulation
+  /// step — no deliveries can land in between. Used by the crash-point
+  /// sweep, where the crash instant is chosen by WAL position rather than
+  /// by a pre-planned fault window.
+  Status CrashAndRecover();
+
+  /// True between Crash() and a successful Recover().
+  bool crashed() const { return crashed_; }
 
   // ---- introspection ----
   const Vdp& vdp() const { return vdp_; }
@@ -140,6 +180,8 @@ class Mediator {
   /// Sources currently quarantined as stale (exceeded their poll retries
   /// without answering; cleared by the next message they deliver).
   std::vector<std::string> QuarantinedSources() const;
+  /// Durability manager (WAL/checkpoint counters; disabled() if no device).
+  const DurabilityManager& durability() const { return durability_; }
 
  private:
   struct SourceRuntime {
@@ -216,6 +258,16 @@ class Mediator {
   void RecordUpdateCommit(const IupStats& stats, uint64_t polls);
   SourceRuntime* FindSource(const std::string& name);
 
+  // ---- durability helpers ----
+  /// Schedules \p fn after \p delay, but only runs it if the mediator has
+  /// not crashed in between: a crash bumps epoch_, turning every timer of
+  /// the dead incarnation into a no-op (a real crash loses its timers).
+  void AfterGuarded(Time delay, std::function<void()> fn);
+  /// Snapshot of the hard state for a checkpoint record.
+  HardState BuildHardState() const;
+  /// Writes a checkpoint if the policy says one is due (called post-commit).
+  void MaybeCheckpoint();
+
   Vdp vdp_;
   Annotation ann_;
   MediatorOptions options_;
@@ -239,6 +291,22 @@ class Mediator {
   uint64_t next_poll_id_ = 1;
   uint64_t next_poll_generation_ = 1;
   Time view_init_time_ = 0;
+
+  // ---- durability state ----
+  DurabilityManager durability_;
+  bool crashed_ = false;
+  /// Incarnation counter; bumped by Crash() so stale timers become no-ops.
+  uint64_t epoch_ = 0;
+  /// Id of the next update transaction (logged in WAL begin records).
+  uint64_t next_txn_id_ = 1;
+  /// Update commits since the last checkpoint (drives the checkpoint policy).
+  uint64_t commits_since_checkpoint_ = 0;
+  /// While an update transaction commits, the store's apply listener
+  /// collects the exact narrowed per-node deltas here for the WAL commit
+  /// record; replaying them with plain ApplyDelta reproduces the store
+  /// byte-for-byte.
+  std::map<std::string, Delta> txn_delta_capture_;
+  bool capturing_deltas_ = false;
 };
 
 }  // namespace squirrel

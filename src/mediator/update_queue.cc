@@ -20,6 +20,15 @@ void UpdateQueue::Requeue(std::vector<UpdateMessage> msgs) {
                    std::make_move_iterator(msgs.end()));
 }
 
+std::vector<UpdateMessage> UpdateQueue::Snapshot() const {
+  return std::vector<UpdateMessage>(messages_.begin(), messages_.end());
+}
+
+void UpdateQueue::Restore(std::vector<UpdateMessage> msgs) {
+  messages_.assign(std::make_move_iterator(msgs.begin()),
+                   std::make_move_iterator(msgs.end()));
+}
+
 Result<MultiDelta> UpdateQueue::PendingFrom(const std::string& source) const {
   MultiDelta out;
   for (const auto& msg : messages_) {

@@ -41,6 +41,15 @@ class UpdateQueue {
   /// re-queueing at the front keeps every source's FIFO stream intact.
   void Requeue(std::vector<UpdateMessage> msgs);
 
+  /// Copy of all waiting messages in queue order (front first). Used by the
+  /// durability checkpointer; does not remove anything.
+  std::vector<UpdateMessage> Snapshot() const;
+
+  /// Replaces the queue contents with \p msgs (front first) without touching
+  /// the lifetime counters. Crash recovery rebuilds the queue with this;
+  /// Crash() wipes it with an empty vector.
+  void Restore(std::vector<UpdateMessage> msgs);
+
   /// Smash of the deltas of all *waiting* messages from \p source (arrival
   /// order). Used by Eager Compensation; does not remove anything.
   Result<MultiDelta> PendingFrom(const std::string& source) const;

@@ -16,7 +16,36 @@ Time FaultInjector::Jitter(Time now) {
   return rng_.UniformDouble() * plan_.delay_jitter_max;
 }
 
-std::vector<Time> FaultInjector::OnSend(Time now, Dir dir,
+bool FaultInjector::MediatorCrashed(Time t) const {
+  for (const auto& w : plan_.mediator_crashes) {
+    if (t >= w.start && t < w.end) return true;
+  }
+  return false;
+}
+
+Time FaultInjector::MediatorArqExtra(Time deliver_at) {
+  // Crash windows are planned up front, so the ARQ outcome is known at send
+  // time: the sender keeps retransmitting into the dead mediator and the
+  // message finally lands one retransmit timeout past the window's end.
+  // (Windows are disjoint in every plan we generate; a delivery pushed past
+  // one window is re-checked against the rest anyway.)
+  Time extra = 0;
+  bool pushed = true;
+  while (pushed) {
+    pushed = false;
+    for (const auto& w : plan_.mediator_crashes) {
+      Time at = deliver_at + extra;
+      if (at >= w.start && at < w.end) {
+        extra += (w.end - at) + plan_.retransmit_timeout;
+        pushed = true;
+      }
+    }
+  }
+  if (extra > 0) ++counters_.mediator_retransmits;
+  return extra;
+}
+
+std::vector<Time> FaultInjector::OnSend(Time now, Time base_delay, Dir dir,
                                         const std::string& source) {
   if (dir == Dir::kToSource && Crashed(source, now)) {
     ++counters_.blackholed;
@@ -33,6 +62,11 @@ std::vector<Time> FaultInjector::OnSend(Time now, Dir dir,
   if (Active(now) && rng_.Bernoulli(plan_.dup_prob)) {
     deliveries.push_back(extra + plan_.retransmit_timeout + Jitter(now));
     ++counters_.duplicates;
+  }
+  if (dir == Dir::kToMediator && !plan_.mediator_crashes.empty()) {
+    for (Time& d : deliveries) {
+      d += MediatorArqExtra(now + base_delay + d);
+    }
   }
   return deliveries;
 }

@@ -63,6 +63,14 @@ struct FaultPlan {
   Time active_until = std::numeric_limits<Time>::infinity();
   /// Crash/recover windows per source-database name.
   std::map<std::string, std::vector<CrashWindow>> crashes;
+  /// Crash/recover windows of the MEDIATOR. The simulation kills the
+  /// mediator at each start and runs recovery at each end (see
+  /// Mediator::Crash/Recover); the injector models the network side: a
+  /// source->mediator transmission that would land inside a window is
+  /// retransmitted by the sender ARQ until it lands after the window, so
+  /// announcements keep their at-least-once guarantee across mediator
+  /// downtime. Every injector of a simulation must share the same windows.
+  std::vector<CrashWindow> mediator_crashes;
 };
 
 /// \brief Draws per-message fault decisions from a FaultPlan.
@@ -81,19 +89,29 @@ class FaultInjector {
     uint64_t duplicates = 0;          ///< extra deliveries injected
     uint64_t blackholed = 0;          ///< messages to crashed sources
     uint64_t slow_polls = 0;          ///< poll responses served slowly
+    // ---- mediator crash/recovery ----
+    uint64_t mediator_retransmits = 0;  ///< deliveries ARQ-pushed past a
+                                        ///< crashed mediator's window
   };
 
   FaultInjector(FaultPlan plan, uint64_t seed)
       : plan_(std::move(plan)), rng_(seed * 0x9E3779B97F4A7C15ULL + 1) {}
 
   /// Decides the fate of one message sent at \p now on the link between the
-  /// mediator and \p source. Returns one extra-delay offset per delivery
-  /// (first = the real delivery, further entries = duplicates); empty means
-  /// the message is black-holed (only for kToSource during a crash).
-  std::vector<Time> OnSend(Time now, Dir dir, const std::string& source);
+  /// mediator and \p source, whose base one-way latency is \p base_delay.
+  /// Returns one extra-delay offset per delivery (first = the real delivery,
+  /// further entries = duplicates); empty means the message is black-holed
+  /// (only for kToSource during a crash). Deliveries toward the mediator
+  /// that would land inside a mediator crash window are pushed past its end
+  /// (sender-side ARQ keeps retransmitting into the dead mediator).
+  std::vector<Time> OnSend(Time now, Time base_delay, Dir dir,
+                           const std::string& source);
 
   /// True iff \p source is inside one of its crash windows at \p t.
   bool Crashed(const std::string& source, Time t) const;
+
+  /// True iff the mediator is inside one of its crash windows at \p t.
+  bool MediatorCrashed(Time t) const;
 
   /// Extra processing delay for a poll response decided at \p now.
   Time SlowPollExtra(Time now);
@@ -105,6 +123,9 @@ class FaultInjector {
   /// True iff randomized faults are still active at \p now.
   bool Active(Time now) const { return now < plan_.active_until; }
   Time Jitter(Time now);
+  /// Extra delay pushing a delivery at \p deliver_at past any mediator
+  /// crash window it lands in (0 if it lands in none).
+  Time MediatorArqExtra(Time deliver_at);
 
   FaultPlan plan_;
   Rng rng_;

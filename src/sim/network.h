@@ -42,8 +42,10 @@ class Channel {
  public:
   /// Per-send fault decision: one extra-delay offset per delivery of the
   /// message (first entry = the real delivery, further entries = duplicate
-  /// deliveries); an empty vector black-holes the message entirely.
-  using FaultHook = std::function<std::vector<Time>(Time now)>;
+  /// deliveries); an empty vector black-holes the message entirely. The
+  /// channel passes its base one-way latency so the hook can reason about
+  /// nominal delivery times (mediator-crash ARQ needs this).
+  using FaultHook = std::function<std::vector<Time>(Time now, Time base_delay)>;
 
   /// \param scheduler event loop driving deliveries (not owned)
   /// \param delay one-way latency applied to every message
@@ -67,7 +69,7 @@ class Channel {
   void Send(M message) {
     std::vector<Time> extras = {0.0};
     if (fault_) {
-      extras = fault_(scheduler_->Now());
+      extras = fault_(scheduler_->Now(), delay_);
       if (extras.empty()) {
         ++stats_.messages_dropped;
         return;

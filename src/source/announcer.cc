@@ -34,9 +34,13 @@ void Announcer::OnCommit(Time now, const MultiDelta& delta) {
 
 void Announcer::FlushNow() {
   if (pending_.Empty()) return;
-  if (faults_ != nullptr && faults_->Crashed(db_->name(), scheduler_->Now())) {
-    // Source is down: hold the batch and re-probe until the crash window
-    // ends. Smashing keeps later commits folded into the held net change.
+  if (faults_ != nullptr &&
+      (faults_->Crashed(db_->name(), scheduler_->Now()) ||
+       faults_->MediatorCrashed(scheduler_->Now()))) {
+    // Source or mediator is down: hold the batch and re-probe until the
+    // crash window ends. Smashing keeps later commits folded into the held
+    // net change; the restored dedup state at the mediator suppresses any
+    // copy the ARQ layer delivers twice around the window.
     if (!crash_probe_pending_) {
       crash_probe_pending_ = true;
       scheduler_->After(faults_->plan().crash_probe_period, [this]() {

@@ -33,7 +33,8 @@ TEST(FaultInjectorTest, SameSeedSamePlanSameDecisions) {
     Time now = 0.1 * i;
     auto dir = i % 2 == 0 ? FaultInjector::Dir::kToMediator
                           : FaultInjector::Dir::kToSource;
-    EXPECT_EQ(a.OnSend(now, dir, "DB1"), b.OnSend(now, dir, "DB1")) << i;
+    EXPECT_EQ(a.OnSend(now, 0.5, dir, "DB1"), b.OnSend(now, 0.5, dir, "DB1"))
+        << i;
   }
   EXPECT_EQ(a.counters().transmissions_lost, b.counters().transmissions_lost);
   EXPECT_EQ(a.counters().duplicates, b.counters().duplicates);
@@ -54,13 +55,14 @@ TEST(FaultInjectorTest, CrashWindowsAndActiveUntil) {
   EXPECT_FALSE(inj.Crashed("DB1", 20.0));
   EXPECT_FALSE(inj.Crashed("DB2", 15.0));
   // To-source messages during the crash are black-holed.
-  EXPECT_TRUE(inj.OnSend(15.0, FaultInjector::Dir::kToSource, "DB1").empty());
+  EXPECT_TRUE(
+      inj.OnSend(15.0, 0.5, FaultInjector::Dir::kToSource, "DB1").empty());
   // To-mediator messages survive: ARQ delivers after at most cap-1 timeouts.
-  auto d = inj.OnSend(15.0, FaultInjector::Dir::kToMediator, "DB1");
+  auto d = inj.OnSend(15.0, 0.5, FaultInjector::Dir::kToMediator, "DB1");
   ASSERT_EQ(d.size(), 1u);
   EXPECT_DOUBLE_EQ(d[0], 2.0);  // two lost transmissions, then delivered
   // After active_until the link is clean.
-  auto clean = inj.OnSend(150.0, FaultInjector::Dir::kToMediator, "DB1");
+  auto clean = inj.OnSend(150.0, 0.5, FaultInjector::Dir::kToMediator, "DB1");
   ASSERT_EQ(clean.size(), 1u);
   EXPECT_DOUBLE_EQ(clean[0], 0.0);
 }

@@ -136,7 +136,7 @@ TEST(ChannelTest, FaultHookDropAndDuplicateStats) {
   std::vector<int> got;
   ch.SetReceiver([&](int v) { got.push_back(v); });
   int call = 0;
-  ch.SetFaultHook([&call](Time) -> std::vector<Time> {
+  ch.SetFaultHook([&call](Time, Time) -> std::vector<Time> {
     ++call;
     if (call == 1) return {};          // black-hole the first send
     if (call == 2) return {0.0, 2.0};  // duplicate the second
@@ -165,7 +165,7 @@ TEST(ChannelTest, FifoPreservedUnderJitter) {
   std::vector<std::pair<Time, int>> got;
   ch.SetReceiver([&](int v) { got.push_back({s.Now(), v}); });
   int call = 0;
-  ch.SetFaultHook([&call](Time) -> std::vector<Time> {
+  ch.SetFaultHook([&call](Time, Time) -> std::vector<Time> {
     return ++call == 1 ? std::vector<Time>{4.0} : std::vector<Time>{0.0};
   });
   s.At(0.0, [&]() {

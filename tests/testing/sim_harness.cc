@@ -9,6 +9,7 @@
 
 #include "common/rng.h"
 #include "mediator/consistency.h"
+#include "mediator/durability/log_device.h"
 #include "relational/parser.h"
 #include "sim/fault.h"
 #include "sim/scheduler.h"
@@ -43,6 +44,11 @@ Status AddParsedRelation(SourceDb* db, const std::string& name,
 
 Result<FaultSimResult> RunFaultSim(uint64_t seed,
                                    const FaultSimOptions& opts) {
+  if ((opts.mediator_crashes > 0 || opts.crash_at_wal_record >= 0) &&
+      !opts.durability) {
+    return Status::InvalidArgument(
+        "mediator crashes require durability (nothing to recover from)");
+  }
   Rng rng(seed * 0x2545F4914F6CDD1DULL + 12345);
   FaultSimResult result;
   result.seed = seed;
@@ -118,9 +124,24 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
   }
   const Time t_end = t;
 
+  // ---- mediator crash windows, drawn once and shared across every source
+  // injector (the ARQ model needs all senders to agree on the downtime).
+  // Each window sits in its own slice of the horizon, so windows never
+  // overlap, and all close well before t_end so the drain phase quiesces ----
+  std::vector<CrashWindow> med_windows;
+  if (opts.mediator_crashes > 0) {
+    Time span = (t_end - 8.0) / opts.mediator_crashes;
+    for (int w = 0; w < opts.mediator_crashes && span > 1.0; ++w) {
+      Time lo = 5.0 + w * span;
+      Time start = lo + rng.UniformDouble() * span * 0.5;
+      Time end = start + 0.5 + rng.UniformDouble() * span * 0.4;
+      if (end < t_end - 2.0) med_windows.push_back({start, end});
+    }
+  }
+
   // ---- per-source fault plans; every randomized fault stops at t_end and
   // all crash windows close before it, so the drain phase quiesces ----
-  auto make_plan = [&rng, t_end](const std::string& name) {
+  auto make_plan = [&rng, t_end, &med_windows](const std::string& name) {
     FaultPlan p;
     p.delay_jitter_max = rng.UniformDouble() * 0.4;
     p.drop_prob = rng.UniformDouble() * 0.25;
@@ -139,6 +160,7 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
       if (end > start) p.crashes[name].push_back({start, end});
       cursor = end + 2.0;
     }
+    p.mediator_crashes = med_windows;
     return p;
   };
   std::vector<std::unique_ptr<FaultInjector>> injectors;
@@ -161,6 +183,12 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
   options.poll_backoff = 2.0;
   options.poll_max_retries = 3;
   options.txn_retry_delay = 0.5 + rng.UniformDouble();
+  MemLogDevice log_dev;
+  if (opts.durability) {
+    options.durability.device = &log_dev;
+    options.durability.wal = opts.wal;
+    options.durability.checkpoint_every = opts.checkpoint_every;
+  }
   std::vector<SourceSetup> setups;
   for (size_t i = 0; i < dbs.size(); ++i) {
     SourceSetup s;
@@ -185,8 +213,41 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
 
   SQ_ASSIGN_OR_RETURN(std::unique_ptr<Mediator> med,
                       Mediator::Create(vdp, ann, setups, &scheduler, options));
-  SQ_RETURN_IF_ERROR(med->Start());
   Mediator* mediator = med.get();
+
+  // Crash-point sweep: one-shot atomic crash+recover scheduled as a fresh
+  // event right after the chosen WAL record lands (the hook fires inside
+  // the appending event, so the kill must not run mid-event). Recovery
+  // itself appends a checkpoint; the one-shot flag keeps that from
+  // re-triggering. Armed before Start() because LSN 0 — the initial
+  // checkpoint — is appended during Start().
+  std::string recover_error;
+  bool crash_armed = opts.crash_at_wal_record >= 0;
+  if (crash_armed) {
+    uint64_t target = static_cast<uint64_t>(opts.crash_at_wal_record);
+    log_dev.SetAppendHook(
+        [&crash_armed, target, &scheduler, mediator,
+         &recover_error](uint64_t lsn) {
+          if (!crash_armed || lsn != target) return;
+          crash_armed = false;
+          scheduler.After(0, [mediator, &recover_error]() {
+            Status st = mediator->CrashAndRecover();
+            if (!st.ok() && recover_error.empty()) {
+              recover_error = st.ToString();
+            }
+          });
+        });
+  }
+  SQ_RETURN_IF_ERROR(med->Start());
+
+  // ---- mediator crash/restart schedule ----
+  for (const CrashWindow& w : med_windows) {
+    scheduler.At(w.start, [mediator]() { mediator->Crash(); });
+    scheduler.At(w.end, [mediator, &recover_error]() {
+      Status st = mediator->Recover();
+      if (!st.ok() && recover_error.empty()) recover_error = st.ToString();
+    });
+  }
 
   // ---- schedule the workload (all randomness drawn now, none at run time,
   // so the whole event sequence is a function of the seed) ----
@@ -290,6 +351,13 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
   // drain every retransmit lands, every aborted transaction retries
   // successfully, and the queue empties ----
   scheduler.RunUntil(t_end + opts.drain);
+  if (!recover_error.empty()) {
+    return Status::Internal(SeedTag(seed) +
+                            "mediator recovery failed: " + recover_error);
+  }
+  if (mediator->crashed()) {
+    return Status::Internal(SeedTag(seed) + "mediator still crashed at drain");
+  }
   if (mediator->busy() || mediator->QueueSize() != 0) {
     return Status::Internal(
         SeedTag(seed) + "no quiescence after drain: busy=" +
@@ -333,6 +401,7 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
                               " diverged from recomputation:\n  got  " + got +
                               "\n  want " + want);
     }
+    result.final_exports += exp + ": " + got + "\n";
     ++result.exports_checked;
   }
 
@@ -352,7 +421,15 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
     result.duplicates += inj->counters().duplicates;
     result.blackholed += inj->counters().blackholed;
     result.slow_polls += inj->counters().slow_polls;
+    result.mediator_retransmits += inj->counters().mediator_retransmits;
   }
+  result.mediator_crashes = result.stats.mediator_crashes;
+  result.recoveries = result.stats.recoveries;
+  result.recovery_txns_replayed = result.stats.recovery_txns_replayed;
+  result.recovery_txns_rolled_back = result.stats.recovery_txns_rolled_back;
+  result.recovery_msgs_requeued = result.stats.recovery_msgs_requeued;
+  result.wal_records = mediator->durability().records_logged();
+  result.checkpoints = mediator->durability().checkpoints_written();
   const MediatorStats& ms = result.stats;
   result.trace_dump =
       mediator->trace().ToString(/*include_data=*/true) +
@@ -369,7 +446,16 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
       "\nfaults: lost=" + std::to_string(result.transmissions_lost) +
       " dups=" + std::to_string(result.duplicates) +
       " blackholed=" + std::to_string(result.blackholed) +
-      " slow=" + std::to_string(result.slow_polls) + "\n";
+      " slow=" + std::to_string(result.slow_polls) +
+      "\ndurability: crashes=" + std::to_string(result.mediator_crashes) +
+      " recoveries=" + std::to_string(result.recoveries) +
+      " replayed=" + std::to_string(result.recovery_txns_replayed) +
+      " rolled_back=" + std::to_string(result.recovery_txns_rolled_back) +
+      " requeued=" + std::to_string(result.recovery_msgs_requeued) +
+      " wal_records=" + std::to_string(result.wal_records) +
+      " checkpoints=" + std::to_string(result.checkpoints) +
+      " med_retransmits=" + std::to_string(result.mediator_retransmits) +
+      "\n";
   return result;
 }
 

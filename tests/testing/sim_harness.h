@@ -28,6 +28,22 @@ namespace testing {
 struct FaultSimOptions {
   int steps = 30;      ///< workload events (commits + queries)
   Time drain = 300.0;  ///< quiescence horizon after the last event
+  // ---- mediator durability & crash/restart (PR: crash recovery) ----
+  /// Give the mediator an in-memory log device (checkpoints + WAL).
+  bool durability = false;
+  /// False = checkpoint-only mode (demonstrably lossy; tests use this to
+  /// prove the WAL is load-bearing).
+  bool wal = true;
+  /// Update commits between periodic checkpoints.
+  uint64_t checkpoint_every = 4;
+  /// Seeded mediator crash/recover windows inside the workload horizon:
+  /// the mediator is killed at each window's start and recovered at its
+  /// end. Requires durability. The windows are shared with every source's
+  /// fault injector so source->mediator traffic is ARQ-deferred past them.
+  int mediator_crashes = 0;
+  /// >= 0: one atomic Crash()+Recover() right after the WAL record with
+  /// this LSN is appended (the crash-point sweep). Requires durability.
+  int64_t crash_at_wal_record = -1;
 };
 
 /// What one seeded schedule produced (for assertions and reporting).
@@ -47,6 +63,18 @@ struct FaultSimResult {
   uint64_t duplicates = 0;
   uint64_t blackholed = 0;
   uint64_t slow_polls = 0;
+  uint64_t mediator_retransmits = 0;  ///< deliveries pushed past a dead mediator
+  // Durability / crash-recovery observability.
+  uint64_t mediator_crashes = 0;
+  uint64_t recoveries = 0;
+  uint64_t recovery_txns_replayed = 0;
+  uint64_t recovery_txns_rolled_back = 0;
+  uint64_t recovery_msgs_requeued = 0;
+  uint64_t wal_records = 0;  ///< records ever appended (= exclusive max LSN)
+  uint64_t checkpoints = 0;
+  /// Deterministic rendering of the final export relations; a crash-point
+  /// run must produce exactly the crash-free baseline's string.
+  std::string final_exports;
 };
 
 /// Runs one seeded fault schedule end to end. Returns an error naming the
