@@ -1,0 +1,298 @@
+// Experiment E13: incremental-index maintenance on the IUP hot path.
+//
+// Measures Iup::RunKernel throughput over a fully materialized
+// R' ⋈_{r2=s1} S' view while a stream of batched R updates flows through,
+// with the LocalStore's persistent join indexes enabled vs disabled. The
+// unindexed path re-hashes the sibling repository on every firing, so its
+// per-batch cost grows with |S'|; the indexed path probes the maintained
+// index per delta atom. Both runs process byte-identical batch sequences
+// and must end with byte-identical repositories (exports_match).
+//
+// Unlike the E1-E12 microbenchmarks this is a standalone driver: it emits
+// a JSON report (default BENCH_pr4.json) that bench/run_bench.sh commits as
+// the PR's baseline and that the SQUIRREL_BENCH_SMOKE ctest validates.
+//
+//   bench_e13_incremental_index [--smoke] [--out=PATH]
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "mediator/iup.h"
+#include "mediator/local_store.h"
+#include "mediator/vap.h"
+#include "relational/operators.h"
+#include "relational/parser.h"
+#include "vdp/annotation.h"
+#include "vdp/builder.h"
+
+namespace squirrel {
+namespace bench {
+namespace {
+
+struct RunStats {
+  double total_ms = 0;
+  double mean_batch_ms = 0;
+  double max_batch_ms = 0;
+  double atoms_per_sec = 0;
+  double batches_per_sec = 0;
+};
+
+struct ScaleReport {
+  int rows = 0;
+  int batches = 0;
+  RunStats unindexed;
+  RunStats indexed;
+  double speedup = 0;
+  bool exports_match = false;
+};
+
+Result<Vdp> BuildVdp() {
+  VdpBuilder b;
+  b.Leaf("R", "DB1", "R", "R(r1, r2) key(r1)");
+  b.Leaf("S", "DB2", "S", "S(s1, s2) key(s1)");
+  b.LeafParent("R'", "R", {"r1", "r2"}, "");
+  b.LeafParent("S'", "S", {"s1", "s2"}, "");
+  b.Spj("T", {{"R'", {"r1", "r2"}, ""}, {"S'", {"s1", "s2"}, ""}},
+        {"r2 = s1"}, {"r1", "s1", "s2"}, "", /*exported=*/true);
+  return b.Build();
+}
+
+/// Pre-generated workload: identical base data and batch sequence for the
+/// indexed and unindexed runs.
+struct Workload {
+  Relation r_base{SchemaOf("R(r1, r2)"), Semantics::kBag};
+  Relation s_base{SchemaOf("S(s1, s2)"), Semantics::kBag};
+  std::vector<Delta> batches;
+};
+
+Workload MakeWorkload(int rows, int batches, int batch_atoms, uint64_t seed) {
+  Rng rng(seed);
+  Workload w;
+  std::map<int64_t, int64_t> live;  // r1 -> r2 of live R rows
+  for (int i = 0; i < rows; ++i) {
+    int64_t s1 = i;
+    Check(w.s_base.Insert(Tuple({s1, rng.UniformInt(0, 999)})), "seed S");
+    int64_t r1 = i;
+    int64_t r2 = rng.UniformInt(0, rows - 1);
+    live[r1] = r2;
+    Check(w.r_base.Insert(Tuple({r1, r2})), "seed R");
+  }
+  int64_t next_key = rows;
+  Schema r_schema = SchemaOf("R(r1, r2)");
+  for (int b = 0; b < batches; ++b) {
+    Delta d(r_schema);
+    for (int a = 0; a < batch_atoms; ++a) {
+      if (!live.empty() && rng.Bernoulli(0.4)) {
+        auto it = live.begin();
+        std::advance(it, static_cast<long>(rng.Uniform(live.size())));
+        Check(d.Add(Tuple({it->first, it->second}), -1), "delete atom");
+        live.erase(it);
+      } else {
+        int64_t r1 = next_key++;
+        int64_t r2 = rng.UniformInt(0, rows - 1);
+        live[r1] = r2;
+        Check(d.Add(Tuple({r1, r2}), 1), "insert atom");
+      }
+    }
+    w.batches.push_back(std::move(d));
+  }
+  return w;
+}
+
+/// One mediator stack (store + VAP + IUP) seeded from the workload's base
+/// data; everything is materialized so RunKernel needs no temporaries.
+struct Stack {
+  const Vdp* vdp;
+  Annotation ann;  // empty = fully materialized
+  LocalStore store;
+  Vap vap;
+  Iup iup;
+
+  Stack(const Vdp* v, bool use_indexes)
+      : vdp(v),
+        store(v, &ann, use_indexes),
+        vap(v, &ann, &store),
+        iup(v, &ann, &store, &vap) {}
+
+  void Seed(const Workload& w) {
+    Check(store.SetRepo("R'", w.r_base), "seed R'");
+    Check(store.SetRepo("S'", w.s_base), "seed S'");
+    Relation joined = Unwrap(
+        OpJoin(w.r_base, w.s_base,
+               Unwrap(ParsePredicate("r2 = s1"), "join cond")),
+        "seed join");
+    Relation t = Unwrap(OpProject(joined, {"r1", "s1", "s2"}), "seed T");
+    Check(store.SetRepo("T", std::move(t)), "seed T repo");
+  }
+
+  RunStats Drive(const Workload& w, int batch_atoms) {
+    RunStats stats;
+    for (const Delta& batch : w.batches) {
+      std::map<std::string, Delta> leaf_deltas;
+      leaf_deltas.emplace("R", batch);
+      TempStore temps;  // fully materialized: nothing to populate
+      auto start = std::chrono::steady_clock::now();
+      Unwrap(iup.RunKernel(leaf_deltas, &temps), "kernel");
+      auto end = std::chrono::steady_clock::now();
+      double ms = std::chrono::duration<double, std::milli>(end - start)
+                      .count();
+      stats.total_ms += ms;
+      if (ms > stats.max_batch_ms) stats.max_batch_ms = ms;
+    }
+    const double n = static_cast<double>(w.batches.size());
+    stats.mean_batch_ms = stats.total_ms / n;
+    stats.batches_per_sec = n / (stats.total_ms / 1000.0);
+    stats.atoms_per_sec = n * batch_atoms / (stats.total_ms / 1000.0);
+    return stats;
+  }
+};
+
+ScaleReport RunScale(const Vdp& vdp, int rows, int batches, int batch_atoms,
+                     uint64_t seed) {
+  ScaleReport report;
+  report.rows = rows;
+  report.batches = batches;
+  Workload w = MakeWorkload(rows, batches, batch_atoms, seed);
+
+  Stack plain(&vdp, /*use_indexes=*/false);
+  plain.Seed(w);
+  report.unindexed = plain.Drive(w, batch_atoms);
+
+  Stack indexed(&vdp, /*use_indexes=*/true);
+  indexed.Seed(w);
+  report.indexed = indexed.Drive(w, batch_atoms);
+
+  report.speedup = report.unindexed.total_ms / report.indexed.total_ms;
+  report.exports_match = true;
+  for (const char* node : {"R'", "S'", "T"}) {
+    const Relation* a = Unwrap(plain.store.Repo(node), "repo");
+    const Relation* b = Unwrap(indexed.store.Repo(node), "repo");
+    if (!a->EqualContents(*b)) report.exports_match = false;
+  }
+  return report;
+}
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+std::string RunJson(const RunStats& s) {
+  return "{\"total_ms\": " + Num(s.total_ms) +
+         ", \"mean_batch_ms\": " + Num(s.mean_batch_ms) +
+         ", \"max_batch_ms\": " + Num(s.max_batch_ms) +
+         ", \"atoms_per_sec\": " + Num(s.atoms_per_sec) +
+         ", \"batches_per_sec\": " + Num(s.batches_per_sec) + "}";
+}
+
+std::string ReportJson(const std::vector<ScaleReport>& scales, bool smoke,
+                       int batch_atoms) {
+  std::ostringstream out;
+  out << "{\n  \"bench\": \"e13_incremental_index\",\n"
+      << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
+      << "  \"batch_atoms\": " << batch_atoms << ",\n  \"scales\": [\n";
+  for (size_t i = 0; i < scales.size(); ++i) {
+    const ScaleReport& r = scales[i];
+    out << "    {\"rows\": " << r.rows << ", \"batches\": " << r.batches
+        << ",\n     \"unindexed\": " << RunJson(r.unindexed)
+        << ",\n     \"indexed\": " << RunJson(r.indexed)
+        << ",\n     \"speedup\": " << Num(r.speedup)
+        << ", \"exports_match\": " << (r.exports_match ? "true" : "false")
+        << "}" << (i + 1 < scales.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+/// Schema check for the emitted report; the SQUIRREL_BENCH_SMOKE ctest runs
+/// this binary and relies on a non-zero exit when the report is malformed
+/// or the indexed/unindexed runs diverged.
+bool Validate(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "FAIL: cannot reopen %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  for (const char* key :
+       {"\"bench\": \"e13_incremental_index\"", "\"scales\"",
+        "\"unindexed\"", "\"indexed\"", "\"atoms_per_sec\"",
+        "\"mean_batch_ms\"", "\"max_batch_ms\"", "\"speedup\"",
+        "\"exports_match\""}) {
+    if (json.find(key) == std::string::npos) {
+      std::fprintf(stderr, "FAIL: report missing %s\n", key);
+      return false;
+    }
+  }
+  if (json.find("\"exports_match\": false") != std::string::npos) {
+    std::fprintf(stderr,
+                 "FAIL: indexed and unindexed runs diverged "
+                 "(exports_match false)\n");
+    return false;
+  }
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_pr4.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  Vdp vdp = Unwrap(BuildVdp(), "vdp");
+  const int batch_atoms = smoke ? 32 : 64;
+  struct ScaleSpec {
+    int rows;
+    int batches;
+  };
+  std::vector<ScaleSpec> specs =
+      smoke ? std::vector<ScaleSpec>{{500, 20}}
+            : std::vector<ScaleSpec>{{1000, 200}, {10000, 120}, {100000, 40}};
+
+  std::vector<ScaleReport> scales;
+  for (const auto& spec : specs) {
+    ScaleReport r = RunScale(vdp, spec.rows, spec.batches, batch_atoms,
+                             /*seed=*/13);
+    std::fprintf(stderr,
+                 "rows=%d batches=%d unindexed=%.1fms indexed=%.1fms "
+                 "speedup=%.2fx match=%s\n",
+                 r.rows, r.batches, r.unindexed.total_ms, r.indexed.total_ms,
+                 r.speedup, r.exports_match ? "yes" : "NO");
+    scales.push_back(r);
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << ReportJson(scales, smoke, batch_atoms);
+  out.close();
+  return Validate(out_path) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace squirrel
+
+int main(int argc, char** argv) { return squirrel::bench::Main(argc, argv); }

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Builds the E13 incremental-index benchmark in Release mode and writes the
+# committed baseline report BENCH_pr4.json at the repository root.
+#
+#   bench/run_bench.sh [output-path]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+out_path="${1:-$repo_root/BENCH_pr4.json}"
+build_dir="$repo_root/build-bench"
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$build_dir" --target bench_e13_incremental_index -j >/dev/null
+
+"$build_dir/bench/bench_e13_incremental_index" --out="$out_path"
+echo "wrote $out_path"

@@ -1,5 +1,7 @@
 #include "delta/delta_algebra.h"
 
+#include <algorithm>
+
 namespace squirrel {
 
 Result<Delta> DeltaSelect(const Delta& delta, const Expr::Ptr& cond) {
@@ -125,6 +127,131 @@ Result<Delta> DeltaJoinRelation(const Delta& delta, const Relation& rel,
 Result<Delta> RelationJoinDelta(const Relation& rel, const Delta& delta,
                                 const Expr::Ptr& cond) {
   return JoinDeltaWithRelation(delta, rel, cond, /*delta_left=*/false);
+}
+
+std::vector<std::string> EquiProbeAttrs(
+    const Expr::Ptr& cond, const std::vector<std::string>& probe_side,
+    const std::vector<std::string>& indexed_side) {
+  auto has = [](const std::vector<std::string>& v, const std::string& n) {
+    return std::find(v.begin(), v.end(), n) != v.end();
+  };
+  std::vector<std::string> out;
+  Expr::Ptr c = cond ? cond : Expr::True();
+  for (const auto& clause : ConjunctiveClauses(c)) {
+    if (clause->kind() != Expr::Kind::kBinary ||
+        clause->bin_op() != BinOp::kEq ||
+        clause->left()->kind() != Expr::Kind::kAttr ||
+        clause->right()->kind() != Expr::Kind::kAttr) {
+      continue;
+    }
+    const std::string& a = clause->left()->attr_name();
+    const std::string& b = clause->right()->attr_name();
+    const std::string* indexed = nullptr;
+    if (has(probe_side, a) && has(indexed_side, b)) {
+      indexed = &b;
+    } else if (has(probe_side, b) && has(indexed_side, a)) {
+      indexed = &a;
+    }
+    if (indexed != nullptr && !has(out, *indexed)) out.push_back(*indexed);
+  }
+  return out;
+}
+
+Result<Delta> JoinDeltaWithIndexedTerm(
+    const Delta& delta, const Relation& repo, const HashIndex& index,
+    const Expr::Ptr& term_select, const std::vector<std::string>& term_project,
+    const Expr::Ptr& join_cond, bool delta_left) {
+  if (index.relation_attrs() != repo.schema().AttributeNames()) {
+    return Status::FailedPrecondition(
+        "index was not built on this repository");
+  }
+  SQ_ASSIGN_OR_RETURN(Schema term_schema, repo.schema().Project(term_project));
+  const Schema& ls = delta_left ? delta.schema() : term_schema;
+  const Schema& rs = delta_left ? term_schema : delta.schema();
+  SQ_ASSIGN_OR_RETURN(Schema out_schema, ls.Concat(rs));
+  Expr::Ptr c = join_cond ? join_cond : Expr::True();
+  SQ_ASSIGN_OR_RETURN(BoundExpr bound, BoundExpr::Bind(c, out_schema));
+  bool trivial = c->IsTrueLiteral();
+
+  JoinConditionParts parts = SplitJoinCondition(c, ls, rs);
+  if (parts.equi.empty()) {
+    return Status::FailedPrecondition("join has no equi conjunct to probe");
+  }
+  auto indexed_has = [&](const std::string& n) {
+    return std::find(index.attrs().begin(), index.attrs().end(), n) !=
+           index.attrs().end();
+  };
+  // The index attr set must equal the term-side equi attr set: probe keys
+  // fix every indexed attribute, and every equi conjunct must be enforced
+  // by the probe (the residual filter only sees non-equi clauses).
+  std::vector<size_t> probe_pos;
+  probe_pos.reserve(index.attrs().size());
+  for (const auto& indexed_attr : index.attrs()) {
+    const std::string* delta_attr = nullptr;
+    for (const auto& p : parts.equi) {
+      const std::string& term_a = delta_left ? p.right_attr : p.left_attr;
+      const std::string& delta_a = delta_left ? p.left_attr : p.right_attr;
+      if (term_a == indexed_attr) {
+        delta_attr = &delta_a;
+        break;
+      }
+    }
+    if (delta_attr == nullptr) {
+      return Status::FailedPrecondition(
+          "indexed attribute not among the join's equi conjuncts: " +
+          indexed_attr);
+    }
+    probe_pos.push_back(*delta.schema().IndexOf(*delta_attr));
+  }
+  for (const auto& p : parts.equi) {
+    const std::string& term_a = delta_left ? p.right_attr : p.left_attr;
+    if (!indexed_has(term_a)) {
+      return Status::FailedPrecondition(
+          "equi attribute not covered by the index: " + term_a);
+    }
+  }
+
+  Expr::Ptr sel = term_select ? term_select : Expr::True();
+  bool has_select = !sel->IsTrueLiteral();
+  BoundExpr bound_select;
+  if (has_select) {
+    SQ_ASSIGN_OR_RETURN(bound_select, BoundExpr::Bind(sel, repo.schema()));
+  }
+  std::vector<size_t> term_pos;
+  term_pos.reserve(term_project.size());
+  for (const auto& a : term_project) {
+    term_pos.push_back(*repo.schema().IndexOf(a));
+  }
+
+  Delta out(std::move(out_schema));
+  Status st = Status::OK();
+  delta.ForEach([&](const Tuple& dt, int64_t dc) {
+    if (!st.ok()) return;
+    for (const auto& [rt, rc] : index.Probe(dt.Project(probe_pos))) {
+      if (has_select) {
+        auto keep = bound_select.EvalBool(rt);
+        if (!keep.ok()) {
+          st = keep.status();
+          return;
+        }
+        if (!*keep) continue;
+      }
+      Tuple joined = delta_left ? dt.Concat(rt.Project(term_pos))
+                                : rt.Project(term_pos).Concat(dt);
+      if (!trivial) {
+        auto keep = bound.EvalBool(joined);
+        if (!keep.ok()) {
+          st = keep.status();
+          return;
+        }
+        if (!*keep) continue;
+      }
+      st = out.Add(std::move(joined), dc * rc);
+      if (!st.ok()) return;
+    }
+  });
+  if (!st.ok()) return st;
+  return out;
 }
 
 Result<Delta> FilterDeltaToLeafParent(const Delta& source_delta,

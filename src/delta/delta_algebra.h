@@ -14,6 +14,7 @@
 #include "common/status.h"
 #include "delta/delta.h"
 #include "relational/expr.h"
+#include "relational/index.h"
 #include "relational/relation.h"
 
 namespace squirrel {
@@ -34,6 +35,28 @@ Result<Delta> DeltaJoinRelation(const Delta& delta, const Relation& rel,
 /// R ⋈_cond Δ, result schema = relation schema ++ delta schema.
 Result<Delta> RelationJoinDelta(const Relation& rel, const Delta& delta,
                                 const Expr::Ptr& cond);
+
+/// The attribute names on the \p indexed_side of every equi-join conjunct
+/// of \p cond linking \p probe_side to \p indexed_side. Mirrors
+/// SplitJoinCondition's equi detection but works on attribute-name lists, so
+/// the index advisor can run it without materialized schemas. Deduplicated,
+/// in order of first appearance; empty when no such conjunct exists.
+std::vector<std::string> EquiProbeAttrs(
+    const Expr::Ptr& cond, const std::vector<std::string>& probe_side,
+    const std::vector<std::string>& indexed_side);
+
+/// Δ ⋈_cond (π_project σ_select(repo)) — resp. the mirror-image join when
+/// \p delta_left is false — probing a persistent \p index on \p repo instead
+/// of materializing the term relation and hashing it per call. The index
+/// must have been built on \p repo and its attribute set must equal the
+/// term-side equi attributes of \p cond (FailedPrecondition otherwise;
+/// callers fall back to the unindexed path). Result schema is
+/// delta ++ term (or term ++ delta) exactly as DeltaJoinRelation /
+/// RelationJoinDelta would produce over the materialized term.
+Result<Delta> JoinDeltaWithIndexedTerm(
+    const Delta& delta, const Relation& repo, const HashIndex& index,
+    const Expr::Ptr& term_select, const std::vector<std::string>& term_project,
+    const Expr::Ptr& join_cond, bool delta_left);
 
 /// "Filters" a source-relation delta so it applies to a leaf-parent node
 /// defined as π_attrs σ_cond(source relation) (§6.2): select then project.

@@ -16,6 +16,10 @@ enum RecordTag : uint8_t {
   kTxnCommit = 3,
   kTxnAbort = 4,
   kCheckpoint = 5,
+  // An enqueue the live queue merged into its tail message (delta
+  // coalescing); replay smashes into the rebuilt queue's tail instead of
+  // appending.
+  kEnqueueCoalesced = 6,
 };
 
 // Checkpoint format version, bumped on incompatible layout changes.
@@ -91,10 +95,11 @@ Status DurabilityManager::Append(std::string record) {
   return opts_.device->Append(std::move(record)).status();
 }
 
-Status DurabilityManager::LogEnqueue(const UpdateMessage& msg) {
+Status DurabilityManager::LogEnqueue(const UpdateMessage& msg,
+                                     bool coalesced) {
   if (!wal_enabled()) return Status::OK();
   BinaryWriter w;
-  w.PutU8(kEnqueue);
+  w.PutU8(coalesced ? kEnqueueCoalesced : kEnqueue);
   EncodeUpdateMessage(&w, msg);
   return Append(w.Take());
 }
@@ -211,6 +216,28 @@ Result<RecoveredState> DurabilityManager::Recover() const {
           src.last_update_seq = msg.seq;
         }
         queue.push_back(std::move(msg));
+        break;
+      }
+      case kEnqueueCoalesced: {
+        SQ_ASSIGN_OR_RETURN(UpdateMessage msg, DecodeUpdateMessage(&r));
+        auto& src = out.state.sources[msg.source];
+        if (msg.seq != 0 && msg.seq > src.last_update_seq) {
+          src.last_update_seq = msg.seq;
+        }
+        // The live queue merged this message into its tail; the replay
+        // queue's tail is the same message (consumed-but-uncommitted
+        // messages sit at the FRONT, and a coalesce is only recorded when
+        // the live queue was non-empty), so mirror the merge here.
+        if (queue.empty() || queue.back().source != msg.source) {
+          return Status::Internal(
+              "WAL replay: coalesced enqueue without a matching tail");
+        }
+        UpdateMessage& tail = queue.back();
+        // Mirrors UpdateQueue::Enqueue's merge exactly (same inputs, same
+        // smash) so recovered state matches the survivor's byte for byte.
+        (void)tail.delta.SmashInPlace(msg.delta);
+        tail.seq = msg.seq;
+        tail.send_time = msg.send_time;
         break;
       }
       case kTxnBegin: {

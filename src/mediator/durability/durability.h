@@ -119,7 +119,11 @@ class DurabilityManager {
   const DurabilityOptions& options() const { return opts_; }
 
   // ---- logging (no-ops when the WAL is disabled) ----
-  Status LogEnqueue(const UpdateMessage& msg);
+  /// Logs an enqueue. \p coalesced records that the live queue merged this
+  /// message into its tail (same source, within the batch window) so that
+  /// replay mirrors the merge instead of appending; the flag must reflect
+  /// UpdateQueue::WouldCoalesce evaluated BEFORE the actual enqueue.
+  Status LogEnqueue(const UpdateMessage& msg, bool coalesced = false);
   Status LogTxnBegin(uint64_t txn_id, uint64_t consumed);
   Status LogTxnCommit(const CommitPayload& payload);
   Status LogTxnAbort(uint64_t txn_id, bool requeued);

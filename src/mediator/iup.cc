@@ -97,7 +97,17 @@ Result<std::vector<TempRequest>> Iup::PrepareTempRequests(
       }
     }
   }
-  return requests;
+  // Dedup: a child read by several affected parents (or several terms with
+  // the same select) produces identical requests; dropping them here keeps
+  // Vap::Plan from OR-merging a condition with itself and re-expanding the
+  // same subtree per duplicate.
+  std::set<std::string> seen;
+  std::vector<TempRequest> deduped;
+  deduped.reserve(requests.size());
+  for (auto& req : requests) {
+    if (seen.insert(req.ToString()).second) deduped.push_back(std::move(req));
+  }
+  return deduped;
 }
 
 Result<IupStats> Iup::RunKernel(
@@ -122,6 +132,25 @@ Result<IupStats> Iup::RunKernel(
         " covering [" + Join(attrs, ",") + "]");
   };
 
+  // Serve the store's persistent indexes to the rule-firing machinery. Only
+  // repository-backed state may be probed through an index (temps have no
+  // persistent indexes), and FireSpj itself refuses indexed access to
+  // new-state self-join occurrences, where the repository is stale.
+  IndexProbeFn probes;
+  if (store_->indexes_enabled()) {
+    probes = [this](const std::string& node,
+                    const std::vector<std::string>& attrs) -> IndexedState {
+      IndexedState out;
+      const HashIndex* index = store_->indexes().Find(node, attrs);
+      if (index == nullptr) return out;
+      auto repo = store_->Repo(node);
+      if (!repo.ok()) return out;
+      out.repo = *repo;
+      out.index = index;
+      return out;
+    };
+  }
+
   // Pending deltas (the ΔR repositories of §6.4).
   std::map<std::string, Delta> pending;
 
@@ -136,7 +165,7 @@ Result<IupStats> Iup::RunKernel(
     for (const auto& parent_name : vdp_->Parents(leaf)) {
       SQ_ASSIGN_OR_RETURN(const VdpNode* parent, vdp_->Get(parent_name));
       SQ_ASSIGN_OR_RETURN(Delta contribution,
-                          FireEdgeRules(*parent, leaf, delta, states));
+                          FireEdgeRules(*parent, leaf, delta, states, probes));
       ++stats.rules_fired;
       stats.atoms_propagated += contribution.AtomCount();
       auto [it, inserted] =
@@ -158,7 +187,7 @@ Result<IupStats> Iup::RunKernel(
     for (const auto& parent_name : vdp_->Parents(name)) {
       const VdpNode* parent = vdp_->Find(parent_name);
       SQ_ASSIGN_OR_RETURN(Delta contribution,
-                          FireEdgeRules(*parent, name, delta, states));
+                          FireEdgeRules(*parent, name, delta, states, probes));
       ++stats.rules_fired;
       stats.atoms_propagated += contribution.AtomCount();
       auto [it, inserted] =

@@ -13,6 +13,7 @@
 
 #include "common/status.h"
 #include "delta/delta.h"
+#include "relational/index.h"
 #include "relational/relation.h"
 #include "vdp/annotation.h"
 #include "vdp/vdp.h"
@@ -24,7 +25,12 @@ class LocalStore {
  public:
   /// Creates empty repositories per \p vdp and \p ann (neither owned; both
   /// must outlive the store). Leaves and fully virtual nodes get none.
-  LocalStore(const Vdp* vdp, const Annotation* ann);
+  /// When \p enable_indexes is set, an index-advisor pass over the VDP's
+  /// terms registers the equi-join attribute sets that rule firing and VAP
+  /// key-based construction probe, and every registered index is kept in
+  /// lock-step with its repository from then on.
+  LocalStore(const Vdp* vdp, const Annotation* ann,
+             bool enable_indexes = true);
 
   /// True iff \p node has a repository (>= 1 materialized attribute).
   bool HasRepo(const std::string& node) const;
@@ -32,8 +38,12 @@ class LocalStore {
   /// The repository of \p node; NotFound for virtual nodes/leaves.
   Result<const Relation*> Repo(const std::string& node) const;
 
-  /// Mutable repository access (initial load).
+  /// Mutable repository access (initial load). Direct mutation bypasses
+  /// index maintenance; callers must RebuildIndexes(node) afterwards.
   Result<Relation*> MutableRepo(const std::string& node);
+
+  /// Rebuilds every registered index on \p node from its repository.
+  Status RebuildIndexes(const std::string& node);
 
   /// Replaces the repository contents of \p node. The relation's attribute
   /// names must equal the node's materialized attributes.
@@ -69,10 +79,17 @@ class LocalStore {
   /// The annotation this store serves.
   const Annotation& annotation() const { return *ann_; }
 
+  /// Whether persistent indexes are maintained.
+  bool indexes_enabled() const { return indexes_enabled_; }
+  /// The persistent index registry (empty when indexes are disabled).
+  const IndexManager& indexes() const { return indexes_; }
+
  private:
   const Vdp* vdp_;
   const Annotation* ann_;
+  bool indexes_enabled_;
   std::map<std::string, Relation> repos_;
+  IndexManager indexes_;
   ApplyListener apply_listener_;
 };
 

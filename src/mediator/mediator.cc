@@ -58,7 +58,9 @@ Result<std::unique_ptr<Mediator>> Mediator::Create(
     }
   }
 
-  med->store_ = std::make_unique<LocalStore>(&med->vdp_, &med->ann_);
+  med->store_ = std::make_unique<LocalStore>(&med->vdp_, &med->ann_,
+                                             options.use_indexes);
+  med->queue_.SetCoalesceWindow(options.coalesce_window);
   med->vap_ = std::make_unique<Vap>(&med->vdp_, &med->ann_,
                                     med->store_.get(), options.strategy);
   med->iup_ = std::make_unique<Iup>(&med->vdp_, &med->ann_,
@@ -232,9 +234,13 @@ void Mediator::OnSourceMessage(SourceToMediatorMsg msg) {
     }
     // WAL: an announcement is "received" only once its enqueue record is
     // durable; recovery re-queues it and restores the dedup high-water mark.
+    // The coalesce decision is taken BEFORE the record is written so replay
+    // can mirror the live queue's tail-merge exactly.
     if (durability_.wal_enabled()) {
-      Status ds = durability_.LogEnqueue(upd);
-      if (!ds.ok()) SQ_LOG(kError) << "WAL enqueue failed: " << ds.ToString();
+      Status ds = durability_.LogEnqueue(upd, queue_.WouldCoalesce(upd));
+      if (!ds.ok()) {
+        SQ_LOG(kError) << "WAL enqueue failed: " << ds.ToString();
+      }
     }
     queue_.Enqueue(std::move(upd));
     if (options_.update_period <= 0) ScheduleUpdateTxn();
@@ -529,14 +535,18 @@ void Mediator::RunUpdateTxn() {
   const uint64_t txn_id = next_txn_id_++;
   if (durability_.wal_enabled()) {
     Status ds = durability_.LogTxnBegin(txn_id, msgs.size());
-    if (!ds.ok()) SQ_LOG(kError) << "WAL begin failed: " << ds.ToString();
+    if (!ds.ok()) {
+      SQ_LOG(kError) << "WAL begin failed: " << ds.ToString();
+    }
   }
   // Messages that fail assembly below are dropped, not re-queued; the abort
   // record's `requeued` flag tells recovery which of the two happened.
   auto log_abort = [this, txn_id](bool requeued) {
     if (!durability_.wal_enabled()) return;
     Status ds = durability_.LogTxnAbort(txn_id, requeued);
-    if (!ds.ok()) SQ_LOG(kError) << "WAL abort failed: " << ds.ToString();
+    if (!ds.ok()) {
+      SQ_LOG(kError) << "WAL abort failed: " << ds.ToString();
+    }
   };
   // Assemble (a) the per-leaf deltas for the kernel, (b) the per-source
   // in-flight batch for Eager Compensation, and (c) the reflect candidates.
@@ -622,7 +632,9 @@ void Mediator::RunUpdateTxn() {
       payload.node_deltas = std::move(txn_delta_capture_);
       payload.reflect = *reflect_candidates;
       Status ds = durability_.LogTxnCommit(payload);
-      if (!ds.ok()) SQ_LOG(kError) << "WAL commit failed: " << ds.ToString();
+      if (!ds.ok()) {
+        SQ_LOG(kError) << "WAL commit failed: " << ds.ToString();
+      }
     }
     txn_delta_capture_.clear();
     stats_.polled_tuples += stats->polled_tuples;
@@ -699,13 +711,16 @@ void Mediator::SubmitQuery(const ViewQuery& q,
 
 void Mediator::RunQueryTxn(ViewQuery q,
                            std::function<void(Result<ViewAnswer>)> cb) {
-  auto normalized = qp_->Normalize(q);
-  if (!normalized.ok()) {
-    cb(normalized.status());
+  // Normalize + coverage analysis once; every later step reuses the
+  // prepared form instead of re-deriving it.
+  auto prepared = qp_->Prepare(q);
+  if (!prepared.ok()) {
+    cb(prepared.status());
     FinishTxn();
     return;
   }
-  ViewQuery nq = std::move(normalized).value();
+  PreparedQuery pq = std::move(prepared).value();
+  ViewQuery nq = pq.query;  // trace/callback view of the query
 
   auto finish_with = [this, nq, cb](const QueryProcessor::LocalAnswer& local,
                                     const std::vector<std::string>& polled) {
@@ -738,7 +753,7 @@ void Mediator::RunQueryTxn(ViewQuery q,
     }
   };
 
-  auto plan = qp_->PlanFor(nq);
+  auto plan = qp_->PlanFor(pq);
   if (!plan.ok()) {
     cb(plan.status());
     FinishTxn();
@@ -746,7 +761,7 @@ void Mediator::RunQueryTxn(ViewQuery q,
   }
   if (!plan->has_value()) {
     // Materialized data suffices.
-    auto local = qp_->Answer(nq, nullptr, nullptr);
+    auto local = qp_->Answer(pq, nullptr, nullptr);
     if (!local.ok()) {
       cb(local.status());
       FinishTxn();
@@ -757,7 +772,7 @@ void Mediator::RunQueryTxn(ViewQuery q,
   }
 
   VapPlan vap_plan = std::move(**plan);
-  auto execute = [this, nq, vap_plan, finish_with, cb]() {
+  auto execute = [this, pq, vap_plan, finish_with, cb]() {
     Vap::PollFn poll = ReadyPollFn();
     Vap::CompensationFn comp = MakeCompensation(nullptr);
     auto temps = vap_->Execute(vap_plan, poll, comp);
@@ -766,7 +781,7 @@ void Mediator::RunQueryTxn(ViewQuery q,
       FinishTxn();
       return;
     }
-    auto local = qp_->AnswerWithTemps(nq, *temps);
+    auto local = qp_->AnswerWithTemps(pq, *temps);
     if (!local.ok()) {
       cb(local.status());
       FinishTxn();
@@ -880,7 +895,9 @@ void Mediator::Crash() {
   for (const auto& node : store_->MaterializedNodes()) {
     const Relation& cur = **store_->Repo(node);
     Status st = store_->SetRepo(node, Relation(cur.schema(), cur.semantics()));
-    if (!st.ok()) SQ_LOG(kError) << "crash wipe failed: " << st.ToString();
+    if (!st.ok()) {
+      SQ_LOG(kError) << "crash wipe failed: " << st.ToString();
+    }
   }
   // The trace and stats model EXTERNAL observability (a monitoring system),
   // not process memory, so they deliberately survive the crash.

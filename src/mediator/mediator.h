@@ -78,6 +78,14 @@ struct MediatorOptions {
   /// log). Default-constructed options have no log device and disable
   /// durability entirely; see mediator/durability/durability.h.
   DurabilityOptions durability;
+  /// Maintain persistent equi-join indexes on the repositories (advised once
+  /// from the VDP at build time, updated incrementally at delta-apply time).
+  /// Off = every join rebuilds its hash table, the pre-index behavior.
+  bool use_indexes = true;
+  /// Update-queue delta batching: consecutive announcements from the same
+  /// source whose send times are within this window are merged into one
+  /// queue entry (see UpdateQueue::Enqueue). 0 disables coalescing.
+  Time coalesce_window = 0.0;
 };
 
 /// Aggregate counters over a mediator's lifetime.
@@ -182,6 +190,10 @@ class Mediator {
   std::vector<std::string> QuarantinedSources() const;
   /// Durability manager (WAL/checkpoint counters; disabled() if no device).
   const DurabilityManager& durability() const { return durability_; }
+  /// Messages merged into a queue tail by delta coalescing (0 when the
+  /// coalesce window is disabled). Not part of MediatorStats: the trace
+  /// renderer's output must stay byte-comparable across batching configs.
+  uint64_t CoalescedMessages() const { return queue_.TotalCoalesced(); }
 
  private:
   struct SourceRuntime {

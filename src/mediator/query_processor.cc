@@ -49,36 +49,41 @@ Result<ViewQuery> QueryProcessor::Normalize(const ViewQuery& q) const {
   return out;
 }
 
+Result<PreparedQuery> QueryProcessor::Prepare(const ViewQuery& raw) const {
+  PreparedQuery out;
+  SQ_ASSIGN_OR_RETURN(out.query, Normalize(raw));
+  SQ_ASSIGN_OR_RETURN(const VdpNode* node, vdp_->Get(out.query.relation));
+  out.needed = NeededAttrs(node->schema, out.query);
+  return out;
+}
+
 Result<std::optional<VapPlan>> QueryProcessor::PlanFor(
-    const ViewQuery& q) const {
-  SQ_ASSIGN_OR_RETURN(const VdpNode* node, vdp_->Get(q.relation));
-  auto needed = NeededAttrs(node->schema, q);
-  if (vap_->RepoCovers(q.relation, needed)) {
+    const PreparedQuery& q) const {
+  if (vap_->RepoCovers(q.query.relation, q.needed)) {
     return std::optional<VapPlan>();
   }
   TempRequest req;
-  req.node = q.relation;
-  req.attrs = needed;
-  req.cond = q.cond;
+  req.node = q.query.relation;
+  req.attrs = q.needed;
+  req.cond = q.query.cond;
   SQ_ASSIGN_OR_RETURN(VapPlan plan, vap_->Plan({req}));
   return std::optional<VapPlan>(std::move(plan));
 }
 
 Result<QueryProcessor::LocalAnswer> QueryProcessor::AnswerFromRepo(
-    const ViewQuery& q) const {
-  SQ_ASSIGN_OR_RETURN(const Relation* repo, store_->Repo(q.relation));
-  SQ_ASSIGN_OR_RETURN(Relation selected, OpSelect(*repo, q.cond));
+    const PreparedQuery& q) const {
+  SQ_ASSIGN_OR_RETURN(const Relation* repo, store_->Repo(q.query.relation));
+  SQ_ASSIGN_OR_RETURN(Relation selected, OpSelect(*repo, q.query.cond));
   SQ_ASSIGN_OR_RETURN(Relation projected,
-                      OpProject(selected, q.attrs, Semantics::kBag));
+                      OpProject(selected, q.query.attrs, Semantics::kBag));
   LocalAnswer out;
   out.data = projected.ToSet();
   return out;
 }
 
 Result<QueryProcessor::LocalAnswer> QueryProcessor::Answer(
-    const ViewQuery& raw, const Vap::PollFn& poll,
+    const PreparedQuery& q, const Vap::PollFn& poll,
     const Vap::CompensationFn& comp) const {
-  SQ_ASSIGN_OR_RETURN(ViewQuery q, Normalize(raw));
   SQ_ASSIGN_OR_RETURN(std::optional<VapPlan> plan, PlanFor(q));
   if (!plan.has_value()) return AnswerFromRepo(q);
   SQ_ASSIGN_OR_RETURN(TempStore temps, vap_->Execute(*plan, poll, comp));
@@ -89,24 +94,44 @@ Result<QueryProcessor::LocalAnswer> QueryProcessor::Answer(
 }
 
 Result<QueryProcessor::LocalAnswer> QueryProcessor::AnswerWithTemps(
-    const ViewQuery& raw, const TempStore& temps) const {
-  SQ_ASSIGN_OR_RETURN(ViewQuery q, Normalize(raw));
-  SQ_ASSIGN_OR_RETURN(const VdpNode* node, vdp_->Get(q.relation));
-  auto needed = NeededAttrs(node->schema, q);
-  if (vap_->RepoCovers(q.relation, needed)) return AnswerFromRepo(q);
-  const TempStore::Entry* entry = temps.Find(q.relation);
-  if (entry == nullptr || !temps.Covers(q.relation, needed)) {
-    return Status::Internal("no temporary for query " + q.ToString());
+    const PreparedQuery& q, const TempStore& temps) const {
+  if (vap_->RepoCovers(q.query.relation, q.needed)) return AnswerFromRepo(q);
+  const TempStore::Entry* entry = temps.Find(q.query.relation);
+  if (entry == nullptr || !temps.Covers(q.query.relation, q.needed)) {
+    return Status::Internal("no temporary for query " + q.query.ToString());
   }
   // The temp is π_needed σ_cond(relation): project and re-select (the
   // temp's condition may be an OR-merge wider than this query's).
-  SQ_ASSIGN_OR_RETURN(Relation selected, OpSelect(entry->data, q.cond));
+  SQ_ASSIGN_OR_RETURN(Relation selected, OpSelect(entry->data, q.query.cond));
   SQ_ASSIGN_OR_RETURN(Relation projected,
-                      OpProject(selected, q.attrs, Semantics::kBag));
+                      OpProject(selected, q.query.attrs, Semantics::kBag));
   LocalAnswer out;
   out.data = projected.ToSet();
   out.used_virtual = true;
   return out;
+}
+
+Result<std::optional<VapPlan>> QueryProcessor::PlanFor(
+    const ViewQuery& q) const {
+  // Legacy contract: input is already normalized; derive needed attrs only.
+  SQ_ASSIGN_OR_RETURN(const VdpNode* node, vdp_->Get(q.relation));
+  PreparedQuery prepared;
+  prepared.query = q;
+  prepared.needed = NeededAttrs(node->schema, q);
+  return PlanFor(prepared);
+}
+
+Result<QueryProcessor::LocalAnswer> QueryProcessor::Answer(
+    const ViewQuery& raw, const Vap::PollFn& poll,
+    const Vap::CompensationFn& comp) const {
+  SQ_ASSIGN_OR_RETURN(PreparedQuery q, Prepare(raw));
+  return Answer(q, poll, comp);
+}
+
+Result<QueryProcessor::LocalAnswer> QueryProcessor::AnswerWithTemps(
+    const ViewQuery& raw, const TempStore& temps) const {
+  SQ_ASSIGN_OR_RETURN(PreparedQuery q, Prepare(raw));
+  return AnswerWithTemps(q, temps);
 }
 
 }  // namespace squirrel

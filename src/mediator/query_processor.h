@@ -7,6 +7,8 @@
 #define SQUIRREL_MEDIATOR_QUERY_PROCESSOR_H_
 
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "mediator/local_store.h"
@@ -15,6 +17,16 @@
 #include "vdp/vdp.h"
 
 namespace squirrel {
+
+/// A ViewQuery that has been normalized once: attrs defaulted/validated,
+/// cond non-null, and the needed-attr set (query attrs + cond attrs, schema
+/// order) derived. The single internal entry point of the QP — obtained from
+/// QueryProcessor::Prepare and reusable across PlanFor/Answer/AnswerWithTemps
+/// without re-running normalization or coverage analysis.
+struct PreparedQuery {
+  ViewQuery query;                  ///< normalized form
+  std::vector<std::string> needed;  ///< attrs the answer must read
+};
 
 /// \brief Answers ViewQueries over an annotated VDP.
 class QueryProcessor {
@@ -36,20 +48,32 @@ class QueryProcessor {
   /// attrs to the full schema, checks attrs exist.
   Result<ViewQuery> Normalize(const ViewQuery& q) const;
 
+  /// Normalize + needed-attr derivation, done once up front.
+  Result<PreparedQuery> Prepare(const ViewQuery& raw) const;
+
   /// The VAP plan the query needs, or nullopt when the materialized data
-  /// suffices. Input should be normalized.
-  Result<std::optional<VapPlan>> PlanFor(const ViewQuery& q) const;
+  /// suffices.
+  Result<std::optional<VapPlan>> PlanFor(const PreparedQuery& q) const;
 
   /// Answers \p q, running the VAP with \p poll / \p comp when needed.
-  Result<LocalAnswer> Answer(const ViewQuery& q, const Vap::PollFn& poll,
+  Result<LocalAnswer> Answer(const PreparedQuery& q, const Vap::PollFn& poll,
                              const Vap::CompensationFn& comp) const;
 
   /// Answers \p q against pre-built temporaries (the Mediator's async path).
+  Result<LocalAnswer> AnswerWithTemps(const PreparedQuery& q,
+                                      const TempStore& temps) const;
+
+  // Convenience overloads for raw queries; each Prepares and delegates.
+  /// Input should be normalized (legacy contract kept for callers that
+  /// Normalize themselves).
+  Result<std::optional<VapPlan>> PlanFor(const ViewQuery& q) const;
+  Result<LocalAnswer> Answer(const ViewQuery& q, const Vap::PollFn& poll,
+                             const Vap::CompensationFn& comp) const;
   Result<LocalAnswer> AnswerWithTemps(const ViewQuery& q,
                                       const TempStore& temps) const;
 
  private:
-  Result<LocalAnswer> AnswerFromRepo(const ViewQuery& q) const;
+  Result<LocalAnswer> AnswerFromRepo(const PreparedQuery& q) const;
 
   const Vdp* vdp_;
   const Annotation* ann_;

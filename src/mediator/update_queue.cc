@@ -5,11 +5,30 @@ namespace squirrel {
 void UpdateQueue::Enqueue(UpdateMessage msg) {
   ++total_enqueued_;
   total_atoms_ += msg.delta.AtomCount();
+  if (WouldCoalesce(msg)) {
+    UpdateMessage& tail = messages_.back();
+    // Same-source relation schemas are fixed, so the smash cannot fail in
+    // practice; if it ever did, WAL replay applies the identical smash to
+    // the identical tail, so recovered state still matches.
+    (void)tail.delta.SmashInPlace(msg.delta);
+    tail.seq = msg.seq;
+    tail.send_time = msg.send_time;
+    ++total_coalesced_;
+    return;
+  }
   messages_.push_back(std::move(msg));
 }
 
+bool UpdateQueue::WouldCoalesce(const UpdateMessage& msg) const {
+  if (coalesce_window_ <= 0.0 || messages_.empty()) return false;
+  const UpdateMessage& tail = messages_.back();
+  return tail.source == msg.source &&
+         msg.send_time - tail.send_time <= coalesce_window_;
+}
+
 std::vector<UpdateMessage> UpdateQueue::Flush() {
-  std::vector<UpdateMessage> out(messages_.begin(), messages_.end());
+  std::vector<UpdateMessage> out(std::make_move_iterator(messages_.begin()),
+                                 std::make_move_iterator(messages_.end()));
   messages_.clear();
   return out;
 }

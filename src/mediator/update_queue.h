@@ -23,8 +23,27 @@ class UpdateQueue {
  public:
   UpdateQueue() = default;
 
-  /// Appends a message (called by the mediator's channel receiver).
+  /// Appends a message (called by the mediator's channel receiver). When a
+  /// coalesce window is set and WouldCoalesce(msg) holds, the message is
+  /// merged into the tail instead: deltas smash, the tail takes the later
+  /// seq and send_time. Because only consecutive same-source tail messages
+  /// merge — messages that would be flushed in the same transaction anyway —
+  /// transaction boundaries, PendingFrom and LastPendingSendTime are
+  /// unaffected; the win is net-change cancellation and fewer per-message
+  /// loops downstream.
   void Enqueue(UpdateMessage msg);
+
+  /// True iff Enqueue would merge \p msg into the current tail: a window is
+  /// configured, the tail exists, comes from the same source, and \p msg's
+  /// send_time is within the window of the tail's. The mediator consults
+  /// this BEFORE writing the enqueue WAL record so replay can mirror the
+  /// merge decision exactly.
+  bool WouldCoalesce(const UpdateMessage& msg) const;
+
+  /// Sets the coalescing batch window (0 disables, the default).
+  void SetCoalesceWindow(Time window) { coalesce_window_ = window; }
+  /// The configured coalescing window.
+  Time coalesce_window() const { return coalesce_window_; }
 
   /// True iff no messages are waiting.
   bool Empty() const { return messages_.empty(); }
@@ -63,12 +82,16 @@ class UpdateQueue {
   uint64_t TotalAtoms() const { return total_atoms_; }
   /// Total messages ever re-queued after an aborted transaction.
   uint64_t TotalRequeued() const { return total_requeued_; }
+  /// Total messages merged into a tail message instead of appended.
+  uint64_t TotalCoalesced() const { return total_coalesced_; }
 
  private:
   std::deque<UpdateMessage> messages_;
+  Time coalesce_window_ = 0.0;
   uint64_t total_enqueued_ = 0;
   uint64_t total_atoms_ = 0;
   uint64_t total_requeued_ = 0;
+  uint64_t total_coalesced_ = 0;
 };
 
 }  // namespace squirrel

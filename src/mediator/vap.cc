@@ -366,12 +366,14 @@ Result<VapPlan> Vap::Plan(const std::vector<TempRequest>& input) const {
   return plan;
 }
 
-Result<Relation> Vap::ChildState(const std::string& child,
-                                 const std::vector<std::string>& attrs,
-                                 const TempStore& temps) const {
+Result<std::shared_ptr<const Relation>> Vap::ChildState(
+    const std::string& child, const std::vector<std::string>& attrs,
+    const TempStore& temps) const {
+  // Non-owning aliases: the store and the temp store both outlive the
+  // assembly that consumes the handle.
   if (RepoCovers(child, attrs)) {
     SQ_ASSIGN_OR_RETURN(const Relation* repo, store_->Repo(child));
-    return *repo;
+    return std::shared_ptr<const Relation>(std::shared_ptr<void>(), repo);
   }
   const TempStore::Entry* e = temps.Find(child);
   if (e == nullptr || !temps.Covers(child, attrs)) {
@@ -379,7 +381,7 @@ Result<Relation> Vap::ChildState(const std::string& child,
                             " covering [" + Join(attrs, ",") +
                             "] (planning bug)");
   }
-  return e->data;
+  return std::shared_ptr<const Relation>(std::shared_ptr<void>(), &e->data);
 }
 
 Result<Relation> Vap::Assemble(const TempRequest& req, const TempStore& temps,
@@ -394,45 +396,71 @@ Result<Relation> Vap::Assemble(const TempRequest& req, const TempStore& temps,
     SQ_ASSIGN_OR_RETURN(
         Relation own,
         OpProject(*repo, key_based->own_attrs, Semantics::kBag));
-    // Child part (repo or temp), indexed by key.
-    SQ_ASSIGN_OR_RETURN(
-        Relation child,
-        ChildState(key_based->child, key_based->child_attrs, temps));
-    SQ_ASSIGN_OR_RETURN(
-        Relation child_proj,
-        OpProject(child, key_based->child_attrs, Semantics::kBag));
-    SQ_ASSIGN_OR_RETURN(HashIndex index,
-                        HashIndex::Build(child_proj, key_based->key));
     // Join own x child on the key, dropping the child's duplicate key cols.
-    std::vector<size_t> own_key_pos;
-    for (const auto& k : key_based->key) {
-      own_key_pos.push_back(*own.schema().IndexOf(k));
-    }
-    std::vector<std::string> extra;  // child attrs not already in `own`
-    std::vector<size_t> extra_pos;
-    for (size_t i = 0; i < child_proj.schema().size(); ++i) {
-      const std::string& a = child_proj.schema().attr(i).name;
-      if (!own.schema().Contains(a)) {
-        extra.push_back(a);
-        extra_pos.push_back(i);
+    // The probe key follows the index's attribute order (which may differ
+    // from key_based->key for a persistent index found by attr *set*).
+    auto probe_join = [&](const HashIndex& index,
+                          const Schema& probed_schema) -> Result<Relation> {
+      std::vector<size_t> own_key_pos;
+      for (const auto& k : index.attrs()) {
+        own_key_pos.push_back(*own.schema().IndexOf(k));
+      }
+      std::vector<std::string> extra;  // child attrs not already in `own`
+      std::vector<size_t> extra_pos;   // ... by position in probed_schema
+      for (const auto& a : key_based->child_attrs) {
+        if (!own.schema().Contains(a)) {
+          extra.push_back(a);
+          extra_pos.push_back(*probed_schema.IndexOf(a));
+        }
+      }
+      std::vector<Attribute> out_attrs = own.schema().attrs();
+      for (size_t p : extra_pos) out_attrs.push_back(probed_schema.attrs()[p]);
+      Relation joined(Schema(std::move(out_attrs)), Semantics::kBag);
+      Status st = Status::OK();
+      own.ForEach([&](const Tuple& t, int64_t count) {
+        if (!st.ok()) return;
+        for (const auto& [ct, cc] : index.Probe(t.Project(own_key_pos))) {
+          Tuple row = t;
+          for (size_t p : extra_pos) row.Append(ct.at(p));
+          st = joined.Insert(std::move(row), count * cc);
+        }
+      });
+      if (!st.ok()) return st;
+      return joined;
+    };
+    // Child part: prefer the store's persistent (child, key) index over
+    // projecting the child state and building a throwaway hash table. The
+    // persistent index holds full repository tuples; probing it and summing
+    // per-tuple counts is equivalent to probing the bag projection, because
+    // repository tuples that agree on the projected attrs produce identical
+    // rows whose counts Relation::Insert accumulates.
+    const HashIndex* repo_index = nullptr;
+    const Relation* child_repo = nullptr;
+    if (store_->indexes_enabled() &&
+        RepoCovers(key_based->child, key_based->child_attrs)) {
+      SQ_ASSIGN_OR_RETURN(child_repo, store_->Repo(key_based->child));
+      repo_index = store_->indexes().Find(key_based->child, key_based->key);
+      if (repo_index != nullptr &&
+          repo_index->relation_attrs() !=
+              child_repo->schema().AttributeNames()) {
+        repo_index = nullptr;  // registration no longer matches; fall back
       }
     }
-    std::vector<Attribute> out_attrs = own.schema().attrs();
-    for (const auto& a : extra) {
-      out_attrs.push_back(
-          child_proj.schema().attrs()[*child_proj.schema().IndexOf(a)]);
-    }
-    Relation joined(Schema(std::move(out_attrs)), Semantics::kBag);
-    Status st = Status::OK();
-    own.ForEach([&](const Tuple& t, int64_t count) {
-      if (!st.ok()) return;
-      for (const auto& [ct, cc] : index.Probe(t.Project(own_key_pos))) {
-        Tuple row = t;
-        for (size_t p : extra_pos) row.Append(ct.at(p));
-        st = joined.Insert(std::move(row), count * cc);
-      }
-    });
-    if (!st.ok()) return st;
+    auto child_based = [&]() -> Result<Relation> {
+      SQ_ASSIGN_OR_RETURN(
+          std::shared_ptr<const Relation> child,
+          ChildState(key_based->child, key_based->child_attrs, temps));
+      SQ_ASSIGN_OR_RETURN(
+          Relation child_proj,
+          OpProject(*child, key_based->child_attrs, Semantics::kBag));
+      SQ_ASSIGN_OR_RETURN(HashIndex index,
+                          HashIndex::Build(child_proj, key_based->key));
+      return probe_join(index, child_proj.schema());
+    };
+    SQ_ASSIGN_OR_RETURN(Relation joined,
+                        repo_index != nullptr
+                            ? probe_join(*repo_index, child_repo->schema())
+                            : child_based());
     SQ_ASSIGN_OR_RETURN(Relation selected, OpSelect(joined, req_cond));
     return OpProject(selected, req.attrs, Semantics::kBag);
   }
@@ -466,9 +494,9 @@ Result<Relation> Vap::Assemble(const TempRequest& req, const TempStore& temps,
       std::set<std::string> b = p;
       for (const auto& a : AttrsOf(term.select)) b.insert(a);
       SQ_ASSIGN_OR_RETURN(
-          Relation state,
+          std::shared_ptr<const Relation> state,
           ChildState(term.child, NormalizeAttrs(child->schema, b), temps));
-      SQ_ASSIGN_OR_RETURN(Relation sel, OpSelect(state, term.SelectOrTrue()));
+      SQ_ASSIGN_OR_RETURN(Relation sel, OpSelect(*state, term.SelectOrTrue()));
       SQ_ASSIGN_OR_RETURN(Relation tr, OpProject(sel, proj, Semantics::kBag));
       term_rels.push_back(std::move(tr));
     }
@@ -497,11 +525,11 @@ Result<Relation> Vap::Assemble(const TempRequest& req, const TempStore& temps,
     std::set<std::string> needed = b;
     for (const auto& a : AttrsOf(term.select)) needed.insert(a);
     SQ_ASSIGN_OR_RETURN(
-        Relation state,
+        std::shared_ptr<const Relation> state,
         ChildState(term.child, NormalizeAttrs(child->schema, needed), temps));
     SQ_ASSIGN_OR_RETURN(
         Relation sel,
-        OpSelect(state, Expr::And(term.SelectOrTrue(), req_cond)));
+        OpSelect(*state, Expr::And(term.SelectOrTrue(), req_cond)));
     SQ_ASSIGN_OR_RETURN(Relation tr, OpProject(sel, proj, Semantics::kBag));
     term_rels.push_back(std::move(tr));
   }

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -168,9 +169,11 @@ class Vap {
                                                const TempRequest& req) const;
   Result<Relation> Assemble(const TempRequest& req, const TempStore& temps,
                             const KeyBasedChoice* key_based) const;
-  Result<Relation> ChildState(const std::string& child,
-                              const std::vector<std::string>& attrs,
-                              const TempStore& temps) const;
+  /// Borrowed handle onto the child's repository or temp (no copy); valid
+  /// while the store and \p temps live.
+  Result<std::shared_ptr<const Relation>> ChildState(
+      const std::string& child, const std::vector<std::string>& attrs,
+      const TempStore& temps) const;
 
   const Vdp* vdp_;
   const Annotation* ann_;

@@ -1,6 +1,7 @@
 #include "relational/operators.h"
 
 #include <algorithm>
+#include <memory>
 
 namespace squirrel {
 
@@ -39,8 +40,46 @@ Result<Relation> OpProject(const Relation& in,
   return out;
 }
 
+namespace {
+
+/// True iff \p index was built on a relation with \p schema's attributes
+/// and its indexed attr set equals the side's equi-conjunct attrs. On
+/// success fills \p probe_pos with the positions (in the *other* side's
+/// schema) producing probe keys in the index's attribute order.
+bool IndexCoversEqui(const HashIndex* index, const Schema& schema,
+                     const Schema& other_schema,
+                     const std::vector<EquiJoinPair>& equi, bool index_is_right,
+                     std::vector<size_t>* probe_pos) {
+  if (index == nullptr || equi.empty()) return false;
+  if (index->relation_attrs() != schema.AttributeNames()) return false;
+  if (index->attrs().size() != equi.size()) return false;
+  probe_pos->clear();
+  probe_pos->reserve(equi.size());
+  for (const auto& indexed_attr : index->attrs()) {
+    bool found = false;
+    for (const auto& p : equi) {
+      const std::string& own = index_is_right ? p.right_attr : p.left_attr;
+      const std::string& other = index_is_right ? p.left_attr : p.right_attr;
+      if (own == indexed_attr) {
+        probe_pos->push_back(*other_schema.IndexOf(other));
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 Result<Relation> OpJoin(const Relation& left, const Relation& right,
                         const Expr::Ptr& cond) {
+  return OpJoin(left, right, cond, JoinIndexHint{});
+}
+
+Result<Relation> OpJoin(const Relation& left, const Relation& right,
+                        const Expr::Ptr& cond, const JoinIndexHint& hint) {
   SQ_ASSIGN_OR_RETURN(Schema out_schema,
                       left.schema().Concat(right.schema()));
   Expr::Ptr c = cond ? cond : Expr::True();
@@ -74,9 +113,34 @@ Result<Relation> OpJoin(const Relation& left, const Relation& right,
     st = out.Insert(std::move(joined), lc * rc);
   };
 
-  if (!parts.equi.empty()) {
-    // Hash join: build on the smaller input.
-    bool build_left = left.DistinctSize() <= right.DistinctSize();
+  std::vector<size_t> index_probe_pos;
+  if (IndexCoversEqui(hint.right, right.schema(), left.schema(), parts.equi,
+                      /*index_is_right=*/true, &index_probe_pos)) {
+    left.ForEach([&](const Tuple& lt, int64_t lc) {
+      if (!st.ok()) return;
+      for (const auto& [rt, rc] : hint.right->Probe(
+               lt.Project(index_probe_pos))) {
+        emit(lt, lc, rt, rc);
+      }
+    });
+  } else if (IndexCoversEqui(hint.left, left.schema(), right.schema(),
+                             parts.equi, /*index_is_right=*/false,
+                             &index_probe_pos)) {
+    right.ForEach([&](const Tuple& rt, int64_t rc) {
+      if (!st.ok()) return;
+      for (const auto& [lt, lc] : hint.left->Probe(
+               rt.Project(index_probe_pos))) {
+        emit(lt, lc, rt, rc);
+      }
+    });
+  } else if (!parts.equi.empty()) {
+    // Hash join: build on the side with the smaller total (bag) size —
+    // under bag semantics DistinctSize alone mis-ranks a side with few
+    // distinct rows but huge multiplicities. Break ties on distinct size.
+    bool build_left =
+        left.TotalSize() != right.TotalSize()
+            ? left.TotalSize() < right.TotalSize()
+            : left.DistinctSize() <= right.DistinctSize();
     const Relation& build = build_left ? left : right;
     const Relation& probe = build_left ? right : left;
     std::vector<size_t> build_pos, probe_pos;
@@ -226,40 +290,74 @@ Result<Schema> InferSchema(const AlgebraExpr::Ptr& expr,
   return Status::Internal("unknown algebra node kind");
 }
 
-Result<Relation> EvalAlgebra(const AlgebraExpr::Ptr& expr,
-                             const Catalog& catalog) {
+namespace {
+
+Result<Relation> EvalOwned(const AlgebraExpr::Ptr& expr,
+                           const Catalog& catalog);
+
+/// Evaluates \p expr, borrowing catalog relations for scans instead of
+/// copying them: a scan yields a non-owning alias whose lifetime is tied to
+/// the catalog, every other node owns its (freshly computed) result.
+Result<std::shared_ptr<const Relation>> EvalShared(const AlgebraExpr::Ptr& expr,
+                                                   const Catalog& catalog) {
+  if (!expr) return Status::InvalidArgument("null algebra expression");
+  if (expr->kind() == AlgebraExpr::Kind::kScan) {
+    SQ_ASSIGN_OR_RETURN(const Relation* rel, catalog.Lookup(expr->relation()));
+    return std::shared_ptr<const Relation>(std::shared_ptr<void>(), rel);
+  }
+  SQ_ASSIGN_OR_RETURN(Relation owned, EvalOwned(expr, catalog));
+  return std::shared_ptr<const Relation>(
+      std::make_shared<Relation>(std::move(owned)));
+}
+
+Result<Relation> EvalOwned(const AlgebraExpr::Ptr& expr,
+                           const Catalog& catalog) {
   if (!expr) return Status::InvalidArgument("null algebra expression");
   switch (expr->kind()) {
     case AlgebraExpr::Kind::kScan: {
+      // Only reachable when a scan is the evaluation root; interior scans go
+      // through EvalShared and stay borrowed.
       SQ_ASSIGN_OR_RETURN(const Relation* rel,
                           catalog.Lookup(expr->relation()));
       return *rel;
     }
     case AlgebraExpr::Kind::kSelect: {
-      SQ_ASSIGN_OR_RETURN(Relation child, EvalAlgebra(expr->left(), catalog));
-      return OpSelect(child, expr->condition());
+      SQ_ASSIGN_OR_RETURN(auto child, EvalShared(expr->left(), catalog));
+      return OpSelect(*child, expr->condition());
     }
     case AlgebraExpr::Kind::kProject: {
-      SQ_ASSIGN_OR_RETURN(Relation child, EvalAlgebra(expr->left(), catalog));
-      return OpProject(child, expr->attrs(), Semantics::kBag);
+      SQ_ASSIGN_OR_RETURN(auto child, EvalShared(expr->left(), catalog));
+      return OpProject(*child, expr->attrs(), Semantics::kBag);
     }
     case AlgebraExpr::Kind::kJoin: {
-      SQ_ASSIGN_OR_RETURN(Relation l, EvalAlgebra(expr->left(), catalog));
-      SQ_ASSIGN_OR_RETURN(Relation r, EvalAlgebra(expr->right(), catalog));
-      return OpJoin(l, r, expr->condition());
+      SQ_ASSIGN_OR_RETURN(auto l, EvalShared(expr->left(), catalog));
+      SQ_ASSIGN_OR_RETURN(auto r, EvalShared(expr->right(), catalog));
+      return OpJoin(*l, *r, expr->condition());
     }
     case AlgebraExpr::Kind::kUnion: {
-      SQ_ASSIGN_OR_RETURN(Relation l, EvalAlgebra(expr->left(), catalog));
-      SQ_ASSIGN_OR_RETURN(Relation r, EvalAlgebra(expr->right(), catalog));
-      return OpUnion(l, r, Semantics::kBag);
+      SQ_ASSIGN_OR_RETURN(auto l, EvalShared(expr->left(), catalog));
+      SQ_ASSIGN_OR_RETURN(auto r, EvalShared(expr->right(), catalog));
+      return OpUnion(*l, *r, Semantics::kBag);
     }
     case AlgebraExpr::Kind::kDiff: {
-      SQ_ASSIGN_OR_RETURN(Relation l, EvalAlgebra(expr->left(), catalog));
-      SQ_ASSIGN_OR_RETURN(Relation r, EvalAlgebra(expr->right(), catalog));
-      return OpDiff(l.ToSet(), r.ToSet());
+      SQ_ASSIGN_OR_RETURN(auto l, EvalShared(expr->left(), catalog));
+      SQ_ASSIGN_OR_RETURN(auto r, EvalShared(expr->right(), catalog));
+      return OpDiff(l->ToSet(), r->ToSet());
     }
   }
   return Status::Internal("unknown algebra node kind");
+}
+
+}  // namespace
+
+Result<Relation> EvalAlgebra(const AlgebraExpr::Ptr& expr,
+                             const Catalog& catalog) {
+  return EvalOwned(expr, catalog);
+}
+
+Result<std::shared_ptr<const Relation>> EvalAlgebraShared(
+    const AlgebraExpr::Ptr& expr, const Catalog& catalog) {
+  return EvalShared(expr, catalog);
 }
 
 }  // namespace squirrel

@@ -1,5 +1,6 @@
 #include "vdp/rules.h"
 
+#include <algorithm>
 #include <optional>
 
 #include "delta/delta_algebra.h"
@@ -33,7 +34,8 @@ Result<Relation> TermRelation(const NodeDef& def, size_t j,
 }
 
 Result<Delta> FireSpj(const VdpNode& parent, const std::string& child,
-                      const Delta& child_delta, const NodeStateFn& states) {
+                      const Delta& child_delta, const NodeStateFn& states,
+                      const IndexProbeFn& probes) {
   const NodeDef& def = *parent.def;
   Delta result(parent.schema);
   for (size_t i = 0; i < def.terms().size(); ++i) {
@@ -49,26 +51,85 @@ Result<Delta> FireSpj(const VdpNode& parent, const std::string& child,
                                 term.project));
     if (term_delta.Empty()) continue;
 
-    // Left side: accumulated join of terms 0..i-1.
-    std::optional<Relation> left;
-    for (size_t j = 0; j < i; ++j) {
-      SQ_ASSIGN_OR_RETURN(
-          Relation tr, TermRelation(def, j, child, i, child_delta, states));
-      if (!left) {
-        left = std::move(tr);
-      } else {
-        SQ_ASSIGN_OR_RETURN(left,
-                            OpJoin(*left, tr, def.join_conds()[j - 1]));
-      }
-    }
-
     Delta acc = std::move(term_delta);
-    if (left) {
+
+    // Joins sibling term \p j into acc via a persistent repository index if
+    // one covers the equi attributes; returns nullopt to request the
+    // unindexed fallback. Occurrences of the firing child at positions
+    // before i must be seen in their NEW state, which the (pre-delta)
+    // repository index cannot serve.
+    auto indexed_join = [&](size_t j, const Expr::Ptr& cond,
+                            bool delta_left) -> Result<std::optional<Delta>> {
+      if (!probes) return std::optional<Delta>();
+      const ChildTerm& sibling = def.terms()[j];
+      if (sibling.child == child && j < i) return std::optional<Delta>();
+      std::vector<std::string> equi = EquiProbeAttrs(
+          cond, acc.schema().AttributeNames(), sibling.project);
+      if (equi.empty()) return std::optional<Delta>();
+      IndexedState s = probes(sibling.child, equi);
+      if (s.repo == nullptr || s.index == nullptr) {
+        return std::optional<Delta>();
+      }
+      // The repository must cover everything this term reads; otherwise the
+      // unindexed path would have served a temp, not the repo (the index may
+      // have been advised for a different term over the same child).
+      if (!s.repo->schema().ContainsAll(sibling.NeededAttrs())) {
+        return std::optional<Delta>();
+      }
+      auto joined =
+          JoinDeltaWithIndexedTerm(acc, *s.repo, *s.index,
+                                   sibling.SelectOrTrue(), sibling.project,
+                                   cond, delta_left);
+      if (!joined.ok()) {
+        // Coverage mismatch between advisor and firing: fall back silently.
+        if (joined.status().code() == StatusCode::kFailedPrecondition) {
+          return std::optional<Delta>();
+        }
+        return joined.status();
+      }
+      return std::optional<Delta>(std::move(*joined));
+    };
+
+    // Left side: accumulated join of terms 0..i-1. The single-sibling case
+    // (i == 1) can probe the sibling's index directly; longer accumulations
+    // materialize intermediate joins and stay unindexed.
+    if (i == 1) {
+      SQ_ASSIGN_OR_RETURN(
+          std::optional<Delta> joined,
+          indexed_join(0, def.join_conds()[0], /*delta_left=*/false));
+      if (joined) {
+        acc = std::move(*joined);
+      } else {
+        SQ_ASSIGN_OR_RETURN(
+            Relation tr, TermRelation(def, 0, child, i, child_delta, states));
+        SQ_ASSIGN_OR_RETURN(acc,
+                            RelationJoinDelta(tr, acc, def.join_conds()[0]));
+      }
+    } else if (i > 1) {
+      std::optional<Relation> left;
+      for (size_t j = 0; j < i; ++j) {
+        SQ_ASSIGN_OR_RETURN(
+            Relation tr, TermRelation(def, j, child, i, child_delta, states));
+        if (!left) {
+          left = std::move(tr);
+        } else {
+          SQ_ASSIGN_OR_RETURN(left,
+                              OpJoin(*left, tr, def.join_conds()[j - 1]));
+        }
+      }
       SQ_ASSIGN_OR_RETURN(
           acc, RelationJoinDelta(*left, acc, def.join_conds()[i - 1]));
     }
+
     // Right side: terms i+1..n-1, one join at a time.
     for (size_t j = i + 1; j < def.terms().size(); ++j) {
+      SQ_ASSIGN_OR_RETURN(
+          std::optional<Delta> joined,
+          indexed_join(j, def.join_conds()[j - 1], /*delta_left=*/true));
+      if (joined) {
+        acc = std::move(*joined);
+        continue;
+      }
       SQ_ASSIGN_OR_RETURN(
           Relation tr, TermRelation(def, j, child, i, child_delta, states));
       SQ_ASSIGN_OR_RETURN(acc,
@@ -160,6 +221,13 @@ Result<Delta> FireDiff(const VdpNode& parent, const std::string& child,
 Result<Delta> FireEdgeRules(const VdpNode& parent, const std::string& child,
                             const Delta& child_delta,
                             const NodeStateFn& states) {
+  return FireEdgeRules(parent, child, child_delta, states, nullptr);
+}
+
+Result<Delta> FireEdgeRules(const VdpNode& parent, const std::string& child,
+                            const Delta& child_delta,
+                            const NodeStateFn& states,
+                            const IndexProbeFn& probes) {
   if (!parent.def) {
     return Status::InvalidArgument("cannot fire rules into leaf node " +
                                    parent.name);
@@ -167,13 +235,75 @@ Result<Delta> FireEdgeRules(const VdpNode& parent, const std::string& child,
   if (child_delta.Empty()) return Delta(parent.schema);
   switch (parent.def->kind()) {
     case NodeDef::Kind::kSpj:
-      return FireSpj(parent, child, child_delta, states);
+      return FireSpj(parent, child, child_delta, states, probes);
     case NodeDef::Kind::kUnion:
       return FireUnion(parent, child, child_delta, states);
     case NodeDef::Kind::kDiff:
       return FireDiff(parent, child, child_delta, states);
   }
   return Status::Internal("unknown def kind");
+}
+
+namespace {
+
+bool NamesCover(const std::vector<std::string>& haystack,
+                const std::vector<std::string>& needles) {
+  for (const auto& n : needles) {
+    if (std::find(haystack.begin(), haystack.end(), n) == haystack.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void AdviseIndexes(const Vdp& vdp, const Annotation& ann,
+                   IndexManager* manager) {
+  for (const std::string& name : vdp.DerivedNames()) {
+    const VdpNode* node = vdp.Find(name);
+    if (!node || !node->def || node->def->kind() != NodeDef::Kind::kSpj) {
+      continue;
+    }
+    const NodeDef& def = *node->def;
+    if (def.terms().size() < 2) continue;
+    // FireSpj joins sibling term j against a delta whose attrs accumulate
+    // the projections of terms 0..j-1 (left-deep prefix). Term 0 itself is
+    // probed when term 1 fires (delta attrs = term 1's projection).
+    std::vector<std::string> prefix_attrs;
+    for (size_t j = 0; j < def.terms().size(); ++j) {
+      const ChildTerm& term = def.terms()[j];
+      std::vector<std::string> probe_side =
+          j == 0 ? def.terms()[1].project : prefix_attrs;
+      const Expr::Ptr& cond =
+          j == 0 ? def.join_conds()[0] : def.join_conds()[j - 1];
+      std::vector<std::string> equi =
+          EquiProbeAttrs(cond, probe_side, term.project);
+      if (!equi.empty()) {
+        std::vector<std::string> repo_attrs =
+            ann.MaterializedAttrs(vdp, term.child);
+        // Only usable when the repo alone can serve the term (rule firing
+        // checks the same coverage before probing).
+        if (NamesCover(repo_attrs, term.NeededAttrs())) {
+          manager->Register(term.child, std::move(equi));
+        }
+      }
+      prefix_attrs.insert(prefix_attrs.end(), term.project.begin(),
+                          term.project.end());
+    }
+    // The VAP's key-based construction probes a materialized child by the
+    // child's key to fetch extra attributes for a hybrid parent.
+    for (const ChildTerm& term : def.terms()) {
+      const VdpNode* child_node = vdp.Find(term.child);
+      if (!child_node || child_node->schema.key().empty()) continue;
+      std::vector<std::string> repo_attrs =
+          ann.MaterializedAttrs(vdp, term.child);
+      if (!repo_attrs.empty() &&
+          NamesCover(repo_attrs, child_node->schema.key())) {
+        manager->Register(term.child, child_node->schema.key());
+      }
+    }
+  }
 }
 
 }  // namespace squirrel

@@ -19,13 +19,32 @@
 #ifndef SQUIRREL_VDP_RULES_H_
 #define SQUIRREL_VDP_RULES_H_
 
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "delta/delta.h"
+#include "relational/index.h"
+#include "vdp/annotation.h"
 #include "vdp/vdp.h"
 
 namespace squirrel {
+
+/// A node's repository plus a persistent index over it, as served to rule
+/// firing. Either pointer may be null (repo doesn't cover the requested
+/// attrs / no index maintained on them) — firing then falls back to
+/// materializing the term and hashing it per call.
+struct IndexedState {
+  const Relation* repo = nullptr;
+  const HashIndex* index = nullptr;
+};
+
+/// Resolver the IUP hands to FireEdgeRules: given a sibling node and the
+/// equi-join attributes a rule wants to probe, returns the node's current
+/// repository and a maintained index keyed on exactly those attributes.
+using IndexProbeFn = std::function<IndexedState(
+    const std::string& node, const std::vector<std::string>& attrs)>;
 
 /// Computes the contribution to parent's Δ repository from a change
 /// \p child_delta (full-attribute bag delta, not yet applied to the child's
@@ -40,6 +59,26 @@ namespace squirrel {
 Result<Delta> FireEdgeRules(const VdpNode& parent, const std::string& child,
                             const Delta& child_delta,
                             const NodeStateFn& states);
+
+/// As above, but SPJ rule firing probes persistent repository indexes (via
+/// \p probes) for sibling terms instead of rebuilding hash tables per
+/// invocation. Passing a null \p probes is identical to the overload above;
+/// the result is byte-identical either way. Self-join occurrences that must
+/// be seen in their NEW state (firing child at an earlier position) always
+/// take the unindexed path, because the repository index holds pre-delta
+/// state.
+Result<Delta> FireEdgeRules(const VdpNode& parent, const std::string& child,
+                            const Delta& child_delta,
+                            const NodeStateFn& states,
+                            const IndexProbeFn& probes);
+
+/// Index advisor: registers into \p manager the (node, attrs) specs that
+/// FireEdgeRules' SPJ rules and the VAP's key-based construction will probe
+/// for this VDP + annotation. Only children whose materialized repository
+/// covers the term's needed attrs are considered (others are served from
+/// VAP temps, which are transient). Run once per VDP at build time.
+void AdviseIndexes(const Vdp& vdp, const Annotation& ann,
+                   IndexManager* manager);
 
 }  // namespace squirrel
 

@@ -60,6 +60,41 @@ TEST_F(LocalStoreTest, ApplyNodeDeltaNarrowsToMaterialized) {
   EXPECT_TRUE(t->Contains(Tuple({1, 100})));
 }
 
+TEST_F(LocalStoreTest, AdvisesAndMaintainsJoinIndexes) {
+  Annotation ann;  // fully materialized
+  LocalStore store(&vdp_, &ann);
+  ASSERT_TRUE(store.indexes_enabled());
+  // T = R' join[r2 = s1] S': the advisor must keep equi indexes on both
+  // join sides.
+  const HashIndex* r_idx = store.indexes().Find("R'", {"r2"});
+  const HashIndex* s_idx = store.indexes().Find("S'", {"s1"});
+  ASSERT_NE(r_idx, nullptr);
+  ASSERT_NE(s_idx, nullptr);
+  EXPECT_EQ(s_idx->EntryCount(), 0u);
+
+  // ApplyNodeDelta keeps the index mirroring the repository.
+  Delta ins(vdp_.Find("S'")->schema);
+  SQ_ASSERT_OK(ins.AddInsert(Tuple({100, 5})));
+  SQ_ASSERT_OK(store.ApplyNodeDelta("S'", ins));
+  EXPECT_EQ(s_idx->EntryCount(), 1u);
+  EXPECT_EQ(s_idx->Probe(Tuple({100}))[0].first, Tuple({100, 5}));
+  Delta del(vdp_.Find("S'")->schema);
+  SQ_ASSERT_OK(del.AddDelete(Tuple({100, 5})));
+  SQ_ASSERT_OK(store.ApplyNodeDelta("S'", del));
+  EXPECT_EQ(s_idx->EntryCount(), 0u);
+
+  // SetRepo rebuilds from scratch.
+  Relation fresh(vdp_.Find("S'")->schema, Semantics::kBag);
+  SQ_ASSERT_OK(fresh.Insert(Tuple({200, 6}), 1));
+  SQ_ASSERT_OK(store.SetRepo("S'", std::move(fresh)));
+  EXPECT_EQ(store.indexes().Find("S'", {"s1"})->EntryCount(), 1u);
+
+  // An index-disabled store keeps none of this machinery.
+  LocalStore off(&vdp_, &ann, /*enable_indexes=*/false);
+  EXPECT_FALSE(off.indexes_enabled());
+  EXPECT_EQ(off.indexes().BuiltCount(), 0u);
+}
+
 TEST_F(LocalStoreTest, SetRepoValidatesSchema) {
   Annotation ann;
   LocalStore store(&vdp_, &ann);
@@ -145,6 +180,81 @@ TEST(UpdateQueueTest, RequeuePutsMessagesBackInFront) {
   EXPECT_EQ(msgs[1].seq, 2u);
   EXPECT_EQ(msgs[2].seq, 3u);
   EXPECT_EQ(queue.TotalEnqueued(), 3u);  // requeues are not new arrivals
+}
+
+TEST(UpdateQueueTest, CoalescesSameSourceWithinWindow) {
+  UpdateQueue queue;
+  queue.SetCoalesceWindow(1.0);
+  Schema schema = MakeSchema("R(a)");
+  auto make = [&](const std::string& source, Time send_time, uint64_t seq,
+                  const Tuple& t, int sign) {
+    UpdateMessage msg;
+    msg.source = source;
+    msg.send_time = send_time;
+    msg.seq = seq;
+    SQ_EXPECT_OK(msg.delta.Mutable("R", schema)->Add(t, sign));
+    return msg;
+  };
+  queue.Enqueue(make("A", 0.0, 1, Tuple({1}), 1));
+  EXPECT_TRUE(queue.WouldCoalesce(make("A", 0.5, 2, Tuple({2}), 1)));
+  queue.Enqueue(make("A", 0.5, 2, Tuple({2}), 1));  // merges into tail
+  EXPECT_EQ(queue.Size(), 1u);
+  EXPECT_EQ(queue.TotalCoalesced(), 1u);
+  EXPECT_EQ(queue.TotalEnqueued(), 2u);  // arrival counters still count both
+  // Different source breaks the run; outside the window breaks it too.
+  EXPECT_FALSE(queue.WouldCoalesce(make("B", 0.6, 1, Tuple({3}), 1)));
+  queue.Enqueue(make("B", 0.6, 1, Tuple({3}), 1));
+  EXPECT_FALSE(queue.WouldCoalesce(make("B", 5.0, 2, Tuple({4}), 1)));
+  queue.Enqueue(make("B", 5.0, 2, Tuple({4}), 1));
+  EXPECT_EQ(queue.Size(), 3u);
+  // The merged tail carries the later seq/send_time and the smashed delta.
+  auto msgs = queue.Flush();
+  ASSERT_EQ(msgs.size(), 3u);
+  EXPECT_EQ(msgs[0].source, "A");
+  EXPECT_EQ(msgs[0].seq, 2u);
+  EXPECT_DOUBLE_EQ(msgs[0].send_time, 0.5);
+  const Delta* da = msgs[0].delta.Find("R");
+  ASSERT_NE(da, nullptr);
+  EXPECT_EQ(da->CountOf(Tuple({1})), 1);
+  EXPECT_EQ(da->CountOf(Tuple({2})), 1);
+}
+
+TEST(UpdateQueueTest, CoalescingCancelsOpposingAtoms) {
+  UpdateQueue queue;
+  queue.SetCoalesceWindow(2.0);
+  Schema schema = MakeSchema("R(a)");
+  auto make = [&](Time send_time, uint64_t seq, int sign) {
+    UpdateMessage msg;
+    msg.source = "A";
+    msg.send_time = send_time;
+    msg.seq = seq;
+    SQ_EXPECT_OK(msg.delta.Mutable("R", schema)->Add(Tuple({7}), sign));
+    return msg;
+  };
+  queue.Enqueue(make(0.0, 1, 1));
+  queue.Enqueue(make(0.5, 2, -1));  // insert+delete cancel in the tail
+  EXPECT_EQ(queue.Size(), 1u);
+  auto msgs = queue.Flush();
+  ASSERT_EQ(msgs.size(), 1u);
+  // The cancelled atoms net to an empty delta, which reads as "untouched".
+  EXPECT_TRUE(msgs[0].delta.Empty());
+  EXPECT_EQ(msgs[0].delta.Find("R"), nullptr);
+}
+
+TEST(UpdateQueueTest, ZeroWindowNeverCoalesces) {
+  UpdateQueue queue;  // default window = 0
+  UpdateMessage m1;
+  m1.source = "A";
+  m1.send_time = 0.0;
+  UpdateMessage m2;
+  m2.source = "A";
+  m2.send_time = 0.0;
+  EXPECT_FALSE(queue.WouldCoalesce(m1));
+  queue.Enqueue(std::move(m1));
+  EXPECT_FALSE(queue.WouldCoalesce(m2));
+  queue.Enqueue(std::move(m2));
+  EXPECT_EQ(queue.Size(), 2u);
+  EXPECT_EQ(queue.TotalCoalesced(), 0u);
 }
 
 TEST(IupStatsTest, MergeAccumulatesEveryField) {

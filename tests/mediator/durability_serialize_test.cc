@@ -158,6 +158,84 @@ TEST(HardStateTest, TrailingBytesRejected) {
   EXPECT_FALSE(HardState::Decode(bytes).ok());
 }
 
+UpdateMessage Msg(const std::string& source, uint64_t seq, Time send_time,
+                  const Tuple& t, int64_t count = 1) {
+  UpdateMessage msg;
+  msg.source = source;
+  msg.seq = seq;
+  msg.send_time = send_time;
+  EXPECT_TRUE(
+      msg.delta.Mutable("R", TestSchema("R(a, b)"))->Add(t, count).ok());
+  return msg;
+}
+
+TEST(WalReplayTest, CoalescedEnqueueMergesIntoReplayTail) {
+  MemLogDevice dev;
+  DurabilityManager mgr({&dev, /*wal=*/true, /*checkpoint_every=*/16});
+  ASSERT_TRUE(mgr.WriteCheckpoint(HardState{}).ok());
+  // Live side: msg 1 enqueued, msg 2 merged into the tail (same source,
+  // inside the batch window), then an unrelated source appended.
+  ASSERT_TRUE(mgr.LogEnqueue(Msg("DB1", 1, 1.0, Tuple({1, 10}))).ok());
+  ASSERT_TRUE(mgr.LogEnqueue(Msg("DB1", 2, 1.5, Tuple({2, 20})),
+                             /*coalesced=*/true)
+                  .ok());
+  ASSERT_TRUE(mgr.LogEnqueue(Msg("DB2", 5, 2.0, Tuple({3, 30}))).ok());
+  auto rec = mgr.Recover();
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  ASSERT_EQ(rec->state.queue.size(), 2u);
+  const UpdateMessage& merged = rec->state.queue.front();
+  EXPECT_EQ(merged.source, "DB1");
+  EXPECT_EQ(merged.seq, 2u);  // survivor carries the LATER identity
+  EXPECT_EQ(merged.send_time, 1.5);
+  ASSERT_NE(merged.delta.Find("R"), nullptr);
+  EXPECT_EQ(merged.delta.Find("R")->CountOf(Tuple({1, 10})), 1);
+  EXPECT_EQ(merged.delta.Find("R")->CountOf(Tuple({2, 20})), 1);
+  EXPECT_EQ(rec->state.queue.back().source, "DB2");
+  // Dedup high-water marks advance over merged messages too.
+  EXPECT_EQ(rec->state.sources.at("DB1").last_update_seq, 2u);
+}
+
+TEST(WalReplayTest, CoalescedEnqueueCancelsOpposingAtoms) {
+  MemLogDevice dev;
+  DurabilityManager mgr({&dev, /*wal=*/true, /*checkpoint_every=*/16});
+  ASSERT_TRUE(mgr.WriteCheckpoint(HardState{}).ok());
+  ASSERT_TRUE(mgr.LogEnqueue(Msg("DB1", 1, 1.0, Tuple({1, 10}), 1)).ok());
+  ASSERT_TRUE(mgr.LogEnqueue(Msg("DB1", 2, 1.5, Tuple({1, 10}), -1),
+                             /*coalesced=*/true)
+                  .ok());
+  auto rec = mgr.Recover();
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  ASSERT_EQ(rec->state.queue.size(), 1u);
+  // Insert and delete cancelled: the merged delta nets to nothing, and an
+  // empty per-relation delta reads as "untouched".
+  EXPECT_TRUE(rec->state.queue.front().delta.Empty());
+  EXPECT_EQ(rec->state.queue.front().delta.Find("R"), nullptr);
+}
+
+TEST(WalReplayTest, CoalescedEnqueueWithoutTailIsCorruption) {
+  // A coalesce record is only ever written when the live queue had a
+  // same-source tail; replay must treat anything else as a torn log.
+  {
+    MemLogDevice dev;
+    DurabilityManager mgr({&dev, /*wal=*/true, /*checkpoint_every=*/16});
+    ASSERT_TRUE(mgr.WriteCheckpoint(HardState{}).ok());
+    ASSERT_TRUE(mgr.LogEnqueue(Msg("DB1", 1, 1.0, Tuple({1, 10})),
+                               /*coalesced=*/true)
+                    .ok());
+    EXPECT_FALSE(mgr.Recover().ok());  // empty replay queue
+  }
+  {
+    MemLogDevice dev;
+    DurabilityManager mgr({&dev, /*wal=*/true, /*checkpoint_every=*/16});
+    ASSERT_TRUE(mgr.WriteCheckpoint(HardState{}).ok());
+    ASSERT_TRUE(mgr.LogEnqueue(Msg("DB1", 1, 1.0, Tuple({1, 10}))).ok());
+    ASSERT_TRUE(mgr.LogEnqueue(Msg("DB2", 1, 1.5, Tuple({2, 20})),
+                               /*coalesced=*/true)
+                    .ok());
+    EXPECT_FALSE(mgr.Recover().ok());  // tail belongs to another source
+  }
+}
+
 TEST(MemLogDeviceTest, AppendTruncateReadAll) {
   MemLogDevice dev;
   for (int i = 0; i < 5; ++i) {

@@ -9,6 +9,7 @@
 #include "source/source_db.h"
 #include "testing/harness.h"
 #include "testing/util.h"
+#include "vdp/builder.h"
 #include "vdp/paper_examples.h"
 
 namespace squirrel {
@@ -237,6 +238,55 @@ TEST_F(Figure1Fixture, PreparationRequestsVirtualSibling) {
   EXPECT_EQ(requests[0].node, "R'");
   EXPECT_EQ(requests[0].attrs,
             (std::vector<std::string>{"r1", "r2", "r3"}));
+}
+
+TEST(PreparationDedupTest, DuplicateRequestsDroppedAcrossParents) {
+  // Two exported parents read the same virtual sibling S' with identical
+  // terms: preparation used to hand Vap::Materialize one request per parent.
+  VdpBuilder b;
+  b.Leaf("R", "DB1", "R", "R(r1, r2) key(r1)");
+  b.Leaf("S", "DB2", "S", "S(s1, s2) key(s1)");
+  b.LeafParent("R'", "R", {"r1", "r2"}, "");
+  b.LeafParent("S'", "S", {"s1", "s2"}, "");
+  b.Spj("T1", {{"R'", {"r1", "r2"}, ""}, {"S'", {"s1", "s2"}, ""}},
+        {"r2 = s1"}, {"r1", "s1", "s2"}, "", /*exported=*/true);
+  b.Spj("T2", {{"R'", {"r1", "r2"}, ""}, {"S'", {"s1", "s2"}, ""}},
+        {"r2 = s1"}, {"r2", "s2"}, "", /*exported=*/true);
+  auto vdp = b.Build();
+  ASSERT_TRUE(vdp.ok()) << vdp.status().ToString();
+  Annotation ann;
+  SQ_ASSERT_OK(ann.SetAll(*vdp, "S'", AttrMode::kVirtual));
+
+  auto db1 = std::make_unique<SourceDb>("DB1");
+  auto db2 = std::make_unique<SourceDb>("DB2");
+  SQ_ASSERT_OK(db1->AddRelation("R", MakeSchema("R(r1, r2) key(r1)")));
+  SQ_ASSERT_OK(db2->AddRelation("S", MakeSchema("S(s1, s2) key(s1)")));
+  SQ_ASSERT_OK(db1->InsertTuple(0, "R", Tuple({1, 100})));
+  SQ_ASSERT_OK(db2->InsertTuple(0, "S", Tuple({100, 5})));
+  DirectHarness h(std::move(vdp).value(), ann,
+                  {{"DB1", db1.get()}, {"DB2", db2.get()}});
+  SQ_ASSERT_OK(h.Load());
+
+  std::map<std::string, Delta> leaf_deltas;
+  Delta d(MakeSchema("R(r1, r2)"));
+  SQ_ASSERT_OK(d.AddInsert(Tuple({2, 100})));
+  leaf_deltas.emplace("R", std::move(d));
+  SQ_ASSERT_OK_AND_ASSIGN(auto requests,
+                          h.iup().PrepareTempRequests(leaf_deltas));
+  ASSERT_EQ(requests.size(), 1u);  // one S' request, not one per parent
+  EXPECT_EQ(requests[0].node, "S'");
+
+  // End-to-end: the single S' request yields one poll temp (S) plus the
+  // assembled S' temp — not one pair per requesting parent — and the
+  // propagation is exact.
+  MultiDelta md;
+  SQ_ASSERT_OK(
+      md.Mutable("R", MakeSchema("R(r1, r2)"))->AddInsert(Tuple({2, 100})));
+  SQ_ASSERT_OK_AND_ASSIGN(IupStats stats,
+                          h.CommitAndPropagate("DB1", 1.0, md));
+  EXPECT_EQ(stats.temps_built, 2u);
+  EXPECT_EQ(stats.polls, 1u);
+  SQ_ASSERT_OK(h.VerifyRepos());
 }
 
 TEST_F(Figure1Fixture, KernelRejectsDeltaForNonLeaf) {

@@ -92,6 +92,48 @@ TEST_F(VapFixture, ChildBasedExecutionAnswersQuery) {
   EXPECT_EQ(Rows(ans.data), "(11, 100) ");  // r3=150 filtered by r3<100
 }
 
+TEST_F(VapFixture, PreparedQueryRunsNormalizationOnce) {
+  auto vdp = BuildFigure1Vdp();
+  ASSERT_TRUE(vdp.ok());
+  auto h = MakeHarness(AnnotationExample23(*vdp), VapStrategy::kChildBased);
+  QueryProcessor& qp = h->qp();
+
+  ViewQuery raw{"T", {}, Pred("r3 < 100")};  // empty attrs = full schema
+  SQ_ASSERT_OK_AND_ASSIGN(PreparedQuery pq, qp.Prepare(raw));
+  EXPECT_EQ(pq.query.attrs,
+            (std::vector<std::string>{"r1", "r3", "s1", "s2"}));
+  ASSERT_TRUE(pq.query.cond != nullptr);
+  // needed = query attrs + cond attrs, schema order.
+  EXPECT_EQ(pq.needed, (std::vector<std::string>{"r1", "r3", "s1", "s2"}));
+
+  // One Prepare serves PlanFor and Answer; results match the raw-query path.
+  SQ_ASSERT_OK_AND_ASSIGN(auto plan, qp.PlanFor(pq));
+  EXPECT_TRUE(plan.has_value());
+  SQ_ASSERT_OK_AND_ASSIGN(auto prepared_ans,
+                          qp.Answer(pq, h->DirectPoll(), nullptr));
+  SQ_ASSERT_OK_AND_ASSIGN(auto raw_ans,
+                          qp.Answer(raw, h->DirectPoll(), nullptr));
+  EXPECT_EQ(Rows(prepared_ans.data), Rows(raw_ans.data));
+  EXPECT_TRUE(prepared_ans.used_virtual);
+
+  // Prepare surfaces validation errors exactly like Normalize.
+  EXPECT_FALSE(qp.Prepare(ViewQuery{"T", {"nope"}, nullptr}).ok());
+  EXPECT_FALSE(qp.Prepare(ViewQuery{"R'", {}, nullptr}).ok());  // not exported
+}
+
+TEST_F(VapFixture, PreparedQueryNeededIncludesCondOnlyAttrs) {
+  auto h = MakeHarness(AnnotationExample21(), VapStrategy::kChildBased);
+  // r3 appears only in the condition: it must be in needed, not in attrs.
+  ViewQuery raw{"T", {"r1"}, Pred("r3 < 100")};
+  SQ_ASSERT_OK_AND_ASSIGN(PreparedQuery pq, h->qp().Prepare(raw));
+  EXPECT_EQ(pq.query.attrs, std::vector<std::string>{"r1"});
+  EXPECT_EQ(pq.needed, (std::vector<std::string>{"r1", "r3"}));
+  SQ_ASSERT_OK_AND_ASSIGN(auto plan, h->qp().PlanFor(pq));
+  EXPECT_FALSE(plan.has_value());  // fully materialized: repo covers
+  SQ_ASSERT_OK_AND_ASSIGN(auto ans, h->qp().Answer(pq, nullptr, nullptr));
+  EXPECT_EQ(Rows(ans.data), "(1) ");
+}
+
 TEST_F(VapFixture, KeyBasedPlanPollsOnlySupplierChild) {
   auto vdp = BuildFigure1Vdp();
   ASSERT_TRUE(vdp.ok());

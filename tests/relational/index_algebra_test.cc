@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "delta/delta.h"
 #include "relational/algebra.h"
 #include "relational/index.h"
 #include "testing/util.h"
@@ -52,6 +53,118 @@ TEST(HashIndexTest, ProbeMissingKeyReturnsStableEmptyRef) {
 TEST(HashIndexTest, UnknownAttributeFails) {
   Relation r = MakeRelation("R(a)", {Tuple({1})});
   EXPECT_FALSE(HashIndex::Build(r, {"zzz"}).ok());
+}
+
+TEST(HashIndexApplyDeltaTest, InsertUpdatesCountsAndNewKeys) {
+  Relation r = MakeRelation("R(a, b)", {Tuple({1, 10})});
+  SQ_ASSERT_OK_AND_ASSIGN(HashIndex index, HashIndex::Build(r, {"a"}));
+  Delta d(r.schema());
+  SQ_ASSERT_OK(d.Add(Tuple({1, 10}), 2));  // existing tuple: count bump
+  SQ_ASSERT_OK(d.Add(Tuple({2, 20}), 1));  // brand-new key
+  SQ_ASSERT_OK(index.ApplyDelta(d));
+  EXPECT_EQ(index.KeyCount(), 2u);
+  ASSERT_EQ(index.Probe(Tuple({1})).size(), 1u);
+  EXPECT_EQ(index.Probe(Tuple({1}))[0].second, 3);
+  EXPECT_EQ(index.Probe(Tuple({2})).size(), 1u);
+}
+
+TEST(HashIndexApplyDeltaTest, DeleteToZeroRemovesEntryAndBucket) {
+  Relation r =
+      MakeRelation("R(a, b)", {Tuple({1, 10}), Tuple({1, 20}), Tuple({2, 30})});
+  SQ_ASSERT_OK_AND_ASSIGN(HashIndex index, HashIndex::Build(r, {"a"}));
+  Delta d1(r.schema());
+  SQ_ASSERT_OK(d1.Add(Tuple({1, 10}), -1));
+  SQ_ASSERT_OK(index.ApplyDelta(d1));
+  EXPECT_EQ(index.Probe(Tuple({1})).size(), 1u);  // entry gone, bucket stays
+  EXPECT_EQ(index.Probe(Tuple({1}))[0].first, Tuple({1, 20}));
+
+  Delta d2(r.schema());
+  SQ_ASSERT_OK(d2.Add(Tuple({2, 30}), -1));
+  SQ_ASSERT_OK(index.ApplyDelta(d2));
+  EXPECT_EQ(index.KeyCount(), 1u);  // whole bucket erased
+  EXPECT_TRUE(index.Probe(Tuple({2})).empty());
+}
+
+TEST(HashIndexApplyDeltaTest, ReinsertAfterDeleteToZero) {
+  Relation r = MakeRelation("R(a, b)", {Tuple({1, 10})});
+  SQ_ASSERT_OK_AND_ASSIGN(HashIndex index, HashIndex::Build(r, {"a"}));
+  Delta del(r.schema());
+  SQ_ASSERT_OK(del.Add(Tuple({1, 10}), -1));
+  SQ_ASSERT_OK(index.ApplyDelta(del));
+  EXPECT_EQ(index.KeyCount(), 0u);
+  Delta ins(r.schema());
+  SQ_ASSERT_OK(ins.Add(Tuple({1, 10}), 4));
+  SQ_ASSERT_OK(index.ApplyDelta(ins));
+  ASSERT_EQ(index.Probe(Tuple({1})).size(), 1u);
+  EXPECT_EQ(index.Probe(Tuple({1}))[0].second, 4);
+}
+
+TEST(HashIndexApplyDeltaTest, StrictErrors) {
+  Relation r = MakeRelation("R(a, b)", {Tuple({1, 10})});
+  SQ_ASSERT_OK_AND_ASSIGN(HashIndex index, HashIndex::Build(r, {"a"}));
+  Delta absent(r.schema());
+  SQ_ASSERT_OK(absent.Add(Tuple({9, 90}), -1));
+  EXPECT_FALSE(index.ApplyDelta(absent).ok());  // delete of absent tuple
+  Delta under(r.schema());
+  SQ_ASSERT_OK(under.Add(Tuple({1, 10}), -2));
+  EXPECT_FALSE(index.ApplyDelta(under).ok());  // count underflow
+  Delta wrong(testing::MakeSchema("X(z)"));
+  SQ_ASSERT_OK(wrong.Add(Tuple({1}), 1));
+  EXPECT_FALSE(index.ApplyDelta(wrong).ok());  // schema mismatch
+}
+
+TEST(HashIndexApplyDeltaTest, MirrorsApplyDeltaOnRelation) {
+  Relation r(testing::MakeSchema("R(a, b)"), Semantics::kBag);
+  SQ_ASSERT_OK(r.Insert(Tuple({1, 10}), 2));
+  SQ_ASSERT_OK(r.Insert(Tuple({2, 20}), 1));
+  SQ_ASSERT_OK_AND_ASSIGN(HashIndex index, HashIndex::Build(r, {"a"}));
+  Delta d(r.schema());
+  SQ_ASSERT_OK(d.Add(Tuple({1, 10}), -2));
+  SQ_ASSERT_OK(d.Add(Tuple({2, 20}), 3));
+  SQ_ASSERT_OK(d.Add(Tuple({3, 30}), 1));
+  SQ_ASSERT_OK(ApplyDelta(&r, d));
+  SQ_ASSERT_OK(index.ApplyDelta(d));
+  SQ_ASSERT_OK_AND_ASSIGN(HashIndex rebuilt, HashIndex::Build(r, {"a"}));
+  EXPECT_EQ(index.KeyCount(), rebuilt.KeyCount());
+  EXPECT_EQ(index.EntryCount(), rebuilt.EntryCount());
+  r.ForEach([&](const Tuple& t, int64_t count) {
+    bool found = false;
+    for (const auto& [it, ic] : index.Probe(t.Project({0}))) {
+      if (it == t) {
+        found = true;
+        EXPECT_EQ(ic, count);
+      }
+    }
+    EXPECT_TRUE(found) << t.ToString();
+  });
+}
+
+TEST(IndexManagerTest, RegisterDedupsByAttrSet) {
+  IndexManager mgr;
+  EXPECT_TRUE(mgr.Register("R", {"a", "b"}));
+  EXPECT_FALSE(mgr.Register("R", {"b", "a"}));  // same set, different order
+  EXPECT_TRUE(mgr.Register("R", {"a"}));
+  EXPECT_TRUE(mgr.Register("S", {"a", "b"}));
+  EXPECT_EQ(mgr.specs().at("R").size(), 2u);
+}
+
+TEST(IndexManagerTest, RebuildFindAndApplyDelta) {
+  IndexManager mgr;
+  mgr.Register("R", {"a"});
+  Relation r = MakeRelation("R(a, b)", {Tuple({1, 10}), Tuple({2, 20})});
+  SQ_ASSERT_OK(mgr.Rebuild("R", r));
+  const HashIndex* idx = mgr.Find("R", {"a"});
+  ASSERT_NE(idx, nullptr);
+  EXPECT_EQ(idx->KeyCount(), 2u);
+  EXPECT_EQ(mgr.Find("R", {"b"}), nullptr);
+  EXPECT_EQ(mgr.Find("S", {"a"}), nullptr);
+
+  Delta d(r.schema());
+  SQ_ASSERT_OK(d.Add(Tuple({3, 30}), 1));
+  SQ_ASSERT_OK(mgr.ApplyDelta("R", d));
+  EXPECT_EQ(idx->KeyCount(), 3u);
+  // Deltas for nodes without registered indexes are ignored.
+  SQ_ASSERT_OK(mgr.ApplyDelta("S", d));
 }
 
 TEST(AlgebraExprTest, CollectScans) {

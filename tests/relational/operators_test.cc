@@ -110,6 +110,55 @@ TEST(OperatorsTest, JoinMultipliesBagCounts) {
   EXPECT_EQ(out.CountOf(Tuple({1, 1})), 6);
 }
 
+TEST(OperatorsTest, JoinBuildSideBySkewedBagTotals) {
+  // Regression: the build side used to be chosen by DistinctSize, so a bag
+  // with 1 distinct tuple of multiplicity 1000 was picked over a 3-tuple
+  // side, hashing 1000 entries' worth of work onto the wrong side. The
+  // chooser must compare TotalSize (tie-break on DistinctSize) and the
+  // result must be identical either way.
+  Relation skew(testing::MakeSchema("R(a)"), Semantics::kBag);
+  SQ_ASSERT_OK(skew.Insert(Tuple({1}), 1000));
+  Relation flat(testing::MakeSchema("S(b)"), Semantics::kBag);
+  SQ_ASSERT_OK(flat.Insert(Tuple({1}), 1));
+  SQ_ASSERT_OK(flat.Insert(Tuple({2}), 1));
+  SQ_ASSERT_OK(flat.Insert(Tuple({3}), 1));
+  EXPECT_GT(skew.TotalSize(), flat.TotalSize());
+  EXPECT_LT(skew.DistinctSize(), flat.DistinctSize());
+  SQ_ASSERT_OK_AND_ASSIGN(Relation out, OpJoin(skew, flat, Pred("a = b")));
+  EXPECT_EQ(out.CountOf(Tuple({1, 1})), 1000);
+  EXPECT_EQ(out.DistinctSize(), 1u);
+  // Symmetric argument order: same answer.
+  SQ_ASSERT_OK_AND_ASSIGN(Relation rev, OpJoin(flat, skew, Pred("b = a")));
+  EXPECT_EQ(rev.CountOf(Tuple({1, 1})), 1000);
+  EXPECT_EQ(rev.DistinctSize(), 1u);
+}
+
+TEST(OperatorsTest, JoinWithIndexHintMatchesUnindexed) {
+  Relation r = MakeRelation("R(a, b)",
+                            {Tuple({1, 10}), Tuple({2, 20}), Tuple({3, 30})});
+  Relation s = MakeRelation("S(c, d)",
+                            {Tuple({1, 7}), Tuple({1, 8}), Tuple({9, 9})});
+  SQ_ASSERT_OK_AND_ASSIGN(Relation plain, OpJoin(r, s, Pred("a = c")));
+  SQ_ASSERT_OK_AND_ASSIGN(HashIndex right_idx, HashIndex::Build(s, {"c"}));
+  JoinIndexHint hint;
+  hint.right = &right_idx;
+  SQ_ASSERT_OK_AND_ASSIGN(Relation hinted, OpJoin(r, s, Pred("a = c"), hint));
+  EXPECT_EQ(Rows(hinted), Rows(plain));
+  // Left-side index is equally usable.
+  SQ_ASSERT_OK_AND_ASSIGN(HashIndex left_idx, HashIndex::Build(r, {"a"}));
+  JoinIndexHint lhint;
+  lhint.left = &left_idx;
+  SQ_ASSERT_OK_AND_ASSIGN(Relation lhinted, OpJoin(r, s, Pred("a = c"), lhint));
+  EXPECT_EQ(Rows(lhinted), Rows(plain));
+  // A hint that does not cover the equi attrs is ignored, not an error.
+  SQ_ASSERT_OK_AND_ASSIGN(HashIndex wrong_idx, HashIndex::Build(s, {"d"}));
+  JoinIndexHint whint;
+  whint.right = &wrong_idx;
+  SQ_ASSERT_OK_AND_ASSIGN(Relation fell_back,
+                          OpJoin(r, s, Pred("a = c"), whint));
+  EXPECT_EQ(Rows(fell_back), Rows(plain));
+}
+
 TEST(OperatorsTest, JoinRejectsDuplicateAttrNames) {
   Relation r = MakeRelation("R(a)", {Tuple({1})});
   Relation s = MakeRelation("S(a)", {Tuple({1})});
@@ -178,6 +227,29 @@ TEST(OperatorsTest, EvalAlgebraDiffDeduplicates) {
   ASSERT_TRUE(view.ok());
   SQ_ASSERT_OK_AND_ASSIGN(Relation out, EvalAlgebra(*view, catalog));
   EXPECT_EQ(Rows(out), "(1) ");
+}
+
+TEST(OperatorsTest, EvalAlgebraSharedBorrowsTopLevelScan) {
+  Relation r = MakeRelation("R(a, b)", {Tuple({1, 10}), Tuple({2, 20})});
+  Catalog catalog;
+  catalog.Register("R", &r);
+  auto scan = ParseAlgebra("R");
+  ASSERT_TRUE(scan.ok());
+  SQ_ASSERT_OK_AND_ASSIGN(std::shared_ptr<const Relation> shared,
+                          EvalAlgebraShared(*scan, catalog));
+  // A bare scan must be a borrowed handle onto the catalog relation, not a
+  // deep copy of it.
+  EXPECT_EQ(shared.get(), &r);
+  // EvalAlgebra's value contract is unchanged: callers own the result.
+  SQ_ASSERT_OK_AND_ASSIGN(Relation owned, EvalAlgebra(*scan, catalog));
+  EXPECT_EQ(Rows(owned), Rows(r));
+  // Composite expressions still materialize a fresh result.
+  auto sel = ParseAlgebra("select[a = 1](R)");
+  ASSERT_TRUE(sel.ok());
+  SQ_ASSERT_OK_AND_ASSIGN(std::shared_ptr<const Relation> computed,
+                          EvalAlgebraShared(*sel, catalog));
+  EXPECT_NE(computed.get(), &r);
+  EXPECT_EQ(Rows(*computed), "(1, 10) ");
 }
 
 TEST(OperatorsTest, EvalAlgebraMissingRelation) {

@@ -119,7 +119,7 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
   std::vector<Time> event_times;
   Time t = 1.0;
   for (int i = 0; i < opts.steps; ++i) {
-    t += 3.0 + rng.UniformDouble() * 2.5;
+    t += (3.0 + rng.UniformDouble() * 2.5) * opts.event_gap_scale;
     event_times.push_back(t);
   }
   const Time t_end = t;
@@ -183,6 +183,8 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
   options.poll_backoff = 2.0;
   options.poll_max_retries = 3;
   options.txn_retry_delay = 0.5 + rng.UniformDouble();
+  options.use_indexes = opts.use_indexes;
+  options.coalesce_window = opts.coalesce_window;
   MemLogDevice log_dev;
   if (opts.durability) {
     options.durability.device = &log_dev;
@@ -430,6 +432,7 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
   result.recovery_msgs_requeued = result.stats.recovery_msgs_requeued;
   result.wal_records = mediator->durability().records_logged();
   result.checkpoints = mediator->durability().checkpoints_written();
+  result.coalesced_msgs = mediator->CoalescedMessages();
   const MediatorStats& ms = result.stats;
   result.trace_dump =
       mediator->trace().ToString(/*include_data=*/true) +
@@ -455,6 +458,7 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
       " wal_records=" + std::to_string(result.wal_records) +
       " checkpoints=" + std::to_string(result.checkpoints) +
       " med_retransmits=" + std::to_string(result.mediator_retransmits) +
+      " coalesced=" + std::to_string(result.coalesced_msgs) +
       "\n";
   return result;
 }

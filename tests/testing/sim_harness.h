@@ -44,6 +44,15 @@ struct FaultSimOptions {
   /// >= 0: one atomic Crash()+Recover() right after the WAL record with
   /// this LSN is appended (the crash-point sweep). Requires durability.
   int64_t crash_at_wal_record = -1;
+  // ---- incremental indexes & delta batching (PR: index/batch layer) ----
+  /// Maintain persistent repository indexes (MediatorOptions::use_indexes).
+  bool use_indexes = true;
+  /// Update-queue coalescing window (MediatorOptions::coalesce_window).
+  Time coalesce_window = 0.0;
+  /// Scales the gaps between workload events; < 1 packs commits tightly so
+  /// same-source announcements can land inside the coalescing window while
+  /// earlier ones still sit in the queue.
+  double event_gap_scale = 1.0;
 };
 
 /// What one seeded schedule produced (for assertions and reporting).
@@ -72,6 +81,8 @@ struct FaultSimResult {
   uint64_t recovery_msgs_requeued = 0;
   uint64_t wal_records = 0;  ///< records ever appended (= exclusive max LSN)
   uint64_t checkpoints = 0;
+  /// Update messages merged into a queue tail (delta batching).
+  uint64_t coalesced_msgs = 0;
   /// Deterministic rendering of the final export relations; a crash-point
   /// run must produce exactly the crash-free baseline's string.
   std::string final_exports;
