@@ -14,6 +14,7 @@
 #include "mediator/freshness.h"
 #include "mediator/mediator.h"
 #include "relational/parser.h"
+#include "sim/fault.h"
 #include "vdp/paper_examples.h"
 
 using namespace squirrel;
@@ -103,5 +104,69 @@ int main(int argc, char** argv) {
               report.all_within_bound
                   ? "every answer within Theorem 7.2's bound"
                   : "BOUND VIOLATED — this should never happen");
+
+  // Degraded reads (DESIGN.md §9): under Example 2.3's hybrid annotation a
+  // query touching the virtual r3 must poll DB1. Crash DB1 for 10..60 with
+  // degraded reads on: instead of kUnavailable the caller gets the
+  // materialized fraction of the answer plus per-source staleness
+  // annotations, and normal answers resume once DB1 rejoins.
+  std::printf("\n-- degraded reads: DB1 down 10..60, hybrid annotation --\n");
+  SourceDb db1b("DB1"), db2b("DB2");
+  Die(db1b.AddRelation(
+          "R", Must(ParseSchemaDecl("R(r1, r2, r3, r4) key(r1)"), "d").schema),
+      "add");
+  Die(db2b.AddRelation(
+          "S", Must(ParseSchemaDecl("S(s1, s2, s3) key(s1)"), "d").schema),
+      "add");
+  Die(db1b.InsertTuple(0, "R", Tuple({1, 100, 11, 100})), "seed");
+  Die(db2b.InsertTuple(0, "S", Tuple({100, 5, 10})), "seed");
+  FaultPlan crash_plan;
+  crash_plan.crashes["DB1"] = {{10.0, 60.0}};
+  FaultInjector inj1(crash_plan, 1), inj2(FaultPlan{}, 2);
+
+  Scheduler sched2;
+  MediatorOptions opt2;
+  opt2.degraded_reads = true;
+  opt2.poll_timeout = 2.0;  // supervise polls so a dead source can't hang us
+  auto med2 = Must(Mediator::Create(vdp, AnnotationExample23(vdp),
+                                    {{&db1b, 0.5, 0.2, 0.0, &inj1},
+                                     {&db2b, 0.5, 0.2, 0.0, &inj2}},
+                                    &sched2, opt2),
+                   "mediator");
+  Die(med2->Start(), "start");
+
+  auto print_answer = [](const char* tag) {
+    return [tag](Result<ViewAnswer> ans) {
+      Die(ans.status(), "query");
+      std::printf("%s: %s, %zu row(s)", tag,
+                  ans->degraded ? "DEGRADED" : "full answer",
+                  static_cast<size_t>(ans->data.DistinctSize()));
+      for (const auto& a : ans->missing_attrs) {
+        std::printf(" [missing %s]", a.c_str());
+      }
+      std::printf("\n");
+      for (const auto& s : ans->staleness) {
+        std::printf("    %-8s staleness=%6.2f%s\n", s.source.c_str(),
+                    s.staleness, s.down ? "  (DOWN)" : "");
+      }
+    };
+  };
+  sched2.At(40.0, [&med2, &print_answer]() {
+    med2->SubmitQuery(ViewQuery{"T", {"r1", "r3"}, nullptr},
+                      print_answer("t=40  (DB1 down)"));
+  });
+  // A post-recovery commit announces, clearing DB1's quarantine, so the
+  // later query polls normally again.
+  sched2.At(70.0, [&db1b, &sched2]() {
+    Die(db1b.InsertTuple(sched2.Now(), "R", Tuple({2, 100, 22, 100})),
+        "commit");
+  });
+  sched2.At(120.0, [&med2, &print_answer]() {
+    med2->SubmitQuery(ViewQuery{"T", {"r1", "r3"}, nullptr},
+                      print_answer("t=120 (DB1 rejoined)"));
+  });
+  sched2.RunUntil(200.0);
+  std::printf("degraded queries served: %llu\n",
+              static_cast<unsigned long long>(med2->stats().degraded_queries));
   return report.all_within_bound ? 0 : 1;
 }

@@ -4,6 +4,7 @@
 
 #include "delta/delta.h"
 #include "mediator/durability/serialize.h"
+#include "mediator/update_queue.h"
 
 namespace squirrel {
 
@@ -20,10 +21,20 @@ enum RecordTag : uint8_t {
   // coalescing); replay smashes into the rebuilt queue's tail instead of
   // appending.
   kEnqueueCoalesced = 6,
+  // Source resync lifecycle (anti-entropy after a source restart): a begin
+  // without a matching done means the crash hit mid-resync and recovery
+  // must re-initiate the snapshot pull.
+  kResyncBegin = 7,
+  kResyncDone = 8,
+  // One backpressure shed: replay re-runs the deterministic oldest-coalesce
+  // merge on the rebuilt queue.
+  kShed = 9,
 };
 
 // Checkpoint format version, bumped on incompatible layout changes.
-constexpr uint32_t kHardStateVersion = 1;
+// v2 adds per-source epoch/health, the resync mirrors, and the
+// snapshot-request id counter.
+constexpr uint32_t kHardStateVersion = 2;
 
 }  // namespace
 
@@ -45,8 +56,20 @@ std::string HardState::Encode() const {
     w.PutU64(st.last_update_seq);
     w.PutTime(st.last_reflected_send);
     w.PutU8(st.quarantined ? 1 : 0);
+    w.PutU64(st.epoch);
+    w.PutU8(st.health);
   }
   w.PutU64(next_txn_id);
+  w.PutU32(static_cast<uint32_t>(mirrors.size()));
+  for (const auto& [source, rels] : mirrors) {
+    w.PutString(source);
+    w.PutU32(static_cast<uint32_t>(rels.size()));
+    for (const auto& [rel_name, rel] : rels) {
+      w.PutString(rel_name);
+      EncodeRelation(&w, rel);
+    }
+  }
+  w.PutU64(next_resync_id);
   return w.Take();
 }
 
@@ -78,9 +101,23 @@ Result<HardState> HardState::Decode(const std::string& bytes) {
     SQ_ASSIGN_OR_RETURN(st.last_reflected_send, r.GetTime());
     SQ_ASSIGN_OR_RETURN(uint8_t q, r.GetU8());
     st.quarantined = q != 0;
+    SQ_ASSIGN_OR_RETURN(st.epoch, r.GetU64());
+    SQ_ASSIGN_OR_RETURN(st.health, r.GetU8());
     hs.sources.emplace(std::move(name), st);
   }
   SQ_ASSIGN_OR_RETURN(hs.next_txn_id, r.GetU64());
+  SQ_ASSIGN_OR_RETURN(uint32_t nmirrors, r.GetU32());
+  for (uint32_t i = 0; i < nmirrors; ++i) {
+    SQ_ASSIGN_OR_RETURN(std::string source, r.GetString());
+    SQ_ASSIGN_OR_RETURN(uint32_t nrels, r.GetU32());
+    auto& rels = hs.mirrors[source];
+    for (uint32_t j = 0; j < nrels; ++j) {
+      SQ_ASSIGN_OR_RETURN(std::string rel_name, r.GetString());
+      SQ_ASSIGN_OR_RETURN(Relation rel, DecodeRelation(&r));
+      rels.emplace(std::move(rel_name), std::move(rel));
+    }
+  }
+  SQ_ASSIGN_OR_RETURN(hs.next_resync_id, r.GetU64());
   if (!r.AtEnd()) {
     return Status::Internal("checkpoint has trailing bytes");
   }
@@ -129,6 +166,11 @@ Status DurabilityManager::LogTxnCommit(const CommitPayload& payload) {
     w.PutString(source);
     w.PutTime(send_time);
   }
+  w.PutU32(static_cast<uint32_t>(payload.source_deltas.size()));
+  for (const auto& [source, md] : payload.source_deltas) {
+    w.PutString(source);
+    EncodeMultiDelta(&w, md);
+  }
   return Append(w.Take());
 }
 
@@ -138,6 +180,35 @@ Status DurabilityManager::LogTxnAbort(uint64_t txn_id, bool requeued) {
   w.PutU8(kTxnAbort);
   w.PutU64(txn_id);
   w.PutU8(requeued ? 1 : 0);
+  return Append(w.Take());
+}
+
+Status DurabilityManager::LogResyncBegin(const std::string& source,
+                                         uint64_t epoch) {
+  if (!wal_enabled()) return Status::OK();
+  BinaryWriter w;
+  w.PutU8(kResyncBegin);
+  w.PutString(source);
+  w.PutU64(epoch);
+  return Append(w.Take());
+}
+
+Status DurabilityManager::LogResyncDone(const std::string& source,
+                                        uint64_t epoch,
+                                        uint64_t last_update_seq) {
+  if (!wal_enabled()) return Status::OK();
+  BinaryWriter w;
+  w.PutU8(kResyncDone);
+  w.PutString(source);
+  w.PutU64(epoch);
+  w.PutU64(last_update_seq);
+  return Append(w.Take());
+}
+
+Status DurabilityManager::LogShed() {
+  if (!wal_enabled()) return Status::OK();
+  BinaryWriter w;
+  w.PutU8(kShed);
   return Append(w.Take());
 }
 
@@ -212,7 +283,14 @@ Result<RecoveredState> DurabilityManager::Recover() const {
       case kEnqueue: {
         SQ_ASSIGN_OR_RETURN(UpdateMessage msg, DecodeUpdateMessage(&r));
         auto& src = out.state.sources[msg.source];
-        if (msg.seq != 0 && msg.seq > src.last_update_seq) {
+        if (msg.epoch > src.epoch) {
+          // Defensive: live detection logs a resync-begin before any
+          // newer-epoch message can reach the queue, so normally the epoch
+          // was already raised.
+          src.epoch = msg.epoch;
+          src.last_update_seq = msg.seq;
+        } else if (msg.epoch == src.epoch && msg.seq != 0 &&
+                   msg.seq > src.last_update_seq) {
           src.last_update_seq = msg.seq;
         }
         queue.push_back(std::move(msg));
@@ -221,7 +299,11 @@ Result<RecoveredState> DurabilityManager::Recover() const {
       case kEnqueueCoalesced: {
         SQ_ASSIGN_OR_RETURN(UpdateMessage msg, DecodeUpdateMessage(&r));
         auto& src = out.state.sources[msg.source];
-        if (msg.seq != 0 && msg.seq > src.last_update_seq) {
+        if (msg.epoch > src.epoch) {
+          src.epoch = msg.epoch;
+          src.last_update_seq = msg.seq;
+        } else if (msg.epoch == src.epoch && msg.seq != 0 &&
+                   msg.seq > src.last_update_seq) {
           src.last_update_seq = msg.seq;
         }
         // The live queue merged this message into its tail; the replay
@@ -237,6 +319,7 @@ Result<RecoveredState> DurabilityManager::Recover() const {
         // smash) so recovered state matches the survivor's byte for byte.
         (void)tail.delta.SmashInPlace(msg.delta);
         tail.seq = msg.seq;
+        tail.epoch = msg.epoch;
         tail.send_time = msg.send_time;
         break;
       }
@@ -285,6 +368,20 @@ Result<RecoveredState> DurabilityManager::Recover() const {
             src.last_reflected_send = send_time;
           }
         }
+        SQ_ASSIGN_OR_RETURN(uint32_t nsrc_deltas, r.GetU32());
+        for (uint32_t s = 0; s < nsrc_deltas; ++s) {
+          SQ_ASSIGN_OR_RETURN(std::string source, r.GetString());
+          SQ_ASSIGN_OR_RETURN(MultiDelta md, DecodeMultiDelta(&r));
+          // Advance the resync mirror exactly as the live commit did
+          // (untracked relations feed no VDP leaf and have no mirror).
+          auto mit = out.state.mirrors.find(source);
+          if (mit == out.state.mirrors.end()) continue;
+          for (const auto& rel_name : md.RelationNames()) {
+            auto rit = mit->second.find(rel_name);
+            if (rit == mit->second.end()) continue;
+            SQ_RETURN_IF_ERROR(ApplyDelta(&rit->second, *md.Find(rel_name)));
+          }
+        }
         if (txn_id >= out.state.next_txn_id) {
           out.state.next_txn_id = txn_id + 1;
         }
@@ -310,6 +407,36 @@ Result<RecoveredState> DurabilityManager::Recover() const {
           out.state.next_txn_id = txn_id + 1;
         }
         txn_open = false;
+        break;
+      }
+      case kResyncBegin: {
+        SQ_ASSIGN_OR_RETURN(std::string source, r.GetString());
+        SQ_ASSIGN_OR_RETURN(uint64_t epoch, r.GetU64());
+        auto& src = out.state.sources[source];
+        if (epoch > src.epoch) src.epoch = epoch;
+        src.health = 2;  // resyncing; recovery re-initiates the pull
+        break;
+      }
+      case kResyncDone: {
+        SQ_ASSIGN_OR_RETURN(std::string source, r.GetString());
+        SQ_ASSIGN_OR_RETURN(uint64_t epoch, r.GetU64());
+        SQ_ASSIGN_OR_RETURN(uint64_t last_seq, r.GetU64());
+        auto& src = out.state.sources[source];
+        if (epoch > src.epoch) src.epoch = epoch;
+        src.last_update_seq = last_seq;
+        src.health = 0;
+        break;
+      }
+      case kShed: {
+        // Re-run the deterministic oldest-coalesce on the rebuilt queue.
+        // The merge is lossless (the two messages' deltas smash), so even
+        // a shed the live mediator performed just before crashing leaves
+        // recovered contents semantically identical.
+        if (!UpdateQueue::CoalesceOldestIn(&queue,
+                                           txn_open ? open_consumed : 0)) {
+          return Status::Internal(
+              "WAL replay: shed record with no coalescible pair");
+        }
         break;
       }
       case kCheckpoint:

@@ -71,12 +71,22 @@ struct HardState {
     uint64_t last_update_seq = 0;  ///< dedup high-water mark
     Time last_reflected_send = 0;  ///< reflect-vector entry
     bool quarantined = false;
+    uint64_t epoch = 1;  ///< source incarnation the mediator believes in
+    uint8_t health = 0;  ///< SourceHealth as stored (0=healthy, 1=suspect,
+                         ///< 2=resyncing); a non-healthy value makes
+                         ///< recovery re-initiate the resync
   };
 
   std::map<std::string, Relation> repos;  ///< node -> repository contents
   std::vector<UpdateMessage> queue;       ///< update queue, front first
   std::map<std::string, SourceState> sources;
   uint64_t next_txn_id = 1;
+  /// Per-source believed-state mirrors of the resync manager
+  /// (source -> relation -> full extent); empty for virtual contributors.
+  std::map<std::string, std::map<std::string, Relation>> mirrors;
+  /// Snapshot-request id counter (never reused across incarnations, so a
+  /// pre-crash snapshot answer can never satisfy a post-crash request).
+  uint64_t next_resync_id = 1;
 
   /// Deterministic serialization (byte-identical for equal states).
   std::string Encode() const;
@@ -91,6 +101,10 @@ struct CommitPayload {
   std::map<std::string, Delta> node_deltas;
   /// Per-source send-time advances (reflect candidates).
   std::map<std::string, Time> reflect;
+  /// Per-source full-relation net changes this transaction consumed (the
+  /// in-flight smash); replay advances the resync mirrors with these so
+  /// mirror and repositories stay in lockstep.
+  std::map<std::string, MultiDelta> source_deltas;
 };
 
 /// What Recover() reconstructed, plus counters for stats/trace.
@@ -127,6 +141,19 @@ class DurabilityManager {
   Status LogTxnBegin(uint64_t txn_id, uint64_t consumed);
   Status LogTxnCommit(const CommitPayload& payload);
   Status LogTxnAbort(uint64_t txn_id, bool requeued);
+  /// Logs the start of a source resync (epoch observed, updates now being
+  /// dropped). Recovery re-initiates the snapshot pull for any source whose
+  /// resync began but never finished.
+  Status LogResyncBegin(const std::string& source, uint64_t epoch);
+  /// Logs a completed resync: the corrective enqueue record precedes this,
+  /// so a crash in between replays into a state that simply resyncs again
+  /// (the corrective diff is computed against believed state, making it
+  /// idempotent). \p last_update_seq is the post-resync dedup floor.
+  Status LogResyncDone(const std::string& source, uint64_t epoch,
+                       uint64_t last_update_seq);
+  /// Logs one backpressure shed (UpdateQueue::CoalesceOldest) so replay
+  /// mirrors the live queue's merge.
+  Status LogShed();
 
   /// Writes a checkpoint record and truncates everything before it.
   /// Enabled-mode only (checkpoints are written even when the WAL is off).

@@ -255,6 +255,7 @@ void EncodeUpdateMessage(BinaryWriter* w, const UpdateMessage& msg) {
   w->PutString(msg.source);
   w->PutTime(msg.send_time);
   w->PutU64(msg.seq);
+  w->PutU64(msg.epoch);
   EncodeMultiDelta(w, msg.delta);
 }
 
@@ -263,6 +264,7 @@ Result<UpdateMessage> DecodeUpdateMessage(BinaryReader* r) {
   SQ_ASSIGN_OR_RETURN(msg.source, r->GetString());
   SQ_ASSIGN_OR_RETURN(msg.send_time, r->GetTime());
   SQ_ASSIGN_OR_RETURN(msg.seq, r->GetU64());
+  SQ_ASSIGN_OR_RETURN(msg.epoch, r->GetU64());
   SQ_ASSIGN_OR_RETURN(msg.delta, DecodeMultiDelta(r));
   return msg;
 }

@@ -75,4 +75,24 @@ FreshnessReport CheckFreshness(const Trace& trace,
   return report;
 }
 
+std::vector<SourceStaleness> AnnotateStaleness(
+    const std::vector<std::string>& names,
+    const std::vector<ContributorKind>& kinds, const TimeVector& reflect,
+    Time now, const std::vector<bool>& down) {
+  std::vector<SourceStaleness> out;
+  const size_t n = names.size();
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    SourceStaleness s;
+    s.source = names[i];
+    const bool materialized =
+        i < kinds.size() && kinds[i] != ContributorKind::kVirtual;
+    const Time r = i < reflect.size() ? reflect[i] : now;
+    s.staleness = materialized ? std::max<Time>(0, now - r) : 0;
+    s.down = i < down.size() && down[i];
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
 }  // namespace squirrel

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "mediator/contributor.h"
+#include "mediator/query.h"
 #include "mediator/trace.h"
 #include "sim/clock.h"
 #include "source/source_db.h"
@@ -85,6 +86,18 @@ FreshnessReport CheckFreshness(const Trace& trace,
                                const std::vector<ContributorKind>& kinds,
                                const std::vector<const SourceDb*>& sources =
                                    {});
+
+/// Per-source staleness annotations for a degraded answer served at \p now
+/// from materialized state with reflect vector \p reflect: staleness_i =
+/// now - reflect_i for materialized/hybrid contributors (how far behind the
+/// repository data may be), 0 for virtual contributors whose state is not
+/// materialized at all. \p down marks sources that were quarantined or
+/// resyncing when the answer formed (aligned with \p names; may be empty =
+/// all up).
+std::vector<SourceStaleness> AnnotateStaleness(
+    const std::vector<std::string>& names,
+    const std::vector<ContributorKind>& kinds, const TimeVector& reflect,
+    Time now, const std::vector<bool>& down = {});
 
 }  // namespace squirrel
 

@@ -39,6 +39,9 @@ Result<std::unique_ptr<Mediator>> Mediator::Create(
     med->sources_.push_back(std::move(rt));
   }
   // Every leaf must resolve to a declared relation of a registered source.
+  // Along the way, collect the leaf-referenced relations (at FULL source
+  // schema — announcements carry source-schema deltas) for resync mirroring.
+  std::map<std::string, std::map<std::string, Schema>> mirrored;
   for (const auto& leaf_name : med->vdp_.LeafNames()) {
     const VdpNode* leaf = med->vdp_.Find(leaf_name);
     auto it = med->source_index_.find(leaf->source_db);
@@ -56,6 +59,16 @@ Result<std::unique_ptr<Mediator>> Mediator::Create(
           "leaf " + leaf_name + " schema is not a subset of source relation " +
           leaf->source_relation);
     }
+    mirrored[leaf->source_db].emplace(leaf->source_relation, src_schema);
+  }
+  // Announcing sources get believed-state mirrors of every leaf-referenced
+  // relation; virtual-only contributors get epoch tracking alone (their
+  // poll answers always reflect live state, so a restart needs no resync).
+  for (const auto& rt : med->sources_) {
+    const std::string& name = rt->setup.db->name();
+    med->resync_.Register(name, MustAnnounce(rt->kind)
+                                    ? std::move(mirrored[name])
+                                    : std::map<std::string, Schema>{});
   }
 
   med->store_ = std::make_unique<LocalStore>(&med->vdp_, &med->ann_,
@@ -89,7 +102,7 @@ Status Mediator::Start() {
         scheduler_, rt->setup.comm_delay);
     rt->inbound->SetReceiver(
         [this](SourceToMediatorMsg msg) { OnSourceMessage(std::move(msg)); });
-    rt->outbound = std::make_unique<Channel<PollRequest>>(
+    rt->outbound = std::make_unique<Channel<MediatorToSourceMsg>>(
         scheduler_, rt->setup.comm_delay);
     if (FaultInjector* f = rt->setup.faults; f != nullptr) {
       std::string name = rt->setup.db->name();
@@ -111,9 +124,22 @@ Status Mediator::Start() {
         rt->setup.db, scheduler_, rt->inbound.get(), rt->announcer.get(),
         rt->setup.q_proc_delay, rt->setup.faults);
     auto* responder = rt->responder.get();
-    rt->outbound->SetReceiver(
-        [responder](PollRequest req) { responder->OnRequest(std::move(req)); });
+    rt->outbound->SetReceiver([responder](MediatorToSourceMsg msg) {
+      responder->OnMessage(std::move(msg));
+    });
     rt->last_reflected_send = view_init_time_;
+    // Believed-state mirrors start as copies of the live extents — the same
+    // instant the initial load below reads, so mirror and view agree.
+    const std::string& name = rt->setup.db->name();
+    for (const auto& rel_name : resync_.Relations(name)) {
+      SQ_ASSIGN_OR_RETURN(const Relation* rel,
+                          rt->setup.db->Current(rel_name));
+      SQ_RETURN_IF_ERROR(resync_.SetMirror(name, rel_name, *rel));
+    }
+    // Planned source restarts (epoch bumps at crash-window ends).
+    if (rt->setup.faults != nullptr) {
+      ScheduleSourceRestarts(rt->setup.db, scheduler_, rt->setup.faults);
+    }
   }
 
   // Initial load: full recomputation of every derived node from the current
@@ -224,10 +250,42 @@ void Mediator::OnSourceMessage(SourceToMediatorMsg msg) {
     SourceRuntime* rt = FindSource(upd.source);
     if (rt != nullptr) {
       ClearQuarantine(rt);  // any delivery proves the source alive
+      const uint64_t cur_epoch = resync_.Epoch(upd.source);
+      if (upd.epoch < cur_epoch) {
+        // Delayed message from a dead incarnation: the resync snapshot of
+        // the current incarnation covers (or supersedes) its effects.
+        ++stats_.stale_epoch_msgs;
+        return;
+      }
+      if (upd.epoch > cur_epoch) {
+        // New incarnation: the source restarted and lost its session state
+        // (unannounced batch, sequence numbering). Its messages are dropped
+        // until a full snapshot re-bases the believed state — this very
+        // message is covered by that snapshot (FIFO + flush-before-answer).
+        ++stats_.epoch_bumps;
+        BeginResync(rt, upd.epoch);
+        ++stats_.updates_dropped_resync;
+        return;
+      }
+      if (resync_.Health(upd.source) != SourceHealth::kHealthy) {
+        ++stats_.updates_dropped_resync;
+        return;
+      }
       if (upd.seq != 0 && upd.seq <= rt->last_update_seq) {
         // At-least-once retransmit of an announcement already applied;
         // applying it again would double-count the delta.
         ++stats_.duplicate_updates_dropped;
+        return;
+      }
+      if (upd.seq != 0 && rt->last_update_seq != 0 &&
+          upd.seq > rt->last_update_seq + 1 &&
+          resync_.NeedsResync(upd.source)) {
+        // Sequence gap within one epoch: an announcement was lost for good.
+        // The ARQ fault model should make this unreachable; the protocol
+        // heals it via a snapshot anyway rather than silently diverging.
+        ++stats_.seq_gap_resyncs;
+        BeginResync(rt, upd.epoch);
+        ++stats_.updates_dropped_resync;
         return;
       }
       if (upd.seq != 0) rt->last_update_seq = upd.seq;
@@ -243,12 +301,41 @@ void Mediator::OnSourceMessage(SourceToMediatorMsg msg) {
       }
     }
     queue_.Enqueue(std::move(upd));
+    MaybeShed();
     if (options_.update_period <= 0) ScheduleUpdateTxn();
+    return;
+  }
+  if (std::holds_alternative<SnapshotAnswer>(msg)) {
+    OnSnapshotAnswer(std::get<SnapshotAnswer>(std::move(msg)));
     return;
   }
   // Poll answer: route to the waiting transaction.
   PollAnswer answer = std::get<PollAnswer>(std::move(msg));
-  ClearQuarantine(FindSource(answer.source));
+  if (SourceRuntime* art = FindSource(answer.source); art != nullptr) {
+    ClearQuarantine(art);
+    const uint64_t cur_epoch = resync_.Epoch(answer.source);
+    if (answer.epoch > cur_epoch) {
+      ++stats_.epoch_bumps;
+      if (resync_.NeedsResync(answer.source)) {
+        // An announcing source restarted: its poll answer reflects a state
+        // the believed mirrors have not been re-based onto yet, so Eager
+        // Compensation against it would be wrong. Drop it (the transaction
+        // re-polls or aborts) and pull a snapshot.
+        BeginResync(art, answer.epoch);
+        ++stats_.stale_poll_answers;
+        return;
+      }
+      // Virtual contributor: poll answers always reflect live state; the
+      // epoch bump needs tracking only.
+      resync_.SetEpoch(answer.source, answer.epoch);
+    } else if (answer.epoch < cur_epoch) {
+      ++stats_.stale_epoch_msgs;
+      return;
+    } else if (resync_.Health(answer.source) != SourceHealth::kHealthy) {
+      ++stats_.stale_poll_answers;
+      return;
+    }
+  }
   if (!poll_wait_.has_value()) {
     ++stats_.stale_poll_answers;
     SQ_LOG(kWarn) << "poll answer from " << answer.source
@@ -300,6 +387,7 @@ void Mediator::StartNextTxn() {
 void Mediator::FinishTxn() {
   busy_ = false;
   poll_wait_.reset();
+  current_inflight_ = nullptr;
   // Run the next queued transaction, if any, as a fresh event.
   if (!pending_txns_.empty()) {
     AfterGuarded(0, [this]() { StartNextTxn(); });
@@ -358,6 +446,11 @@ void Mediator::OnPollTimeout(uint64_t generation) {
   }
   PollWait& wait = *poll_wait_;
   ++stats_.poll_timeouts;
+  for (const auto& [source, req] : wait.outstanding) {
+    if (SourceRuntime* rt = FindSource(source); rt != nullptr) {
+      ++rt->poll_failures;
+    }
+  }
   if (wait.attempt >= options_.poll_max_retries) {
     std::vector<std::string> silent;
     for (const auto& [source, req] : wait.outstanding) {
@@ -400,13 +493,24 @@ void Mediator::Quarantine(const std::string& source) {
   if (rt == nullptr || rt->quarantined) return;
   rt->quarantined = true;
   ++stats_.quarantines;
+  // A re-quarantine (the source rejoined and failed again) counts twice:
+  // once here and once in the cycling-specific counter.
+  if (rt->ever_quarantined) ++stats_.requarantines;
+  rt->ever_quarantined = true;
   if (options_.record_trace) {
-    trace_->Note(scheduler_->Now(), "quarantine " + source);
+    trace_->Note(scheduler_->Now(), "quarantine " + source + " after " +
+                                        std::to_string(rt->poll_failures) +
+                                        " silent rounds");
   }
 }
 
 void Mediator::ClearQuarantine(SourceRuntime* rt) {
-  if (rt == nullptr || !rt->quarantined) return;
+  if (rt == nullptr) return;
+  // Any delivery proves the source alive: the rejoined source starts with a
+  // clean retry record, so its next quarantine needs a full fresh round of
+  // failures rather than inheriting pre-rejoin ones.
+  rt->poll_failures = 0;
+  if (!rt->quarantined) return;
   rt->quarantined = false;
   if (options_.record_trace) {
     trace_->Note(scheduler_->Now(),
@@ -420,6 +524,148 @@ std::vector<std::string> Mediator::QuarantinedSources() const {
     if (rt->quarantined) out.push_back(rt->setup.db->name());
   }
   return out;
+}
+
+bool Mediator::SourceDown(const SourceRuntime& rt) const {
+  return rt.quarantined ||
+         resync_.Health(rt.setup.db->name()) != SourceHealth::kHealthy;
+}
+
+void Mediator::BeginResync(SourceRuntime* rt, uint64_t new_epoch) {
+  const std::string& name = rt->setup.db->name();
+  resync_.SetEpoch(name, new_epoch);
+  if (!resync_.NeedsResync(name)) return;  // virtual: epoch tracking only
+  resync_.SetHealth(name, SourceHealth::kSuspect);
+  ++stats_.resyncs_started;
+  // WAL: recovery re-initiates the snapshot pull for any source whose
+  // resync began but never logged its done record.
+  if (durability_.wal_enabled()) {
+    Status ds = durability_.LogResyncBegin(name, new_epoch);
+    if (!ds.ok()) {
+      SQ_LOG(kError) << "WAL resync-begin failed: " << ds.ToString();
+    }
+  }
+  if (options_.record_trace) {
+    trace_->Note(scheduler_->Now(), "resync begin " + name + " epoch " +
+                                        std::to_string(new_epoch));
+  }
+  RequestSnapshot(rt);
+}
+
+void Mediator::RequestSnapshot(SourceRuntime* rt) {
+  const std::string& name = rt->setup.db->name();
+  SnapshotRequest req;
+  req.id = next_resync_id_++;
+  req.relations = resync_.Relations(name);
+  resync_.SetOutstandingRequest(name, req.id);
+  resync_.SetHealth(name, SourceHealth::kResyncing);
+  ++stats_.snapshots_requested;
+  rt->outbound->Send(std::move(req));
+  // The request or its answer can be lost to a crash window; re-request
+  // under a fresh id (a late answer to this one is then dropped as stale)
+  // until one lands.
+  AfterGuarded(options_.resync_retry_delay, [this, rt, id = req.id]() {
+    if (resync_.OutstandingRequest(rt->setup.db->name()) == id) {
+      if (options_.record_trace) {
+        trace_->Note(scheduler_->Now(),
+                     "snapshot re-request " + rt->setup.db->name());
+      }
+      RequestSnapshot(rt);
+    }
+  });
+}
+
+void Mediator::OnSnapshotAnswer(SnapshotAnswer ans) {
+  SourceRuntime* rt = FindSource(ans.source);
+  if (rt == nullptr) return;
+  ClearQuarantine(rt);
+  const std::string& name = ans.source;
+  if (ans.epoch != resync_.Epoch(name) ||
+      resync_.OutstandingRequest(name) != ans.id) {
+    // Answer to a superseded request, or the source restarted AGAIN after
+    // answering — a newer hello already re-began the resync.
+    ++stats_.stale_poll_answers;
+    return;
+  }
+  // Believed in-transit state: messages still queued, plus the batch of an
+  // update transaction that flushed them but has not advanced the mirrors
+  // yet. Both are "received and will be applied", so the corrective diff
+  // must treat them as part of what the mediator already has.
+  MultiDelta in_transit;
+  if (current_inflight_ != nullptr) {
+    auto iit = current_inflight_->find(name);
+    if (iit != current_inflight_->end()) in_transit = iit->second;
+  }
+  auto pending = queue_.PendingFrom(name);
+  if (pending.ok()) {
+    Status s = in_transit.SmashInPlace(pending.value());
+    if (!s.ok()) SQ_LOG(kError) << "in-transit smash failed: " << s.ToString();
+  } else {
+    SQ_LOG(kError) << "pending snapshot failed: "
+                   << pending.status().ToString();
+  }
+  auto corrective = resync_.Corrective(name, in_transit, ans.relations);
+  if (!corrective.ok()) {
+    SQ_LOG(kError) << "corrective diff failed: "
+                   << corrective.status().ToString();
+    RequestSnapshot(rt);  // retry from scratch under a fresh id
+    return;
+  }
+  // The corrective rides the normal update path as an ordinary message:
+  // WAL enqueue, queue, IUP kernel, reflect advance to the instant the
+  // snapshot was taken. Enqueued even when empty — the reflect advance to
+  // answered_at is the proof the view caught up.
+  UpdateMessage fix;
+  fix.source = name;
+  fix.send_time = ans.answered_at;
+  fix.seq = ans.announce_seq;
+  fix.epoch = ans.epoch;
+  fix.delta = std::move(corrective).value();
+  const uint64_t atoms = fix.delta.AtomCount();
+  if (durability_.wal_enabled()) {
+    Status ds = durability_.LogEnqueue(fix, queue_.WouldCoalesce(fix));
+    if (!ds.ok()) {
+      SQ_LOG(kError) << "WAL enqueue failed: " << ds.ToString();
+    }
+  }
+  queue_.Enqueue(std::move(fix));
+  // The snapshot covers every announcement the source ever sent before it
+  // (same FIFO channel, announcer flushed before answering), so the
+  // source's announcement count at answer time is a safe dedup floor.
+  rt->last_update_seq = ans.announce_seq;
+  resync_.SetOutstandingRequest(name, 0);
+  resync_.SetHealth(name, SourceHealth::kHealthy);
+  ++stats_.resyncs_completed;
+  if (durability_.wal_enabled()) {
+    Status ds = durability_.LogResyncDone(name, ans.epoch, ans.announce_seq);
+    if (!ds.ok()) {
+      SQ_LOG(kError) << "WAL resync-done failed: " << ds.ToString();
+    }
+  }
+  if (options_.record_trace) {
+    trace_->Note(scheduler_->Now(),
+                 "resync done " + name + " epoch " +
+                     std::to_string(ans.epoch) + " corrective atoms " +
+                     std::to_string(atoms));
+  }
+  MaybeShed();
+  if (options_.update_period <= 0) ScheduleUpdateTxn();
+}
+
+void Mediator::MaybeShed() {
+  if (options_.max_queue_depth == 0) return;
+  // Shedding is gated on a resync being in progress: normal-operation
+  // queues are never silently compacted, however deep.
+  while (queue_.Size() > options_.max_queue_depth && resync_.AnyUnhealthy()) {
+    if (!queue_.CoalesceOldest()) break;
+    ++stats_.updates_shed;
+    if (durability_.wal_enabled()) {
+      Status ds = durability_.LogShed();
+      if (!ds.ok()) {
+        SQ_LOG(kError) << "WAL shed failed: " << ds.ToString();
+      }
+    }
+  }
 }
 
 Vap::PollFn Mediator::ReadyPollFn() {
@@ -584,6 +830,11 @@ void Mediator::RunUpdateTxn() {
     FinishTxn();
     return;
   }
+  // From flush until the mirrors advance at commit, the batch is in flight:
+  // a snapshot answer arriving in this window must count it as believed
+  // state (it left the queue but is not in the mirrors yet). Cleared at
+  // commit, and by FinishTxn/Crash on every abort path.
+  current_inflight_ = inflight.get();
 
   auto commit = [this, txn_id, log_abort, msgs_shared, leaf_deltas, inflight,
                  reflect_candidates]() {
@@ -622,15 +873,26 @@ void Mediator::RunUpdateTxn() {
         rt->last_reflected_send = std::max(rt->last_reflected_send, send_time);
       }
     }
+    // The believed-state mirrors absorb the committed batch the same
+    // instant the repositories do; the in-flight window is over.
+    for (const auto& [source, md] : *inflight) {
+      Status ms = resync_.Advance(source, md);
+      if (!ms.ok()) {
+        SQ_LOG(kError) << "mirror advance failed: " << ms.ToString();
+      }
+    }
+    current_inflight_ = nullptr;
     // WAL: commit record. Only now are the transaction's effects — the
-    // narrowed node deltas just applied and the reflect advances — durable;
-    // a crash any earlier rolls the whole transaction back at recovery.
+    // narrowed node deltas just applied, the reflect advances, and the
+    // mirror advances — durable; a crash any earlier rolls the whole
+    // transaction back at recovery.
     if (durability_.wal_enabled()) {
       CommitPayload payload;
       payload.txn_id = txn_id;
       payload.consumed = msgs_shared->size();
       payload.node_deltas = std::move(txn_delta_capture_);
       payload.reflect = *reflect_candidates;
+      payload.source_deltas = *inflight;
       Status ds = durability_.LogTxnCommit(payload);
       if (!ds.ok()) {
         SQ_LOG(kError) << "WAL commit failed: " << ds.ToString();
@@ -694,6 +956,17 @@ void Mediator::RunUpdateTxn() {
       if (!queue_.Empty()) ScheduleUpdateTxn();
     });
   };
+  // Fast-abort when the plan needs a poll of a resyncing source: its
+  // answers would be dropped anyway (believed state is being re-based), so
+  // skip the timeout rounds and retry after the resync has had time to
+  // finish.
+  for (const auto& src : plan->PolledSources()) {
+    if (resync_.Health(src) != SourceHealth::kHealthy) {
+      abort(Status::Unavailable("update txn needs a poll of resyncing " +
+                                src));
+      return;
+    }
+  }
   IssuePolls(*plan, commit, abort);
 }
 
@@ -797,8 +1070,30 @@ void Mediator::RunQueryTxn(ViewQuery q,
     execute();
     return;
   }
-  // Queries have a caller to report to: fail over instead of retrying.
-  auto fail = [this, cb](const Status& st) {
+  // Degraded reads, proactive: polling a source known to be down (suspect,
+  // resyncing, or quarantined) would only burn the timeout rounds; serve
+  // the materialized data with staleness annotations immediately.
+  if (options_.degraded_reads) {
+    for (const auto& src : vap_plan.PolledSources()) {
+      SourceRuntime* rt = FindSource(src);
+      if (rt != nullptr && SourceDown(*rt)) {
+        ServeDegraded(pq, nq, cb);
+        return;
+      }
+    }
+  }
+  // Queries have a caller to report to: fail over instead of retrying —
+  // or, with degraded reads on, fall back to the materialized data (the
+  // reactive path: the source went silent without a known-down marker).
+  auto fail = [this, pq, nq, cb](const Status& st) {
+    if (options_.degraded_reads) {
+      if (options_.record_trace) {
+        trace_->Note(scheduler_->Now(),
+                     "query degraded after poll failure: " + st.ToString());
+      }
+      ServeDegraded(pq, nq, cb);
+      return;
+    }
     ++stats_.failed_queries;
     if (options_.record_trace) {
       trace_->Note(scheduler_->Now(), "query failed: " + st.ToString());
@@ -807,6 +1102,58 @@ void Mediator::RunQueryTxn(ViewQuery q,
     FinishTxn();
   };
   IssuePolls(vap_plan, execute, fail);
+}
+
+void Mediator::ServeDegraded(const PreparedQuery& pq, const ViewQuery& nq,
+                             std::function<void(Result<ViewAnswer>)> cb) {
+  auto local = qp_->AnswerDegraded(pq);
+  if (!local.ok()) {
+    // Nothing materialized to serve: fail over exactly as without
+    // degraded reads.
+    ++stats_.failed_queries;
+    if (options_.record_trace) {
+      trace_->Note(scheduler_->Now(),
+                   "query failed: " + local.status().ToString());
+    }
+    cb(local.status());
+    FinishTxn();
+    return;
+  }
+  ViewAnswer answer;
+  answer.data = std::move(local->data);
+  answer.degraded = true;
+  answer.missing_attrs = std::move(local->missing_attrs);
+  answer.cond_dropped = local->cond_dropped;
+  answer.reflect = UpdateReflect();
+  auto complete = [this, nq, answer = std::move(answer),
+                   cb = std::move(cb)]() mutable {
+    answer.commit_time = scheduler_->Now();
+    std::vector<bool> down;
+    down.reserve(sources_.size());
+    for (const auto& rt : sources_) down.push_back(SourceDown(*rt));
+    answer.staleness =
+        AnnotateStaleness(SourceNames(), ContributorKinds(), answer.reflect,
+                          answer.commit_time, down);
+    ++stats_.degraded_queries;
+    // Recorded as a trace NOTE, not a kQuery entry: degraded answers are
+    // deliberately inconsistent (stale + attribute-truncated), so the
+    // consistency checker must not judge them — but they stay part of the
+    // byte-identical replay surface.
+    if (options_.record_trace) {
+      std::string note =
+          "degraded query " + nq.ToString() + " -> " +
+          std::to_string(answer.data.DistinctSize()) + " tuples";
+      for (const auto& s : answer.staleness) note += " " + s.ToString();
+      trace_->Note(answer.commit_time, note);
+    }
+    cb(std::move(answer));
+    FinishTxn();
+  };
+  if (options_.q_proc_delay > 0) {
+    AfterGuarded(options_.q_proc_delay, std::move(complete));
+  } else {
+    complete();
+  }
 }
 
 std::vector<ContributorKind> Mediator::ContributorKinds() const {
@@ -850,13 +1197,20 @@ HardState Mediator::BuildHardState() const {
   }
   hs.queue = queue_.Snapshot();
   for (const auto& rt : sources_) {
+    const std::string& name = rt->setup.db->name();
     HardState::SourceState ss;
     ss.last_update_seq = rt->last_update_seq;
     ss.last_reflected_send = rt->last_reflected_send;
     ss.quarantined = rt->quarantined;
-    hs.sources.emplace(rt->setup.db->name(), ss);
+    ss.epoch = resync_.Epoch(name);
+    ss.health = static_cast<uint8_t>(resync_.Health(name));
+    hs.sources.emplace(name, ss);
+    if (resync_.NeedsResync(name)) {
+      hs.mirrors.emplace(name, resync_.Mirror(name));
+    }
   }
   hs.next_txn_id = next_txn_id_;
+  hs.next_resync_id = next_resync_id_;
   return hs;
 }
 
@@ -884,11 +1238,16 @@ void Mediator::Crash() {
   txn_delta_capture_.clear();
   pending_txns_.clear();
   poll_wait_.reset();
+  current_inflight_ = nullptr;
   queue_.Restore({});
+  resync_.WipeVolatile();
+  next_resync_id_ = 1;
   for (auto& rt : sources_) {
     rt->last_update_seq = 0;
     rt->last_reflected_send = 0;
     rt->quarantined = false;
+    rt->ever_quarantined = false;
+    rt->poll_failures = 0;
   }
   // The repositories are volatile memory; wipe them in place (the VAP/IUP/QP
   // hold pointers to the store, so the store object itself must survive).
@@ -928,8 +1287,20 @@ Status Mediator::Recover() {
     rt->last_update_seq = it->second.last_update_seq;
     rt->last_reflected_send = it->second.last_reflected_send;
     rt->quarantined = it->second.quarantined;
+    resync_.SetEpoch(rt->setup.db->name(), it->second.epoch);
+    resync_.SetHealth(rt->setup.db->name(),
+                      static_cast<SourceHealth>(it->second.health));
+  }
+  for (auto& [source, rels] : rec.state.mirrors) {
+    for (auto& [rel_name, rel] : rels) {
+      Status ms = resync_.SetMirror(source, rel_name, std::move(rel));
+      if (!ms.ok()) {
+        SQ_LOG(kError) << "mirror restore failed: " << ms.ToString();
+      }
+    }
   }
   next_txn_id_ = rec.state.next_txn_id;
+  next_resync_id_ = rec.state.next_resync_id;
   crashed_ = false;
   ++stats_.recoveries;
   stats_.recovery_txns_replayed += rec.txns_replayed;
@@ -953,6 +1324,20 @@ Status Mediator::Recover() {
     AfterGuarded(options_.update_period, [this]() { PeriodicTick(); });
   } else if (!queue_.Empty()) {
     ScheduleUpdateTxn();
+  }
+  // Re-initiate resyncs the dead incarnation left unfinished. The fresh
+  // request id (next_resync_id_ is durable) guarantees a snapshot answered
+  // to the old incarnation can never complete the new pull.
+  for (auto& rt : sources_) {
+    const std::string& name = rt->setup.db->name();
+    if (!resync_.NeedsResync(name) ||
+        resync_.Health(name) == SourceHealth::kHealthy) {
+      continue;
+    }
+    if (options_.record_trace) {
+      trace_->Note(scheduler_->Now(), "resync resumed " + name);
+    }
+    RequestSnapshot(rt.get());
   }
   return Status::OK();
 }

@@ -26,6 +26,7 @@
 #include "mediator/local_store.h"
 #include "mediator/query.h"
 #include "mediator/query_processor.h"
+#include "mediator/resync.h"
 #include "mediator/trace.h"
 #include "mediator/update_queue.h"
 #include "mediator/vap.h"
@@ -86,6 +87,20 @@ struct MediatorOptions {
   /// source whose send times are within this window are merged into one
   /// queue entry (see UpdateQueue::Enqueue). 0 disables coalescing.
   Time coalesce_window = 0.0;
+  /// Serve queries over suspect/resyncing/quarantined sources from the
+  /// materialized repositories with per-source staleness annotations
+  /// (ViewAnswer::degraded) instead of failing with kUnavailable. Off =
+  /// the pre-existing behavior: such queries poll, time out, and fail.
+  bool degraded_reads = false;
+  /// Backpressure: while any source is resyncing, cap the update queue at
+  /// this many messages by losslessly merging the oldest same-source pair
+  /// (UpdateQueue::CoalesceOldest). 0 disables the cap. Normal-operation
+  /// queues are never shed.
+  size_t max_queue_depth = 0;
+  /// Re-request deadline for an unanswered SnapshotRequest (the request or
+  /// answer may be lost to a crash window). Backed off per attempt like
+  /// polls are.
+  Time resync_retry_delay = 2.0;
 };
 
 /// Aggregate counters over a mediator's lifetime.
@@ -104,6 +119,20 @@ struct MediatorStats {
   uint64_t update_txn_aborts = 0;   ///< update txns re-queued after timeout
   uint64_t failed_queries = 0;      ///< queries failed over with kUnavailable
   uint64_t quarantines = 0;         ///< sources marked stale after retries
+  /// Quarantines of a source that had already been quarantined and cleared
+  /// before — distinct from `quarantines` so rejoin-then-fail cycling is
+  /// visible (every requarantine also counts in `quarantines`).
+  uint64_t requarantines = 0;
+  // ---- source restart / resync counters ----
+  uint64_t epoch_bumps = 0;         ///< new source incarnations observed
+  uint64_t seq_gap_resyncs = 0;     ///< resyncs triggered by a sequence gap
+  uint64_t resyncs_started = 0;     ///< healthy -> resyncing transitions
+  uint64_t resyncs_completed = 0;   ///< corrective deltas enqueued
+  uint64_t snapshots_requested = 0; ///< SnapshotRequests sent (incl. retries)
+  uint64_t updates_dropped_resync = 0;  ///< updates dropped while resyncing
+  uint64_t stale_epoch_msgs = 0;    ///< messages from a dead incarnation
+  uint64_t updates_shed = 0;        ///< backpressure merges (CoalesceOldest)
+  uint64_t degraded_queries = 0;    ///< queries answered in degraded mode
   // ---- crash/recovery counters (zero unless Crash/Recover were used) ----
   uint64_t mediator_crashes = 0;    ///< Crash() calls that took effect
   uint64_t recoveries = 0;          ///< successful Recover() calls
@@ -188,6 +217,8 @@ class Mediator {
   /// Sources currently quarantined as stale (exceeded their poll retries
   /// without answering; cleared by the next message they deliver).
   std::vector<std::string> QuarantinedSources() const;
+  /// Per-source epoch/health/mirror state (the resync lifecycle).
+  const ResyncManager& resync() const { return resync_; }
   /// Durability manager (WAL/checkpoint counters; disabled() if no device).
   const DurabilityManager& durability() const { return durability_; }
   /// Messages merged into a queue tail by delta coalescing (0 when the
@@ -201,15 +232,22 @@ class Mediator {
     ContributorKind kind = ContributorKind::kMaterialized;
     size_t index = 0;
     std::unique_ptr<Channel<SourceToMediatorMsg>> inbound;
-    std::unique_ptr<Channel<PollRequest>> outbound;
+    std::unique_ptr<Channel<MediatorToSourceMsg>> outbound;
     std::unique_ptr<Announcer> announcer;
     std::unique_ptr<PollResponder> responder;
     Time last_reflected_send = 0;
-    /// Highest announcement sequence number accepted; retransmits at or
-    /// below it are duplicates and must not be applied twice.
+    /// Highest announcement sequence number accepted within the source's
+    /// current epoch; retransmits at or below it are duplicates and must
+    /// not be applied twice.
     uint64_t last_update_seq = 0;
     /// True while the source is considered stale (poll retries exhausted).
     bool quarantined = false;
+    /// True once the source has ever been quarantined (drives the
+    /// `requarantines` counter; survives ClearQuarantine).
+    bool ever_quarantined = false;
+    /// Timed-out polling rounds this source stayed silent for since it last
+    /// proved alive (reset by ClearQuarantine).
+    int poll_failures = 0;
   };
 
   struct PollWait {
@@ -258,8 +296,30 @@ class Mediator {
   void OnPollTimeout(uint64_t generation);
   /// Marks \p source stale after exhausted retries (idempotent).
   void Quarantine(const std::string& source);
-  /// Clears a quarantine once the source proves alive again.
+  /// Clears a quarantine once the source proves alive again; also resets
+  /// the poll-retry failure accounting so the rejoined source starts clean.
   void ClearQuarantine(SourceRuntime* rt);
+  // ---- source resync (anti-entropy; see mediator/resync.h) ----
+  /// Transitions \p rt to resyncing for \p new_epoch: logs the WAL begin,
+  /// counts the transition, and requests a snapshot.
+  void BeginResync(SourceRuntime* rt, uint64_t new_epoch);
+  /// Sends a SnapshotRequest for every mirrored relation under a fresh id
+  /// and arms the re-request deadline.
+  void RequestSnapshot(SourceRuntime* rt);
+  /// Handles a snapshot answer: synthesizes the corrective delta against
+  /// believed state and enqueues it as an ordinary update message.
+  void OnSnapshotAnswer(SnapshotAnswer ans);
+  /// Backpressure: shed (lossless-merge) queue entries while a source is
+  /// resyncing and the queue exceeds max_queue_depth.
+  void MaybeShed();
+  /// Answers \p pq from the repositories with staleness annotations
+  /// (degraded mode). Fails over to \p cb with kUnavailable when nothing
+  /// is materialized for the query.
+  void ServeDegraded(const PreparedQuery& pq, const ViewQuery& nq,
+                     std::function<void(Result<ViewAnswer>)> cb);
+  /// True iff \p rt's epoch/health state or quarantine makes polling it
+  /// hopeless right now.
+  bool SourceDown(const SourceRuntime& rt) const;
   /// Poll function serving answers collected by IssuePolls, in plan order.
   Vap::PollFn ReadyPollFn();
   /// Compensation against the queue and (for updates) the in-flight batch.
@@ -294,6 +354,16 @@ class Mediator {
   UpdateQueue queue_;
   std::unique_ptr<Trace> trace_;
   MediatorStats stats_;
+  ResyncManager resync_;
+  /// Id for the next SnapshotRequest. Persisted in checkpoints so a
+  /// recovered mediator never accepts a snapshot answered to the dead
+  /// incarnation.
+  uint64_t next_resync_id_ = 1;
+  /// The in-flight per-source batch of the currently committing update
+  /// transaction (set for Eager Compensation AND the snapshot-answer path,
+  /// whose corrective diff must count these not-yet-mirrored deltas as
+  /// believed state). Null outside an update transaction.
+  const std::map<std::string, MultiDelta>* current_inflight_ = nullptr;
 
   bool started_ = false;
   bool busy_ = false;

@@ -1,10 +1,18 @@
 #include "mediator/query.h"
 
+#include <sstream>
+
 #include "common/strings.h"
 #include "relational/algebra.h"
 #include "relational/parser.h"
 
 namespace squirrel {
+
+std::string SourceStaleness::ToString() const {
+  std::ostringstream os;
+  os << source << ":" << (down ? "down" : "up") << ":stale<=" << staleness;
+  return os.str();
+}
 
 std::string ViewQuery::ToString() const {
   std::string out = relation;

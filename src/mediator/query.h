@@ -28,6 +28,16 @@ struct ViewQuery {
 /// ViewQuery (single-relation πσ forms only).
 Result<ViewQuery> ParseViewQuery(const std::string& text);
 
+/// Per-source staleness annotation attached to degraded answers: how far
+/// behind the live source the materialized data backing the answer may be.
+struct SourceStaleness {
+  std::string source;
+  Time staleness = 0;  ///< answer time minus the source's reflect entry
+  bool down = false;   ///< quarantined or resyncing when the answer formed
+
+  std::string ToString() const;
+};
+
 /// The answer to a view query.
 struct ViewAnswer {
   Relation data;              ///< set semantics (the view language is
@@ -37,6 +47,20 @@ struct ViewAnswer {
   Time commit_time = 0;       ///< query transaction commit time
   TimeVector reflect;         ///< reflect vector (paper §6.1), one entry
                               ///< per source in mediator source order
+  // ---- degraded reads (MediatorOptions::degraded_reads) ----
+  /// True iff this answer was served from materialized data while one or
+  /// more needed sources were down, instead of failing with kUnavailable.
+  /// Degraded answers carry no single-state consistency claim; `staleness`
+  /// bounds how far behind each source the data may be.
+  bool degraded = false;
+  /// Requested attributes with no materialized backing, dropped from the
+  /// answer (the result covers the remaining attributes only).
+  std::vector<std::string> missing_attrs;
+  /// True iff the selection referenced unmaterialized attributes and was
+  /// dropped, making the answer a superset of the exact result.
+  bool cond_dropped = false;
+  /// One entry per source (mediator source order) for degraded answers.
+  std::vector<SourceStaleness> staleness;
 };
 
 }  // namespace squirrel

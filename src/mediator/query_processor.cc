@@ -111,6 +111,48 @@ Result<QueryProcessor::LocalAnswer> QueryProcessor::AnswerWithTemps(
   return out;
 }
 
+Result<QueryProcessor::LocalAnswer> QueryProcessor::AnswerDegraded(
+    const PreparedQuery& q) const {
+  const std::string& node = q.query.relation;
+  if (!store_->HasRepo(node)) {
+    return Status::Unavailable("degraded read impossible: " + node +
+                               " materializes nothing");
+  }
+  std::set<std::string> mat;
+  for (const auto& a : ann_->MaterializedAttrs(*vdp_, node)) mat.insert(a);
+  LocalAnswer out;
+  out.degraded = true;
+  std::vector<std::string> avail;
+  for (const auto& a : q.query.attrs) {
+    if (mat.count(a)) {
+      avail.push_back(a);
+    } else {
+      out.missing_attrs.push_back(a);
+    }
+  }
+  if (avail.empty()) {
+    return Status::Unavailable("degraded read impossible: none of [" +
+                               Join(q.query.attrs, ", ") + "] of " + node +
+                               " is materialized");
+  }
+  Expr::Ptr cond = q.query.cond;
+  if (cond) {
+    for (const auto& a : cond->ReferencedAttrs()) {
+      if (!mat.count(a)) {
+        cond = Expr::True();
+        out.cond_dropped = true;
+        break;
+      }
+    }
+  }
+  SQ_ASSIGN_OR_RETURN(const Relation* repo, store_->Repo(node));
+  SQ_ASSIGN_OR_RETURN(Relation selected, OpSelect(*repo, cond));
+  SQ_ASSIGN_OR_RETURN(Relation projected,
+                      OpProject(selected, avail, Semantics::kBag));
+  out.data = projected.ToSet();
+  return out;
+}
+
 Result<std::optional<VapPlan>> QueryProcessor::PlanFor(
     const ViewQuery& q) const {
   // Legacy contract: input is already normalized; derive needed attrs only.

@@ -37,6 +37,13 @@ class QueryProcessor {
     bool used_virtual = false;  ///< true iff the VAP ran
     uint64_t polls = 0;         ///< source polls performed
     uint64_t polled_tuples = 0;
+    // ---- degraded reads (AnswerDegraded only) ----
+    bool degraded = false;
+    /// Requested attrs with no materialized backing (dropped).
+    std::vector<std::string> missing_attrs;
+    /// True iff the selection referenced unmaterialized attrs and was
+    /// dropped (the answer is a superset of the exact result).
+    bool cond_dropped = false;
   };
 
   /// None of the pointers are owned; all must outlive the processor.
@@ -62,6 +69,17 @@ class QueryProcessor {
   /// Answers \p q against pre-built temporaries (the Mediator's async path).
   Result<LocalAnswer> AnswerWithTemps(const PreparedQuery& q,
                                       const TempStore& temps) const;
+
+  /// Degraded-mode answer while one or more needed sources are down
+  /// (MediatorOptions::degraded_reads): serves whatever the export node's
+  /// repository materializes instead of failing with kUnavailable.
+  /// Unmaterialized requested attributes are dropped (reported in
+  /// missing_attrs); a selection referencing unmaterialized attributes is
+  /// dropped too (cond_dropped), making the answer a superset. Fails with
+  /// kUnavailable only when the export node has no repository or none of
+  /// the requested attributes are materialized — there is then nothing to
+  /// serve.
+  Result<LocalAnswer> AnswerDegraded(const PreparedQuery& q) const;
 
   // Convenience overloads for raw queries; each Prepares and delegates.
   /// Input should be normalized (legacy contract kept for callers that

@@ -1,0 +1,184 @@
+#include "mediator/resync.h"
+
+namespace squirrel {
+
+const char* ToString(SourceHealth health) {
+  switch (health) {
+    case SourceHealth::kHealthy:
+      return "healthy";
+    case SourceHealth::kSuspect:
+      return "suspect";
+    case SourceHealth::kResyncing:
+      return "resyncing";
+  }
+  return "unknown";
+}
+
+void ResyncManager::Register(const std::string& source,
+                             std::map<std::string, Schema> relations) {
+  SourceState& ss = sources_[source];
+  ss.announces = !relations.empty();
+  for (auto& [rel_name, schema] : relations) {
+    ss.mirror.emplace(rel_name, Relation(schema, Semantics::kSet));
+  }
+}
+
+const ResyncManager::SourceState* ResyncManager::Find(
+    const std::string& source) const {
+  auto it = sources_.find(source);
+  return it == sources_.end() ? nullptr : &it->second;
+}
+
+ResyncManager::SourceState* ResyncManager::Find(const std::string& source) {
+  auto it = sources_.find(source);
+  return it == sources_.end() ? nullptr : &it->second;
+}
+
+bool ResyncManager::NeedsResync(const std::string& source) const {
+  const SourceState* ss = Find(source);
+  return ss != nullptr && ss->announces;
+}
+
+std::vector<std::string> ResyncManager::Relations(
+    const std::string& source) const {
+  std::vector<std::string> out;
+  const SourceState* ss = Find(source);
+  if (ss == nullptr) return out;
+  for (const auto& [rel_name, rel] : ss->mirror) {
+    (void)rel;
+    out.push_back(rel_name);
+  }
+  return out;
+}
+
+uint64_t ResyncManager::Epoch(const std::string& source) const {
+  const SourceState* ss = Find(source);
+  return ss == nullptr ? 1 : ss->epoch;
+}
+
+void ResyncManager::SetEpoch(const std::string& source, uint64_t epoch) {
+  SourceState* ss = Find(source);
+  if (ss != nullptr) ss->epoch = epoch;
+}
+
+SourceHealth ResyncManager::Health(const std::string& source) const {
+  const SourceState* ss = Find(source);
+  return ss == nullptr ? SourceHealth::kHealthy : ss->health;
+}
+
+void ResyncManager::SetHealth(const std::string& source,
+                              SourceHealth health) {
+  SourceState* ss = Find(source);
+  if (ss != nullptr) ss->health = health;
+}
+
+bool ResyncManager::AnyUnhealthy() const {
+  for (const auto& [name, ss] : sources_) {
+    (void)name;
+    if (ss.health != SourceHealth::kHealthy) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> ResyncManager::UnhealthySources() const {
+  std::vector<std::string> out;
+  for (const auto& [name, ss] : sources_) {
+    if (ss.health != SourceHealth::kHealthy) out.push_back(name);
+  }
+  return out;
+}
+
+uint64_t ResyncManager::OutstandingRequest(const std::string& source) const {
+  const SourceState* ss = Find(source);
+  return ss == nullptr ? 0 : ss->outstanding_request;
+}
+
+void ResyncManager::SetOutstandingRequest(const std::string& source,
+                                          uint64_t id) {
+  SourceState* ss = Find(source);
+  if (ss != nullptr) ss->outstanding_request = id;
+}
+
+Status ResyncManager::SetMirror(const std::string& source,
+                                const std::string& rel_name,
+                                Relation contents) {
+  SourceState* ss = Find(source);
+  if (ss == nullptr) {
+    return Status::NotFound("resync: unknown source " + source);
+  }
+  auto it = ss->mirror.find(rel_name);
+  if (it == ss->mirror.end()) {
+    return Status::NotFound("resync: " + source + " does not mirror " +
+                            rel_name);
+  }
+  it->second = std::move(contents);
+  return Status::OK();
+}
+
+const std::map<std::string, Relation>& ResyncManager::Mirror(
+    const std::string& source) const {
+  static const std::map<std::string, Relation> kEmpty;
+  const SourceState* ss = Find(source);
+  return ss == nullptr ? kEmpty : ss->mirror;
+}
+
+Status ResyncManager::Advance(const std::string& source,
+                              const MultiDelta& delta) {
+  SourceState* ss = Find(source);
+  if (ss == nullptr || !ss->announces) return Status::OK();
+  for (const auto& rel_name : delta.RelationNames()) {
+    auto it = ss->mirror.find(rel_name);
+    if (it == ss->mirror.end()) continue;  // feeds no VDP leaf
+    const Delta* d = delta.Find(rel_name);
+    SQ_RETURN_IF_ERROR(ApplyDelta(&it->second, *d));
+  }
+  return Status::OK();
+}
+
+Result<MultiDelta> ResyncManager::Corrective(
+    const std::string& source, const MultiDelta& in_transit,
+    const std::map<std::string, Relation>& snapshot) const {
+  const SourceState* ss = Find(source);
+  if (ss == nullptr || !ss->announces) {
+    return Status::FailedPrecondition("resync: " + source +
+                                      " is not an announcing source");
+  }
+  MultiDelta out;
+  for (const auto& [rel_name, mirror_rel] : ss->mirror) {
+    // Believed state = mirror (everything committed) + in-transit net
+    // change (messages accepted but not yet applied). The deltas were
+    // valid against the source's own sequence of states, so applying the
+    // smash to the mirror is strict-apply safe.
+    Relation believed = mirror_rel;
+    const Delta* d = in_transit.Find(rel_name);
+    if (d != nullptr) {
+      SQ_RETURN_IF_ERROR(ApplyDelta(&believed, *d));
+    }
+    auto sit = snapshot.find(rel_name);
+    if (sit == snapshot.end()) {
+      return Status::Internal("resync: snapshot of " + source +
+                              " is missing relation " + rel_name);
+    }
+    SQ_ASSIGN_OR_RETURN(Delta corrective,
+                        Delta::Between(believed, sit->second));
+    if (!corrective.Empty()) {
+      *out.Mutable(rel_name, mirror_rel.schema()) = std::move(corrective);
+    }
+  }
+  return out;
+}
+
+void ResyncManager::WipeVolatile() {
+  for (auto& [name, ss] : sources_) {
+    (void)name;
+    ss.epoch = 1;
+    ss.health = SourceHealth::kHealthy;
+    ss.outstanding_request = 0;
+    for (auto& [rel_name, rel] : ss.mirror) {
+      (void)rel_name;
+      rel = Relation(rel.schema(), rel.semantics());
+    }
+  }
+}
+
+}  // namespace squirrel

@@ -1,0 +1,134 @@
+// Anti-entropy resync of restarted sources (no paper counterpart; see
+// DESIGN.md "Source failure model & resync").
+//
+// The paper's correctness story presumes sources never lose state. A real
+// source that crashes and restarts comes back with its volatile session
+// state gone: the announcer's pending batch (committed-but-unannounced
+// deltas) is lost and its sequence numbering restarts. The mediator detects
+// the new incarnation by the epoch stamped into every message and moves the
+// source through a healthy -> suspect -> resyncing -> healthy lifecycle:
+//
+//   1. An epoch bump (or a per-source sequence gap) marks the source
+//      suspect; its updates are dropped (the snapshot will cover them) and
+//      a SnapshotRequest for every leaf-referenced relation goes out.
+//   2. The source answers with its full current extents. Because the
+//      answer shares the FIFO channel with announcements and the source
+//      flushes its announcer before answering, every update message the
+//      mediator ever received from the source is covered by either an
+//      earlier accepted message or the snapshot itself.
+//   3. The ResyncManager diffs the snapshot against what the mediator
+//      BELIEVES the source holds — a per-source full-relation mirror
+//      advanced at every update-transaction commit, plus the net change of
+//      messages still queued or in flight — and synthesizes a corrective
+//      MultiDelta. Pushed through the normal IUP kernel as an ordinary
+//      update message, it converges every downstream VDP node (and index)
+//      without a view rebuild.
+//
+// The mirrors are part of the mediator's hard state: checkpoints carry
+// them, and committed-transaction WAL records carry the per-source net
+// changes so replay keeps mirror and repositories in lockstep.
+
+#ifndef SQUIRREL_MEDIATOR_RESYNC_H_
+#define SQUIRREL_MEDIATOR_RESYNC_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "delta/delta.h"
+#include "relational/relation.h"
+
+namespace squirrel {
+
+/// Lifecycle of a source as the mediator sees it.
+enum class SourceHealth : uint8_t {
+  kHealthy = 0,    ///< normal operation
+  kSuspect = 1,    ///< new incarnation detected, snapshot not yet requested
+  kResyncing = 2,  ///< snapshot requested; updates dropped until it lands
+};
+
+const char* ToString(SourceHealth health);
+
+/// \brief Tracks per-source epoch/health and the believed-state mirrors the
+/// corrective diff is computed against.
+///
+/// Pure state + diff logic: the mediator drives channel I/O, WAL records,
+/// and the lifecycle transitions' side effects.
+class ResyncManager {
+ public:
+  ResyncManager() = default;
+
+  /// Registers a source. Announcing sources pass the full source schemas of
+  /// every relation a VDP leaf references; those relations are mirrored.
+  /// Virtual-only contributors pass an empty map (epoch tracking only —
+  /// their poll answers always reflect their live state, so an epoch bump
+  /// needs no resync).
+  void Register(const std::string& source,
+                std::map<std::string, Schema> relations);
+
+  /// True iff \p source announces and therefore has mirrored relations.
+  bool NeedsResync(const std::string& source) const;
+
+  /// Mirrored relation names of \p source, sorted (the SnapshotRequest
+  /// extent list).
+  std::vector<std::string> Relations(const std::string& source) const;
+
+  // ---- epoch / health ----
+  uint64_t Epoch(const std::string& source) const;
+  void SetEpoch(const std::string& source, uint64_t epoch);
+  SourceHealth Health(const std::string& source) const;
+  void SetHealth(const std::string& source, SourceHealth health);
+  /// True iff any registered source is not healthy.
+  bool AnyUnhealthy() const;
+  /// Names of sources with health != kHealthy, sorted.
+  std::vector<std::string> UnhealthySources() const;
+
+  /// Outstanding snapshot-request id for \p source (0 = none). Answers with
+  /// any other id are stale and dropped.
+  uint64_t OutstandingRequest(const std::string& source) const;
+  void SetOutstandingRequest(const std::string& source, uint64_t id);
+
+  // ---- mirrors ----
+  /// Installs the initial (or recovered) extent of one mirrored relation.
+  Status SetMirror(const std::string& source, const std::string& rel_name,
+                   Relation contents);
+  /// Read access for checkpointing; empty map for unknown sources.
+  const std::map<std::string, Relation>& Mirror(
+      const std::string& source) const;
+
+  /// Advances \p source's mirror by the net change of a committed update
+  /// transaction (deltas of untracked relations are ignored — they feed no
+  /// VDP leaf).
+  Status Advance(const std::string& source, const MultiDelta& delta);
+
+  /// Synthesizes the corrective net change that moves the mediator's
+  /// believed state of \p source — mirror plus \p in_transit (queued and
+  /// in-flight messages' smashed deltas) — onto \p snapshot.
+  Result<MultiDelta> Corrective(
+      const std::string& source, const MultiDelta& in_transit,
+      const std::map<std::string, Relation>& snapshot) const;
+
+  /// Crash(): wipes volatile state back to defaults (epoch 1, healthy,
+  /// empty mirrors). Recover() rebuilds via SetEpoch/SetHealth/SetMirror.
+  void WipeVolatile();
+
+ private:
+  struct SourceState {
+    uint64_t epoch = 1;
+    SourceHealth health = SourceHealth::kHealthy;
+    uint64_t outstanding_request = 0;
+    std::map<std::string, Relation> mirror;
+    bool announces = false;
+  };
+
+  const SourceState* Find(const std::string& source) const;
+  SourceState* Find(const std::string& source);
+
+  std::map<std::string, SourceState> sources_;
+};
+
+}  // namespace squirrel
+
+#endif  // SQUIRREL_MEDIATOR_RESYNC_H_

@@ -12,11 +12,41 @@ void UpdateQueue::Enqueue(UpdateMessage msg) {
     // the identical tail, so recovered state still matches.
     (void)tail.delta.SmashInPlace(msg.delta);
     tail.seq = msg.seq;
+    tail.epoch = msg.epoch;
     tail.send_time = msg.send_time;
     ++total_coalesced_;
     return;
   }
   messages_.push_back(std::move(msg));
+}
+
+bool UpdateQueue::CoalesceOldestIn(std::deque<UpdateMessage>* q,
+                                   size_t skip) {
+  // Merge the oldest message that has a later same-source message FORWARD
+  // into that message. Per-source FIFO order is preserved and a full-queue
+  // flush smashes per-source deltas anyway, so the net change every
+  // transaction consumes is identical — the shed is lossless, it only gives
+  // up one queue slot (and the older message's distinct send_time, which
+  // reflect-tracking takes the max of regardless).
+  for (size_t i = skip; i < q->size(); ++i) {
+    for (size_t j = i + 1; j < q->size(); ++j) {
+      if ((*q)[j].source != (*q)[i].source) continue;
+      UpdateMessage& older = (*q)[i];
+      UpdateMessage& newer = (*q)[j];
+      MultiDelta merged = std::move(older.delta);
+      (void)merged.SmashInPlace(newer.delta);
+      newer.delta = std::move(merged);
+      q->erase(q->begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+bool UpdateQueue::CoalesceOldest() {
+  if (!CoalesceOldestIn(&messages_)) return false;
+  ++total_shed_;
+  return true;
 }
 
 bool UpdateQueue::WouldCoalesce(const UpdateMessage& msg) const {

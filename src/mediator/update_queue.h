@@ -45,6 +45,23 @@ class UpdateQueue {
   /// The configured coalescing window.
   Time coalesce_window() const { return coalesce_window_; }
 
+  /// Backpressure shed: merges the oldest message that has a later message
+  /// from the same source forward into that later message, freeing one
+  /// queue slot without losing any net change (per-source FIFO order and
+  /// PendingFrom/LastPendingSendTime are unaffected). Returns false when no
+  /// two messages share a source, i.e. the queue cannot shrink losslessly.
+  /// The mediator invokes this only while a source is resyncing and
+  /// MediatorOptions::max_queue_depth is exceeded — never silently in
+  /// normal operation.
+  bool CoalesceOldest();
+
+  /// The shed algorithm on a raw deque, shared with WAL replay so a logged
+  /// shed record reproduces the live queue's merge exactly. \p skip protects
+  /// the first messages from the search: replay's queue still holds an open
+  /// transaction's flushed messages at the front, which the live queue had
+  /// already handed out when it shed.
+  static bool CoalesceOldestIn(std::deque<UpdateMessage>* q, size_t skip = 0);
+
   /// True iff no messages are waiting.
   bool Empty() const { return messages_.empty(); }
   /// Number of waiting messages.
@@ -84,6 +101,8 @@ class UpdateQueue {
   uint64_t TotalRequeued() const { return total_requeued_; }
   /// Total messages merged into a tail message instead of appended.
   uint64_t TotalCoalesced() const { return total_coalesced_; }
+  /// Total messages shed by CoalesceOldest (backpressure during resync).
+  uint64_t TotalShed() const { return total_shed_; }
 
  private:
   std::deque<UpdateMessage> messages_;
@@ -92,6 +111,7 @@ class UpdateQueue {
   uint64_t total_atoms_ = 0;
   uint64_t total_requeued_ = 0;
   uint64_t total_coalesced_ = 0;
+  uint64_t total_shed_ = 0;
 };
 
 }  // namespace squirrel

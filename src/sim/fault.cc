@@ -2,13 +2,28 @@
 
 namespace squirrel {
 
-bool FaultInjector::Crashed(const std::string& source, Time t) const {
-  auto it = plan_.crashes.find(source);
-  if (it == plan_.crashes.end()) return false;
+namespace {
+bool InAnyWindow(const std::map<std::string, std::vector<CrashWindow>>& m,
+                 const std::string& source, Time t) {
+  auto it = m.find(source);
+  if (it == m.end()) return false;
   for (const auto& w : it->second) {
     if (t >= w.start && t < w.end) return true;
   }
   return false;
+}
+}  // namespace
+
+bool FaultInjector::Crashed(const std::string& source, Time t) const {
+  return InAnyWindow(plan_.crashes, source, t) ||
+         InAnyWindow(plan_.restarts, source, t);
+}
+
+const std::vector<CrashWindow>& FaultInjector::RestartWindows(
+    const std::string& source) const {
+  static const std::vector<CrashWindow> kNone;
+  auto it = plan_.restarts.find(source);
+  return it == plan_.restarts.end() ? kNone : it->second;
 }
 
 Time FaultInjector::Jitter(Time now) {

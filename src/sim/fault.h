@@ -63,6 +63,16 @@ struct FaultPlan {
   Time active_until = std::numeric_limits<Time>::infinity();
   /// Crash/recover windows per source-database name.
   std::map<std::string, std::vector<CrashWindow>> crashes;
+  /// Crash/RESTART windows per source-database name. Like `crashes` while
+  /// open (no poll answers, mediator->source messages black-holed), but at
+  /// each window's end the source comes back as a NEW INCARNATION: its
+  /// epoch bumps, its announcer forgets the pending batch and resets its
+  /// sequence numbering (see SourceDb::Restart). Committed-but-unannounced
+  /// deltas are therefore lost and only the mediator's anti-entropy resync
+  /// can recover them. Kept separate from `crashes` so sweeps draw restart
+  /// schedules from a dedicated RNG stream without perturbing the existing
+  /// channel/mediator fault draws of a given seed.
+  std::map<std::string, std::vector<CrashWindow>> restarts;
   /// Crash/recover windows of the MEDIATOR. The simulation kills the
   /// mediator at each start and runs recovery at each end (see
   /// Mediator::Crash/Recover); the injector models the network side: a
@@ -107,8 +117,14 @@ class FaultInjector {
   std::vector<Time> OnSend(Time now, Time base_delay, Dir dir,
                            const std::string& source);
 
-  /// True iff \p source is inside one of its crash windows at \p t.
+  /// True iff \p source is inside one of its crash OR restart windows at
+  /// \p t (restart windows behave identically while open).
   bool Crashed(const std::string& source, Time t) const;
+
+  /// The planned restart windows of \p source (empty vector if none). The
+  /// simulation calls SourceDb::Restart at each window's end.
+  const std::vector<CrashWindow>& RestartWindows(
+      const std::string& source) const;
 
   /// True iff the mediator is inside one of its crash windows at \p t.
   bool MediatorCrashed(Time t) const;

@@ -14,6 +14,7 @@ Announcer::Announcer(SourceDb* db, Scheduler* scheduler,
       faults_(faults) {
   db_->SetCommitListener(
       [this](Time now, const MultiDelta& delta) { OnCommit(now, delta); });
+  db_->SetRestartListener([this](Time now) { OnRestart(now); });
 }
 
 void Announcer::Start() {
@@ -54,9 +55,29 @@ void Announcer::FlushNow() {
   msg.source = db_->name();
   msg.send_time = scheduler_->Now();
   msg.seq = ++seq_;
+  msg.epoch = db_->epoch();
   msg.delta = std::move(pending_);
   pending_ = MultiDelta();
   channel_->Send(SourceToMediatorMsg(std::move(msg)));
+}
+
+void Announcer::OnRestart(Time now) {
+  (void)now;
+  ++restarts_;
+  // Volatile session state is gone: the batch the old incarnation never
+  // shipped is lost (only resync can recover those commits) and sequence
+  // numbering starts over under the new epoch.
+  pending_ = MultiDelta();
+  seq_ = 0;
+  // Announce the new incarnation immediately with an empty "hello" message
+  // so the mediator detects the epoch bump even if the source never commits
+  // again. An ARQ hook defers the delivery past any mediator crash window.
+  UpdateMessage hello;
+  hello.source = db_->name();
+  hello.send_time = scheduler_->Now();
+  hello.seq = ++seq_;
+  hello.epoch = db_->epoch();
+  channel_->Send(SourceToMediatorMsg(std::move(hello)));
 }
 
 void Announcer::Tick() {
@@ -92,6 +113,7 @@ void PollResponder::OnRequest(PollRequest request) {
     answer.id = req.id;
     answer.source = db_->name();
     answer.answered_at = scheduler_->Now();
+    answer.epoch = db_->epoch();
     answer.results.reserve(req.polls.size());
     for (const PollSpec& poll : req.polls) {
       auto result = db_->Query(poll.relation, poll.attrs, poll.cond);
@@ -109,6 +131,65 @@ void PollResponder::OnRequest(PollRequest request) {
     if (announcer_ != nullptr) announcer_->FlushNow();
     out_->Send(SourceToMediatorMsg(std::move(answer)));
   });
+}
+
+void PollResponder::OnSnapshotRequest(SnapshotRequest request) {
+  if (faults_ != nullptr && faults_->Crashed(db_->name(), scheduler_->Now())) {
+    ++dropped_;  // the request reached a crashed source and is lost
+    return;
+  }
+  Time extra =
+      faults_ != nullptr ? faults_->SlowPollExtra(scheduler_->Now()) : 0.0;
+  scheduler_->After(q_proc_delay_ + extra, [this, req = std::move(request)]() {
+    if (faults_ != nullptr &&
+        faults_->Crashed(db_->name(), scheduler_->Now())) {
+      ++dropped_;  // crashed while processing: the answer never leaves
+      return;
+    }
+    // Flush BEFORE reading the state so every previously committed delta is
+    // either already on the channel ahead of the snapshot (FIFO) or folded
+    // into the snapshot itself; announce_seq is then a safe dedup floor.
+    if (announcer_ != nullptr) announcer_->FlushNow();
+    SnapshotAnswer answer;
+    answer.id = req.id;
+    answer.source = db_->name();
+    answer.answered_at = scheduler_->Now();
+    answer.epoch = db_->epoch();
+    answer.announce_seq =
+        announcer_ != nullptr ? announcer_->AnnouncementCount() : 0;
+    for (const std::string& rel_name : req.relations) {
+      auto rel = db_->Current(rel_name);
+      if (!rel.ok()) {
+        SQ_LOG(kError) << "snapshot of " << db_->name() << "." << rel_name
+                       << " failed: " << rel.status().ToString();
+        continue;  // mediator re-requests on timeout
+      }
+      answer.relations.emplace(rel_name, *rel.value());
+    }
+    ++answered_;
+    ++snapshots_answered_;
+    out_->Send(SourceToMediatorMsg(std::move(answer)));
+  });
+}
+
+void PollResponder::OnMessage(MediatorToSourceMsg msg) {
+  if (std::holds_alternative<PollRequest>(msg)) {
+    OnRequest(std::move(std::get<PollRequest>(msg)));
+  } else {
+    OnSnapshotRequest(std::move(std::get<SnapshotRequest>(msg)));
+  }
+}
+
+void ScheduleSourceRestarts(SourceDb* db, Scheduler* scheduler,
+                            FaultInjector* faults) {
+  if (faults == nullptr) return;
+  for (const CrashWindow& w : faults->RestartWindows(db->name())) {
+    Time delay = w.end - scheduler->Now();
+    if (delay < 0) continue;
+    scheduler->After(delay, [db, scheduler]() {
+      db->Restart(scheduler->Now());
+    });
+  }
 }
 
 }  // namespace squirrel

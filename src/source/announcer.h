@@ -52,13 +52,17 @@ class Announcer {
 
   /// Announcement period.
   Time period() const { return period_; }
-  /// Messages sent so far (also the per-source sequence-number high water).
+  /// Sequence-number high water of the CURRENT incarnation (resets to 0
+  /// when the source restarts).
   uint64_t AnnouncementCount() const { return seq_; }
   /// True iff commits since the last announcement are waiting.
   bool HasPending() const { return !pending_.Empty(); }
+  /// Restarts observed (volatile state wiped + hello announcements sent).
+  uint64_t RestartCount() const { return restarts_; }
 
  private:
   void OnCommit(Time now, const MultiDelta& delta);
+  void OnRestart(Time now);
   void Tick();
 
   SourceDb* db_;
@@ -68,6 +72,7 @@ class Announcer {
   FaultInjector* faults_;
   MultiDelta pending_;
   uint64_t seq_ = 0;
+  uint64_t restarts_ = 0;
   bool started_ = false;
   bool crash_probe_pending_ = false;
 };
@@ -92,10 +97,22 @@ class PollResponder {
   /// then sends the answer. Requests hitting a crashed source are lost.
   void OnRequest(PollRequest request);
 
-  /// Requests answered so far.
+  /// Handles an anti-entropy snapshot pull: after the same processing delay
+  /// as a poll, flushes the announcer and then sends the full extents of the
+  /// requested relations. The flush-before-answer ordering on the shared
+  /// FIFO channel guarantees the snapshot covers every update message sent
+  /// before it, so `announce_seq` is a safe dedup floor for the mediator.
+  void OnSnapshotRequest(SnapshotRequest request);
+
+  /// Dispatches a mediator->source message to the right handler.
+  void OnMessage(MediatorToSourceMsg msg);
+
+  /// Requests answered so far (polls and snapshots).
   uint64_t AnsweredCount() const { return answered_; }
   /// Requests lost to crash windows.
   uint64_t DroppedCount() const { return dropped_; }
+  /// Snapshot requests answered so far.
+  uint64_t SnapshotsAnswered() const { return snapshots_answered_; }
   /// Simulated per-request processing time.
   Time q_proc_delay() const { return q_proc_delay_; }
 
@@ -108,7 +125,15 @@ class PollResponder {
   FaultInjector* faults_;
   uint64_t answered_ = 0;
   uint64_t dropped_ = 0;
+  uint64_t snapshots_answered_ = 0;
 };
+
+/// Schedules SourceDb::Restart(end) for every restart window the fault plan
+/// holds for \p db. Call once at simulation start (the mediator does this
+/// when wiring a source with a fault injector). Safe for passive sources
+/// too: the epoch bump then only shows up in poll answers.
+void ScheduleSourceRestarts(SourceDb* db, Scheduler* scheduler,
+                            FaultInjector* faults);
 
 }  // namespace squirrel
 

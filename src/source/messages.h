@@ -10,6 +10,7 @@
 #define SQUIRREL_SOURCE_MESSAGES_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <variant>
 #include <vector>
@@ -27,7 +28,9 @@ namespace squirrel {
 struct UpdateMessage {
   std::string source;  ///< announcing source database
   Time send_time = 0;  ///< when the announcement left the source
-  uint64_t seq = 0;    ///< per-source sequence number
+  uint64_t seq = 0;    ///< per-source sequence number (restarts at 0 when the
+                       ///< source's epoch bumps)
+  uint64_t epoch = 1;  ///< source incarnation; bumps on crash/restart
   MultiDelta delta;    ///< net changes since the previous announcement
 };
 
@@ -50,11 +53,38 @@ struct PollAnswer {
   uint64_t id = 0;
   std::string source;
   Time answered_at = 0;  ///< source-side time the state was read
+  uint64_t epoch = 1;    ///< source incarnation the state belongs to
   std::vector<Relation> results;  ///< aligned with PollRequest::polls
 };
 
+/// Anti-entropy pull: the mediator asks a restarted source for the full
+/// extent of the listed relations so it can diff away any deltas the old
+/// incarnation committed but never announced (see mediator/resync.h).
+struct SnapshotRequest {
+  uint64_t id = 0;
+  std::vector<std::string> relations;
+};
+
+/// Full-state reply to a SnapshotRequest. Because the answer travels on the
+/// same FIFO channel as announcements and the source flushes its announcer
+/// before answering, the snapshot covers every update message sent before
+/// it; `announce_seq` is the announcer's sequence high-water at that
+/// instant, which becomes the mediator's dedup floor after resync.
+struct SnapshotAnswer {
+  uint64_t id = 0;
+  std::string source;
+  Time answered_at = 0;      ///< source-side time the state was read
+  uint64_t epoch = 1;        ///< incarnation the snapshot belongs to
+  uint64_t announce_seq = 0; ///< announcer seq high-water when answering
+  std::map<std::string, Relation> relations;  ///< full extents by name
+};
+
 /// What flows source -> mediator on the shared FIFO channel.
-using SourceToMediatorMsg = std::variant<UpdateMessage, PollAnswer>;
+using SourceToMediatorMsg =
+    std::variant<UpdateMessage, PollAnswer, SnapshotAnswer>;
+
+/// What flows mediator -> source on the shared FIFO channel.
+using MediatorToSourceMsg = std::variant<PollRequest, SnapshotRequest>;
 
 }  // namespace squirrel
 

@@ -111,6 +111,11 @@ Result<Relation> SourceDb::Query(const std::string& rel_name,
   return OpProject(selected, attrs, Semantics::kBag);
 }
 
+void SourceDb::Restart(Time now) {
+  ++epoch_;
+  if (restart_listener_) restart_listener_(now);
+}
+
 std::vector<Time> SourceDb::CommitTimes() const {
   std::vector<Time> out;
   out.reserve(log_.size());

@@ -71,6 +71,25 @@ class SourceDb {
     commit_listener_ = std::move(fn);
   }
 
+  /// Current incarnation number. Starts at 1 and bumps on every Restart().
+  /// Stamped into every UpdateMessage/PollAnswer/SnapshotAnswer so the
+  /// mediator can detect that a source came back with reset session state.
+  uint64_t epoch() const { return epoch_; }
+
+  /// Simulates the source process coming back after a crash: durable state
+  /// (relations, commit log) survives, the incarnation number bumps, and the
+  /// restart listener fires so volatile session state (the announcer's
+  /// pending batch and sequence numbering) is wiped. Commits the old
+  /// incarnation made but never announced are thereby lost to the mediator
+  /// until anti-entropy resync pulls a snapshot.
+  void Restart(Time now);
+
+  /// Installs a listener invoked by Restart() after the epoch bump (the
+  /// announcer of an active source). At most one listener.
+  void SetRestartListener(std::function<void(Time)> fn) {
+    restart_listener_ = std::move(fn);
+  }
+
   /// Number of committed transactions.
   uint64_t CommitCount() const { return log_.size(); }
   /// Commit times of every transaction, in order.
@@ -88,6 +107,8 @@ class SourceDb {
   std::map<std::string, Relation> relations_;
   std::vector<LogEntry> log_;
   std::function<void(Time, const MultiDelta&)> commit_listener_;
+  std::function<void(Time)> restart_listener_;
+  uint64_t epoch_ = 1;
 };
 
 }  // namespace squirrel

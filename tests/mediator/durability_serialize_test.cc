@@ -236,6 +236,133 @@ TEST(WalReplayTest, CoalescedEnqueueWithoutTailIsCorruption) {
   }
 }
 
+TEST(HardStateTest, ResyncStateRoundTrips) {
+  HardState hs = MakeState();
+  hs.sources["DB2"].epoch = 4;
+  hs.sources["DB2"].health = 2;  // resyncing: recovery re-pulls the snapshot
+  Relation mirror(TestSchema("R(a, b)"), Semantics::kBag);
+  ASSERT_TRUE(mirror.Insert(Tuple({1, 2}), 2).ok());
+  hs.mirrors["DB1"].emplace("R", std::move(mirror));
+  hs.mirrors["DB1"].emplace("Q",
+                            Relation(TestSchema("Q(x)"), Semantics::kBag));
+  hs.next_resync_id = 9;
+  std::string bytes = hs.Encode();
+  auto back = HardState::Decode(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->Encode(), bytes);
+  EXPECT_EQ(back->sources.at("DB2").epoch, 4u);
+  EXPECT_EQ(back->sources.at("DB2").health, 2);
+  EXPECT_EQ(back->sources.at("DB1").epoch, 1u);  // default incarnation
+  EXPECT_EQ(back->next_resync_id, 9u);
+  ASSERT_EQ(back->mirrors.size(), 1u);
+  ASSERT_EQ(back->mirrors.at("DB1").size(), 2u);
+  EXPECT_TRUE(back->mirrors.at("DB1").at("R").EqualContents(
+      hs.mirrors.at("DB1").at("R")));
+  EXPECT_EQ(back->mirrors.at("DB1").at("Q").DistinctSize(), 0u);
+}
+
+TEST(WalReplayTest, ResyncRecordsRestoreEpochHealthAndDedupFloor) {
+  MemLogDevice dev;
+  DurabilityManager mgr({&dev, /*wal=*/true, /*checkpoint_every=*/16});
+  ASSERT_TRUE(mgr.WriteCheckpoint(HardState{}).ok());
+  ASSERT_TRUE(mgr.LogEnqueue(Msg("DB1", 3, 1.0, Tuple({1, 10}))).ok());
+  ASSERT_TRUE(mgr.LogResyncBegin("DB1", 2).ok());
+  // The corrective enqueue precedes the done record (crash in between must
+  // replay into a state that simply resyncs again).
+  UpdateMessage fix = Msg("DB1", 5, 2.0, Tuple({2, 20}));
+  fix.epoch = 2;
+  ASSERT_TRUE(mgr.LogEnqueue(fix).ok());
+  ASSERT_TRUE(mgr.LogResyncDone("DB1", 2, 5).ok());
+  auto rec = mgr.Recover();
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  const HardState::SourceState& src = rec->state.sources.at("DB1");
+  EXPECT_EQ(src.epoch, 2u);
+  EXPECT_EQ(src.health, 0);  // back to healthy
+  // The new incarnation's dedup floor, NOT max(old seq, new seq).
+  EXPECT_EQ(src.last_update_seq, 5u);
+  EXPECT_EQ(rec->state.queue.size(), 2u);
+}
+
+TEST(WalReplayTest, ResyncBeginWithoutDoneLeavesSourceResyncing) {
+  MemLogDevice dev;
+  DurabilityManager mgr({&dev, /*wal=*/true, /*checkpoint_every=*/16});
+  ASSERT_TRUE(mgr.WriteCheckpoint(HardState{}).ok());
+  ASSERT_TRUE(mgr.LogResyncBegin("DB1", 3).ok());
+  auto rec = mgr.Recover();
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(rec->state.sources.at("DB1").epoch, 3u);
+  // Recovery sees the unfinished resync and re-initiates the snapshot pull.
+  EXPECT_EQ(rec->state.sources.at("DB1").health, 2);
+}
+
+TEST(WalReplayTest, EpochBumpInEnqueueResetsDedupHighWater) {
+  MemLogDevice dev;
+  DurabilityManager mgr({&dev, /*wal=*/true, /*checkpoint_every=*/16});
+  ASSERT_TRUE(mgr.WriteCheckpoint(HardState{}).ok());
+  ASSERT_TRUE(mgr.LogEnqueue(Msg("DB1", 7, 1.0, Tuple({1, 10}))).ok());
+  UpdateMessage hello = Msg("DB1", 1, 2.0, Tuple({2, 20}));
+  hello.epoch = 2;
+  ASSERT_TRUE(mgr.LogEnqueue(hello).ok());
+  auto rec = mgr.Recover();
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(rec->state.sources.at("DB1").epoch, 2u);
+  EXPECT_EQ(rec->state.sources.at("DB1").last_update_seq, 1u);
+}
+
+TEST(WalReplayTest, ShedRecordReplaysTheLosslessMerge) {
+  MemLogDevice dev;
+  DurabilityManager mgr({&dev, /*wal=*/true, /*checkpoint_every=*/16});
+  ASSERT_TRUE(mgr.WriteCheckpoint(HardState{}).ok());
+  ASSERT_TRUE(mgr.LogEnqueue(Msg("DB1", 1, 1.0, Tuple({1, 10}))).ok());
+  ASSERT_TRUE(mgr.LogEnqueue(Msg("DB2", 1, 1.5, Tuple({7, 70}))).ok());
+  ASSERT_TRUE(mgr.LogEnqueue(Msg("DB1", 2, 2.0, Tuple({2, 20}))).ok());
+  ASSERT_TRUE(mgr.LogShed().ok());
+  auto rec = mgr.Recover();
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  ASSERT_EQ(rec->state.queue.size(), 2u);
+  EXPECT_EQ(rec->state.queue.front().source, "DB2");
+  const UpdateMessage& merged = rec->state.queue.back();
+  EXPECT_EQ(merged.source, "DB1");
+  EXPECT_EQ(merged.seq, 2u);
+  ASSERT_NE(merged.delta.Find("R"), nullptr);
+  EXPECT_EQ(merged.delta.Find("R")->CountOf(Tuple({1, 10})), 1);
+  EXPECT_EQ(merged.delta.Find("R")->CountOf(Tuple({2, 20})), 1);
+}
+
+TEST(WalReplayTest, ShedWithNoMergeablePairIsCorruption) {
+  MemLogDevice dev;
+  DurabilityManager mgr({&dev, /*wal=*/true, /*checkpoint_every=*/16});
+  ASSERT_TRUE(mgr.WriteCheckpoint(HardState{}).ok());
+  ASSERT_TRUE(mgr.LogEnqueue(Msg("DB1", 1, 1.0, Tuple({1, 10}))).ok());
+  ASSERT_TRUE(mgr.LogShed().ok());  // no same-source pair exists
+  EXPECT_FALSE(mgr.Recover().ok());
+}
+
+TEST(WalReplayTest, CommitSourceDeltasAdvanceTheMirrors) {
+  MemLogDevice dev;
+  DurabilityManager mgr({&dev, /*wal=*/true, /*checkpoint_every=*/16});
+  HardState hs;
+  Relation mirror(TestSchema("R(a, b)"), Semantics::kBag);
+  ASSERT_TRUE(mirror.Insert(Tuple({1, 10})).ok());
+  hs.mirrors["DB1"].emplace("R", std::move(mirror));
+  ASSERT_TRUE(mgr.WriteCheckpoint(hs).ok());
+  ASSERT_TRUE(mgr.LogEnqueue(Msg("DB1", 1, 1.0, Tuple({2, 20}))).ok());
+  ASSERT_TRUE(mgr.LogTxnBegin(1, 1).ok());
+  CommitPayload payload;
+  payload.txn_id = 1;
+  payload.consumed = 1;
+  ASSERT_TRUE(payload.source_deltas["DB1"]
+                  .Mutable("R", TestSchema("R(a, b)"))
+                  ->AddInsert(Tuple({2, 20}))
+                  .ok());
+  ASSERT_TRUE(mgr.LogTxnCommit(payload).ok());
+  auto rec = mgr.Recover();
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  const Relation& r = rec->state.mirrors.at("DB1").at("R");
+  EXPECT_EQ(r.DistinctSize(), 2u);
+  EXPECT_TRUE(r.Contains(Tuple({2, 20})));
+}
+
 TEST(MemLogDeviceTest, AppendTruncateReadAll) {
   MemLogDevice dev;
   for (int i = 0; i < 5; ++i) {

@@ -1,0 +1,239 @@
+// Unit tests for the anti-entropy resync layer: ResyncManager lifecycle and
+// corrective-diff algebra, the update queue's lossless backpressure shed
+// (CoalesceOldest and its WAL-replay twin CoalesceOldestIn), and the
+// degraded-answer staleness annotations.
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mediator/freshness.h"
+#include "mediator/resync.h"
+#include "mediator/update_queue.h"
+#include "testing/util.h"
+
+namespace squirrel {
+namespace {
+
+using testing::MakeSchema;
+
+Relation MakeRel(const std::string& decl,
+                 const std::vector<Tuple>& rows) {
+  Relation rel(MakeSchema(decl), Semantics::kBag);
+  for (const Tuple& t : rows) SQ_EXPECT_OK(rel.Insert(t));
+  return rel;
+}
+
+ResyncManager MakeManager() {
+  ResyncManager mgr;
+  mgr.Register("DB1", {{"R", MakeSchema("R(a, b) key(a)")},
+                       {"Q", MakeSchema("Q(x) key(x)")}});
+  mgr.Register("DB2", {});  // virtual-only contributor: epoch tracking only
+  return mgr;
+}
+
+TEST(ResyncManagerTest, RegistrationAndLifecycle) {
+  ResyncManager mgr = MakeManager();
+  EXPECT_TRUE(mgr.NeedsResync("DB1"));
+  EXPECT_FALSE(mgr.NeedsResync("DB2"));
+  EXPECT_FALSE(mgr.NeedsResync("Unknown"));
+  EXPECT_EQ(mgr.Relations("DB1"), (std::vector<std::string>{"Q", "R"}));
+  EXPECT_TRUE(mgr.Relations("DB2").empty());
+
+  EXPECT_EQ(mgr.Epoch("DB1"), 1u);
+  EXPECT_EQ(mgr.Health("DB1"), SourceHealth::kHealthy);
+  EXPECT_FALSE(mgr.AnyUnhealthy());
+  EXPECT_TRUE(mgr.UnhealthySources().empty());
+
+  mgr.SetEpoch("DB1", 3);
+  mgr.SetHealth("DB1", SourceHealth::kSuspect);
+  mgr.SetHealth("DB2", SourceHealth::kResyncing);
+  EXPECT_EQ(mgr.Epoch("DB1"), 3u);
+  EXPECT_TRUE(mgr.AnyUnhealthy());
+  EXPECT_EQ(mgr.UnhealthySources(),
+            (std::vector<std::string>{"DB1", "DB2"}));
+
+  EXPECT_EQ(mgr.OutstandingRequest("DB1"), 0u);
+  mgr.SetOutstandingRequest("DB1", 7);
+  EXPECT_EQ(mgr.OutstandingRequest("DB1"), 7u);
+
+  SQ_ASSERT_OK(mgr.SetMirror("DB1", "R",
+                             MakeRel("R(a, b) key(a)", {Tuple({1, 10})})));
+  mgr.WipeVolatile();
+  EXPECT_EQ(mgr.Epoch("DB1"), 1u);
+  EXPECT_EQ(mgr.Health("DB2"), SourceHealth::kHealthy);
+  EXPECT_EQ(mgr.OutstandingRequest("DB1"), 0u);
+  // Mirror slots survive (recovery re-installs into them) but are emptied.
+  ASSERT_EQ(mgr.Mirror("DB1").size(), 2u);
+  EXPECT_EQ(mgr.Mirror("DB1").at("R").DistinctSize(), 0u);
+  // Registration survives the wipe: recovery re-installs mirrors into the
+  // same announcing-source slots.
+  EXPECT_TRUE(mgr.NeedsResync("DB1"));
+}
+
+TEST(ResyncManagerTest, AdvanceTracksCommitsAndIgnoresUntracked) {
+  ResyncManager mgr = MakeManager();
+  SQ_ASSERT_OK(mgr.SetMirror("DB1", "R",
+                             MakeRel("R(a, b) key(a)", {Tuple({1, 10})})));
+  MultiDelta d;
+  SQ_ASSERT_OK(d.Mutable("R", MakeSchema("R(a, b) key(a)"))
+                   ->AddInsert(Tuple({2, 20})));
+  SQ_ASSERT_OK(d.Mutable("R", MakeSchema("R(a, b) key(a)"))
+                   ->AddDelete(Tuple({1, 10})));
+  // A relation no VDP leaf references must be skipped, not an error.
+  SQ_ASSERT_OK(d.Mutable("Untracked", MakeSchema("Untracked(z)"))
+                   ->AddInsert(Tuple({9})));
+  SQ_ASSERT_OK(mgr.Advance("DB1", d));
+  const Relation& r = mgr.Mirror("DB1").at("R");
+  EXPECT_EQ(r.DistinctSize(), 1u);
+  EXPECT_TRUE(r.Contains(Tuple({2, 20})));
+  // Advancing an untracked source is a no-op.
+  SQ_ASSERT_OK(mgr.Advance("DB2", d));
+}
+
+TEST(ResyncManagerTest, CorrectiveMovesBelievedStateOntoSnapshot) {
+  ResyncManager mgr = MakeManager();
+  SQ_ASSERT_OK(mgr.SetMirror(
+      "DB1", "R",
+      MakeRel("R(a, b) key(a)", {Tuple({1, 10}), Tuple({2, 20})})));
+  SQ_ASSERT_OK(mgr.SetMirror("DB1", "Q", MakeRel("Q(x) key(x)", {})));
+
+  // In transit (queued + in-flight): delete (2,20), insert (3,30); believed
+  // state of R is therefore {(1,10), (3,30)}.
+  MultiDelta in_transit;
+  SQ_ASSERT_OK(in_transit.Mutable("R", MakeSchema("R(a, b) key(a)"))
+                   ->AddDelete(Tuple({2, 20})));
+  SQ_ASSERT_OK(in_transit.Mutable("R", MakeSchema("R(a, b) key(a)"))
+                   ->AddInsert(Tuple({3, 30})));
+
+  // The snapshot: (4,40) was committed but never announced (the loss the
+  // resync must heal), and (3,30) is absent — pure algebra check that
+  // in-transit changes are charged to believed state (in a live run they
+  // are already in the snapshot and must not be applied twice; here the
+  // diff must synthesize the compensating delete).
+  std::map<std::string, Relation> snapshot;
+  snapshot.emplace("R", MakeRel("R(a, b) key(a)",
+                                {Tuple({1, 10}), Tuple({4, 40})}));
+  snapshot.emplace("Q", MakeRel("Q(x) key(x)", {Tuple({5})}));
+
+  SQ_ASSERT_OK_AND_ASSIGN(MultiDelta fix,
+                          mgr.Corrective("DB1", in_transit, snapshot));
+
+  // Applying believed + corrective must land exactly on the snapshot.
+  Relation believed =
+      MakeRel("R(a, b) key(a)", {Tuple({1, 10}), Tuple({3, 30})});
+  ASSERT_NE(fix.Find("R"), nullptr);
+  SQ_ASSERT_OK(ApplyDelta(&believed, *fix.Find("R")));
+  EXPECT_TRUE(believed.EqualContents(snapshot.at("R")));
+  Relation believed_q = MakeRel("Q(x) key(x)", {});
+  ASSERT_NE(fix.Find("Q"), nullptr);
+  SQ_ASSERT_OK(ApplyDelta(&believed_q, *fix.Find("Q")));
+  EXPECT_TRUE(believed_q.EqualContents(snapshot.at("Q")));
+}
+
+TEST(ResyncManagerTest, CorrectiveIsEmptyWhenNothingWasLost) {
+  ResyncManager mgr = MakeManager();
+  SQ_ASSERT_OK(mgr.SetMirror("DB1", "R",
+                             MakeRel("R(a, b) key(a)", {Tuple({1, 10})})));
+  SQ_ASSERT_OK(mgr.SetMirror("DB1", "Q", MakeRel("Q(x) key(x)", {})));
+  std::map<std::string, Relation> snapshot;
+  snapshot.emplace("R", MakeRel("R(a, b) key(a)", {Tuple({1, 10})}));
+  snapshot.emplace("Q", MakeRel("Q(x) key(x)", {}));
+  SQ_ASSERT_OK_AND_ASSIGN(MultiDelta fix,
+                          mgr.Corrective("DB1", MultiDelta{}, snapshot));
+  EXPECT_TRUE(fix.Empty());
+}
+
+UpdateMessage Msg(const std::string& source, uint64_t seq, const Tuple& t,
+                  int64_t count = 1) {
+  UpdateMessage msg;
+  msg.source = source;
+  msg.seq = seq;
+  msg.send_time = static_cast<Time>(seq);
+  EXPECT_TRUE(
+      msg.delta.Mutable("R", MakeSchema("R(a, b)"))->Add(t, count).ok());
+  return msg;
+}
+
+TEST(UpdateQueueShedTest, CoalesceOldestMergesOldestSameSourcePair) {
+  UpdateQueue q;
+  q.Enqueue(Msg("DB1", 1, Tuple({1, 10})));
+  q.Enqueue(Msg("DB2", 1, Tuple({7, 70})));
+  q.Enqueue(Msg("DB1", 2, Tuple({2, 20})));
+  SQ_ASSERT_OK_AND_ASSIGN(MultiDelta before, q.PendingFrom("DB1"));
+
+  ASSERT_TRUE(q.CoalesceOldest());
+  EXPECT_EQ(q.Size(), 2u);
+  EXPECT_EQ(q.TotalShed(), 1u);
+  // Front is now the untouched DB2 message; the merged DB1 survivor keeps
+  // the LATER identity and position, so per-source FIFO order holds.
+  std::vector<UpdateMessage> flushed = q.Flush();
+  EXPECT_EQ(flushed[0].source, "DB2");
+  EXPECT_EQ(flushed[1].source, "DB1");
+  EXPECT_EQ(flushed[1].seq, 2u);
+  ASSERT_NE(flushed[1].delta.Find("R"), nullptr);
+  // Lossless: the survivor carries the smashed net change of both messages.
+  EXPECT_EQ(flushed[1].delta.Find("R")->CountOf(Tuple({1, 10})), 1);
+  EXPECT_EQ(flushed[1].delta.Find("R")->CountOf(Tuple({2, 20})), 1);
+  EXPECT_TRUE(before.Find("R")->EqualContents(*flushed[1].delta.Find("R")));
+}
+
+TEST(UpdateQueueShedTest, CoalesceOldestRefusesWhenAllSourcesDistinct) {
+  UpdateQueue q;
+  q.Enqueue(Msg("DB1", 1, Tuple({1, 10})));
+  q.Enqueue(Msg("DB2", 1, Tuple({2, 20})));
+  EXPECT_FALSE(q.CoalesceOldest());  // shrinking would lose a message
+  EXPECT_EQ(q.Size(), 2u);
+  EXPECT_EQ(q.TotalShed(), 0u);
+}
+
+TEST(UpdateQueueShedTest, CoalesceOldestInHonorsReplaySkip) {
+  // Replay's queue still holds an open transaction's flushed messages at the
+  // front; the skip must keep the shed search off them.
+  std::deque<UpdateMessage> q = {Msg("DB1", 1, Tuple({1, 10})),
+                                 Msg("DB1", 2, Tuple({2, 20})),
+                                 Msg("DB2", 1, Tuple({3, 30}))};
+  // With the first message protected, no shed-able pair remains.
+  EXPECT_FALSE(UpdateQueue::CoalesceOldestIn(&q, /*skip=*/1));
+  EXPECT_EQ(q.size(), 3u);
+  // Unprotected, the DB1 pair merges.
+  EXPECT_TRUE(UpdateQueue::CoalesceOldestIn(&q, /*skip=*/0));
+  ASSERT_EQ(q.size(), 2u);
+  EXPECT_EQ(q[0].source, "DB1");
+  EXPECT_EQ(q[0].seq, 2u);
+  EXPECT_EQ(q[1].source, "DB2");
+}
+
+TEST(AnnotateStalenessTest, MaterializedLagVirtualZeroAndDownFlags) {
+  std::vector<std::string> names = {"DB1", "DB2", "DB3"};
+  std::vector<ContributorKind> kinds = {ContributorKind::kMaterialized,
+                                        ContributorKind::kVirtual,
+                                        ContributorKind::kHybrid};
+  TimeVector reflect = {5.0, 2.0, 12.0};
+  std::vector<SourceStaleness> ann =
+      AnnotateStaleness(names, kinds, reflect, /*now=*/12.0,
+                        {true, false, false});
+  ASSERT_EQ(ann.size(), 3u);
+  EXPECT_EQ(ann[0].source, "DB1");
+  EXPECT_DOUBLE_EQ(ann[0].staleness, 7.0);
+  EXPECT_TRUE(ann[0].down);
+  // Virtual contributors have no materialized state to be stale.
+  EXPECT_DOUBLE_EQ(ann[1].staleness, 0.0);
+  EXPECT_FALSE(ann[1].down);
+  // Hybrid at reflect == now: clamped to zero, never negative.
+  EXPECT_DOUBLE_EQ(ann[2].staleness, 0.0);
+}
+
+TEST(AnnotateStalenessTest, EmptyDownVectorMeansAllUp) {
+  std::vector<SourceStaleness> ann = AnnotateStaleness(
+      {"DB1"}, {ContributorKind::kMaterialized}, {1.0}, 4.0);
+  ASSERT_EQ(ann.size(), 1u);
+  EXPECT_DOUBLE_EQ(ann[0].staleness, 3.0);
+  EXPECT_FALSE(ann[0].down);
+}
+
+}  // namespace
+}  // namespace squirrel

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/strings.h"
 #include "mediator/consistency.h"
 #include "mediator/durability/log_device.h"
 #include "relational/parser.h"
@@ -163,12 +164,62 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
     p.mediator_crashes = med_windows;
     return p;
   };
-  std::vector<std::unique_ptr<FaultInjector>> injectors;
   std::vector<SourceDb*> dbs = {db1.get(), db2.get()};
   if (has_db3) dbs.push_back(db3.get());
+  std::vector<FaultPlan> plans;
   for (size_t i = 0; i < dbs.size(); ++i) {
-    injectors.push_back(std::make_unique<FaultInjector>(
-        make_plan(dbs[i]->name()), seed + 1000 + i));
+    plans.push_back(make_plan(dbs[i]->name()));
+  }
+  // Deterministic rendering of the schedule EXCLUDING restart windows; the
+  // dedicated-rng pin test asserts it is byte-identical whether or not
+  // source restarts are enabled for this seed.
+  result.fault_plan_dump = "t_end=" + std::to_string(t_end) + "\n";
+  for (size_t i = 0; i < dbs.size(); ++i) {
+    const FaultPlan& p = plans[i];
+    result.fault_plan_dump +=
+        dbs[i]->name() + ": jitter=" + std::to_string(p.delay_jitter_max) +
+        " drop=" + std::to_string(p.drop_prob) +
+        " dup=" + std::to_string(p.dup_prob) +
+        " arq=" + std::to_string(p.retransmit_timeout) +
+        " slow=" + std::to_string(p.slow_poll_prob) + "/" +
+        std::to_string(p.slow_poll_delay) + " crashes=";
+    for (const auto& [name, windows] : p.crashes) {
+      for (const CrashWindow& w : windows) {
+        result.fault_plan_dump += "[" + std::to_string(w.start) + "," +
+                                  std::to_string(w.end) + "]";
+      }
+    }
+    result.fault_plan_dump += "\n";
+  }
+  result.fault_plan_dump += "mediator:";
+  for (const CrashWindow& w : med_windows) {
+    result.fault_plan_dump +=
+        " [" + std::to_string(w.start) + "," + std::to_string(w.end) + "]";
+  }
+  result.fault_plan_dump += "\n";
+  // Source restart windows draw from a DEDICATED rng stream, after every
+  // other schedule decision: the draws above are identical with restarts on
+  // or off, so a restart run's baseline is simply the same seed without
+  // restarts.
+  if (opts.source_restarts > 0) {
+    Rng restart_rng(seed * 0xA24BAED4963EE407ULL + 99991);
+    for (size_t i = 0; i < dbs.size(); ++i) {
+      int windows =
+          static_cast<int>(restart_rng.Uniform(opts.source_restarts + 1));
+      Time cursor = 6.0;
+      for (int w = 0; w < windows; ++w) {
+        Time start = cursor + restart_rng.UniformDouble() * t_end * 0.5;
+        Time end = start + 0.5 + restart_rng.UniformDouble() * 5.0;
+        if (end >= t_end - 2.0) break;
+        plans[i].restarts[dbs[i]->name()].push_back({start, end});
+        cursor = end + 3.0;
+      }
+    }
+  }
+  std::vector<std::unique_ptr<FaultInjector>> injectors;
+  for (size_t i = 0; i < dbs.size(); ++i) {
+    injectors.push_back(
+        std::make_unique<FaultInjector>(plans[i], seed + 1000 + i));
   }
 
   // ---- mediator configuration; the final re-poll deadline
@@ -185,6 +236,8 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
   options.txn_retry_delay = 0.5 + rng.UniformDouble();
   options.use_indexes = opts.use_indexes;
   options.coalesce_window = opts.coalesce_window;
+  options.degraded_reads = opts.degraded_reads;
+  options.max_queue_depth = opts.max_queue_depth;
   MemLogDevice log_dev;
   if (opts.durability) {
     options.durability.device = &log_dev;
@@ -260,7 +313,11 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
       mediator->SubmitQuery(
           q, [&result, &bad_status](Result<ViewAnswer> ans) {
             if (ans.ok()) {
-              ++result.queries_ok;
+              if (ans.value().degraded) {
+                ++result.queries_degraded;  // stale-but-annotated answer
+              } else {
+                ++result.queries_ok;
+              }
             } else if (ans.status().code() == StatusCode::kUnavailable) {
               ++result.queries_failed;  // legal fail-over under faults
             } else if (bad_status.empty()) {
@@ -395,6 +452,10 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
       return Status::Internal(SeedTag(seed) + "final query on " + exp +
                               " failed: " + ans.status().ToString());
     }
+    if (ans.value().degraded) {
+      return Status::Internal(SeedTag(seed) + "final query on " + exp +
+                              " was degraded (a source never recovered)");
+    }
     SQ_ASSIGN_OR_RETURN(Relation expected, checker.EvalNodeAt(exp, final_at));
     std::string got = RowsString(ans.value().data);
     std::string want = RowsString(expected.ToSet());
@@ -405,6 +466,21 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
     }
     result.final_exports += exp + ": " + got + "\n";
     ++result.exports_checked;
+  }
+
+  // ---- no permanent outage: after drain + final queries, every source
+  // must be back to healthy and un-quarantined (resync-sweep invariant) ----
+  if (opts.require_all_healthy) {
+    std::vector<std::string> quarantined = mediator->QuarantinedSources();
+    if (!quarantined.empty()) {
+      return Status::Internal(SeedTag(seed) + "source(s) still quarantined " +
+                              "after drain: " + Join(quarantined, ", "));
+    }
+    std::vector<std::string> unhealthy = mediator->resync().UnhealthySources();
+    if (!unhealthy.empty()) {
+      return Status::Internal(SeedTag(seed) + "source(s) still resyncing " +
+                              "after drain: " + Join(unhealthy, ", "));
+    }
   }
 
   // ---- the whole trace must pass the independent consistency checker ----
@@ -433,7 +509,15 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
   result.wal_records = mediator->durability().records_logged();
   result.checkpoints = mediator->durability().checkpoints_written();
   result.coalesced_msgs = mediator->CoalescedMessages();
+  for (SourceDb* db : dbs) result.source_restarts += db->epoch() - 1;
   const MediatorStats& ms = result.stats;
+  result.epoch_bumps = ms.epoch_bumps;
+  result.resyncs_started = ms.resyncs_started;
+  result.resyncs_completed = ms.resyncs_completed;
+  result.snapshots_requested = ms.snapshots_requested;
+  result.updates_dropped_resync = ms.updates_dropped_resync;
+  result.updates_shed = ms.updates_shed;
+  result.requarantines = ms.requarantines;
   result.trace_dump =
       mediator->trace().ToString(/*include_data=*/true) +
       "stats: updates=" + std::to_string(ms.update_txns) +
@@ -459,6 +543,17 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
       " checkpoints=" + std::to_string(result.checkpoints) +
       " med_retransmits=" + std::to_string(result.mediator_retransmits) +
       " coalesced=" + std::to_string(result.coalesced_msgs) +
+      "\nresync: restarts=" + std::to_string(result.source_restarts) +
+      " epoch_bumps=" + std::to_string(ms.epoch_bumps) +
+      " seq_gap=" + std::to_string(ms.seq_gap_resyncs) +
+      " started=" + std::to_string(ms.resyncs_started) +
+      " completed=" + std::to_string(ms.resyncs_completed) +
+      " snapshots=" + std::to_string(ms.snapshots_requested) +
+      " dropped=" + std::to_string(ms.updates_dropped_resync) +
+      " stale_epoch=" + std::to_string(ms.stale_epoch_msgs) +
+      " shed=" + std::to_string(ms.updates_shed) +
+      " requarantines=" + std::to_string(ms.requarantines) +
+      " degraded=" + std::to_string(ms.degraded_queries) +
       "\n";
   return result;
 }

@@ -53,6 +53,21 @@ struct FaultSimOptions {
   /// same-source announcements can land inside the coalescing window while
   /// earlier ones still sit in the queue.
   double event_gap_scale = 1.0;
+  // ---- source crash/restart & resync (PR: source epochs + anti-entropy) --
+  /// Up to this many crash/restart windows per source: the source is dead
+  /// for the window and restarts (epoch bump, announcer state lost) at its
+  /// end. Drawn from a DEDICATED rng stream so turning restarts on does not
+  /// perturb the channel/mediator fault schedules or the workload of the
+  /// same seed (pinned by a harness test).
+  int source_restarts = 0;
+  /// MediatorOptions::degraded_reads — serve stale annotated answers while
+  /// a needed source is down instead of failing with kUnavailable.
+  bool degraded_reads = false;
+  /// MediatorOptions::max_queue_depth (backpressure cap during resync).
+  size_t max_queue_depth = 0;
+  /// Fail the run if any source ends quarantined or not healthy after the
+  /// drain + final queries (the resync sweep's no-permanent-outage check).
+  bool require_all_healthy = false;
 };
 
 /// What one seeded schedule produced (for assertions and reporting).
@@ -86,6 +101,22 @@ struct FaultSimResult {
   /// Deterministic rendering of the final export relations; a crash-point
   /// run must produce exactly the crash-free baseline's string.
   std::string final_exports;
+  // Source restart / resync observability.
+  uint64_t source_restarts = 0;   ///< epoch bumps across all sources
+  uint64_t epoch_bumps = 0;       ///< new incarnations the mediator observed
+  uint64_t resyncs_started = 0;
+  uint64_t resyncs_completed = 0;
+  uint64_t snapshots_requested = 0;
+  uint64_t updates_dropped_resync = 0;
+  uint64_t updates_shed = 0;      ///< backpressure merges
+  uint64_t requarantines = 0;
+  /// Mid-run queries answered in degraded mode (stale + annotated).
+  uint64_t queries_degraded = 0;
+  /// Deterministic rendering of the NON-restart fault schedule (jitter,
+  /// drop/dup probabilities, source crash windows, mediator windows) plus
+  /// the workload horizon. Must be byte-identical between a run with
+  /// source_restarts = 0 and one with restarts on (dedicated-rng pin).
+  std::string fault_plan_dump;
 };
 
 /// Runs one seeded fault schedule end to end. Returns an error naming the
