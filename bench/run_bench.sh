@@ -1,16 +1,22 @@
 #!/usr/bin/env bash
-# Builds the E13 incremental-index benchmark in Release mode and writes the
-# committed baseline report BENCH_pr4.json at the repository root.
+# Builds the standalone benchmark drivers in Release mode and writes the
+# committed baseline reports at the repository root:
+#   E13 incremental index      -> BENCH_pr4.json
+#   E14 concurrent mediator    -> BENCH_pr6.json
 #
-#   bench/run_bench.sh [output-path]
+#   bench/run_bench.sh [e13-output-path [e14-output-path]]
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-out_path="${1:-$repo_root/BENCH_pr4.json}"
+e13_out="${1:-$repo_root/BENCH_pr4.json}"
+e14_out="${2:-$repo_root/BENCH_pr6.json}"
 build_dir="$repo_root/build-bench"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$build_dir" --target bench_e13_incremental_index -j >/dev/null
+cmake --build "$build_dir" --target bench_e13_incremental_index \
+  bench_e14_concurrent_mediator -j >/dev/null
 
-"$build_dir/bench/bench_e13_incremental_index" --out="$out_path"
-echo "wrote $out_path"
+"$build_dir/bench/bench_e13_incremental_index" --out="$e13_out"
+echo "wrote $e13_out"
+"$build_dir/bench/bench_e14_concurrent_mediator" --out="$e14_out"
+echo "wrote $e14_out"

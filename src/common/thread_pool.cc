@@ -1,0 +1,98 @@
+#include "common/thread_pool.h"
+
+#include <chrono>
+
+namespace squirrel {
+namespace {
+
+// splitmix64 — a cheap, well-mixed hash for the perturbation decisions.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int workers) {
+  threads_.reserve(workers > 0 ? static_cast<std::size_t>(workers) : 0);
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::MaybePerturb(std::size_t task_index) {
+  const uint64_t seed = perturb_seed_.load(std::memory_order_relaxed);
+  if (seed == 0) return;
+  uint64_t h;
+  {
+    // batch_id_ is only written by the orchestrator between batches; reading
+    // it under the lock keeps TSan (and the C++ memory model) satisfied.
+    std::lock_guard<std::mutex> lock(mu_);
+    h = Mix(seed ^ (batch_id_ * 0x9e3779b97f4a7c15ULL) ^ task_index);
+  }
+  switch (h % 3) {
+    case 0:
+      break;  // run immediately
+    case 1:
+      std::this_thread::yield();
+      break;
+    default:
+      std::this_thread::sleep_for(std::chrono::microseconds(h % 50));
+      break;
+  }
+}
+
+void ThreadPool::RunAll(const std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+  if (threads_.empty()) {
+    for (const auto& task : tasks) task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_ = &tasks;
+    next_ = 0;
+    done_ = 0;
+    ++batch_id_;
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return done_ == tasks.size(); });
+  tasks_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::size_t index;
+    const std::vector<std::function<void()>>* batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || (tasks_ != nullptr && next_ < tasks_->size());
+      });
+      if (shutdown_) return;
+      batch = tasks_;
+      index = next_++;
+    }
+    MaybePerturb(index);
+    (*batch)[index]();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++done_;
+      if (done_ == batch->size()) done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace squirrel

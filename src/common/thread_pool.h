@@ -1,0 +1,70 @@
+// A small fixed-size worker pool used by the parallel IUP kernel.
+//
+// The pool runs *batches*: one orchestrator thread calls RunAll() with a
+// vector of tasks, the workers drain them, and RunAll() returns only after
+// every task has finished. Between batches the workers are idle; nothing in
+// the pool runs concurrently with the orchestrator outside a RunAll() call,
+// which is what lets the IUP keep its serial merge/apply phases untouched.
+//
+// Contract: exactly one orchestrator thread may call RunAll() at a time
+// (the mediator's commit path is already serialized, so this is free).
+// With zero workers the pool degrades to inline execution on the caller's
+// thread — the deterministic oracle mode.
+//
+// SetPerturbSeed() arms a seeded scheduling perturbation: before and after
+// each task a worker may yield or sleep for a few microseconds, derived
+// deterministically from (seed, batch, task index). This shakes out
+// ordering assumptions in stress tests without changing any task's result.
+
+#ifndef SQUIRREL_COMMON_THREAD_POOL_H_
+#define SQUIRREL_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace squirrel {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads. 0 => every RunAll() runs inline.
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs every task and returns when all are done. Tasks may run in any
+  /// order and on any worker; the caller must make them conflict-free.
+  void RunAll(const std::vector<std::function<void()>>& tasks);
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+  /// Arms (nonzero) or disarms (zero) the seeded scheduling perturbation.
+  void SetPerturbSeed(uint64_t seed) {
+    perturb_seed_.store(seed, std::memory_order_relaxed);
+  }
+
+ private:
+  void WorkerLoop();
+  void MaybePerturb(std::size_t task_index);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a batch
+  std::condition_variable done_cv_;   // orchestrator waits for completion
+  const std::vector<std::function<void()>>* tasks_ = nullptr;  // current batch
+  std::size_t next_ = 0;   // next unclaimed task index
+  std::size_t done_ = 0;   // finished tasks in the current batch
+  uint64_t batch_id_ = 0;  // bumps per batch; feeds the perturbation hash
+  bool shutdown_ = false;
+  std::atomic<uint64_t> perturb_seed_{0};
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace squirrel
+
+#endif  // SQUIRREL_COMMON_THREAD_POOL_H_

@@ -33,8 +33,8 @@ enum RecordTag : uint8_t {
 
 // Checkpoint format version, bumped on incompatible layout changes.
 // v2 adds per-source epoch/health, the resync mirrors, and the
-// snapshot-request id counter.
-constexpr uint32_t kHardStateVersion = 2;
+// snapshot-request id counter. v3 adds the MVCC snapshot-version counter.
+constexpr uint32_t kHardStateVersion = 3;
 
 }  // namespace
 
@@ -70,6 +70,7 @@ std::string HardState::Encode() const {
     }
   }
   w.PutU64(next_resync_id);
+  w.PutU64(snapshot_version);
   return w.Take();
 }
 
@@ -118,6 +119,7 @@ Result<HardState> HardState::Decode(const std::string& bytes) {
     }
   }
   SQ_ASSIGN_OR_RETURN(hs.next_resync_id, r.GetU64());
+  SQ_ASSIGN_OR_RETURN(hs.snapshot_version, r.GetU64());
   if (!r.AtEnd()) {
     return Status::Internal("checkpoint has trailing bytes");
   }

@@ -78,6 +78,11 @@ Result<std::unique_ptr<Mediator>> Mediator::Create(
                                     med->store_.get(), options.strategy);
   med->iup_ = std::make_unique<Iup>(&med->vdp_, &med->ann_,
                                     med->store_.get(), med->vap_.get());
+  if (options.iup_threads > 0) {
+    med->iup_pool_ = std::make_unique<ThreadPool>(options.iup_threads);
+    med->iup_pool_->SetPerturbSeed(options.iup_perturb_seed);
+    med->iup_->SetThreadPool(med->iup_pool_.get());
+  }
   med->qp_ = std::make_unique<QueryProcessor>(&med->vdp_, &med->ann_,
                                               med->store_.get(),
                                               med->vap_.get());
@@ -195,6 +200,9 @@ Status Mediator::Start() {
     }
     trace_->Add(std::move(entry));
   }
+
+  // MVCC: version 1 is the freshly initialized view.
+  PublishStoreSnapshot();
 
   // The WAL's commit records carry the narrowed per-node deltas exactly as
   // the repositories absorbed them; the store's apply listener is how they
@@ -882,6 +890,10 @@ void Mediator::RunUpdateTxn() {
       }
     }
     current_inflight_ = nullptr;
+    // MVCC: expose the committed state as a new immutable version. Apply
+    // and publish happen in this same event, so readers either see the
+    // whole transaction or none of it — never a half-committed store.
+    PublishStoreSnapshot();
     // WAL: commit record. Only now are the transaction's effects — the
     // narrowed node deltas just applied, the reflect advances, and the
     // mirror advances — durable; a crash any earlier rolls the whole
@@ -977,9 +989,95 @@ void Mediator::SubmitQuery(const ViewQuery& q,
     callback(Status::Unavailable("mediator is down"));
     return;
   }
+  if (options_.mvcc_reads) {
+    // Poll-free queries take the lock-free snapshot path instead of
+    // serializing behind the transaction queue. Eligibility (coverage +
+    // plan shape) depends only on the static annotation — never on data or
+    // time — so deciding it here is equivalent to deciding at txn start.
+    auto prepared = qp_->Prepare(q);
+    if (prepared.ok() && SnapshotServable(*prepared) &&
+        store_->Snapshot() != nullptr) {
+      ServeSnapshotQuery(std::move(prepared).value(), std::move(callback));
+      return;
+    }
+    // Ineligible (or Prepare failed): fall through to the serialized path,
+    // which re-prepares and surfaces any error through the usual machinery.
+  }
   EnqueueTxn([this, q, cb = std::move(callback)]() mutable {
     RunQueryTxn(std::move(q), std::move(cb));
   });
+}
+
+bool Mediator::SnapshotServable(const PreparedQuery& pq) const {
+  auto plan = qp_->PlanFor(pq);
+  if (!plan.ok()) return false;
+  if (!plan->has_value()) return true;  // materialized data suffices
+  return (*plan)->polls.empty();        // VAP assembly, but no source polls
+}
+
+void Mediator::PublishStoreSnapshot() {
+  if (!options_.mvcc_reads) return;
+  store_->PublishSnapshot(UpdateReflect());
+  ++stats_.snapshots_published;
+}
+
+void Mediator::ServeSnapshotQuery(PreparedQuery pq,
+                                  std::function<void(Result<ViewAnswer>)> cb) {
+  ++stats_.snapshot_queries;
+  auto serve = [this, pq = std::move(pq), cb = std::move(cb)]() {
+    // Pin the latest committed version; the whole computation below reads
+    // it even if an update transaction commits concurrently. In-sim, apply
+    // and publish are atomic within the commit event, so this snapshot is
+    // exactly the live committed store — the answer is byte-identical to a
+    // serialized no-poll query committing at this instant.
+    StoreSnapshotPtr snap = store_->Snapshot();
+    if (snap == nullptr) {
+      cb(Status::Internal("mvcc: no published store snapshot"));
+      return;
+    }
+    auto local = qp_->Answer(pq, nullptr, nullptr, snap.get());
+    if (!local.ok()) {
+      cb(local.status());
+      return;
+    }
+    ViewAnswer answer;
+    answer.data = local->data;
+    answer.used_virtual = local->used_virtual;
+    answer.polls = 0;
+    // Materialized/hybrid entries come from the snapshot's commit tag; a
+    // virtual contributor's state is irrelevant to a poll-free query, so
+    // its entry is "now" — the same rule QueryReflect applies. The entries
+    // can only have advanced since the snapshot's publish, so trace order
+    // (reflect monotonicity) is preserved.
+    TimeVector reflect = snap->reflect();
+    for (size_t i = 0; i < sources_.size(); ++i) {
+      if (sources_[i]->kind == ContributorKind::kVirtual) {
+        reflect[i] = scheduler_->Now();
+      }
+    }
+    answer.reflect = std::move(reflect);
+    answer.commit_time = scheduler_->Now();
+    ++stats_.query_txns;
+    if (options_.record_trace) {
+      TraceEntry entry;
+      entry.kind = TxnKind::kQuery;
+      entry.commit_time = answer.commit_time;
+      entry.reflect = answer.reflect;
+      entry.polls = 0;
+      entry.query = pq.query;
+      entry.answer = answer.data;
+      trace_->Add(std::move(entry));
+    }
+    cb(std::move(answer));
+  };
+  // The whole computation — snapshot pin included — runs at completion
+  // time, so the recorded reflect can never precede an update entry that
+  // committed while this query was "processing".
+  if (options_.q_proc_delay > 0) {
+    AfterGuarded(options_.q_proc_delay, std::move(serve));
+  } else {
+    serve();
+  }
 }
 
 void Mediator::RunQueryTxn(ViewQuery q,
@@ -1211,6 +1309,7 @@ HardState Mediator::BuildHardState() const {
   }
   hs.next_txn_id = next_txn_id_;
   hs.next_resync_id = next_resync_id_;
+  hs.snapshot_version = store_->SnapshotVersion();
   return hs;
 }
 
@@ -1301,6 +1400,12 @@ Status Mediator::Recover() {
   }
   next_txn_id_ = rec.state.next_txn_id;
   next_resync_id_ = rec.state.next_resync_id;
+  // MVCC: resume the version chain strictly past everything the dead
+  // incarnation may have published (WAL replay can run past the checkpoint,
+  // so advance by the replayed commits too), then publish the recovered
+  // repositories as a fresh version.
+  store_->EnsureSnapshotVersionAtLeast(rec.state.snapshot_version +
+                                       rec.txns_replayed);
   crashed_ = false;
   ++stats_.recoveries;
   stats_.recovery_txns_replayed += rec.txns_replayed;
@@ -1313,6 +1418,9 @@ Status Mediator::Recover() {
                      std::to_string(rec.txns_rolled_back) + " requeued=" +
                      std::to_string(rec.msgs_requeued));
   }
+  // MVCC: the recovered repositories become the next version on the same
+  // chain (every node is dirty after the SetRepo restores above).
+  PublishStoreSnapshot();
   // A post-recovery checkpoint bounds the next recovery's replay and
   // truncates the log the dead incarnation left behind.
   SQ_RETURN_IF_ERROR(durability_.WriteCheckpoint(BuildHardState()));

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "mediator/contributor.h"
 #include "mediator/durability/durability.h"
 #include "mediator/freshness.h"
@@ -101,6 +102,21 @@ struct MediatorOptions {
   /// answer may be lost to a crash window). Backed off per attempt like
   /// polls are.
   Time resync_retry_delay = 2.0;
+  // ---- concurrency (PR: MVCC reads + parallel IUP) ----
+  /// MVCC reads: serve poll-free queries from the latest committed store
+  /// snapshot instead of enqueueing them behind the transaction queue —
+  /// queries never block on (or behind) an in-flight update transaction
+  /// and never observe a half-committed one. Queries that must poll
+  /// sources still serialize as transactions. Off = every query is a
+  /// serialized transaction (the pre-existing behavior and the oracle).
+  bool mvcc_reads = false;
+  /// > 0: run the IUP kernel's rule firings on this many pool workers
+  /// (equivalence with the serial kernel is by construction; the sweep
+  /// proves it byte-identical per seed). 0 = serial kernel (the oracle).
+  int iup_threads = 0;
+  /// Nonzero: perturb worker scheduling (seeded yields/sleeps) to shake
+  /// out ordering assumptions under TSan. 0 = no perturbation.
+  uint64_t iup_perturb_seed = 0;
 };
 
 /// Aggregate counters over a mediator's lifetime.
@@ -140,6 +156,9 @@ struct MediatorStats {
   uint64_t recovery_msgs_requeued = 0;  ///< messages re-queued by rollbacks
   uint64_t recovery_txns_replayed = 0;  ///< committed txns redone at recovery
   uint64_t msgs_dropped_at_crash = 0;  ///< deliveries into a crashed mediator
+  // ---- MVCC counters (zero unless mvcc_reads is on) ----
+  uint64_t snapshot_queries = 0;     ///< queries served from a snapshot
+  uint64_t snapshots_published = 0;  ///< store versions published
 };
 
 /// \brief A generated Squirrel integration mediator.
@@ -329,6 +348,19 @@ class Mediator {
   TimeVector UpdateReflect() const;
   void RecordUpdateCommit(const IupStats& stats, uint64_t polls);
   SourceRuntime* FindSource(const std::string& name);
+  // ---- MVCC helpers ----
+  /// Publishes the committed repositories as a new store version tagged
+  /// with the current reflect vector. Called after init, every update
+  /// commit, and recovery (only when mvcc_reads is on).
+  void PublishStoreSnapshot();
+  /// True iff \p pq can be served from a snapshot: planning (which depends
+  /// only on the static annotation, never on data or time) shows no source
+  /// polls are needed.
+  bool SnapshotServable(const PreparedQuery& pq) const;
+  /// The MVCC fast path: answers \p pq from the latest snapshot after
+  /// q_proc_delay, without occupying the transaction queue.
+  void ServeSnapshotQuery(PreparedQuery pq,
+                          std::function<void(Result<ViewAnswer>)> cb);
 
   // ---- durability helpers ----
   /// Schedules \p fn after \p delay, but only runs it if the mediator has
@@ -351,6 +383,8 @@ class Mediator {
   std::unique_ptr<Vap> vap_;
   std::unique_ptr<Iup> iup_;
   std::unique_ptr<QueryProcessor> qp_;
+  /// Worker pool for the parallel IUP kernel (null when iup_threads == 0).
+  std::unique_ptr<ThreadPool> iup_pool_;
   UpdateQueue queue_;
   std::unique_ptr<Trace> trace_;
   MediatorStats stats_;

@@ -71,8 +71,10 @@ Result<std::optional<VapPlan>> QueryProcessor::PlanFor(
 }
 
 Result<QueryProcessor::LocalAnswer> QueryProcessor::AnswerFromRepo(
-    const PreparedQuery& q) const {
-  SQ_ASSIGN_OR_RETURN(const Relation* repo, store_->Repo(q.query.relation));
+    const PreparedQuery& q, const StoreSnapshot* snap) const {
+  SQ_ASSIGN_OR_RETURN(const Relation* repo,
+                      snap != nullptr ? snap->Repo(q.query.relation)
+                                      : store_->Repo(q.query.relation));
   SQ_ASSIGN_OR_RETURN(Relation selected, OpSelect(*repo, q.query.cond));
   SQ_ASSIGN_OR_RETURN(Relation projected,
                       OpProject(selected, q.query.attrs, Semantics::kBag));
@@ -83,19 +85,22 @@ Result<QueryProcessor::LocalAnswer> QueryProcessor::AnswerFromRepo(
 
 Result<QueryProcessor::LocalAnswer> QueryProcessor::Answer(
     const PreparedQuery& q, const Vap::PollFn& poll,
-    const Vap::CompensationFn& comp) const {
+    const Vap::CompensationFn& comp, const StoreSnapshot* snap) const {
   SQ_ASSIGN_OR_RETURN(std::optional<VapPlan> plan, PlanFor(q));
-  if (!plan.has_value()) return AnswerFromRepo(q);
-  SQ_ASSIGN_OR_RETURN(TempStore temps, vap_->Execute(*plan, poll, comp));
-  SQ_ASSIGN_OR_RETURN(LocalAnswer out, AnswerWithTemps(q, temps));
+  if (!plan.has_value()) return AnswerFromRepo(q, snap);
+  SQ_ASSIGN_OR_RETURN(TempStore temps, vap_->Execute(*plan, poll, comp, snap));
+  SQ_ASSIGN_OR_RETURN(LocalAnswer out, AnswerWithTemps(q, temps, snap));
   out.polls = temps.polls;
   out.polled_tuples = temps.polled_tuples;
   return out;
 }
 
 Result<QueryProcessor::LocalAnswer> QueryProcessor::AnswerWithTemps(
-    const PreparedQuery& q, const TempStore& temps) const {
-  if (vap_->RepoCovers(q.query.relation, q.needed)) return AnswerFromRepo(q);
+    const PreparedQuery& q, const TempStore& temps,
+    const StoreSnapshot* snap) const {
+  if (vap_->RepoCovers(q.query.relation, q.needed)) {
+    return AnswerFromRepo(q, snap);
+  }
   const TempStore::Entry* entry = temps.Find(q.query.relation);
   if (entry == nullptr || !temps.Covers(q.query.relation, q.needed)) {
     return Status::Internal("no temporary for query " + q.query.ToString());

@@ -63,12 +63,18 @@ class QueryProcessor {
   Result<std::optional<VapPlan>> PlanFor(const PreparedQuery& q) const;
 
   /// Answers \p q, running the VAP with \p poll / \p comp when needed.
+  /// With \p snap set, every repository read (direct or through the VAP)
+  /// is served from that immutable snapshot instead of the live store —
+  /// the MVCC read path, safe against a concurrent commit.
   Result<LocalAnswer> Answer(const PreparedQuery& q, const Vap::PollFn& poll,
-                             const Vap::CompensationFn& comp) const;
+                             const Vap::CompensationFn& comp,
+                             const StoreSnapshot* snap = nullptr) const;
 
   /// Answers \p q against pre-built temporaries (the Mediator's async path).
   Result<LocalAnswer> AnswerWithTemps(const PreparedQuery& q,
-                                      const TempStore& temps) const;
+                                      const TempStore& temps,
+                                      const StoreSnapshot* snap = nullptr)
+      const;
 
   /// Degraded-mode answer while one or more needed sources are down
   /// (MediatorOptions::degraded_reads): serves whatever the export node's
@@ -91,7 +97,8 @@ class QueryProcessor {
                                       const TempStore& temps) const;
 
  private:
-  Result<LocalAnswer> AnswerFromRepo(const PreparedQuery& q) const;
+  Result<LocalAnswer> AnswerFromRepo(const PreparedQuery& q,
+                                     const StoreSnapshot* snap) const;
 
   const Vdp* vdp_;
   const Annotation* ann_;

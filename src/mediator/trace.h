@@ -6,6 +6,7 @@
 #define SQUIRREL_MEDIATOR_TRACE_H_
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -40,6 +41,13 @@ struct TraceEntry {
 };
 
 /// \brief An append-only transaction log.
+///
+/// Appends are serialized by an internal mutex so commit paths running off
+/// the coordinator thread (the concurrent mediator's worker pool, bench
+/// drivers) can record entries without racing. Readers (entries(), notes(),
+/// ToString()) are NOT synchronized against concurrent appends — they are
+/// meant for after the run, or for callers who externally quiesce writers
+/// first, exactly like the consistency/freshness checkers do.
 class Trace {
  public:
   /// \param source_names the mediator's source order; reflect vectors in
@@ -48,14 +56,18 @@ class Trace {
       : source_names_(std::move(source_names)) {}
   Trace() = default;
 
-  /// Appends an entry (commit times must be non-decreasing).
-  void Add(TraceEntry entry) { entries_.push_back(std::move(entry)); }
+  /// Appends an entry (commit times must be non-decreasing). Thread-safe.
+  void Add(TraceEntry entry) {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.push_back(std::move(entry));
+  }
 
   /// Appends a free-form operational note (quarantines, aborted
   /// transactions, failed queries). Notes are not transactions — the
   /// consistency checker ignores them — but they are part of the replay
-  /// identity a seeded fault schedule must reproduce.
+  /// identity a seeded fault schedule must reproduce. Thread-safe.
   void Note(Time t, std::string text) {
+    std::lock_guard<std::mutex> lock(mu_);
     notes_.emplace_back(t, std::move(text));
   }
 
@@ -77,6 +89,7 @@ class Trace {
   std::string ToString(bool include_data = true) const;
 
  private:
+  std::mutex mu_;  ///< serializes appends (Add/Note)
   std::vector<std::string> source_names_;
   std::vector<TraceEntry> entries_;
   std::vector<std::pair<Time, std::string>> notes_;

@@ -1,0 +1,258 @@
+// MVCC snapshot tests: isolation (a pinned reader sees byte-identical
+// contents before/during/after a concurrent commit), copy-on-write sharing,
+// refcount GC of superseded snapshots, version-chain bookkeeping across
+// recovery, and the sim-level mvcc_reads mode. This file is part of the
+// TSan CI job, so the threaded isolation test doubles as a race probe.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mediator/durability/durability.h"
+#include "mediator/local_store.h"
+#include "source/source_db.h"
+#include "testing/harness.h"
+#include "testing/sim_harness.h"
+#include "testing/util.h"
+#include "vdp/paper_examples.h"
+
+namespace squirrel {
+namespace {
+
+using testing::DirectHarness;
+using testing::FaultSimOptions;
+using testing::FaultSimResult;
+using testing::MakeSchema;
+using testing::RunFaultSim;
+
+// Deterministic rendering of every materialized node in \p snap.
+std::string Dump(const StoreSnapshot& snap,
+                 const std::vector<std::string>& nodes) {
+  std::string out;
+  for (const auto& name : nodes) {
+    auto repo = snap.Repo(name);
+    SQ_EXPECT_OK(repo.status());
+    if (repo.ok()) out += (*repo)->ToString(name) + "\n";
+  }
+  return out;
+}
+
+std::string DumpLive(DirectHarness& h) {
+  std::string out;
+  for (const auto& name : h.store().MaterializedNodes()) {
+    auto repo = h.store().Repo(name);
+    SQ_EXPECT_OK(repo.status());
+    if (repo.ok()) out += (*repo)->ToString(name) + "\n";
+  }
+  return out;
+}
+
+class MvccFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db1_ = std::make_unique<SourceDb>("DB1");
+    db2_ = std::make_unique<SourceDb>("DB2");
+    SQ_ASSERT_OK(
+        db1_->AddRelation("R", MakeSchema("R(r1, r2, r3, r4) key(r1)")));
+    SQ_ASSERT_OK(db2_->AddRelation("S", MakeSchema("S(s1, s2, s3) key(s1)")));
+    SQ_ASSERT_OK(db1_->InsertTuple(0, "R", Tuple({1, 100, 11, 100})));
+    SQ_ASSERT_OK(db1_->InsertTuple(0, "R", Tuple({2, 200, 22, 100})));
+    SQ_ASSERT_OK(db2_->InsertTuple(0, "S", Tuple({100, 5, 10})));
+    SQ_ASSERT_OK(db2_->InsertTuple(0, "S", Tuple({200, 6, 20})));
+
+    auto vdp = BuildFigure1Vdp();
+    ASSERT_TRUE(vdp.ok());
+    harness_ = std::make_unique<DirectHarness>(
+        std::move(vdp).value(), AnnotationExample21(),
+        std::map<std::string, SourceDb*>{{"DB1", db1_.get()},
+                                         {"DB2", db2_.get()}});
+    SQ_ASSERT_OK(harness_->Load());
+  }
+
+  // Commits an R insert with key \p r1 and propagates it through the IUP.
+  void CommitR(Time now, int64_t r1) {
+    MultiDelta md;
+    SQ_ASSERT_OK(md.Mutable("R", MakeSchema("R(r1, r2, r3, r4)"))
+                     ->AddInsert(Tuple({r1, 100, r1 * 11, 100})));
+    SQ_ASSERT_OK(harness_->CommitAndPropagate("DB1", now, md).status());
+  }
+
+  std::unique_ptr<SourceDb> db1_, db2_;
+  std::unique_ptr<DirectHarness> harness_;
+};
+
+TEST_F(MvccFixture, PublishTagsVersionAndReflect) {
+  LocalStore& store = harness_->store();
+  EXPECT_EQ(store.Snapshot(), nullptr);
+  EXPECT_EQ(store.SnapshotVersion(), 0u);
+
+  StoreSnapshotPtr v1 = store.PublishSnapshot(TimeVector{1.5, 2.5});
+  ASSERT_NE(v1, nullptr);
+  EXPECT_EQ(v1->version(), 1u);
+  EXPECT_EQ(v1->reflect(), (TimeVector{1.5, 2.5}));
+  EXPECT_EQ(store.SnapshotVersion(), 1u);
+  EXPECT_EQ(store.Snapshot(), v1);
+
+  // The snapshot captures exactly the live contents, for every repository.
+  EXPECT_EQ(Dump(*v1, store.MaterializedNodes()), DumpLive(*harness_));
+  EXPECT_FALSE(v1->HasRepo("R"));  // leaves have no repository
+  EXPECT_FALSE(v1->Repo("R").ok());
+}
+
+TEST_F(MvccFixture, PinnedReaderSeesByteIdenticalContentsAcrossCommits) {
+  LocalStore& store = harness_->store();
+  const std::vector<std::string> nodes = store.MaterializedNodes();
+  StoreSnapshotPtr pinned = store.PublishSnapshot(TimeVector{0, 0});
+  const std::string before = Dump(*pinned, nodes);
+
+  // Reader thread: continuously re-render the pinned snapshot (and peek at
+  // the moving latest) while the writer commits; any deviation is a bug.
+  std::atomic<bool> stop{false};
+  std::atomic<int> mismatches{0};
+  std::atomic<uint64_t> reads{0};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      if (Dump(*pinned, nodes) != before) mismatches.fetch_add(1);
+      StoreSnapshotPtr latest = store.Snapshot();
+      if (latest != nullptr && latest->version() < pinned->version()) {
+        mismatches.fetch_add(1);  // the chain must never move backwards
+      }
+      reads.fetch_add(1);
+    }
+  });
+
+  // Writer: the update path — commit, propagate, publish — repeatedly.
+  // Wait for the reader to actually start so the commits overlap reads.
+  while (reads.load() == 0) std::this_thread::yield();
+  for (int i = 0; i < 20; ++i) {
+    CommitR(1.0 + i, 10 + i);
+    store.PublishSnapshot(TimeVector{1.0 + i, 0});
+  }
+  // Let the reader observe the final state a few more times before stopping.
+  const uint64_t after_commits = reads.load();
+  while (reads.load() < after_commits + 3) std::this_thread::yield();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  // After the dust settles the pinned snapshot is still byte-identical ...
+  EXPECT_EQ(Dump(*pinned, nodes), before);
+  // ... while the latest snapshot has moved on and absorbed the commits.
+  StoreSnapshotPtr latest = store.Snapshot();
+  ASSERT_NE(latest, nullptr);
+  EXPECT_EQ(latest->version(), 21u);
+  EXPECT_NE(Dump(*latest, nodes), before);
+  EXPECT_EQ(Dump(*latest, nodes), DumpLive(*harness_));
+}
+
+TEST_F(MvccFixture, CopyOnWriteSharesCleanNodesAcrossVersions) {
+  LocalStore& store = harness_->store();
+  StoreSnapshotPtr v1 = store.PublishSnapshot(TimeVector{0, 0});
+  // A DB1.R commit dirties R' and T but leaves S' untouched.
+  CommitR(1.0, 10);
+  StoreSnapshotPtr v2 = store.PublishSnapshot(TimeVector{1.0, 0});
+
+  SQ_ASSERT_OK_AND_ASSIGN(const Relation* s1, v1->Repo("S'"));
+  SQ_ASSERT_OK_AND_ASSIGN(const Relation* s2, v2->Repo("S'"));
+  EXPECT_EQ(s1, s2) << "clean node must share the previous version's object";
+
+  SQ_ASSERT_OK_AND_ASSIGN(const Relation* t1, v1->Repo("T"));
+  SQ_ASSERT_OK_AND_ASSIGN(const Relation* t2, v2->Repo("T"));
+  EXPECT_NE(t1, t2) << "dirty node must get a fresh copy";
+  EXPECT_FALSE(t1->EqualContents(*t2));
+
+  // Neither version aliases the live repository object.
+  SQ_ASSERT_OK_AND_ASSIGN(const Relation* live_t, store.Repo("T"));
+  EXPECT_NE(t1, live_t);
+  EXPECT_NE(t2, live_t);
+}
+
+TEST_F(MvccFixture, GcFreesSupersededSnapshotsOnlyWhenUnpinned) {
+  LocalStore& store = harness_->store();
+  StoreSnapshotPtr pin1 = store.PublishSnapshot(TimeVector{0, 0});
+  CommitR(1.0, 10);
+  StoreSnapshotPtr pin2 = store.PublishSnapshot(TimeVector{1.0, 0});
+  CommitR(2.0, 11);
+  store.PublishSnapshot(TimeVector{2.0, 0});  // latest, pinned by the store
+
+  EXPECT_EQ(store.LiveSnapshots().size(), 3u);
+  pin1.reset();
+  EXPECT_EQ(store.LiveSnapshots().size(), 2u)
+      << "unpinning the only reader of v1 must free it";
+  pin2.reset();
+  EXPECT_EQ(store.LiveSnapshots().size(), 1u);
+  // The latest snapshot is always retained by the store itself.
+  ASSERT_NE(store.Snapshot(), nullptr);
+  EXPECT_EQ(store.LiveSnapshots().front()->version(), 3u);
+}
+
+TEST_F(MvccFixture, VersionCounterFastForwardsForRecovery) {
+  LocalStore& store = harness_->store();
+  store.PublishSnapshot(TimeVector{0, 0});
+  EXPECT_EQ(store.SnapshotVersion(), 1u);
+  // Recovery replays the checkpointed version (+ replayed txns) so new
+  // publishes never collide with versions a pre-crash reader may pin.
+  store.EnsureSnapshotVersionAtLeast(10);
+  EXPECT_EQ(store.SnapshotVersion(), 10u);
+  EXPECT_EQ(store.PublishSnapshot(TimeVector{1.0, 0})->version(), 11u);
+  store.EnsureSnapshotVersionAtLeast(5);  // never moves backwards
+  EXPECT_EQ(store.PublishSnapshot(TimeVector{2.0, 0})->version(), 12u);
+}
+
+TEST(HardStateMvccTest, EncodeRoundTripsSnapshotVersion) {
+  HardState hs;
+  hs.next_txn_id = 7;
+  hs.next_resync_id = 3;
+  hs.snapshot_version = 42;
+  SQ_ASSERT_OK_AND_ASSIGN(HardState back, HardState::Decode(hs.Encode()));
+  EXPECT_EQ(back.snapshot_version, 42u);
+  EXPECT_EQ(back.next_txn_id, 7u);
+  EXPECT_EQ(back.next_resync_id, 3u);
+  // Byte-identical re-encode (the checkpoint determinism contract).
+  EXPECT_EQ(back.Encode(), hs.Encode());
+}
+
+// ---- sim-level mvcc_reads -------------------------------------------------
+
+TEST(MvccSimTest, SnapshotReadsPreserveFinalExports) {
+  uint64_t snapshot_queries = 0;
+  for (uint64_t seed : {11u, 23u, 47u}) {
+    SQ_ASSERT_OK_AND_ASSIGN(FaultSimResult base, RunFaultSim(seed, {}));
+    FaultSimOptions opts;
+    opts.mvcc_reads = true;
+    SQ_ASSERT_OK_AND_ASSIGN(FaultSimResult mvcc, RunFaultSim(seed, opts));
+    // MVCC changes query scheduling, never update outcomes: the final
+    // exports must be byte-identical to the serialized run.
+    EXPECT_EQ(mvcc.final_exports, base.final_exports) << "seed " << seed;
+    EXPECT_EQ(mvcc.exports_checked, base.exports_checked) << "seed " << seed;
+    EXPECT_GT(mvcc.stats.snapshots_published, 0u) << "seed " << seed;
+    snapshot_queries += mvcc.stats.snapshot_queries;
+    EXPECT_EQ(base.stats.snapshot_queries, 0u) << "seed " << seed;
+  }
+  // Across the seeds, at least some queries were served lock-free.
+  EXPECT_GT(snapshot_queries, 0u);
+}
+
+TEST(MvccSimTest, SnapshotChainSurvivesCrashRecovery) {
+  for (uint64_t seed : {5u, 19u}) {
+    FaultSimOptions base_opts;
+    base_opts.durability = true;
+    base_opts.mediator_crashes = 2;
+    SQ_ASSERT_OK_AND_ASSIGN(FaultSimResult base, RunFaultSim(seed, base_opts));
+
+    FaultSimOptions opts = base_opts;
+    opts.mvcc_reads = true;
+    SQ_ASSERT_OK_AND_ASSIGN(FaultSimResult mvcc, RunFaultSim(seed, opts));
+    EXPECT_EQ(mvcc.final_exports, base.final_exports) << "seed " << seed;
+    EXPECT_EQ(mvcc.recoveries, base.recoveries) << "seed " << seed;
+    EXPECT_GT(mvcc.stats.snapshots_published, 0u) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace squirrel

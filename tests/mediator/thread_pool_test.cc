@@ -1,0 +1,260 @@
+// ThreadPool unit tests plus the parallel-IUP stress test: the threaded
+// kernel — under seeded worker-scheduling perturbation — must produce
+// byte-identical repositories and identical IupStats to the serial oracle.
+// This file is part of the TSan CI job (see .github/workflows/ci.yml), so
+// every test here doubles as a data-race probe.
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "mediator/iup.h"
+#include "source/source_db.h"
+#include "testing/harness.h"
+#include "testing/util.h"
+#include "vdp/paper_examples.h"
+
+namespace squirrel {
+namespace {
+
+using testing::DirectHarness;
+using testing::MakeSchema;
+
+// ---- pool units -----------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.workers(), 4);
+  std::vector<std::atomic<int>> hits(257);
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    tasks.push_back([&hits, i] { hits[i].fetch_add(1); });
+  }
+  pool.RunAll(tasks);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInlineOnCaller) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.workers(), 0);
+  const auto caller = std::this_thread::get_id();
+  int ran = 0;
+  bool on_caller = true;
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 10; ++i) {
+    tasks.push_back([&] {
+      ++ran;
+      on_caller = on_caller && std::this_thread::get_id() == caller;
+    });
+  }
+  pool.RunAll(tasks);
+  EXPECT_EQ(ran, 10);
+  EXPECT_TRUE(on_caller) << "inline mode must not hop threads";
+}
+
+TEST(ThreadPoolTest, WorkersRunTasksOffTheOrchestratorThread) {
+  ThreadPool pool(3);
+  const auto caller = std::this_thread::get_id();
+  std::atomic<int> on_caller{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 64; ++i) {
+    tasks.push_back([&] {
+      if (std::this_thread::get_id() == caller) on_caller.fetch_add(1);
+    });
+  }
+  pool.RunAll(tasks);
+  EXPECT_EQ(on_caller.load(), 0)
+      << "with workers, RunAll must never execute tasks on the caller";
+}
+
+TEST(ThreadPoolTest, EmptyBatchReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.RunAll({});  // must not hang
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int batch = 0; batch < 50; ++batch) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 7; ++i) tasks.push_back([&] { total.fetch_add(1); });
+    pool.RunAll(tasks);
+  }
+  EXPECT_EQ(total.load(), 50 * 7);
+}
+
+TEST(ThreadPoolTest, PerturbationChangesScheduleNotResults) {
+  // Identical batches under different perturb seeds must accumulate the
+  // same multiset of results; the perturbation may only stretch time.
+  for (uint64_t seed : {0ull, 1ull, 42ull, 0x9e3779b97f4a7c15ull}) {
+    ThreadPool pool(4);
+    pool.SetPerturbSeed(seed);
+    std::atomic<int64_t> sum{0};
+    std::vector<std::function<void()>> tasks;
+    for (int64_t i = 0; i < 100; ++i) {
+      tasks.push_back([&sum, i] { sum.fetch_add(i * i); });
+    }
+    pool.RunAll(tasks);
+    EXPECT_EQ(sum.load(), 328350) << "seed " << seed;
+  }
+}
+
+TEST(ThreadPoolTest, DestructionWithIdleWorkersIsClean) {
+  auto pool = std::make_unique<ThreadPool>(4);
+  std::atomic<int> ran{0};
+  pool->RunAll({[&] { ran.fetch_add(1); }});
+  EXPECT_EQ(ran.load(), 1);
+  pool.reset();  // dtor must join without deadlock
+}
+
+// ---- parallel-IUP stress --------------------------------------------------
+//
+// Drives the Figure-4 VDP (4 sources, two exports, a difference node — the
+// widest dag in the paper) through a seeded random workload twice: once on
+// the serial oracle, once with a perturbed thread pool attached, and demands
+// byte-identical repositories and identical stats.
+
+struct StressResult {
+  std::string repo_dump;  ///< deterministic rendering of every repository
+  IupStats stats;         ///< summed over all ProcessBatch calls
+};
+
+void ExpectSameStats(const IupStats& a, const IupStats& b,
+                     const std::string& what) {
+  EXPECT_EQ(a.rules_fired, b.rules_fired) << what;
+  EXPECT_EQ(a.atoms_in, b.atoms_in) << what;
+  EXPECT_EQ(a.atoms_propagated, b.atoms_propagated) << what;
+  EXPECT_EQ(a.nodes_processed, b.nodes_processed) << what;
+  EXPECT_EQ(a.polls, b.polls) << what;
+  EXPECT_EQ(a.polled_tuples, b.polled_tuples) << what;
+  EXPECT_EQ(a.temps_built, b.temps_built) << what;
+  EXPECT_EQ(a.poll_retries, b.poll_retries) << what;
+}
+
+// Runs the whole seeded workload with `pool` attached to the IUP (nullptr =
+// serial oracle). Each call builds fresh sources, so runs are independent.
+StressResult RunFigure4Stress(uint64_t seed, bool example51,
+                              ThreadPool* pool) {
+  std::vector<std::unique_ptr<SourceDb>> dbs;
+  for (const char* name : {"DBA", "DBB", "DBC", "DBD"}) {
+    dbs.push_back(std::make_unique<SourceDb>(name));
+  }
+  SQ_EXPECT_OK(dbs[0]->AddRelation("A", MakeSchema("A(a1, a2) key(a1)")));
+  SQ_EXPECT_OK(dbs[1]->AddRelation("B", MakeSchema("B(b1, b2) key(b1)")));
+  SQ_EXPECT_OK(dbs[2]->AddRelation("C", MakeSchema("C(c1, a1) key(c1)")));
+  SQ_EXPECT_OK(dbs[3]->AddRelation("D", MakeSchema("D(d1, b1) key(d1)")));
+
+  struct RelState {
+    std::string rel;
+    size_t db;
+    std::map<int64_t, Tuple> rows;
+  };
+  std::vector<RelState> rels = {
+      {"A", 0, {}}, {"B", 1, {}}, {"C", 2, {}}, {"D", 3, {}}};
+  Rng rng(seed * 7919u + 11);
+  Time now = 0;
+
+  auto random_tuple = [&](const std::string& rel, int64_t key) {
+    if (rel == "A") return Tuple({key, rng.UniformInt(-3, 10)});
+    if (rel == "B") return Tuple({key, rng.UniformInt(0, 6)});
+    if (rel == "C") return Tuple({key, rng.UniformInt(0, 8)});
+    return Tuple({key, rng.UniformInt(5, 15)});
+  };
+  auto mutate = [&](RelState* rs, MultiDelta* md, std::set<int64_t>* used) {
+    auto schema = dbs[rs->db]->RelationSchema(rs->rel);
+    EXPECT_TRUE(schema.ok());
+    if (!rs->rows.empty() && rng.Bernoulli(0.35)) {
+      auto it = rs->rows.begin();
+      std::advance(it, rng.Uniform(rs->rows.size()));
+      if (!used->insert(it->first).second) return;
+      SQ_EXPECT_OK(md->Mutable(rs->rel, *schema)->AddDelete(it->second));
+      rs->rows.erase(it);
+    } else {
+      int64_t key = rng.UniformInt(0, 12);
+      if (rs->rows.count(key) || !used->insert(key).second) return;
+      Tuple t = random_tuple(rs->rel, key);
+      rs->rows[key] = t;
+      SQ_EXPECT_OK(md->Mutable(rs->rel, *schema)->AddInsert(t));
+    }
+  };
+
+  for (auto& rs : rels) {
+    MultiDelta md;
+    std::set<int64_t> used;
+    for (int i = 0; i < 5; ++i) mutate(&rs, &md, &used);
+    if (!md.Empty()) SQ_EXPECT_OK(dbs[rs.db]->Commit(now, md));
+  }
+
+  auto vdp = BuildFigure4Vdp();
+  EXPECT_TRUE(vdp.ok());
+  Annotation ann =
+      example51 ? AnnotationExample51(*vdp) : Annotation::AllMaterialized();
+  std::map<std::string, SourceDb*> source_map;
+  for (auto& db : dbs) source_map[db->name()] = db.get();
+  DirectHarness h(std::move(vdp).value(), ann, source_map);
+  SQ_EXPECT_OK(h.Load());
+  h.iup().SetThreadPool(pool);
+
+  StressResult out;
+  for (int step = 0; step < 30; ++step) {
+    now += 1.0;
+    RelState& rs = rels[rng.Uniform(rels.size())];
+    MultiDelta md;
+    std::set<int64_t> used;
+    int ops = 1 + static_cast<int>(rng.Uniform(3));
+    for (int i = 0; i < ops; ++i) mutate(&rs, &md, &used);
+    if (md.Empty()) continue;
+    auto stats = h.CommitAndPropagate(dbs[rs.db]->name(), now, md);
+    SQ_EXPECT_OK(stats.status());
+    if (stats.ok()) out.stats.Merge(*stats);
+    SQ_EXPECT_OK(h.VerifyRepos());
+  }
+  for (const auto& name : h.store().MaterializedNodes()) {
+    auto repo = h.store().Repo(name);
+    SQ_EXPECT_OK(repo.status());
+    if (repo.ok()) out.repo_dump += (*repo)->ToString(name) + "\n";
+  }
+  return out;
+}
+
+class IupStress : public ::testing::TestWithParam<int> {};
+
+TEST_P(IupStress, ThreadedKernelMatchesSerialOracle) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  for (bool example51 : {false, true}) {
+    StressResult serial = RunFigure4Stress(seed, example51, nullptr);
+    ASSERT_FALSE(serial.repo_dump.empty());
+    for (int workers : {2, 4}) {
+      for (uint64_t perturb : {0ull, seed * 1000003ull + 1}) {
+        ThreadPool pool(workers);
+        pool.SetPerturbSeed(perturb);
+        StressResult threaded = RunFigure4Stress(seed, example51, &pool);
+        const std::string what =
+            "seed " + std::to_string(seed) +
+            (example51 ? " example51" : " allmat") + " workers " +
+            std::to_string(workers) + " perturb " + std::to_string(perturb);
+        EXPECT_EQ(threaded.repo_dump, serial.repo_dump) << what;
+        ExpectSameStats(threaded.stats, serial.stats, what);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IupStress, ::testing::Range(1, 6),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace squirrel

@@ -1,0 +1,123 @@
+// The concurrent-mediator acceptance sweep: >= 100 seeded schedules proving
+// the threaded IUP kernel equivalent to the serial oracle, and MVCC snapshot
+// reads equivalent to serialized queries, under the full fault model.
+//
+// Threaded-IUP chunks demand BYTE-IDENTICAL trace dumps and final exports
+// against the iup_threads = 0 run of the same seed — worker scheduling (and
+// the seeded perturbation) must be invisible. MVCC chunks cannot compare
+// traces (snapshot reads legitimately reschedule queries), so they demand
+// replay identity plus final exports byte-identical to the serialized
+// baseline. Every assertion names the seed; reproduce one with
+//   RunFaultSim(<seed>, <the chunk's options>)
+// (see DESIGN.md §11 "Concurrency model").
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "testing/sim_harness.h"
+
+namespace squirrel {
+namespace {
+
+using testing::FaultSimOptions;
+using testing::RunFaultSim;
+
+constexpr uint64_t kSeedsPerChunk = 25;
+constexpr int kChunks = 6;  // 6 * 25 = 150 seeds
+
+// Per-chunk scenario: which concurrency axis is on and which fault-model
+// layers ride along. Chunks reuse seed ranges on purpose — the same seed is
+// exercised threaded, threaded-under-faults, and with MVCC reads.
+struct Scenario {
+  bool mvcc = false;       ///< MVCC chunk (else threaded-IUP chunk)
+  int threads = 0;         ///< pool workers for the concurrent run
+  uint64_t perturb = 0;    ///< worker-scheduling perturbation seed
+  bool durability = false;
+  int mediator_crashes = 0;
+  int source_restarts = 0;
+};
+
+Scenario ChunkScenario(int chunk) {
+  switch (chunk) {
+    case 0:  // plain threaded kernel, 2 workers
+      return {.threads = 2, .perturb = 0x5eed};
+    case 1:  // wider pool, different perturbation
+      return {.threads = 4, .perturb = 0xfeedbeef};
+    case 2:  // threaded under mediator crash/recovery
+      return {.threads = 2, .perturb = 1, .durability = true,
+              .mediator_crashes = 2};
+    case 3:  // threaded under source restarts + anti-entropy resync
+      return {.threads = 4, .perturb = 7, .durability = true,
+              .source_restarts = 2};
+    case 4:  // MVCC snapshot reads, fault-free-ish baseline faults
+      return {.mvcc = true};
+    default:  // MVCC + crashes (snapshot chain across recovery)
+      return {.mvcc = true, .durability = true, .mediator_crashes = 2};
+  }
+}
+
+FaultSimOptions BaselineOptions(const Scenario& s) {
+  FaultSimOptions opts;
+  opts.durability = s.durability;
+  opts.mediator_crashes = s.mediator_crashes;
+  opts.source_restarts = s.source_restarts;
+  return opts;
+}
+
+FaultSimOptions ConcurrentOptions(const Scenario& s) {
+  FaultSimOptions opts = BaselineOptions(s);
+  if (s.mvcc) {
+    opts.mvcc_reads = true;
+  } else {
+    opts.iup_threads = s.threads;
+    opts.iup_perturb_seed = s.perturb;
+  }
+  return opts;
+}
+
+class ConcurrentEquivalenceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConcurrentEquivalenceSweep, ConcurrentRunsMatchSerialOracle) {
+  const int chunk = GetParam();
+  const Scenario scenario = ChunkScenario(chunk);
+  const uint64_t base = 1 + static_cast<uint64_t>(chunk % 2) * kSeedsPerChunk;
+  for (uint64_t seed = base; seed < base + kSeedsPerChunk; ++seed) {
+    auto oracle = RunFaultSim(seed, BaselineOptions(scenario));
+    ASSERT_TRUE(oracle.ok())
+        << "[seed " << seed << "] oracle: " << oracle.status().ToString();
+    auto run = RunFaultSim(seed, ConcurrentOptions(scenario));
+    ASSERT_TRUE(run.ok())
+        << "[seed " << seed << "] concurrent: " << run.status().ToString();
+    EXPECT_GT(run->exports_checked, 0u) << "[seed " << seed << "]";
+
+    // Update outcomes must be indistinguishable from the serial oracle.
+    ASSERT_EQ(run->final_exports, oracle->final_exports)
+        << "[seed " << seed << "] chunk " << chunk
+        << ": final exports diverged from the serial oracle";
+    if (!scenario.mvcc) {
+      // Worker scheduling must be invisible: the whole trace — every
+      // reflect vector, txn boundary, and counter — byte for byte.
+      ASSERT_EQ(run->trace_dump, oracle->trace_dump)
+          << "[seed " << seed << "] chunk " << chunk
+          << ": threaded trace diverged from the serial oracle";
+    }
+
+    // And the concurrent run itself must be deterministic under replay.
+    auto replay = RunFaultSim(seed, ConcurrentOptions(scenario));
+    ASSERT_TRUE(replay.ok())
+        << "[seed " << seed << "] replay: " << replay.status().ToString();
+    ASSERT_EQ(run->trace_dump, replay->trace_dump)
+        << "[seed " << seed << "] chunk " << chunk
+        << ": replay was not byte-identical";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConcurrentEquivalenceSweep,
+                         ::testing::Range(0, kChunks),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "chunk" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace squirrel

@@ -238,6 +238,9 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
   options.coalesce_window = opts.coalesce_window;
   options.degraded_reads = opts.degraded_reads;
   options.max_queue_depth = opts.max_queue_depth;
+  options.iup_threads = opts.iup_threads;
+  options.iup_perturb_seed = opts.iup_perturb_seed;
+  options.mvcc_reads = opts.mvcc_reads;
   MemLogDevice log_dev;
   if (opts.durability) {
     options.durability.device = &log_dev;

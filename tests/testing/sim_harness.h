@@ -68,6 +68,19 @@ struct FaultSimOptions {
   /// Fail the run if any source ends quarantined or not healthy after the
   /// drain + final queries (the resync sweep's no-permanent-outage check).
   bool require_all_healthy = false;
+  // ---- concurrent mediator (PR: MVCC reads + parallel IUP) ----
+  /// > 0: run the IUP kernel's rule firings on this many pool workers.
+  /// The concurrent-equivalence sweep asserts a threaded run's trace is
+  /// byte-identical to the serial (iup_threads = 0) oracle per seed.
+  int iup_threads = 0;
+  /// Nonzero: seeded worker-scheduling perturbation (yields/sleeps) to
+  /// shake out ordering assumptions; results must not change.
+  uint64_t iup_perturb_seed = 0;
+  /// MediatorOptions::mvcc_reads — poll-free queries served lock-free from
+  /// the latest committed store snapshot instead of the transaction queue.
+  /// Changes query scheduling (trace dumps are NOT comparable to the
+  /// serialized baseline) but never update outcomes or final exports.
+  bool mvcc_reads = false;
 };
 
 /// What one seeded schedule produced (for assertions and reporting).
