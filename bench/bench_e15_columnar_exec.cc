@@ -1,0 +1,487 @@
+// Experiment E15: columnar batch execution vs the row-at-a-time engine.
+//
+// Two layers of measurement, both median-of-3 and both cross-checked for
+// byte-identical results (exports_match):
+//
+//  1. Operator kernels — OpSelect, OpProject, OpJoin and DeltaJoinRelation
+//     over generated relations at each scale, timed once with the columnar
+//     engine disabled (the row oracle) and once with it forced on
+//     (ScopedColumnarMode with a zero size threshold). Reported as rows/sec
+//     over the input cardinality.
+//
+//  2. End-to-end — the E13 mediator stack (LocalStore + VAP + IUP over a
+//     fully materialized R' ⋈_{r2=s1} S' view) driving batched updates
+//     through Iup::RunKernel, plus a σ/π query mix over the materialized
+//     view, in both engine modes. Same batch sequences, and the final
+//     repositories must be EqualContents across modes.
+//
+// Standalone driver in the E13/E14 mold: emits a JSON report (default
+// BENCH_pr7.json) that bench/run_bench.sh commits as the PR baseline and
+// that the SQUIRREL_BENCH_SMOKE ctest validates.
+//
+//   bench_e15_columnar_exec [--smoke] [--out=PATH]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "delta/delta_algebra.h"
+#include "mediator/iup.h"
+#include "mediator/local_store.h"
+#include "mediator/vap.h"
+#include "relational/columnar.h"
+#include "relational/operators.h"
+#include "relational/parser.h"
+#include "vdp/annotation.h"
+#include "vdp/builder.h"
+
+namespace squirrel {
+namespace bench {
+namespace {
+
+constexpr int kReps = 3;  // median-of-3 everywhere
+
+double MedianMs(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// Times \p fn (which must not depend on prior invocations) kReps times and
+/// returns the median wall-clock milliseconds.
+double TimeMedian(const std::function<void()>& fn) {
+  std::vector<double> samples;
+  for (int i = 0; i < kReps; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    auto end = std::chrono::steady_clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::milli>(end - start).count());
+  }
+  return MedianMs(std::move(samples));
+}
+
+struct KernelStats {
+  double row_ms = 0;
+  double columnar_ms = 0;
+  double row_rows_per_sec = 0;
+  double columnar_rows_per_sec = 0;
+  double speedup = 0;
+  bool exports_match = false;
+};
+
+struct EndToEndStats {
+  double row_iup_ms = 0;
+  double columnar_iup_ms = 0;
+  double row_query_ms = 0;
+  double columnar_query_ms = 0;
+  double iup_speedup = 0;
+  double query_speedup = 0;
+  bool exports_match = false;
+};
+
+struct ScaleReport {
+  int rows = 0;
+  int batches = 0;
+  std::vector<std::pair<std::string, KernelStats>> kernels;
+  EndToEndStats end_to_end;
+};
+
+// ---------------------------------------------------------------------------
+// Operator kernels
+// ---------------------------------------------------------------------------
+
+/// Generated inputs shared by every kernel at one scale. The string column
+// exercises the arena/intern path; b is the join key with ~uniform fanout 1.
+struct KernelData {
+  Relation r;      // R(a, b, s string), N rows
+  Relation s;      // S(x, y), N rows keyed x = 0..N-1
+  Delta r_delta;   // mixed-sign delta over R's schema, N/10 atoms
+  Expr::Ptr select_pred;  // b < N/2  (~50% selectivity)
+  Expr::Ptr join_pred;    // b = x
+
+  KernelData(int rows, uint64_t seed)
+      : r(SchemaOf("R(a, b, s string)"), Semantics::kBag),
+        s(SchemaOf("S(x, y)"), Semantics::kBag),
+        r_delta(SchemaOf("R(a, b, s string)")) {
+    Rng rng(seed);
+    for (int i = 0; i < rows; ++i) {
+      int64_t b = rng.UniformInt(0, rows - 1);
+      std::string tag = "tag" + std::to_string(i % 64);
+      Check(r.Insert(Tuple({int64_t{i}, b, tag})), "seed R");
+      Check(s.Insert(Tuple({int64_t{i}, rng.UniformInt(0, 999)})), "seed S");
+    }
+    for (int i = 0; i < std::max(1, rows / 10); ++i) {
+      int64_t b = rng.UniformInt(0, rows - 1);
+      std::string tag = "tag" + std::to_string(i % 64);
+      Check(r_delta.Add(Tuple({int64_t{rows + i}, b, tag}),
+                        rng.Bernoulli(0.3) ? -1 : 1),
+            "delta atom");
+    }
+    select_pred = Unwrap(ParsePredicate("b < " + std::to_string(rows / 2)),
+                         "select pred");
+    join_pred = Unwrap(ParsePredicate("b = x"), "join pred");
+  }
+};
+
+/// Runs one kernel in both engine modes, cross-checks the results, and
+/// fills in the timing/throughput stats. \p input_rows is the denominator
+/// for rows/sec (input cardinality, or delta atoms for the delta join).
+template <typename Fn>
+KernelStats RunKernel(size_t input_rows, Fn&& op) {
+  KernelStats k;
+  auto row_result = [&] {
+    columnar::ScopedColumnarMode scoped(false);
+    return op();
+  }();
+  auto col_result = [&] {
+    columnar::ScopedColumnarMode scoped(true, /*min_rows=*/0);
+    return op();
+  }();
+  k.exports_match = row_result.EqualContents(col_result);
+
+  k.row_ms = TimeMedian([&] {
+    columnar::ScopedColumnarMode scoped(false);
+    op();
+  });
+  k.columnar_ms = TimeMedian([&] {
+    columnar::ScopedColumnarMode scoped(true, /*min_rows=*/0);
+    op();
+  });
+  const double n = static_cast<double>(input_rows);
+  k.row_rows_per_sec = n / (k.row_ms / 1000.0);
+  k.columnar_rows_per_sec = n / (k.columnar_ms / 1000.0);
+  k.speedup = k.row_ms / k.columnar_ms;
+  return k;
+}
+
+std::vector<std::pair<std::string, KernelStats>> RunKernels(int rows,
+                                                            uint64_t seed) {
+  KernelData d(rows, seed);
+  std::vector<std::pair<std::string, KernelStats>> out;
+  out.emplace_back("select", RunKernel(d.r.DistinctSize(), [&] {
+    return Unwrap(OpSelect(d.r, d.select_pred), "select");
+  }));
+  out.emplace_back("project", RunKernel(d.r.DistinctSize(), [&] {
+    return Unwrap(OpProject(d.r, {"a", "b"}), "project");
+  }));
+  out.emplace_back("join", RunKernel(d.r.DistinctSize(), [&] {
+    return Unwrap(OpJoin(d.r, d.s, d.join_pred), "join");
+  }));
+  out.emplace_back("delta_join", RunKernel(d.r_delta.AtomCount(), [&] {
+    return Unwrap(DeltaJoinRelation(d.r_delta, d.s, d.join_pred),
+                  "delta join");
+  }));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end mediator stack (mirrors bench_e13's workload)
+// ---------------------------------------------------------------------------
+
+Result<Vdp> BuildVdp() {
+  VdpBuilder b;
+  b.Leaf("R", "DB1", "R", "R(r1, r2) key(r1)");
+  b.Leaf("S", "DB2", "S", "S(s1, s2) key(s1)");
+  b.LeafParent("R'", "R", {"r1", "r2"}, "");
+  b.LeafParent("S'", "S", {"s1", "s2"}, "");
+  b.Spj("T", {{"R'", {"r1", "r2"}, ""}, {"S'", {"s1", "s2"}, ""}},
+        {"r2 = s1"}, {"r1", "s1", "s2"}, "", /*exported=*/true);
+  return b.Build();
+}
+
+struct Workload {
+  Relation r_base{SchemaOf("R(r1, r2)"), Semantics::kBag};
+  Relation s_base{SchemaOf("S(s1, s2)"), Semantics::kBag};
+  std::vector<Delta> batches;
+};
+
+Workload MakeWorkload(int rows, int batches, int batch_atoms, uint64_t seed) {
+  Rng rng(seed);
+  Workload w;
+  std::map<int64_t, int64_t> live;
+  for (int i = 0; i < rows; ++i) {
+    Check(w.s_base.Insert(Tuple({int64_t{i}, rng.UniformInt(0, 999)})),
+          "seed S");
+    int64_t r2 = rng.UniformInt(0, rows - 1);
+    live[i] = r2;
+    Check(w.r_base.Insert(Tuple({int64_t{i}, r2})), "seed R");
+  }
+  int64_t next_key = rows;
+  Schema r_schema = SchemaOf("R(r1, r2)");
+  for (int b = 0; b < batches; ++b) {
+    Delta d(r_schema);
+    for (int a = 0; a < batch_atoms; ++a) {
+      if (!live.empty() && rng.Bernoulli(0.4)) {
+        auto it = live.begin();
+        std::advance(it, static_cast<long>(rng.Uniform(live.size())));
+        Check(d.Add(Tuple({it->first, it->second}), -1), "delete atom");
+        live.erase(it);
+      } else {
+        int64_t r1 = next_key++;
+        int64_t r2 = rng.UniformInt(0, rows - 1);
+        live[r1] = r2;
+        Check(d.Add(Tuple({r1, r2}), 1), "insert atom");
+      }
+    }
+    w.batches.push_back(std::move(d));
+  }
+  return w;
+}
+
+struct Stack {
+  const Vdp* vdp;
+  Annotation ann;  // empty = fully materialized
+  LocalStore store;
+  Vap vap;
+  Iup iup;
+
+  explicit Stack(const Vdp* v)
+      : vdp(v),
+        store(v, &ann, /*use_indexes=*/false),
+        vap(v, &ann, &store),
+        iup(v, &ann, &store, &vap) {}
+
+  void Seed(const Workload& w) {
+    Check(store.SetRepo("R'", w.r_base), "seed R'");
+    Check(store.SetRepo("S'", w.s_base), "seed S'");
+    Relation joined = Unwrap(
+        OpJoin(w.r_base, w.s_base,
+               Unwrap(ParsePredicate("r2 = s1"), "join cond")),
+        "seed join");
+    Relation t = Unwrap(OpProject(joined, {"r1", "s1", "s2"}), "seed T");
+    Check(store.SetRepo("T", std::move(t)), "seed T repo");
+  }
+
+  double DriveMs(const Workload& w) {
+    auto start = std::chrono::steady_clock::now();
+    for (const Delta& batch : w.batches) {
+      std::map<std::string, Delta> leaf_deltas;
+      leaf_deltas.emplace("R", batch);
+      TempStore temps;
+      Unwrap(iup.RunKernel(leaf_deltas, &temps), "kernel");
+    }
+    auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(end - start).count();
+  }
+
+  /// The ad-hoc query mix: σ/π over the materialized view repo, the shape
+  /// the QueryProcessor produces for exported-node queries.
+  double QueryMs(int reps, const Expr::Ptr& pred) {
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i) {
+      const Relation* t = Unwrap(store.Repo("T"), "repo T");
+      Relation sel = Unwrap(OpSelect(*t, pred), "query select");
+      Unwrap(OpProject(sel, {"r1", "s2"}), "query project");
+    }
+    auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(end - start).count();
+  }
+};
+
+EndToEndStats RunEndToEnd(const Vdp& vdp, int rows, int batches,
+                          int batch_atoms, int query_reps, uint64_t seed) {
+  EndToEndStats e;
+  Workload w = MakeWorkload(rows, batches, batch_atoms, seed);
+  Expr::Ptr query_pred =
+      Unwrap(ParsePredicate("s2 < 500"), "query pred");
+
+  // One full drive per mode for the export cross-check, then median-of-3
+  // timing over fresh stacks (RunKernel mutates the store, so each timing
+  // repetition reseeds).
+  Stack row_check(&vdp);
+  {
+    columnar::ScopedColumnarMode scoped(false);
+    row_check.Seed(w);
+    row_check.DriveMs(w);
+  }
+  Stack col_check(&vdp);
+  {
+    columnar::ScopedColumnarMode scoped(true, /*min_rows=*/0);
+    col_check.Seed(w);
+    col_check.DriveMs(w);
+  }
+  e.exports_match = true;
+  for (const char* node : {"R'", "S'", "T"}) {
+    const Relation* a = Unwrap(row_check.store.Repo(node), "repo");
+    const Relation* b = Unwrap(col_check.store.Repo(node), "repo");
+    if (!a->EqualContents(*b)) e.exports_match = false;
+  }
+
+  auto time_mode = [&](bool columnar, double* iup_ms, double* query_ms) {
+    std::vector<double> iup_samples, query_samples;
+    for (int i = 0; i < kReps; ++i) {
+      columnar::ScopedColumnarMode scoped(columnar, columnar ? 0 : -1);
+      Stack stack(&vdp);
+      stack.Seed(w);
+      iup_samples.push_back(stack.DriveMs(w));
+      query_samples.push_back(stack.QueryMs(query_reps, query_pred));
+    }
+    *iup_ms = MedianMs(std::move(iup_samples));
+    *query_ms = MedianMs(std::move(query_samples));
+  };
+  time_mode(false, &e.row_iup_ms, &e.row_query_ms);
+  time_mode(true, &e.columnar_iup_ms, &e.columnar_query_ms);
+  e.iup_speedup = e.row_iup_ms / e.columnar_iup_ms;
+  e.query_speedup = e.row_query_ms / e.columnar_query_ms;
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------------
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+std::string KernelJson(const KernelStats& k) {
+  return "{\"row_ms\": " + Num(k.row_ms) +
+         ", \"columnar_ms\": " + Num(k.columnar_ms) +
+         ", \"row_rows_per_sec\": " + Num(k.row_rows_per_sec) +
+         ", \"columnar_rows_per_sec\": " + Num(k.columnar_rows_per_sec) +
+         ", \"speedup\": " + Num(k.speedup) +
+         ", \"exports_match\": " + (k.exports_match ? "true" : "false") + "}";
+}
+
+std::string EndToEndJson(const EndToEndStats& e) {
+  return "{\"row_iup_ms\": " + Num(e.row_iup_ms) +
+         ", \"columnar_iup_ms\": " + Num(e.columnar_iup_ms) +
+         ", \"iup_speedup\": " + Num(e.iup_speedup) +
+         ", \"row_query_ms\": " + Num(e.row_query_ms) +
+         ", \"columnar_query_ms\": " + Num(e.columnar_query_ms) +
+         ", \"query_speedup\": " + Num(e.query_speedup) +
+         ", \"exports_match\": " + (e.exports_match ? "true" : "false") + "}";
+}
+
+std::string ReportJson(const std::vector<ScaleReport>& scales, bool smoke) {
+  std::ostringstream out;
+  out << "{\n  \"bench\": \"e15_columnar_exec\",\n"
+      << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
+      << "  \"reps\": " << kReps << ",\n  \"scales\": [\n";
+  for (size_t i = 0; i < scales.size(); ++i) {
+    const ScaleReport& r = scales[i];
+    out << "    {\"rows\": " << r.rows << ", \"batches\": " << r.batches
+        << ",\n     \"kernels\": {";
+    for (size_t k = 0; k < r.kernels.size(); ++k) {
+      out << "\n       \"" << r.kernels[k].first
+          << "\": " << KernelJson(r.kernels[k].second)
+          << (k + 1 < r.kernels.size() ? "," : "");
+    }
+    out << "},\n     \"end_to_end\": " << EndToEndJson(r.end_to_end) << "}"
+        << (i + 1 < scales.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+/// Schema check for the emitted report; the SQUIRREL_BENCH_SMOKE ctest runs
+/// this binary and relies on a non-zero exit when the report is malformed
+/// or any row/columnar pair diverged.
+bool Validate(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "FAIL: cannot reopen %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  for (const char* key :
+       {"\"bench\": \"e15_columnar_exec\"", "\"scales\"", "\"kernels\"",
+        "\"select\"", "\"project\"", "\"join\"", "\"delta_join\"",
+        "\"end_to_end\"", "\"row_rows_per_sec\"",
+        "\"columnar_rows_per_sec\"", "\"speedup\"", "\"iup_speedup\"",
+        "\"query_speedup\"", "\"exports_match\""}) {
+    if (json.find(key) == std::string::npos) {
+      std::fprintf(stderr, "FAIL: report missing %s\n", key);
+      return false;
+    }
+  }
+  if (json.find("\"exports_match\": false") != std::string::npos) {
+    std::fprintf(stderr,
+                 "FAIL: columnar and row runs diverged "
+                 "(exports_match false)\n");
+    return false;
+  }
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_pr7.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  Vdp vdp = Unwrap(BuildVdp(), "vdp");
+  const int batch_atoms = smoke ? 32 : 64;
+  struct ScaleSpec {
+    int rows;
+    int batches;
+    int query_reps;
+  };
+  std::vector<ScaleSpec> specs =
+      smoke ? std::vector<ScaleSpec>{{500, 10, 5}}
+            : std::vector<ScaleSpec>{
+                  {1000, 60, 50}, {10000, 30, 20}, {100000, 10, 5}};
+
+  std::vector<ScaleReport> scales;
+  for (const auto& spec : specs) {
+    ScaleReport r;
+    r.rows = spec.rows;
+    r.batches = spec.batches;
+    r.kernels = RunKernels(spec.rows, /*seed=*/15);
+    r.end_to_end = RunEndToEnd(vdp, spec.rows, spec.batches, batch_atoms,
+                               spec.query_reps, /*seed=*/15);
+    for (const auto& [name, k] : r.kernels) {
+      std::fprintf(stderr,
+                   "rows=%d kernel=%s row=%.2fms columnar=%.2fms "
+                   "speedup=%.2fx match=%s\n",
+                   r.rows, name.c_str(), k.row_ms, k.columnar_ms, k.speedup,
+                   k.exports_match ? "yes" : "NO");
+    }
+    std::fprintf(stderr,
+                 "rows=%d end_to_end iup=%.1f/%.1fms (%.2fx) "
+                 "query=%.1f/%.1fms (%.2fx) match=%s\n",
+                 r.rows, r.end_to_end.row_iup_ms,
+                 r.end_to_end.columnar_iup_ms, r.end_to_end.iup_speedup,
+                 r.end_to_end.row_query_ms, r.end_to_end.columnar_query_ms,
+                 r.end_to_end.query_speedup,
+                 r.end_to_end.exports_match ? "yes" : "NO");
+    scales.push_back(std::move(r));
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << ReportJson(scales, smoke);
+  out.close();
+  return Validate(out_path) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace squirrel
+
+int main(int argc, char** argv) { return squirrel::bench::Main(argc, argv); }

@@ -3,20 +3,24 @@
 # committed baseline reports at the repository root:
 #   E13 incremental index      -> BENCH_pr4.json
 #   E14 concurrent mediator    -> BENCH_pr6.json
+#   E15 columnar execution     -> BENCH_pr7.json
 #
-#   bench/run_bench.sh [e13-output-path [e14-output-path]]
+#   bench/run_bench.sh [e13-output-path [e14-output-path [e15-output-path]]]
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 e13_out="${1:-$repo_root/BENCH_pr4.json}"
 e14_out="${2:-$repo_root/BENCH_pr6.json}"
+e15_out="${3:-$repo_root/BENCH_pr7.json}"
 build_dir="$repo_root/build-bench"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$build_dir" --target bench_e13_incremental_index \
-  bench_e14_concurrent_mediator -j >/dev/null
+  bench_e14_concurrent_mediator bench_e15_columnar_exec -j >/dev/null
 
 "$build_dir/bench/bench_e13_incremental_index" --out="$e13_out"
 echo "wrote $e13_out"
 "$build_dir/bench/bench_e14_concurrent_mediator" --out="$e14_out"
 echo "wrote $e14_out"
+"$build_dir/bench/bench_e15_columnar_exec" --out="$e15_out"
+echo "wrote $e15_out"

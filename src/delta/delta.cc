@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/strings.h"
+#include "relational/columnar.h"
 
 namespace squirrel {
 
@@ -88,6 +89,10 @@ Result<Delta> Delta::Between(const Relation& from, const Relation& to) {
   if (from.schema().AttributeNames() != to.schema().AttributeNames()) {
     return Status::InvalidArgument(
         "Delta::Between on relations with different schemas");
+  }
+  if (columnar::ShouldUse(
+          std::max(from.DistinctSize(), to.DistinctSize()))) {
+    return columnar::Between(from, to);
   }
   Delta out(to.schema());
   Status st = Status::OK();

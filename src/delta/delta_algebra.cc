@@ -2,11 +2,16 @@
 
 #include <algorithm>
 
+#include "relational/columnar.h"
+
 namespace squirrel {
 
 Result<Delta> DeltaSelect(const Delta& delta, const Expr::Ptr& cond) {
   Expr::Ptr c = cond ? cond : Expr::True();
   if (c->IsTrueLiteral()) return delta;
+  if (columnar::ShouldUse(delta.AtomCount())) {
+    return columnar::SelectDelta(delta, c);
+  }
   SQ_ASSIGN_OR_RETURN(BoundExpr bound, BoundExpr::Bind(c, delta.schema()));
   Delta out(delta.schema());
   Status st = Status::OK();
@@ -25,6 +30,9 @@ Result<Delta> DeltaSelect(const Delta& delta, const Expr::Ptr& cond) {
 
 Result<Delta> DeltaProject(const Delta& delta,
                            const std::vector<std::string>& attrs) {
+  if (columnar::ShouldUse(delta.AtomCount())) {
+    return columnar::ProjectDelta(delta, attrs);
+  }
   SQ_ASSIGN_OR_RETURN(Schema out_schema, delta.schema().Project(attrs));
   std::vector<size_t> positions;
   positions.reserve(attrs.size());
@@ -71,6 +79,10 @@ Result<Delta> JoinDeltaWithRelation(const Delta& delta, const Relation& rel,
   };
 
   if (!parts.equi.empty()) {
+    if (columnar::ShouldUse(
+            std::max(delta.AtomCount(), rel.DistinctSize()))) {
+      return columnar::JoinDeltaRelation(delta, rel, c, delta_left);
+    }
     // Build a hash table over the relation keyed by its equi attributes.
     std::vector<size_t> rel_pos, delta_pos;
     const Schema& dsch = delta.schema();

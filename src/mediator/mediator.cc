@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "delta/delta_algebra.h"
+#include "relational/columnar.h"
 #include "relational/operators.h"
 
 namespace squirrel {
@@ -100,6 +101,7 @@ Status Mediator::Start() {
   if (started_) return Status::FailedPrecondition("mediator already started");
   started_ = true;
   view_init_time_ = scheduler_->Now();
+  columnar::SetEnabled(options_.columnar);
 
   // Wire channels, announcers (active sources), and poll responders.
   for (auto& rt : sources_) {

@@ -1,0 +1,163 @@
+// Columnar batches: the storage half of the columnar execution engine.
+//
+// A ColumnBatch decomposes a Relation (or Delta) into per-attribute typed
+// column vectors — one tag byte and one 64-bit payload per cell — plus a
+// signed multiplicity vector. String payloads are ids into an arena that
+// interns each distinct string once, so equality over string cells is id
+// equality and a gather never copies characters. Batches are value types
+// that share their arena through a shared_ptr, which keeps row gathers and
+// column projections cheap and keeps lifetimes correct when a batch built
+// from a COW snapshot Relation outlives the kernel call that made it (the
+// arena owns its characters; nothing points back into the Relation).
+//
+// The cell encoding mirrors Value's equality exactly (see columnar.h's
+// PackedJoinTable for the join-key normalization built on top of it):
+//   kNull   -> bits = 0
+//   kInt    -> bits = the int64 payload
+//   kDouble -> bits = the double, bit-cast
+//   kString -> bits = arena id
+// Conversions back to Relation/Delta rebuild ordinary Tuples, so the rest
+// of the engine never needs to know batches exist.
+
+#ifndef SQUIRREL_RELATIONAL_COLUMN_BATCH_H_
+#define SQUIRREL_RELATIONAL_COLUMN_BATCH_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "delta/delta.h"
+#include "relational/relation.h"
+
+namespace squirrel {
+
+/// Per-cell type tag; numeric values match ValueType so conversions are
+/// a static_cast.
+using ColumnTag = uint8_t;
+inline constexpr ColumnTag kTagNull = 0;
+inline constexpr ColumnTag kTagInt = 1;
+inline constexpr ColumnTag kTagDouble = 2;
+inline constexpr ColumnTag kTagString = 3;
+
+/// \brief Interning pool for string cells: each distinct string is stored
+/// once and addressed by a dense uint32 id.
+///
+/// Storage is a deque so element addresses are stable across growth (the
+/// lookup map keys are views into the stored strings).
+class StringArena {
+ public:
+  /// Id of \p s, interning it on first sight.
+  uint32_t Intern(std::string_view s);
+
+  /// Id of \p s if already interned, else nullopt (used by probe sides of
+  /// joins: a probe string the build arena never saw cannot match).
+  std::optional<uint32_t> Find(std::string_view s) const;
+
+  /// The string with id \p id.
+  const std::string& Get(uint32_t id) const { return strings_[id]; }
+
+  /// Number of distinct interned strings.
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, uint32_t> ids_;
+};
+
+/// \brief One column of a batch: a tag byte and a 64-bit payload per row.
+struct Column {
+  std::vector<ColumnTag> tags;
+  std::vector<uint64_t> bits;
+
+  /// True iff every cell is a non-null int (the vectorized fast path).
+  bool AllInt() const {
+    for (ColumnTag t : tags) {
+      if (t != kTagInt) return false;
+    }
+    return true;
+  }
+};
+
+/// \brief A Relation or Delta decomposed into columns.
+///
+/// Rows keep the multiplicity (Relation) or signed count (Delta) they had
+/// in the source map; row order is the source map's iteration order, which
+/// is irrelevant to correctness because every consumer rebuilds an unordered
+/// multiplicity map or renders through SortedRows.
+///
+/// A batch may be built over a subset of columns (\p only in FromRelation /
+/// FromDelta): unbuilt columns have empty vectors and must not be read.
+class ColumnBatch {
+ public:
+  ColumnBatch() = default;
+  explicit ColumnBatch(Schema schema,
+                       std::shared_ptr<StringArena> arena = nullptr);
+
+  /// Decomposes \p rel. \p only, when non-null, lists the column positions
+  /// to materialize (others stay empty).
+  static ColumnBatch FromRelation(const Relation& rel,
+                                  const std::vector<size_t>* only = nullptr);
+
+  /// Decomposes \p delta (signed counts).
+  static ColumnBatch FromDelta(const Delta& delta,
+                               const std::vector<size_t>* only = nullptr);
+
+  /// Rebuilds a Relation with \p semantics. All columns must be built and
+  /// all counts positive.
+  Result<Relation> ToRelation(Semantics semantics) const;
+
+  /// Rebuilds a Delta (signed counts). All columns must be built.
+  Result<Delta> ToDelta() const;
+
+  const Schema& schema() const { return schema_; }
+  size_t rows() const { return counts_.size(); }
+  size_t cols() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<int64_t>& counts() const { return counts_; }
+  StringArena* arena() const { return arena_.get(); }
+  const std::shared_ptr<StringArena>& arena_ptr() const { return arena_; }
+
+  /// The cell (\p col, \p row) as a Value (strings copied out of the arena).
+  Value ValueAt(size_t col, size_t row) const;
+
+  /// Row \p row as a Tuple (all columns must be built).
+  Tuple RowAt(size_t row) const;
+
+  /// Appends \p t with multiplicity \p count, interning strings. When
+  /// \p only is non-null, writes just those columns.
+  void AppendRow(const Tuple& t, int64_t count,
+                 const std::vector<size_t>* only = nullptr);
+
+  /// New batch containing rows \p sel (in that order); shares this batch's
+  /// arena, so string ids stay valid.
+  ColumnBatch GatherRows(const std::vector<uint32_t>& sel) const;
+
+  /// New batch whose columns are this batch's \p positions (in that order)
+  /// under \p out_schema; column payloads are copied, the arena is shared.
+  ColumnBatch ProjectColumns(const std::vector<size_t>& positions,
+                             Schema out_schema) const;
+
+  /// Mutable column access, for kernels that assemble a batch column-wise
+  /// (e.g. stitching gathered join sides into the concatenated schema).
+  Column* MutableColumn(size_t i) { return &columns_[i]; }
+
+  /// Declares \p n rows for a column-wise assembled batch. The counts are
+  /// set to 1 and carry no meaning for such batches.
+  void SetRowCount(size_t n) { counts_.assign(n, 1); }
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;     // one per schema attribute
+  std::vector<int64_t> counts_;     // per row
+  std::shared_ptr<StringArena> arena_;
+};
+
+}  // namespace squirrel
+
+#endif  // SQUIRREL_RELATIONAL_COLUMN_BATCH_H_

@@ -241,9 +241,7 @@ Result<BoundExpr> BoundExpr::Bind(const Expr::Ptr& expr,
   return bound;
 }
 
-namespace {
-
-bool Truthy(const Value& v) {
+bool ValueTruthy(const Value& v) {
   switch (v.type()) {
     case ValueType::kNull:
       return false;
@@ -257,12 +255,12 @@ bool Truthy(const Value& v) {
   return false;
 }
 
-Result<Value> EvalBinary(BinOp op, const Value& a, const Value& b) {
+Result<Value> EvalBinaryValue(BinOp op, const Value& a, const Value& b) {
   // Boolean connectives (NULL-propagating like the comparisons).
   if (op == BinOp::kAnd || op == BinOp::kOr) {
     if (a.is_null() || b.is_null()) return Value();
-    bool r = op == BinOp::kAnd ? (Truthy(a) && Truthy(b))
-                               : (Truthy(a) || Truthy(b));
+    bool r = op == BinOp::kAnd ? (ValueTruthy(a) && ValueTruthy(b))
+                               : (ValueTruthy(a) || ValueTruthy(b));
     return Value(int64_t{r ? 1 : 0});
   }
   if (a.is_null() || b.is_null()) return Value();  // NULL propagates
@@ -356,7 +354,7 @@ Result<Value> EvalBinary(BinOp op, const Value& a, const Value& b) {
   return Status::Internal("unknown binary operator");
 }
 
-Result<Value> EvalUnary(UnOp op, const Value& a) {
+Result<Value> EvalUnaryValue(UnOp op, const Value& a) {
   if (a.is_null()) return Value();
   switch (op) {
     case UnOp::kNeg:
@@ -364,12 +362,10 @@ Result<Value> EvalUnary(UnOp op, const Value& a) {
       if (a.type() == ValueType::kDouble) return Value(-a.AsDouble());
       return Status::InvalidArgument("negation of non-numeric value");
     case UnOp::kNot:
-      return Value(int64_t{Truthy(a) ? 0 : 1});
+      return Value(int64_t{ValueTruthy(a) ? 0 : 1});
   }
   return Status::Internal("unknown unary operator");
 }
-
-}  // namespace
 
 Result<Value> BoundExpr::Eval(const Tuple& tuple) const {
   // Small fixed-capacity evaluation stack; expressions are shallow.
@@ -391,14 +387,14 @@ Result<Value> BoundExpr::Eval(const Tuple& tuple) const {
         stack.pop_back();
         Value a = std::move(stack.back());
         stack.pop_back();
-        SQ_ASSIGN_OR_RETURN(Value r, EvalBinary(in.bin_op, a, b));
+        SQ_ASSIGN_OR_RETURN(Value r, EvalBinaryValue(in.bin_op, a, b));
         stack.push_back(std::move(r));
         break;
       }
       case Instr::Op::kUnary: {
         Value a = std::move(stack.back());
         stack.pop_back();
-        SQ_ASSIGN_OR_RETURN(Value r, EvalUnary(in.un_op, a));
+        SQ_ASSIGN_OR_RETURN(Value r, EvalUnaryValue(in.un_op, a));
         stack.push_back(std::move(r));
         break;
       }
@@ -410,7 +406,7 @@ Result<Value> BoundExpr::Eval(const Tuple& tuple) const {
 
 Result<bool> BoundExpr::EvalBool(const Tuple& tuple) const {
   SQ_ASSIGN_OR_RETURN(Value v, Eval(tuple));
-  return Truthy(v);
+  return ValueTruthy(v);
 }
 
 }  // namespace squirrel

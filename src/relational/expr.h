@@ -155,7 +155,9 @@ class BoundExpr {
   /// Errors propagate.
   Result<bool> EvalBool(const Tuple& tuple) const;
 
- private:
+  /// One stack-machine instruction. Public so the columnar engine can
+  /// interpret the same compiled program column-wise (see columnar.h);
+  /// the program layout is otherwise an implementation detail.
   struct Instr {
     enum class Op { kPushConst, kPushAttr, kBinary, kUnary } op;
     Value constant;      // kPushConst
@@ -163,8 +165,27 @@ class BoundExpr {
     BinOp bin_op = BinOp::kAdd;
     UnOp un_op = UnOp::kNeg;
   };
+
+  /// The compiled postfix program.
+  const std::vector<Instr>& code() const { return code_; }
+
+ private:
   std::vector<Instr> code_;
 };
+
+// Scalar evaluation primitives shared between BoundExpr::Eval and the
+// columnar kernels' per-row fallback, so both modes apply byte-identical
+// semantics (NULL propagation, division by zero -> NULL, int-exact
+// arithmetic, cross-type numeric comparison).
+
+/// Predicate truthiness: NULL and zero/empty are false.
+bool ValueTruthy(const Value& v);
+
+/// Applies a binary operator to two scalars.
+Result<Value> EvalBinaryValue(BinOp op, const Value& a, const Value& b);
+
+/// Applies a unary operator to a scalar.
+Result<Value> EvalUnaryValue(UnOp op, const Value& a);
 
 }  // namespace squirrel
 

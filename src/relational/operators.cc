@@ -3,9 +3,14 @@
 #include <algorithm>
 #include <memory>
 
+#include "relational/columnar.h"
+
 namespace squirrel {
 
 Result<Relation> OpSelect(const Relation& in, const Expr::Ptr& cond) {
+  if (columnar::ShouldUse(in.DistinctSize())) {
+    return columnar::Select(in, cond);
+  }
   Expr::Ptr c = cond ? cond : Expr::True();
   SQ_ASSIGN_OR_RETURN(BoundExpr bound, BoundExpr::Bind(c, in.schema()));
   Relation out(in.schema(), in.semantics());
@@ -26,6 +31,9 @@ Result<Relation> OpSelect(const Relation& in, const Expr::Ptr& cond) {
 Result<Relation> OpProject(const Relation& in,
                            const std::vector<std::string>& attrs,
                            Semantics out_semantics) {
+  if (columnar::ShouldUse(in.DistinctSize())) {
+    return columnar::Project(in, attrs, out_semantics);
+  }
   SQ_ASSIGN_OR_RETURN(Schema out_schema, in.schema().Project(attrs));
   std::vector<size_t> positions;
   positions.reserve(attrs.size());
@@ -134,6 +142,10 @@ Result<Relation> OpJoin(const Relation& left, const Relation& right,
       }
     });
   } else if (!parts.equi.empty()) {
+    if (columnar::ShouldUse(
+            std::max(left.DistinctSize(), right.DistinctSize()))) {
+      return columnar::Join(left, right, c);
+    }
     // Hash join: build on the side with the smaller total (bag) size —
     // under bag semantics DistinctSize alone mis-ranks a side with few
     // distinct rows but huge multiplicities. Break ties on distinct size.
@@ -150,21 +162,28 @@ Result<Relation> OpJoin(const Relation& left, const Relation& right,
       build_pos.push_back(build_left ? li : ri);
       probe_pos.push_back(build_left ? ri : li);
     }
-    std::unordered_map<Tuple, std::vector<std::pair<const Tuple*, int64_t>>,
-                       TupleHash>
-        table;
+    // Packed-key table: key strings are interned once into the table's
+    // arena and each probe packs into scratch space, so the loop below
+    // allocates no per-row key Tuples.
+    columnar::PackedJoinTable table(parts.equi.size());
+    std::vector<const Tuple*> build_rows;
+    std::vector<int64_t> build_counts;
+    build_rows.reserve(build.DistinctSize());
+    build_counts.reserve(build.DistinctSize());
     build.ForEach([&](const Tuple& t, int64_t count) {
-      table[t.Project(build_pos)].emplace_back(&t, count);
+      table.AddBuildRow(t, build_pos);
+      build_rows.push_back(&t);
+      build_counts.push_back(count);
     });
+    table.Finalize();
     probe.ForEach([&](const Tuple& t, int64_t count) {
       if (!st.ok()) return;
-      auto it = table.find(t.Project(probe_pos));
-      if (it == table.end()) return;
-      for (const auto& [bt, bc] : it->second) {
+      for (int32_t r = table.ProbeRow(t, probe_pos); r >= 0;
+           r = table.NextInChain(r)) {
         if (build_left) {
-          emit(*bt, bc, t, count);
+          emit(*build_rows[r], build_counts[r], t, count);
         } else {
-          emit(t, count, *bt, bc);
+          emit(t, count, *build_rows[r], build_counts[r]);
         }
       }
     });

@@ -18,8 +18,11 @@ Tuple Tuple::Project(const std::vector<size_t>& positions) const {
 }
 
 uint64_t Tuple::Hash() const {
-  uint64_t h = 0xC0FFEEULL;
+  uint64_t h = hash_.load(std::memory_order_relaxed);
+  if (h != 0) return h;
+  h = 0xC0FFEEULL;
   for (const auto& v : values_) h = HashCombine(h, v.Hash());
+  hash_.store(h, std::memory_order_relaxed);
   return h;
 }
 

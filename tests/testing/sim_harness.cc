@@ -11,6 +11,7 @@
 #include "common/strings.h"
 #include "mediator/consistency.h"
 #include "mediator/durability/log_device.h"
+#include "relational/columnar.h"
 #include "relational/parser.h"
 #include "sim/fault.h"
 #include "sim/scheduler.h"
@@ -50,6 +51,9 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
     return Status::InvalidArgument(
         "mediator crashes require durability (nothing to recover from)");
   }
+  // Pin the engine mode (and a zero size threshold, so the small sim
+  // relations actually take the columnar paths) for the whole run.
+  columnar::ScopedColumnarMode scoped_columnar(opts.columnar, /*min_rows=*/0);
   Rng rng(seed * 0x2545F4914F6CDD1DULL + 12345);
   FaultSimResult result;
   result.seed = seed;
@@ -241,6 +245,7 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
   options.iup_threads = opts.iup_threads;
   options.iup_perturb_seed = opts.iup_perturb_seed;
   options.mvcc_reads = opts.mvcc_reads;
+  options.columnar = opts.columnar;
   MemLogDevice log_dev;
   if (opts.durability) {
     options.durability.device = &log_dev;

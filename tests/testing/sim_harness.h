@@ -81,6 +81,12 @@ struct FaultSimOptions {
   /// Changes query scheduling (trace dumps are NOT comparable to the
   /// serialized baseline) but never update outcomes or final exports.
   bool mvcc_reads = false;
+  // ---- execution engine (PR: columnar batch execution) ----
+  /// Run relational kernels through the columnar engine. The harness pins
+  /// the size threshold to 0 for the whole run, so even the small sim
+  /// relations exercise the columnar kernels; traces and exports must be
+  /// byte-identical to a columnar = false run of the same seed.
+  bool columnar = true;
 };
 
 /// What one seeded schedule produced (for assertions and reporting).
