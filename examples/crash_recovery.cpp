@@ -9,13 +9,22 @@
 // WAL disabled (checkpoint-only mode) shows the committed updates being
 // lost — the log, not the checkpoint, is what makes commits durable.
 //
+// Two further runs exercise the storage integrity layer (CRC32C-framed
+// records, dual-generation checkpoints): a disk that corrupts the NEWEST
+// checkpoint makes recovery fall back one generation and replay the longer
+// WAL suffix — same answers, one counted fallback — and a disk that corrupts
+// BOTH retained generations makes recovery refuse with the typed kCorrupted
+// diagnostic instead of serving silently wrong data.
+//
 // ARQ redelivery of announcements that arrive while the mediator is down is
 // exercised by the seeded simulation harness (tests/testing/sim_harness.cc);
 // here the sources stay quiet during the outage to keep the story small.
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "mediator/durability/integrity.h"
 #include "mediator/durability/log_device.h"
 #include "mediator/mediator.h"
 #include "relational/parser.h"
@@ -37,6 +46,54 @@ T Must(Result<T> r, const char* what) {
   Die(r.status(), what);
   return std::move(r).value();
 }
+
+/// A disk whose reads lie: flips one payload byte of chosen records at
+/// ReadAll time (what recovery sees), leaving appends untouched. Flipping
+/// past the magic word keeps the record's class identifiable, so recovery
+/// triages it as a damaged checkpoint generation rather than unknown bytes.
+class FlipOnReadDevice : public LogDevice {
+ public:
+  explicit FlipOnReadDevice(LogDevice* inner) : inner_(inner) {}
+
+  /// Arms a flip on the newest \p generations checkpoint-class records.
+  void ArmCheckpointFlips(int generations) {
+    auto records = inner_->ReadAll();
+    Die(records.status(), "arm flips");
+    std::vector<uint64_t> checkpoints;
+    for (const auto& rec : *records) {
+      if (PeekFrameClass(rec.bytes) == FrameClass::kCheckpoint) {
+        checkpoints.push_back(rec.lsn);
+      }
+    }
+    for (int g = 0; g < generations && !checkpoints.empty(); ++g) {
+      flip_lsns_.push_back(checkpoints.back());
+      checkpoints.pop_back();
+    }
+  }
+
+  Result<uint64_t> Append(std::string bytes) override {
+    return inner_->Append(std::move(bytes));
+  }
+  Status TruncatePrefix(uint64_t new_begin) override {
+    return inner_->TruncatePrefix(new_begin);
+  }
+  Result<std::vector<LogRecord>> ReadAll() const override {
+    auto records = inner_->ReadAll();
+    if (!records.ok()) return records;
+    for (LogRecord& rec : *records) {
+      for (uint64_t lsn : flip_lsns_) {
+        if (rec.lsn == lsn && rec.bytes.size() > 20) rec.bytes[20] ^= 0x01;
+      }
+    }
+    return records;
+  }
+  uint64_t NextLsn() const override { return inner_->NextLsn(); }
+  uint64_t SizeBytes() const override { return inner_->SizeBytes(); }
+
+ private:
+  LogDevice* inner_;
+  std::vector<uint64_t> flip_lsns_;
+};
 
 void RunScenario(const std::string& wal_path, bool wal_enabled) {
   std::printf("\n----- %s -----\n",
@@ -133,11 +190,118 @@ void RunScenario(const std::string& wal_path, bool wal_enabled) {
   std::remove(wal_path.c_str());
 }
 
+// The storage integrity phases: the same crash story, but the disk damages
+// checkpoint records between the crash and the recovery. One corrupted
+// generation is survivable (fall back to the previous checkpoint, replay the
+// longer WAL suffix); both generations corrupted is a typed refusal.
+void RunCorruptionScenario(const std::string& wal_path,
+                           int corrupt_generations) {
+  std::printf("\n----- disk corrupts %s -----\n",
+              corrupt_generations == 1
+                  ? "the NEWEST checkpoint: fall back one generation"
+                  : "BOTH checkpoint generations: typed kCorrupted refusal");
+  std::remove(wal_path.c_str());
+  auto file_device = Must(FileLogDevice::Open(wal_path), "open wal");
+  FlipOnReadDevice device(file_device.get());
+
+  SourceDb db1("DB1"), db2("DB2");
+  Die(db1.AddRelation(
+          "R", Must(ParseSchemaDecl("R(r1, r2, r3, r4) key(r1)"), "decl")
+                   .schema),
+      "add R");
+  Die(db2.AddRelation(
+          "S", Must(ParseSchemaDecl("S(s1, s2, s3) key(s1)"), "decl").schema),
+      "add S");
+  Die(db1.InsertTuple(0, "R", Tuple({1, 100, 11, 100})), "seed");
+  Die(db2.InsertTuple(0, "S", Tuple({100, 5, 10})), "seed");
+
+  Scheduler scheduler;
+  Vdp vdp = Must(BuildFigure1Vdp(), "vdp");
+  MediatorOptions options;
+  options.durability.device = &device;
+  options.durability.checkpoint_every = 2;  // several generations per run
+  std::vector<SourceSetup> sources = {{&db1, 0.5, 0.1, 0.0},
+                                      {&db2, 0.5, 0.1, 0.0}};
+  auto mediator =
+      Must(Mediator::Create(vdp, AnnotationExample21(), sources, &scheduler,
+                            options),
+           "mediator");
+  Die(mediator->Start(), "start");
+
+  auto show = [&](const char* label, Result<ViewAnswer> ans) {
+    if (!ans.ok()) {
+      std::printf("%-26s -> %s\n", label, ans.status().ToString().c_str());
+      return;
+    }
+    std::printf("%-26s ->", label);
+    for (const auto& [tuple, count] : ans->data.SortedRows()) {
+      (void)count;
+      std::printf(" %s", tuple.ToString().c_str());
+    }
+    std::printf("\n");
+  };
+  auto query_at = [&](Time at, const char* label) {
+    scheduler.At(at, [&, label]() {
+      mediator->SubmitQuery(
+          Must(ParseViewQuery("T"), "parse"),
+          [&, label](Result<ViewAnswer> a) { show(label, std::move(a)); });
+    });
+  };
+
+  // Enough committed updates that two periodic checkpoints land after the
+  // initial one — the log then retains exactly two generations.
+  scheduler.At(1.0, [&]() {
+    Die(db1.InsertTuple(scheduler.Now(), "R", Tuple({2, 200, 22, 100})),
+        "upd");
+  });
+  scheduler.At(2.0, [&]() {
+    Die(db2.InsertTuple(scheduler.Now(), "S", Tuple({200, 6, 20})), "upd");
+  });
+  scheduler.At(3.0, [&]() {
+    Die(db1.InsertTuple(scheduler.Now(), "R", Tuple({3, 200, 33, 100})),
+        "upd");
+  });
+  query_at(5.0, "T before crash");
+
+  scheduler.At(6.0, [&]() {
+    mediator->Crash();
+    std::printf("t=6.0  power failure\n");
+  });
+
+  scheduler.At(8.0, [&, corrupt_generations]() {
+    device.ArmCheckpointFlips(corrupt_generations);
+    std::printf("t=8.0  disk flips a payload byte in %d checkpoint "
+                "generation(s); recovering...\n",
+                corrupt_generations);
+    Status st = mediator->Recover();
+    if (st.ok()) {
+      const MediatorStats& s = mediator->stats();
+      std::printf(
+          "       recovered: checkpoint fallbacks=%llu tail repairs=%llu "
+          "txns replayed=%llu\n",
+          static_cast<unsigned long long>(s.recovery_checkpoint_fallbacks),
+          static_cast<unsigned long long>(s.recovery_tail_repairs),
+          static_cast<unsigned long long>(s.recovery_txns_replayed));
+    } else {
+      std::printf("       recovery refused: %s\n", st.ToString().c_str());
+      std::printf("       (no silent divergence: the mediator stays down "
+                  "rather than serve from damaged state)\n");
+    }
+  });
+  query_at(10.0, "T after recovery attempt");
+  scheduler.RunUntil(100.0);
+  std::remove(wal_path.c_str());
+}
+
 }  // namespace
 
 int main() {
   std::printf("Squirrel crash recovery: file-backed checkpoint + WAL\n");
   RunScenario("/tmp/squirrel_crash_recovery.wal", /*wal_enabled=*/true);
   RunScenario("/tmp/squirrel_crash_recovery.wal", /*wal_enabled=*/false);
+  RunCorruptionScenario("/tmp/squirrel_crash_recovery.wal",
+                        /*corrupt_generations=*/1);
+  RunCorruptionScenario("/tmp/squirrel_crash_recovery.wal",
+                        /*corrupt_generations=*/2);
   return 0;
 }

@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Unavailable";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kCorrupted:
+      return "Corrupted";
   }
   return "Unknown";
 }

@@ -25,6 +25,7 @@ enum class StatusCode {
   kUnsupported,       ///< feature outside the supported fragment
   kUnavailable,       ///< remote party unreachable; retrying may succeed
   kInternal,          ///< invariant violation inside the library
+  kCorrupted,         ///< persistent state failed integrity verification
 };
 
 /// Human-readable name of a status code, e.g. "InvalidArgument".
@@ -73,6 +74,11 @@ class Status {
   /// Returns an Internal status with \p msg.
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// Returns a Corrupted status with \p msg (unrecoverable integrity
+  /// failure of persistent state — never retried, surfaced verbatim).
+  static Status Corrupted(std::string msg) {
+    return Status(StatusCode::kCorrupted, std::move(msg));
   }
 
   /// True iff the operation succeeded.

@@ -54,11 +54,20 @@ Result<Relation> ConsistencyChecker::EvalNodeAt(const std::string& node,
 }
 
 Result<ConsistencyReport> ConsistencyChecker::Check(
-    const Trace& trace) const {
+    const Trace& trace, const std::vector<Time>& order_resets) const {
   ConsistencyReport report;
   TimeVector prev_reflect;
+  size_t next_reset = 0;
   for (const auto& entry : trace.entries()) {
     ++report.entries_checked;
+    // A recovery boundary on lossy storage: the watermark restarts so the
+    // (legitimate) regression to the recovered reflect vector is not
+    // flagged, but order stays enforced within the new incarnation.
+    while (next_reset < order_resets.size() &&
+           order_resets[next_reset] <= entry.commit_time + 1e-9) {
+      prev_reflect.clear();
+      ++next_reset;
+    }
     // Chronology: reflect(t) <= t componentwise.
     for (size_t i = 0; i < entry.reflect.size(); ++i) {
       if (entry.reflect[i] > entry.commit_time + 1e-9) {

@@ -58,7 +58,18 @@ class ConsistencyChecker {
   ///    materialized projection of the recomputed node;
   ///  - query entries: the recorded answer must equal the recomputed one;
   ///  - chronology and order over the reflect vectors.
-  Result<ConsistencyReport> Check(const Trace& trace) const;
+  ///
+  /// \param order_resets sorted times at which the order-preservation
+  ///        watermark resets. A mediator recovering on storage that can lose
+  ///        acknowledged writes (torn/dropped WAL tail) legitimately resumes
+  ///        from an OLDER reflect vector — the loss is repaired by
+  ///        anti-entropy resync, not by time travel — so runs with disk
+  ///        faults pass their recovery times here. Order must still be
+  ///        preserved within each incarnation, and chronology and validity
+  ///        are always checked across the boundary.
+  Result<ConsistencyReport> Check(const Trace& trace,
+                                  const std::vector<Time>& order_resets =
+                                      {}) const;
 
  private:
   const Vdp* vdp_;

@@ -1,8 +1,10 @@
 #include "mediator/durability/durability.h"
 
+#include <algorithm>
 #include <deque>
 
 #include "delta/delta.h"
+#include "mediator/durability/integrity.h"
 #include "mediator/durability/serialize.h"
 #include "mediator/update_queue.h"
 
@@ -89,7 +91,9 @@ Result<HardState> HardState::Decode(const std::string& bytes) {
     hs.repos.emplace(std::move(node), std::move(rel));
   }
   SQ_ASSIGN_OR_RETURN(uint64_t nmsgs, r.GetU64());
-  hs.queue.reserve(nmsgs);
+  // Clamp to what the remaining bytes could possibly encode (>= 1 byte per
+  // element) so a corrupted count can't bad_alloc before the decode errors.
+  hs.queue.reserve(std::min<uint64_t>(nmsgs, r.remaining()));
   for (uint64_t i = 0; i < nmsgs; ++i) {
     SQ_ASSIGN_OR_RETURN(UpdateMessage msg, DecodeUpdateMessage(&r));
     hs.queue.push_back(std::move(msg));
@@ -129,6 +133,9 @@ Result<HardState> HardState::Decode(const std::string& bytes) {
 // ---- DurabilityManager: logging -------------------------------------------
 
 Status DurabilityManager::Append(std::string record) {
+  if (opts_.framing) {
+    record = FrameRecord(FrameClass::kRecord, log_epoch_, record);
+  }
   bytes_logged_ += record.size();
   ++records_logged_;
   return opts_.device->Append(std::move(record)).status();
@@ -219,47 +226,133 @@ Status DurabilityManager::WriteCheckpoint(const HardState& state) {
   BinaryWriter w;
   w.PutU8(kCheckpoint);
   w.PutString(state.Encode());
-  bytes_logged_ += w.bytes().size();
+  std::string record = w.Take();
+  if (opts_.framing) {
+    // Checkpoint frames carry the complement magic so a damaged checkpoint
+    // is still recognizably a checkpoint (generation fallback, not kCorrupted).
+    record = FrameRecord(FrameClass::kCheckpoint, log_epoch_, record);
+  }
+  bytes_logged_ += record.size();
   ++records_logged_;
   ++checkpoints_written_;
-  SQ_ASSIGN_OR_RETURN(uint64_t lsn, opts_.device->Append(w.Take()));
-  // Every record before the checkpoint is folded into it.
-  return opts_.device->TruncatePrefix(lsn);
+  SQ_ASSIGN_OR_RETURN(uint64_t lsn, opts_.device->Append(std::move(record)));
+  // Dual-generation retention: truncate only up to the PREVIOUS checkpoint,
+  // keeping it (and the WAL suffix behind it) as the fallback generation in
+  // case this newest image is damaged before it is ever read back.
+  uint64_t cut = have_prev_checkpoint_ ? prev_checkpoint_lsn_ : lsn;
+  prev_checkpoint_lsn_ = lsn;
+  have_prev_checkpoint_ = true;
+  return opts_.device->TruncatePrefix(cut);
 }
 
 // ---- DurabilityManager: recovery ------------------------------------------
 
-Result<RecoveredState> DurabilityManager::Recover() const {
+namespace {
+
+/// One log record after frame verification (or legacy tag classification).
+struct ParsedRecord {
+  uint64_t lsn = 0;
+  bool valid = false;
+  FrameClass cls = FrameClass::kUnknown;
+  uint64_t log_epoch = 0;
+  std::string payload;  ///< unframed bytes; only meaningful when valid
+};
+
+/// Decodes a verified checkpoint-class payload into \p state. Any failure —
+/// wrong tag, truncated blob, undecodable HardState — means this generation
+/// is unusable and the caller falls back to an older one.
+Status DecodeCheckpointPayload(const std::string& payload, HardState* state) {
+  BinaryReader r(payload);
+  SQ_ASSIGN_OR_RETURN(uint8_t tag, r.GetU8());
+  if (tag != kCheckpoint) {
+    return Status::Internal("checkpoint frame with record tag " +
+                            std::to_string(tag));
+  }
+  SQ_ASSIGN_OR_RETURN(std::string blob, r.GetString());
+  SQ_ASSIGN_OR_RETURN(*state, HardState::Decode(blob));
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<RecoveredState> DurabilityManager::Recover() {
   if (!enabled()) {
     return Status::FailedPrecondition(
         "recovery requires a log device (durability is disabled)");
   }
   SQ_ASSIGN_OR_RETURN(std::vector<LogRecord> records, opts_.device->ReadAll());
 
-  // Find the newest checkpoint; replay starts right after it. (Truncation
-  // normally leaves the checkpoint first, but recovery does not rely on it:
-  // a crash between Append and TruncatePrefix leaves older records around,
-  // and they are simply skipped here.)
-  size_t start = 0;
-  RecoveredState out;
-  bool have_checkpoint = false;
-  for (size_t i = 0; i < records.size(); ++i) {
-    if (!records[i].bytes.empty() &&
-        static_cast<uint8_t>(records[i].bytes[0]) == kCheckpoint) {
-      start = i;
-      have_checkpoint = true;
+  // Pass 1: verify every frame (or, in legacy unframed mode, classify by
+  // tag byte and trust the bytes — an unframed log has no integrity story).
+  std::vector<ParsedRecord> parsed;
+  parsed.reserve(records.size());
+  for (auto& rec : records) {
+    ParsedRecord p;
+    p.lsn = rec.lsn;
+    if (opts_.framing) {
+      FrameInfo info = UnframeRecord(rec.bytes);
+      p.valid = info.valid;
+      p.cls = info.frame_class;
+      p.log_epoch = info.log_epoch;
+      p.payload = std::move(info.payload);
+    } else {
+      p.valid = true;
+      p.cls = (!rec.bytes.empty() &&
+               static_cast<uint8_t>(rec.bytes[0]) == kCheckpoint)
+                  ? FrameClass::kCheckpoint
+                  : FrameClass::kRecord;
+      p.payload = std::move(rec.bytes);
     }
+    parsed.push_back(std::move(p));
+  }
+
+  // The log epoch must be non-decreasing along the log: a verified frame
+  // from an older incarnation sitting AFTER newer ones means the log was
+  // spliced (e.g. a stale acked-then-lost tail resurfaced) — never replay.
+  uint64_t max_epoch = 0;
+  for (const auto& p : parsed) {
+    if (!p.valid) continue;
+    if (p.log_epoch < max_epoch) {
+      return Status::Corrupted("log epoch regression at LSN " +
+                               std::to_string(p.lsn) + " (epoch " +
+                               std::to_string(p.log_epoch) + " after " +
+                               std::to_string(max_epoch) + ")");
+    }
+    max_epoch = p.log_epoch;
+  }
+
+  // Pass 2: pick the newest checkpoint generation that verifies AND
+  // decodes. Every damaged checkpoint-class record newer than the chosen
+  // one is a generation fallback — recovery then replays the longer WAL
+  // suffix behind the older image instead of failing.
+  RecoveredState out;
+  size_t start = 0;
+  bool have_checkpoint = false;
+  uint64_t checkpoint_slots_seen = 0;
+  for (size_t i = parsed.size(); i-- > 0;) {
+    if (parsed[i].cls != FrameClass::kCheckpoint) continue;
+    ++checkpoint_slots_seen;
+    if (parsed[i].valid) {
+      Status decoded = DecodeCheckpointPayload(parsed[i].payload, &out.state);
+      if (decoded.ok()) {
+        start = i;
+        have_checkpoint = true;
+        out.checkpoint_lsn = parsed[i].lsn;
+        break;
+      }
+      if (!opts_.framing) return decoded;  // legacy: propagate as before
+    }
+    ++out.checkpoint_fallbacks;
   }
   if (!have_checkpoint) {
+    if (opts_.framing && checkpoint_slots_seen > 0) {
+      return Status::Corrupted(
+          "no recoverable checkpoint generation: all " +
+          std::to_string(checkpoint_slots_seen) +
+          " retained slot(s) failed verification");
+    }
     return Status::Internal(
         "no checkpoint in the log: the mediator never started durably");
-  }
-  {
-    BinaryReader r(records[start].bytes);
-    SQ_RETURN_IF_ERROR(r.GetU8().status());  // tag
-    SQ_ASSIGN_OR_RETURN(std::string blob, r.GetString());
-    SQ_ASSIGN_OR_RETURN(out.state, HardState::Decode(blob));
-    out.checkpoint_lsn = records[start].lsn;
   }
 
   // Replay the suffix. The queue is rebuilt in a deque so commits can pop
@@ -277,9 +370,45 @@ Result<RecoveredState> DurabilityManager::Recover() const {
     out.msgs_requeued += open_consumed;
     txn_open = false;
   };
-  for (size_t i = start + 1; i < records.size(); ++i) {
+  for (size_t i = start + 1; i < parsed.size(); ++i) {
+    if (opts_.framing && parsed[i].lsn != parsed[i - 1].lsn + 1) {
+      // A hole in the LSN sequence: the device acknowledged record(s) that
+      // never reached the read-back (lying fsync). Their effects cannot be
+      // reconstructed and replaying around them would silently diverge.
+      return Status::Corrupted(
+          "WAL record(s) missing between LSN " +
+          std::to_string(parsed[i - 1].lsn) + " and LSN " +
+          std::to_string(parsed[i].lsn) + " (acked but not persisted)");
+    }
+    if (parsed[i].cls == FrameClass::kCheckpoint && opts_.framing) {
+      // A newer-but-damaged generation (counted as a fallback in pass 2):
+      // its complement magic identifies it as a checkpoint even though its
+      // body failed verification, so it is skippable — the chosen older
+      // generation plus this very suffix covers everything it held.
+      continue;
+    }
+    if (!parsed[i].valid) {
+      // Triage: a damaged run that reaches the end of the log is repairable
+      // tail damage (torn/partial final appends — nothing after them ever
+      // became durable). Damage FOLLOWED by a verifiable record means the
+      // interior of the log is gone, and with it committed effects.
+      bool tail = true;
+      for (size_t j = i + 1; j < parsed.size(); ++j) {
+        if (parsed[j].valid) {
+          tail = false;
+          break;
+        }
+      }
+      if (tail) {
+        out.tail_records_dropped = parsed.size() - i;
+        break;
+      }
+      return Status::Corrupted("interior WAL corruption at LSN " +
+                               std::to_string(parsed[i].lsn) +
+                               " (damaged record precedes verified ones)");
+    }
     ++out.records_replayed;
-    BinaryReader r(records[i].bytes);
+    BinaryReader r(parsed[i].payload);
     SQ_ASSIGN_OR_RETURN(uint8_t tag, r.GetU8());
     switch (tag) {
       case kEnqueue: {
@@ -451,6 +580,12 @@ Result<RecoveredState> DurabilityManager::Recover() const {
   }
   if (txn_open) roll_back_open();
   out.state.queue.assign(queue.begin(), queue.end());
+  // Re-anchor on what the log actually holds: the generation pointer sits
+  // at the restored checkpoint, and subsequent frames carry a fresh log
+  // incarnation so a resurfaced pre-crash tail can never splice in.
+  prev_checkpoint_lsn_ = out.checkpoint_lsn;
+  have_prev_checkpoint_ = true;
+  log_epoch_ = max_epoch + 1;
   return out;
 }
 

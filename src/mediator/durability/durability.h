@@ -62,6 +62,17 @@ struct DurabilityOptions {
   /// Update commits between periodic checkpoints; 0 = only the initial
   /// checkpoint written at Start().
   uint64_t checkpoint_every = 16;
+  /// Wrap every WAL record and checkpoint image in a CRC32C frame (magic +
+  /// checksum + length + log epoch; see integrity.h). Off only for the
+  /// framing-overhead benchmark — an unframed log cannot distinguish tail
+  /// damage from interior corruption.
+  bool framing = true;
+  /// Paranoid recovery: re-initiate anti-entropy resync for every mirrored
+  /// source after ANY recovery, not just when integrity anomalies were
+  /// observed. Deployments on storage that may ack-then-lose writes (lying
+  /// fsync) need this — a dropped log TAIL leaves no detectable trace, so
+  /// only a snapshot pull can rule out silent divergence.
+  bool resync_on_recovery = false;
 };
 
 /// Everything a checkpoint captures and recovery restores.
@@ -120,6 +131,20 @@ struct RecoveredState {
   uint64_t txns_replayed = 0;       ///< commits re-applied
   uint64_t txns_rolled_back = 0;    ///< begins without commit/abort
   uint64_t msgs_requeued = 0;       ///< messages returned by rollbacks
+  // ---- integrity triage (framing mode) ----
+  /// Damaged trailing records dropped as repairable tail damage (torn or
+  /// partially persisted final appends).
+  uint64_t tail_records_dropped = 0;
+  /// Damaged checkpoint generations skipped before a good one verified
+  /// (recovery then replays the longer WAL suffix behind the older one).
+  uint64_t checkpoint_fallbacks = 0;
+  /// True iff recovery observed any integrity anomaly. The recovered state
+  /// is internally consistent, but records lost with the damaged tail were
+  /// acknowledged to sources — the mediator re-initiates resync for every
+  /// mirrored source so the repaired state provably reconverges.
+  bool anomalies() const {
+    return tail_records_dropped > 0 || checkpoint_fallbacks > 0;
+  }
 };
 
 /// \brief Writes the mediator's WAL and checkpoints; replays them on demand.
@@ -170,13 +195,20 @@ class DurabilityManager {
            commits_since_checkpoint >= opts_.checkpoint_every;
   }
 
-  /// Rebuilds hard state from the device: newest checkpoint + log suffix.
-  Result<RecoveredState> Recover() const;
+  /// Rebuilds hard state from the device: newest checkpoint generation that
+  /// verifies + the log suffix behind it. Damaged trailing records are
+  /// dropped (tail repair); interior corruption or an unrecoverable
+  /// checkpoint pair returns StatusCode::kCorrupted with LSN diagnostics.
+  /// Non-const: recovery re-anchors the generation pointer and bumps the
+  /// log epoch (a new log incarnation).
+  Result<RecoveredState> Recover();
 
   // ---- observability ----
   uint64_t records_logged() const { return records_logged_; }
   uint64_t checkpoints_written() const { return checkpoints_written_; }
   uint64_t bytes_logged() const { return bytes_logged_; }
+  /// Current log incarnation stamped into every frame (bumped by Recover).
+  uint64_t log_epoch() const { return log_epoch_; }
 
  private:
   Status Append(std::string record);
@@ -185,6 +217,13 @@ class DurabilityManager {
   uint64_t records_logged_ = 0;
   uint64_t checkpoints_written_ = 0;
   uint64_t bytes_logged_ = 0;
+  /// Log incarnation stamped into frames; starts at 1, +1 per recovery.
+  uint64_t log_epoch_ = 1;
+  /// Dual-generation retention: WriteCheckpoint truncates only up to the
+  /// PREVIOUS checkpoint's LSN, so the log always holds two generations and
+  /// recovery can fall back when the newest fails verification.
+  uint64_t prev_checkpoint_lsn_ = 0;
+  bool have_prev_checkpoint_ = false;
 };
 
 }  // namespace squirrel

@@ -1,0 +1,92 @@
+#include "mediator/durability/faulty_log_device.h"
+
+#include <utility>
+
+#include "mediator/durability/integrity.h"
+
+namespace squirrel {
+
+Result<uint64_t> FaultyLogDevice::Append(std::string bytes) {
+  ++appends_seen_;
+  if (enospc_remaining_ > 0) {
+    --enospc_remaining_;
+    ++counters_.enospc_failures;
+    return Status::Unavailable("injected ENOSPC: log device is full");
+  }
+  bool eligible = appends_seen_ > plan_.skip_appends &&
+                  faults_injected_ < plan_.max_faults;
+  if (eligible && plan_.enospc_prob > 0 && rng_.Bernoulli(plan_.enospc_prob)) {
+    ++faults_injected_;
+    enospc_remaining_ = plan_.enospc_len > 0 ? plan_.enospc_len - 1 : 0;
+    ++counters_.enospc_failures;
+    return Status::Unavailable("injected ENOSPC: log device is full");
+  }
+  // Corruption (as opposed to ENOSPC) can be restricted to checkpoint-class
+  // frames — their magic word is peekable even before the record is stored.
+  bool class_ok =
+      !plan_.target_checkpoints ||
+      PeekFrameClass(bytes) == FrameClass::kCheckpoint;
+  bool has_mutation = false;
+  Mutation mut;
+  if (eligible && class_ok && !bytes.empty()) {
+    if (plan_.torn_append_prob > 0 && rng_.Bernoulli(plan_.torn_append_prob)) {
+      mut.kind = Mutation::kTorn;
+      mut.keep_bytes = static_cast<size_t>(rng_.Uniform(bytes.size()));
+      has_mutation = true;
+      ++counters_.torn;
+    } else if (plan_.bitflip_prob > 0 && rng_.Bernoulli(plan_.bitflip_prob)) {
+      mut.kind = Mutation::kFlip;
+      mut.bit_index = static_cast<size_t>(rng_.Uniform(bytes.size() * 8));
+      has_mutation = true;
+      ++counters_.bitflips;
+    } else if (plan_.fsync_drop_prob > 0 &&
+               rng_.Bernoulli(plan_.fsync_drop_prob)) {
+      mut.kind = Mutation::kDrop;
+      has_mutation = true;
+      ++counters_.fsync_drops;
+    }
+  }
+  // The inner device assigns the LSN and fires its append hook either way —
+  // the lie is that the ACK goes out while the stored bytes differ.
+  SQ_ASSIGN_OR_RETURN(uint64_t lsn, inner_->Append(std::move(bytes)));
+  if (has_mutation) {
+    ++faults_injected_;
+    overlay_[lsn] = mut;
+  }
+  return lsn;
+}
+
+Status FaultyLogDevice::TruncatePrefix(uint64_t new_begin) {
+  SQ_RETURN_IF_ERROR(inner_->TruncatePrefix(new_begin));
+  overlay_.erase(overlay_.begin(), overlay_.lower_bound(new_begin));
+  return Status::OK();
+}
+
+Result<std::vector<LogRecord>> FaultyLogDevice::ReadAll() const {
+  SQ_ASSIGN_OR_RETURN(std::vector<LogRecord> records, inner_->ReadAll());
+  std::vector<LogRecord> out;
+  out.reserve(records.size());
+  for (auto& rec : records) {
+    auto it = overlay_.find(rec.lsn);
+    if (it == overlay_.end()) {
+      out.push_back(std::move(rec));
+      continue;
+    }
+    switch (it->second.kind) {
+      case Mutation::kTorn:
+        rec.bytes.resize(it->second.keep_bytes);
+        out.push_back(std::move(rec));
+        break;
+      case Mutation::kFlip:
+        rec.bytes[it->second.bit_index / 8] ^=
+            static_cast<char>(1u << (it->second.bit_index % 8));
+        out.push_back(std::move(rec));
+        break;
+      case Mutation::kDrop:
+        break;  // acked, never persisted: invisible to the read-back
+    }
+  }
+  return out;
+}
+
+}  // namespace squirrel

@@ -1,0 +1,100 @@
+// Deterministic disk-fault injection for the durability layer.
+//
+// FaultyLogDevice decorates any LogDevice with a seeded "lying disk": the
+// inner device keeps its LSN numbering (and, for MemLogDevice, its append
+// hook driving the crash-point sweeps), while an overlay records how each
+// appended record was ACTUALLY persisted:
+//
+//   - torn append: only a prefix of the record's bytes reached the platter;
+//   - bit flip: one seeded bit of the stored record is inverted;
+//   - dropped fsync: the append was acknowledged but the record is gone;
+//   - ENOSPC: a window of appends fails outright (the honest failure mode —
+//     the caller KNOWS the record is not durable).
+//
+// Mutations apply at append time (the damage exists on "disk" from the
+// moment of the lie) and surface at ReadAll — exactly when recovery reads
+// the log back. All decisions are drawn from one seeded Rng in append
+// order, so a (seed, workload) pair replays byte-identically.
+
+#ifndef SQUIRREL_MEDIATOR_DURABILITY_FAULTY_LOG_DEVICE_H_
+#define SQUIRREL_MEDIATOR_DURABILITY_FAULTY_LOG_DEVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "mediator/durability/log_device.h"
+
+namespace squirrel {
+
+/// Knobs of one storage-fault schedule. Defaults inject nothing.
+struct StorageFaultPlan {
+  /// Probability an append persists only a prefix of its bytes.
+  double torn_append_prob = 0;
+  /// Probability one stored bit of an appended record flips.
+  double bitflip_prob = 0;
+  /// Probability an acknowledged append never reaches the platter.
+  double fsync_drop_prob = 0;
+  /// Probability an ENOSPC window opens at an append (that append and the
+  /// next enospc_len - 1 fail with kUnavailable).
+  double enospc_prob = 0;
+  int enospc_len = 1;
+  /// Restrict torn/flip/drop corruption to checkpoint-class frames (their
+  /// magic is peekable), modeling damage to the checkpoint slots.
+  bool target_checkpoints = false;
+  /// Total fault events injected at most (an ENOSPC window counts once).
+  int max_faults = 1;
+  /// Never fault the first N appends (keeps the initial checkpoint intact;
+  /// a log whose only generation is damaged is trivially unrecoverable).
+  uint64_t skip_appends = 1;
+};
+
+/// \brief Seeded lying-disk decorator over any LogDevice.
+class FaultyLogDevice : public LogDevice {
+ public:
+  struct Counters {
+    uint64_t torn = 0;             ///< torn (prefix-only) appends
+    uint64_t bitflips = 0;         ///< single-bit corruptions
+    uint64_t fsync_drops = 0;      ///< acked-then-lost records
+    uint64_t enospc_failures = 0;  ///< appends failed with no space
+  };
+
+  FaultyLogDevice(LogDevice* inner, StorageFaultPlan plan, uint64_t seed)
+      : inner_(inner),
+        plan_(plan),
+        rng_(seed * 0xD1B54A32D192ED03ULL + 7) {}
+
+  Result<uint64_t> Append(std::string bytes) override;
+  Status TruncatePrefix(uint64_t new_begin) override;
+  Result<std::vector<LogRecord>> ReadAll() const override;
+  uint64_t NextLsn() const override { return inner_->NextLsn(); }
+  uint64_t SizeBytes() const override { return inner_->SizeBytes(); }
+
+  const Counters& counters() const { return counters_; }
+  /// Fault events charged against the plan's budget (an ENOSPC window
+  /// counts once, however many appends it fails).
+  int faults_injected() const { return faults_injected_; }
+
+ private:
+  struct Mutation {
+    enum Kind { kTorn, kFlip, kDrop } kind = kTorn;
+    size_t keep_bytes = 0;  ///< kTorn: stored prefix length
+    size_t bit_index = 0;   ///< kFlip: flipped bit position
+  };
+
+  LogDevice* inner_;
+  StorageFaultPlan plan_;
+  Rng rng_;
+  Counters counters_;
+  /// How each damaged LSN was actually persisted.
+  std::map<uint64_t, Mutation> overlay_;
+  uint64_t appends_seen_ = 0;
+  int faults_injected_ = 0;
+  int enospc_remaining_ = 0;
+};
+
+}  // namespace squirrel
+
+#endif  // SQUIRREL_MEDIATOR_DURABILITY_FAULTY_LOG_DEVICE_H_

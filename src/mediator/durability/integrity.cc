@@ -1,0 +1,121 @@
+#include "mediator/durability/integrity.h"
+
+#include <array>
+
+namespace squirrel {
+
+namespace {
+
+// Frame magics. The checkpoint magic is the bitwise complement of the record
+// magic: every bit differs, so no burst of flips short of inverting the whole
+// word can convert one frame class into the other.
+constexpr uint32_t kRecordMagic = 0xC5A1B069u;
+constexpr uint32_t kCheckpointMagic = ~kRecordMagic;  // 0x3A5E4F96
+
+constexpr size_t kHeaderSize = 4 + 4 + 4 + 8;  // magic + crc + len + epoch
+
+std::array<uint32_t, 256> MakeCrc32cTable() {
+  std::array<uint32_t, 256> table{};
+  // Reflected Castagnoli polynomial.
+  constexpr uint32_t kPoly = 0x82F63B78u;
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int b = 0; b < 8; ++b) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Crc32cTable() {
+  static const std::array<uint32_t, 256> kTable = MakeCrc32cTable();
+  return kTable;
+}
+
+void PutU32Le(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+void PutU64Le(std::string* out, uint64_t v) {
+  PutU32Le(out, static_cast<uint32_t>(v & 0xFFFFFFFFu));
+  PutU32Le(out, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t GetU32Le(const std::string& bytes, size_t at) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(bytes[at])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(bytes[at + 1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(bytes[at + 2]))
+             << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(bytes[at + 3]))
+             << 24;
+}
+
+uint64_t GetU64Le(const std::string& bytes, size_t at) {
+  return static_cast<uint64_t>(GetU32Le(bytes, at)) |
+         static_cast<uint64_t>(GetU32Le(bytes, at + 4)) << 32;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed) {
+  const auto& table = Crc32cTable();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Crc32c(const std::string& bytes) {
+  return Crc32c(bytes.data(), bytes.size());
+}
+
+std::string FrameRecord(FrameClass cls, uint64_t log_epoch,
+                        const std::string& payload) {
+  std::string out;
+  out.reserve(kHeaderSize + payload.size());
+  PutU32Le(&out,
+           cls == FrameClass::kCheckpoint ? kCheckpointMagic : kRecordMagic);
+  PutU32Le(&out, 0);  // crc placeholder
+  PutU32Le(&out, static_cast<uint32_t>(payload.size()));
+  PutU64Le(&out, log_epoch);
+  out.append(payload);
+  // CRC covers everything after the crc field: len + epoch + payload.
+  uint32_t crc = Crc32c(out.data() + 8, out.size() - 8);
+  out[4] = static_cast<char>(crc & 0xFF);
+  out[5] = static_cast<char>((crc >> 8) & 0xFF);
+  out[6] = static_cast<char>((crc >> 16) & 0xFF);
+  out[7] = static_cast<char>((crc >> 24) & 0xFF);
+  return out;
+}
+
+FrameClass PeekFrameClass(const std::string& bytes) {
+  if (bytes.size() < 4) return FrameClass::kUnknown;
+  uint32_t magic = GetU32Le(bytes, 0);
+  if (magic == kRecordMagic) return FrameClass::kRecord;
+  if (magic == kCheckpointMagic) return FrameClass::kCheckpoint;
+  return FrameClass::kUnknown;
+}
+
+FrameInfo UnframeRecord(const std::string& bytes) {
+  FrameInfo info;
+  info.frame_class = PeekFrameClass(bytes);
+  if (info.frame_class == FrameClass::kUnknown) return info;
+  if (bytes.size() < kHeaderSize) return info;
+  uint32_t stored_crc = GetU32Le(bytes, 4);
+  uint32_t len = GetU32Le(bytes, 8);
+  if (bytes.size() != kHeaderSize + len) return info;
+  uint32_t actual = Crc32c(bytes.data() + 8, bytes.size() - 8);
+  if (actual != stored_crc) return info;
+  info.valid = true;
+  info.log_epoch = GetU64Le(bytes, 12);
+  info.payload = bytes.substr(kHeaderSize);
+  return info;
+}
+
+}  // namespace squirrel

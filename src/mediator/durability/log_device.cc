@@ -1,6 +1,11 @@
 #include "mediator/durability/log_device.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 
 #include "mediator/durability/serialize.h"
@@ -34,6 +39,64 @@ Result<std::vector<LogRecord>> MemLogDevice::ReadAll() const {
 
 // ---- FileLogDevice --------------------------------------------------------
 
+namespace {
+
+// Version-stamped file header: magic + format version + reserved padding.
+// Headerless files written by earlier builds still open (legacy fallback);
+// the header is installed on the next rewrite.
+constexpr char kFileMagic[5] = {'S', 'Q', 'W', 'A', 'L'};
+constexpr uint8_t kFileVersion = 1;
+constexpr size_t kFileHeaderSize = 8;
+
+std::string FileHeader() {
+  std::string h(kFileMagic, sizeof(kFileMagic));
+  h.push_back(static_cast<char>(kFileVersion));
+  h.append(2, '\0');  // reserved
+  return h;
+}
+
+bool HasFileMagic(const std::string& contents) {
+  return contents.size() >= sizeof(kFileMagic) &&
+         std::memcmp(contents.data(), kFileMagic, sizeof(kFileMagic)) == 0;
+}
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " " + path + ": " + std::strerror(errno));
+}
+
+Status WriteFully(int fd, const std::string& bytes, const std::string& path) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write to log file", path);
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// fsync of the directory holding \p path, making a just-renamed entry
+/// durable. Without it a crash can roll the rename back and resurrect the
+/// pre-truncation file.
+Status SyncParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return Errno("open parent directory of", path);
+  if (::fsync(fd) != 0) {
+    Status st = Errno("fsync parent directory of", path);
+    ::close(fd);
+    return st;
+  }
+  if (::close(fd) != 0) return Errno("close parent directory of", path);
+  return Status::OK();
+}
+
+}  // namespace
+
 Result<std::unique_ptr<FileLogDevice>> FileLogDevice::Open(
     const std::string& path) {
   auto dev = std::unique_ptr<FileLogDevice>(new FileLogDevice(path));
@@ -44,6 +107,18 @@ Result<std::unique_ptr<FileLogDevice>> FileLogDevice::Open(
   size_t n;
   while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) contents.append(buf, n);
   std::fclose(f);
+  size_t body_start = 0;
+  if (HasFileMagic(contents)) {
+    if (contents.size() < kFileHeaderSize ||
+        static_cast<uint8_t>(contents[sizeof(kFileMagic)]) != kFileVersion) {
+      return Status::Corrupted("unsupported log file version in " + path);
+    }
+    body_start = kFileHeaderSize;
+    dev->has_header_ = true;
+  }
+  // Strip the header in place: BinaryReader holds a reference, so it must
+  // read from a string that outlives it (a substr temporary would dangle).
+  if (body_start > 0) contents.erase(0, body_start);
   BinaryReader r(contents);
   while (!r.AtEnd()) {
     // A record that fails to frame is a torn tail from a crash mid-write:
@@ -65,20 +140,32 @@ Result<std::unique_ptr<FileLogDevice>> FileLogDevice::Open(
 }
 
 Result<uint64_t> FileLogDevice::Append(std::string bytes) {
-  std::FILE* f = std::fopen(path_.c_str(), "ab");
-  if (f == nullptr) {
-    return Status::Internal("cannot open log file for append: " + path_);
-  }
+  int fd = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  if (fd < 0) return Errno("open log file for append", path_);
   uint64_t lsn = next_lsn_;
   BinaryWriter w;
   w.PutU64(lsn);
   w.PutString(bytes);
-  size_t written = std::fwrite(w.bytes().data(), 1, w.bytes().size(), f);
-  std::fflush(f);
-  std::fclose(f);
-  if (written != w.bytes().size()) {
-    return Status::Internal("short write to log file: " + path_);
+  std::string frame;
+  if (!has_header_ && records_.empty()) {
+    // Brand-new log: stamp the versioned header ahead of the first record.
+    // (A legacy headerless log with surviving records keeps its format
+    // until the next rewrite installs the header atomically.)
+    frame = FileHeader();
+    has_header_ = true;
   }
+  frame += w.Take();
+  Status written = WriteFully(fd, frame, path_);
+  if (!written.ok()) {
+    ::close(fd);
+    return written;
+  }
+  if (::fsync(fd) != 0) {
+    Status st = Errno("fsync log file", path_);
+    ::close(fd);
+    return st;
+  }
+  if (::close(fd) != 0) return Errno("close log file", path_);
   ++next_lsn_;
   size_bytes_ += bytes.size();
   records_.push_back({lsn, std::move(bytes)});
@@ -102,27 +189,35 @@ Status FileLogDevice::TruncatePrefix(uint64_t new_begin) {
 
 Status FileLogDevice::Rewrite(const std::vector<LogRecord>& records) {
   // Write-then-rename so a crash during truncation leaves a parseable log.
+  // Every step is checked and the new contents are fsynced BEFORE the
+  // rename, then the parent directory after it — an unchecked fsync/close/
+  // rename here could ack a truncation the disk never made durable.
   std::string tmp = path_ + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::Internal("cannot open log file for rewrite: " + tmp);
-  }
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("open log file for rewrite", tmp);
+  std::string contents = FileHeader();
   for (const auto& rec : records) {
     BinaryWriter w;
     w.PutU64(rec.lsn);
     w.PutString(rec.bytes);
-    if (std::fwrite(w.bytes().data(), 1, w.bytes().size(), f) !=
-        w.bytes().size()) {
-      std::fclose(f);
-      return Status::Internal("short write rewriting log file: " + tmp);
-    }
+    contents += w.Take();
   }
-  std::fflush(f);
-  std::fclose(f);
+  Status written = WriteFully(fd, contents, tmp);
+  if (!written.ok()) {
+    ::close(fd);
+    return written;
+  }
+  if (::fsync(fd) != 0) {
+    Status st = Errno("fsync rewritten log file", tmp);
+    ::close(fd);
+    return st;
+  }
+  if (::close(fd) != 0) return Errno("close rewritten log file", tmp);
   if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
-    return Status::Internal("cannot install rewritten log file: " + path_);
+    return Errno("install rewritten log file over", path_);
   }
-  return Status::OK();
+  has_header_ = true;
+  return SyncParentDir(path_);
 }
 
 Result<std::vector<LogRecord>> FileLogDevice::ReadAll() const {

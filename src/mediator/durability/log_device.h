@@ -105,6 +105,9 @@ class FileLogDevice : public LogDevice {
   std::vector<LogRecord> records_;  // cache of the file contents
   uint64_t next_lsn_ = 0;
   uint64_t size_bytes_ = 0;
+  /// True once the on-disk file carries the version-stamped header. Legacy
+  /// headerless files keep their layout until the next rewrite-rename.
+  bool has_header_ = false;
 };
 
 }  // namespace squirrel

@@ -1,6 +1,9 @@
 #include "mediator/durability/serialize.h"
 
+#include <algorithm>
 #include <cstring>
+
+#include "mediator/durability/integrity.h"
 
 namespace squirrel {
 
@@ -130,7 +133,9 @@ void EncodeTuple(BinaryWriter* w, const Tuple& t) {
 Result<Tuple> DecodeTuple(BinaryReader* r) {
   SQ_ASSIGN_OR_RETURN(uint32_t n, r->GetU32());
   std::vector<Value> values;
-  values.reserve(n);
+  // Clamped reserves throughout the decoders: a corrupted count must surface
+  // as a decode error, not a bad_alloc (every element costs >= 1 byte).
+  values.reserve(std::min<size_t>(n, r->remaining()));
   for (uint32_t i = 0; i < n; ++i) {
     SQ_ASSIGN_OR_RETURN(Value v, DecodeValue(r));
     values.push_back(std::move(v));
@@ -153,7 +158,7 @@ void EncodeSchema(BinaryWriter* w, const Schema& s) {
 Result<Schema> DecodeSchema(BinaryReader* r) {
   SQ_ASSIGN_OR_RETURN(uint32_t nattrs, r->GetU32());
   std::vector<Attribute> attrs;
-  attrs.reserve(nattrs);
+  attrs.reserve(std::min<size_t>(nattrs, r->remaining()));
   for (uint32_t i = 0; i < nattrs; ++i) {
     Attribute a;
     SQ_ASSIGN_OR_RETURN(a.name, r->GetString());
@@ -166,7 +171,7 @@ Result<Schema> DecodeSchema(BinaryReader* r) {
   }
   SQ_ASSIGN_OR_RETURN(uint32_t nkey, r->GetU32());
   std::vector<std::string> key;
-  key.reserve(nkey);
+  key.reserve(std::min<size_t>(nkey, r->remaining()));
   for (uint32_t i = 0; i < nkey; ++i) {
     SQ_ASSIGN_OR_RETURN(std::string k, r->GetString());
     key.push_back(std::move(k));
@@ -267,6 +272,27 @@ Result<UpdateMessage> DecodeUpdateMessage(BinaryReader* r) {
   SQ_ASSIGN_OR_RETURN(msg.epoch, r->GetU64());
   SQ_ASSIGN_OR_RETURN(msg.delta, DecodeMultiDelta(r));
   return msg;
+}
+
+uint32_t ChecksumUpdateMessage(const UpdateMessage& msg) {
+  BinaryWriter w;
+  EncodeUpdateMessage(&w, msg);
+  return Crc32c(w.bytes());
+}
+
+uint32_t ChecksumSnapshotAnswer(const SnapshotAnswer& ans) {
+  BinaryWriter w;
+  w.PutU64(ans.id);
+  w.PutString(ans.source);
+  w.PutTime(ans.answered_at);
+  w.PutU64(ans.epoch);
+  w.PutU64(ans.announce_seq);
+  w.PutU32(static_cast<uint32_t>(ans.relations.size()));
+  for (const auto& [name, rel] : ans.relations) {
+    w.PutString(name);
+    EncodeRelation(&w, rel);
+  }
+  return Crc32c(w.bytes());
 }
 
 }  // namespace squirrel

@@ -95,6 +95,17 @@ Result<MultiDelta> DecodeMultiDelta(BinaryReader* r);
 void EncodeUpdateMessage(BinaryWriter* w, const UpdateMessage& msg);
 Result<UpdateMessage> DecodeUpdateMessage(BinaryReader* r);
 
+// ---- wire-integrity checksums (see integrity.h) ---------------------------
+// CRC32C over the message's canonical encoding, EXCLUDING the checksum field
+// itself (the WAL codec above deliberately never persists it: checksums are
+// verified at receipt, not replayed). Senders stamp these into the message;
+// the mediator verifies any nonzero value and treats a mismatch as payload
+// corruption — drop + no dedup-floor advance for updates, re-request for
+// snapshots.
+
+uint32_t ChecksumUpdateMessage(const UpdateMessage& msg);
+uint32_t ChecksumSnapshotAnswer(const SnapshotAnswer& ans);
+
 }  // namespace squirrel
 
 #endif  // SQUIRREL_MEDIATOR_DURABILITY_SERIALIZE_H_

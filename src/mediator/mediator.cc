@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "delta/delta_algebra.h"
+#include "mediator/durability/serialize.h"
 #include "relational/columnar.h"
 #include "relational/operators.h"
 
@@ -257,6 +258,13 @@ void Mediator::OnSourceMessage(SourceToMediatorMsg msg) {
   ++stats_.messages_received;
   if (std::holds_alternative<UpdateMessage>(msg)) {
     UpdateMessage upd = std::get<UpdateMessage>(std::move(msg));
+    if (upd.checksum != 0 && upd.checksum != ChecksumUpdateMessage(upd)) {
+      // Payload corrupted in transit. Drop WITHOUT touching the dedup
+      // floor: the seq gap the loss opens is healed by ARQ redelivery or,
+      // failing that, the seq-gap resync below — never silently applied.
+      ++stats_.update_checksum_failures;
+      return;
+    }
     SourceRuntime* rt = FindSource(upd.source);
     if (rt != nullptr) {
       ClearQuarantine(rt);  // any delivery proves the source alive
@@ -298,7 +306,6 @@ void Mediator::OnSourceMessage(SourceToMediatorMsg msg) {
         ++stats_.updates_dropped_resync;
         return;
       }
-      if (upd.seq != 0) rt->last_update_seq = upd.seq;
     }
     // WAL: an announcement is "received" only once its enqueue record is
     // durable; recovery re-queues it and restores the dedup high-water mark.
@@ -308,8 +315,24 @@ void Mediator::OnSourceMessage(SourceToMediatorMsg msg) {
       Status ds = durability_.LogEnqueue(upd, queue_.WouldCoalesce(upd));
       if (!ds.ok()) {
         SQ_LOG(kError) << "WAL enqueue failed: " << ds.ToString();
+        ++stats_.wal_append_failures;
+        ++stats_.updates_dropped_wal;
+        // The announcement is NOT received: without a durable enqueue
+        // record a post-crash replay would lose it while the source
+        // believes it was acked. Drop it, leave the dedup floor untouched,
+        // and pull a snapshot to re-cover the content — the pull's retry
+        // loop converges once the device accepts writes again.
+        if (rt != nullptr && resync_.NeedsResync(upd.source) &&
+            resync_.Health(upd.source) == SourceHealth::kHealthy) {
+          BeginResync(rt, upd.epoch);
+        }
+        return;
       }
     }
+    // The dedup floor advances only once the record is durable (or the WAL
+    // is off): a floor ahead of the log would suppress the very retransmits
+    // recovery depends on.
+    if (rt != nullptr && upd.seq != 0) rt->last_update_seq = upd.seq;
     queue_.Enqueue(std::move(upd));
     MaybeShed();
     if (options_.update_period <= 0) ScheduleUpdateTxn();
@@ -597,6 +620,18 @@ void Mediator::OnSnapshotAnswer(SnapshotAnswer ans) {
     ++stats_.stale_poll_answers;
     return;
   }
+  if (ans.checksum != 0 && ans.checksum != ChecksumSnapshotAnswer(ans)) {
+    // A poisoned snapshot would not merely lose an update — Corrective()
+    // would compute a wrong diff and OVERWRITE good mirror state with it.
+    // Drop the answer and pull again under a fresh id; corruption is
+    // transient (see FaultPlan::snapshot_corrupt_prob), so a retry lands.
+    ++stats_.snapshot_checksum_failures;
+    if (options_.record_trace) {
+      trace_->Note(scheduler_->Now(), "snapshot checksum mismatch " + name);
+    }
+    RequestSnapshot(rt);
+    return;
+  }
   // Believed in-transit state: messages still queued, plus the batch of an
   // update transaction that flushed them but has not advanced the mirrors
   // yet. Both are "received and will be applied", so the corrective diff
@@ -635,7 +670,13 @@ void Mediator::OnSnapshotAnswer(SnapshotAnswer ans) {
   if (durability_.wal_enabled()) {
     Status ds = durability_.LogEnqueue(fix, queue_.WouldCoalesce(fix));
     if (!ds.ok()) {
+      // An unlogged corrective would vanish at the next crash while the
+      // dedup floor below had already advanced past it. Abandon this
+      // answer and pull again; the retry loop spans the device outage.
       SQ_LOG(kError) << "WAL enqueue failed: " << ds.ToString();
+      ++stats_.wal_append_failures;
+      RequestSnapshot(rt);
+      return;
     }
   }
   queue_.Enqueue(std::move(fix));
@@ -667,14 +708,21 @@ void Mediator::MaybeShed() {
   // Shedding is gated on a resync being in progress: normal-operation
   // queues are never silently compacted, however deep.
   while (queue_.Size() > options_.max_queue_depth && resync_.AnyUnhealthy()) {
-    if (!queue_.CoalesceOldest()) break;
-    ++stats_.updates_shed;
+    if (!queue_.CanCoalesceOldest()) break;
+    // Log BEFORE merging: replay re-runs the identical pair search, so a
+    // shed record must exist iff the live merge happened. If the device
+    // rejects the record, skip the shed (the queue stays deep — safe, just
+    // unshed) rather than diverge from the log.
     if (durability_.wal_enabled()) {
       Status ds = durability_.LogShed();
       if (!ds.ok()) {
         SQ_LOG(kError) << "WAL shed failed: " << ds.ToString();
+        ++stats_.wal_append_failures;
+        break;
       }
     }
+    queue_.CoalesceOldest();
+    ++stats_.updates_shed;
   }
 }
 
@@ -792,7 +840,18 @@ void Mediator::RunUpdateTxn() {
   if (durability_.wal_enabled()) {
     Status ds = durability_.LogTxnBegin(txn_id, msgs.size());
     if (!ds.ok()) {
+      // Applying a batch the log never saw begin would let a crash replay
+      // it a second time from the surviving enqueue records. Put the flush
+      // back untouched and retry the whole transaction later.
       SQ_LOG(kError) << "WAL begin failed: " << ds.ToString();
+      ++stats_.wal_append_failures;
+      queue_.Requeue(std::move(*msgs_shared));
+      if (options_.update_period <= 0) {
+        AfterGuarded(options_.resync_retry_delay,
+                     [this]() { ScheduleUpdateTxn(); });
+      }
+      FinishTxn();
+      return;
     }
   }
   // Messages that fail assembly below are dropped, not re-queued; the abort
@@ -909,7 +968,11 @@ void Mediator::RunUpdateTxn() {
       payload.source_deltas = *inflight;
       Status ds = durability_.LogTxnCommit(payload);
       if (!ds.ok()) {
+        // Tolerable: a missing commit record rolls this transaction back at
+        // recovery, and the front-requeued messages replay it from scratch.
+        // State after the replay matches state after the live commit.
         SQ_LOG(kError) << "WAL commit failed: " << ds.ToString();
+        ++stats_.wal_append_failures;
       }
     }
     txn_delta_capture_.clear();
@@ -1319,7 +1382,10 @@ void Mediator::MaybeCheckpoint() {
   if (!durability_.CheckpointDue(commits_since_checkpoint_)) return;
   Status st = durability_.WriteCheckpoint(BuildHardState());
   if (!st.ok()) {
+    // Non-fatal: the previous generation stays valid and the WAL suffix
+    // just grows until a later attempt succeeds.
     SQ_LOG(kError) << "checkpoint failed: " << st.ToString();
+    ++stats_.checkpoint_failures;
     return;
   }
   commits_since_checkpoint_ = 0;
@@ -1413,20 +1479,31 @@ Status Mediator::Recover() {
   stats_.recovery_txns_replayed += rec.txns_replayed;
   stats_.recovery_txns_rolled_back += rec.txns_rolled_back;
   stats_.recovery_msgs_requeued += rec.msgs_requeued;
+  stats_.recovery_tail_repairs += rec.tail_records_dropped;
+  stats_.recovery_checkpoint_fallbacks += rec.checkpoint_fallbacks;
   if (options_.record_trace) {
     trace_->Note(scheduler_->Now(),
                  "mediator recovered: replayed=" +
                      std::to_string(rec.txns_replayed) + " rolled_back=" +
                      std::to_string(rec.txns_rolled_back) + " requeued=" +
-                     std::to_string(rec.msgs_requeued));
+                     std::to_string(rec.msgs_requeued) + " tail_dropped=" +
+                     std::to_string(rec.tail_records_dropped) +
+                     " ckpt_fallbacks=" +
+                     std::to_string(rec.checkpoint_fallbacks));
   }
   // MVCC: the recovered repositories become the next version on the same
   // chain (every node is dirty after the SetRepo restores above).
   PublishStoreSnapshot();
   // A post-recovery checkpoint bounds the next recovery's replay and
-  // truncates the log the dead incarnation left behind.
-  SQ_RETURN_IF_ERROR(durability_.WriteCheckpoint(BuildHardState()));
-  commits_since_checkpoint_ = 0;
+  // truncates the log the dead incarnation left behind. Failure is
+  // non-fatal: the generation we just recovered from remains on disk.
+  Status ckpt = durability_.WriteCheckpoint(BuildHardState());
+  if (ckpt.ok()) {
+    commits_since_checkpoint_ = 0;
+  } else {
+    SQ_LOG(kError) << "post-recovery checkpoint failed: " << ckpt.ToString();
+    ++stats_.checkpoint_failures;
+  }
   // Re-arm the update policy in the new incarnation. Under the immediate
   // policy the re-queued messages' triggers died with the old timers, so
   // fire one explicitly.
@@ -1448,6 +1525,22 @@ Status Mediator::Recover() {
       trace_->Note(scheduler_->Now(), "resync resumed " + name);
     }
     RequestSnapshot(rt.get());
+  }
+  // Paranoid resync: when recovery repaired storage damage (or the
+  // deployment asked for it unconditionally), the log's tail may be missing
+  // announcements the sources believe were acked — undetectable from the
+  // log alone, since a torn tail and a quiet period look identical. A
+  // snapshot pull per mirrored source restores the lost content.
+  if (rec.anomalies() || options_.durability.resync_on_recovery) {
+    for (auto& rt : sources_) {
+      const std::string& name = rt->setup.db->name();
+      if (!resync_.NeedsResync(name) ||
+          resync_.Health(name) != SourceHealth::kHealthy) {
+        continue;  // virtual source, or a pull is already in flight
+      }
+      ++stats_.resyncs_after_recovery;
+      BeginResync(rt.get(), resync_.Epoch(name));
+    }
   }
   return Status::OK();
 }

@@ -166,6 +166,16 @@ struct MediatorStats {
   // ---- MVCC counters (zero unless mvcc_reads is on) ----
   uint64_t snapshot_queries = 0;     ///< queries served from a snapshot
   uint64_t snapshots_published = 0;  ///< store versions published
+  // ---- storage integrity counters (zero on a healthy disk) ----
+  uint64_t wal_append_failures = 0;  ///< Log* calls the device rejected
+  uint64_t updates_dropped_wal = 0;  ///< announcements dropped because their
+                                     ///< enqueue record never became durable
+  uint64_t checkpoint_failures = 0;  ///< checkpoint writes that failed
+  uint64_t recovery_tail_repairs = 0;       ///< damaged tail records dropped
+  uint64_t recovery_checkpoint_fallbacks = 0;  ///< generations fallen back
+  uint64_t resyncs_after_recovery = 0;  ///< paranoid/anomaly resyncs issued
+  uint64_t update_checksum_failures = 0;    ///< corrupt updates dropped
+  uint64_t snapshot_checksum_failures = 0;  ///< corrupt snapshots re-requested
 };
 
 /// \brief A generated Squirrel integration mediator.

@@ -43,6 +43,16 @@ bool UpdateQueue::CoalesceOldestIn(std::deque<UpdateMessage>* q,
   return false;
 }
 
+bool UpdateQueue::CanCoalesceOldest() const {
+  // Mirror of CoalesceOldestIn's pair search, mutation-free.
+  for (size_t i = 0; i < messages_.size(); ++i) {
+    for (size_t j = i + 1; j < messages_.size(); ++j) {
+      if (messages_[j].source == messages_[i].source) return true;
+    }
+  }
+  return false;
+}
+
 bool UpdateQueue::CoalesceOldest() {
   if (!CoalesceOldestIn(&messages_)) return false;
   ++total_shed_;

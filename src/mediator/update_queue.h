@@ -55,6 +55,13 @@ class UpdateQueue {
   /// normal operation.
   bool CoalesceOldest();
 
+  /// True iff CoalesceOldest would succeed: some message has a later message
+  /// from the same source. The mediator consults this BEFORE writing the
+  /// shed WAL record so a logged shed always corresponds to a real merge —
+  /// shed records and live merges stay in lockstep even when the log device
+  /// rejects the write (the shed is then skipped, not left unlogged).
+  bool CanCoalesceOldest() const;
+
   /// The shed algorithm on a raw deque, shared with WAL replay so a logged
   /// shed record reproduces the live queue's merge exactly. \p skip protects
   /// the first messages from the search: replay's queue still holds an open

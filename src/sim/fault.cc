@@ -86,6 +86,15 @@ std::vector<Time> FaultInjector::OnSend(Time now, Time base_delay, Dir dir,
   return deliveries;
 }
 
+bool FaultInjector::CorruptSnapshotPayload(Time now) {
+  if (plan_.snapshot_corrupt_prob <= 0 || !Active(now) ||
+      !rng_.Bernoulli(plan_.snapshot_corrupt_prob)) {
+    return false;
+  }
+  ++counters_.payloads_corrupted;
+  return true;
+}
+
 Time FaultInjector::SlowPollExtra(Time now) {
   if (!Active(now) || plan_.slow_poll_delay <= 0 ||
       !rng_.Bernoulli(plan_.slow_poll_prob)) {

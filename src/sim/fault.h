@@ -56,6 +56,12 @@ struct FaultPlan {
   double slow_poll_prob = 0;
   /// Extra source-side processing time of a slow poll response.
   Time slow_poll_delay = 0;
+  /// Probability a snapshot answer's payload is corrupted in transit
+  /// (modeled as a perturbed checksum; the mediator's wire-integrity check
+  /// must detect it and re-request — see integrity.h). Deterministic and
+  /// convergent: corruption stops with the other randomized faults at
+  /// active_until, so a re-requested snapshot eventually lands clean.
+  double snapshot_corrupt_prob = 0;
   /// How often a holding announcer re-probes its crashed source.
   Time crash_probe_period = 1.0;
   /// Randomized faults (jitter/drop/dup/slow) stop at this time; crash
@@ -99,6 +105,8 @@ class FaultInjector {
     uint64_t duplicates = 0;          ///< extra deliveries injected
     uint64_t blackholed = 0;          ///< messages to crashed sources
     uint64_t slow_polls = 0;          ///< poll responses served slowly
+    uint64_t payloads_corrupted = 0;  ///< snapshot payloads corrupted in
+                                      ///< transit (checksum perturbed)
     // ---- mediator crash/recovery ----
     uint64_t mediator_retransmits = 0;  ///< deliveries ARQ-pushed past a
                                         ///< crashed mediator's window
@@ -131,6 +139,12 @@ class FaultInjector {
 
   /// Extra processing delay for a poll response decided at \p now.
   Time SlowPollExtra(Time now);
+
+  /// True iff a snapshot answer sent at \p now should carry a corrupted
+  /// payload (perturbed checksum). Consumes no randomness when the plan's
+  /// snapshot_corrupt_prob is 0, so enabling the knob in one sweep does not
+  /// perturb the fault schedules of plans that leave it off.
+  bool CorruptSnapshotPayload(Time now);
 
   const FaultPlan& plan() const { return plan_; }
   const Counters& counters() const { return counters_; }

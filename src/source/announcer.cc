@@ -1,6 +1,7 @@
 #include "source/announcer.h"
 
 #include "common/logging.h"
+#include "mediator/durability/serialize.h"
 
 namespace squirrel {
 
@@ -58,6 +59,7 @@ void Announcer::FlushNow() {
   msg.epoch = db_->epoch();
   msg.delta = std::move(pending_);
   pending_ = MultiDelta();
+  msg.checksum = ChecksumUpdateMessage(msg);
   channel_->Send(SourceToMediatorMsg(std::move(msg)));
 }
 
@@ -77,6 +79,7 @@ void Announcer::OnRestart(Time now) {
   hello.send_time = scheduler_->Now();
   hello.seq = ++seq_;
   hello.epoch = db_->epoch();
+  hello.checksum = ChecksumUpdateMessage(hello);
   channel_->Send(SourceToMediatorMsg(std::move(hello)));
 }
 
@@ -165,6 +168,14 @@ void PollResponder::OnSnapshotRequest(SnapshotRequest request) {
         continue;  // mediator re-requests on timeout
       }
       answer.relations.emplace(rel_name, *rel.value());
+    }
+    answer.checksum = ChecksumSnapshotAnswer(answer);
+    if (faults_ != nullptr &&
+        faults_->CorruptSnapshotPayload(scheduler_->Now())) {
+      // Injected payload corruption, modeled as a perturbed checksum: the
+      // mediator's verification MUST catch it and re-request rather than
+      // apply a poisoned snapshot.
+      answer.checksum ^= 0x1u;
     }
     ++answered_;
     ++snapshots_answered_;

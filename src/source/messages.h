@@ -32,6 +32,10 @@ struct UpdateMessage {
                        ///< source's epoch bumps)
   uint64_t epoch = 1;  ///< source incarnation; bumps on crash/restart
   MultiDelta delta;    ///< net changes since the previous announcement
+  /// CRC32C of the message's canonical encoding (ChecksumUpdateMessage),
+  /// verified at receipt. 0 = unchecksummed (legacy senders / hand-built
+  /// test messages); verification is skipped then.
+  uint32_t checksum = 0;
 };
 
 /// One select/project poll of a single source relation: π_attrs σ_cond(rel).
@@ -77,6 +81,10 @@ struct SnapshotAnswer {
   uint64_t epoch = 1;        ///< incarnation the snapshot belongs to
   uint64_t announce_seq = 0; ///< announcer seq high-water when answering
   std::map<std::string, Relation> relations;  ///< full extents by name
+  /// CRC32C of the answer's canonical encoding (ChecksumSnapshotAnswer). A
+  /// mismatch at the mediator triggers a snapshot re-request instead of
+  /// poisoning the believed-state mirror. 0 = unchecksummed.
+  uint32_t checksum = 0;
 };
 
 /// What flows source -> mediator on the shared FIFO channel.

@@ -10,6 +10,7 @@
 #include "common/rng.h"
 #include "common/strings.h"
 #include "mediator/consistency.h"
+#include "mediator/durability/faulty_log_device.h"
 #include "mediator/durability/log_device.h"
 #include "relational/columnar.h"
 #include "relational/parser.h"
@@ -50,6 +51,12 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
       !opts.durability) {
     return Status::InvalidArgument(
         "mediator crashes require durability (nothing to recover from)");
+  }
+  if ((opts.storage_fault != FaultSimOptions::StorageFault::kNone ||
+       opts.final_crash_recover) &&
+      !opts.durability) {
+    return Status::InvalidArgument(
+        "storage faults require durability (there is no disk to lie)");
   }
   // Pin the engine mode (and a zero size threshold, so the small sim
   // relations actually take the columnar paths) for the whole run.
@@ -146,8 +153,11 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
 
   // ---- per-source fault plans; every randomized fault stops at t_end and
   // all crash windows close before it, so the drain phase quiesces ----
-  auto make_plan = [&rng, t_end, &med_windows](const std::string& name) {
+  auto make_plan = [&rng, t_end, &med_windows, &opts](const std::string& name) {
     FaultPlan p;
+    // Assigned, not drawn: enabling payload corruption must not perturb the
+    // rng-driven schedule decisions below.
+    p.snapshot_corrupt_prob = opts.snapshot_corrupt_prob;
     p.delay_jitter_max = rng.UniformDouble() * 0.4;
     p.drop_prob = rng.UniformDouble() * 0.25;
     p.dup_prob = rng.UniformDouble() * 0.15;
@@ -247,10 +257,47 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
   options.mvcc_reads = opts.mvcc_reads;
   options.columnar = opts.columnar;
   MemLogDevice log_dev;
+  std::unique_ptr<FaultyLogDevice> faulty_dev;
   if (opts.durability) {
     options.durability.device = &log_dev;
     options.durability.wal = opts.wal;
     options.durability.checkpoint_every = opts.checkpoint_every;
+    if (opts.storage_fault != FaultSimOptions::StorageFault::kNone) {
+      // Wrap the in-memory device in a seeded lying disk. The decorator
+      // delegates LSN numbering (and the crash-point append hook) to the
+      // inner device, so the sweeps compose.
+      using SF = FaultSimOptions::StorageFault;
+      StorageFaultPlan sp;
+      sp.max_faults = opts.storage_max_faults;
+      switch (opts.storage_fault) {
+        case SF::kTornAppend:
+          sp.torn_append_prob = 0.05;
+          break;
+        case SF::kBitFlip:
+          sp.bitflip_prob = 0.05;
+          break;
+        case SF::kFsyncDrop:
+          sp.fsync_drop_prob = 0.05;
+          break;
+        case SF::kEnospc:
+          sp.enospc_prob = 0.05;
+          sp.enospc_len = 3;
+          break;
+        case SF::kCheckpointCorrupt:
+          // Checkpoint frames are rare; a higher rate keeps the sweep from
+          // injecting nothing on most seeds.
+          sp.bitflip_prob = 0.35;
+          sp.target_checkpoints = true;
+          break;
+        case SF::kNone:
+          break;
+      }
+      faulty_dev = std::make_unique<FaultyLogDevice>(&log_dev, sp, seed);
+      options.durability.device = faulty_dev.get();
+      // A lying disk can lose an acknowledged log tail without a trace;
+      // paranoid resync-on-recovery is the documented deployment answer.
+      options.durability.resync_on_recovery = true;
+    }
   }
   std::vector<SourceSetup> setups;
   for (size_t i = 0; i < dbs.size(); ++i) {
@@ -285,19 +332,32 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
   // re-triggering. Armed before Start() because LSN 0 — the initial
   // checkpoint — is appended during Start().
   std::string recover_error;
+  Status corrupted_status = Status::OK();
+  // A kCorrupted recovery is a DISTINCT outcome, not an error: the log was
+  // damaged beyond principled repair and the mediator refused it (the
+  // alternative is silently diverging state). The caller judges whether the
+  // fault plan made that legal.
+  std::vector<Time> recovery_times;  // order-reset boundaries for the checker
+  auto on_recover = [&recover_error, &corrupted_status, &recovery_times,
+                     &scheduler](const Status& st) {
+    recovery_times.push_back(scheduler.Now());
+    if (st.ok()) return;
+    if (st.code() == StatusCode::kCorrupted) {
+      if (corrupted_status.ok()) corrupted_status = st;
+    } else if (recover_error.empty()) {
+      recover_error = st.ToString();
+    }
+  };
   bool crash_armed = opts.crash_at_wal_record >= 0;
   if (crash_armed) {
     uint64_t target = static_cast<uint64_t>(opts.crash_at_wal_record);
     log_dev.SetAppendHook(
         [&crash_armed, target, &scheduler, mediator,
-         &recover_error](uint64_t lsn) {
+         &on_recover](uint64_t lsn) {
           if (!crash_armed || lsn != target) return;
           crash_armed = false;
-          scheduler.After(0, [mediator, &recover_error]() {
-            Status st = mediator->CrashAndRecover();
-            if (!st.ok() && recover_error.empty()) {
-              recover_error = st.ToString();
-            }
+          scheduler.After(0, [mediator, &on_recover]() {
+            on_recover(mediator->CrashAndRecover());
           });
         });
   }
@@ -306,9 +366,16 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
   // ---- mediator crash/restart schedule ----
   for (const CrashWindow& w : med_windows) {
     scheduler.At(w.start, [mediator]() { mediator->Crash(); });
-    scheduler.At(w.end, [mediator, &recover_error]() {
-      Status st = mediator->Recover();
-      if (!st.ok() && recover_error.empty()) recover_error = st.ToString();
+    scheduler.At(w.end, [mediator, &on_recover]() {
+      on_recover(mediator->Recover());
+    });
+  }
+  // ---- storage-fault sweeps: one crash+recover after the workload, early
+  // enough in the drain for the paranoid resyncs to complete. This is the
+  // recovery that actually READS the lying disk's damage ----
+  if (opts.final_crash_recover) {
+    scheduler.At(t_end + opts.drain * 0.5, [mediator, &on_recover]() {
+      on_recover(mediator->CrashAndRecover());
     });
   }
 
@@ -418,6 +485,49 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
   // drain every retransmit lands, every aborted transaction retries
   // successfully, and the queue empties ----
   scheduler.RunUntil(t_end + opts.drain);
+  auto fill_storage = [&result, &faulty_dev, &injectors](
+                          const MediatorStats& s) {
+    if (faulty_dev != nullptr) {
+      result.storage_faults_injected =
+          static_cast<uint64_t>(faulty_dev->faults_injected());
+    }
+    result.wal_append_failures = s.wal_append_failures;
+    result.updates_dropped_wal = s.updates_dropped_wal;
+    result.recovery_tail_repairs = s.recovery_tail_repairs;
+    result.recovery_checkpoint_fallbacks = s.recovery_checkpoint_fallbacks;
+    result.resyncs_after_recovery = s.resyncs_after_recovery;
+    result.update_checksum_failures = s.update_checksum_failures;
+    result.snapshot_checksum_failures = s.snapshot_checksum_failures;
+    for (const auto& inj : injectors) {
+      result.payloads_corrupted += inj->counters().payloads_corrupted;
+    }
+  };
+  auto storage_line = [&result]() {
+    return "storage: injected=" +
+           std::to_string(result.storage_faults_injected) +
+           " wal_failures=" + std::to_string(result.wal_append_failures) +
+           " dropped_wal=" + std::to_string(result.updates_dropped_wal) +
+           " tail_repairs=" + std::to_string(result.recovery_tail_repairs) +
+           " ckpt_fallbacks=" +
+           std::to_string(result.recovery_checkpoint_fallbacks) +
+           " resync_rec=" + std::to_string(result.resyncs_after_recovery) +
+           " upd_crc=" + std::to_string(result.update_checksum_failures) +
+           " snap_crc=" + std::to_string(result.snapshot_checksum_failures) +
+           " payloads=" + std::to_string(result.payloads_corrupted) + "\n";
+  };
+  if (!corrupted_status.ok()) {
+    // Unrecoverable log: surface the typed refusal with its diagnostics.
+    // The trace up to the crash plus the refusal line is still rendered
+    // deterministically — replay identity holds for corrupted runs too.
+    result.corrupted = true;
+    result.corrupted_diag = corrupted_status.ToString();
+    result.stats = mediator->stats();
+    fill_storage(result.stats);
+    result.trace_dump = mediator->trace().ToString(/*include_data=*/true) +
+                        "corrupted: " + result.corrupted_diag + "\n" +
+                        storage_line();
+    return result;
+  }
   if (!recover_error.empty()) {
     return Status::Internal(SeedTag(seed) +
                             "mediator recovery failed: " + recover_error);
@@ -492,8 +602,16 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
   }
 
   // ---- the whole trace must pass the independent consistency checker ----
-  SQ_ASSIGN_OR_RETURN(ConsistencyReport report,
-                      checker.Check(mediator->trace()));
+  // With a lying disk, a recovery may legitimately resume from an older
+  // reflect vector (acked-but-lost tail, repaired by resync); the checker
+  // resets its order watermark at those boundaries only. Clean-storage runs
+  // keep the strict cross-crash order check.
+  const bool lossy_storage =
+      opts.storage_fault != FaultSimOptions::StorageFault::kNone;
+  SQ_ASSIGN_OR_RETURN(
+      ConsistencyReport report,
+      checker.Check(mediator->trace(),
+                    lossy_storage ? recovery_times : std::vector<Time>{}));
   if (!report.consistent()) {
     return Status::Internal(
         SeedTag(seed) + "trace inconsistent: " +
@@ -563,6 +681,8 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
       " requarantines=" + std::to_string(ms.requarantines) +
       " degraded=" + std::to_string(ms.degraded_queries) +
       "\n";
+  fill_storage(ms);
+  result.trace_dump += storage_line();
   return result;
 }
 

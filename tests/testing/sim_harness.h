@@ -87,6 +87,31 @@ struct FaultSimOptions {
   /// relations exercise the columnar kernels; traces and exports must be
   /// byte-identical to a columnar = false run of the same seed.
   bool columnar = true;
+  // ---- storage integrity & disk faults (PR: storage integrity layer) ----
+  /// Which lying-disk fault the WAL device injects (see FaultyLogDevice).
+  /// Anything but kNone wraps the in-memory device in a seeded
+  /// FaultyLogDevice and turns on paranoid resync-on-recovery (a dropped
+  /// log tail is undetectable, so only a snapshot pull rules out silent
+  /// divergence). Requires durability.
+  enum class StorageFault {
+    kNone = 0,
+    kTornAppend,        ///< a prefix of one record reaches the platter
+    kBitFlip,           ///< one stored bit inverts
+    kFsyncDrop,         ///< acked append never persisted
+    kEnospc,            ///< a window of appends fails honestly
+    kCheckpointCorrupt  ///< bit flip targeted at checkpoint frames
+  };
+  StorageFault storage_fault = StorageFault::kNone;
+  /// Fault-event budget of the lying disk (an ENOSPC window counts once).
+  int storage_max_faults = 2;
+  /// Schedule one atomic Crash()+Recover() mid-drain, after all workload
+  /// events: the recovery that actually READS the damaged log. Requires
+  /// durability. Without it a lying disk is only exercised if the seed
+  /// also schedules mediator crash windows.
+  bool final_crash_recover = false;
+  /// FaultPlan::snapshot_corrupt_prob — in-transit snapshot payload
+  /// corruption the mediator must detect by checksum and re-request.
+  double snapshot_corrupt_prob = 0;
 };
 
 /// What one seeded schedule produced (for assertions and reporting).
@@ -136,6 +161,24 @@ struct FaultSimResult {
   /// the workload horizon. Must be byte-identical between a run with
   /// source_restarts = 0 and one with restarts on (dedicated-rng pin).
   std::string fault_plan_dump;
+  // Storage integrity observability.
+  /// True iff a recovery refused the log as unrecoverable (kCorrupted).
+  /// The run then ends early — corrupted_diag and trace_dump are filled,
+  /// the quiescence/export checks are skipped (there is no mediator state
+  /// left to check) — and the CALLER decides whether corruption was legal
+  /// for the fault plan. Silent divergence is never an outcome.
+  bool corrupted = false;
+  /// The kCorrupted status message (names the damaged LSN / slot).
+  std::string corrupted_diag;
+  uint64_t storage_faults_injected = 0;  ///< lying-disk events that fired
+  uint64_t wal_append_failures = 0;
+  uint64_t updates_dropped_wal = 0;
+  uint64_t recovery_tail_repairs = 0;
+  uint64_t recovery_checkpoint_fallbacks = 0;
+  uint64_t resyncs_after_recovery = 0;
+  uint64_t update_checksum_failures = 0;
+  uint64_t snapshot_checksum_failures = 0;
+  uint64_t payloads_corrupted = 0;  ///< injector-corrupted snapshot payloads
 };
 
 /// Runs one seeded fault schedule end to end. Returns an error naming the
