@@ -57,12 +57,36 @@ Result<uint64_t> FaultyLogDevice::Append(std::string bytes) {
 }
 
 Status FaultyLogDevice::TruncatePrefix(uint64_t new_begin) {
+  bool eligible = faults_injected_ < plan_.max_faults;
+  if (eligible && plan_.lost_truncation_prob > 0 &&
+      rng_.Bernoulli(plan_.lost_truncation_prob)) {
+    // The lying rename: capture what the disk REALLY holds — the mutated
+    // pre-truncation read-back — then ack the truncation. Until a later
+    // truncation renames again, reads-after-crash see this snapshot and
+    // every intervening append is on the orphaned inode, i.e. lost.
+    SQ_ASSIGN_OR_RETURN(lost_rename_snapshot_, ReadAllMutated());
+    lost_rename_armed_ = true;
+    ++faults_injected_;
+    ++counters_.lost_truncations;
+    SQ_RETURN_IF_ERROR(inner_->TruncatePrefix(new_begin));
+    overlay_.erase(overlay_.begin(), overlay_.lower_bound(new_begin));
+    return Status::OK();
+  }
   SQ_RETURN_IF_ERROR(inner_->TruncatePrefix(new_begin));
   overlay_.erase(overlay_.begin(), overlay_.lower_bound(new_begin));
+  // A successful rewrite-rename (with its directory fsync) makes the whole
+  // current file durable, closing any armed lost-rename window.
+  lost_rename_armed_ = false;
+  lost_rename_snapshot_.clear();
   return Status::OK();
 }
 
 Result<std::vector<LogRecord>> FaultyLogDevice::ReadAll() const {
+  if (lost_rename_armed_) return lost_rename_snapshot_;
+  return ReadAllMutated();
+}
+
+Result<std::vector<LogRecord>> FaultyLogDevice::ReadAllMutated() const {
   SQ_ASSIGN_OR_RETURN(std::vector<LogRecord> records, inner_->ReadAll());
   std::vector<LogRecord> out;
   out.reserve(records.size());

@@ -41,6 +41,13 @@ struct StorageFaultPlan {
   /// next enospc_len - 1 fail with kUnavailable).
   double enospc_prob = 0;
   int enospc_len = 1;
+  /// Probability a TruncatePrefix is acknowledged but its rewrite-rename
+  /// never becomes durable (the parent directory was not fsynced before the
+  /// crash). The read-back then sees the PRE-truncation file, and every
+  /// append made after the lie went to the orphaned new inode — lost. A
+  /// later non-faulted TruncatePrefix renames (and dir-fsyncs) again, which
+  /// closes the window and makes the latest contents durable.
+  double lost_truncation_prob = 0;
   /// Restrict torn/flip/drop corruption to checkpoint-class frames (their
   /// magic is peekable), modeling damage to the checkpoint slots.
   bool target_checkpoints = false;
@@ -59,6 +66,7 @@ class FaultyLogDevice : public LogDevice {
     uint64_t bitflips = 0;         ///< single-bit corruptions
     uint64_t fsync_drops = 0;      ///< acked-then-lost records
     uint64_t enospc_failures = 0;  ///< appends failed with no space
+    uint64_t lost_truncations = 0;  ///< acked truncations whose rename rolled back
   };
 
   FaultyLogDevice(LogDevice* inner, StorageFaultPlan plan, uint64_t seed)
@@ -84,6 +92,10 @@ class FaultyLogDevice : public LogDevice {
     size_t bit_index = 0;   ///< kFlip: flipped bit position
   };
 
+  /// The inner read-back with the per-LSN mutation overlay applied (what a
+  /// recovery reads when no lost-rename window is armed).
+  Result<std::vector<LogRecord>> ReadAllMutated() const;
+
   LogDevice* inner_;
   StorageFaultPlan plan_;
   Rng rng_;
@@ -93,6 +105,12 @@ class FaultyLogDevice : public LogDevice {
   uint64_t appends_seen_ = 0;
   int faults_injected_ = 0;
   int enospc_remaining_ = 0;
+  /// Armed lost-rename window: what the "disk" really holds — the mutated
+  /// pre-truncation read-back captured when the lying truncation was acked.
+  /// While armed, appends land on the orphaned inode and ReadAll returns
+  /// this snapshot instead. Disarmed by the next non-faulted truncation.
+  bool lost_rename_armed_ = false;
+  std::vector<LogRecord> lost_rename_snapshot_;
 };
 
 }  // namespace squirrel

@@ -102,6 +102,9 @@ Result<std::unique_ptr<FileLogDevice>> FileLogDevice::Open(
   auto dev = std::unique_ptr<FileLogDevice>(new FileLogDevice(path));
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return dev;  // fresh log
+  // The file already exists on disk, so its directory entry survived at
+  // least one boot — no creation fsync of the parent dir is owed.
+  dev->dirent_durable_ = true;
   std::string contents;
   char buf[4096];
   size_t n;
@@ -166,6 +169,14 @@ Result<uint64_t> FileLogDevice::Append(std::string bytes) {
     return st;
   }
   if (::close(fd) != 0) return Errno("close log file", path_);
+  if (!dirent_durable_) {
+    // First append since the O_CREAT above may have created the file: the
+    // record is fsynced but the file's own directory entry is not. A crash
+    // here would lose the entire log, so the append is not durable until
+    // the parent directory is synced too.
+    SQ_RETURN_IF_ERROR(SyncParentDir(path_));
+    dirent_durable_ = true;
+  }
   ++next_lsn_;
   size_bytes_ += bytes.size();
   records_.push_back({lsn, std::move(bytes)});
@@ -217,7 +228,9 @@ Status FileLogDevice::Rewrite(const std::vector<LogRecord>& records) {
     return Errno("install rewritten log file over", path_);
   }
   has_header_ = true;
-  return SyncParentDir(path_);
+  SQ_RETURN_IF_ERROR(SyncParentDir(path_));
+  dirent_durable_ = true;
+  return Status::OK();
 }
 
 Result<std::vector<LogRecord>> FileLogDevice::ReadAll() const {

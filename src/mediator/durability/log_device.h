@@ -108,6 +108,11 @@ class FileLogDevice : public LogDevice {
   /// True once the on-disk file carries the version-stamped header. Legacy
   /// headerless files keep their layout until the next rewrite-rename.
   bool has_header_ = false;
+  /// True once the file's directory entry is known durable (the parent dir
+  /// has been fsynced since the file was created or renamed into place). A
+  /// freshly created log whose dirent is only in the page cache can vanish
+  /// wholesale on crash even though every Append fsynced the file itself.
+  bool dirent_durable_ = false;
 };
 
 }  // namespace squirrel

@@ -1,0 +1,106 @@
+#include "mediator/export_announcer.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace squirrel {
+
+Result<std::unique_ptr<ExportAnnouncer>> ExportAnnouncer::Create(
+    Mediator* child, const std::string& name,
+    const std::vector<std::string>& nodes, Scheduler* scheduler) {
+  if (child == nullptr || scheduler == nullptr) {
+    return Status::InvalidArgument("export announcer needs child+scheduler");
+  }
+  if (nodes.empty()) {
+    return Status::InvalidArgument("export announcer: no nodes to export");
+  }
+  auto mirror = std::make_unique<SourceDb>(name);
+  for (const auto& node : nodes) {
+    SQ_ASSIGN_OR_RETURN(const VdpNode* n, child->vdp().Get(node));
+    if (n->is_leaf || !n->exported) {
+      return Status::InvalidArgument("export announcer: " + node +
+                                     " is not an exported derived node");
+    }
+    if (!child->annotation().FullyMaterialized(child->vdp(), node)) {
+      // A virtual attribute has no delta stream; the commit listener could
+      // never keep the mirror complete.
+      return Status::InvalidArgument("export announcer: " + node +
+                                     " is not fully materialized");
+    }
+    SQ_RETURN_IF_ERROR(mirror->AddRelation(node, n->schema));
+  }
+  auto ea = std::unique_ptr<ExportAnnouncer>(new ExportAnnouncer(
+      child, scheduler, nodes, std::move(mirror)));
+  // Seed the mirror from the child's current repositories so a parent built
+  // afterwards initializes from exactly the state the child serves. (The
+  // child must be Start()ed; repositories of exported nodes always exist.)
+  MultiDelta seed;
+  for (const auto& node : ea->nodes_) {
+    SQ_ASSIGN_OR_RETURN(const Relation* repo, child->store().Repo(node));
+    SQ_ASSIGN_OR_RETURN(const Relation* cur, ea->mirror_->Current(node));
+    SQ_ASSIGN_OR_RETURN(Delta d, Delta::Between(*cur, *repo));
+    if (!d.Empty()) {
+      SQ_RETURN_IF_ERROR(
+          seed.Mutable(node, cur->schema())->SmashInPlace(d));
+    }
+  }
+  if (!seed.Empty()) {
+    SQ_RETURN_IF_ERROR(ea->mirror_->Commit(scheduler->Now(), seed));
+  }
+  child->AddCommitListener(
+      [ptr = ea.get()](Time now, const std::map<std::string, Delta>& deltas) {
+        ptr->OnChildCommit(now, deltas);
+      });
+  return ea;
+}
+
+void ExportAnnouncer::OnChildCommit(
+    Time now, const std::map<std::string, Delta>& deltas) {
+  MultiDelta md;
+  for (const auto& node : nodes_) {
+    auto it = deltas.find(node);
+    if (it == deltas.end() || it->second.Empty()) continue;
+    Status st = md.Mutable(node, it->second.schema())
+                    ->SmashInPlace(it->second);
+    if (!st.ok()) {
+      SQ_LOG(kError) << "export mirror smash failed: " << st.ToString();
+      return;
+    }
+  }
+  if (md.Empty()) return;
+  // Same simulation event as the child's commit: the mirror is never
+  // observably behind the child. Strict apply doubles as a validity check —
+  // exported contents must be duplicate-free (see shard_plan.h).
+  Status st = mirror_->Commit(now, md);
+  if (!st.ok()) {
+    SQ_LOG(kError) << "export mirror commit failed: " << st.ToString();
+    return;
+  }
+  ++commits_mirrored_;
+}
+
+Status ExportAnnouncer::OnChildRecovered() {
+  Time now = scheduler_->Now();
+  // New incarnation first: installed announcers wipe their pending batches
+  // and say hello under the bumped epoch, exactly like a restarted source.
+  mirror_->Restart(now);
+  // Re-base the mirror onto the recovered repositories. Lossy storage may
+  // have rolled the child behind commits the mirror already absorbed; until
+  // the mirror matches the child again, subsequent child deltas would not
+  // be strictly applicable.
+  MultiDelta md;
+  for (const auto& node : nodes_) {
+    SQ_ASSIGN_OR_RETURN(const Relation* repo, child_->store().Repo(node));
+    SQ_ASSIGN_OR_RETURN(const Relation* cur, mirror_->Current(node));
+    SQ_ASSIGN_OR_RETURN(Delta d, Delta::Between(*cur, *repo));
+    if (!d.Empty()) {
+      SQ_RETURN_IF_ERROR(md.Mutable(node, cur->schema())->SmashInPlace(d));
+    }
+  }
+  if (md.Empty()) return Status::OK();
+  ++corrective_commits_;
+  return mirror_->Commit(now, md);
+}
+
+}  // namespace squirrel

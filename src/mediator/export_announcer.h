@@ -1,0 +1,86 @@
+// Mediator-as-a-source composition (the ShardPlan's glue).
+//
+// An ExportAnnouncer makes a child mediator's exported materialized nodes
+// look to a parent mediator exactly like relations of one more autonomous
+// SourceDb. It owns a MIRROR SourceDb (named after the child shard) with one
+// relation per exported node and keeps it in lockstep with the child's
+// repositories via the mediator's commit listener: every committed update
+// transaction's narrowed node deltas are re-committed into the mirror within
+// the same simulation event. The parent then wires the mirror through the
+// stock SourceSetup path, so announcements (epoch-stamped, checksummed
+// UpdateMessages), polls, snapshots, ARQ, and the suspect -> resyncing
+// lifecycle are all reused verbatim — nothing in the parent knows it is
+// talking to another mediator.
+//
+// Child crash/recovery maps onto the source-restart model: when the child
+// recovers from its durable state, OnChildRecovered() bumps the mirror's
+// epoch (Restart -> hello under a new incarnation) and commits a corrective
+// delta re-basing the mirror onto the recovered repositories. Lossy storage
+// may have rolled the child behind what the mirror already announced; the
+// re-base makes subsequent child deltas strictly applicable again, and the
+// parent's normal epoch-bump resync pulls a consistent snapshot.
+
+#ifndef SQUIRREL_MEDIATOR_EXPORT_ANNOUNCER_H_
+#define SQUIRREL_MEDIATOR_EXPORT_ANNOUNCER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mediator/mediator.h"
+#include "source/source_db.h"
+
+namespace squirrel {
+
+/// \brief Re-announces a child mediator's exports through a mirror SourceDb.
+class ExportAnnouncer {
+ public:
+  /// Builds the adapter for \p child's exported \p nodes. Every node must be
+  /// an exported, fully materialized node of the child's VDP (a virtual
+  /// attribute has no delta stream to mirror). The mirror db is named
+  /// \p name and seeded from the child's current repositories, so a parent
+  /// mediator created afterwards initializes from the same state the child
+  /// serves. Installs a commit listener on the child; \p child and
+  /// \p scheduler must outlive the adapter.
+  static Result<std::unique_ptr<ExportAnnouncer>> Create(
+      Mediator* child, const std::string& name,
+      const std::vector<std::string>& nodes, Scheduler* scheduler);
+
+  /// The mirror database the parent consumes as an ordinary source.
+  SourceDb* mirror() { return mirror_.get(); }
+
+  /// Must be called right after the child's Recover() returns, in the same
+  /// simulation event: bumps the mirror epoch (hello) and commits the
+  /// corrective delta between the mirror's announced state and the child's
+  /// recovered repositories. The parent reacts with its normal epoch-bump
+  /// resync; no parent-side special casing exists.
+  Status OnChildRecovered();
+
+  /// Committed child transactions mirrored (those touching exported nodes).
+  uint64_t commits_mirrored() const { return commits_mirrored_; }
+  /// Corrective re-base commits issued by OnChildRecovered().
+  uint64_t corrective_commits() const { return corrective_commits_; }
+
+ private:
+  ExportAnnouncer(Mediator* child, Scheduler* scheduler,
+                  std::vector<std::string> nodes,
+                  std::unique_ptr<SourceDb> mirror)
+      : child_(child),
+        scheduler_(scheduler),
+        nodes_(std::move(nodes)),
+        mirror_(std::move(mirror)) {}
+
+  void OnChildCommit(Time now, const std::map<std::string, Delta>& deltas);
+
+  Mediator* child_;
+  Scheduler* scheduler_;
+  std::vector<std::string> nodes_;
+  std::unique_ptr<SourceDb> mirror_;
+  uint64_t commits_mirrored_ = 0;
+  uint64_t corrective_commits_ = 0;
+};
+
+}  // namespace squirrel
+
+#endif  // SQUIRREL_MEDIATOR_EXPORT_ANNOUNCER_H_

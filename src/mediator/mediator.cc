@@ -93,6 +93,70 @@ Result<std::unique_ptr<Mediator>> Mediator::Create(
   return med;
 }
 
+std::string MediatorStats::ToString() const {
+  // Every counter below must appear exactly once. The assert fires when a
+  // counter is added to MediatorStats or IupStats without extending this
+  // rendering — the crash/recovery sweeps byte-compare it between a run and
+  // its deterministic replay, so an unrendered counter would silently skip
+  // that check.
+  static_assert(sizeof(MediatorStats) == 46 * sizeof(uint64_t),
+                "new counter: extend MediatorStats::ToString too");
+  std::string out;
+  auto emit = [&out](const char* name, uint64_t v) {
+    out += name;
+    out += '=';
+    out += std::to_string(v);
+    out += '\n';
+  };
+  emit("update_txns", update_txns);
+  emit("query_txns", query_txns);
+  emit("polls", polls);
+  emit("polled_tuples", polled_tuples);
+  emit("messages_received", messages_received);
+  emit("iup.rules_fired", iup.rules_fired);
+  emit("iup.atoms_in", iup.atoms_in);
+  emit("iup.atoms_propagated", iup.atoms_propagated);
+  emit("iup.nodes_processed", iup.nodes_processed);
+  emit("iup.polls", iup.polls);
+  emit("iup.polled_tuples", iup.polled_tuples);
+  emit("iup.temps_built", iup.temps_built);
+  emit("iup.poll_retries", iup.poll_retries);
+  emit("duplicate_updates_dropped", duplicate_updates_dropped);
+  emit("stale_poll_answers", stale_poll_answers);
+  emit("poll_timeouts", poll_timeouts);
+  emit("poll_retries", poll_retries);
+  emit("update_txn_aborts", update_txn_aborts);
+  emit("failed_queries", failed_queries);
+  emit("quarantines", quarantines);
+  emit("requarantines", requarantines);
+  emit("epoch_bumps", epoch_bumps);
+  emit("seq_gap_resyncs", seq_gap_resyncs);
+  emit("resyncs_started", resyncs_started);
+  emit("resyncs_completed", resyncs_completed);
+  emit("snapshots_requested", snapshots_requested);
+  emit("updates_dropped_resync", updates_dropped_resync);
+  emit("stale_epoch_msgs", stale_epoch_msgs);
+  emit("updates_shed", updates_shed);
+  emit("degraded_queries", degraded_queries);
+  emit("mediator_crashes", mediator_crashes);
+  emit("recoveries", recoveries);
+  emit("recovery_txns_rolled_back", recovery_txns_rolled_back);
+  emit("recovery_msgs_requeued", recovery_msgs_requeued);
+  emit("recovery_txns_replayed", recovery_txns_replayed);
+  emit("msgs_dropped_at_crash", msgs_dropped_at_crash);
+  emit("snapshot_queries", snapshot_queries);
+  emit("snapshots_published", snapshots_published);
+  emit("wal_append_failures", wal_append_failures);
+  emit("updates_dropped_wal", updates_dropped_wal);
+  emit("checkpoint_failures", checkpoint_failures);
+  emit("recovery_tail_repairs", recovery_tail_repairs);
+  emit("recovery_checkpoint_fallbacks", recovery_checkpoint_fallbacks);
+  emit("resyncs_after_recovery", resyncs_after_recovery);
+  emit("update_checksum_failures", update_checksum_failures);
+  emit("snapshot_checksum_failures", snapshot_checksum_failures);
+  return out;
+}
+
 Mediator::SourceRuntime* Mediator::FindSource(const std::string& name) {
   auto it = source_index_.find(name);
   return it == source_index_.end() ? nullptr : sources_[it->second].get();
@@ -144,8 +208,10 @@ Status Mediator::Start() {
                           rt->setup.db->Current(rel_name));
       SQ_RETURN_IF_ERROR(resync_.SetMirror(name, rel_name, *rel));
     }
-    // Planned source restarts (epoch bumps at crash-window ends).
-    if (rt->setup.faults != nullptr) {
+    // Planned source restarts (epoch bumps at crash-window ends). In
+    // sharded topologies a db shared by several mediators must restart
+    // once per window, so only the designated consumer schedules them.
+    if (rt->setup.faults != nullptr && rt->setup.schedule_restarts) {
       ScheduleSourceRestarts(rt->setup.db, scheduler_, rt->setup.faults);
     }
   }
@@ -955,6 +1021,13 @@ void Mediator::RunUpdateTxn() {
     // and publish happen in this same event, so readers either see the
     // whole transaction or none of it — never a half-committed store.
     PublishStoreSnapshot();
+    // Composition hook: hand the committed per-node deltas to any export
+    // announcers before the capture is moved into the WAL record below.
+    if (!commit_listeners_.empty() && !txn_delta_capture_.empty()) {
+      for (const auto& fn : commit_listeners_) {
+        fn(scheduler_->Now(), txn_delta_capture_);
+      }
+    }
     // WAL: commit record. Only now are the transaction's effects — the
     // narrowed node deltas just applied, the reflect advances, and the
     // mirror advances — durable; a crash any earlier rolls the whole

@@ -49,6 +49,11 @@ struct SourceSetup {
   /// Optional fault injector wired into this source's channels, announcer,
   /// and poll responder (not owned; nullptr = ideal network).
   FaultInjector* faults = nullptr;
+  /// Whether Start() schedules the injector's planned source restarts. When
+  /// one db feeds several mediators (sharded topologies), exactly one of the
+  /// consumers may own the restart schedule or the db would restart twice
+  /// per window; the others still share the injector's crash windows.
+  bool schedule_restarts = true;
 };
 
 /// Mediator policy knobs.
@@ -176,6 +181,12 @@ struct MediatorStats {
   uint64_t resyncs_after_recovery = 0;  ///< paranoid/anomaly resyncs issued
   uint64_t update_checksum_failures = 0;    ///< corrupt updates dropped
   uint64_t snapshot_checksum_failures = 0;  ///< corrupt snapshots re-requested
+
+  /// Renders EVERY counter (including the IUP block), one `name=value` per
+  /// line. The implementation static_asserts on sizeof(MediatorStats), so a
+  /// newly added counter cannot dodge the crash/recovery determinism sweeps
+  /// that byte-compare this rendering between a run and its replay.
+  std::string ToString() const;
 };
 
 /// \brief A generated Squirrel integration mediator.
@@ -257,6 +268,20 @@ class Mediator {
   const ResyncManager& resync() const { return resync_; }
   /// Durability manager (WAL/checkpoint counters; disabled() if no device).
   const DurabilityManager& durability() const { return durability_; }
+  /// Adds a listener invoked after every committed update transaction with
+  /// the commit time and the exact narrowed per-node deltas the repositories
+  /// absorbed (the same capture the WAL commit record carries). This is the
+  /// composition hook: an ExportAnnouncer mirrors the exported nodes of this
+  /// mediator into a SourceDb a parent mediator consumes. Listeners fire
+  /// inside the commit event, after the new store version is published and
+  /// before the commit record is logged; they accumulate in installation
+  /// order and survive Crash()/Recover() (the listener belongs to the
+  /// deployment wiring, not to the incarnation).
+  void AddCommitListener(
+      std::function<void(Time, const std::map<std::string, Delta>&)> fn) {
+    commit_listeners_.push_back(std::move(fn));
+  }
+
   /// Messages merged into a queue tail by delta coalescing (0 when the
   /// coalesce window is disabled). Not part of MediatorStats: the trace
   /// renderer's output must stay byte-comparable across batching configs.
@@ -440,6 +465,10 @@ class Mediator {
   /// byte-for-byte.
   std::map<std::string, Delta> txn_delta_capture_;
   bool capturing_deltas_ = false;
+  /// Commit listeners (see AddCommitListener). Deployment wiring: NOT
+  /// cleared by Crash().
+  std::vector<std::function<void(Time, const std::map<std::string, Delta>&)>>
+      commit_listeners_;
 };
 
 }  // namespace squirrel

@@ -1,0 +1,288 @@
+#include "mediator/shard_plan.h"
+
+#include <algorithm>
+#include <set>
+
+namespace squirrel {
+
+namespace {
+
+/// Sorts node names by base-VDP topological position (deterministic order
+/// for exports/imports regardless of the set they were collected into).
+void SortTopo(const Vdp& base, std::vector<std::string>* names) {
+  std::map<std::string, size_t> pos;
+  for (size_t i = 0; i < base.TopoOrder().size(); ++i) {
+    pos[base.TopoOrder()[i]] = i;
+  }
+  std::sort(names->begin(), names->end(),
+            [&pos](const std::string& a, const std::string& b) {
+              return pos.at(a) < pos.at(b);
+            });
+}
+
+void AddUnique(std::vector<std::string>* v, const std::string& s) {
+  if (std::find(v->begin(), v->end(), s) == v->end()) v->push_back(s);
+}
+
+}  // namespace
+
+Result<ShardPlan> ShardPlan::Build(const Vdp& base,
+                                   std::vector<ShardSpec> specs) {
+  SQ_RETURN_IF_ERROR(base.Validate());
+  if (specs.empty()) {
+    return Status::InvalidArgument("shard plan: no shards");
+  }
+
+  // Shard names must be unique and must not collide with base node names or
+  // base source-db names (a shard's name becomes its mirror db's name).
+  std::map<std::string, size_t> by_name;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    if (specs[i].name.empty()) {
+      return Status::InvalidArgument("shard plan: empty shard name");
+    }
+    if (!by_name.emplace(specs[i].name, i).second) {
+      return Status::InvalidArgument("shard plan: duplicate shard " +
+                                     specs[i].name);
+    }
+    if (base.Contains(specs[i].name)) {
+      return Status::InvalidArgument("shard plan: shard name collides with "
+                                     "VDP node " + specs[i].name);
+    }
+  }
+  for (const auto& leaf : base.LeafNames()) {
+    const std::string& db = base.Find(leaf)->source_db;
+    if (by_name.count(db)) {
+      return Status::InvalidArgument("shard plan: shard name collides with "
+                                     "source db " + db);
+    }
+  }
+
+  // Parent pointers must form a tree with exactly one root.
+  size_t root_count = 0;
+  std::map<std::string, size_t> depth;
+  for (const auto& s : specs) {
+    if (s.parent.empty()) {
+      ++root_count;
+      continue;
+    }
+    if (!by_name.count(s.parent)) {
+      return Status::InvalidArgument("shard plan: shard " + s.name +
+                                     " names unknown parent " + s.parent);
+    }
+  }
+  if (root_count != 1) {
+    return Status::InvalidArgument("shard plan: need exactly one root shard");
+  }
+  for (const auto& s : specs) {
+    size_t d = 0;
+    const ShardSpec* cur = &s;
+    while (!cur->parent.empty()) {
+      if (++d > specs.size()) {
+        return Status::InvalidArgument(
+            "shard plan: parent cycle through shard " + s.name);
+      }
+      cur = &specs[by_name.at(cur->parent)];
+    }
+    depth[s.name] = d;
+  }
+
+  // The specs must partition the base VDP's derived nodes exactly.
+  std::map<std::string, std::string> owner;  // derived node -> shard
+  for (const auto& s : specs) {
+    for (const auto& n : s.nodes) {
+      const VdpNode* node = base.Find(n);
+      if (node == nullptr || node->is_leaf) {
+        return Status::InvalidArgument("shard plan: " + s.name +
+                                       " claims non-derived node " + n);
+      }
+      if (!owner.emplace(n, s.name).second) {
+        return Status::InvalidArgument("shard plan: node " + n +
+                                       " owned by two shards");
+      }
+    }
+  }
+  for (const auto& n : base.DerivedNames()) {
+    if (!owner.count(n)) {
+      return Status::InvalidArgument("shard plan: derived node " + n +
+                                     " owned by no shard");
+    }
+  }
+
+  // Each shard's owned nodes must be a connected region of the dag
+  // (undirected connectivity over def edges between owned nodes).
+  for (const auto& s : specs) {
+    if (s.nodes.size() <= 1) continue;
+    std::set<std::string> mine(s.nodes.begin(), s.nodes.end());
+    std::set<std::string> seen;
+    std::vector<std::string> frontier{s.nodes.front()};
+    seen.insert(s.nodes.front());
+    while (!frontier.empty()) {
+      std::string v = frontier.back();
+      frontier.pop_back();
+      // Undirected step: owned children of v, and owned parents of v.
+      std::vector<std::string> adj = base.Find(v)->def->Children();
+      for (const auto& p : base.Parents(v)) adj.push_back(p);
+      for (const auto& a : adj) {
+        if (mine.count(a) && seen.insert(a).second) frontier.push_back(a);
+      }
+    }
+    if (seen.size() != mine.size()) {
+      return Status::InvalidArgument("shard plan: shard " + s.name +
+                                     " owns a disconnected region");
+    }
+  }
+
+  ShardPlan plan;
+  plan.base_ = base;
+  std::map<std::string, Shard> shards;
+  for (const auto& s : specs) {
+    Shard sh;
+    sh.name = s.name;
+    sh.parent = s.parent;
+    sh.owned = s.nodes;
+    SortTopo(base, &sh.owned);
+    shards.emplace(s.name, std::move(sh));
+  }
+
+  // Propagates node `n` (owned by `from`) up the shard tree to `to`:
+  // exported at the owner and every intermediate, imported at every shard
+  // above the owner, with the provider being the next shard down the path.
+  auto propagate = [&](const std::string& n, const std::string& from,
+                       const std::string& to) -> Status {
+    // Collect the owner's ancestor chain and check `to` is on it.
+    std::vector<std::string> chain{from};
+    while (chain.back() != to) {
+      const std::string& parent = specs[by_name.at(chain.back())].parent;
+      if (parent.empty()) {
+        return Status::InvalidArgument(
+            "shard plan: shard " + to + " needs node " + n +
+            " owned by non-descendant shard " + from);
+      }
+      chain.push_back(parent);
+    }
+    for (size_t i = 0; i + 1 < chain.size(); ++i) {
+      AddUnique(&shards.at(chain[i]).exports, n);
+      Shard& up = shards.at(chain[i + 1]);
+      AddUnique(&up.imports, n);
+      up.providers[n] = chain[i];
+    }
+    return Status::OK();
+  };
+
+  // Cut edges: a derived child owned elsewhere must flow up from its owner.
+  for (const auto& s : specs) {
+    for (const auto& n : s.nodes) {
+      for (const auto& c : base.Find(n)->def->Children()) {
+        const VdpNode* child = base.Find(c);
+        if (child->is_leaf) continue;
+        if (owner.at(c) != s.name) {
+          SQ_RETURN_IF_ERROR(propagate(c, owner.at(c), s.name));
+        }
+      }
+    }
+  }
+  // Base exports flow to the root, which serves them to queries.
+  std::string root_name;
+  for (const auto& s : specs) {
+    if (s.parent.empty()) root_name = s.name;
+  }
+  for (const auto& e : base.ExportNames()) {
+    if (owner.at(e) != root_name) {
+      SQ_RETURN_IF_ERROR(propagate(e, owner.at(e), root_name));
+    }
+    AddUnique(&shards.at(root_name).exports, e);
+  }
+
+  // Synthesized "<node>@in" leaf names must be free in the base namespace.
+  for (const auto& [name, sh] : shards) {
+    (void)name;
+    for (const auto& x : sh.imports) {
+      if (base.Contains(x + "@in")) {
+        return Status::InvalidArgument(
+            "shard plan: base VDP already contains a node named " + x +
+            "@in");
+      }
+    }
+  }
+
+  // Emit children-first (depth descending; stable within a depth by spec
+  // order), root last.
+  std::vector<std::string> order;
+  for (const auto& s : specs) order.push_back(s.name);
+  std::stable_sort(order.begin(), order.end(),
+                   [&depth](const std::string& a, const std::string& b) {
+                     return depth.at(a) > depth.at(b);
+                   });
+  for (const auto& name : order) {
+    Shard sh = std::move(shards.at(name));
+    SortTopo(base, &sh.exports);
+    SortTopo(base, &sh.imports);
+    plan.shards_.push_back(std::move(sh));
+  }
+  return plan;
+}
+
+const Shard* ShardPlan::Find(const std::string& name) const {
+  for (const auto& s : shards_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+Result<std::pair<Vdp, Annotation>> ShardPlan::BuildVdp(
+    const Shard& shard, const Annotation& base_ann) const {
+  Vdp v;
+  std::set<std::string> exports(shard.exports.begin(), shard.exports.end());
+  std::set<std::string> owned(shard.owned.begin(), shard.owned.end());
+
+  // Imports first: each becomes a leaf over the provider's mirror relation
+  // plus an identity derived node under the base name, so owned defs (and
+  // queries at the root) apply unchanged.
+  for (const auto& x : shard.imports) {
+    const VdpNode* bn = base_.Find(x);
+    const std::string leaf = x + "@in";
+    SQ_RETURN_IF_ERROR(
+        v.AddLeaf(leaf, shard.providers.at(x), x, bn->schema));
+    ChildTerm term;
+    term.child = leaf;
+    term.project = bn->schema.AttributeNames();
+    SQ_RETURN_IF_ERROR(v.AddDerived(
+        x, NodeDef::Spj({term}, {}, {}, nullptr), exports.count(x) > 0));
+  }
+
+  // Owned nodes in base topo order, materializing base leaves on demand.
+  for (const auto& name : base_.TopoOrder()) {
+    if (!owned.count(name)) continue;
+    const VdpNode* bn = base_.Find(name);
+    for (const auto& c : bn->def->Children()) {
+      const VdpNode* bc = base_.Find(c);
+      if (bc->is_leaf && !v.Contains(c)) {
+        SQ_RETURN_IF_ERROR(
+            v.AddLeaf(c, bc->source_db, bc->source_relation, bc->schema));
+      }
+      if (!v.Contains(c)) {
+        return Status::Internal("shard " + shard.name + ": node " + name +
+                                " child " + c + " neither owned nor imported");
+      }
+    }
+    SQ_RETURN_IF_ERROR(v.AddDerived(name, *bn->def, exports.count(name) > 0));
+  }
+
+  // Annotation: copy base modes attribute-by-attribute; a non-root shard's
+  // exports are forced fully materialized (announced deltas need the full
+  // extent in the repository). The root keeps base modes on its exports so
+  // query-time behavior matches the unsharded mediator.
+  Annotation ann;
+  for (const auto& name : v.DerivedNames()) {
+    if (!shard.is_root() && exports.count(name)) continue;  // default = m
+    const VdpNode* node = v.Find(name);
+    for (const auto& attr : node->schema.AttributeNames()) {
+      ann.Set(name, attr, base_ann.ModeOf(name, attr));
+    }
+  }
+  SQ_RETURN_IF_ERROR(v.Validate());
+  SQ_RETURN_IF_ERROR(ann.Validate(v));
+  return std::make_pair(std::move(v), std::move(ann));
+}
+
+}  // namespace squirrel

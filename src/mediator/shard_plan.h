@@ -1,0 +1,112 @@
+// Sharded multi-mediator deployment plans (mediator-as-a-source).
+//
+// A ShardPlan partitions one VDP's derived nodes across a tree of mediator
+// shards. Each shard runs an ordinary Mediator over a shard-local VDP; a cut
+// edge (a node whose owner is a descendant shard) becomes an EXPORT at the
+// owning shard and an IMPORT at every consumer above it. The owning shard's
+// exported nodes are re-announced to its parent through an ExportAnnouncer
+// (see export_announcer.h), which makes a child shard look to its parent
+// exactly like one more autonomous SourceDb — the parent reuses the stock
+// announcer protocol, epoch/resync lifecycle, and wire checksums verbatim.
+//
+// Validity rules enforced by Build():
+//   - shard names are unique and the parent pointers form a tree (one root);
+//   - the specs partition the base VDP's derived nodes exactly;
+//   - each shard's owned nodes form a CONNECTED region of the dag (undirected
+//     connectivity over def edges between owned nodes);
+//   - every cut node's owner is a descendant of each shard that needs it
+//     (announcements only flow child -> parent); intermediate shards on the
+//     path re-export the node (pass-through imports);
+//   - base export nodes propagate to the root, which serves queries.
+//
+// One semantic rule is the deployer's obligation rather than Build()'s:
+// exported node contents must be duplicate-free. An export crosses the shard
+// boundary as a source RELATION (sets at the source layer), so a bag node
+// with genuine duplicate rows cannot be mirrored faithfully — the strict
+// delta apply in the mirror fails loudly if this is violated.
+
+#ifndef SQUIRREL_MEDIATOR_SHARD_PLAN_H_
+#define SQUIRREL_MEDIATOR_SHARD_PLAN_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "vdp/annotation.h"
+#include "vdp/vdp.h"
+
+namespace squirrel {
+
+/// Deployer's description of one shard: which derived nodes it owns and
+/// which shard consumes its exports ("" marks the root).
+struct ShardSpec {
+  std::string name;
+  std::string parent;               ///< parent shard name; "" for the root
+  std::vector<std::string> nodes;   ///< owned derived nodes of the base VDP
+};
+
+/// One resolved shard of a plan.
+struct Shard {
+  std::string name;
+  std::string parent;               ///< "" for the root
+  std::vector<std::string> owned;   ///< owned derived nodes, base topo order
+  /// Nodes this shard offers upward (cut nodes it owns, pass-through
+  /// re-exports, and base exports on their way to the root), base topo
+  /// order. At the root these are exactly the base VDP's export nodes.
+  std::vector<std::string> exports;
+  /// Nodes consumed from descendant shards, base topo order. Each appears
+  /// in the shard-local VDP as a synthesized leaf "<node>@in" over the
+  /// provider's mirror db plus an identity derived node named like the base
+  /// node, so owned defs apply unchanged.
+  std::vector<std::string> imports;
+  /// import node -> direct child shard whose mirror db provides it.
+  std::map<std::string, std::string> providers;
+
+  bool is_root() const { return parent.empty(); }
+};
+
+/// \brief A validated sharding of one base VDP over a tree of mediators.
+class ShardPlan {
+ public:
+  /// Validates \p specs against \p base and resolves the per-shard export/
+  /// import sets. The base VDP must itself validate.
+  static Result<ShardPlan> Build(const Vdp& base,
+                                 std::vector<ShardSpec> specs);
+
+  /// Shards in children-first order (every shard precedes its parent), so
+  /// iterating in order builds each mediator after its providers.
+  const std::vector<Shard>& shards() const { return shards_; }
+
+  /// The root shard (queries are submitted to its mediator).
+  const Shard& root() const { return shards_.back(); }
+
+  /// Lookup by shard name; nullptr if absent.
+  const Shard* Find(const std::string& name) const;
+
+  /// Builds the shard-local VDP and annotation for \p shard.
+  ///
+  /// The VDP contains: a leaf for every base leaf referenced by an owned
+  /// node; for every import X a leaf "X@in" over relation X of the provider
+  /// shard's mirror db plus an identity derived node X; and every owned node
+  /// with its base definition. Nodes in the shard's exports are marked
+  /// exported.
+  ///
+  /// The annotation copies the base modes attribute-by-attribute, EXCEPT
+  /// that a non-root shard's exported nodes are forced fully materialized:
+  /// their contents are announced upward as deltas, which requires the full
+  /// extent to live in the repository (a virtual attribute has no delta
+  /// stream). The root keeps base modes on its exports so query-time
+  /// behavior matches the unsharded mediator.
+  Result<std::pair<Vdp, Annotation>> BuildVdp(const Shard& shard,
+                                              const Annotation& base_ann) const;
+
+ private:
+  Vdp base_;
+  std::vector<Shard> shards_;  // children-first; root last
+};
+
+}  // namespace squirrel
+
+#endif  // SQUIRREL_MEDIATOR_SHARD_PLAN_H_

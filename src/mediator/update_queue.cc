@@ -27,10 +27,16 @@ bool UpdateQueue::CoalesceOldestIn(std::deque<UpdateMessage>* q,
   // flush smashes per-source deltas anyway, so the net change every
   // transaction consumes is identical — the shed is lossless, it only gives
   // up one queue slot (and the older message's distinct send_time, which
-  // reflect-tracking takes the max of regardless).
+  // reflect-tracking takes the max of regardless). Messages from different
+  // incarnation epochs never merge: the merged message would carry the new
+  // epoch over pre-restart atoms, corrupting the seq dedup floor that the
+  // resync path rebuilds per epoch.
   for (size_t i = skip; i < q->size(); ++i) {
     for (size_t j = i + 1; j < q->size(); ++j) {
-      if ((*q)[j].source != (*q)[i].source) continue;
+      if ((*q)[j].source != (*q)[i].source ||
+          (*q)[j].epoch != (*q)[i].epoch) {
+        continue;
+      }
       UpdateMessage& older = (*q)[i];
       UpdateMessage& newer = (*q)[j];
       MultiDelta merged = std::move(older.delta);
@@ -47,7 +53,10 @@ bool UpdateQueue::CanCoalesceOldest() const {
   // Mirror of CoalesceOldestIn's pair search, mutation-free.
   for (size_t i = 0; i < messages_.size(); ++i) {
     for (size_t j = i + 1; j < messages_.size(); ++j) {
-      if (messages_[j].source == messages_[i].source) return true;
+      if (messages_[j].source == messages_[i].source &&
+          messages_[j].epoch == messages_[i].epoch) {
+        return true;
+      }
     }
   }
   return false;
@@ -62,7 +71,11 @@ bool UpdateQueue::CoalesceOldest() {
 bool UpdateQueue::WouldCoalesce(const UpdateMessage& msg) const {
   if (coalesce_window_ <= 0.0 || messages_.empty()) return false;
   const UpdateMessage& tail = messages_.back();
-  return tail.source == msg.source &&
+  // Never merge across an incarnation epoch boundary: the tail would take
+  // the post-restart epoch while carrying pre-restart atoms, and the
+  // per-epoch seq dedup floor (reset by the restart hello) would treat the
+  // whole merged message as already-delivered new-epoch traffic.
+  return tail.source == msg.source && tail.epoch == msg.epoch &&
          msg.send_time - tail.send_time <= coalesce_window_;
 }
 

@@ -34,10 +34,12 @@ class UpdateQueue {
   void Enqueue(UpdateMessage msg);
 
   /// True iff Enqueue would merge \p msg into the current tail: a window is
-  /// configured, the tail exists, comes from the same source, and \p msg's
-  /// send_time is within the window of the tail's. The mediator consults
-  /// this BEFORE writing the enqueue WAL record so replay can mirror the
-  /// merge decision exactly.
+  /// configured, the tail exists, comes from the same source IN THE SAME
+  /// incarnation epoch, and \p msg's send_time is within the window of the
+  /// tail's. Epochs never merge: coalescing across a restart would stamp
+  /// pre-restart atoms with the post-restart epoch and poison the per-epoch
+  /// seq dedup floor. The mediator consults this BEFORE writing the enqueue
+  /// WAL record so replay can mirror the merge decision exactly.
   bool WouldCoalesce(const UpdateMessage& msg) const;
 
   /// Sets the coalescing batch window (0 disables, the default).

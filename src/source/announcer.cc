@@ -13,9 +13,9 @@ Announcer::Announcer(SourceDb* db, Scheduler* scheduler,
       channel_(channel),
       period_(period),
       faults_(faults) {
-  db_->SetCommitListener(
+  db_->AddCommitListener(
       [this](Time now, const MultiDelta& delta) { OnCommit(now, delta); });
-  db_->SetRestartListener([this](Time now) { OnRestart(now); });
+  db_->AddRestartListener([this](Time now) { OnRestart(now); });
 }
 
 void Announcer::Start() {

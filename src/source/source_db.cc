@@ -50,7 +50,7 @@ Status SourceDb::Commit(Time now, const MultiDelta& delta) {
     SQ_RETURN_IF_ERROR(ApplyDelta(&relations_.at(rel_name), *d));
   }
   log_.push_back({now, delta});
-  if (commit_listener_) commit_listener_(now, delta);
+  for (const auto& fn : commit_listeners_) fn(now, delta);
   return Status::OK();
 }
 
@@ -113,7 +113,7 @@ Result<Relation> SourceDb::Query(const std::string& rel_name,
 
 void SourceDb::Restart(Time now) {
   ++epoch_;
-  if (restart_listener_) restart_listener_(now);
+  for (const auto& fn : restart_listeners_) fn(now);
 }
 
 std::vector<Time> SourceDb::CommitTimes() const {

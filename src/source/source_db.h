@@ -65,10 +65,12 @@ class SourceDb {
                          const std::vector<std::string>& attrs,
                          const Expr::Ptr& cond) const;
 
-  /// Installs a listener invoked after every successful commit (the
-  /// announcer of an active source). At most one listener.
-  void SetCommitListener(std::function<void(Time, const MultiDelta&)> fn) {
-    commit_listener_ = std::move(fn);
+  /// Adds a listener invoked after every successful commit (the announcer
+  /// of an active source). Sharded topologies attach several announcers to
+  /// one db — each consuming mediator installs its own — so listeners
+  /// accumulate; they fire in installation order.
+  void AddCommitListener(std::function<void(Time, const MultiDelta&)> fn) {
+    commit_listeners_.push_back(std::move(fn));
   }
 
   /// Current incarnation number. Starts at 1 and bumps on every Restart().
@@ -84,10 +86,10 @@ class SourceDb {
   /// until anti-entropy resync pulls a snapshot.
   void Restart(Time now);
 
-  /// Installs a listener invoked by Restart() after the epoch bump (the
-  /// announcer of an active source). At most one listener.
-  void SetRestartListener(std::function<void(Time)> fn) {
-    restart_listener_ = std::move(fn);
+  /// Adds a listener invoked by Restart() after the epoch bump (the
+  /// announcer of an active source). Listeners fire in installation order.
+  void AddRestartListener(std::function<void(Time)> fn) {
+    restart_listeners_.push_back(std::move(fn));
   }
 
   /// Number of committed transactions.
@@ -106,8 +108,8 @@ class SourceDb {
   std::string name_;
   std::map<std::string, Relation> relations_;
   std::vector<LogEntry> log_;
-  std::function<void(Time, const MultiDelta&)> commit_listener_;
-  std::function<void(Time)> restart_listener_;
+  std::vector<std::function<void(Time, const MultiDelta&)>> commit_listeners_;
+  std::vector<std::function<void(Time)>> restart_listeners_;
   uint64_t epoch_ = 1;
 };
 

@@ -11,7 +11,10 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "mediator/consistency.h"
@@ -161,6 +164,59 @@ TEST_F(CrashRecovery, CrashAfterCommitReplaysFromWal) {
   EXPECT_EQ(stats.recovery_txns_rolled_back, 0u);
   ASSERT_EQ(answers_.size(), 1u);
   EXPECT_EQ(Rows(answers_[0].data), kUpdatedT);  // the commit survived
+  ExpectConsistentTrace();
+}
+
+/// Parses MediatorStats::ToString()'s "name=value" lines. Going through the
+/// rendered dump (instead of naming struct fields) means a counter added
+/// later is covered automatically — the static_assert in ToString() keeps
+/// the dump exhaustive.
+std::map<std::string, uint64_t> ParseStats(const std::string& dump) {
+  std::map<std::string, uint64_t> out;
+  std::istringstream in(dump);
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    out[line.substr(0, eq)] = std::stoull(line.substr(eq + 1));
+  }
+  return out;
+}
+
+TEST_F(CrashRecovery, EveryStatsCounterSurvivesCrashRecovery) {
+  // Stats are observability state, not recovery state: they live OUTSIDE
+  // the checkpointed HardState, so a sloppy Recover() could zero them (or a
+  // replayed transaction could double-count). The contract pinned here:
+  // across Crash()+Recover() no counter ever moves backwards, and the
+  // lifetime totals visible before the crash are still visible after.
+  MediatorOptions options;
+  options.durability.device = &log_dev_;
+  options.durability.checkpoint_every = 16;
+  MakeMediator(AnnotationExample21(), options);
+
+  CommitR(1.0, Tuple({2, 200, 22, 100}));  // real work before the crash
+  std::map<std::string, uint64_t> pre;
+  scheduler_.At(10.0, [this, &pre]() {
+    pre = ParseStats(mediator_->stats().ToString());
+  });
+  CrashRecoverAt(12.0);
+  QueryAt(20.0);
+  scheduler_.RunUntil(1000.0);
+
+  ASSERT_FALSE(pre.empty());
+  EXPECT_GT(pre.at("update_txns"), 0u);  // the snapshot saw the commit
+  std::map<std::string, uint64_t> post =
+      ParseStats(mediator_->stats().ToString());
+  ASSERT_EQ(post.size(), pre.size());  // same counters render on both sides
+  for (const auto& [name, value] : pre) {
+    ASSERT_TRUE(post.count(name)) << name;
+    EXPECT_GE(post.at(name), value)
+        << "counter " << name << " went backwards across Crash()/Recover()";
+  }
+  EXPECT_EQ(post.at("mediator_crashes"), 1u);
+  EXPECT_EQ(post.at("recoveries"), 1u);
+  ASSERT_EQ(answers_.size(), 1u);
+  EXPECT_EQ(Rows(answers_[0].data), kUpdatedT);
   ExpectConsistentTrace();
 }
 

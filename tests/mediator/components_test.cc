@@ -219,6 +219,90 @@ TEST(UpdateQueueTest, CoalescesSameSourceWithinWindow) {
   EXPECT_EQ(da->CountOf(Tuple({2})), 1);
 }
 
+// Regression: a restarted source's first post-hello announcement used to
+// merge into a pre-restart tail still sitting in the queue (same source,
+// inside the window). The merged message took the NEW epoch while carrying
+// pre-restart atoms, so the per-epoch seq dedup floor — which the restart
+// hello resets — treated the whole thing as already-delivered new-epoch
+// traffic and dropped it. Coalescing must refuse across epoch boundaries.
+TEST(UpdateQueueTest, NeverCoalescesAcrossEpochBoundary) {
+  UpdateQueue queue;
+  queue.SetCoalesceWindow(5.0);
+  Schema schema = MakeSchema("R(a)");
+  auto make = [&](Time send_time, uint64_t seq, uint64_t epoch,
+                  const Tuple& t) {
+    UpdateMessage msg;
+    msg.source = "A";
+    msg.send_time = send_time;
+    msg.seq = seq;
+    msg.epoch = epoch;
+    SQ_EXPECT_OK(msg.delta.Mutable("R", schema)->Add(t, 1));
+    return msg;
+  };
+  queue.Enqueue(make(0.0, 7, 1, Tuple({1})));
+  // Same source, well inside the window — but a NEW incarnation. The
+  // restarted announcer numbers from seq 1 again; merging would stamp the
+  // old atoms with epoch 2 / seq 1.
+  UpdateMessage hello = make(0.5, 1, 2, Tuple({2}));
+  EXPECT_FALSE(queue.WouldCoalesce(hello));
+  queue.Enqueue(std::move(hello));
+  ASSERT_EQ(queue.Size(), 2u);
+  EXPECT_EQ(queue.TotalCoalesced(), 0u);
+  // Within the new epoch, coalescing resumes normally.
+  EXPECT_TRUE(queue.WouldCoalesce(make(0.9, 2, 2, Tuple({3}))));
+  queue.Enqueue(make(0.9, 2, 2, Tuple({3})));
+  EXPECT_EQ(queue.Size(), 2u);
+  auto msgs = queue.Flush();
+  ASSERT_EQ(msgs.size(), 2u);
+  EXPECT_EQ(msgs[0].epoch, 1u);
+  EXPECT_EQ(msgs[0].seq, 7u);
+  EXPECT_EQ(msgs[1].epoch, 2u);
+  EXPECT_EQ(msgs[1].seq, 2u);
+}
+
+// Regression: the backpressure shed (CoalesceOldest) had the same hole —
+// under resync pressure it could merge a pre-restart message forward into a
+// post-restart one from the same source, destroying the epoch boundary the
+// resync machinery keys its dedup floor on. The shed must skip cross-epoch
+// pairs even when that means the queue cannot shrink.
+TEST(UpdateQueueTest, BackpressureShedRespectsEpochBoundary) {
+  UpdateQueue queue;
+  Schema schema = MakeSchema("R(a)");
+  auto make = [&](const std::string& source, uint64_t seq, uint64_t epoch,
+                  const Tuple& t) {
+    UpdateMessage msg;
+    msg.source = source;
+    msg.send_time = 0.1 * seq;
+    msg.seq = seq;
+    msg.epoch = epoch;
+    SQ_EXPECT_OK(msg.delta.Mutable("R", schema)->Add(t, 1));
+    return msg;
+  };
+  // Two same-source messages straddling a restart: NOT shed-mergeable.
+  queue.Enqueue(make("A", 5, 1, Tuple({1})));
+  queue.Enqueue(make("A", 1, 2, Tuple({2})));
+  EXPECT_FALSE(queue.CanCoalesceOldest());
+  EXPECT_FALSE(queue.CoalesceOldest());
+  EXPECT_EQ(queue.Size(), 2u);
+  // A same-epoch pair from another source IS still sheddable, and the shed
+  // picks it while leaving the cross-epoch pair alone.
+  queue.Enqueue(make("B", 1, 1, Tuple({3})));
+  queue.Enqueue(make("B", 2, 1, Tuple({4})));
+  EXPECT_TRUE(queue.CanCoalesceOldest());
+  EXPECT_TRUE(queue.CoalesceOldest());
+  auto msgs = queue.Flush();
+  ASSERT_EQ(msgs.size(), 3u);
+  EXPECT_EQ(msgs[0].source, "A");
+  EXPECT_EQ(msgs[0].epoch, 1u);
+  EXPECT_EQ(msgs[1].source, "A");
+  EXPECT_EQ(msgs[1].epoch, 2u);
+  EXPECT_EQ(msgs[2].source, "B");
+  const Delta* db = msgs[2].delta.Find("R");
+  ASSERT_NE(db, nullptr);
+  EXPECT_EQ(db->CountOf(Tuple({3})), 1);
+  EXPECT_EQ(db->CountOf(Tuple({4})), 1);
+}
+
 TEST(UpdateQueueTest, CoalescingCancelsOpposingAtoms) {
   UpdateQueue queue;
   queue.SetCoalesceWindow(2.0);

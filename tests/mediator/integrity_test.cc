@@ -210,6 +210,93 @@ TEST(WireChecksumTest, SnapshotAnswerSensitivity) {
   EXPECT_NE(ChecksumSnapshotAnswer(other), base);
 }
 
+// A wire message with every field off its default and a multi-relation,
+// multi-op payload, so the fuzz sweeps cross every codec branch
+// (UpdateMessage → MultiDelta → Delta → Tuple → Value, plus Schema).
+UpdateMessage FuzzMessage() {
+  UpdateMessage msg;
+  msg.source = "DB2";
+  msg.send_time = 12.375;
+  msg.seq = 41;
+  msg.epoch = 3;
+  Delta* r = msg.delta.Mutable("R", TestSchema("R(a, b)"));
+  EXPECT_TRUE(r->AddInsert(Tuple({1, 10})).ok());
+  EXPECT_TRUE(r->AddInsert(Tuple({2, 20})).ok());
+  EXPECT_TRUE(r->AddDelete(Tuple({3, 30})).ok());
+  Delta* s = msg.delta.Mutable("S", TestSchema("S(x)"));
+  EXPECT_TRUE(s->AddDelete(Tuple({-7})).ok());
+  return msg;
+}
+
+TEST(WireCodecFuzzTest, UpdateMessageTruncationAtEveryOffsetFailsCleanly) {
+  BinaryWriter w;
+  EncodeUpdateMessage(&w, FuzzMessage());
+  const std::string bytes = w.bytes();
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::string prefix = bytes.substr(0, cut);
+    BinaryReader r(prefix);
+    auto back = DecodeUpdateMessage(&r);
+    // A strict prefix can never decode AND consume every byte: the codec
+    // either errors or stops early, so framed receipt paths detect the cut.
+    EXPECT_TRUE(!back.ok() || !r.AtEnd()) << "prefix length " << cut;
+  }
+}
+
+TEST(WireCodecFuzzTest, UpdateMessageBitFlipNeverCrashesOrPassesChecksum) {
+  // The receipt-path contract under one flipped wire bit: the decoder must
+  // never crash or read out of bounds, and whatever it does accept must be
+  // caught downstream — either trailing bytes are left over (framing-length
+  // mismatch) or the decoded message no longer matches the sender-stamped
+  // CRC32C. A flip that survives decode AND checksum would be a silent
+  // payload corruption, the exact hole ChecksumUpdateMessage closes.
+  const UpdateMessage original = FuzzMessage();
+  const uint32_t stamped = ChecksumUpdateMessage(original);
+  BinaryWriter w;
+  EncodeUpdateMessage(&w, original);
+  const std::string bytes = w.bytes();
+  Rng rng(20260811);
+  for (size_t off = 0; off < bytes.size(); ++off) {
+    std::string damaged = bytes;
+    damaged[off] ^= static_cast<char>(1u << rng.Uniform(8));
+    if (damaged[off] == bytes[off]) continue;  // flip cancelled (paranoia)
+    BinaryReader r(damaged);
+    auto back = DecodeUpdateMessage(&r);
+    if (!back.ok()) continue;  // clean typed refusal
+    EXPECT_TRUE(!r.AtEnd() || ChecksumUpdateMessage(*back) != stamped)
+        << "offset " << off << ": a flipped bit decoded cleanly and still "
+        << "matched the sender's checksum";
+  }
+}
+
+TEST(WireCodecFuzzTest, RelationBitFlipDecodeIsFixedPointOrRefusal) {
+  // Same sweep over the snapshot-payload codec: any accepted decode must be
+  // a deterministic fixed point (re-encode → decode → re-encode stable), so
+  // a damaged snapshot can never oscillate through the checksum layer.
+  Relation rel(TestSchema("R(a, b, c)"), Semantics::kBag);
+  ASSERT_TRUE(rel.Insert(Tuple({1, 2, 3}), 2).ok());
+  ASSERT_TRUE(rel.Insert(Tuple({-4, 0, 9}), 1).ok());
+  BinaryWriter w;
+  EncodeRelation(&w, rel);
+  const std::string bytes = w.bytes();
+  Rng rng(20260812);
+  for (size_t off = 0; off < bytes.size(); ++off) {
+    std::string damaged = bytes;
+    damaged[off] ^= static_cast<char>(1u << rng.Uniform(8));
+    if (damaged[off] == bytes[off]) continue;
+    BinaryReader r(damaged);
+    auto back = DecodeRelation(&r);
+    if (!back.ok()) continue;
+    BinaryWriter re;
+    EncodeRelation(&re, *back);
+    BinaryReader r2(re.bytes());
+    auto again = DecodeRelation(&r2);
+    ASSERT_TRUE(again.ok()) << "offset " << off;
+    BinaryWriter re2;
+    EncodeRelation(&re2, *again);
+    EXPECT_EQ(re2.bytes(), re.bytes()) << "offset " << off;
+  }
+}
+
 /// Deterministic corruption for triage tests: flips one byte of chosen LSNs
 /// at READ time — the moment recovery looks at the "disk". Flipping at
 /// offset 20 (the first payload byte, past magic and crc) guarantees the
@@ -303,6 +390,78 @@ TEST(FaultyLogDeviceTest, EnospcFailsHonestly) {
   ASSERT_TRUE(records.ok());
   ASSERT_EQ(records->size(), 2u);  // failed appends consumed no LSN
   EXPECT_EQ((*records)[1].bytes, "d");
+}
+
+TEST(FaultyLogDeviceTest, LostTruncationResurrectsPreTruncationFile) {
+  // The lost-rename window: TruncatePrefix is acked but the rewrite-rename
+  // never got its directory fsync. A read-after-crash sees the OLD file —
+  // records the truncation "dropped" are back, and every append made after
+  // the lie sits on the orphaned inode, invisible. The next clean truncation
+  // renames (and dir-fsyncs) again, making the current contents durable.
+  MemLogDevice inner;
+  StorageFaultPlan plan;
+  plan.lost_truncation_prob = 1.0;
+  plan.max_faults = 1;
+  FaultyLogDevice dev(&inner, plan, /*seed=*/5);
+  ASSERT_TRUE(dev.Append("a").ok());
+  ASSERT_TRUE(dev.Append("b").ok());
+  ASSERT_TRUE(dev.Append("c").ok());
+  ASSERT_TRUE(dev.TruncatePrefix(2).ok());  // acked; rename rolled back
+  EXPECT_EQ(dev.counters().lost_truncations, 1u);
+  auto records = dev.ReadAll();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 3u);  // "dropped" records resurrected
+  EXPECT_EQ((*records)[0].bytes, "a");
+  EXPECT_EQ((*records)[2].bytes, "c");
+  // An append inside the window is acked but lands on the orphaned inode.
+  ASSERT_TRUE(dev.Append("d").ok());
+  records = dev.ReadAll();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 3u);  // "d" is lost to any read-after-crash
+  // A later clean truncation closes the window: the rename + dir fsync make
+  // the LATEST contents (including "d") durable.
+  ASSERT_TRUE(dev.TruncatePrefix(3).ok());  // budget spent: honest this time
+  records = dev.ReadAll();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].lsn, 3u);
+  EXPECT_EQ((*records)[0].bytes, "d");
+}
+
+TEST(RecoveryTriageTest, LostRenameWindowLosesAckedAppendsUntilHealed) {
+  // End-to-end shape of the FileLogDevice bug this models: the checkpoint's
+  // log truncation is acked but its rename is not directory-durable, so a
+  // crash inside the window recovers the PRE-truncation log and every
+  // enqueue logged after the lying ack is gone — exactly the silent
+  // acked-then-lost case resync_on_recovery exists for. A later checkpoint
+  // whose truncation IS durable heals the log.
+  MemLogDevice inner;
+  StorageFaultPlan plan;
+  plan.lost_truncation_prob = 1.0;
+  plan.max_faults = 1;
+  FaultyLogDevice dev(&inner, plan, /*seed=*/13);
+  DurabilityManager mgr(Opts(&dev));
+  // The first checkpoint's truncation draws the fault and arms the window.
+  ASSERT_TRUE(mgr.WriteCheckpoint(HardState{}).ok());
+  EXPECT_EQ(dev.counters().lost_truncations, 1u);
+  ASSERT_TRUE(mgr.LogEnqueue(Msg("DB1", 1, 1.0)).ok());  // acked, orphaned
+  ASSERT_TRUE(mgr.LogEnqueue(Msg("DB1", 2, 2.0)).ok());  // acked, orphaned
+  auto rec = mgr.Recover();
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  // Recovery read the pre-truncation file: both acked enqueues are lost,
+  // and (as with a dropped-fsync tail) there is nothing left to detect.
+  EXPECT_EQ(rec->state.queue.size(), 0u);
+  // Heal: the next checkpoint truncates honestly (fault budget spent), so
+  // the rename + dir fsync finally land and post-heal records are durable.
+  HardState hs;
+  hs.next_txn_id = 5;
+  ASSERT_TRUE(mgr.WriteCheckpoint(hs).ok());
+  ASSERT_TRUE(mgr.LogEnqueue(Msg("DB1", 3, 3.0)).ok());
+  auto rec2 = mgr.Recover();
+  ASSERT_TRUE(rec2.ok()) << rec2.status().ToString();
+  EXPECT_EQ(rec2->state.next_txn_id, 5u);
+  ASSERT_EQ(rec2->state.queue.size(), 1u);
+  EXPECT_EQ(rec2->state.queue.front().seq, 3u);
 }
 
 TEST(RecoveryTriageTest, TornTailIsRepairedAndCounted) {

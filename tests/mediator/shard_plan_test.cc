@@ -1,0 +1,309 @@
+// ShardPlan validation/structure tests plus ExportAnnouncer unit and
+// end-to-end tests: a child mediator's exports consumed by a parent mediator
+// through the stock announcer protocol, including the crash/recovery re-base
+// path (child recovers behind the mirror -> epoch bump + corrective delta ->
+// parent resync heals the composed view).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "mediator/durability/log_device.h"
+#include "mediator/export_announcer.h"
+#include "mediator/mediator.h"
+#include "mediator/shard_plan.h"
+#include "testing/util.h"
+#include "vdp/paper_examples.h"
+
+namespace squirrel {
+namespace {
+
+using testing::MakeSchema;
+
+Vdp Figure1() {
+  auto vdp = BuildFigure1Vdp();
+  EXPECT_TRUE(vdp.ok()) << vdp.status().ToString();
+  return std::move(vdp).value();
+}
+
+TEST(ShardPlanTest, RejectsBadSpecs) {
+  Vdp vdp = Figure1();
+  // No shards.
+  EXPECT_FALSE(ShardPlan::Build(vdp, {}).ok());
+  // Two roots.
+  EXPECT_FALSE(ShardPlan::Build(vdp, {{"a", "", {"R'", "S'", "T"}},
+                                      {"b", "", {}}})
+                   .ok());
+  // Unknown parent.
+  EXPECT_FALSE(ShardPlan::Build(vdp, {{"a", "", {"R'", "S'", "T"}},
+                                      {"b", "zzz", {}}})
+                   .ok());
+  // Duplicate shard name.
+  EXPECT_FALSE(ShardPlan::Build(vdp, {{"a", "", {"R'", "T"}},
+                                      {"a", "a", {"S'"}}})
+                   .ok());
+  // Shard name colliding with a node / source db.
+  EXPECT_FALSE(ShardPlan::Build(vdp, {{"T", "", {"R'", "S'", "T"}}}).ok());
+  EXPECT_FALSE(ShardPlan::Build(vdp, {{"DB1", "", {"R'", "S'", "T"}}}).ok());
+  // Node owned twice / node owned by nobody / leaf claimed.
+  EXPECT_FALSE(ShardPlan::Build(vdp, {{"a", "", {"R'", "S'", "T"}},
+                                      {"b", "a", {"S'"}}})
+                   .ok());
+  EXPECT_FALSE(ShardPlan::Build(vdp, {{"a", "", {"R'", "T"}}}).ok());
+  EXPECT_FALSE(ShardPlan::Build(vdp, {{"a", "", {"R", "R'", "S'", "T"}}})
+                   .ok());
+  // Disconnected region: R' and S' are only connected through T.
+  EXPECT_FALSE(ShardPlan::Build(vdp, {{"a", "", {"T"}},
+                                      {"b", "a", {"R'", "S'"}}})
+                   .ok());
+  // Cut node owned by a NON-descendant (sibling): T lives in shard x but
+  // needs S' from x's sibling y, and announcements only flow child->parent.
+  EXPECT_FALSE(ShardPlan::Build(vdp, {{"top", "", {}},
+                                      {"x", "top", {"T", "R'"}},
+                                      {"y", "top", {"S'"}}})
+                   .ok());
+}
+
+TEST(ShardPlanTest, TwoShardStructure) {
+  Vdp vdp = Figure1();
+  SQ_ASSERT_OK_AND_ASSIGN(
+      ShardPlan plan,
+      ShardPlan::Build(vdp, {{"top", "", {"R'", "T"}},
+                             {"child", "top", {"S'"}}}));
+  ASSERT_EQ(plan.shards().size(), 2u);
+  // Children-first order: child before root.
+  EXPECT_EQ(plan.shards()[0].name, "child");
+  EXPECT_EQ(plan.root().name, "top");
+  const Shard& child = plan.shards()[0];
+  EXPECT_EQ(child.exports, (std::vector<std::string>{"S'"}));
+  EXPECT_TRUE(child.imports.empty());
+  const Shard& top = plan.root();
+  EXPECT_EQ(top.imports, (std::vector<std::string>{"S'"}));
+  EXPECT_EQ(top.providers.at("S'"), "child");
+  // The root's exports are the base exports.
+  EXPECT_EQ(top.exports, (std::vector<std::string>{"T"}));
+}
+
+TEST(ShardPlanTest, BuildVdpSynthesizesImports) {
+  Vdp vdp = Figure1();
+  Annotation base = AnnotationExample23(vdp);  // R', S' virtual; T hybrid
+  SQ_ASSERT_OK_AND_ASSIGN(
+      ShardPlan plan,
+      ShardPlan::Build(vdp, {{"top", "", {"R'", "T"}},
+                             {"child", "top", {"S'"}}}));
+
+  SQ_ASSERT_OK_AND_ASSIGN(auto child_va,
+                          plan.BuildVdp(plan.shards()[0], base));
+  // Child: leaf S plus exported S'. Forced fully materialized even though
+  // the base annotation makes S' virtual — exports are announced as deltas.
+  EXPECT_EQ(child_va.first.NodeCount(), 2u);
+  EXPECT_EQ(child_va.first.ExportNames(),
+            (std::vector<std::string>{"S'"}));
+  EXPECT_TRUE(
+      child_va.second.FullyMaterialized(child_va.first, "S'"));
+
+  SQ_ASSERT_OK_AND_ASSIGN(auto top_va, plan.BuildVdp(plan.root(), base));
+  const Vdp& top = top_va.first;
+  // Top: R leaf, R', S'@in leaf over the child's mirror, identity S', T.
+  EXPECT_EQ(top.NodeCount(), 5u);
+  const VdpNode* in = top.Find("S'@in");
+  ASSERT_NE(in, nullptr);
+  EXPECT_TRUE(in->is_leaf);
+  EXPECT_EQ(in->source_db, "child");
+  EXPECT_EQ(in->source_relation, "S'");
+  const VdpNode* sp = top.Find("S'");
+  ASSERT_NE(sp, nullptr);
+  EXPECT_FALSE(sp->is_leaf);
+  EXPECT_EQ(sp->schema.AttributeNames(),
+            (std::vector<std::string>{"s1", "s2"}));
+  EXPECT_EQ(top.ExportNames(), (std::vector<std::string>{"T"}));
+  // Root keeps base modes: S' stays virtual, T stays hybrid.
+  EXPECT_TRUE(top_va.second.FullyVirtual(top, "S'"));
+  EXPECT_TRUE(top_va.second.IsHybrid(top, "T"));
+}
+
+TEST(ShardPlanTest, ThreeTierPassThrough) {
+  Vdp vdp = Figure1();
+  SQ_ASSERT_OK_AND_ASSIGN(
+      ShardPlan plan,
+      ShardPlan::Build(vdp, {{"top", "", {}},
+                             {"mid", "top", {"R'", "T"}},
+                             {"bottom", "mid", {"S'"}}}));
+  ASSERT_EQ(plan.shards().size(), 3u);
+  EXPECT_EQ(plan.shards()[0].name, "bottom");
+  EXPECT_EQ(plan.shards()[1].name, "mid");
+  EXPECT_EQ(plan.root().name, "top");
+  // mid imports S' from bottom and exports T up to the root.
+  EXPECT_EQ(plan.shards()[1].imports, (std::vector<std::string>{"S'"}));
+  EXPECT_EQ(plan.shards()[1].exports, (std::vector<std::string>{"T"}));
+  // top owns nothing; it imports T and serves it as the base export set.
+  EXPECT_EQ(plan.root().imports, (std::vector<std::string>{"T"}));
+  EXPECT_EQ(plan.root().providers.at("T"), "mid");
+  EXPECT_EQ(plan.root().exports, (std::vector<std::string>{"T"}));
+
+  // The root's VDP is just the identity wrapper over mid's mirror.
+  SQ_ASSERT_OK_AND_ASSIGN(auto top_va,
+                          plan.BuildVdp(plan.root(), Annotation()));
+  EXPECT_EQ(top_va.first.NodeCount(), 2u);
+  EXPECT_EQ(top_va.first.Find("T@in")->source_db, "mid");
+}
+
+class ExportAnnouncerE2E : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db1_ = std::make_unique<SourceDb>("DB1");
+    db2_ = std::make_unique<SourceDb>("DB2");
+    SQ_ASSERT_OK(
+        db1_->AddRelation("R", MakeSchema("R(r1, r2, r3, r4) key(r1)")));
+    SQ_ASSERT_OK(db2_->AddRelation("S", MakeSchema("S(s1, s2, s3) key(s1)")));
+    SQ_ASSERT_OK(db1_->InsertTuple(0, "R", Tuple({1, 100, 11, 100})));
+    SQ_ASSERT_OK(db2_->InsertTuple(0, "S", Tuple({100, 5, 10})));
+  }
+
+  /// Builds child {S'} / top {R', T} over Figure 1 and starts both
+  /// mediators, the child with \p child_options.
+  void BuildTopology(MediatorOptions child_options) {
+    Vdp base = Figure1();
+    auto plan = ShardPlan::Build(base, {{"top", "", {"R'", "T"}},
+                                        {"child", "top", {"S'"}}});
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    plan_ = std::move(plan).value();
+
+    auto child_va = plan_.BuildVdp(plan_.shards()[0], Annotation());
+    ASSERT_TRUE(child_va.ok()) << child_va.status().ToString();
+    auto child = Mediator::Create(child_va->first, child_va->second,
+                                  {{db2_.get(), 0.5, 0.2, 0.0}}, &scheduler_,
+                                  child_options);
+    ASSERT_TRUE(child.ok()) << child.status().ToString();
+    child_ = std::move(child).value();
+    SQ_ASSERT_OK(child_->Start());
+
+    auto ea = ExportAnnouncer::Create(child_.get(), "child",
+                                      plan_.shards()[0].exports, &scheduler_);
+    ASSERT_TRUE(ea.ok()) << ea.status().ToString();
+    exporter_ = std::move(ea).value();
+
+    auto top_va = plan_.BuildVdp(plan_.root(), Annotation());
+    ASSERT_TRUE(top_va.ok()) << top_va.status().ToString();
+    auto top = Mediator::Create(top_va->first, top_va->second,
+                                {{db1_.get(), 0.5, 0.2, 0.0},
+                                 {exporter_->mirror(), 0.5, 0.2, 0.0}},
+                                &scheduler_, MediatorOptions{});
+    ASSERT_TRUE(top.ok()) << top.status().ToString();
+    top_ = std::move(top).value();
+    SQ_ASSERT_OK(top_->Start());
+  }
+
+  std::string QueryTopT(Time at) {
+    std::string got = "<no answer>";
+    scheduler_.At(at, [this, &got]() {
+      top_->SubmitQuery(ViewQuery{"T", {}, nullptr},
+                        [&got](Result<ViewAnswer> ans) {
+                          ASSERT_TRUE(ans.ok()) << ans.status().ToString();
+                          got = testing::Rows(ans->data);
+                        });
+    });
+    scheduler_.RunUntil(at + 100.0);
+    return got;
+  }
+
+  Scheduler scheduler_;
+  MemLogDevice child_dev_;
+  std::unique_ptr<SourceDb> db1_, db2_;
+  ShardPlan plan_;
+  std::unique_ptr<Mediator> child_, top_;
+  std::unique_ptr<ExportAnnouncer> exporter_;
+};
+
+TEST_F(ExportAnnouncerE2E, ParentConsumesChildExports) {
+  BuildTopology(MediatorOptions{});
+  // The mirror is seeded from the child's initial load, so the parent's
+  // initial view matches a single-mediator deployment.
+  SQ_ASSERT_OK_AND_ASSIGN(const Relation* s0, exporter_->mirror()->Current("S'"));
+  EXPECT_EQ(testing::Rows(*s0), "(100, 5) ");
+
+  // New S row (passes s3 < 50) flows child -> mirror -> parent; the new R
+  // row then joins against the propagated S'.
+  scheduler_.At(1.0, [this]() {
+    SQ_EXPECT_OK(db2_->InsertTuple(scheduler_.Now(), "S",
+                                   Tuple({200, 6, 20})));
+  });
+  scheduler_.At(2.0, [this]() {
+    SQ_EXPECT_OK(db1_->InsertTuple(scheduler_.Now(), "R",
+                                   Tuple({2, 200, 22, 100})));
+  });
+  EXPECT_EQ(QueryTopT(50.0), "(1, 11, 100, 5) (2, 22, 200, 6) ");
+  EXPECT_GE(exporter_->commits_mirrored(), 1u);
+  EXPECT_EQ(exporter_->corrective_commits(), 0u);
+  // The parent talked to the mirror as an ordinary announcing source.
+  EXPECT_GT(top_->stats().messages_received, 0u);
+}
+
+TEST_F(ExportAnnouncerE2E, RejectsNonMaterializedExport) {
+  Vdp base = Figure1();
+  auto plan = ShardPlan::Build(base, {{"top", "", {"R'", "T"}},
+                                      {"child", "top", {"S'"}}});
+  ASSERT_TRUE(plan.ok());
+  // Bypass BuildVdp's forcing to prove Create checks materialization: build
+  // the child over its shard VDP but with the base (virtual) modes.
+  auto child_va = plan->BuildVdp(plan->shards()[0], Annotation());
+  ASSERT_TRUE(child_va.ok());
+  Annotation bad;
+  SQ_ASSERT_OK(bad.SetAll(child_va->first, "S'", AttrMode::kVirtual));
+  auto child = Mediator::Create(child_va->first, bad,
+                                {{db2_.get(), 0.5, 0.2, 0.0}}, &scheduler_,
+                                MediatorOptions{});
+  ASSERT_TRUE(child.ok());
+  SQ_ASSERT_OK((*child)->Start());
+  EXPECT_FALSE(ExportAnnouncer::Create(child->get(), "child", {"S'"},
+                                       &scheduler_)
+                   .ok());
+  EXPECT_FALSE(
+      ExportAnnouncer::Create(child->get(), "child", {"S"}, &scheduler_)
+          .ok());
+}
+
+TEST_F(ExportAnnouncerE2E, ChildRecoveryRebasesMirrorAndParentResyncs) {
+  // Checkpoint-only durability: the child provably LOSES the S' update it
+  // already announced to the mirror, so recovery lands BEHIND the mirror —
+  // the exact divergence OnChildRecovered's corrective delta must heal.
+  MediatorOptions child_options;
+  child_options.durability.device = &child_dev_;
+  child_options.durability.wal = false;
+  child_options.durability.resync_on_recovery = true;
+  BuildTopology(child_options);
+
+  scheduler_.At(1.0, [this]() {
+    SQ_EXPECT_OK(db2_->InsertTuple(scheduler_.Now(), "S",
+                                   Tuple({200, 6, 20})));
+  });
+  scheduler_.At(2.0, [this]() {
+    SQ_EXPECT_OK(db1_->InsertTuple(scheduler_.Now(), "R",
+                                   Tuple({2, 200, 22, 100})));
+  });
+  // Crash after the update propagated; recover in the same event, exactly
+  // as the harness drives child shards.
+  scheduler_.At(10.0, [this]() {
+    Status st = child_->CrashAndRecover();
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    SQ_EXPECT_OK(exporter_->OnChildRecovered());
+  });
+  EXPECT_EQ(QueryTopT(60.0), "(1, 11, 100, 5) (2, 22, 200, 6) ");
+  // The corrective re-base fired (checkpoint-only recovery rolled back the
+  // mirrored commit) and the child's paranoid resync re-pulled DB2, whose
+  // corrective delta flowed through the mirror again.
+  EXPECT_GE(exporter_->corrective_commits(), 1u);
+  // The parent saw the mirror's epoch bump and resynced it like any
+  // restarted source.
+  EXPECT_GE(top_->stats().epoch_bumps, 1u);
+  EXPECT_GE(top_->stats().resyncs_completed, 1u);
+  // Mirror and child repository agree again.
+  SQ_ASSERT_OK_AND_ASSIGN(const Relation* mirror_s,
+                          exporter_->mirror()->Current("S'"));
+  SQ_ASSERT_OK_AND_ASSIGN(const Relation* repo_s, child_->store().Repo("S'"));
+  EXPECT_EQ(testing::Rows(*mirror_s), testing::Rows(*repo_s));
+}
+
+}  // namespace
+}  // namespace squirrel

@@ -53,6 +53,9 @@ TEST_P(CrashRestartSweep, RecoversToConsistentReplayableState) {
     ASSERT_EQ(run->trace_dump, replay->trace_dump)
         << "[seed " << seed << "] crash-recovery replay was not "
         << "byte-identical";
+    ASSERT_EQ(run->stats_dump, replay->stats_dump)
+        << "[seed " << seed << "] stats drifted across replay — a counter "
+        << "is not preserved deterministically through Crash()/Recover()";
   }
   // The window generator keeps only windows that fit the horizon, so not
   // every seed crashes — but a whole chunk without any crash would mean the

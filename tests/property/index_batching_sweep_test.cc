@@ -111,6 +111,40 @@ TEST(IndexBatchingSweep, CoalescingSurvivesCrashRecovery) {
   EXPECT_GT(crashes_seen, 0u);
 }
 
+// Regression sweep for the epoch-boundary coalescing hole: with commits
+// packed tightly AND sources restarting mid-run, a restarted source's first
+// new-epoch announcement lands in the window of its own pre-restart tail.
+// Merging them used to stamp old atoms with the new epoch, so the per-epoch
+// dedup floor dropped the whole batch and exports silently lost updates.
+// The run must still match the coalescing-off baseline's final exports and
+// end with every source healthy.
+TEST(IndexBatchingSweep, CoalescingRefusesEpochBoundariesUnderRestarts) {
+  uint64_t coalesced_total = 0;
+  uint64_t restarts_seen = 0;
+  auto with_restarts = [](Time coalesce_window) {
+    FaultSimOptions opts;
+    opts.durability = true;
+    opts.coalesce_window = coalesce_window;
+    opts.event_gap_scale = kTightGaps;
+    opts.source_restarts = 2;
+    opts.require_all_healthy = true;
+    return opts;
+  };
+  for (uint64_t seed = kBaseSeed; seed < kBaseSeed + kSeeds; ++seed) {
+    auto batched = RunFaultSim(seed, with_restarts(/*coalesce_window=*/2.0));
+    ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+    auto plain = RunFaultSim(seed, with_restarts(/*coalesce_window=*/0.0));
+    ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+    EXPECT_EQ(batched->final_exports, plain->final_exports)
+        << "seed " << seed;
+    coalesced_total += batched->coalesced_msgs;
+    restarts_seen += batched->source_restarts;
+  }
+  // Vacuity guards: the sweep must exercise both merges and restarts.
+  EXPECT_GT(coalesced_total, 0u);
+  EXPECT_GT(restarts_seen, 0u);
+}
+
 }  // namespace
 }  // namespace testing
 }  // namespace squirrel

@@ -87,6 +87,9 @@ void RunOne(uint64_t seed, SF kind, int scenario, SweepTally* tally) {
   ASSERT_TRUE(replay.ok()) << tag << replay.status().ToString();
   ASSERT_EQ(run->trace_dump, replay->trace_dump)
       << tag << "storage-fault replay was not byte-identical";
+  ASSERT_EQ(run->stats_dump, replay->stats_dump)
+      << tag << "stats drifted across replay — a counter is not "
+      << "deterministic under storage faults";
   ASSERT_EQ(run->corrupted, replay->corrupted) << tag;
 }
 

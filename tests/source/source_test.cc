@@ -78,18 +78,24 @@ TEST(SourceDbTest, QueryProjectsAndSelects) {
   EXPECT_EQ(testing::Rows(out), "(2) ");
 }
 
-TEST(SourceDbTest, CommitListenerInvoked) {
+TEST(SourceDbTest, CommitListenersInvokedInOrder) {
   SourceDb db("DB");
   SQ_ASSERT_OK(db.AddRelation("R", MakeSchema("R(a)")));
   int calls = 0;
-  db.SetCommitListener([&](Time t, const MultiDelta& d) {
+  std::vector<int> order;
+  db.AddCommitListener([&](Time t, const MultiDelta& d) {
     ++calls;
+    order.push_back(1);
     EXPECT_GT(t, 0.0);
     EXPECT_FALSE(d.Empty());
   });
+  // Sharded topologies hang several announcers off one db; every listener
+  // must see every commit, in installation order.
+  db.AddCommitListener([&](Time, const MultiDelta&) { order.push_back(2); });
   SQ_ASSERT_OK(db.InsertTuple(1.0, "R", Tuple({1})));
   SQ_ASSERT_OK(db.InsertTuple(2.0, "R", Tuple({2})));
   EXPECT_EQ(calls, 2);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2}));
 }
 
 TEST(AnnouncerTest, ImmediateModeAnnouncesEveryCommit) {

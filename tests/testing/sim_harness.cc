@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -12,6 +13,8 @@
 #include "mediator/consistency.h"
 #include "mediator/durability/faulty_log_device.h"
 #include "mediator/durability/log_device.h"
+#include "mediator/export_announcer.h"
+#include "mediator/shard_plan.h"
 #include "relational/columnar.h"
 #include "relational/parser.h"
 #include "sim/fault.h"
@@ -43,41 +46,66 @@ Status AddParsedRelation(SourceDb* db, const std::string& name,
   return db->AddRelation(name, parsed.schema);
 }
 
-}  // namespace
+/// Per-source->mediator link delays, drawn once per real source so every
+/// topology wires the same link characteristics for the same seed.
+struct SimLink {
+  Time comm_delay = 0;
+  Time q_proc_delay = 0;
+  Time announce_period = 0;
+};
 
-Result<FaultSimResult> RunFaultSim(uint64_t seed,
-                                   const FaultSimOptions& opts) {
-  if ((opts.mediator_crashes > 0 || opts.crash_at_wal_record >= 0) &&
-      !opts.durability) {
-    return Status::InvalidArgument(
-        "mediator crashes require durability (nothing to recover from)");
-  }
-  if ((opts.storage_fault != FaultSimOptions::StorageFault::kNone ||
-       opts.final_crash_recover) &&
-      !opts.durability) {
-    return Status::InvalidArgument(
-        "storage faults require durability (there is no disk to lie)");
-  }
-  // Pin the engine mode (and a zero size threshold, so the small sim
-  // relations actually take the columnar paths) for the whole run.
-  columnar::ScopedColumnarMode scoped_columnar(opts.columnar, /*min_rows=*/0);
+/// One pre-drawn workload event. All randomness is consumed at scenario
+/// build time; deploying the scenario only schedules these.
+struct SimOp {
+  enum Kind { kInsert, kDelete, kQuery } kind = kInsert;
+  Time when = 0;
+  size_t db = 0;          ///< commits: index into Scenario::dbs
+  std::string relation;   ///< commits: target relation
+  Tuple tuple;            ///< commits: inserted / deleted row
+  ViewQuery query;        ///< queries: submitted to the (root) mediator
+};
+
+/// Everything one seed determines BEFORE the deployment shape is chosen:
+/// sources with initial contents, the VDP + annotation, the workload, the
+/// per-source fault plans (with restart windows merged in), the shared
+/// mediator crash windows, and the mediator policy options. RunFaultSim
+/// deploys a Scenario as one mediator or as a shard tree; because every
+/// draw happens here, the scenario is byte-identical across topologies.
+struct Scenario {
+  bool has_db3 = false;
+  std::unique_ptr<SourceDb> db1, db2, db3;
+  std::vector<SourceDb*> dbs;
+  Vdp vdp;
+  Annotation ann;
+  Time t_end = 0;
+  std::vector<CrashWindow> med_windows;
+  std::vector<FaultPlan> plans;  // parallel to dbs
+  std::vector<SimLink> links;    // parallel to dbs
+  MediatorOptions options;       // policy only; durability wired per runner
+  std::vector<SimOp> ops;
+  std::string fault_plan_dump;
+};
+
+/// Draws the whole scenario from the seed, preserving the historical rng
+/// draw order exactly (the restart-pin and replay-identity sweeps depend on
+/// the schedule being a pure function of the seed and the non-topology
+/// options).
+Result<Scenario> BuildScenario(uint64_t seed, const FaultSimOptions& opts) {
   Rng rng(seed * 0x2545F4914F6CDD1DULL + 12345);
-  FaultSimResult result;
-  result.seed = seed;
+  Scenario sc;
 
   // ---- sources (DB3 present in half the scenarios) ----
-  auto db1 = std::make_unique<SourceDb>("DB1");
-  auto db2 = std::make_unique<SourceDb>("DB2");
+  sc.db1 = std::make_unique<SourceDb>("DB1");
+  sc.db2 = std::make_unique<SourceDb>("DB2");
   SQ_RETURN_IF_ERROR(
-      AddParsedRelation(db1.get(), "R", "R(r1, r2, r3, r4) key(r1)"));
+      AddParsedRelation(sc.db1.get(), "R", "R(r1, r2, r3, r4) key(r1)"));
   SQ_RETURN_IF_ERROR(
-      AddParsedRelation(db2.get(), "S", "S(s1, s2, s3) key(s1)"));
-  bool has_db3 = rng.Bernoulli(0.5);
-  std::unique_ptr<SourceDb> db3;
-  if (has_db3) {
-    db3 = std::make_unique<SourceDb>("DB3");
+      AddParsedRelation(sc.db2.get(), "S", "S(s1, s2, s3) key(s1)"));
+  sc.has_db3 = rng.Bernoulli(0.5);
+  if (sc.has_db3) {
+    sc.db3 = std::make_unique<SourceDb>("DB3");
     SQ_RETURN_IF_ERROR(
-        AddParsedRelation(db3.get(), "U", "U(u1, u2) key(u1)"));
+        AddParsedRelation(sc.db3.get(), "U", "U(u1, u2) key(u1)"));
   }
 
   // ---- random Figure-1-shaped VDP (optional filters + third branch) ----
@@ -90,39 +118,38 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
   b.LeafParent("S'", "S", {"s1", "s2"}, s_filter ? "s3 < 50" : "");
   b.Spj("T", {{"R'", {"r1", "r2", "r3"}, ""}, {"S'", {"s1", "s2"}, ""}},
         {"r2 = s1"}, {"r1", "r3", "s1", "s2"}, "", /*exported=*/true);
-  if (has_db3) {
+  if (sc.has_db3) {
     b.Leaf("U", "DB3", "U", "U(u1, u2) key(u1)");
     b.LeafParent("U'", "U", {"u1", "u2"});
     b.LeafParent("S2", "S", {"s1", "s3"});
     b.Spj("W", {{"S2", {"s1", "s3"}, ""}, {"U'", {"u1", "u2"}, ""}},
           {"s1 = u1"}, {"s1", "s3", "u2"}, "", /*exported=*/true);
   }
-  SQ_ASSIGN_OR_RETURN(Vdp vdp, b.Build());
+  SQ_ASSIGN_OR_RETURN(sc.vdp, b.Build());
 
   // ---- random annotation, drawn from the safe patterns of §2's examples:
   // leaf-parents all-materialized or all-virtual, exports all-materialized,
   // all-virtual via their inputs, or hybrid with the join keys materialized
   // (Example 2.3) ----
-  Annotation ann;
   int kind = static_cast<int>(rng.Uniform(4));
   if (kind == 1) {
-    SQ_RETURN_IF_ERROR(ann.SetAll(vdp, "R'", AttrMode::kVirtual));
+    SQ_RETURN_IF_ERROR(sc.ann.SetAll(sc.vdp, "R'", AttrMode::kVirtual));
   } else if (kind == 2) {
-    SQ_RETURN_IF_ERROR(ann.SetAll(vdp, "S'", AttrMode::kVirtual));
+    SQ_RETURN_IF_ERROR(sc.ann.SetAll(sc.vdp, "S'", AttrMode::kVirtual));
   } else if (kind == 3) {
-    SQ_RETURN_IF_ERROR(ann.SetAll(vdp, "R'", AttrMode::kVirtual));
-    SQ_RETURN_IF_ERROR(ann.SetAll(vdp, "S'", AttrMode::kVirtual));
+    SQ_RETURN_IF_ERROR(sc.ann.SetAll(sc.vdp, "R'", AttrMode::kVirtual));
+    SQ_RETURN_IF_ERROR(sc.ann.SetAll(sc.vdp, "S'", AttrMode::kVirtual));
     SQ_RETURN_IF_ERROR(
-        ann.SetFromSpec(vdp, "T", "r1 m, r3 v, s1 m, s2 v"));
+        sc.ann.SetFromSpec(sc.vdp, "T", "r1 m, r3 v, s1 m, s2 v"));
   }
-  if (has_db3) {
+  if (sc.has_db3) {
     int wkind = static_cast<int>(rng.Uniform(3));
     if (wkind == 1) {
-      SQ_RETURN_IF_ERROR(ann.SetAll(vdp, "U'", AttrMode::kVirtual));
+      SQ_RETURN_IF_ERROR(sc.ann.SetAll(sc.vdp, "U'", AttrMode::kVirtual));
     } else if (wkind == 2) {
-      SQ_RETURN_IF_ERROR(ann.SetAll(vdp, "S2", AttrMode::kVirtual));
+      SQ_RETURN_IF_ERROR(sc.ann.SetAll(sc.vdp, "S2", AttrMode::kVirtual));
       SQ_RETURN_IF_ERROR(
-          ann.SetFromSpec(vdp, "W", "s1 m, s3 v, u2 m"));
+          sc.ann.SetFromSpec(sc.vdp, "W", "s1 m, s3 v, u2 m"));
     }
   }
 
@@ -134,26 +161,26 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
     t += (3.0 + rng.UniformDouble() * 2.5) * opts.event_gap_scale;
     event_times.push_back(t);
   }
-  const Time t_end = t;
+  sc.t_end = t;
+  const Time t_end = sc.t_end;
 
   // ---- mediator crash windows, drawn once and shared across every source
   // injector (the ARQ model needs all senders to agree on the downtime).
   // Each window sits in its own slice of the horizon, so windows never
   // overlap, and all close well before t_end so the drain phase quiesces ----
-  std::vector<CrashWindow> med_windows;
   if (opts.mediator_crashes > 0) {
     Time span = (t_end - 8.0) / opts.mediator_crashes;
     for (int w = 0; w < opts.mediator_crashes && span > 1.0; ++w) {
       Time lo = 5.0 + w * span;
       Time start = lo + rng.UniformDouble() * span * 0.5;
       Time end = start + 0.5 + rng.UniformDouble() * span * 0.4;
-      if (end < t_end - 2.0) med_windows.push_back({start, end});
+      if (end < t_end - 2.0) sc.med_windows.push_back({start, end});
     }
   }
 
   // ---- per-source fault plans; every randomized fault stops at t_end and
   // all crash windows close before it, so the drain phase quiesces ----
-  auto make_plan = [&rng, t_end, &med_windows, &opts](const std::string& name) {
+  auto make_plan = [&rng, t_end, &sc, &opts](const std::string& name) {
     FaultPlan p;
     // Assigned, not drawn: enabling payload corruption must not perturb the
     // rng-driven schedule decisions below.
@@ -175,23 +202,22 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
       if (end > start) p.crashes[name].push_back({start, end});
       cursor = end + 2.0;
     }
-    p.mediator_crashes = med_windows;
+    p.mediator_crashes = sc.med_windows;
     return p;
   };
-  std::vector<SourceDb*> dbs = {db1.get(), db2.get()};
-  if (has_db3) dbs.push_back(db3.get());
-  std::vector<FaultPlan> plans;
-  for (size_t i = 0; i < dbs.size(); ++i) {
-    plans.push_back(make_plan(dbs[i]->name()));
+  sc.dbs = {sc.db1.get(), sc.db2.get()};
+  if (sc.has_db3) sc.dbs.push_back(sc.db3.get());
+  for (size_t i = 0; i < sc.dbs.size(); ++i) {
+    sc.plans.push_back(make_plan(sc.dbs[i]->name()));
   }
   // Deterministic rendering of the schedule EXCLUDING restart windows; the
   // dedicated-rng pin test asserts it is byte-identical whether or not
   // source restarts are enabled for this seed.
-  result.fault_plan_dump = "t_end=" + std::to_string(t_end) + "\n";
-  for (size_t i = 0; i < dbs.size(); ++i) {
-    const FaultPlan& p = plans[i];
-    result.fault_plan_dump +=
-        dbs[i]->name() + ": jitter=" + std::to_string(p.delay_jitter_max) +
+  sc.fault_plan_dump = "t_end=" + std::to_string(t_end) + "\n";
+  for (size_t i = 0; i < sc.dbs.size(); ++i) {
+    const FaultPlan& p = sc.plans[i];
+    sc.fault_plan_dump +=
+        sc.dbs[i]->name() + ": jitter=" + std::to_string(p.delay_jitter_max) +
         " drop=" + std::to_string(p.drop_prob) +
         " dup=" + std::to_string(p.dup_prob) +
         " arq=" + std::to_string(p.retransmit_timeout) +
@@ -199,25 +225,25 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
         std::to_string(p.slow_poll_delay) + " crashes=";
     for (const auto& [name, windows] : p.crashes) {
       for (const CrashWindow& w : windows) {
-        result.fault_plan_dump += "[" + std::to_string(w.start) + "," +
-                                  std::to_string(w.end) + "]";
+        sc.fault_plan_dump += "[" + std::to_string(w.start) + "," +
+                              std::to_string(w.end) + "]";
       }
     }
-    result.fault_plan_dump += "\n";
+    sc.fault_plan_dump += "\n";
   }
-  result.fault_plan_dump += "mediator:";
-  for (const CrashWindow& w : med_windows) {
-    result.fault_plan_dump +=
+  sc.fault_plan_dump += "mediator:";
+  for (const CrashWindow& w : sc.med_windows) {
+    sc.fault_plan_dump +=
         " [" + std::to_string(w.start) + "," + std::to_string(w.end) + "]";
   }
-  result.fault_plan_dump += "\n";
+  sc.fault_plan_dump += "\n";
   // Source restart windows draw from a DEDICATED rng stream, after every
   // other schedule decision: the draws above are identical with restarts on
   // or off, so a restart run's baseline is simply the same seed without
   // restarts.
   if (opts.source_restarts > 0) {
     Rng restart_rng(seed * 0xA24BAED4963EE407ULL + 99991);
-    for (size_t i = 0; i < dbs.size(); ++i) {
+    for (size_t i = 0; i < sc.dbs.size(); ++i) {
       int windows =
           static_cast<int>(restart_rng.Uniform(opts.source_restarts + 1));
       Time cursor = 6.0;
@@ -225,37 +251,219 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
         Time start = cursor + restart_rng.UniformDouble() * t_end * 0.5;
         Time end = start + 0.5 + restart_rng.UniformDouble() * 5.0;
         if (end >= t_end - 2.0) break;
-        plans[i].restarts[dbs[i]->name()].push_back({start, end});
+        sc.plans[i].restarts[sc.dbs[i]->name()].push_back({start, end});
         cursor = end + 3.0;
       }
     }
-  }
-  std::vector<std::unique_ptr<FaultInjector>> injectors;
-  for (size_t i = 0; i < dbs.size(); ++i) {
-    injectors.push_back(
-        std::make_unique<FaultInjector>(plans[i], seed + 1000 + i));
   }
 
   // ---- mediator configuration; the final re-poll deadline
   // (poll_timeout * backoff^retries >= 12) comfortably exceeds the
   // worst-case healthy round trip, so post-fault rounds always complete ----
+  sc.options.update_period =
+      rng.Bernoulli(0.5) ? 0.0 : rng.UniformDouble() * 3;
+  sc.options.u_proc_delay = rng.UniformDouble() * 0.2;
+  sc.options.q_proc_delay = rng.UniformDouble() * 0.2;
+  sc.options.poll_timeout = 1.5 + rng.UniformDouble() * 2.0;
+  sc.options.poll_backoff = 2.0;
+  sc.options.poll_max_retries = 3;
+  sc.options.txn_retry_delay = 0.5 + rng.UniformDouble();
+  sc.options.use_indexes = opts.use_indexes;
+  sc.options.coalesce_window = opts.coalesce_window;
+  sc.options.degraded_reads = opts.degraded_reads;
+  sc.options.max_queue_depth = opts.max_queue_depth;
+  sc.options.iup_threads = opts.iup_threads;
+  sc.options.iup_perturb_seed = opts.iup_perturb_seed;
+  sc.options.mvcc_reads = opts.mvcc_reads;
+  sc.options.columnar = opts.columnar;
+  for (size_t i = 0; i < sc.dbs.size(); ++i) {
+    SimLink l;
+    l.comm_delay = 0.2 + rng.UniformDouble() * 0.5;
+    l.q_proc_delay = 0.1 + rng.UniformDouble() * 0.3;
+    l.announce_period = rng.Bernoulli(0.5) ? 0.0 : rng.UniformDouble() * 2;
+    sc.links.push_back(l);
+  }
+
+  // ---- initial contents (joinable value schemes: r2/s1/u1 in 100*[0,3]) ----
+  std::map<int64_t, Tuple> r_rows = {{1, Tuple({1, 100, 11, 100})}};
+  std::map<int64_t, Tuple> s_rows = {{100, Tuple({100, 5, 10})}};
+  std::map<int64_t, Tuple> u_rows;
+  SQ_RETURN_IF_ERROR(sc.db1->InsertTuple(0, "R", r_rows[1]));
+  SQ_RETURN_IF_ERROR(sc.db2->InsertTuple(0, "S", s_rows[100]));
+  if (sc.has_db3) {
+    u_rows[100] = Tuple({100, 7});
+    SQ_RETURN_IF_ERROR(sc.db3->InsertTuple(0, "U", u_rows[100]));
+  }
+
+  // ---- the workload (all randomness drawn now, none at deploy time, so
+  // the whole event sequence is a function of the seed) ----
+  auto commit = [&sc](SimOp::Kind kind, Time when, size_t db,
+                      const std::string& rel, const Tuple& tup) {
+    SimOp op;
+    op.kind = kind;
+    op.when = when;
+    op.db = db;
+    op.relation = rel;
+    op.tuple = tup;
+    sc.ops.push_back(std::move(op));
+  };
+  for (Time when : event_times) {
+    double dice = rng.UniformDouble();
+    if (dice < 0.30) {
+      // Commit on R.
+      if (!r_rows.empty() && rng.Bernoulli(0.4)) {
+        auto it = r_rows.begin();
+        std::advance(it, rng.Uniform(r_rows.size()));
+        Tuple victim = it->second;
+        r_rows.erase(it);
+        commit(SimOp::kDelete, when, 0, "R", victim);
+      } else {
+        int64_t key = rng.UniformInt(0, 40);
+        if (r_rows.count(key)) continue;
+        Tuple tup({key, rng.UniformInt(0, 4) * 100, rng.UniformInt(0, 99),
+                   rng.Bernoulli(0.7) ? int64_t{100} : int64_t{7}});
+        r_rows[key] = tup;
+        commit(SimOp::kInsert, when, 0, "R", tup);
+      }
+    } else if (dice < 0.55) {
+      // Commit on S.
+      if (!s_rows.empty() && rng.Bernoulli(0.4)) {
+        auto it = s_rows.begin();
+        std::advance(it, rng.Uniform(s_rows.size()));
+        Tuple victim = it->second;
+        s_rows.erase(it);
+        commit(SimOp::kDelete, when, 1, "S", victim);
+      } else {
+        int64_t key = rng.UniformInt(0, 4) * 100;
+        if (s_rows.count(key)) continue;
+        Tuple tup({key, rng.UniformInt(0, 9), rng.UniformInt(0, 99)});
+        s_rows[key] = tup;
+        commit(SimOp::kInsert, when, 1, "S", tup);
+      }
+    } else if (sc.has_db3 && dice < 0.70) {
+      // Commit on U.
+      if (!u_rows.empty() && rng.Bernoulli(0.4)) {
+        auto it = u_rows.begin();
+        std::advance(it, rng.Uniform(u_rows.size()));
+        Tuple victim = it->second;
+        u_rows.erase(it);
+        commit(SimOp::kDelete, when, 2, "U", victim);
+      } else {
+        int64_t key = rng.UniformInt(0, 4) * 100;
+        if (u_rows.count(key)) continue;
+        Tuple tup({key, rng.UniformInt(0, 99)});
+        u_rows[key] = tup;
+        commit(SimOp::kInsert, when, 2, "U", tup);
+      }
+    } else {
+      SimOp op;
+      op.kind = SimOp::kQuery;
+      op.when = when;
+      if (sc.has_db3 && rng.Bernoulli(0.4)) {
+        op.query.relation = "W";
+        if (rng.Bernoulli(0.5)) op.query.attrs = {"s1", "u2"};
+      } else {
+        op.query.relation = "T";
+        if (rng.Bernoulli(0.5)) {
+          op.query.attrs = {"r1", "s1"};
+        } else {
+          op.query.attrs = {"r1", "r3", "s2"};
+          if (rng.Bernoulli(0.5)) {
+            SQ_ASSIGN_OR_RETURN(op.query.cond, ParsePredicate("r3 < 50"));
+          }
+        }
+      }
+      sc.ops.push_back(std::move(op));
+    }
+  }
+  return sc;
+}
+
+/// The lying-disk plan shared by every deployment shape.
+StorageFaultPlan MakeStoragePlan(const FaultSimOptions& opts) {
+  using SF = FaultSimOptions::StorageFault;
+  StorageFaultPlan sp;
+  sp.max_faults = opts.storage_max_faults;
+  switch (opts.storage_fault) {
+    case SF::kTornAppend:
+      sp.torn_append_prob = 0.05;
+      break;
+    case SF::kBitFlip:
+      sp.bitflip_prob = 0.05;
+      break;
+    case SF::kFsyncDrop:
+      sp.fsync_drop_prob = 0.05;
+      break;
+    case SF::kEnospc:
+      sp.enospc_prob = 0.05;
+      sp.enospc_len = 3;
+      break;
+    case SF::kCheckpointCorrupt:
+      // Checkpoint frames are rare; a higher rate keeps the sweep from
+      // injecting nothing on most seeds.
+      sp.bitflip_prob = 0.35;
+      sp.target_checkpoints = true;
+      break;
+    case SF::kNone:
+      break;
+  }
+  return sp;
+}
+
+/// Schedules every pre-drawn workload op: commits against the autonomous
+/// sources, queries against \p query_target (the root mediator).
+void ScheduleOps(Scenario& sc, Scheduler& scheduler, Mediator* query_target,
+                 FaultSimResult* result, std::string* bad_status) {
+  for (const SimOp& op : sc.ops) {
+    if (op.kind == SimOp::kQuery) {
+      Mediator* mediator = query_target;
+      ViewQuery q = op.query;
+      scheduler.At(op.when, [mediator, q, result, bad_status]() {
+        mediator->SubmitQuery(
+            q, [result, bad_status](Result<ViewAnswer> ans) {
+              if (ans.ok()) {
+                if (ans.value().degraded) {
+                  ++result->queries_degraded;  // stale-but-annotated answer
+                } else {
+                  ++result->queries_ok;
+                }
+              } else if (ans.status().code() == StatusCode::kUnavailable) {
+                ++result->queries_failed;  // legal fail-over under faults
+              } else if (bad_status->empty()) {
+                *bad_status = ans.status().ToString();
+              }
+            });
+      });
+      continue;
+    }
+    SourceDb* db = sc.dbs[op.db];
+    std::string rel = op.relation;
+    Tuple tup = op.tuple;
+    if (op.kind == SimOp::kInsert) {
+      scheduler.At(op.when, [db, rel, tup, &scheduler]() {
+        (void)db->InsertTuple(scheduler.Now(), rel, tup);
+      });
+    } else {
+      scheduler.At(op.when, [db, rel, tup, &scheduler]() {
+        (void)db->DeleteTuple(scheduler.Now(), rel, tup);
+      });
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Single-mediator deployment (the classic RunFaultSim body).
+// ---------------------------------------------------------------------------
+Result<FaultSimResult> RunSingle(uint64_t seed, const FaultSimOptions& opts,
+                                 Scenario& sc, FaultSimResult result) {
+  std::vector<std::unique_ptr<FaultInjector>> injectors;
+  for (size_t i = 0; i < sc.dbs.size(); ++i) {
+    injectors.push_back(
+        std::make_unique<FaultInjector>(sc.plans[i], seed + 1000 + i));
+  }
+
   Scheduler scheduler;
-  MediatorOptions options;
-  options.update_period = rng.Bernoulli(0.5) ? 0.0 : rng.UniformDouble() * 3;
-  options.u_proc_delay = rng.UniformDouble() * 0.2;
-  options.q_proc_delay = rng.UniformDouble() * 0.2;
-  options.poll_timeout = 1.5 + rng.UniformDouble() * 2.0;
-  options.poll_backoff = 2.0;
-  options.poll_max_retries = 3;
-  options.txn_retry_delay = 0.5 + rng.UniformDouble();
-  options.use_indexes = opts.use_indexes;
-  options.coalesce_window = opts.coalesce_window;
-  options.degraded_reads = opts.degraded_reads;
-  options.max_queue_depth = opts.max_queue_depth;
-  options.iup_threads = opts.iup_threads;
-  options.iup_perturb_seed = opts.iup_perturb_seed;
-  options.mvcc_reads = opts.mvcc_reads;
-  options.columnar = opts.columnar;
+  MediatorOptions options = sc.options;
   MemLogDevice log_dev;
   std::unique_ptr<FaultyLogDevice> faulty_dev;
   if (opts.durability) {
@@ -266,33 +474,8 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
       // Wrap the in-memory device in a seeded lying disk. The decorator
       // delegates LSN numbering (and the crash-point append hook) to the
       // inner device, so the sweeps compose.
-      using SF = FaultSimOptions::StorageFault;
-      StorageFaultPlan sp;
-      sp.max_faults = opts.storage_max_faults;
-      switch (opts.storage_fault) {
-        case SF::kTornAppend:
-          sp.torn_append_prob = 0.05;
-          break;
-        case SF::kBitFlip:
-          sp.bitflip_prob = 0.05;
-          break;
-        case SF::kFsyncDrop:
-          sp.fsync_drop_prob = 0.05;
-          break;
-        case SF::kEnospc:
-          sp.enospc_prob = 0.05;
-          sp.enospc_len = 3;
-          break;
-        case SF::kCheckpointCorrupt:
-          // Checkpoint frames are rare; a higher rate keeps the sweep from
-          // injecting nothing on most seeds.
-          sp.bitflip_prob = 0.35;
-          sp.target_checkpoints = true;
-          break;
-        case SF::kNone:
-          break;
-      }
-      faulty_dev = std::make_unique<FaultyLogDevice>(&log_dev, sp, seed);
+      faulty_dev = std::make_unique<FaultyLogDevice>(
+          &log_dev, MakeStoragePlan(opts), seed);
       options.durability.device = faulty_dev.get();
       // A lying disk can lose an acknowledged log tail without a trace;
       // paranoid resync-on-recovery is the documented deployment answer.
@@ -300,29 +483,19 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
     }
   }
   std::vector<SourceSetup> setups;
-  for (size_t i = 0; i < dbs.size(); ++i) {
+  for (size_t i = 0; i < sc.dbs.size(); ++i) {
     SourceSetup s;
-    s.db = dbs[i];
-    s.comm_delay = 0.2 + rng.UniformDouble() * 0.5;
-    s.q_proc_delay = 0.1 + rng.UniformDouble() * 0.3;
-    s.announce_period = rng.Bernoulli(0.5) ? 0.0 : rng.UniformDouble() * 2;
+    s.db = sc.dbs[i];
+    s.comm_delay = sc.links[i].comm_delay;
+    s.q_proc_delay = sc.links[i].q_proc_delay;
+    s.announce_period = sc.links[i].announce_period;
     s.faults = injectors[i].get();
     setups.push_back(s);
   }
 
-  // ---- initial contents (joinable value schemes: r2/s1/u1 in 100*[0,3]) ----
-  std::map<int64_t, Tuple> r_rows = {{1, Tuple({1, 100, 11, 100})}};
-  std::map<int64_t, Tuple> s_rows = {{100, Tuple({100, 5, 10})}};
-  std::map<int64_t, Tuple> u_rows;
-  SQ_RETURN_IF_ERROR(db1->InsertTuple(0, "R", r_rows[1]));
-  SQ_RETURN_IF_ERROR(db2->InsertTuple(0, "S", s_rows[100]));
-  if (has_db3) {
-    u_rows[100] = Tuple({100, 7});
-    SQ_RETURN_IF_ERROR(db3->InsertTuple(0, "U", u_rows[100]));
-  }
-
-  SQ_ASSIGN_OR_RETURN(std::unique_ptr<Mediator> med,
-                      Mediator::Create(vdp, ann, setups, &scheduler, options));
+  SQ_ASSIGN_OR_RETURN(
+      std::unique_ptr<Mediator> med,
+      Mediator::Create(sc.vdp, sc.ann, setups, &scheduler, options));
   Mediator* mediator = med.get();
 
   // Crash-point sweep: one-shot atomic crash+recover scheduled as a fresh
@@ -364,7 +537,7 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
   SQ_RETURN_IF_ERROR(med->Start());
 
   // ---- mediator crash/restart schedule ----
-  for (const CrashWindow& w : med_windows) {
+  for (const CrashWindow& w : sc.med_windows) {
     scheduler.At(w.start, [mediator]() { mediator->Crash(); });
     scheduler.At(w.end, [mediator, &on_recover]() {
       on_recover(mediator->Recover());
@@ -374,117 +547,19 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
   // enough in the drain for the paranoid resyncs to complete. This is the
   // recovery that actually READS the lying disk's damage ----
   if (opts.final_crash_recover) {
-    scheduler.At(t_end + opts.drain * 0.5, [mediator, &on_recover]() {
+    scheduler.At(sc.t_end + opts.drain * 0.5, [mediator, &on_recover]() {
       on_recover(mediator->CrashAndRecover());
     });
   }
 
-  // ---- schedule the workload (all randomness drawn now, none at run time,
-  // so the whole event sequence is a function of the seed) ----
+  // ---- schedule the pre-drawn workload ----
   std::string bad_status;
-  auto submit_query = [&scheduler, mediator, &result, &bad_status](
-                          Time at, ViewQuery q) {
-    scheduler.At(at, [mediator, q, &result, &bad_status]() {
-      mediator->SubmitQuery(
-          q, [&result, &bad_status](Result<ViewAnswer> ans) {
-            if (ans.ok()) {
-              if (ans.value().degraded) {
-                ++result.queries_degraded;  // stale-but-annotated answer
-              } else {
-                ++result.queries_ok;
-              }
-            } else if (ans.status().code() == StatusCode::kUnavailable) {
-              ++result.queries_failed;  // legal fail-over under faults
-            } else if (bad_status.empty()) {
-              bad_status = ans.status().ToString();
-            }
-          });
-    });
-  };
-  for (Time when : event_times) {
-    double dice = rng.UniformDouble();
-    if (dice < 0.30) {
-      // Commit on R.
-      if (!r_rows.empty() && rng.Bernoulli(0.4)) {
-        auto it = r_rows.begin();
-        std::advance(it, rng.Uniform(r_rows.size()));
-        Tuple victim = it->second;
-        r_rows.erase(it);
-        scheduler.At(when, [&db1, victim, &scheduler]() {
-          (void)db1->DeleteTuple(scheduler.Now(), "R", victim);
-        });
-      } else {
-        int64_t key = rng.UniformInt(0, 40);
-        if (r_rows.count(key)) continue;
-        Tuple tup({key, rng.UniformInt(0, 4) * 100, rng.UniformInt(0, 99),
-                   rng.Bernoulli(0.7) ? int64_t{100} : int64_t{7}});
-        r_rows[key] = tup;
-        scheduler.At(when, [&db1, tup, &scheduler]() {
-          (void)db1->InsertTuple(scheduler.Now(), "R", tup);
-        });
-      }
-    } else if (dice < 0.55) {
-      // Commit on S.
-      if (!s_rows.empty() && rng.Bernoulli(0.4)) {
-        auto it = s_rows.begin();
-        std::advance(it, rng.Uniform(s_rows.size()));
-        Tuple victim = it->second;
-        s_rows.erase(it);
-        scheduler.At(when, [&db2, victim, &scheduler]() {
-          (void)db2->DeleteTuple(scheduler.Now(), "S", victim);
-        });
-      } else {
-        int64_t key = rng.UniformInt(0, 4) * 100;
-        if (s_rows.count(key)) continue;
-        Tuple tup({key, rng.UniformInt(0, 9), rng.UniformInt(0, 99)});
-        s_rows[key] = tup;
-        scheduler.At(when, [&db2, tup, &scheduler]() {
-          (void)db2->InsertTuple(scheduler.Now(), "S", tup);
-        });
-      }
-    } else if (has_db3 && dice < 0.70) {
-      // Commit on U.
-      if (!u_rows.empty() && rng.Bernoulli(0.4)) {
-        auto it = u_rows.begin();
-        std::advance(it, rng.Uniform(u_rows.size()));
-        Tuple victim = it->second;
-        u_rows.erase(it);
-        scheduler.At(when, [&db3, victim, &scheduler]() {
-          (void)db3->DeleteTuple(scheduler.Now(), "U", victim);
-        });
-      } else {
-        int64_t key = rng.UniformInt(0, 4) * 100;
-        if (u_rows.count(key)) continue;
-        Tuple tup({key, rng.UniformInt(0, 99)});
-        u_rows[key] = tup;
-        scheduler.At(when, [&db3, tup, &scheduler]() {
-          (void)db3->InsertTuple(scheduler.Now(), "U", tup);
-        });
-      }
-    } else {
-      ViewQuery q;
-      if (has_db3 && rng.Bernoulli(0.4)) {
-        q.relation = "W";
-        if (rng.Bernoulli(0.5)) q.attrs = {"s1", "u2"};
-      } else {
-        q.relation = "T";
-        if (rng.Bernoulli(0.5)) {
-          q.attrs = {"r1", "s1"};
-        } else {
-          q.attrs = {"r1", "r3", "s2"};
-          if (rng.Bernoulli(0.5)) {
-            SQ_ASSIGN_OR_RETURN(q.cond, ParsePredicate("r3 < 50"));
-          }
-        }
-      }
-      submit_query(when, q);
-    }
-  }
+  ScheduleOps(sc, scheduler, mediator, &result, &bad_status);
 
   // ---- run to quiescence: all faults are over by t_end, so within the
   // drain every retransmit lands, every aborted transaction retries
   // successfully, and the queue empties ----
-  scheduler.RunUntil(t_end + opts.drain);
+  scheduler.RunUntil(sc.t_end + opts.drain);
   auto fill_storage = [&result, &faulty_dev, &injectors](
                           const MediatorStats& s) {
     if (faulty_dev != nullptr) {
@@ -522,6 +597,7 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
     result.corrupted = true;
     result.corrupted_diag = corrupted_status.ToString();
     result.stats = mediator->stats();
+    result.stats_dump = result.stats.ToString();
     fill_storage(result.stats);
     result.trace_dump = mediator->trace().ToString(/*include_data=*/true) +
                         "corrupted: " + result.corrupted_diag + "\n" +
@@ -548,11 +624,11 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
 
   // ---- every export must equal a from-scratch recomputation over the
   // final source states ----
-  ConsistencyChecker checker(&vdp, &mediator->annotation(),
-                             {dbs.begin(), dbs.end()});
-  const Time t_fq = t_end + opts.drain + 10.0;
+  ConsistencyChecker checker(&sc.vdp, &mediator->annotation(),
+                             {sc.dbs.begin(), sc.dbs.end()});
+  const Time t_fq = sc.t_end + opts.drain + 10.0;
   std::map<std::string, Result<ViewAnswer>> final_answers;
-  for (const std::string& exp : vdp.ExportNames()) {
+  for (const std::string& exp : sc.vdp.ExportNames()) {
     ViewQuery q;
     q.relation = exp;
     final_answers.emplace(exp, Status::Internal("no answer"));
@@ -563,8 +639,8 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
     });
   }
   scheduler.RunUntil(t_fq + 100.0);
-  TimeVector final_at(dbs.size(), t_end + 1.0);
-  for (const std::string& exp : vdp.ExportNames()) {
+  TimeVector final_at(sc.dbs.size(), sc.t_end + 1.0);
+  for (const std::string& exp : sc.vdp.ExportNames()) {
     const Result<ViewAnswer>& ans = final_answers.at(exp);
     if (!ans.ok()) {
       return Status::Internal(SeedTag(seed) + "final query on " + exp +
@@ -635,7 +711,7 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
   result.wal_records = mediator->durability().records_logged();
   result.checkpoints = mediator->durability().checkpoints_written();
   result.coalesced_msgs = mediator->CoalescedMessages();
-  for (SourceDb* db : dbs) result.source_restarts += db->epoch() - 1;
+  for (SourceDb* db : sc.dbs) result.source_restarts += db->epoch() - 1;
   const MediatorStats& ms = result.stats;
   result.epoch_bumps = ms.epoch_bumps;
   result.resyncs_started = ms.resyncs_started;
@@ -683,7 +759,449 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
       "\n";
   fill_storage(ms);
   result.trace_dump += storage_line();
+  result.stats_dump = ms.ToString();
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// Sharded deployment: the same scenario split across a mediator tree, each
+// child exposed to its parent as one more SourceDb via an ExportAnnouncer.
+// ---------------------------------------------------------------------------
+
+/// The VDP partition for a topology. The child tiers own as much of the dag
+/// as can announce deltas (their exports are forced fully materialized); the
+/// root keeps the scenario's annotation on whatever it owns, so query-time
+/// behavior matches the unsharded deployment.
+std::vector<ShardSpec> SpecsFor(FaultSimOptions::Topology topo, bool has_db3) {
+  using T = FaultSimOptions::Topology;
+  if (topo == T::kTwoShard) {
+    if (has_db3) {
+      return {{"top", "", {"R'", "S'", "T"}}, {"shardA", "top", {"S2", "U'", "W"}}};
+    }
+    return {{"top", "", {"R'", "T"}}, {"shardA", "top", {"S'"}}};
+  }
+  // Three tiers: the top owns nothing and serves the exports it imports
+  // through the middle tier (which passes the bottom shard's export up).
+  if (has_db3) {
+    return {{"top", "", {}},
+            {"mid", "top", {"R'", "S'", "T"}},
+            {"shardA", "mid", {"S2", "U'", "W"}}};
+  }
+  return {{"top", "", {}}, {"mid", "top", {"R'", "T"}}, {"shardA", "mid", {"S'"}}};
+}
+
+Result<FaultSimResult> RunSharded(uint64_t seed, const FaultSimOptions& opts,
+                                  Scenario& sc, FaultSimResult result) {
+  SQ_ASSIGN_OR_RETURN(ShardPlan plan,
+                      ShardPlan::Build(sc.vdp, SpecsFor(opts.topology,
+                                                        sc.has_db3)));
+  // Every sharded-only draw (child crash windows, mirror-link faults and
+  // delays) comes from this dedicated stream, keeping the scenario itself
+  // byte-identical to the single-mediator deployment of the same seed.
+  Rng srng(seed * 0x9E3779B97F4A7C15ULL + 424243);
+  Scheduler scheduler;
+
+  struct Tier {
+    const Shard* shard = nullptr;
+    std::vector<CrashWindow> windows;
+    std::unique_ptr<MemLogDevice> dev;
+    std::unique_ptr<FaultyLogDevice> faulty;
+    std::vector<SourceDb*> sources;  // wired setup order (real + mirrors)
+    std::unique_ptr<Mediator> med;
+    std::unique_ptr<ExportAnnouncer> exporter;  // non-root only
+    std::vector<Time> recovery_times;
+  };
+  std::vector<Tier> tiers(plan.shards().size());
+
+  // Crash windows first (they feed the link fault plans below): the root
+  // reuses the scenario's shared mediator windows; every child tier draws
+  // its own schedule with the same slice structure.
+  for (size_t ti = 0; ti < tiers.size(); ++ti) {
+    tiers[ti].shard = &plan.shards()[ti];
+    if (tiers[ti].shard->is_root()) {
+      tiers[ti].windows = sc.med_windows;
+      continue;
+    }
+    if (opts.mediator_crashes > 0 && opts.durability) {
+      Time span = (sc.t_end - 8.0) / opts.mediator_crashes;
+      for (int w = 0; w < opts.mediator_crashes && span > 1.0; ++w) {
+        Time lo = 5.0 + w * span;
+        Time start = lo + srng.UniformDouble() * span * 0.5;
+        Time end = start + 0.5 + srng.UniformDouble() * span * 0.4;
+        if (end < sc.t_end - 2.0) tiers[ti].windows.push_back({start, end});
+      }
+    }
+  }
+
+  std::vector<std::unique_ptr<FaultInjector>> injectors;
+  std::map<std::string, bool> restarts_taken;  // real db -> consumer assigned
+  uint64_t link_ordinal = 0;
+  // Children first: a parent's setups need its child's mirror to exist.
+  for (size_t ti = 0; ti < tiers.size(); ++ti) {
+    Tier& tier = tiers[ti];
+    SQ_ASSIGN_OR_RETURN(auto built, plan.BuildVdp(*tier.shard, sc.ann));
+    std::vector<SourceSetup> setups;
+    std::set<std::string> wired;
+    for (const auto& name : built.first.TopoOrder()) {
+      const VdpNode* n = built.first.Find(name);
+      if (!n->is_leaf || !wired.insert(n->source_db).second) continue;
+      SourceSetup s;
+      FaultPlan p;
+      size_t dbi = sc.dbs.size();
+      for (size_t i = 0; i < sc.dbs.size(); ++i) {
+        if (sc.dbs[i]->name() == n->source_db) dbi = i;
+      }
+      if (dbi < sc.dbs.size()) {
+        // A real source: reuse the scenario's link characteristics and
+        // fault plan, retargeting the mediator-downtime windows at THIS
+        // tier. A db feeding several tiers must restart once per window,
+        // so only its first consumer owns the restart schedule.
+        s.db = sc.dbs[dbi];
+        s.comm_delay = sc.links[dbi].comm_delay;
+        s.q_proc_delay = sc.links[dbi].q_proc_delay;
+        s.announce_period = sc.links[dbi].announce_period;
+        p = sc.plans[dbi];
+        p.mediator_crashes = tier.windows;
+        bool& taken = restarts_taken[n->source_db];
+        s.schedule_restarts = !taken;
+        taken = true;
+      } else {
+        // A child shard's mirror: the inter-mediator link gets the same
+        // fault model as a real source link, drawn from the sharded
+        // stream. The child's own crash windows double as the mirror's
+        // source-crash windows — a down shard is an unreachable source.
+        size_t child_ti = tiers.size();
+        for (size_t tj = 0; tj < ti; ++tj) {
+          if (tiers[tj].shard->name == n->source_db) child_ti = tj;
+        }
+        if (child_ti == tiers.size()) {
+          return Status::Internal("shard " + tier.shard->name +
+                                  " wired before its child " + n->source_db);
+        }
+        s.db = tiers[child_ti].exporter->mirror();
+        s.comm_delay = 0.2 + srng.UniformDouble() * 0.5;
+        s.q_proc_delay = 0.1 + srng.UniformDouble() * 0.3;
+        s.announce_period =
+            srng.Bernoulli(0.5) ? 0.0 : srng.UniformDouble() * 2;
+        p.snapshot_corrupt_prob = opts.snapshot_corrupt_prob;
+        p.delay_jitter_max = srng.UniformDouble() * 0.4;
+        p.drop_prob = srng.UniformDouble() * 0.25;
+        p.dup_prob = srng.UniformDouble() * 0.15;
+        p.retransmit_timeout = 0.2 + srng.UniformDouble() * 0.5;
+        p.slow_poll_prob = srng.UniformDouble() * 0.3;
+        p.slow_poll_delay = srng.UniformDouble() * 1.5;
+        p.crash_probe_period = 0.5;
+        p.active_until = sc.t_end;
+        p.crashes[n->source_db] = tiers[child_ti].windows;
+        p.mediator_crashes = tier.windows;
+      }
+      injectors.push_back(
+          std::make_unique<FaultInjector>(p, seed + 1000 + link_ordinal++));
+      s.faults = injectors.back().get();
+      tier.sources.push_back(s.db);
+      setups.push_back(s);
+    }
+    MediatorOptions options = sc.options;
+    if (opts.durability) {
+      tier.dev = std::make_unique<MemLogDevice>();
+      options.durability.device = tier.dev.get();
+      options.durability.wal = opts.wal;
+      options.durability.checkpoint_every = opts.checkpoint_every;
+      if (opts.storage_fault != FaultSimOptions::StorageFault::kNone) {
+        tier.faulty = std::make_unique<FaultyLogDevice>(
+            tier.dev.get(), MakeStoragePlan(opts),
+            seed + 0x9E3779B9ULL * (ti + 1));
+        options.durability.device = tier.faulty.get();
+        options.durability.resync_on_recovery = true;
+      }
+    }
+    SQ_ASSIGN_OR_RETURN(tier.med,
+                        Mediator::Create(built.first, built.second, setups,
+                                         &scheduler, options));
+    SQ_RETURN_IF_ERROR(tier.med->Start());
+    if (!tier.shard->is_root()) {
+      SQ_ASSIGN_OR_RETURN(
+          tier.exporter,
+          ExportAnnouncer::Create(tier.med.get(), tier.shard->name,
+                                  tier.shard->exports, &scheduler));
+    }
+  }
+
+  // ---- crash/recovery schedules. A recovered child immediately re-bases
+  // its mirror (epoch bump + corrective delta) so the parent's normal
+  // suspect -> resyncing path re-converges; a kCorrupted child stays down
+  // and the run reports the refusal like the single-mediator path does ----
+  std::string recover_error;
+  Status corrupted_status = Status::OK();
+  auto handle_recover = [&tiers, &scheduler, &recover_error,
+                         &corrupted_status](size_t ti, const Status& st) {
+    tiers[ti].recovery_times.push_back(scheduler.Now());
+    if (st.ok()) {
+      if (!tiers[ti].shard->is_root()) {
+        Status es = tiers[ti].exporter->OnChildRecovered();
+        if (!es.ok() && recover_error.empty()) {
+          recover_error = "shard " + tiers[ti].shard->name +
+                          " re-export failed: " + es.ToString();
+        }
+      }
+      return;
+    }
+    if (st.code() == StatusCode::kCorrupted) {
+      if (corrupted_status.ok()) corrupted_status = st;
+    } else if (recover_error.empty()) {
+      recover_error = "shard " + tiers[ti].shard->name + ": " + st.ToString();
+    }
+  };
+  for (size_t ti = 0; ti < tiers.size(); ++ti) {
+    Mediator* m = tiers[ti].med.get();
+    for (const CrashWindow& w : tiers[ti].windows) {
+      scheduler.At(w.start, [m]() { m->Crash(); });
+      scheduler.At(w.end, [&handle_recover, m, ti]() {
+        handle_recover(ti, m->Recover());
+      });
+    }
+    // Storage-fault sweeps: each tier takes its final crash+recover in
+    // child-before-parent order, so a parent's recovery resync sees a
+    // mirror that has already been re-based.
+    if (opts.final_crash_recover) {
+      scheduler.At(sc.t_end + opts.drain * 0.5 + 2.0 * ti,
+                   [&handle_recover, m, ti]() {
+                     handle_recover(ti, m->CrashAndRecover());
+                   });
+    }
+  }
+
+  // ---- schedule the pre-drawn workload: commits against the real sources,
+  // queries against the root ----
+  std::string bad_status;
+  Mediator* root = tiers.back().med.get();
+  ScheduleOps(sc, scheduler, root, &result, &bad_status);
+
+  scheduler.RunUntil(sc.t_end + opts.drain);
+
+  result.shards = tiers.size();
+  for (const auto& inj : injectors) {
+    result.transmissions_lost += inj->counters().transmissions_lost;
+    result.duplicates += inj->counters().duplicates;
+    result.blackholed += inj->counters().blackholed;
+    result.slow_polls += inj->counters().slow_polls;
+    result.mediator_retransmits += inj->counters().mediator_retransmits;
+    result.payloads_corrupted += inj->counters().payloads_corrupted;
+  }
+  for (const Tier& tier : tiers) {
+    const MediatorStats& s = tier.med->stats();
+    if (tier.faulty != nullptr) {
+      result.storage_faults_injected +=
+          static_cast<uint64_t>(tier.faulty->faults_injected());
+    }
+    result.mediator_crashes += s.mediator_crashes;
+    result.recoveries += s.recoveries;
+    result.recovery_txns_replayed += s.recovery_txns_replayed;
+    result.recovery_txns_rolled_back += s.recovery_txns_rolled_back;
+    result.recovery_msgs_requeued += s.recovery_msgs_requeued;
+    result.wal_records += tier.med->durability().records_logged();
+    result.checkpoints += tier.med->durability().checkpoints_written();
+    result.coalesced_msgs += tier.med->CoalescedMessages();
+    result.epoch_bumps += s.epoch_bumps;
+    result.resyncs_started += s.resyncs_started;
+    result.resyncs_completed += s.resyncs_completed;
+    result.snapshots_requested += s.snapshots_requested;
+    result.updates_dropped_resync += s.updates_dropped_resync;
+    result.updates_shed += s.updates_shed;
+    result.requarantines += s.requarantines;
+    result.wal_append_failures += s.wal_append_failures;
+    result.updates_dropped_wal += s.updates_dropped_wal;
+    result.recovery_tail_repairs += s.recovery_tail_repairs;
+    result.recovery_checkpoint_fallbacks += s.recovery_checkpoint_fallbacks;
+    result.resyncs_after_recovery += s.resyncs_after_recovery;
+    result.update_checksum_failures += s.update_checksum_failures;
+    result.snapshot_checksum_failures += s.snapshot_checksum_failures;
+    if (tier.exporter != nullptr) {
+      result.commits_mirrored += tier.exporter->commits_mirrored();
+      result.corrective_commits += tier.exporter->corrective_commits();
+    }
+  }
+  std::set<SourceDb*> all_sources;
+  for (const Tier& tier : tiers) {
+    all_sources.insert(tier.sources.begin(), tier.sources.end());
+  }
+  for (SourceDb* db : all_sources) result.source_restarts += db->epoch() - 1;
+  result.stats = root->stats();
+
+  // Deterministic per-tier rendering: the full trace plus EVERY stats
+  // counter of every mediator (replay identity covers counter drift), plus
+  // the cross-tier fault/mirror summary.
+  auto render_dumps = [&result, &tiers]() {
+    for (const Tier& tier : tiers) {
+      std::string section = "== shard " + tier.shard->name + " ==\n";
+      result.trace_dump +=
+          section + tier.med->trace().ToString(/*include_data=*/true);
+      result.stats_dump += section + tier.med->stats().ToString();
+    }
+    result.trace_dump +=
+        "faults: lost=" + std::to_string(result.transmissions_lost) +
+        " dups=" + std::to_string(result.duplicates) +
+        " blackholed=" + std::to_string(result.blackholed) +
+        " slow=" + std::to_string(result.slow_polls) +
+        " med_retransmits=" + std::to_string(result.mediator_retransmits) +
+        " payloads=" + std::to_string(result.payloads_corrupted) +
+        "\nmirror: commits=" + std::to_string(result.commits_mirrored) +
+        " corrective=" + std::to_string(result.corrective_commits) +
+        "\nstorage: injected=" +
+        std::to_string(result.storage_faults_injected) +
+        " wal_failures=" + std::to_string(result.wal_append_failures) +
+        " tail_repairs=" + std::to_string(result.recovery_tail_repairs) +
+        " ckpt_fallbacks=" +
+        std::to_string(result.recovery_checkpoint_fallbacks) + "\n";
+    result.trace_dump += result.stats_dump;
+  };
+  if (!corrupted_status.ok()) {
+    result.corrupted = true;
+    result.corrupted_diag = corrupted_status.ToString();
+    render_dumps();
+    result.trace_dump += "corrupted: " + result.corrupted_diag + "\n";
+    return result;
+  }
+  if (!recover_error.empty()) {
+    return Status::Internal(SeedTag(seed) +
+                            "mediator recovery failed: " + recover_error);
+  }
+  for (const Tier& tier : tiers) {
+    if (tier.med->crashed()) {
+      return Status::Internal(SeedTag(seed) + "shard " + tier.shard->name +
+                              " still crashed at drain");
+    }
+    if (tier.med->busy() || tier.med->QueueSize() != 0) {
+      return Status::Internal(
+          SeedTag(seed) + "shard " + tier.shard->name +
+          " no quiescence after drain: busy=" +
+          std::to_string(tier.med->busy()) +
+          " queue=" + std::to_string(tier.med->QueueSize()));
+    }
+  }
+  if (!bad_status.empty()) {
+    return Status::Internal(SeedTag(seed) + "query failed with non-fault " +
+                            "status: " + bad_status);
+  }
+
+  // ---- ground truth: the root's exports must equal a from-scratch
+  // recomputation of the UNSHARDED base VDP over the final real-source
+  // states — the same oracle the single-mediator run checks against, so
+  // passing runs are byte-identical across topologies by construction ----
+  ConsistencyChecker base_checker(&sc.vdp, &sc.ann,
+                                  {sc.dbs.begin(), sc.dbs.end()});
+  const Time t_fq = sc.t_end + opts.drain + 10.0;
+  std::map<std::string, Result<ViewAnswer>> final_answers;
+  for (const std::string& exp : sc.vdp.ExportNames()) {
+    ViewQuery q;
+    q.relation = exp;
+    final_answers.emplace(exp, Status::Internal("no answer"));
+    auto* slot = &final_answers.at(exp);
+    scheduler.At(t_fq, [root, q, slot]() {
+      root->SubmitQuery(
+          q, [slot](Result<ViewAnswer> ans) { *slot = std::move(ans); });
+    });
+  }
+  scheduler.RunUntil(t_fq + 100.0);
+  TimeVector final_at(sc.dbs.size(), sc.t_end + 1.0);
+  for (const std::string& exp : sc.vdp.ExportNames()) {
+    const Result<ViewAnswer>& ans = final_answers.at(exp);
+    if (!ans.ok()) {
+      return Status::Internal(SeedTag(seed) + "final query on " + exp +
+                              " failed: " + ans.status().ToString());
+    }
+    if (ans.value().degraded) {
+      return Status::Internal(SeedTag(seed) + "final query on " + exp +
+                              " was degraded (a shard never recovered)");
+    }
+    SQ_ASSIGN_OR_RETURN(Relation expected,
+                        base_checker.EvalNodeAt(exp, final_at));
+    std::string got = RowsString(ans.value().data);
+    std::string want = RowsString(expected.ToSet());
+    if (got != want) {
+      return Status::Internal(SeedTag(seed) + "final state of " + exp +
+                              " diverged from base recomputation:\n  got  " +
+                              got + "\n  want " + want);
+    }
+    result.final_exports += exp + ": " + got + "\n";
+    ++result.exports_checked;
+  }
+
+  if (opts.require_all_healthy) {
+    for (const Tier& tier : tiers) {
+      std::vector<std::string> quarantined = tier.med->QuarantinedSources();
+      if (!quarantined.empty()) {
+        return Status::Internal(SeedTag(seed) + "shard " + tier.shard->name +
+                                " source(s) still quarantined after drain: " +
+                                Join(quarantined, ", "));
+      }
+      std::vector<std::string> unhealthy =
+          tier.med->resync().UnhealthySources();
+      if (!unhealthy.empty()) {
+        return Status::Internal(SeedTag(seed) + "shard " + tier.shard->name +
+                                " source(s) still resyncing after drain: " +
+                                Join(unhealthy, ", "));
+      }
+    }
+  }
+
+  // ---- every tier's trace must independently pass the consistency checker
+  // against the sources IT consumed (mirrors keep full commit logs, so a
+  // parent's trace is checked against the child's announced history) ----
+  const bool lossy_storage =
+      opts.storage_fault != FaultSimOptions::StorageFault::kNone;
+  for (const Tier& tier : tiers) {
+    ConsistencyChecker checker(
+        &tier.med->vdp(), &tier.med->annotation(),
+        {tier.sources.begin(), tier.sources.end()});
+    SQ_ASSIGN_OR_RETURN(
+        ConsistencyReport report,
+        checker.Check(tier.med->trace(), lossy_storage
+                                             ? tier.recovery_times
+                                             : std::vector<Time>{}));
+    if (!report.consistent()) {
+      return Status::Internal(
+          SeedTag(seed) + "shard " + tier.shard->name +
+          " trace inconsistent: " +
+          (report.violations.empty() ? "no details" : report.violations[0]));
+    }
+  }
+
+  render_dumps();
+  return result;
+}
+
+}  // namespace
+
+Result<FaultSimResult> RunFaultSim(uint64_t seed,
+                                   const FaultSimOptions& opts) {
+  if ((opts.mediator_crashes > 0 || opts.crash_at_wal_record >= 0) &&
+      !opts.durability) {
+    return Status::InvalidArgument(
+        "mediator crashes require durability (nothing to recover from)");
+  }
+  if ((opts.storage_fault != FaultSimOptions::StorageFault::kNone ||
+       opts.final_crash_recover) &&
+      !opts.durability) {
+    return Status::InvalidArgument(
+        "storage faults require durability (there is no disk to lie)");
+  }
+  if (opts.topology != FaultSimOptions::Topology::kSingle &&
+      opts.crash_at_wal_record >= 0) {
+    return Status::InvalidArgument(
+        "the crash-point sweep targets one WAL; it is single-mediator only");
+  }
+  // Pin the engine mode (and a zero size threshold, so the small sim
+  // relations actually take the columnar paths) for the whole run.
+  columnar::ScopedColumnarMode scoped_columnar(opts.columnar, /*min_rows=*/0);
+  SQ_ASSIGN_OR_RETURN(Scenario sc, BuildScenario(seed, opts));
+  FaultSimResult result;
+  result.seed = seed;
+  result.fault_plan_dump = std::move(sc.fault_plan_dump);
+  if (opts.topology == FaultSimOptions::Topology::kSingle) {
+    return RunSingle(seed, opts, sc, std::move(result));
+  }
+  return RunSharded(seed, opts, sc, std::move(result));
 }
 
 }  // namespace testing

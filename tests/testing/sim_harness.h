@@ -112,6 +112,17 @@ struct FaultSimOptions {
   /// FaultPlan::snapshot_corrupt_prob — in-transit snapshot payload
   /// corruption the mediator must detect by checksum and re-request.
   double snapshot_corrupt_prob = 0;
+  // ---- sharded deployment (PR: mediator-as-a-source composition) ----
+  /// How the seed's scenario is deployed. kSingle is the classic one-mediator
+  /// run. kTwoShard splits the VDP into a child shard plus a root consuming
+  /// the child's exports through an ExportAnnouncer mirror; kThreeTier adds a
+  /// pass-through middle tier. The SCENARIO (sources, VDP, annotation, fault
+  /// schedules, workload) is drawn identically for every topology — only the
+  /// deployment differs — so final_exports must be byte-identical across
+  /// topologies of the same seed. Sharded-only randomness (mirror-link
+  /// faults, child crash windows) draws from a dedicated rng stream.
+  enum class Topology { kSingle = 0, kTwoShard, kThreeTier };
+  Topology topology = Topology::kSingle;
 };
 
 /// What one seeded schedule produced (for assertions and reporting).
@@ -179,6 +190,16 @@ struct FaultSimResult {
   uint64_t update_checksum_failures = 0;
   uint64_t snapshot_checksum_failures = 0;
   uint64_t payloads_corrupted = 0;  ///< injector-corrupted snapshot payloads
+  // Sharded-deployment observability (kSingle runs leave these zero).
+  uint64_t shards = 0;              ///< mediators in the deployment
+  uint64_t commits_mirrored = 0;    ///< child commits re-announced by mirrors
+  uint64_t corrective_commits = 0;  ///< mirror re-bases after child recovery
+  /// Every MediatorStats counter of every mediator, rendered name=value per
+  /// line (per-shard sections in sharded runs). Compared byte-for-byte by
+  /// the replay-identity checks: a counter that silently drifts between a
+  /// run and its replay — e.g. one reset by Recover() instead of preserved —
+  /// shows up here even if no export diverges.
+  std::string stats_dump;
 };
 
 /// Runs one seeded fault schedule end to end. Returns an error naming the
