@@ -16,12 +16,14 @@ e14_out="${2:-$repo_root/BENCH_pr6.json}"
 e15_out="${3:-$repo_root/BENCH_pr7.json}"
 e16_out="${4:-$repo_root/BENCH_pr8.json}"
 e17_out="${5:-$repo_root/BENCH_pr9.json}"
+e18_out="${6:-$repo_root/BENCH_pr10.json}"
 build_dir="$repo_root/build-bench"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$build_dir" --target bench_e13_incremental_index \
   bench_e14_concurrent_mediator bench_e15_columnar_exec \
-  bench_e16_storage_integrity bench_e17_sharded_topology -j >/dev/null
+  bench_e16_storage_integrity bench_e17_sharded_topology \
+  bench_e18_overload -j >/dev/null
 
 "$build_dir/bench/bench_e13_incremental_index" --out="$e13_out"
 echo "wrote $e13_out"
@@ -33,3 +35,5 @@ echo "wrote $e15_out"
 echo "wrote $e16_out"
 "$build_dir/bench/bench_e17_sharded_topology" --out="$e17_out"
 echo "wrote $e17_out"
+"$build_dir/bench/bench_e18_overload" --out="$e18_out"
+echo "wrote $e18_out"

@@ -1,0 +1,17 @@
+#include "common/cancel.h"
+
+namespace squirrel {
+
+namespace {
+thread_local CancelToken* t_current = nullptr;
+}  // namespace
+
+CancelToken* CurrentCancelToken() { return t_current; }
+
+ScopedCancelScope::ScopedCancelScope(CancelToken* token) : prev_(t_current) {
+  t_current = token;
+}
+
+ScopedCancelScope::~ScopedCancelScope() { t_current = prev_; }
+
+}  // namespace squirrel

@@ -1,0 +1,67 @@
+#include "common/memory_budget.h"
+
+#include <string>
+
+#include "common/cancel.h"
+
+namespace squirrel {
+
+namespace {
+std::atomic<MemoryBudget*> g_budget{nullptr};
+}  // namespace
+
+void MemoryBudget::Charge(size_t bytes) {
+  size_t now = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  size_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+  if (hard_limit_ != 0 && now > hard_limit_) {
+    // Cooperative kill of the charging query. The token is thread-local, so
+    // only work that registered itself as cancellable (queries) can die
+    // here; the IUP and plain maintenance keep running — the budget bounds
+    // query-side amplification, it does not abort update propagation.
+    if (CancelToken* t = CurrentCancelToken(); t != nullptr && !t->cancelled()) {
+      hard_cancels_.fetch_add(1, std::memory_order_relaxed);
+      t->Cancel(Status::Overloaded(
+          "memory budget exhausted: " + std::to_string(now) + " > hard limit " +
+          std::to_string(hard_limit_)));
+    }
+  }
+}
+
+void MemoryBudget::Release(size_t bytes) {
+  size_t cur = used_.load(std::memory_order_relaxed);
+  for (;;) {
+    size_t next = cur >= bytes ? cur - bytes : 0;
+    if (used_.compare_exchange_weak(cur, next, std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+MemoryBudget* GlobalMemoryBudget() {
+  return g_budget.load(std::memory_order_acquire);
+}
+
+ScopedMemoryBudget::ScopedMemoryBudget(MemoryBudget* budget)
+    : prev_(g_budget.load(std::memory_order_acquire)) {
+  g_budget.store(budget, std::memory_order_release);
+}
+
+ScopedMemoryBudget::~ScopedMemoryBudget() {
+  g_budget.store(prev_, std::memory_order_release);
+}
+
+MemoryBudget* ChargeGlobalBudget(size_t bytes) {
+  MemoryBudget* b = GlobalMemoryBudget();
+  if (b != nullptr) b->Charge(bytes);
+  return b;
+}
+
+void ReleaseGlobalBudget(MemoryBudget* budget, size_t bytes) {
+  if (budget == nullptr || budget != GlobalMemoryBudget()) return;
+  budget->Release(bytes);
+}
+
+}  // namespace squirrel

@@ -1,0 +1,41 @@
+// Query service classes for admission control (DESIGN.md §15).
+//
+// Lives in common/ (not mediator/) because the class travels on the wire:
+// a parent mediator forwards its query's class to child mediators inside
+// PollRequests, so source/messages.h needs the type without depending on
+// the mediator layer.
+
+#ifndef SQUIRREL_COMMON_QUERY_CLASS_H_
+#define SQUIRREL_COMMON_QUERY_CLASS_H_
+
+#include <cstdint>
+
+namespace squirrel {
+
+/// Service class of a view query, used by the admission gate to apply
+/// per-class concurrency limits and by the memory-budget soft limit to
+/// shed batch work first.
+enum class QueryClass : uint8_t {
+  kInteractive = 0,  ///< latency-sensitive client queries (the default)
+  kBatch = 1,        ///< throughput work; first to be shed under pressure
+  kInternal = 2,     ///< internal maintenance (resync probes, health checks)
+};
+
+inline constexpr int kNumQueryClasses = 3;
+
+/// Human-readable name, e.g. "interactive".
+inline const char* QueryClassName(QueryClass c) {
+  switch (c) {
+    case QueryClass::kInteractive:
+      return "interactive";
+    case QueryClass::kBatch:
+      return "batch";
+    case QueryClass::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+}  // namespace squirrel
+
+#endif  // SQUIRREL_COMMON_QUERY_CLASS_H_

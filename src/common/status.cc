@@ -22,6 +22,10 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kCorrupted:
       return "Corrupted";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }

@@ -26,6 +26,8 @@ enum class StatusCode {
   kUnavailable,       ///< remote party unreachable; retrying may succeed
   kInternal,          ///< invariant violation inside the library
   kCorrupted,         ///< persistent state failed integrity verification
+  kDeadlineExceeded,  ///< the caller's deadline passed before completion
+  kOverloaded,        ///< admission/refusal under load; retry later
 };
 
 /// Human-readable name of a status code, e.g. "InvalidArgument".
@@ -79,6 +81,16 @@ class Status {
   /// failure of persistent state — never retried, surfaced verbatim).
   static Status Corrupted(std::string msg) {
     return Status(StatusCode::kCorrupted, std::move(msg));
+  }
+  /// Returns a DeadlineExceeded status with \p msg (the query's deadline
+  /// passed before an answer could be produced).
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// Returns an Overloaded status with \p msg (refused or cancelled under
+  /// load — admission control or a memory budget; retrying later may work).
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   /// True iff the operation succeeded.

@@ -1,0 +1,44 @@
+#include "mediator/admission.h"
+
+namespace squirrel {
+
+Status AdmissionGate::Admit(QueryClass cls, bool soft_breached) {
+  size_t i = static_cast<size_t>(cls);
+  if (soft_breached && cls == QueryClass::kBatch) {
+    ++rejected_;
+    ++shed_soft_budget_;
+    return Status::Overloaded(
+        "batch admission shed: memory budget soft limit breached; retry after " +
+        std::to_string(opts_.retry_after_hint));
+  }
+  uint32_t limit = opts_.max_active[i];
+  if (limit != 0 && inflight_[i] >= limit + opts_.max_queued[i]) {
+    ++rejected_;
+    return Status::Overloaded(
+        std::string("admission limit for ") + QueryClassName(cls) +
+        " reached (" + std::to_string(inflight_[i]) + " in flight); retry after " +
+        std::to_string(opts_.retry_after_hint));
+  }
+  ++inflight_[i];
+  ++admitted_;
+  return Status::OK();
+}
+
+void AdmissionGate::Release(QueryClass cls) {
+  size_t i = static_cast<size_t>(cls);
+  if (inflight_[i] > 0) --inflight_[i];
+}
+
+std::string AdmissionGate::ToString() const {
+  std::string out = "admission: inflight=";
+  for (size_t i = 0; i < kNumQueryClasses; ++i) {
+    if (i != 0) out += "/";
+    out += std::to_string(inflight_[i]);
+  }
+  out += " admitted=" + std::to_string(admitted_);
+  out += " rejected=" + std::to_string(rejected_);
+  out += " shed=" + std::to_string(shed_soft_budget_);
+  return out;
+}
+
+}  // namespace squirrel

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "mediator/durability/integrity.h"
+#include "relational/parser.h"
 
 namespace squirrel {
 
@@ -272,6 +273,78 @@ Result<UpdateMessage> DecodeUpdateMessage(BinaryReader* r) {
   SQ_ASSIGN_OR_RETURN(msg.epoch, r->GetU64());
   SQ_ASSIGN_OR_RETURN(msg.delta, DecodeMultiDelta(r));
   return msg;
+}
+
+// ---- Poll messages --------------------------------------------------------
+
+void EncodePollRequest(BinaryWriter* w, const PollRequest& req) {
+  w->PutU64(req.id);
+  w->PutTime(req.deadline);
+  w->PutU8(static_cast<uint8_t>(req.qclass));
+  w->PutU32(static_cast<uint32_t>(req.polls.size()));
+  for (const PollSpec& p : req.polls) {
+    w->PutString(p.relation);
+    w->PutU32(static_cast<uint32_t>(p.attrs.size()));
+    for (const std::string& a : p.attrs) w->PutString(a);
+    // Conditions travel as predicate text; empty = null (true).
+    w->PutString(p.cond ? p.cond->ToString() : std::string());
+  }
+}
+
+Result<PollRequest> DecodePollRequest(BinaryReader* r) {
+  PollRequest req;
+  SQ_ASSIGN_OR_RETURN(req.id, r->GetU64());
+  SQ_ASSIGN_OR_RETURN(req.deadline, r->GetTime());
+  SQ_ASSIGN_OR_RETURN(uint8_t cls, r->GetU8());
+  if (cls >= kNumQueryClasses) {
+    return Status::Internal("corrupt record: bad query class " +
+                            std::to_string(cls));
+  }
+  req.qclass = static_cast<QueryClass>(cls);
+  SQ_ASSIGN_OR_RETURN(uint32_t npolls, r->GetU32());
+  req.polls.reserve(std::min<size_t>(npolls, r->remaining()));
+  for (uint32_t i = 0; i < npolls; ++i) {
+    PollSpec p;
+    SQ_ASSIGN_OR_RETURN(p.relation, r->GetString());
+    SQ_ASSIGN_OR_RETURN(uint32_t nattrs, r->GetU32());
+    p.attrs.reserve(std::min<size_t>(nattrs, r->remaining()));
+    for (uint32_t j = 0; j < nattrs; ++j) {
+      SQ_ASSIGN_OR_RETURN(std::string a, r->GetString());
+      p.attrs.push_back(std::move(a));
+    }
+    SQ_ASSIGN_OR_RETURN(std::string cond_text, r->GetString());
+    if (!cond_text.empty()) {
+      SQ_ASSIGN_OR_RETURN(p.cond, ParsePredicate(cond_text));
+    }
+    req.polls.push_back(std::move(p));
+  }
+  return req;
+}
+
+void EncodePollAnswer(BinaryWriter* w, const PollAnswer& ans) {
+  w->PutU64(ans.id);
+  w->PutString(ans.source);
+  w->PutTime(ans.answered_at);
+  w->PutU64(ans.epoch);
+  w->PutTime(ans.retry_after);
+  w->PutU32(static_cast<uint32_t>(ans.results.size()));
+  for (const Relation& rel : ans.results) EncodeRelation(w, rel);
+}
+
+Result<PollAnswer> DecodePollAnswer(BinaryReader* r) {
+  PollAnswer ans;
+  SQ_ASSIGN_OR_RETURN(ans.id, r->GetU64());
+  SQ_ASSIGN_OR_RETURN(ans.source, r->GetString());
+  SQ_ASSIGN_OR_RETURN(ans.answered_at, r->GetTime());
+  SQ_ASSIGN_OR_RETURN(ans.epoch, r->GetU64());
+  SQ_ASSIGN_OR_RETURN(ans.retry_after, r->GetTime());
+  SQ_ASSIGN_OR_RETURN(uint32_t nresults, r->GetU32());
+  ans.results.reserve(std::min<size_t>(nresults, r->remaining()));
+  for (uint32_t i = 0; i < nresults; ++i) {
+    SQ_ASSIGN_OR_RETURN(Relation rel, DecodeRelation(r));
+    ans.results.push_back(std::move(rel));
+  }
+  return ans;
 }
 
 uint32_t ChecksumUpdateMessage(const UpdateMessage& msg) {

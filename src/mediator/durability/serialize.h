@@ -95,6 +95,15 @@ Result<MultiDelta> DecodeMultiDelta(BinaryReader* r);
 void EncodeUpdateMessage(BinaryWriter* w, const UpdateMessage& msg);
 Result<UpdateMessage> DecodeUpdateMessage(BinaryReader* r);
 
+// Poll wire messages, including the overload-protection fields (deadline,
+// query class, retry_after). Conditions travel as predicate text (empty =
+// null) and are re-parsed on decode; the parser round-trips Expr::ToString.
+void EncodePollRequest(BinaryWriter* w, const PollRequest& req);
+Result<PollRequest> DecodePollRequest(BinaryReader* r);
+
+void EncodePollAnswer(BinaryWriter* w, const PollAnswer& ans);
+Result<PollAnswer> DecodePollAnswer(BinaryReader* r);
+
 // ---- wire-integrity checksums (see integrity.h) ---------------------------
 // CRC32C over the message's canonical encoding, EXCLUDING the checksum field
 // itself (the WAL codec above deliberately never persists it: checksums are

@@ -109,6 +109,10 @@ std::vector<std::string> LocalStore::MaterializedNodes() const {
   return out;
 }
 
+StoreSnapshot::~StoreSnapshot() {
+  if (budget_ != nullptr) ReleaseGlobalBudget(budget_, budget_bytes_);
+}
+
 Result<const Relation*> StoreSnapshot::Repo(const std::string& node) const {
   auto it = repos_.find(node);
   if (it == repos_.end()) {
@@ -136,7 +140,16 @@ StoreSnapshotPtr LocalStore::PublishSnapshot(TimeVector reflect) {
       auto it = prev->repos_.find(name);
       if (it != prev->repos_.end()) share = it->second;
     }
-    if (share == nullptr) share = std::make_shared<Relation>(rel);
+    if (share == nullptr) {
+      share = std::make_shared<Relation>(rel);
+      // Fresh copy: account its retained bytes to this snapshot. Shared
+      // relations were already charged by the publish that copied them.
+      const size_t bytes = rel.ApproxBytes();
+      if (MemoryBudget* b = ChargeGlobalBudget(bytes)) {
+        snap->budget_ = b;
+        snap->budget_bytes_ += bytes;
+      }
+    }
     snap->repos_.emplace(name, std::move(share));
   }
   dirty_.clear();

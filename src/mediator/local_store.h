@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/memory_budget.h"
 #include "common/status.h"
 #include "delta/delta.h"
 #include "relational/index.h"
@@ -35,6 +36,13 @@ namespace squirrel {
 /// the writer never mutates a Relation that a published snapshot points to.
 class StoreSnapshot {
  public:
+  StoreSnapshot() = default;
+  /// Returns the bytes this snapshot's fresh relation copies charged
+  /// against the memory budget when it was published.
+  ~StoreSnapshot();
+  StoreSnapshot(const StoreSnapshot&) = delete;
+  StoreSnapshot& operator=(const StoreSnapshot&) = delete;
+
   /// Monotonically increasing publish version (1, 2, ...).
   uint64_t version() const { return version_; }
   /// The reflect vector of the commit this snapshot captured.
@@ -52,6 +60,11 @@ class StoreSnapshot {
   uint64_t version_ = 0;
   TimeVector reflect_;
   std::map<std::string, std::shared_ptr<const Relation>> repos_;
+  // Memory-budget accounting (DESIGN.md §15): bytes of the fresh COW copies
+  // this publish made (shared relations were charged by the snapshot that
+  // first copied them).
+  MemoryBudget* budget_ = nullptr;
+  size_t budget_bytes_ = 0;
 };
 
 using StoreSnapshotPtr = std::shared_ptr<const StoreSnapshot>;

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/logging.h"
+#include "common/memory_budget.h"
 #include "common/strings.h"
 #include "delta/delta_algebra.h"
 #include "mediator/durability/serialize.h"
@@ -90,6 +91,7 @@ Result<std::unique_ptr<Mediator>> Mediator::Create(
                                               med->vap_.get());
   med->trace_ = std::make_unique<Trace>(names);
   med->durability_ = DurabilityManager(options.durability);
+  med->admission_.set_options(options.admission);
   return med;
 }
 
@@ -99,7 +101,7 @@ std::string MediatorStats::ToString() const {
   // rendering — the crash/recovery sweeps byte-compare it between a run and
   // its deterministic replay, so an unrendered counter would silently skip
   // that check.
-  static_assert(sizeof(MediatorStats) == 46 * sizeof(uint64_t),
+  static_assert(sizeof(MediatorStats) == 51 * sizeof(uint64_t),
                 "new counter: extend MediatorStats::ToString too");
   std::string out;
   auto emit = [&out](const char* name, uint64_t v) {
@@ -154,6 +156,11 @@ std::string MediatorStats::ToString() const {
   emit("resyncs_after_recovery", resyncs_after_recovery);
   emit("update_checksum_failures", update_checksum_failures);
   emit("snapshot_checksum_failures", snapshot_checksum_failures);
+  emit("deadline_exceeded_queries", deadline_exceeded_queries);
+  emit("queries_rejected_overload", queries_rejected_overload);
+  emit("queries_shed_soft_budget", queries_shed_soft_budget);
+  emit("queries_cancelled_memory", queries_cancelled_memory);
+  emit("poll_rejects", poll_rejects);
   return out;
 }
 
@@ -410,6 +417,14 @@ void Mediator::OnSourceMessage(SourceToMediatorMsg msg) {
   }
   // Poll answer: route to the waiting transaction.
   PollAnswer answer = std::get<PollAnswer>(std::move(msg));
+  if (answer.retry_after != 0) {
+    // Responder-side deadline rejection: the polls were never evaluated, so
+    // there is nothing to consume. The querying transaction's own deadline
+    // timer (which fires before the forwarded deadline plus margin) resolves
+    // the query; here the rejection is only counted.
+    ++stats_.poll_rejects;
+    return;
+  }
   if (SourceRuntime* art = FindSource(answer.source); art != nullptr) {
     ClearQuarantine(art);
     const uint64_t cur_epoch = resync_.Epoch(answer.source);
@@ -487,6 +502,7 @@ void Mediator::FinishTxn() {
   busy_ = false;
   poll_wait_.reset();
   current_inflight_ = nullptr;
+  active_query_run_ = nullptr;
   // Run the next queued transaction, if any, as a fresh event.
   if (!pending_txns_.empty()) {
     AfterGuarded(0, [this]() { StartNextTxn(); });
@@ -509,7 +525,20 @@ void Mediator::IssuePolls(const VapPlan& plan, std::function<void()> done,
   std::map<std::string, PollRequest> grouped;
   for (const auto& lp : plan.polls) {
     PollRequest& req = grouped[lp.source];
-    if (req.polls.empty()) req.id = next_poll_id_++;
+    if (req.polls.empty()) {
+      req.id = next_poll_id_++;
+      // Deadline propagation across tiers: the responder (a raw source or a
+      // child mediator's export mirror) gets the query's remaining budget
+      // minus a margin, so the far side gives up before this side's own
+      // deadline timer fires and the rejection has time to travel back.
+      if (active_query_run_ != nullptr) {
+        req.qclass = active_query_run_->query.qclass;
+        if (Time d = active_query_run_->query.deadline; d > 0) {
+          Time fwd = d - options_.deadline_margin;
+          req.deadline = fwd > 0 ? fwd : d;
+        }
+      }
+    }
     req.polls.push_back(lp.spec);
   }
   PollWait wait;
@@ -526,14 +555,41 @@ void Mediator::IssuePolls(const VapPlan& plan, std::function<void()> done,
   ArmPollTimeout();
 }
 
-void Mediator::ArmPollTimeout() {
-  if (options_.poll_timeout <= 0 || !poll_wait_.has_value()) return;
+Time PollBackoffDelay(const MediatorOptions& options, int attempt,
+                      uint64_t generation) {
   // Exponential backoff by round; a multiply loop keeps the double exactly
   // reproducible (std::pow may differ across libms).
-  Time deadline = options_.poll_timeout;
-  for (int i = 0; i < poll_wait_->attempt; ++i) {
-    deadline *= options_.poll_backoff;
+  Time delay = options.poll_timeout;
+  for (int i = 0; i < attempt; ++i) {
+    delay *= options.poll_backoff;
   }
+  if (options.poll_jitter > 0) {
+    // Seeded jitter (splitmix64 finalizer over seed/generation/attempt)
+    // de-synchronizes re-poll rounds across mediators sharing a source
+    // while staying byte-reproducible: a replay re-arms identical delays.
+    uint64_t x = options.poll_jitter_seed +
+                 generation * 0x9E3779B97F4A7C15ULL +
+                 (static_cast<uint64_t>(attempt) + 1) * 0xD1B54A32D192ED03ULL;
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    const double unit = static_cast<double>(x >> 11) * 0x1.0p-53;
+    delay *= 1.0 + options.poll_jitter * unit;
+  }
+  // The cap bounds the final armed delay, jitter included: however many
+  // rounds have failed, a silent source is re-checked at least this often.
+  if (options.poll_backoff_cap > 0 && delay > options.poll_backoff_cap) {
+    delay = options.poll_backoff_cap;
+  }
+  return delay;
+}
+
+void Mediator::ArmPollTimeout() {
+  if (options_.poll_timeout <= 0 || !poll_wait_.has_value()) return;
+  Time deadline =
+      PollBackoffDelay(options_, poll_wait_->attempt, poll_wait_->generation);
   uint64_t gen = poll_wait_->generation;
   AfterGuarded(deadline, [this, gen]() { OnPollTimeout(gen); });
 }
@@ -1127,6 +1183,40 @@ void Mediator::SubmitQuery(const ViewQuery& q,
     callback(Status::Unavailable("mediator is down"));
     return;
   }
+  const Time now = scheduler_->Now();
+  if (q.deadline > 0 && now >= q.deadline) {
+    // Dead on arrival: reject before spending an admission slot on it.
+    ++stats_.deadline_exceeded_queries;
+    callback(Status::DeadlineExceeded("query deadline " +
+                                      std::to_string(q.deadline) +
+                                      " already passed at submit"));
+    return;
+  }
+  // Admission gate: over-limit or soft-budget-shed queries are refused in
+  // this very event with a typed error and a retry-after hint — fast
+  // rejection is the whole point, they must not queue first.
+  MemoryBudget* budget = GlobalMemoryBudget();
+  const uint64_t shed_before = admission_.shed_soft_budget();
+  Status admit = admission_.Admit(
+      q.qclass, budget != nullptr && budget->SoftBreached());
+  if (!admit.ok()) {
+    if (admission_.shed_soft_budget() > shed_before) {
+      ++stats_.queries_shed_soft_budget;
+    } else {
+      ++stats_.queries_rejected_overload;
+    }
+    if (options_.record_trace) {
+      trace_->Note(now, "query rejected: " + admit.ToString());
+    }
+    callback(std::move(admit));
+    return;
+  }
+  auto run = std::make_shared<QueryRun>();
+  run->query = q;
+  run->cb = std::move(callback);
+  if (q.deadline > 0) {
+    AfterGuarded(q.deadline - now, [this, run]() { OnQueryDeadline(run); });
+  }
   if (options_.mvcc_reads) {
     // Poll-free queries take the lock-free snapshot path instead of
     // serializing behind the transaction queue. Eligibility (coverage +
@@ -1135,15 +1225,68 @@ void Mediator::SubmitQuery(const ViewQuery& q,
     auto prepared = qp_->Prepare(q);
     if (prepared.ok() && SnapshotServable(*prepared) &&
         store_->Snapshot() != nullptr) {
-      ServeSnapshotQuery(std::move(prepared).value(), std::move(callback));
+      run->prepared = std::move(prepared).value();
+      // NOT std::move(run): the shared_ptr parameter may be constructed
+      // before the *run->prepared argument is evaluated.
+      ServeSnapshotQuery(*run->prepared, run);
       return;
     }
     // Ineligible (or Prepare failed): fall through to the serialized path,
     // which re-prepares and surfaces any error through the usual machinery.
   }
-  EnqueueTxn([this, q, cb = std::move(callback)]() mutable {
-    RunQueryTxn(std::move(q), std::move(cb));
-  });
+  EnqueueTxn([this, run = std::move(run)]() { RunQueryTxn(run); });
+}
+
+void Mediator::ResolveQuery(const std::shared_ptr<QueryRun>& run,
+                            Result<ViewAnswer> answer) {
+  if (run == nullptr || run->resolved) return;
+  run->resolved = true;
+  admission_.Release(run->query.qclass);
+  if (!answer.ok()) {
+    switch (answer.status().code()) {
+      case StatusCode::kDeadlineExceeded:
+        ++stats_.deadline_exceeded_queries;
+        break;
+      case StatusCode::kOverloaded:
+        // The only kOverloaded source past admission is the memory budget's
+        // hard limit (admission rejections never create a QueryRun).
+        ++stats_.queries_cancelled_memory;
+        break;
+      default:
+        break;  // kUnavailable etc. keep their pre-existing counters
+    }
+  }
+  auto cb = std::move(run->cb);
+  if (cb) cb(std::move(answer));
+}
+
+void Mediator::OnQueryDeadline(std::shared_ptr<QueryRun> run) {
+  if (run == nullptr || run->resolved) return;
+  const bool running = run == active_query_run_;
+  Status expired = Status::DeadlineExceeded(
+      "query deadline " + std::to_string(run->query.deadline) +
+      " exceeded at " + std::to_string(scheduler_->Now()));
+  run->cancel.Cancel(expired);
+  if (options_.degraded_reads && run->prepared.has_value()) {
+    // Deadline-expiry degradation: abandon the poll round and serve the
+    // materialized fraction with staleness annotations, in this very event
+    // (no q_proc_delay — the answer must not outlive the deadline further).
+    if (options_.record_trace) {
+      trace_->Note(scheduler_->Now(),
+                   "query degraded at deadline: " + expired.ToString());
+    }
+    // NOT std::move(run): the shared_ptr parameter may be constructed
+    // before the *run->prepared arguments are evaluated.
+    ServeDegraded(*run->prepared, run->prepared->query, run,
+                  /*immediate=*/true);
+    return;
+  }
+  ResolveQuery(run, std::move(expired));
+  // A running query also holds the transaction slot (and possibly a poll
+  // round): release both so the next transaction starts and late answers
+  // are dropped as stale. A queued query's closure finds `resolved` set and
+  // finishes its slot itself when its turn comes.
+  if (running) FinishTxn();
 }
 
 bool Mediator::SnapshotServable(const PreparedQuery& pq) const {
@@ -1160,9 +1303,10 @@ void Mediator::PublishStoreSnapshot() {
 }
 
 void Mediator::ServeSnapshotQuery(PreparedQuery pq,
-                                  std::function<void(Result<ViewAnswer>)> cb) {
+                                  std::shared_ptr<QueryRun> run) {
   ++stats_.snapshot_queries;
-  auto serve = [this, pq = std::move(pq), cb = std::move(cb)]() {
+  auto serve = [this, pq = std::move(pq), run = std::move(run)]() {
+    if (run->resolved) return;  // deadline fired during the processing wait
     // Pin the latest committed version; the whole computation below reads
     // it even if an update transaction commits concurrently. In-sim, apply
     // and publish are atomic within the commit event, so this snapshot is
@@ -1170,12 +1314,18 @@ void Mediator::ServeSnapshotQuery(PreparedQuery pq,
     // serialized no-poll query committing at this instant.
     StoreSnapshotPtr snap = store_->Snapshot();
     if (snap == nullptr) {
-      cb(Status::Internal("mvcc: no published store snapshot"));
+      ResolveQuery(run, Status::Internal("mvcc: no published store snapshot"));
       return;
     }
-    auto local = qp_->Answer(pq, nullptr, nullptr, snap.get());
+    auto compute = [&]() {
+      // The cancel scope makes the memory budget's hard limit able to kill
+      // this computation at the kernels' next check site.
+      ScopedCancelScope scope(&run->cancel);
+      return qp_->Answer(pq, nullptr, nullptr, snap.get());
+    };
+    auto local = compute();
     if (!local.ok()) {
-      cb(local.status());
+      ResolveQuery(run, local.status());
       return;
     }
     ViewAnswer answer;
@@ -1206,7 +1356,7 @@ void Mediator::ServeSnapshotQuery(PreparedQuery pq,
       entry.answer = answer.data;
       trace_->Add(std::move(entry));
     }
-    cb(std::move(answer));
+    ResolveQuery(run, std::move(answer));
   };
   // The whole computation — snapshot pin included — runs at completion
   // time, so the recorded reflect can never precede an update entry that
@@ -1218,27 +1368,37 @@ void Mediator::ServeSnapshotQuery(PreparedQuery pq,
   }
 }
 
-void Mediator::RunQueryTxn(ViewQuery q,
-                           std::function<void(Result<ViewAnswer>)> cb) {
-  // Normalize + coverage analysis once; every later step reuses the
-  // prepared form instead of re-deriving it.
-  auto prepared = qp_->Prepare(q);
-  if (!prepared.ok()) {
-    cb(prepared.status());
+void Mediator::RunQueryTxn(std::shared_ptr<QueryRun> run) {
+  if (run->resolved) {
+    // Resolved while queued (its deadline fired first): the slot it was
+    // waiting for is all it still holds — release it.
     FinishTxn();
     return;
   }
-  PreparedQuery pq = std::move(prepared).value();
+  active_query_run_ = run;
+  // Normalize + coverage analysis once; every later step reuses the
+  // prepared form instead of re-deriving it.
+  auto prepared = qp_->Prepare(run->query);
+  if (!prepared.ok()) {
+    ResolveQuery(run, prepared.status());
+    FinishTxn();
+    return;
+  }
+  run->prepared = std::move(prepared).value();
+  const PreparedQuery& pq = *run->prepared;
   ViewQuery nq = pq.query;  // trace/callback view of the query
 
-  auto finish_with = [this, nq, cb](const QueryProcessor::LocalAnswer& local,
-                                    const std::vector<std::string>& polled) {
+  auto finish_with = [this, nq, run](const QueryProcessor::LocalAnswer& local,
+                                     const std::vector<std::string>& polled) {
     ViewAnswer answer;
     answer.data = local.data;
     answer.used_virtual = local.used_virtual;
     answer.polls = local.polls;
     answer.reflect = QueryReflect(polled);
-    auto complete = [this, nq, cb, answer]() mutable {
+    auto complete = [this, nq, run, answer]() mutable {
+      // Deadline fired during the q_proc_delay wait: the deadline handler
+      // already resolved the query AND finished the transaction slot.
+      if (run->resolved) return;
       answer.commit_time = scheduler_->Now();
       ++stats_.query_txns;
       stats_.polls += answer.polls;
@@ -1252,7 +1412,7 @@ void Mediator::RunQueryTxn(ViewQuery q,
         entry.answer = answer.data;
         trace_->Add(std::move(entry));
       }
-      cb(std::move(answer));
+      ResolveQuery(run, std::move(answer));
       FinishTxn();
     };
     if (options_.q_proc_delay > 0) {
@@ -1264,15 +1424,20 @@ void Mediator::RunQueryTxn(ViewQuery q,
 
   auto plan = qp_->PlanFor(pq);
   if (!plan.ok()) {
-    cb(plan.status());
+    ResolveQuery(run, plan.status());
     FinishTxn();
     return;
   }
   if (!plan->has_value()) {
-    // Materialized data suffices.
-    auto local = qp_->Answer(pq, nullptr, nullptr);
+    // Materialized data suffices. The cancel scope lets the memory budget's
+    // hard limit kill the computation at the kernels' next check site.
+    auto compute = [&]() {
+      ScopedCancelScope scope(&run->cancel);
+      return qp_->Answer(pq, nullptr, nullptr);
+    };
+    auto local = compute();
     if (!local.ok()) {
-      cb(local.status());
+      ResolveQuery(run, local.status());
       FinishTxn();
       return;
     }
@@ -1281,24 +1446,29 @@ void Mediator::RunQueryTxn(ViewQuery q,
   }
 
   VapPlan vap_plan = std::move(**plan);
-  auto execute = [this, pq, vap_plan, finish_with, cb]() {
+  auto execute = [this, vap_plan, finish_with, run]() {
+    if (run->resolved) return;  // defensive; the wait dies with the txn slot
+    const PreparedQuery& epq = *run->prepared;
     Vap::PollFn poll = ReadyPollFn();
     Vap::CompensationFn comp = MakeCompensation(nullptr);
-    auto temps = vap_->Execute(vap_plan, poll, comp);
-    if (!temps.ok()) {
-      cb(temps.status());
-      FinishTxn();
-      return;
-    }
-    auto local = qp_->AnswerWithTemps(pq, *temps);
+    auto compute = [&]() -> Result<QueryProcessor::LocalAnswer> {
+      // Cancellable region: the VAP assembly loop checks between build
+      // steps, the kernels every kCancelCheckRows rows.
+      ScopedCancelScope scope(&run->cancel);
+      SQ_ASSIGN_OR_RETURN(TempStore temps, vap_->Execute(vap_plan, poll, comp));
+      SQ_ASSIGN_OR_RETURN(QueryProcessor::LocalAnswer local,
+                          qp_->AnswerWithTemps(epq, temps));
+      local.polls = temps.polls;
+      local.polled_tuples = temps.polled_tuples;
+      return local;
+    };
+    auto local = compute();
     if (!local.ok()) {
-      cb(local.status());
+      ResolveQuery(run, local.status());
       FinishTxn();
       return;
     }
-    local->polls = temps->polls;
-    local->polled_tuples = temps->polled_tuples;
-    stats_.polled_tuples += temps->polled_tuples;
+    stats_.polled_tuples += local->polled_tuples;
     finish_with(*local, vap_plan.PolledSources());
   };
   if (vap_plan.polls.empty()) {
@@ -1313,7 +1483,7 @@ void Mediator::RunQueryTxn(ViewQuery q,
     for (const auto& src : vap_plan.PolledSources()) {
       SourceRuntime* rt = FindSource(src);
       if (rt != nullptr && SourceDown(*rt)) {
-        ServeDegraded(pq, nq, cb);
+        ServeDegraded(pq, nq, run, /*immediate=*/false);
         return;
       }
     }
@@ -1321,38 +1491,42 @@ void Mediator::RunQueryTxn(ViewQuery q,
   // Queries have a caller to report to: fail over instead of retrying —
   // or, with degraded reads on, fall back to the materialized data (the
   // reactive path: the source went silent without a known-down marker).
-  auto fail = [this, pq, nq, cb](const Status& st) {
+  auto fail = [this, nq, run](const Status& st) {
     if (options_.degraded_reads) {
       if (options_.record_trace) {
         trace_->Note(scheduler_->Now(),
                      "query degraded after poll failure: " + st.ToString());
       }
-      ServeDegraded(pq, nq, cb);
+      ServeDegraded(*run->prepared, nq, run, /*immediate=*/false);
       return;
     }
     ++stats_.failed_queries;
     if (options_.record_trace) {
       trace_->Note(scheduler_->Now(), "query failed: " + st.ToString());
     }
-    cb(st);
+    ResolveQuery(run, st);
     FinishTxn();
   };
   IssuePolls(vap_plan, execute, fail);
 }
 
 void Mediator::ServeDegraded(const PreparedQuery& pq, const ViewQuery& nq,
-                             std::function<void(Result<ViewAnswer>)> cb) {
+                             std::shared_ptr<QueryRun> run, bool immediate) {
+  // Deliberately NO cancel scope here: a query being degraded at its
+  // deadline has a cancelled token, and the fallback computation must not
+  // kill itself at the kernels' check sites — it IS the error handling.
   auto local = qp_->AnswerDegraded(pq);
   if (!local.ok()) {
-    // Nothing materialized to serve: fail over exactly as without
-    // degraded reads.
-    ++stats_.failed_queries;
+    // Nothing materialized to serve: fail over exactly as without degraded
+    // reads — except a deadline-triggered call surfaces its typed reason.
+    const bool running = run == active_query_run_;
+    Status st = run->cancel.cancelled() ? run->cancel.status() : local.status();
+    if (!run->cancel.cancelled()) ++stats_.failed_queries;
     if (options_.record_trace) {
-      trace_->Note(scheduler_->Now(),
-                   "query failed: " + local.status().ToString());
+      trace_->Note(scheduler_->Now(), "query failed: " + st.ToString());
     }
-    cb(local.status());
-    FinishTxn();
+    ResolveQuery(run, std::move(st));
+    if (running) FinishTxn();
     return;
   }
   ViewAnswer answer;
@@ -1362,7 +1536,11 @@ void Mediator::ServeDegraded(const PreparedQuery& pq, const ViewQuery& nq,
   answer.cond_dropped = local->cond_dropped;
   answer.reflect = UpdateReflect();
   auto complete = [this, nq, answer = std::move(answer),
-                   cb = std::move(cb)]() mutable {
+                   run = std::move(run)]() mutable {
+    // Deadline fired during the q_proc_delay wait: the deadline handler
+    // re-served this query immediately (and finished the txn slot).
+    if (run->resolved) return;
+    const bool running = run == active_query_run_;
     answer.commit_time = scheduler_->Now();
     std::vector<bool> down;
     down.reserve(sources_.size());
@@ -1382,10 +1560,12 @@ void Mediator::ServeDegraded(const PreparedQuery& pq, const ViewQuery& nq,
       for (const auto& s : answer.staleness) note += " " + s.ToString();
       trace_->Note(answer.commit_time, note);
     }
-    cb(std::move(answer));
-    FinishTxn();
+    ResolveQuery(run, std::move(answer));
+    // Only the transaction-owning query releases the slot; a deadline-
+    // degraded MVCC query never held it.
+    if (running) FinishTxn();
   };
-  if (options_.q_proc_delay > 0) {
+  if (!immediate && options_.q_proc_delay > 0) {
     AfterGuarded(options_.q_proc_delay, std::move(complete));
   } else {
     complete();
@@ -1479,6 +1659,12 @@ void Mediator::Crash() {
   pending_txns_.clear();
   poll_wait_.reset();
   current_inflight_ = nullptr;
+  // Every admitted query dies with the process (its callback never fires,
+  // like the cleared pending_txns_); the gate must not carry their slots
+  // into the next incarnation. The deadline timers they armed are
+  // epoch-guarded no-ops now.
+  active_query_run_ = nullptr;
+  admission_.ResetInflight();
   queue_.Restore({});
   resync_.WipeVolatile();
   next_resync_id_ = 1;

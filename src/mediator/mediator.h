@@ -18,8 +18,11 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
+#include "common/query_class.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "mediator/admission.h"
 #include "mediator/contributor.h"
 #include "mediator/durability/durability.h"
 #include "mediator/freshness.h"
@@ -129,7 +132,29 @@ struct MediatorOptions {
   /// and the equivalence sweep proves it byte-for-byte per seed. Applied
   /// process-wide at Start (the engine switch is global).
   bool columnar = true;
+  // ---- overload protection (DESIGN.md §15) ----
+  /// Per-class admission limits. All-zero (the default) disables the gate.
+  AdmissionOptions admission;
+  /// Safety margin subtracted from a query's deadline when forwarding it to
+  /// sources/child mediators in PollRequests, so the child gives up before
+  /// the parent does and the answer has time to travel back.
+  Time deadline_margin = 1.0;
+  /// Ceiling on the backed-off poll deadline (applied after jitter);
+  /// 0 = uncapped (the pre-existing unbounded exponential backoff).
+  Time poll_backoff_cap = 0.0;
+  /// Max fractional jitter added to each armed poll deadline: the delay is
+  /// multiplied by a deterministic factor in [1, 1 + poll_jitter] drawn
+  /// from (poll_jitter_seed, generation, attempt). 0 = no jitter.
+  double poll_jitter = 0.0;
+  uint64_t poll_jitter_seed = 0;
 };
+
+/// The (deterministic) delay ArmPollTimeout arms for re-poll round
+/// \p attempt of polling round \p generation: poll_timeout backed off by
+/// poll_backoff per attempt, jittered, then capped at poll_backoff_cap.
+/// Exposed as a free function so tests can assert cap and determinism.
+Time PollBackoffDelay(const MediatorOptions& options, int attempt,
+                      uint64_t generation);
 
 /// Aggregate counters over a mediator's lifetime.
 struct MediatorStats {
@@ -181,6 +206,13 @@ struct MediatorStats {
   uint64_t resyncs_after_recovery = 0;  ///< paranoid/anomaly resyncs issued
   uint64_t update_checksum_failures = 0;    ///< corrupt updates dropped
   uint64_t snapshot_checksum_failures = 0;  ///< corrupt snapshots re-requested
+  // ---- overload-protection counters (zero unless deadlines/admission/
+  // ---- memory budgets are configured) ----
+  uint64_t deadline_exceeded_queries = 0;  ///< queries resolved past deadline
+  uint64_t queries_rejected_overload = 0;  ///< admission-gate rejections
+  uint64_t queries_shed_soft_budget = 0;   ///< kBatch sheds (soft mem limit)
+  uint64_t queries_cancelled_memory = 0;   ///< hard-limit budget cancellations
+  uint64_t poll_rejects = 0;  ///< PollAnswers refused with retry_after set
 
   /// Renders EVERY counter (including the IUP block), one `name=value` per
   /// line. The implementation static_asserts on sizeof(MediatorStats), so a
@@ -266,6 +298,8 @@ class Mediator {
   std::vector<std::string> QuarantinedSources() const;
   /// Per-source epoch/health/mirror state (the resync lifecycle).
   const ResyncManager& resync() const { return resync_; }
+  /// Admission gate state (in-flight per class, rejection counters).
+  const AdmissionGate& admission() const { return admission_; }
   /// Durability manager (WAL/checkpoint counters; disabled() if no device).
   const DurabilityManager& durability() const { return durability_; }
   /// Adds a listener invoked after every committed update transaction with
@@ -311,6 +345,25 @@ class Mediator {
     int poll_failures = 0;
   };
 
+  /// Shared lifecycle state of one submitted query, from admission to its
+  /// single resolution. Shared (not owned by the transaction queue) because
+  /// three parties can race to resolve it across events: the normal
+  /// completion path, the deadline timer, and a memory-budget cancellation
+  /// surfacing through a check site. `resolved` makes resolution
+  /// first-wins; ResolveQuery() is the only place the callback fires.
+  struct QueryRun {
+    ViewQuery query;
+    std::function<void(Result<ViewAnswer>)> cb;
+    /// Cancelled by the deadline timer or the memory budget's hard limit;
+    /// installed thread-locally (ScopedCancelScope) around execution.
+    CancelToken cancel;
+    /// Set once the callback has fired; later resolution attempts no-op.
+    bool resolved = false;
+    /// Set by RunQueryTxn after Prepare succeeds, so the deadline handler
+    /// can serve a degraded answer without re-preparing.
+    std::optional<PreparedQuery> prepared;
+  };
+
   struct PollWait {
     size_t remaining = 0;
     std::map<std::string, std::deque<Relation>> ready;
@@ -346,7 +399,17 @@ class Mediator {
   void ScheduleUpdateTxn();
   void PeriodicTick();
   void RunUpdateTxn();
-  void RunQueryTxn(ViewQuery q, std::function<void(Result<ViewAnswer>)> cb);
+  void RunQueryTxn(std::shared_ptr<QueryRun> run);
+  /// The single resolution point for a query: fires the callback exactly
+  /// once (first caller wins), releases the admission slot, and counts the
+  /// new typed failure codes. Completion, deadline, and memory-cancel paths
+  /// all funnel through here.
+  void ResolveQuery(const std::shared_ptr<QueryRun>& run,
+                    Result<ViewAnswer> answer);
+  /// Deadline timer handler: cancels and resolves \p run if it is still
+  /// unresolved — typed kDeadlineExceeded, or (with degraded_reads and a
+  /// prepared query) the materialized fraction with staleness annotations.
+  void OnQueryDeadline(std::shared_ptr<QueryRun> run);
   /// Sends grouped poll requests; invokes \p done when all answers arrived,
   /// or \p on_failure after poll_max_retries timed-out rounds.
   void IssuePolls(const VapPlan& plan, std::function<void()> done,
@@ -374,10 +437,12 @@ class Mediator {
   /// resyncing and the queue exceeds max_queue_depth.
   void MaybeShed();
   /// Answers \p pq from the repositories with staleness annotations
-  /// (degraded mode). Fails over to \p cb with kUnavailable when nothing
-  /// is materialized for the query.
+  /// (degraded mode). Fails over with kUnavailable when nothing is
+  /// materialized for the query. \p immediate skips the q_proc_delay
+  /// deferral — the deadline handler serves the materialized fraction in
+  /// the deadline event itself, never after it.
   void ServeDegraded(const PreparedQuery& pq, const ViewQuery& nq,
-                     std::function<void(Result<ViewAnswer>)> cb);
+                     std::shared_ptr<QueryRun> run, bool immediate);
   /// True iff \p rt's epoch/health state or quarantine makes polling it
   /// hopeless right now.
   bool SourceDown(const SourceRuntime& rt) const;
@@ -401,8 +466,7 @@ class Mediator {
   bool SnapshotServable(const PreparedQuery& pq) const;
   /// The MVCC fast path: answers \p pq from the latest snapshot after
   /// q_proc_delay, without occupying the transaction queue.
-  void ServeSnapshotQuery(PreparedQuery pq,
-                          std::function<void(Result<ViewAnswer>)> cb);
+  void ServeSnapshotQuery(PreparedQuery pq, std::shared_ptr<QueryRun> run);
 
   // ---- durability helpers ----
   /// Schedules \p fn after \p delay, but only runs it if the mediator has
@@ -445,6 +509,13 @@ class Mediator {
   bool busy_ = false;
   bool update_txn_scheduled_ = false;
   std::deque<std::function<void()>> pending_txns_;
+  /// Per-class admission gate (limits from options_.admission).
+  AdmissionGate admission_;
+  /// The query transaction currently executing (null between query txns and
+  /// during update txns). The deadline handler uses it to tell a running
+  /// query (must also abandon the poll round) from a queued one; IssuePolls
+  /// uses it to stamp deadlines/classes into PollRequests.
+  std::shared_ptr<QueryRun> active_query_run_;
   std::optional<PollWait> poll_wait_;
   uint64_t next_poll_id_ = 1;
   uint64_t next_poll_generation_ = 1;

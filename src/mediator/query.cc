@@ -22,6 +22,12 @@ std::string ViewQuery::ToString() const {
   if (!attrs.empty()) {
     out = "project[" + Join(attrs, ", ") + "](" + out + ")";
   }
+  if (deadline != 0) {
+    out += " deadline=" + std::to_string(deadline);
+  }
+  if (qclass != QueryClass::kInteractive) {
+    out += std::string(" class=") + QueryClassName(qclass);
+  }
   return out;
 }
 

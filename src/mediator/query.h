@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/query_class.h"
 #include "common/status.h"
 #include "relational/expr.h"
 #include "relational/relation.h"
@@ -20,7 +21,16 @@ struct ViewQuery {
   std::vector<std::string> attrs;   ///< projection list (empty = all attrs)
   Expr::Ptr cond;                   ///< selection (null = true)
 
-  /// Renders e.g. "project[r3,s1](select[r3 < 100](T))".
+  // ---- overload protection (DESIGN.md §15) ----
+  /// Absolute sim-time deadline; 0 = none. A query that cannot be answered
+  /// by its deadline resolves with kDeadlineExceeded (or, with
+  /// degraded_reads, the materialized fraction annotated with staleness).
+  Time deadline = 0;
+  /// Service class for admission control.
+  QueryClass qclass = QueryClass::kInteractive;
+
+  /// Renders e.g. "project[r3,s1](select[r3 < 100](T))". Deadline and class
+  /// are appended only when set off-default, preserving legacy trace bytes.
   std::string ToString() const;
 };
 

@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "common/cancel.h"
 #include "common/strings.h"
 #include "relational/operators.h"
 
@@ -72,6 +73,7 @@ Result<std::optional<VapPlan>> QueryProcessor::PlanFor(
 
 Result<QueryProcessor::LocalAnswer> QueryProcessor::AnswerFromRepo(
     const PreparedQuery& q, const StoreSnapshot* snap) const {
+  SQ_RETURN_IF_ERROR(CheckCancel());
   SQ_ASSIGN_OR_RETURN(const Relation* repo,
                       snap != nullptr ? snap->Repo(q.query.relation)
                                       : store_->Repo(q.query.relation));
@@ -98,6 +100,10 @@ Result<QueryProcessor::LocalAnswer> QueryProcessor::Answer(
 Result<QueryProcessor::LocalAnswer> QueryProcessor::AnswerWithTemps(
     const PreparedQuery& q, const TempStore& temps,
     const StoreSnapshot* snap) const {
+  // Phase boundary: a query cancelled during VAP assembly must not start
+  // the final select/project pass. (AnswerDegraded deliberately does NOT
+  // check — it serves cancelled queries their materialized fraction.)
+  SQ_RETURN_IF_ERROR(CheckCancel());
   if (vap_->RepoCovers(q.query.relation, q.needed)) {
     return AnswerFromRepo(q, snap);
   }

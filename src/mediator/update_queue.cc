@@ -2,6 +2,41 @@
 
 namespace squirrel {
 
+namespace {
+
+/// Heuristic bytes of one queued message: fixed framing plus a per-atom
+/// share (tuple values + map node). Stable, which is all budget accounting
+/// needs.
+constexpr size_t kQueuedMessageOverhead = 128;
+constexpr size_t kQueuedAtomBytes = 96;
+
+}  // namespace
+
+UpdateQueue::~UpdateQueue() {
+  if (budget_ != nullptr) ReleaseGlobalBudget(budget_, charged_);
+}
+
+size_t UpdateQueue::ApproxBytesOf() const {
+  size_t total = 0;
+  for (const auto& msg : messages_) {
+    total += kQueuedMessageOverhead + msg.delta.AtomCount() * kQueuedAtomBytes;
+  }
+  return total;
+}
+
+void UpdateQueue::Recharge() {
+  const size_t now = ApproxBytesOf();
+  if (now > charged_) {
+    if (MemoryBudget* b = ChargeGlobalBudget(now - charged_)) {
+      budget_ = b;
+      charged_ = now;
+    }
+  } else if (now < charged_ && budget_ != nullptr) {
+    ReleaseGlobalBudget(budget_, charged_ - now);
+    charged_ = now;
+  }
+}
+
 void UpdateQueue::Enqueue(UpdateMessage msg) {
   ++total_enqueued_;
   total_atoms_ += msg.delta.AtomCount();
@@ -15,9 +50,11 @@ void UpdateQueue::Enqueue(UpdateMessage msg) {
     tail.epoch = msg.epoch;
     tail.send_time = msg.send_time;
     ++total_coalesced_;
+    Recharge();
     return;
   }
   messages_.push_back(std::move(msg));
+  Recharge();
 }
 
 bool UpdateQueue::CoalesceOldestIn(std::deque<UpdateMessage>* q,
@@ -65,6 +102,7 @@ bool UpdateQueue::CanCoalesceOldest() const {
 bool UpdateQueue::CoalesceOldest() {
   if (!CoalesceOldestIn(&messages_)) return false;
   ++total_shed_;
+  Recharge();
   return true;
 }
 
@@ -83,6 +121,7 @@ std::vector<UpdateMessage> UpdateQueue::Flush() {
   std::vector<UpdateMessage> out(std::make_move_iterator(messages_.begin()),
                                  std::make_move_iterator(messages_.end()));
   messages_.clear();
+  Recharge();
   return out;
 }
 
@@ -90,6 +129,7 @@ void UpdateQueue::Requeue(std::vector<UpdateMessage> msgs) {
   total_requeued_ += msgs.size();
   messages_.insert(messages_.begin(), std::make_move_iterator(msgs.begin()),
                    std::make_move_iterator(msgs.end()));
+  Recharge();
 }
 
 std::vector<UpdateMessage> UpdateQueue::Snapshot() const {
@@ -99,6 +139,7 @@ std::vector<UpdateMessage> UpdateQueue::Snapshot() const {
 void UpdateQueue::Restore(std::vector<UpdateMessage> msgs) {
   messages_.assign(std::make_move_iterator(msgs.begin()),
                    std::make_move_iterator(msgs.end()));
+  Recharge();
 }
 
 Result<MultiDelta> UpdateQueue::PendingFrom(const std::string& source) const {

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/memory_budget.h"
 #include "common/status.h"
 #include "source/messages.h"
 
@@ -22,6 +23,10 @@ namespace squirrel {
 class UpdateQueue {
  public:
   UpdateQueue() = default;
+  /// Returns whatever the queue still has charged to the memory budget.
+  ~UpdateQueue();
+  UpdateQueue(const UpdateQueue&) = delete;
+  UpdateQueue& operator=(const UpdateQueue&) = delete;
 
   /// Appends a message (called by the mediator's channel receiver). When a
   /// coalesce window is set and WouldCoalesce(msg) holds, the message is
@@ -114,6 +119,12 @@ class UpdateQueue {
   uint64_t TotalShed() const { return total_shed_; }
 
  private:
+  /// Approximate bytes of the current contents (message + atom heuristic).
+  size_t ApproxBytesOf() const;
+  /// Re-syncs the memory-budget charge with the current contents: charges
+  /// growth, releases shrinkage (DESIGN.md §15). Every mutator calls this.
+  void Recharge();
+
   std::deque<UpdateMessage> messages_;
   Time coalesce_window_ = 0.0;
   uint64_t total_enqueued_ = 0;
@@ -121,6 +132,9 @@ class UpdateQueue {
   uint64_t total_requeued_ = 0;
   uint64_t total_coalesced_ = 0;
   uint64_t total_shed_ = 0;
+  // Memory-budget accounting state (see Recharge).
+  MemoryBudget* budget_ = nullptr;
+  size_t charged_ = 0;
 };
 
 }  // namespace squirrel

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "common/cancel.h"
 #include "common/strings.h"
 #include "delta/delta_algebra.h"
 #include "relational/index.h"
@@ -563,6 +564,10 @@ Result<TempStore> Vap::Execute(const VapPlan& plan, const PollFn& poll,
   for (const auto& p : plan.polls) poll_at[p.request_index] = &p;
 
   for (size_t i = 0; i < plan.build_order.size(); ++i) {
+    // Step-boundary cancellation: each build step is a bounded unit of
+    // work, so a cancelled query (deadline or memory budget) stops before
+    // assembling the next temporary instead of finishing the whole plan.
+    SQ_RETURN_IF_ERROR(CheckCancel());
     const TempRequest& req = plan.build_order[i];
     auto pit = poll_at.find(i);
     if (pit != poll_at.end()) {

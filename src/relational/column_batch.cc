@@ -19,7 +19,16 @@ double BitsDouble(uint64_t u) {
   return d;
 }
 
+/// Approximate per-entry overhead of an interned string: the std::string
+/// object, the map node, and bucket share. Rough but stable, which is what
+/// budget accounting needs.
+constexpr size_t kInternOverhead = 64;
+
 }  // namespace
+
+StringArena::~StringArena() {
+  if (budget_ != nullptr) ReleaseGlobalBudget(budget_, charged_);
+}
 
 uint32_t StringArena::Intern(std::string_view s) {
   auto it = ids_.find(s);
@@ -27,6 +36,11 @@ uint32_t StringArena::Intern(std::string_view s) {
   uint32_t id = static_cast<uint32_t>(strings_.size());
   strings_.emplace_back(s);
   ids_.emplace(std::string_view(strings_.back()), id);
+  const size_t bytes = s.size() + kInternOverhead;
+  if (MemoryBudget* b = ChargeGlobalBudget(bytes)) {
+    budget_ = b;
+    charged_ += bytes;
+  }
   return id;
 }
 

@@ -31,6 +31,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/memory_budget.h"
 #include "common/status.h"
 #include "delta/delta.h"
 #include "relational/relation.h"
@@ -52,6 +53,13 @@ inline constexpr ColumnTag kTagString = 3;
 /// lookup map keys are views into the stored strings).
 class StringArena {
  public:
+  StringArena() = default;
+  /// Returns everything this arena charged against the memory budget (if
+  /// accounting was on while it grew).
+  ~StringArena();
+  StringArena(const StringArena&) = delete;
+  StringArena& operator=(const StringArena&) = delete;
+
   /// Id of \p s, interning it on first sight.
   uint32_t Intern(std::string_view s);
 
@@ -68,6 +76,10 @@ class StringArena {
  private:
   std::deque<std::string> strings_;
   std::unordered_map<std::string_view, uint32_t> ids_;
+  // Memory-budget accounting (DESIGN.md §15): bytes charged so far and the
+  // accountant they were charged to (null while accounting is off).
+  MemoryBudget* budget_ = nullptr;
+  size_t charged_ = 0;
 };
 
 /// \brief One column of a batch: a tag byte and a 64-bit payload per row.

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/cancel.h"
 #include "common/strings.h"
 
 namespace squirrel {
@@ -145,6 +146,17 @@ PackedJoinTable::PackedJoinTable(size_t key_width)
       scratch_tags_(key_width),
       scratch_bits_(key_width) {}
 
+PackedJoinTable::~PackedJoinTable() {
+  if (budget_ != nullptr) ReleaseGlobalBudget(budget_, charged_);
+}
+
+void PackedJoinTable::ChargeBytes(size_t bytes) {
+  if (MemoryBudget* b = ChargeGlobalBudget(bytes)) {
+    budget_ = b;
+    charged_ += bytes;
+  }
+}
+
 bool PackedJoinTable::PackTuple(const Tuple& t,
                                 const std::vector<size_t>& key_pos,
                                 bool intern) {
@@ -199,6 +211,9 @@ int32_t PackedJoinTable::AppendPacked() {
                    scratch_bits_.end());
   hashes_.push_back(HashKey(scratch_tags_.data(), scratch_bits_.data()));
   next_.push_back(-1);
+  // Per build row: key_width_ tag+payload cells, the hash, the chain link.
+  ChargeBytes(key_width_ * (sizeof(ColumnTag) + sizeof(uint64_t)) +
+              sizeof(uint64_t) + sizeof(int32_t));
   return id;
 }
 
@@ -219,6 +234,7 @@ void PackedJoinTable::Finalize() {
   size_t cap = NextPow2(next_.size() * 2);
   mask_ = cap - 1;
   slots_.assign(cap, -1);
+  ChargeBytes(cap * sizeof(int32_t));
   for (size_t i = 0; i < next_.size(); ++i) {
     const size_t off = i * key_width_;
     size_t s = hashes_[i] & mask_;
@@ -565,6 +581,7 @@ Result<std::vector<uint32_t>> EvalPredicate(const BoundExpr& expr,
   }
   sel.reserve(n);
   for (size_t r = 0; r < n; ++r) {
+    if ((r & (kCancelCheckRows - 1)) == 0) SQ_RETURN_IF_ERROR(CheckCancel());
     if (CellTruthy(top, batch, r)) sel.push_back(static_cast<uint32_t>(r));
   }
   return sel;
@@ -716,6 +733,7 @@ Result<MatchPairs> HashJoinPairs(const JoinSide& build, const JoinSide& probe,
   table.Finalize();
   MatchPairs pairs;
   for (size_t r = 0; r < probe.batch.rows(); ++r) {
+    if ((r & (kCancelCheckRows - 1)) == 0) SQ_RETURN_IF_ERROR(CheckCancel());
     for (int32_t m = table.ProbeBatchRow(probe.batch, probe.key_pos, r);
          m >= 0; m = table.NextInChain(m)) {
       pairs.build_rows.push_back(static_cast<uint32_t>(m));
@@ -814,6 +832,7 @@ Result<Relation> Join(const Relation& left, const Relation& right,
                           : Semantics::kSet;
   Relation out(std::move(out_schema), out_sem);
   for (size_t i = 0; i < pairs.build_rows.size(); ++i) {
+    if ((i & (kCancelCheckRows - 1)) == 0) SQ_RETURN_IF_ERROR(CheckCancel());
     uint32_t br = pairs.build_rows[i], pr = pairs.probe_rows[i];
     const Tuple& lt = build_left ? *build.src[br] : *probe.src[pr];
     const Tuple& rt = build_left ? *probe.src[pr] : *build.src[br];
@@ -875,6 +894,7 @@ Result<Delta> JoinDeltaRelation(const Delta& delta, const Relation& rel,
                     residual, has_residual));
   Delta out(std::move(out_schema));
   for (size_t i = 0; i < pairs.build_rows.size(); ++i) {
+    if ((i & (kCancelCheckRows - 1)) == 0) SQ_RETURN_IF_ERROR(CheckCancel());
     const Tuple& rt = *relside.src[pairs.build_rows[i]];
     const Tuple& dt = *dside.src[pairs.probe_rows[i]];
     int64_t count = relside.batch.counts()[pairs.build_rows[i]] *
@@ -906,8 +926,13 @@ Result<Delta> Between(const Relation& from, const Relation& to) {
   std::vector<char> matched(fsrc.size(), 0);
   Delta out(to.schema());
   Status st = Status::OK();
+  size_t probe_row = 0;
   to.ForEach([&](const Tuple& t, int64_t count) {
     if (!st.ok()) return;
+    if ((probe_row++ & (kCancelCheckRows - 1)) == 0) {
+      st = CheckCancel();
+      if (!st.ok()) return;
+    }
     int32_t m = table.ProbeRow(t, all_pos);
     if (m < 0) {
       st = out.Add(t, count);

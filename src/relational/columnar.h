@@ -117,6 +117,11 @@ class PackedJoinTable {
  public:
   /// \p key_width: number of join-key columns.
   explicit PackedJoinTable(size_t key_width);
+  /// Returns the build arrays' bytes to the memory budget (the embedded
+  /// arena returns its own share).
+  ~PackedJoinTable();
+  PackedJoinTable(const PackedJoinTable&) = delete;
+  PackedJoinTable& operator=(const PackedJoinTable&) = delete;
 
   size_t key_width() const { return key_width_; }
   /// Number of build rows added.
@@ -155,6 +160,8 @@ class PackedJoinTable {
                  size_t row, bool intern);
   // Append the scratch key as a new build row; returns its id.
   int32_t AppendPacked();
+  // Accounts \p bytes of build-array growth against the global budget.
+  void ChargeBytes(size_t bytes);
   uint64_t HashKey(const ColumnTag* tags, const uint64_t* bits) const;
   bool KeyEquals(int32_t row, const ColumnTag* tags,
                  const uint64_t* bits) const;
@@ -170,6 +177,9 @@ class PackedJoinTable {
   std::vector<int32_t> next_;        // per row: next row with equal key
   std::vector<int32_t> slots_;       // open addressing; -1 empty
   size_t mask_ = 0;
+  // Memory-budget accounting for the build arrays (DESIGN.md §15).
+  MemoryBudget* budget_ = nullptr;
+  size_t charged_ = 0;
 };
 
 }  // namespace columnar

@@ -104,6 +104,21 @@ void PollResponder::OnRequest(PollRequest request) {
     ++dropped_;  // the request reached a crashed source and is lost
     return;
   }
+  if (request.deadline > 0 && scheduler_->Now() >= request.deadline) {
+    // The querying tier's remaining budget is already spent: evaluating the
+    // polls (and flushing the announcer) would produce an answer nobody can
+    // use. Reject immediately with a retry-after hint instead — this is the
+    // cross-tier half of deadline propagation.
+    ++deadline_rejects_;
+    PollAnswer reject;
+    reject.id = request.id;
+    reject.source = db_->name();
+    reject.answered_at = scheduler_->Now();
+    reject.epoch = db_->epoch();
+    reject.retry_after = scheduler_->Now() + q_proc_delay_;
+    out_->Send(SourceToMediatorMsg(std::move(reject)));
+    return;
+  }
   Time extra =
       faults_ != nullptr ? faults_->SlowPollExtra(scheduler_->Now()) : 0.0;
   scheduler_->After(q_proc_delay_ + extra, [this, req = std::move(request)]() {

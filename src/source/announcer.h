@@ -95,6 +95,8 @@ class PollResponder {
   /// Handles an incoming request: after q_proc_delay (plus any slow-poll
   /// fault), evaluates every poll against one state, flushes the announcer,
   /// then sends the answer. Requests hitting a crashed source are lost.
+  /// A request received at or past its deadline is rejected immediately
+  /// with an empty answer carrying retry_after (no evaluation, no flush).
   void OnRequest(PollRequest request);
 
   /// Handles an anti-entropy snapshot pull: after the same processing delay
@@ -113,6 +115,8 @@ class PollResponder {
   uint64_t DroppedCount() const { return dropped_; }
   /// Snapshot requests answered so far.
   uint64_t SnapshotsAnswered() const { return snapshots_answered_; }
+  /// Requests refused because they arrived at or past their deadline.
+  uint64_t DeadlineRejects() const { return deadline_rejects_; }
   /// Simulated per-request processing time.
   Time q_proc_delay() const { return q_proc_delay_; }
 
@@ -126,6 +130,7 @@ class PollResponder {
   uint64_t answered_ = 0;
   uint64_t dropped_ = 0;
   uint64_t snapshots_answered_ = 0;
+  uint64_t deadline_rejects_ = 0;
 };
 
 /// Schedules SourceDb::Restart(end) for every restart window the fault plan

@@ -15,6 +15,7 @@
 #include <variant>
 #include <vector>
 
+#include "common/query_class.h"
 #include "delta/delta.h"
 #include "relational/expr.h"
 #include "relational/relation.h"
@@ -50,6 +51,15 @@ struct PollSpec {
 struct PollRequest {
   uint64_t id = 0;
   std::vector<PollSpec> polls;
+  // ---- overload protection (DESIGN.md §15) ----
+  /// Absolute deadline forwarded from the querying tier (remaining budget
+  /// minus the parent's margin); 0 = none. A responder that receives the
+  /// request at or past the deadline answers immediately with an empty
+  /// rejection (retry_after set) instead of evaluating the polls.
+  Time deadline = 0;
+  /// Service class of the query this poll serves (kInteractive for updates
+  /// and maintenance-originated polls).
+  QueryClass qclass = QueryClass::kInteractive;
 };
 
 /// Answers to a PollRequest; all results reflect the same source state.
@@ -59,6 +69,10 @@ struct PollAnswer {
   Time answered_at = 0;  ///< source-side time the state was read
   uint64_t epoch = 1;    ///< source incarnation the state belongs to
   std::vector<Relation> results;  ///< aligned with PollRequest::polls
+  /// Non-zero marks a deadline/overload rejection: the responder did not
+  /// evaluate the polls and suggests retrying at this absolute time.
+  /// `results` is empty then.
+  Time retry_after = 0;
 };
 
 /// Anti-entropy pull: the mediator asks a restarted source for the full

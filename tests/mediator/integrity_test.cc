@@ -297,6 +297,123 @@ TEST(WireCodecFuzzTest, RelationBitFlipDecodeIsFixedPointOrRefusal) {
   }
 }
 
+// A poll request with every overload-protection field off its default
+// (deadline, query class) plus per-poll conditions, and a poll answer
+// carrying a retry-after rejection hint — so the fuzz sweeps cross the new
+// wire fields introduced for deadline propagation.
+PollRequest FuzzPollRequest() {
+  PollRequest req;
+  req.id = 91;
+  req.deadline = 87.625;
+  req.qclass = QueryClass::kBatch;
+  PollSpec p1;
+  p1.relation = "R";
+  p1.attrs = {"a", "b"};
+  auto cond = ParsePredicate("a < 10");
+  EXPECT_TRUE(cond.ok());
+  p1.cond = *cond;
+  req.polls.push_back(std::move(p1));
+  PollSpec p2;
+  p2.relation = "S";
+  p2.attrs = {"x"};
+  req.polls.push_back(std::move(p2));
+  return req;
+}
+
+PollAnswer FuzzPollAnswer() {
+  PollAnswer ans;
+  ans.id = 91;
+  ans.source = "DB2";
+  ans.answered_at = 41.5;
+  ans.epoch = 4;
+  ans.retry_after = 52.25;
+  Relation r(TestSchema("R(a, b)"), Semantics::kBag);
+  EXPECT_TRUE(r.Insert(Tuple({1, 2}), 2).ok());
+  ans.results.push_back(std::move(r));
+  return ans;
+}
+
+TEST(WireCodecFuzzTest, PollRequestTruncationAtEveryOffsetFailsCleanly) {
+  BinaryWriter w;
+  EncodePollRequest(&w, FuzzPollRequest());
+  const std::string bytes = w.bytes();
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::string prefix = bytes.substr(0, cut);
+    BinaryReader r(prefix);
+    auto back = DecodePollRequest(&r);
+    EXPECT_TRUE(!back.ok() || !r.AtEnd()) << "prefix length " << cut;
+  }
+}
+
+TEST(WireCodecFuzzTest, PollRequestBitFlipNeverCrashesDecodeIsFixedPoint) {
+  // One flipped bit may hit the deadline (a different but well-formed time),
+  // the class byte (out-of-range values are a typed refusal), a count, or
+  // the predicate text (re-parsed on decode; garbage is a typed parse
+  // error). The contract: never crash, and any accepted decode must be a
+  // deterministic fixed point of the codec.
+  BinaryWriter w;
+  EncodePollRequest(&w, FuzzPollRequest());
+  const std::string bytes = w.bytes();
+  Rng rng(20260813);
+  for (size_t off = 0; off < bytes.size(); ++off) {
+    std::string damaged = bytes;
+    damaged[off] ^= static_cast<char>(1u << rng.Uniform(8));
+    if (damaged[off] == bytes[off]) continue;  // flip cancelled (paranoia)
+    BinaryReader r(damaged);
+    auto back = DecodePollRequest(&r);
+    if (!back.ok()) continue;  // clean typed refusal
+    BinaryWriter re;
+    EncodePollRequest(&re, *back);
+    BinaryReader r2(re.bytes());
+    auto again = DecodePollRequest(&r2);
+    ASSERT_TRUE(again.ok()) << "offset " << off;
+    BinaryWriter re2;
+    EncodePollRequest(&re2, *again);
+    EXPECT_EQ(re2.bytes(), re.bytes()) << "offset " << off;
+    // An accepted decode can never smuggle in an out-of-range class.
+    EXPECT_LT(static_cast<uint8_t>(back->qclass), kNumQueryClasses)
+        << "offset " << off;
+  }
+}
+
+TEST(WireCodecFuzzTest, PollAnswerTruncationAtEveryOffsetFailsCleanly) {
+  BinaryWriter w;
+  EncodePollAnswer(&w, FuzzPollAnswer());
+  const std::string bytes = w.bytes();
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::string prefix = bytes.substr(0, cut);
+    BinaryReader r(prefix);
+    auto back = DecodePollAnswer(&r);
+    EXPECT_TRUE(!back.ok() || !r.AtEnd()) << "prefix length " << cut;
+  }
+}
+
+TEST(WireCodecFuzzTest, PollAnswerBitFlipNeverCrashesDecodeIsFixedPoint) {
+  // The retry_after field travels as an IEEE-754 bit pattern: every flip is
+  // a different but decodable time, so the fixed-point property is what
+  // keeps a damaged rejection hint from oscillating through replays.
+  BinaryWriter w;
+  EncodePollAnswer(&w, FuzzPollAnswer());
+  const std::string bytes = w.bytes();
+  Rng rng(20260814);
+  for (size_t off = 0; off < bytes.size(); ++off) {
+    std::string damaged = bytes;
+    damaged[off] ^= static_cast<char>(1u << rng.Uniform(8));
+    if (damaged[off] == bytes[off]) continue;
+    BinaryReader r(damaged);
+    auto back = DecodePollAnswer(&r);
+    if (!back.ok()) continue;
+    BinaryWriter re;
+    EncodePollAnswer(&re, *back);
+    BinaryReader r2(re.bytes());
+    auto again = DecodePollAnswer(&r2);
+    ASSERT_TRUE(again.ok()) << "offset " << off;
+    BinaryWriter re2;
+    EncodePollAnswer(&re2, *again);
+    EXPECT_EQ(re2.bytes(), re.bytes()) << "offset " << off;
+  }
+}
+
 /// Deterministic corruption for triage tests: flips one byte of chosen LSNs
 /// at READ time — the moment recovery looks at the "disk". Flipping at
 /// offset 20 (the first payload byte, past magic and crc) guarantees the

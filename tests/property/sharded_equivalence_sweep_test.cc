@@ -26,7 +26,7 @@ using testing::FaultSimOptions;
 using testing::RunFaultSim;
 
 constexpr uint64_t kSeedsPerChunk = 25;
-constexpr int kChunks = 5;  // 5 * 25 = 125 seeds
+constexpr int kChunks = 6;  // 6 * 25 = 150 seeds
 
 // Per-chunk fault-model layers the single/sharded comparison rides on.
 struct Scenario {
@@ -37,6 +37,7 @@ struct Scenario {
   double snapshot_corrupt_prob = 0;
   int iup_threads = 0;
   bool require_all_healthy = false;
+  bool degraded_reads = false;
 };
 
 Scenario ChunkScenario(int chunk) {
@@ -52,8 +53,16 @@ Scenario ChunkScenario(int chunk) {
               .require_all_healthy = true};
     case 3:  // corrupted snapshot payloads on every link (wire checksums)
       return {.durability = true, .wal = true, .snapshot_corrupt_prob = 0.3};
-    default:  // threaded IUP kernels in every tier (the TSan chunk)
+    case 4:  // threaded IUP kernels in every tier (the TSan chunk)
       return {.iup_threads = 2};
+    default:  // down sources + degraded reads at every tier: a parent
+              // answering from a resyncing child's mirror must annotate
+              // staleness exactly like the single-mediator run does
+      return {.durability = true,
+              .wal = true,
+              .source_restarts = 2,
+              .require_all_healthy = true,
+              .degraded_reads = true};
   }
 }
 
@@ -67,6 +76,7 @@ FaultSimOptions ChunkOptions(const Scenario& s,
   opts.snapshot_corrupt_prob = s.snapshot_corrupt_prob;
   opts.iup_threads = s.iup_threads;
   opts.require_all_healthy = s.require_all_healthy;
+  opts.degraded_reads = s.degraded_reads;
   opts.topology = topo;
   return opts;
 }

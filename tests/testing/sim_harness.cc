@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/memory_budget.h"
 #include "common/rng.h"
 #include "common/strings.h"
 #include "mediator/consistency.h"
@@ -83,6 +85,9 @@ struct Scenario {
   std::vector<SimLink> links;    // parallel to dbs
   MediatorOptions options;       // policy only; durability wired per runner
   std::vector<SimOp> ops;
+  /// Storm queries (overload injector), kept apart from the workload so the
+  /// baseline ops stay byte-identical with the storm off.
+  std::vector<SimOp> storm_ops;
   std::string fault_plan_dump;
 };
 
@@ -276,6 +281,23 @@ Result<Scenario> BuildScenario(uint64_t seed, const FaultSimOptions& opts) {
   sc.options.iup_perturb_seed = opts.iup_perturb_seed;
   sc.options.mvcc_reads = opts.mvcc_reads;
   sc.options.columnar = opts.columnar;
+  // Assigned, not drawn: the overload-protection knobs must not perturb the
+  // rng-driven schedule above, so an overload run's baseline is the same
+  // seed with the knobs off. The jitter seed is the run seed, keeping the
+  // backoff schedule a pure function of (seed, options).
+  sc.options.poll_backoff_cap = opts.poll_backoff_cap;
+  sc.options.poll_jitter = opts.poll_jitter;
+  sc.options.poll_jitter_seed = seed;
+  if (opts.admit_max_active > 0) {
+    // Cap the externally driven classes only; kInternal stays unlimited so
+    // the harness's own final correctness queries are never refused.
+    for (QueryClass cls : {QueryClass::kInteractive, QueryClass::kBatch}) {
+      sc.options.admission.max_active[static_cast<size_t>(cls)] =
+          opts.admit_max_active;
+      sc.options.admission.max_queued[static_cast<size_t>(cls)] =
+          opts.admit_max_queued;
+    }
+  }
   for (size_t i = 0; i < sc.dbs.size(); ++i) {
     SimLink l;
     l.comm_delay = 0.2 + rng.UniformDouble() * 0.5;
@@ -376,6 +398,32 @@ Result<Scenario> BuildScenario(uint64_t seed, const FaultSimOptions& opts) {
       sc.ops.push_back(std::move(op));
     }
   }
+
+  // ---- storm queries (overload injector) draw from a DEDICATED rng
+  // stream, after every other schedule decision: the workload above is
+  // byte-identical with the storm on or off, so a storm run's export oracle
+  // is simply the same seed without the storm ----
+  if (opts.query_storm > 0) {
+    Rng storm_rng(seed * 0xD6E8FEB86659FD93ULL + 77777);
+    for (int i = 0; i < opts.query_storm; ++i) {
+      SimOp op;
+      op.kind = SimOp::kQuery;
+      op.when = 2.0 + storm_rng.UniformDouble() * (sc.t_end - 2.0);
+      if (sc.has_db3 && storm_rng.Bernoulli(0.4)) {
+        op.query.relation = "W";
+        if (storm_rng.Bernoulli(0.5)) op.query.attrs = {"s1", "u2"};
+      } else {
+        op.query.relation = "T";
+        if (storm_rng.Bernoulli(0.5)) op.query.attrs = {"r1", "s1"};
+      }
+      op.query.qclass = storm_rng.Bernoulli(0.5) ? QueryClass::kInteractive
+                                                 : QueryClass::kBatch;
+      if (opts.query_deadline > 0) {
+        op.query.deadline = op.when + opts.query_deadline;
+      }
+      sc.storm_ops.push_back(std::move(op));
+    }
+  }
   return sc;
 }
 
@@ -427,8 +475,13 @@ void ScheduleOps(Scenario& sc, Scheduler& scheduler, Mediator* query_target,
                 } else {
                   ++result->queries_ok;
                 }
-              } else if (ans.status().code() == StatusCode::kUnavailable) {
-                ++result->queries_failed;  // legal fail-over under faults
+              } else if (ans.status().code() == StatusCode::kUnavailable ||
+                         ans.status().code() ==
+                             StatusCode::kDeadlineExceeded ||
+                         ans.status().code() == StatusCode::kOverloaded) {
+                // Legal fail-over under faults, or a typed overload outcome
+                // when the run configures deadlines / admission limits.
+                ++result->queries_failed;
               } else if (bad_status->empty()) {
                 *bad_status = ans.status().ToString();
               }
@@ -448,6 +501,55 @@ void ScheduleOps(Scenario& sc, Scheduler& scheduler, Mediator* query_target,
         (void)db->DeleteTuple(scheduler.Now(), rel, tup);
       });
     }
+  }
+}
+
+/// Schedules the overload-injector storm against \p target and tallies every
+/// outcome. Unlike workload queries, a storm query's deadline or admission
+/// rejection is an EXPECTED result; the sweep asserts the dichotomy (every
+/// storm query resolves by its deadline or with a typed error) via
+/// storm_late / storm_untyped, and an untyped failure surfaces through
+/// \p bad_status like any workload bug.
+void ScheduleStormOps(Scenario& sc, Scheduler& scheduler, Mediator* target,
+                      FaultSimResult* result, std::string* bad_status) {
+  result->storm_queries = sc.storm_ops.size();
+  for (const SimOp& op : sc.storm_ops) {
+    ViewQuery q = op.query;
+    const Time when = op.when;
+    scheduler.At(when, [target, q, when, result, bad_status, &scheduler]() {
+      const Time deadline = q.deadline;
+      target->SubmitQuery(q, [when, deadline, result, bad_status,
+                              &scheduler](Result<ViewAnswer> ans) {
+        const Time now = scheduler.Now();
+        result->storm_latencies.push_back(now - when);
+        if (deadline > 0 && now > deadline + 1e-9) ++result->storm_late;
+        if (ans.ok()) {
+          if (ans.value().degraded) {
+            ++result->storm_degraded;
+          } else {
+            ++result->storm_ok;
+          }
+          return;
+        }
+        switch (ans.status().code()) {
+          case StatusCode::kDeadlineExceeded:
+            ++result->storm_deadline_exceeded;
+            break;
+          case StatusCode::kOverloaded:
+            ++result->storm_rejected_overload;
+            break;
+          case StatusCode::kUnavailable:
+            ++result->storm_unavailable;
+            break;
+          default:
+            ++result->storm_untyped;
+            if (bad_status->empty()) {
+              *bad_status = "storm: " + ans.status().ToString();
+            }
+            break;
+        }
+      });
+    });
   }
 }
 
@@ -552,9 +654,10 @@ Result<FaultSimResult> RunSingle(uint64_t seed, const FaultSimOptions& opts,
     });
   }
 
-  // ---- schedule the pre-drawn workload ----
+  // ---- schedule the pre-drawn workload and the overload storm ----
   std::string bad_status;
   ScheduleOps(sc, scheduler, mediator, &result, &bad_status);
+  ScheduleStormOps(sc, scheduler, mediator, &result, &bad_status);
 
   // ---- run to quiescence: all faults are over by t_end, so within the
   // drain every retransmit lands, every aborted transaction retries
@@ -621,6 +724,12 @@ Result<FaultSimResult> RunSingle(uint64_t seed, const FaultSimOptions& opts,
     return Status::Internal(SeedTag(seed) + "query failed with non-fault " +
                             "status: " + bad_status);
   }
+  if (result.storm_latencies.size() != result.storm_queries) {
+    return Status::Internal(
+        SeedTag(seed) + "unresolved storm queries: resolved=" +
+        std::to_string(result.storm_latencies.size()) + " of " +
+        std::to_string(result.storm_queries));
+  }
 
   // ---- every export must equal a from-scratch recomputation over the
   // final source states ----
@@ -631,6 +740,9 @@ Result<FaultSimResult> RunSingle(uint64_t seed, const FaultSimOptions& opts,
   for (const std::string& exp : sc.vdp.ExportNames()) {
     ViewQuery q;
     q.relation = exp;
+    // Internal class: the harness's own correctness probes must never be
+    // refused by an admission gate configured for the external classes.
+    q.qclass = QueryClass::kInternal;
     final_answers.emplace(exp, Status::Internal("no answer"));
     auto* slot = &final_answers.at(exp);
     scheduler.At(t_fq, [mediator, q, slot]() {
@@ -759,6 +871,15 @@ Result<FaultSimResult> RunSingle(uint64_t seed, const FaultSimOptions& opts,
       "\n";
   fill_storage(ms);
   result.trace_dump += storage_line();
+  // Zero-valued in non-overload runs, so replay comparisons across engine
+  // modes (columnar on/off) see the identical line on both sides.
+  result.trace_dump +=
+      "overload: deadline_exceeded=" +
+      std::to_string(ms.deadline_exceeded_queries) +
+      " rejected=" + std::to_string(ms.queries_rejected_overload) +
+      " shed_soft=" + std::to_string(ms.queries_shed_soft_budget) +
+      " mem_cancelled=" + std::to_string(ms.queries_cancelled_memory) +
+      " poll_rejects=" + std::to_string(ms.poll_rejects) + "\n";
   result.stats_dump = ms.ToString();
   return result;
 }
@@ -976,6 +1097,7 @@ Result<FaultSimResult> RunSharded(uint64_t seed, const FaultSimOptions& opts,
   std::string bad_status;
   Mediator* root = tiers.back().med.get();
   ScheduleOps(sc, scheduler, root, &result, &bad_status);
+  ScheduleStormOps(sc, scheduler, root, &result, &bad_status);
 
   scheduler.RunUntil(sc.t_end + opts.drain);
 
@@ -1083,6 +1205,12 @@ Result<FaultSimResult> RunSharded(uint64_t seed, const FaultSimOptions& opts,
     return Status::Internal(SeedTag(seed) + "query failed with non-fault " +
                             "status: " + bad_status);
   }
+  if (result.storm_latencies.size() != result.storm_queries) {
+    return Status::Internal(
+        SeedTag(seed) + "unresolved storm queries: resolved=" +
+        std::to_string(result.storm_latencies.size()) + " of " +
+        std::to_string(result.storm_queries));
+  }
 
   // ---- ground truth: the root's exports must equal a from-scratch
   // recomputation of the UNSHARDED base VDP over the final real-source
@@ -1095,6 +1223,7 @@ Result<FaultSimResult> RunSharded(uint64_t seed, const FaultSimOptions& opts,
   for (const std::string& exp : sc.vdp.ExportNames()) {
     ViewQuery q;
     q.relation = exp;
+    q.qclass = QueryClass::kInternal;  // never refused by the gate
     final_answers.emplace(exp, Status::Internal("no answer"));
     auto* slot = &final_answers.at(exp);
     scheduler.At(t_fq, [root, q, slot]() {
@@ -1194,14 +1323,28 @@ Result<FaultSimResult> RunFaultSim(uint64_t seed,
   // Pin the engine mode (and a zero size threshold, so the small sim
   // relations actually take the columnar paths) for the whole run.
   columnar::ScopedColumnarMode scoped_columnar(opts.columnar, /*min_rows=*/0);
+  // Optional memory budget, installed for the whole run (build + deploy +
+  // drain) so arenas, join tables, snapshots and queues all account to it.
+  std::unique_ptr<MemoryBudget> budget;
+  std::optional<ScopedMemoryBudget> scoped_budget;
+  if (opts.memory_soft_limit > 0 || opts.memory_hard_limit > 0) {
+    budget = std::make_unique<MemoryBudget>(opts.memory_soft_limit,
+                                            opts.memory_hard_limit);
+    scoped_budget.emplace(budget.get());
+  }
   SQ_ASSIGN_OR_RETURN(Scenario sc, BuildScenario(seed, opts));
   FaultSimResult result;
   result.seed = seed;
   result.fault_plan_dump = std::move(sc.fault_plan_dump);
-  if (opts.topology == FaultSimOptions::Topology::kSingle) {
-    return RunSingle(seed, opts, sc, std::move(result));
+  Result<FaultSimResult> run =
+      opts.topology == FaultSimOptions::Topology::kSingle
+          ? RunSingle(seed, opts, sc, std::move(result))
+          : RunSharded(seed, opts, sc, std::move(result));
+  if (run.ok() && budget != nullptr) {
+    run.value().budget_peak = budget->peak();
+    run.value().budget_hard_cancels = budget->hard_cancels();
   }
-  return RunSharded(seed, opts, sc, std::move(result));
+  return run;
 }
 
 }  // namespace testing

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "mediator/mediator.h"
@@ -123,6 +124,30 @@ struct FaultSimOptions {
   /// faults, child crash windows) draws from a dedicated rng stream.
   enum class Topology { kSingle = 0, kTwoShard, kThreeTier };
   Topology topology = Topology::kSingle;
+  // ---- overload protection (PR: deadlines/admission/memory budgets) ----
+  /// > 0: inject this many EXTRA storm queries against the root mediator,
+  /// drawn from a DEDICATED rng stream so the baseline workload and fault
+  /// schedules are byte-identical with the storm off (the no-overload
+  /// oracle of the overload sweep). Storm outcomes are tallied separately
+  /// (storm_* result fields) and never count as workload failures.
+  int query_storm = 0;
+  /// Relative deadline stamped on every storm query (absolute deadline =
+  /// submit time + this); 0 = none. Workload queries stay deadline-free.
+  Time query_deadline = 0;
+  /// Per-class admission limits for kInteractive and kBatch on EVERY
+  /// mediator of the deployment (0 = unlimited). kInternal is never capped:
+  /// the harness's final correctness queries must always run.
+  uint32_t admit_max_active = 0;
+  uint32_t admit_max_queued = 0;
+  /// Process-global memory budget for the run (bytes; 0 = off). Hard-limit
+  /// cancellations require iup_threads = 0 setups in the sweeps only for
+  /// determinism of WHICH query dies; accounting itself is thread-safe.
+  size_t memory_soft_limit = 0;
+  size_t memory_hard_limit = 0;
+  /// Poll-timeout backoff ceiling and seeded jitter (MediatorOptions
+  /// passthrough; jitter seed = the run seed, so replays agree).
+  Time poll_backoff_cap = 0;
+  double poll_jitter = 0;
 };
 
 /// What one seeded schedule produced (for assertions and reporting).
@@ -200,6 +225,24 @@ struct FaultSimResult {
   /// run and its replay — e.g. one reset by Recover() instead of preserved —
   /// shows up here even if no export diverges.
   std::string stats_dump;
+  // Overload-protection observability (zero without query_storm / budgets).
+  uint64_t storm_queries = 0;            ///< storm queries injected
+  uint64_t storm_ok = 0;                 ///< answered fresh
+  uint64_t storm_degraded = 0;           ///< answered stale + annotated
+  uint64_t storm_deadline_exceeded = 0;  ///< typed kDeadlineExceeded
+  uint64_t storm_rejected_overload = 0;  ///< typed kOverloaded (admission/mem)
+  uint64_t storm_unavailable = 0;        ///< typed kUnavailable (faults)
+  /// Storm queries resolved AFTER their deadline passed (sweep invariant:
+  /// always 0 — a deadline is resolved the event-loop step it expires).
+  uint64_t storm_late = 0;
+  /// Storm queries that terminated with a status outside the typed overload
+  /// / fault set (sweep invariant: always 0 — no silent failures).
+  uint64_t storm_untyped = 0;
+  /// Per-storm-query latency (resolution time - submit time), resolution
+  /// order. The overload bench derives p50/p99 and goodput from these.
+  std::vector<Time> storm_latencies;
+  uint64_t budget_peak = 0;          ///< memory budget high-water (bytes)
+  uint64_t budget_hard_cancels = 0;  ///< hard-limit query cancellations
 };
 
 /// Runs one seeded fault schedule end to end. Returns an error naming the
